@@ -1,0 +1,63 @@
+//! Criterion bench: raw discrete-event engine throughput — the substrate
+//! cost under every experiment.
+
+use cm_core::time::{SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::Engine;
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn engine_event_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    for &n in &[1_000u64, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::new("schedule_and_run", n), &n, |b, &n| {
+            b.iter(|| {
+                let e = Engine::new();
+                let count = Rc::new(Cell::new(0u64));
+                for i in 0..n {
+                    let c2 = count.clone();
+                    e.schedule_at(SimTime::from_micros(i), move |_| {
+                        c2.set(c2.get() + 1);
+                    });
+                }
+                e.run();
+                assert_eq!(count.get(), n);
+            });
+        });
+    }
+    g.bench_function("self_rescheduling_chain_100k", |b| {
+        b.iter(|| {
+            let e = Engine::new();
+            let count = Rc::new(Cell::new(0u64));
+            fn tick(e: &Engine, count: Rc<Cell<u64>>) {
+                let n = count.get() + 1;
+                count.set(n);
+                if n < 100_000 {
+                    let c = count.clone();
+                    e.schedule_in(SimDuration::from_micros(1), move |e| tick(e, c));
+                }
+            }
+            let c2 = count.clone();
+            e.schedule_at(SimTime::ZERO, move |e| tick(e, c2));
+            e.run();
+            assert_eq!(count.get(), 100_000);
+        });
+    });
+    g.bench_function("cancel_half_of_100k", |b| {
+        b.iter(|| {
+            let e = Engine::new();
+            let mut ids = Vec::with_capacity(100_000);
+            for i in 0..100_000u64 {
+                ids.push(e.schedule_at(SimTime::from_micros(i), |_| {}));
+            }
+            for id in ids.iter().step_by(2) {
+                e.cancel(*id);
+            }
+            e.run();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, engine_event_throughput);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: whole-stack simulation cost — how much real time one
+//! simulated second of an orchestrated film costs, with and without the
+//! regulation loop (the implementation-performance companion to the
+//! behavioural experiments).
+
+use cm_core::time::SimDuration;
+use cm_orchestration::OrchestrationPolicy;
+use cm_testkit::{FilmScenario, StackConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn orchestrated_film_10s(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_stack");
+    g.sample_size(20);
+    g.bench_function("film_10s_orchestrated", |b| {
+        b.iter(|| {
+            let f = FilmScenario::build((2000, -2000), 20, StackConfig::default());
+            let started = Rc::new(Cell::new(false));
+            let s2 = started.clone();
+            let _agent = f
+                .stack
+                .hlo
+                .orchestrate_and_start(
+                    &[f.audio.vc, f.video.vc],
+                    OrchestrationPolicy::lip_sync(),
+                    move |r| {
+                        r.expect("start");
+                        s2.set(true);
+                    },
+                )
+                .expect("orchestrate");
+            f.stack.run_for(SimDuration::from_secs(10));
+            assert!(started.get());
+            assert!(f.audio.sink.log.borrow().len() > 400);
+        });
+    });
+    g.bench_function("film_10s_free_running", |b| {
+        b.iter(|| {
+            let f = FilmScenario::build((2000, -2000), 20, StackConfig::default());
+            f.audio.source.start_producing();
+            f.video.source.start_producing();
+            f.audio.sink.play();
+            f.video.sink.play();
+            f.stack.run_for(SimDuration::from_secs(10));
+            assert!(f.audio.sink.log.borrow().len() > 400);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, orchestrated_film_10s);
+criterion_main!(benches);

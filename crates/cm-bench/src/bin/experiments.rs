@@ -1,0 +1,19 @@
+//! Experiment runner: `cargo run -p cm-bench --bin experiments -- <id>`
+//! with `<id>` one of `conformance f3 f6 f7 e1 e2 e3 e4 e5 e6 e7 e9 e10
+//! e11 e12 a1 a2 all`. Output is the tables recorded in EXPERIMENTS.md.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: experiments <id>...\n  ids: conformance f3 f6 f7 e1 e2 e3 e4 e5 e6 e7 e9 e10 e11 e12 a1 a2 all"
+        );
+        std::process::exit(2);
+    }
+    for id in &args {
+        if !cm_bench::experiments::run(id) {
+            eprintln!("unknown experiment id: {id}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Design-choice ablations: A1 (drop spreading, §6.3.1.1) and A2
+//! (regulation interval length, fig. 6).
+
+use crate::table::{ms, Table};
+use cm_core::time::{SimDuration, SimTime};
+use cm_orchestration::OrchestrationPolicy;
+use cm_testkit::{FilmScenario, StackConfig};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn launch(f: &FilmScenario, policy: OrchestrationPolicy) -> cm_orchestration::HloAgent {
+    let started = Rc::new(Cell::new(false));
+    let s2 = started.clone();
+    let agent = f
+        .stack
+        .hlo
+        .orchestrate_and_start(&[f.audio.vc, f.video.vc], policy, move |r| {
+            r.expect("start");
+            s2.set(true);
+        })
+        .expect("orchestrate");
+    f.stack.run_for(SimDuration::from_secs(3));
+    assert!(started.get());
+    agent
+}
+
+/// A1 — §6.3.1.1: "the LLO must take responsibility for attempting to
+/// spread compensatory actions over the length of the target interval to
+/// avoid unnecessary jitter". Bunched drops skip several media units in
+/// one presentation step (a visible glitch); spread drops skip one unit
+/// at a time.
+pub fn a1_drop_spreading() {
+    println!("A1: drop spreading vs bunching (audio source clock -5%, heavy drop load)");
+    println!("    media jump = gap in consecutive presented media-unit indices\n");
+    let mut table = Table::new(&[
+        "drop execution",
+        "drops (60s)",
+        "worst media jump (units)",
+        "jumps > 2 units",
+    ]);
+    for (name, spread) in [("spread over interval", true), ("bunched at start", false)] {
+        // A severe 5% source-clock deficit with a tight rate cap forces
+        // several drops per 500 ms interval.
+        let f = FilmScenario::build((-50_000, 0), 120, StackConfig::default());
+        let policy = OrchestrationPolicy {
+            rate_nudge_limit_ppt: 2,
+            max_drop_per_interval: 10,
+            spread_drops: spread,
+            ..OrchestrationPolicy::default()
+        };
+        let agent = launch(&f, policy);
+        f.stack.run_for(SimDuration::from_secs(60));
+        let drops: u64 = agent
+            .history()
+            .iter()
+            .filter(|r| r.vc == f.audio.vc)
+            .map(|r| r.dropped)
+            .sum();
+        let log = f.audio.sink.log.borrow();
+        let mut worst = 0u64;
+        let mut big = 0usize;
+        for w in log.windows(2) {
+            if let (Some(a), Some(b)) = (w[0].tag, w[1].tag) {
+                let jump = b.saturating_sub(a);
+                worst = worst.max(jump);
+                if jump > 2 {
+                    big += 1;
+                }
+            }
+        }
+        table.row(&[
+            name.to_string(),
+            drops.to_string(),
+            worst.to_string(),
+            big.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\n  expectation: the same total drop budget, but bunched execution turns it into");
+    println!("  multi-unit media skips (audible/visible glitches) where spreading yields only");
+    println!("  isolated single-unit skips — the stated reason for spreading (§6.3.1.1).");
+}
+
+/// A2 — fig. 6: the regulation interval length trades control traffic
+/// against sync tightness.
+pub fn a2_interval_length() {
+    println!("A2: regulation interval length vs skew bound and control traffic (film, ±3000 ppm)\n");
+    let mut table = Table::new(&[
+        "interval",
+        "skew@60s (ms)",
+        "worst skew (ms)",
+        "regulate exchanges (60s)",
+    ]);
+    for interval_ms in [100u64, 250, 500, 1000, 2000] {
+        let f = FilmScenario::build((3000, -3000), 120, StackConfig::default());
+        let policy = OrchestrationPolicy {
+            interval: SimDuration::from_millis(interval_ms),
+            ..OrchestrationPolicy::default()
+        };
+        let agent = launch(&f, policy);
+        f.stack.run_for(SimDuration::from_secs(60));
+        let meter = f.skew_meter();
+        let (_series, mut stats) = meter.series(
+            SimTime::from_secs(5),
+            SimTime::from_secs(60),
+            SimDuration::from_secs(1),
+        );
+        let at60 = meter
+            .skew_at(SimTime::from_secs(60))
+            .map(|d| d.as_micros() as f64)
+            .unwrap_or(f64::NAN);
+        // Each Orch.Regulate is a request plus two stat/report exchanges
+        // per VC; the history holds one record per completed indication.
+        let exchanges = agent.history().len() * 3;
+        table.row(&[
+            format!("{interval_ms} ms"),
+            ms(at60),
+            ms(stats.max()),
+            exchanges.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\n  expectation: at realistic drift rates the skew bound is set by the");
+    println!("  presentation-phase floor, not the interval — so tightening the interval");
+    println!("  only multiplies control traffic (20x from 2 s to 100 ms). The interval is");
+    println!("  policy (§5); 500 ms keeps per-interval drift far below the lip-sync");
+    println!("  tolerance while costing ~12 exchanges/s for a two-stream film.");
+}

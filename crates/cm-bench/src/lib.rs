@@ -1,0 +1,12 @@
+//! # cm-bench — the experiment harness
+//!
+//! One module per experiment in EXPERIMENTS.md / DESIGN.md §3. The
+//! `experiments` binary dispatches on experiment id (`e1`…`e12`, `f3`,
+//! `f6`, `f7`, `conformance`, or `all`) and prints the tables recorded in
+//! EXPERIMENTS.md. All experiments are deterministic (seeds printed).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,171 @@
+//! Transport addressing.
+//!
+//! The paper's service primitives carry *three* addresses — initiator,
+//! source and destination — so that a management object on one host can
+//! connect a TSAP on a second host to a TSAP on a third (§3.5, figure 2).
+//! An address is a network address identifying the end-system plus a TSAP
+//! identifying a unique endpoint within it (§4.1.1).
+
+use core::fmt;
+
+/// Identifies an end-system (a node) on the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetAddr(pub u32);
+
+impl fmt::Display for NetAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A transport service access point: a unique endpoint within an end-system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tsap(pub u16);
+
+impl fmt::Display for Tsap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ":{}", self.0)
+    }
+}
+
+/// A complete transport address: end-system plus TSAP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransportAddr {
+    /// The end-system holding the TSAP.
+    pub node: NetAddr,
+    /// The endpoint within the end-system.
+    pub tsap: Tsap,
+}
+
+impl TransportAddr {
+    /// Construct an address from raw node and TSAP numbers.
+    pub const fn new(node: u32, tsap: u16) -> Self {
+        TransportAddr {
+            node: NetAddr(node),
+            tsap: Tsap(tsap),
+        }
+    }
+}
+
+impl fmt::Display for TransportAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.node, self.tsap)
+    }
+}
+
+/// The address triple carried by connection-management primitives (§3.5).
+///
+/// For a conventional connect — where the caller is itself the sender — the
+/// initiator simply equals the source address (§4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddressTriple {
+    /// The caller of the service (receives confirms and disconnect reports).
+    pub initiator: TransportAddr,
+    /// The data source endpoint of the simplex VC to be formed.
+    pub source: TransportAddr,
+    /// The data sink endpoint of the simplex VC to be formed.
+    pub destination: TransportAddr,
+}
+
+impl AddressTriple {
+    /// A conventional (two-party) connect: initiator *is* the source.
+    pub fn conventional(source: TransportAddr, destination: TransportAddr) -> Self {
+        AddressTriple {
+            initiator: source,
+            source,
+            destination,
+        }
+    }
+
+    /// A third-party "remote connect" (§3.5): the initiator is distinct from
+    /// both endpoints (it may share a node with one of them).
+    pub fn remote(
+        initiator: TransportAddr,
+        source: TransportAddr,
+        destination: TransportAddr,
+    ) -> Self {
+        AddressTriple {
+            initiator,
+            source,
+            destination,
+        }
+    }
+
+    /// True when the initiating endpoint is also the data source, i.e. the
+    /// conventional two-party case.
+    pub fn is_conventional(&self) -> bool {
+        self.initiator == self.source
+    }
+}
+
+impl fmt::Display for AddressTriple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[init {} | {} -> {}]",
+            self.initiator, self.source, self.destination
+        )
+    }
+}
+
+/// Identifies an established virtual circuit, unique within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VcId(pub u64);
+
+impl fmt::Display for VcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vc{}", self.0)
+    }
+}
+
+/// Identifies an orchestration session, allocated by the HLO (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OrchSessionId(pub u64);
+
+impl fmt::Display for OrchSessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "orch{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_triple_has_initiator_equal_source() {
+        let a = TransportAddr::new(1, 10);
+        let b = TransportAddr::new(2, 20);
+        let t = AddressTriple::conventional(a, b);
+        assert!(t.is_conventional());
+        assert_eq!(t.initiator, a);
+    }
+
+    #[test]
+    fn remote_triple_distinguishes_all_three() {
+        let init = TransportAddr::new(3, 1);
+        let src = TransportAddr::new(1, 10);
+        let dst = TransportAddr::new(2, 20);
+        let t = AddressTriple::remote(init, src, dst);
+        assert!(!t.is_conventional());
+        assert_eq!(t.to_string(), "[init n3:1 | n1:10 -> n2:20]");
+    }
+
+    #[test]
+    fn addresses_order_and_hash() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
+        s.insert(TransportAddr::new(1, 2));
+        s.insert(TransportAddr::new(1, 1));
+        s.insert(TransportAddr::new(0, 9));
+        let v: Vec<_> = s.into_iter().collect();
+        assert_eq!(
+            v,
+            vec![
+                TransportAddr::new(0, 9),
+                TransportAddr::new(1, 1),
+                TransportAddr::new(1, 2)
+            ]
+        );
+    }
+}

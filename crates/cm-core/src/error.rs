@@ -1,0 +1,163 @@
+//! Error and reason vocabulary shared by the transport and orchestration
+//! services.
+//!
+//! Disconnect and denial primitives in the paper carry a `reason` parameter
+//! (tables 1 and 5); these enums give those reasons stable, typed identity.
+
+use crate::qos::QosViolation;
+use core::fmt;
+
+/// Why a connection was refused or released (`T-Disconnect` reason,
+/// table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DisconnectReason {
+    /// The remote transport user declined the connection.
+    UserRejected,
+    /// No application is attached to the addressed TSAP.
+    NoSuchTsap,
+    /// The addressed end-system is unknown or unreachable.
+    Unreachable,
+    /// QoS negotiation failed: the achievable level fell below the
+    /// worst-acceptable tolerance in the listed components.
+    QosUnattainable(Vec<u8>),
+    /// The network provider could not reserve resources along the route.
+    AdmissionDenied,
+    /// Normal release requested by a transport user.
+    UserRelease,
+    /// The requested renegotiation cannot be supported (the existing VC
+    /// stays up — §4.1.3).
+    RenegotiationRefused,
+    /// Protocol failure (e.g. lost connection-management PDUs exhausted
+    /// their retries).
+    ProtocolFailure,
+}
+
+impl DisconnectReason {
+    /// Construct the QoS-unattainable reason from negotiation violations.
+    pub fn from_violations(v: &[QosViolation]) -> DisconnectReason {
+        DisconnectReason::QosUnattainable(v.iter().map(|x| x.error_number()).collect())
+    }
+}
+
+impl fmt::Display for DisconnectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DisconnectReason::UserRejected => write!(f, "rejected by remote user"),
+            DisconnectReason::NoSuchTsap => write!(f, "no such TSAP"),
+            DisconnectReason::Unreachable => write!(f, "destination unreachable"),
+            DisconnectReason::QosUnattainable(nums) => {
+                write!(f, "QoS unattainable (parameters {nums:?})")
+            }
+            DisconnectReason::AdmissionDenied => write!(f, "admission control denied reservation"),
+            DisconnectReason::UserRelease => write!(f, "released by user"),
+            DisconnectReason::RenegotiationRefused => write!(f, "renegotiation refused"),
+            DisconnectReason::ProtocolFailure => write!(f, "protocol failure"),
+        }
+    }
+}
+
+/// Why an orchestration request was denied or released (`Orch.Deny` /
+/// `Orch.Release` reason, tables 4 and 5, §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrchDenyReason {
+    /// An LLO instance has no table space for another session (§6.1).
+    NoTableSpace,
+    /// One or more of the specified VCs do not exist (§6.1).
+    NoSuchVc,
+    /// An application thread is not in a position to produce/consume
+    /// (§6.2.1 Orch.Prime denial).
+    ApplicationNotReady,
+    /// The application gave up in response to `Orch.Delayed` (§6.3.3).
+    ApplicationGaveUp,
+    /// All VCs of the session were closed, releasing it implicitly (§6.1).
+    AllVcsClosed,
+    /// Released normally by the HLO.
+    UserRelease,
+    /// The orchestrated VCs share no common node and no clock-sync service
+    /// was enabled (§5 footnote).
+    NoCommonNode,
+}
+
+impl fmt::Display for OrchDenyReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrchDenyReason::NoTableSpace => write!(f, "no table space at LLO"),
+            OrchDenyReason::NoSuchVc => write!(f, "no such VC"),
+            OrchDenyReason::ApplicationNotReady => write!(f, "application not ready"),
+            OrchDenyReason::ApplicationGaveUp => write!(f, "application gave up"),
+            OrchDenyReason::AllVcsClosed => write!(f, "all VCs closed"),
+            OrchDenyReason::UserRelease => write!(f, "released by user"),
+            OrchDenyReason::NoCommonNode => write!(f, "no common node"),
+        }
+    }
+}
+
+/// Errors surfaced by the local service interfaces (not carried on the
+/// wire): misuse of handles, unknown ids, calls in the wrong state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The VC id is not known at this node.
+    UnknownVc,
+    /// The TSAP is already bound by another user.
+    TsapBusy,
+    /// The TSAP is not bound.
+    TsapUnbound,
+    /// The operation is invalid in the VC's current state.
+    WrongState(&'static str),
+    /// The orchestration session id is not known here.
+    UnknownSession,
+    /// A malformed argument (description attached).
+    BadArgument(&'static str),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownVc => write!(f, "unknown VC"),
+            ServiceError::TsapBusy => write!(f, "TSAP already bound"),
+            ServiceError::TsapUnbound => write!(f, "TSAP not bound"),
+            ServiceError::WrongState(s) => write!(f, "invalid in state {s}"),
+            ServiceError::UnknownSession => write!(f, "unknown orchestration session"),
+            ServiceError::BadArgument(s) => write!(f, "bad argument: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::ErrorRate;
+    use crate::time::Bandwidth;
+
+    #[test]
+    fn reason_from_violations_keeps_error_numbers() {
+        let v = vec![
+            QosViolation::Throughput {
+                contracted: Bandwidth::kbps(10),
+                measured: Bandwidth::kbps(5),
+            },
+            QosViolation::PacketErrorRate {
+                contracted: ErrorRate::ZERO,
+                measured: ErrorRate::from_ppm(10),
+            },
+        ];
+        assert_eq!(
+            DisconnectReason::from_violations(&v),
+            DisconnectReason::QosUnattainable(vec![1, 4])
+        );
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(
+            OrchDenyReason::NoTableSpace.to_string(),
+            "no table space at LLO"
+        );
+        assert_eq!(
+            ServiceError::WrongState("Connecting").to_string(),
+            "invalid in state Connecting"
+        );
+    }
+}

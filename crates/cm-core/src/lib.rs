@@ -1,0 +1,45 @@
+//! # cm-core — common vocabulary for the CM transport & orchestration stack
+//!
+//! Shared, dependency-light types used by every other crate in this
+//! reproduction of *"A Continuous Media Transport and Orchestration
+//! Service"* (Campbell, Coulson, Garcia, Hutchison — SIGCOMM '92):
+//!
+//! - [`time`]: virtual time, exact rational rates, bandwidth;
+//! - [`address`]: network/TSAP addressing and the initiator/source/
+//!   destination triples of the remote-connect facility (§3.5);
+//! - [`qos`]: the five QoS parameters, tolerance levels and end-to-end
+//!   option negotiation (§3.2);
+//! - [`service_class`]: protocol profiles and error-control classes (§3.4);
+//! - [`osdu`]: logical data units and orchestrator PDUs (§3.7, §5);
+//! - [`media`]: canonical media profiles (32 Kbit/s voice … HDTV);
+//! - [`error`]: disconnect/denial reasons and service errors;
+//! - [`rng`]: deterministic seeded randomness;
+//! - [`stats`]: measurement accumulators.
+//!
+//! Nothing here performs I/O or scheduling; the discrete-event machinery
+//! lives in the `netsim` crate.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod address;
+pub mod error;
+pub mod media;
+pub mod osdu;
+pub mod qos;
+pub mod rng;
+pub mod service_class;
+pub mod stats;
+pub mod time;
+
+pub use address::{AddressTriple, NetAddr, OrchSessionId, TransportAddr, Tsap, VcId};
+pub use error::{DisconnectReason, OrchDenyReason, ServiceError};
+pub use media::{MediaKind, MediaProfile};
+pub use osdu::{Opdu, Osdu, Payload, OPDU_WIRE_SIZE};
+pub use qos::{
+    ErrorRate, GuaranteeMode, QosParams, QosRequirement, QosTolerance, QosViolation,
+};
+pub use rng::DetRng;
+pub use service_class::{ErrorControlClass, ProtocolProfile, ServiceClass};
+pub use stats::{OnlineStats, SampleSet};
+pub use time::{Bandwidth, Rate, SimDuration, SimTime};

@@ -1,0 +1,163 @@
+//! Logical data units and orchestrator PDUs (paper §3.7, §5).
+//!
+//! At the data-transfer interface the transport supports *logical data
+//! units* for structuring CM: unit boundaries are preserved irrespective of
+//! byte size, and at each period there is always exactly one logical unit to
+//! transmit even under variable-bit-rate encoding (§3.7). The orchestration
+//! service attaches to every OSDU an OPDU carrying an OSDU sequence number
+//! (counting from zero from first use of the connection) and an *event*
+//! field matched by `Orch.Event` (§5, §6.3.4).
+
+use std::sync::Arc;
+
+/// The content of an OSDU.
+///
+/// Experiments mostly move *synthetic* payloads — a tag plus a declared byte
+/// length — so that multi-minute media sessions don't allocate gigabytes;
+/// the simulator charges transmission time for the declared length either
+/// way. Real byte payloads are used where content matters (captions,
+/// checksum tests, the threaded buffer benchmarks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// A stand-in payload of `len` bytes identified by `tag`.
+    Synthetic {
+        /// Application-chosen identifier (e.g. frame number).
+        tag: u64,
+        /// The byte length this payload occupies on the wire and in buffers.
+        len: usize,
+    },
+    /// Actual bytes (shared, so multicast and retransmission don't copy).
+    Bytes(Arc<[u8]>),
+}
+
+impl Payload {
+    /// Construct a synthetic payload.
+    pub fn synthetic(tag: u64, len: usize) -> Payload {
+        Payload::Synthetic { tag, len }
+    }
+
+    /// Construct a byte payload from a vector.
+    pub fn bytes(data: Vec<u8>) -> Payload {
+        Payload::Bytes(data.into())
+    }
+
+    /// The wire length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Synthetic { len, .. } => *len,
+            Payload::Bytes(b) => b.len(),
+        }
+    }
+
+    /// True for a zero-length payload (legal: a logical unit may be empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The synthetic tag, if this is a synthetic payload.
+    pub fn tag(&self) -> Option<u64> {
+        match self {
+            Payload::Synthetic { tag, .. } => Some(*tag),
+            Payload::Bytes(_) => None,
+        }
+    }
+}
+
+/// The orchestration PDU accompanying every OSDU (§5).
+///
+/// `seq` starts from zero when the connection is first used; `event` is an
+/// opaque application bit pattern, not interpreted by the LLO, matched
+/// verbatim against patterns registered with `Orch.Event.request` (§6.3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Opdu {
+    /// OSDU sequence number within the connection.
+    pub seq: u64,
+    /// Optional application-defined event mark.
+    pub event: Option<u64>,
+}
+
+/// The wire size of an OPDU: sequence number + event field + flags.
+/// Added to `max_osdu_size` when sizing buffer slots (§5).
+pub const OPDU_WIRE_SIZE: usize = 17;
+
+/// One logical unit of continuous media as handled by the transport and
+/// orchestration services: payload plus its OPDU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Osdu {
+    /// The accompanying orchestration PDU.
+    pub opdu: Opdu,
+    /// The media payload.
+    pub payload: Payload,
+}
+
+impl Osdu {
+    /// Construct an OSDU with the given sequence number and payload and no
+    /// event mark.
+    pub fn new(seq: u64, payload: Payload) -> Osdu {
+        Osdu {
+            opdu: Opdu { seq, event: None },
+            payload,
+        }
+    }
+
+    /// Attach an application event mark (consumed by `Orch.Event`).
+    pub fn with_event(mut self, event: u64) -> Osdu {
+        self.opdu.event = Some(event);
+        self
+    }
+
+    /// Total bytes this unit occupies on the wire: payload + OPDU.
+    pub fn wire_size(&self) -> usize {
+        self.payload.len() + OPDU_WIRE_SIZE
+    }
+
+    /// The OSDU sequence number.
+    pub fn seq(&self) -> u64 {
+        self.opdu.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_payload_reports_declared_len() {
+        let p = Payload::synthetic(7, 8192);
+        assert_eq!(p.len(), 8192);
+        assert_eq!(p.tag(), Some(7));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn byte_payload_len_and_sharing() {
+        let p = Payload::bytes(vec![1, 2, 3]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.tag(), None);
+        let q = p.clone();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn osdu_wire_size_includes_opdu() {
+        let u = Osdu::new(0, Payload::synthetic(0, 100));
+        assert_eq!(u.wire_size(), 100 + OPDU_WIRE_SIZE);
+    }
+
+    #[test]
+    fn event_mark() {
+        let u = Osdu::new(3, Payload::synthetic(0, 10)).with_event(0xDEAD);
+        assert_eq!(u.opdu.event, Some(0xDEAD));
+        assert_eq!(u.seq(), 3);
+    }
+
+    #[test]
+    fn empty_logical_unit_is_legal() {
+        // §3.7: "at each time period there will always be something to
+        // transmit (one logical unit) even when CM data is variable bit
+        // rate encoded" — which may be a unit of zero payload bytes.
+        let u = Osdu::new(9, Payload::synthetic(9, 0));
+        assert!(u.payload.is_empty());
+        assert_eq!(u.wire_size(), OPDU_WIRE_SIZE);
+    }
+}

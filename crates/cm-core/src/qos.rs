@@ -1,0 +1,470 @@
+//! Quality-of-Service vocabulary (paper §3.2–§3.3).
+//!
+//! The paper fixes five parameters meaningful to the transport level and the
+//! levels below — throughput, end-to-end delay, delay jitter, packet error
+//! rate and bit error rate — and requires that, at connection establishment,
+//! the user can express *preferred*, *acceptable* and *unacceptable* tolerance
+//! levels for each, which then undergo full end-to-end option negotiation and
+//! are contracted for the connection's lifetime (hard or soft guarantee).
+//!
+//! Error rates are kept as exact parts-per-billion integers so that QoS
+//! contracts are `Eq`/`Ord` and negotiation is deterministic.
+
+use crate::time::{Bandwidth, SimDuration};
+use core::fmt;
+
+/// An error probability stored as parts-per-billion (ppb), giving exact
+/// comparison and arithmetic over the range 0..=1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ErrorRate(u64);
+
+impl ErrorRate {
+    /// Zero errors.
+    pub const ZERO: ErrorRate = ErrorRate(0);
+    /// Certain loss (probability 1).
+    pub const ONE: ErrorRate = ErrorRate(1_000_000_000);
+
+    /// From parts per billion.
+    pub const fn from_ppb(ppb: u64) -> ErrorRate {
+        ErrorRate(if ppb > 1_000_000_000 {
+            1_000_000_000
+        } else {
+            ppb
+        })
+    }
+
+    /// From parts per million.
+    pub const fn from_ppm(ppm: u64) -> ErrorRate {
+        ErrorRate::from_ppb(ppm * 1_000)
+    }
+
+    /// From a probability in `[0, 1]`; values outside are clamped.
+    pub fn from_prob(p: f64) -> ErrorRate {
+        ErrorRate::from_ppb((p.clamp(0.0, 1.0) * 1e9).round() as u64)
+    }
+
+    /// As a probability in `[0, 1]`.
+    pub fn as_prob(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Raw parts per billion.
+    pub const fn as_ppb(self) -> u64 {
+        self.0
+    }
+
+    /// The empirical rate `errors / total`, or zero for an empty sample.
+    pub fn observed(errors: u64, total: u64) -> ErrorRate {
+        if total == 0 {
+            return ErrorRate::ZERO;
+        }
+        ErrorRate::from_ppb(((errors as u128 * 1_000_000_000) / total as u128) as u64)
+    }
+}
+
+impl fmt::Display for ErrorRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2e}", self.as_prob())
+    }
+}
+
+/// One concrete setting of the paper's five QoS parameters (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QosParams {
+    /// Sustained throughput the connection carries.
+    pub throughput: Bandwidth,
+    /// End-to-end delay bound.
+    pub delay: SimDuration,
+    /// Delay jitter (variation in delay) bound.
+    pub jitter: SimDuration,
+    /// Fraction of packets that may be lost or corrupted beyond repair.
+    pub packet_error_rate: ErrorRate,
+    /// Fraction of bits that may be delivered in error.
+    pub bit_error_rate: ErrorRate,
+}
+
+impl QosParams {
+    /// A "don't care" setting that any provider can satisfy: zero throughput
+    /// demanded, unbounded delay/jitter, full error tolerance.
+    pub fn weakest() -> QosParams {
+        QosParams {
+            throughput: Bandwidth::ZERO,
+            delay: SimDuration::MAX,
+            jitter: SimDuration::MAX,
+            packet_error_rate: ErrorRate::ONE,
+            bit_error_rate: ErrorRate::ONE,
+        }
+    }
+
+    /// True if `self`, regarded as an *achieved* quality, satisfies
+    /// `required`: at least the throughput, at most the delay, jitter and
+    /// error rates.
+    pub fn satisfies(&self, required: &QosParams) -> bool {
+        self.throughput >= required.throughput
+            && self.delay <= required.delay
+            && self.jitter <= required.jitter
+            && self.packet_error_rate <= required.packet_error_rate
+            && self.bit_error_rate <= required.bit_error_rate
+    }
+
+    /// Element-wise *weaker* of two settings: the lower throughput and the
+    /// larger delay/jitter/error rates. Used when successive negotiation
+    /// stages each degrade an offer.
+    pub fn weaken_to(&self, other: &QosParams) -> QosParams {
+        QosParams {
+            throughput: self.throughput.min(other.throughput),
+            delay: self.delay.max(other.delay),
+            jitter: self.jitter.max(other.jitter),
+            packet_error_rate: self.packet_error_rate.max(other.packet_error_rate),
+            bit_error_rate: self.bit_error_rate.max(other.bit_error_rate),
+        }
+    }
+
+    /// Element-wise *stronger* of two settings (dual of [`weaken_to`]).
+    ///
+    /// [`weaken_to`]: QosParams::weaken_to
+    pub fn strengthen_to(&self, other: &QosParams) -> QosParams {
+        QosParams {
+            throughput: self.throughput.max(other.throughput),
+            delay: self.delay.min(other.delay),
+            jitter: self.jitter.min(other.jitter),
+            packet_error_rate: self.packet_error_rate.min(other.packet_error_rate),
+            bit_error_rate: self.bit_error_rate.min(other.bit_error_rate),
+        }
+    }
+
+    /// The per-parameter violations of `contract` by `self` (measured
+    /// values), in declaration order. Empty means the contract is met.
+    pub fn violations_of(&self, contract: &QosParams) -> Vec<QosViolation> {
+        let mut v = Vec::new();
+        if self.throughput < contract.throughput {
+            v.push(QosViolation::Throughput {
+                contracted: contract.throughput,
+                measured: self.throughput,
+            });
+        }
+        if self.delay > contract.delay {
+            v.push(QosViolation::Delay {
+                contracted: contract.delay,
+                measured: self.delay,
+            });
+        }
+        if self.jitter > contract.jitter {
+            v.push(QosViolation::Jitter {
+                contracted: contract.jitter,
+                measured: self.jitter,
+            });
+        }
+        if self.packet_error_rate > contract.packet_error_rate {
+            v.push(QosViolation::PacketErrorRate {
+                contracted: contract.packet_error_rate,
+                measured: self.packet_error_rate,
+            });
+        }
+        if self.bit_error_rate > contract.bit_error_rate {
+            v.push(QosViolation::BitErrorRate {
+                contracted: contract.bit_error_rate,
+                measured: self.bit_error_rate,
+            });
+        }
+        v
+    }
+}
+
+impl fmt::Display for QosParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "thr {} delay {} jitter {} per {} ber {}",
+            self.throughput, self.delay, self.jitter, self.packet_error_rate, self.bit_error_rate
+        )
+    }
+}
+
+/// A single contracted-parameter violation, as reported in a
+/// `T-QoS.indication` (§4.1.2, table 2 "error number").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QosViolation {
+    /// Achieved throughput fell below contract.
+    Throughput {
+        /// The contracted minimum.
+        contracted: Bandwidth,
+        /// What was measured over the sample period.
+        measured: Bandwidth,
+    },
+    /// End-to-end delay exceeded contract.
+    Delay {
+        /// The contracted maximum.
+        contracted: SimDuration,
+        /// What was measured.
+        measured: SimDuration,
+    },
+    /// Delay jitter exceeded contract.
+    Jitter {
+        /// The contracted maximum.
+        contracted: SimDuration,
+        /// What was measured.
+        measured: SimDuration,
+    },
+    /// Packet error rate exceeded contract.
+    PacketErrorRate {
+        /// The contracted maximum.
+        contracted: ErrorRate,
+        /// What was measured.
+        measured: ErrorRate,
+    },
+    /// Bit error rate exceeded contract.
+    BitErrorRate {
+        /// The contracted maximum.
+        contracted: ErrorRate,
+        /// What was measured.
+        measured: ErrorRate,
+    },
+}
+
+impl QosViolation {
+    /// The stable "error number" identifying which tolerance degraded
+    /// (table 2 carries such a number in the indication).
+    pub fn error_number(&self) -> u8 {
+        match self {
+            QosViolation::Throughput { .. } => 1,
+            QosViolation::Delay { .. } => 2,
+            QosViolation::Jitter { .. } => 3,
+            QosViolation::PacketErrorRate { .. } => 4,
+            QosViolation::BitErrorRate { .. } => 5,
+        }
+    }
+}
+
+impl fmt::Display for QosViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QosViolation::Throughput {
+                contracted,
+                measured,
+            } => write!(f, "throughput {measured} < contracted {contracted}"),
+            QosViolation::Delay {
+                contracted,
+                measured,
+            } => write!(f, "delay {measured} > contracted {contracted}"),
+            QosViolation::Jitter {
+                contracted,
+                measured,
+            } => write!(f, "jitter {measured} > contracted {contracted}"),
+            QosViolation::PacketErrorRate {
+                contracted,
+                measured,
+            } => write!(f, "packet error rate {measured} > contracted {contracted}"),
+            QosViolation::BitErrorRate {
+                contracted,
+                measured,
+            } => write!(f, "bit error rate {measured} > contracted {contracted}"),
+        }
+    }
+}
+
+/// The user's tolerance levels for a connection (§3.2): a *preferred* level
+/// and the *worst acceptable* level; anything weaker is unacceptable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QosTolerance {
+    /// What the user would ideally like.
+    pub preferred: QosParams,
+    /// The weakest level the user will accept; below this the connection
+    /// request (or renegotiation) must be rejected.
+    pub worst: QosParams,
+}
+
+impl QosTolerance {
+    /// A tolerance with no slack: preferred and worst coincide.
+    pub fn exactly(p: QosParams) -> QosTolerance {
+        QosTolerance {
+            preferred: p,
+            worst: p,
+        }
+    }
+
+    /// Validity: the preferred level must be at least as strong as the worst
+    /// acceptable level in every component.
+    pub fn is_well_formed(&self) -> bool {
+        self.preferred.satisfies(&self.worst)
+    }
+
+    /// Negotiate against what a provider can actually achieve.
+    ///
+    /// The agreed contract is the *weaker* of the preferred level and the
+    /// achievable level in each component — the provider never promises more
+    /// than asked (resources are explicitly reserved, §3.1) nor more than it
+    /// has. If the result would fall below the worst acceptable level in any
+    /// component the negotiation fails with the list of violations.
+    pub fn negotiate(&self, achievable: &QosParams) -> Result<QosParams, Vec<QosViolation>> {
+        let agreed = self.preferred.weaken_to(achievable);
+        let violations = agreed.violations_of(&self.worst);
+        if violations.is_empty() {
+            Ok(agreed)
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// Intersect two users' tolerances (used when orchestration requires
+    /// related VCs to carry *compatible* QoS, §3.6): preferred is the
+    /// stronger of the two preferences, worst is the stronger of the two
+    /// floors. Returns `None` if the result is not well-formed.
+    pub fn intersect(&self, other: &QosTolerance) -> Option<QosTolerance> {
+        let t = QosTolerance {
+            preferred: self.preferred.strengthen_to(&other.preferred),
+            worst: self.worst.strengthen_to(&other.worst),
+        };
+        t.is_well_formed().then_some(t)
+    }
+}
+
+/// How firmly the negotiated tolerance is promised (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GuaranteeMode {
+    /// Resources reserved end-to-end; violation is a provider fault and
+    /// admission control must prevent it.
+    Hard,
+    /// Contract monitored; the user is *notified* (`T-QoS.indication`) if
+    /// the contracted values are violated (§3.2 "soft guarantee").
+    #[default]
+    Soft,
+    /// No reservation, no monitoring promises.
+    BestEffort,
+}
+
+/// The complete QoS requirement carried in a `T-Connect.request`:
+/// tolerance levels, guarantee mode, the logical-unit rate of the medium,
+/// and the maximum OSDU size which bounds buffer-slot allocation (§5:
+/// passed "as a QoS parameter" so OSDU/OPDU boundaries can be preserved by
+/// the transport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QosRequirement {
+    /// Preferred / worst-acceptable tolerance levels.
+    pub tolerance: QosTolerance,
+    /// Hard, soft or best-effort guarantee.
+    pub guarantee: GuaranteeMode,
+    /// The medium's logical-unit rate: the rate-based protocol paces one
+    /// OSDU per period (§3.7: "at each time period there will always be
+    /// something to transmit — one logical unit"), and orchestration keeps
+    /// related VCs at such rates "in the required ratio" (§3.6).
+    pub osdu_rate: crate::time::Rate,
+    /// Largest logical data unit the application will ever submit, in bytes.
+    pub max_osdu_size: usize,
+}
+
+impl QosRequirement {
+    /// Convenience: soft guarantee with the given tolerance, unit rate and
+    /// OSDU bound.
+    pub fn soft(
+        tolerance: QosTolerance,
+        osdu_rate: crate::time::Rate,
+        max_osdu_size: usize,
+    ) -> QosRequirement {
+        QosRequirement {
+            tolerance,
+            guarantee: GuaranteeMode::Soft,
+            osdu_rate,
+            max_osdu_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Bandwidth, SimDuration};
+
+    fn q(
+        thr_kbps: u64,
+        delay_ms: u64,
+        jitter_ms: u64,
+        per_ppm: u64,
+        ber_ppm: u64,
+    ) -> QosParams {
+        QosParams {
+            throughput: Bandwidth::kbps(thr_kbps),
+            delay: SimDuration::from_millis(delay_ms),
+            jitter: SimDuration::from_millis(jitter_ms),
+            packet_error_rate: ErrorRate::from_ppm(per_ppm),
+            bit_error_rate: ErrorRate::from_ppm(ber_ppm),
+        }
+    }
+
+    #[test]
+    fn satisfies_is_componentwise() {
+        let need = q(1000, 100, 10, 100, 10);
+        assert!(q(1000, 100, 10, 100, 10).satisfies(&need));
+        assert!(q(2000, 50, 5, 10, 1).satisfies(&need));
+        assert!(!q(999, 50, 5, 10, 1).satisfies(&need)); // throughput short
+        assert!(!q(2000, 101, 5, 10, 1).satisfies(&need)); // delay long
+        assert!(!q(2000, 50, 11, 10, 1).satisfies(&need)); // jitter
+        assert!(!q(2000, 50, 5, 101, 1).satisfies(&need)); // per
+        assert!(!q(2000, 50, 5, 10, 11).satisfies(&need)); // ber
+    }
+
+    #[test]
+    fn negotiate_takes_weaker_of_preferred_and_achievable() {
+        let tol = QosTolerance {
+            preferred: q(2000, 50, 5, 10, 1),
+            worst: q(500, 200, 20, 1000, 100),
+        };
+        assert!(tol.is_well_formed());
+        // Provider can do better than preferred in every axis: the contract
+        // never exceeds the preference (resources are explicitly reserved,
+        // so asking for more than preferred would waste capacity — §3.1).
+        let agreed = tol.negotiate(&q(10_000, 10, 1, 0, 0)).unwrap();
+        assert_eq!(agreed, q(2000, 50, 5, 10, 1));
+        // Provider weaker than preferred but above the floor.
+        let agreed = tol.negotiate(&q(800, 150, 15, 500, 50)).unwrap();
+        assert_eq!(agreed, q(800, 150, 15, 500, 50));
+    }
+
+    #[test]
+    fn negotiate_rejects_below_floor() {
+        let tol = QosTolerance {
+            preferred: q(2000, 50, 5, 10, 1),
+            worst: q(500, 200, 20, 1000, 100),
+        };
+        let err = tol.negotiate(&q(100, 300, 50, 5000, 500)).unwrap_err();
+        // All five components violated.
+        assert_eq!(err.len(), 5);
+        let nums: Vec<u8> = err.iter().map(|v| v.error_number()).collect();
+        assert_eq!(nums, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn violations_empty_when_met() {
+        let c = q(1000, 100, 10, 100, 10);
+        assert!(q(1500, 80, 9, 50, 5).violations_of(&c).is_empty());
+    }
+
+    #[test]
+    fn intersect_takes_stronger() {
+        let a = QosTolerance {
+            preferred: q(1000, 100, 10, 100, 10),
+            worst: q(500, 200, 20, 1000, 100),
+        };
+        let b = QosTolerance {
+            preferred: q(2000, 150, 8, 50, 20),
+            worst: q(800, 300, 30, 2000, 200),
+        };
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.preferred, q(2000, 100, 8, 50, 10));
+        assert_eq!(i.worst, q(800, 200, 20, 1000, 100));
+    }
+
+    #[test]
+    fn error_rate_exactness() {
+        assert_eq!(ErrorRate::from_ppm(1000).as_ppb(), 1_000_000);
+        assert_eq!(ErrorRate::observed(1, 1000), ErrorRate::from_ppm(1000));
+        assert_eq!(ErrorRate::observed(0, 0), ErrorRate::ZERO);
+        assert_eq!(ErrorRate::from_prob(2.0), ErrorRate::ONE);
+    }
+
+    #[test]
+    fn weakest_is_satisfied_by_anything() {
+        let w = QosParams::weakest();
+        assert!(q(0, 1_000_000, 1_000_000, 1_000_000, 1_000_000).satisfies(&w));
+    }
+}

@@ -1,0 +1,154 @@
+//! Protocol profile and class-of-service selection (paper §3.4).
+//!
+//! The paper rejects a single fully generic transport protocol in favour of a
+//! *protocol matrix*: the user selects a protocol profile suited to the
+//! traffic type, and — extending the traditional OSI notion of class of
+//! service — selects user-oriented error-control options: (i) error detection
+//! and indication, (ii) error detection and correction, and (iii) error
+//! detection, correction and indication.
+
+use core::fmt;
+
+/// A column of the protocol matrix: which protocol engine carries the VC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProtocolProfile {
+    /// The continuous-media protocol with rate-based flow control
+    /// (\[Shepherd,91\]; the paper's default for CM traffic).
+    #[default]
+    RateBasedCm,
+    /// A conventional window-based protocol (go-back-N with cumulative
+    /// acknowledgements) — the baseline the paper argues against for CM.
+    WindowBased,
+    /// Connectionless datagrams, for control and event traffic.
+    Datagram,
+}
+
+impl ProtocolProfile {
+    /// True for profiles that establish connection state.
+    pub fn is_connection_oriented(self) -> bool {
+        !matches!(self, ProtocolProfile::Datagram)
+    }
+}
+
+impl fmt::Display for ProtocolProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolProfile::RateBasedCm => write!(f, "rate-based-cm"),
+            ProtocolProfile::WindowBased => write!(f, "window-based"),
+            ProtocolProfile::Datagram => write!(f, "datagram"),
+        }
+    }
+}
+
+/// The user-selectable error-control options of §3.4.
+///
+/// Detection is always on (the classes of §3.4 all begin with detection);
+/// what varies is whether detected errors are *corrected* (retransmission),
+/// *indicated* to the user, or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ErrorControlClass {
+    /// Class (i): detect errors and indicate them to the transport user;
+    /// no correction — damaged or lost data is simply reported.
+    #[default]
+    DetectIndicate,
+    /// Class (ii): detect and correct (by selective retransmission over the
+    /// control channel); the user sees a clean stream or nothing.
+    DetectCorrect,
+    /// Class (iii): detect, correct *and* indicate — corrected errors are
+    /// still reported so the user can track link health.
+    DetectCorrectIndicate,
+}
+
+impl ErrorControlClass {
+    /// Whether detected errors are repaired by retransmission.
+    pub fn corrects(self) -> bool {
+        matches!(
+            self,
+            ErrorControlClass::DetectCorrect | ErrorControlClass::DetectCorrectIndicate
+        )
+    }
+
+    /// Whether detected errors are surfaced to the transport user.
+    pub fn indicates(self) -> bool {
+        matches!(
+            self,
+            ErrorControlClass::DetectIndicate | ErrorControlClass::DetectCorrectIndicate
+        )
+    }
+}
+
+impl fmt::Display for ErrorControlClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorControlClass::DetectIndicate => write!(f, "detect+indicate"),
+            ErrorControlClass::DetectCorrect => write!(f, "detect+correct"),
+            ErrorControlClass::DetectCorrectIndicate => write!(f, "detect+correct+indicate"),
+        }
+    }
+}
+
+/// The complete class-of-service selection carried in a `T-Connect.request`
+/// (table 1: `protocol, class-of-service`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ServiceClass {
+    /// Which protocol engine to use.
+    pub profile: ProtocolProfile,
+    /// Which error-control options to apply.
+    pub error_control: ErrorControlClass,
+}
+
+impl ServiceClass {
+    /// The default CM service: rate-based protocol, detect+indicate (media
+    /// tolerate loss; they want to know about it, not wait for repair).
+    pub fn cm_default() -> ServiceClass {
+        ServiceClass {
+            profile: ProtocolProfile::RateBasedCm,
+            error_control: ErrorControlClass::DetectIndicate,
+        }
+    }
+
+    /// A reliable service: rate-based with detect+correct, e.g. for stored
+    /// text captions that must arrive intact.
+    pub fn reliable_cm() -> ServiceClass {
+        ServiceClass {
+            profile: ProtocolProfile::RateBasedCm,
+            error_control: ErrorControlClass::DetectCorrect,
+        }
+    }
+}
+
+impl fmt::Display for ServiceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.profile, self.error_control)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_capabilities() {
+        assert!(!ErrorControlClass::DetectIndicate.corrects());
+        assert!(ErrorControlClass::DetectIndicate.indicates());
+        assert!(ErrorControlClass::DetectCorrect.corrects());
+        assert!(!ErrorControlClass::DetectCorrect.indicates());
+        assert!(ErrorControlClass::DetectCorrectIndicate.corrects());
+        assert!(ErrorControlClass::DetectCorrectIndicate.indicates());
+    }
+
+    #[test]
+    fn profiles() {
+        assert!(ProtocolProfile::RateBasedCm.is_connection_oriented());
+        assert!(ProtocolProfile::WindowBased.is_connection_oriented());
+        assert!(!ProtocolProfile::Datagram.is_connection_oriented());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            ServiceClass::cm_default().to_string(),
+            "rate-based-cm/detect+indicate"
+        );
+    }
+}

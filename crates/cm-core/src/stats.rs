@@ -1,0 +1,262 @@
+//! Measurement accumulators used by QoS monitors and experiment harnesses.
+//!
+//! Two flavours: [`OnlineStats`] keeps O(1) state (count/mean/variance/
+//! min/max — Welford's algorithm) for in-protocol monitoring where memory is
+//! bounded; [`SampleSet`] keeps every observation for the percentile tables
+//! reported in EXPERIMENTS.md.
+
+use crate::time::SimDuration;
+use core::fmt;
+
+/// O(1) running statistics (Welford).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> OnlineStats {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a duration in microseconds.
+    pub fn push_duration(&mut self, d: SimDuration) {
+        self.push(d.as_micros() as f64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean, or 0 for an empty set.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, or 0 for an empty set.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 for an empty set.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Reset to empty (used at QoS sample-period boundaries).
+    pub fn reset(&mut self) {
+        *self = OnlineStats::new();
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} sd={:.2} min={:.2} max={:.2}",
+            self.n,
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// Full-sample accumulator with percentiles.
+#[derive(Debug, Clone, Default)]
+pub struct SampleSet {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleSet {
+    /// An empty sample set.
+    pub fn new() -> SampleSet {
+        SampleSet {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Record a duration in microseconds.
+    pub fn push_duration(&mut self, d: SimDuration) {
+        self.push(d.as_micros() as f64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or 0 for an empty set.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (0–100, nearest-rank), or 0 for an empty set.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let rank = ((p / 100.0) * (self.samples.len() as f64 - 1.0)).round() as usize;
+        self.samples[rank.min(self.samples.len() - 1)]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Largest observation, or 0 for an empty set.
+    pub fn max(&mut self) -> f64 {
+        self.percentile(100.0)
+    }
+
+    /// Smallest observation, or 0 for an empty set.
+    pub fn min(&mut self) -> f64 {
+        self.percentile(0.0)
+    }
+
+    /// A one-line summary: `mean / p50 / p99 / max`.
+    pub fn summary(&mut self) -> String {
+        format!(
+            "mean={:.1} p50={:.1} p99={:.1} max={:.1}",
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.percentile(100.0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_empty_and_reset() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        s.push(3.0);
+        s.reset();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = SampleSet::new();
+        for x in 1..=99 {
+            s.push(x as f64);
+        }
+        assert_eq!(s.median(), 50.0);
+        assert_eq!(s.percentile(99.0), 98.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 99.0);
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        let mut s = SampleSet::new();
+        s.push(7.0);
+        assert_eq!(s.median(), 7.0);
+        assert_eq!(s.percentile(99.0), 7.0);
+    }
+
+    #[test]
+    fn durations_recorded_as_micros() {
+        let mut s = OnlineStats::new();
+        s.push_duration(SimDuration::from_millis(2));
+        assert_eq!(s.mean(), 2000.0);
+    }
+
+    #[test]
+    fn sampleset_empty() {
+        let mut s = SampleSet::new();
+        assert_eq!(s.median(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,482 @@
+//! Virtual time for the discrete-event world.
+//!
+//! The whole reproduction runs on a deterministic simulated clock rather than
+//! the wall clock: the paper's transport and orchestration machinery reasons
+//! about *relative* timing (inter-arrival intervals, delay, jitter, interval
+//! boundaries), all of which are preserved exactly under virtual time, while
+//! experiments become bit-reproducible.
+//!
+//! Resolution is one **microsecond**. At 64 bits this gives a simulated range
+//! of ~584,000 years, so overflow is not a practical concern and arithmetic
+//! is `saturating` only where a subtraction could legitimately cross zero.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in simulated time, measured in microseconds from the start of
+/// the simulation (time zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw microseconds since time zero.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from milliseconds since time zero.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Construct from whole seconds since time zero.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Microseconds since time zero.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since time zero as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The duration elapsed since `earlier`, or zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked difference between two instants.
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The greatest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest microsecond.
+    ///
+    /// Panics if `s` is negative or too large to represent.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(
+            s >= 0.0 && s <= (u64::MAX as f64) / 1e6,
+            "duration out of range: {s}"
+        );
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// Microseconds in this duration.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds in this duration (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Difference that stops at zero instead of underflowing.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply by an integer factor, saturating at the maximum.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// `self * num / den` with intermediate 128-bit precision.
+    ///
+    /// Used by rate computations to avoid both overflow and drift.
+    pub fn mul_ratio(self, num: u64, den: u64) -> SimDuration {
+        assert!(den != 0, "zero denominator");
+        SimDuration((self.0 as u128 * num as u128 / den as u128) as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics on underflow; use [`SimTime::saturating_since`] when the order
+    /// of the operands is not statically known.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+/// An exact rational rate: `units` logical units per `per` of time.
+///
+/// Continuous-media rates (25 frames/s, 44100 samples/s, 187.5 OSDUs/s)
+/// must not drift over long play-outs, so rates are kept as integer ratios
+/// and all deadline arithmetic is done in 128-bit intermediate precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rate {
+    /// Number of units delivered...
+    pub units: u64,
+    /// ...in this much simulated time.
+    pub per: SimDuration,
+}
+
+impl Rate {
+    /// A rate of `n` units per second.
+    pub const fn per_second(n: u64) -> Rate {
+        Rate {
+            units: n,
+            per: SimDuration::from_secs(1),
+        }
+    }
+
+    /// A rate of `units` per arbitrary period.
+    pub const fn new(units: u64, per: SimDuration) -> Rate {
+        Rate { units, per }
+    }
+
+    /// The zero rate (no units ever).
+    pub const ZERO: Rate = Rate {
+        units: 0,
+        per: SimDuration::from_secs(1),
+    };
+
+    /// True if this rate delivers no units.
+    pub fn is_zero(&self) -> bool {
+        self.units == 0
+    }
+
+    /// Units per second as a float, for reporting.
+    pub fn per_second_f64(&self) -> f64 {
+        if self.per.is_zero() {
+            return f64::INFINITY;
+        }
+        self.units as f64 / self.per.as_secs_f64()
+    }
+
+    /// The instant (relative to a start time) at which unit `n` (0-based) is
+    /// due: unit 0 at the start, unit `n` after `n/rate` time.
+    pub fn due_time(&self, start: SimTime, n: u64) -> SimTime {
+        assert!(self.units != 0, "due_time on zero rate");
+        let us = (n as u128 * self.per.as_micros() as u128) / self.units as u128;
+        start + SimDuration::from_micros(us as u64)
+    }
+
+    /// How many whole units are due in `elapsed` time (unit 0 counts as due
+    /// immediately, so this is `floor(elapsed * rate) + 1` for a started
+    /// flow; callers wanting the raw product use [`Rate::units_in`]).
+    pub fn units_in(&self, elapsed: SimDuration) -> u64 {
+        ((elapsed.as_micros() as u128 * self.units as u128)
+            / self.per.as_micros().max(1) as u128) as u64
+    }
+
+    /// The nominal gap between consecutive units (truncated to whole
+    /// microseconds; use [`Rate::due_time`] for drift-free schedules).
+    pub fn interval(&self) -> SimDuration {
+        assert!(self.units != 0, "interval of zero rate");
+        SimDuration::from_micros(self.per.as_micros() / self.units)
+    }
+
+    /// Scale the rate by an integer ratio `num/den` (e.g. slow-motion 1/2).
+    pub fn scaled(&self, num: u64, den: u64) -> Rate {
+        assert!(den != 0);
+        Rate {
+            units: self.units * num,
+            per: SimDuration::from_micros(self.per.as_micros() * den),
+        }
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}/s", self.per_second_f64())
+    }
+}
+
+/// Bandwidth in bits per second, with helpers for serialisation delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// No capacity.
+    pub const ZERO: Bandwidth = Bandwidth(0);
+
+    /// From bits per second.
+    pub const fn bps(b: u64) -> Bandwidth {
+        Bandwidth(b)
+    }
+
+    /// From kilobits per second (10^3).
+    pub const fn kbps(k: u64) -> Bandwidth {
+        Bandwidth(k * 1_000)
+    }
+
+    /// From megabits per second (10^6).
+    pub const fn mbps(m: u64) -> Bandwidth {
+        Bandwidth(m * 1_000_000)
+    }
+
+    /// Bits per second.
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// Time to serialise `bytes` onto a link of this bandwidth.
+    ///
+    /// Panics on zero bandwidth: a zero-capacity link can never transmit.
+    pub fn transmission_time(self, bytes: usize) -> SimDuration {
+        assert!(self.0 > 0, "transmission over zero bandwidth");
+        let bits = bytes as u128 * 8;
+        let us = (bits * 1_000_000).div_ceil(self.0 as u128);
+        SimDuration::from_micros(us as u64)
+    }
+
+    /// Saturating subtraction, for reservation bookkeeping.
+    pub fn saturating_sub(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, other: Bandwidth) -> Option<Bandwidth> {
+        self.0.checked_add(other.0).map(Bandwidth)
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for Bandwidth {
+    type Output = Bandwidth;
+    fn sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Bandwidth subtraction underflow"),
+        )
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2}Mb/s", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.1}Kb/s", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}b/s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_roundtrips() {
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(
+            SimTime::from_secs(1) + SimDuration::from_millis(500),
+            SimTime::from_micros(1_500_000)
+        );
+    }
+
+    #[test]
+    fn time_subtraction() {
+        let a = SimTime::from_secs(5);
+        let b = SimTime::from_secs(3);
+        assert_eq!(a - b, SimDuration::from_secs(2));
+        assert_eq!(b.saturating_since(a), SimDuration::ZERO);
+        assert_eq!(a.checked_since(b), Some(SimDuration::from_secs(2)));
+        assert_eq!(b.checked_since(a), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn time_subtraction_underflow_panics() {
+        let _ = SimTime::from_secs(1) - SimTime::from_secs(2);
+    }
+
+    #[test]
+    fn duration_display() {
+        assert_eq!(SimDuration::from_micros(7).to_string(), "7us");
+        assert_eq!(SimDuration::from_micros(2_500).to_string(), "2.500ms");
+        assert_eq!(SimDuration::from_millis(1_500).to_string(), "1.500s");
+    }
+
+    #[test]
+    fn rate_due_times_do_not_drift() {
+        // 30000 units at 44100/s must land exactly where rational arithmetic
+        // says, not where repeated float addition would.
+        let r = Rate::per_second(44_100);
+        let start = SimTime::ZERO;
+        let t = r.due_time(start, 44_100);
+        assert_eq!(t, SimTime::from_secs(1));
+        let t = r.due_time(start, 441_000);
+        assert_eq!(t, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn rate_units_in() {
+        let r = Rate::per_second(25);
+        assert_eq!(r.units_in(SimDuration::from_secs(2)), 50);
+        assert_eq!(r.units_in(SimDuration::from_millis(40)), 1);
+        assert_eq!(r.units_in(SimDuration::from_millis(39)), 0);
+    }
+
+    #[test]
+    fn rate_scaling() {
+        let r = Rate::per_second(25).scaled(1, 2);
+        assert_eq!(r.units_in(SimDuration::from_secs(2)), 25);
+    }
+
+    #[test]
+    fn bandwidth_transmission_time() {
+        // 1250 bytes = 10_000 bits at 10 Mb/s = 1 ms.
+        let bw = Bandwidth::mbps(10);
+        assert_eq!(
+            bw.transmission_time(1250),
+            SimDuration::from_millis(1)
+        );
+        // Rounds up to a whole microsecond.
+        assert_eq!(
+            Bandwidth::mbps(1).transmission_time(1),
+            SimDuration::from_micros(8)
+        );
+    }
+
+    #[test]
+    fn rate_interval() {
+        assert_eq!(
+            Rate::per_second(25).interval(),
+            SimDuration::from_micros(40_000)
+        );
+    }
+}

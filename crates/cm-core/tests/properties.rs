@@ -1,0 +1,145 @@
+//! Property-based tests for the cm-core invariants that the rest of the
+//! stack leans on: rate arithmetic must be monotone and drift-free, QoS
+//! negotiation must be sound (never contract below the floor, never above
+//! the preference), and the weaken/strengthen lattice operations must obey
+//! lattice laws.
+
+use cm_core::qos::{ErrorRate, QosParams, QosTolerance};
+use cm_core::time::{Bandwidth, Rate, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_qos() -> impl Strategy<Value = QosParams> {
+    (
+        0u64..=200_000_000,
+        0u64..=10_000_000,
+        0u64..=1_000_000,
+        0u64..=1_000_000_000,
+        0u64..=1_000_000_000,
+    )
+        .prop_map(|(thr, delay, jitter, per, ber)| QosParams {
+            throughput: Bandwidth::bps(thr),
+            delay: SimDuration::from_micros(delay),
+            jitter: SimDuration::from_micros(jitter),
+            packet_error_rate: ErrorRate::from_ppb(per),
+            bit_error_rate: ErrorRate::from_ppb(ber),
+        })
+}
+
+proptest! {
+    // ---------- Rate arithmetic ----------
+
+    #[test]
+    fn due_times_are_monotone(units in 1u64..100_000, per_ms in 1u64..100_000,
+                              n in 0u64..1_000_000) {
+        let r = Rate::new(units, SimDuration::from_millis(per_ms));
+        let t0 = r.due_time(SimTime::ZERO, n);
+        let t1 = r.due_time(SimTime::ZERO, n + 1);
+        prop_assert!(t1 >= t0);
+    }
+
+    #[test]
+    fn due_time_roundtrips_with_units_in(units in 1u64..10_000, n in 0u64..100_000) {
+        // If unit n is due at time t, then by time t the flow owes at least
+        // n units and fewer than n+2 (truncation slack of one microsecond).
+        let r = Rate::per_second(units);
+        let t = r.due_time(SimTime::ZERO, n);
+        let owed = r.units_in(t.saturating_since(SimTime::ZERO));
+        prop_assert!(owed <= n + 1, "owed {owed} for n {n}");
+        // One more interval strictly passes unit n.
+        let t2 = r.due_time(SimTime::ZERO, n + 1) + SimDuration::from_micros(1);
+        let owed2 = r.units_in(t2.saturating_since(SimTime::ZERO));
+        prop_assert!(owed2 >= n + 1, "owed2 {owed2} for n {n}");
+    }
+
+    #[test]
+    fn no_cumulative_drift(units in 1u64..=60, k in 1u64..=600) {
+        // Scheduling unit k directly equals accumulating k single intervals
+        // in exact arithmetic: |due(k) - k*per/units| < 1us.
+        let r = Rate::per_second(units);
+        let direct = r.due_time(SimTime::ZERO, k).as_micros();
+        let exact = (k as u128 * 1_000_000u128) / units as u128;
+        prop_assert!((direct as u128) == exact);
+    }
+
+    // ---------- Bandwidth ----------
+
+    #[test]
+    fn transmission_time_is_additive_upper(bw in 1u64..1_000_000_000, a in 0usize..100_000, b in 0usize..100_000) {
+        // Serialising a+b bytes never takes longer than serialising a then b
+        // (ceil rounding can only help the combined case).
+        let bw = Bandwidth::bps(bw);
+        let ab = bw.transmission_time(a + b);
+        let sum = bw.transmission_time(a) + bw.transmission_time(b);
+        prop_assert!(ab <= sum);
+    }
+
+    // ---------- QoS lattice ----------
+
+    #[test]
+    fn weaken_is_commutative_and_idempotent(a in arb_qos(), b in arb_qos()) {
+        prop_assert_eq!(a.weaken_to(&b), b.weaken_to(&a));
+        prop_assert_eq!(a.weaken_to(&a), a);
+    }
+
+    #[test]
+    fn weaken_result_is_satisfied_by_both(a in arb_qos(), b in arb_qos()) {
+        let w = a.weaken_to(&b);
+        prop_assert!(a.satisfies(&w));
+        prop_assert!(b.satisfies(&w));
+    }
+
+    #[test]
+    fn strengthen_result_satisfies_both(a in arb_qos(), b in arb_qos()) {
+        let s = a.strengthen_to(&b);
+        prop_assert!(s.satisfies(&a));
+        prop_assert!(s.satisfies(&b));
+    }
+
+    #[test]
+    fn absorption_laws(a in arb_qos(), b in arb_qos()) {
+        prop_assert_eq!(a.weaken_to(&a.strengthen_to(&b)), a);
+        prop_assert_eq!(a.strengthen_to(&a.weaken_to(&b)), a);
+    }
+
+    // ---------- Negotiation soundness ----------
+
+    #[test]
+    fn negotiation_never_exceeds_preference_nor_undershoots_floor(
+        pref in arb_qos(), worst_delta in arb_qos(), offer in arb_qos()
+    ) {
+        // Build a well-formed tolerance: worst = pref weakened by delta.
+        let tol = QosTolerance { preferred: pref, worst: pref.weaken_to(&worst_delta) };
+        prop_assert!(tol.is_well_formed());
+        match tol.negotiate(&offer) {
+            Ok(agreed) => {
+                // Contract is above the floor and not above the preference.
+                prop_assert!(agreed.satisfies(&tol.worst));
+                prop_assert!(tol.preferred.satisfies(&agreed));
+                // And the provider can actually carry it.
+                prop_assert!(offer.satisfies(&agreed));
+            }
+            Err(violations) => {
+                prop_assert!(!violations.is_empty());
+                // Rejection is justified: the offer genuinely misses the floor.
+                prop_assert!(!offer.satisfies(&tol.worst));
+            }
+        }
+    }
+
+    #[test]
+    fn violations_agree_with_satisfies(a in arb_qos(), c in arb_qos()) {
+        prop_assert_eq!(a.violations_of(&c).is_empty(), a.satisfies(&c));
+    }
+
+    // ---------- ErrorRate ----------
+
+    #[test]
+    fn observed_rate_bounded(errors in 0u64..1_000_000, extra in 0u64..1_000_000) {
+        let total = errors + extra;
+        let r = ErrorRate::observed(errors, total);
+        prop_assert!(r <= ErrorRate::ONE);
+        if errors == 0 {
+            prop_assert_eq!(r, ErrorRate::ZERO);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Stored-media models: clips with frame counts, logical rates, CBR/VBR
+//! size processes and embedded event marks.
+//!
+//! Every OSDU of a clip is a logical unit (a video frame, an audio sample
+//! block, a caption — §3.7). VBR sizes come from a truncated normal (the
+//! paper notes CM "data can be variable bit rate encoded" and still must
+//! yield one logical unit per period).
+
+use cm_core::media::MediaProfile;
+use cm_core::osdu::Payload;
+use cm_core::rng::DetRng;
+use cm_core::time::Rate;
+use std::collections::HashMap;
+
+/// Size process for the units of a clip.
+#[derive(Debug, Clone)]
+pub enum SizeModel {
+    /// Constant bit rate: every unit is exactly this many bytes.
+    Cbr(usize),
+    /// Variable bit rate: truncated normal over `[min, max]`.
+    Vbr {
+        /// Mean unit size.
+        mean: usize,
+        /// Standard deviation.
+        std_dev: usize,
+        /// Smallest unit emitted.
+        min: usize,
+        /// Largest unit emitted (must fit `max_osdu_size`).
+        max: usize,
+    },
+}
+
+impl SizeModel {
+    fn sample(&self, rng: &mut DetRng) -> usize {
+        match self {
+            SizeModel::Cbr(n) => *n,
+            SizeModel::Vbr {
+                mean,
+                std_dev,
+                min,
+                max,
+            } => rng.normal_clamped(*mean as f64, *std_dev as f64, *min as f64, *max as f64)
+                as usize,
+        }
+    }
+}
+
+/// A stored clip: the unit generator a storage server plays from.
+#[derive(Debug, Clone)]
+pub struct StoredClip {
+    /// Total logical units in the clip.
+    pub frames: u64,
+    /// The media's logical rate (matches the VC's contracted rate).
+    pub rate: Rate,
+    /// Unit size process.
+    pub size_model: SizeModel,
+    /// Event marks embedded at specific unit indices (§6.3.4 — e.g. an
+    /// encoding change signalled in the data stream).
+    pub events: HashMap<u64, u64>,
+    /// Seed for the size process.
+    pub seed: u64,
+}
+
+impl StoredClip {
+    /// A CBR clip matching a media profile, `secs` seconds long.
+    pub fn cbr_for(profile: &MediaProfile, secs: u64) -> StoredClip {
+        StoredClip {
+            frames: profile.osdu_rate.units_in(cm_core::time::SimDuration::from_secs(secs)),
+            rate: profile.osdu_rate,
+            size_model: SizeModel::Cbr(profile.nominal_osdu_size),
+            events: HashMap::new(),
+            seed: 1,
+        }
+    }
+
+    /// A VBR clip matching a media profile, `secs` seconds long, with the
+    /// profile's nominal size as mean and ±50% spread.
+    pub fn vbr_for(profile: &MediaProfile, secs: u64, seed: u64) -> StoredClip {
+        let mean = profile.nominal_osdu_size;
+        StoredClip {
+            frames: profile.osdu_rate.units_in(cm_core::time::SimDuration::from_secs(secs)),
+            rate: profile.osdu_rate,
+            size_model: SizeModel::Vbr {
+                mean,
+                std_dev: mean / 4,
+                min: mean / 2,
+                max: profile.max_osdu_size.min(mean * 2),
+            },
+            events: HashMap::new(),
+            seed,
+        }
+    }
+
+    /// Add an event mark at unit `index`.
+    pub fn with_event(mut self, index: u64, pattern: u64) -> StoredClip {
+        self.events.insert(index, pattern);
+        self
+    }
+
+    /// Instantiate the unit generator.
+    pub fn reader(&self) -> ClipReader {
+        ClipReader {
+            clip: self.clone(),
+            rng: DetRng::from_seed(self.seed),
+            pos: 0,
+        }
+    }
+}
+
+/// Sequential reader over a clip with seek support.
+#[derive(Debug, Clone)]
+pub struct ClipReader {
+    clip: StoredClip,
+    rng: DetRng,
+    pos: u64,
+}
+
+impl ClipReader {
+    /// The next unit index to be produced.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Remaining units.
+    pub fn remaining(&self) -> u64 {
+        self.clip.frames.saturating_sub(self.pos)
+    }
+
+    /// True when the clip is exhausted.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.clip.frames
+    }
+
+    /// Jump to unit `index` (fast-forward / rewind; §6.2.1's stop + seek).
+    pub fn seek(&mut self, index: u64) {
+        self.pos = index.min(self.clip.frames);
+    }
+
+    /// Produce the next unit: `(payload, event_mark)`, or `None` at end.
+    pub fn next_unit(&mut self) -> Option<(Payload, Option<u64>)> {
+        if self.at_end() {
+            return None;
+        }
+        let idx = self.pos;
+        self.pos += 1;
+        let size = self.clip.size_model.sample(&mut self.rng);
+        let event = self.clip.events.get(&idx).copied();
+        Some((Payload::synthetic(idx, size), event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_clip_shape() {
+        let clip = StoredClip::cbr_for(&MediaProfile::audio_telephone(), 10);
+        assert_eq!(clip.frames, 500);
+        let mut r = clip.reader();
+        let (p, e) = r.next_unit().expect("unit");
+        assert_eq!(p.len(), 80);
+        assert_eq!(e, None);
+        assert_eq!(r.position(), 1);
+    }
+
+    #[test]
+    fn vbr_sizes_bounded_and_deterministic() {
+        let clip = StoredClip::vbr_for(&MediaProfile::video_mono(), 4, 7);
+        let mut a = clip.reader();
+        let mut b = clip.reader();
+        let mut total = 0usize;
+        for _ in 0..clip.frames {
+            let (pa, _) = a.next_unit().expect("a");
+            let (pb, _) = b.next_unit().expect("b");
+            assert_eq!(pa.len(), pb.len(), "same seed, same sizes");
+            assert!(pa.len() >= 4_000 && pa.len() <= 16_000);
+            total += pa.len();
+        }
+        let mean = total / clip.frames as usize;
+        assert!((6_000..=10_000).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn events_surface_at_their_index() {
+        let clip = StoredClip::cbr_for(&MediaProfile::video_mono(), 1).with_event(5, 0xAB);
+        let mut r = clip.reader();
+        for i in 0..clip.frames {
+            let (_, e) = r.next_unit().expect("unit");
+            assert_eq!(e, (i == 5).then_some(0xAB));
+        }
+        assert!(r.at_end());
+        assert!(r.next_unit().is_none());
+    }
+
+    #[test]
+    fn seek_repositions() {
+        let clip = StoredClip::cbr_for(&MediaProfile::audio_telephone(), 2);
+        let mut r = clip.reader();
+        r.next_unit();
+        r.seek(50);
+        let (p, _) = r.next_unit().expect("unit");
+        assert_eq!(p.tag(), Some(50));
+        r.seek(10_000);
+        assert!(r.at_end());
+    }
+}

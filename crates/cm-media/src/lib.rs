@@ -1,0 +1,19 @@
+//! # cm-media — media workloads for the CM transport & orchestration stack
+//!
+//! Synthetic but faithful stand-ins for the paper's media devices (§2.1):
+//! stored clips with CBR/VBR unit-size processes and embedded event marks,
+//! storage-server source actors (eager, throttled, live), playout sinks
+//! paced on their node's local clock, and the [`sink::SkewMeter`] that
+//! turns presentation logs into the lip-sync skew series the experiments
+//! report.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clip;
+pub mod sink;
+pub mod source;
+
+pub use clip::{ClipReader, SizeModel, StoredClip};
+pub use sink::{PlayoutSink, Presented, SinkDriver, SkewMeter};
+pub use source::{LiveSource, SourceDriver, StoredSource, ThrottledSource};

@@ -1,0 +1,290 @@
+//! Media sink actors and synchronisation metering.
+//!
+//! [`PlayoutSink`] models the "sink application thread": a playout device
+//! ticking at the media rate on its node's *local* clock, presenting one
+//! logical unit per tick. It records every presentation `(global time,
+//! seq)` and counts underruns (ticks with no unit available). The
+//! [`SkewMeter`] turns two or more presentation logs into the inter-stream
+//! skew series that the lip-sync experiments report (§3.6).
+
+use cm_core::address::{OrchSessionId, VcId};
+use cm_core::stats::SampleSet;
+use cm_core::time::{Rate, SimDuration, SimTime};
+use cm_orchestration::OrchAppHandler;
+use cm_transport::TransportService;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// One presentation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Presented {
+    /// Global simulation time of presentation.
+    pub at: SimTime,
+    /// The unit's OSDU sequence number.
+    pub seq: u64,
+    /// The media unit index (synthetic payload tag), when available —
+    /// unlike `seq` this survives seeks.
+    pub tag: Option<u64>,
+}
+
+/// A playout device consuming one VC.
+pub struct PlayoutSink {
+    svc: TransportService,
+    vc: VcId,
+    rate: Rate,
+    playing: Cell<bool>,
+    /// Presentation log.
+    pub log: RefCell<Vec<Presented>>,
+    /// Ticks that found no unit ready.
+    pub underruns: Cell<u64>,
+    /// Units presented (lifetime).
+    pub presented: Cell<u64>,
+    /// Units still owed by catch-up skipping (set by `Orch.Delayed`).
+    pub catchup: Cell<u64>,
+    /// Units skipped while catching up.
+    pub skipped: Cell<u64>,
+}
+
+impl PlayoutSink {
+    /// Create a playout sink for `vc` presenting at `rate` (on the sink
+    /// node's local clock).
+    pub fn new(svc: TransportService, vc: VcId, rate: Rate) -> Rc<PlayoutSink> {
+        Rc::new(PlayoutSink {
+            svc,
+            vc,
+            rate,
+            playing: Cell::new(false),
+            log: RefCell::new(Vec::new()),
+            underruns: Cell::new(0),
+            presented: Cell::new(0),
+            catchup: Cell::new(0),
+            skipped: Cell::new(0),
+        })
+    }
+
+    /// Begin the playout ticker.
+    pub fn play(self: &Rc<Self>) {
+        if self.playing.replace(true) {
+            return;
+        }
+        self.tick();
+    }
+
+    /// Pause the ticker (buffered media stays put).
+    pub fn pause(&self) {
+        self.playing.set(false);
+    }
+
+    /// The media position (seq of the last presented unit), if any.
+    pub fn position(&self) -> Option<u64> {
+        self.log.borrow().last().map(|p| p.seq)
+    }
+
+    fn tick(self: &Rc<Self>) {
+        if !self.playing.get() {
+            return;
+        }
+        // While catching up (after Orch.Delayed, §6.3.3) skip one extra
+        // unit per tick — the playout-device equivalent of "requesting
+        // more processor resources" is to drop frames locally.
+        if self.catchup.get() > 0 {
+            if let Ok(Some(_)) = self.svc.read_osdu(self.vc) {
+                self.skipped.set(self.skipped.get() + 1);
+                self.catchup.set(self.catchup.get() - 1);
+            }
+        }
+        match self.svc.read_osdu(self.vc) {
+            Ok(Some(osdu)) => {
+                self.presented.set(self.presented.get() + 1);
+                self.log.borrow_mut().push(Presented {
+                    at: self.svc.now(),
+                    seq: osdu.seq(),
+                    tag: osdu.payload.tag(),
+                });
+            }
+            Ok(None) => {
+                self.underruns.set(self.underruns.get() + 1);
+            }
+            Err(_) => {
+                self.playing.set(false);
+                return;
+            }
+        }
+        let me = self.clone();
+        let clock = self.svc.network().clock(self.svc.node());
+        let global = clock.global_duration(self.rate.interval());
+        self.svc
+            .network()
+            .engine()
+            .schedule_in(global, move |_| me.tick());
+    }
+}
+
+impl OrchAppHandler for PlayoutSink {
+    fn orch_prime_indication(&self, _session: OrchSessionId, _vc: VcId) -> bool {
+        true
+    }
+    fn orch_stop_indication(&self, _session: OrchSessionId, _vc: VcId) {
+        self.pause();
+    }
+    fn orch_delayed_indication(&self, _session: OrchSessionId, _vc: VcId, behind: u64) -> bool {
+        self.catchup.set(self.catchup.get() + behind);
+        true
+    }
+}
+
+/// Register a [`PlayoutSink`] with the LLO so `Orch.Start` begins playout
+/// and `Orch.Stop` pauses it.
+pub struct SinkDriver;
+
+impl SinkDriver {
+    /// Register `sink` as the app handler for its VC.
+    pub fn register(llo: &cm_orchestration::Llo, vc: VcId, sink: &Rc<PlayoutSink>) {
+        struct Adapter {
+            sink: Rc<PlayoutSink>,
+        }
+        impl OrchAppHandler for Adapter {
+            fn orch_start_indication(&self, _s: OrchSessionId, _v: VcId) {
+                self.sink.play();
+            }
+            fn orch_stop_indication(&self, _s: OrchSessionId, _v: VcId) {
+                self.sink.pause();
+            }
+            fn orch_delayed_indication(&self, s: OrchSessionId, v: VcId, behind: u64) -> bool {
+                self.sink.orch_delayed_indication(s, v, behind)
+            }
+        }
+        llo.register_app(vc, Rc::new(Adapter { sink: sink.clone() }));
+    }
+}
+
+/// Inter-stream skew measurement over presentation logs (§3.6's lip-sync
+/// metric).
+pub struct SkewMeter {
+    streams: Vec<(Rate, Vec<Presented>)>,
+}
+
+impl SkewMeter {
+    /// Build a meter from `(rate, presentation log)` pairs.
+    pub fn new(streams: Vec<(Rate, Vec<Presented>)>) -> SkewMeter {
+        SkewMeter { streams }
+    }
+
+    /// Media position of one stream at global time `t`: the media time of
+    /// the last unit presented at or before `t` (`None` before the first
+    /// presentation).
+    fn position_at(rate: Rate, log: &[Presented], t: SimTime) -> Option<SimTime> {
+        let idx = log.partition_point(|p| p.at <= t);
+        if idx == 0 {
+            return None;
+        }
+        let seq = log[idx - 1].seq;
+        Some(rate.due_time(SimTime::ZERO, seq))
+    }
+
+    /// The skew (max − min media position) across all streams at time `t`;
+    /// `None` until every stream has presented at least one unit.
+    pub fn skew_at(&self, t: SimTime) -> Option<SimDuration> {
+        let mut lo: Option<SimTime> = None;
+        let mut hi: Option<SimTime> = None;
+        for (rate, log) in &self.streams {
+            let p = Self::position_at(*rate, log, t)?;
+            lo = Some(lo.map_or(p, |l| l.min(p)));
+            hi = Some(hi.map_or(p, |h| h.max(p)));
+        }
+        Some(hi?.saturating_since(lo?))
+    }
+
+    /// Sample the skew every `step` from `from` to `to`; returns
+    /// `(times, skews)` plus a [`SampleSet`] over the skew in
+    /// microseconds.
+    pub fn series(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        step: SimDuration,
+    ) -> (Vec<(SimTime, SimDuration)>, SampleSet) {
+        let mut out = Vec::new();
+        let mut stats = SampleSet::new();
+        let mut t = from;
+        while t <= to {
+            if let Some(skew) = self.skew_at(t) {
+                out.push((t, skew));
+                stats.push_duration(skew);
+            }
+            t += step;
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_at(rate: Rate, times_seqs: &[(u64, u64)]) -> (Rate, Vec<Presented>) {
+        (
+            rate,
+            times_seqs
+                .iter()
+                .map(|&(ms, seq)| Presented {
+                    at: SimTime::from_millis(ms),
+                    seq,
+                    tag: Some(seq),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn skew_zero_for_identical_progress() {
+        let a = log_at(Rate::per_second(10), &[(0, 0), (100, 1), (200, 2)]);
+        let b = log_at(Rate::per_second(10), &[(0, 0), (100, 1), (200, 2)]);
+        let m = SkewMeter::new(vec![a, b]);
+        assert_eq!(m.skew_at(SimTime::from_millis(250)), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn skew_reflects_lag_in_media_time() {
+        // Stream B is one unit (100 ms of media) behind at t=200ms.
+        let a = log_at(Rate::per_second(10), &[(0, 0), (100, 1), (200, 2)]);
+        let b = log_at(Rate::per_second(10), &[(0, 0), (110, 1)]);
+        let m = SkewMeter::new(vec![a, b]);
+        assert_eq!(
+            m.skew_at(SimTime::from_millis(200)),
+            Some(SimDuration::from_millis(100))
+        );
+    }
+
+    #[test]
+    fn skew_handles_different_rates() {
+        // 50/s audio seq 10 = 200 ms position; 25/s video seq 5 = 200 ms.
+        let a = log_at(Rate::per_second(50), &[(0, 0), (210, 10)]);
+        let v = log_at(Rate::per_second(25), &[(0, 0), (205, 5)]);
+        let m = SkewMeter::new(vec![a, v]);
+        assert_eq!(m.skew_at(SimTime::from_millis(220)), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn no_skew_before_both_present() {
+        let a = log_at(Rate::per_second(10), &[(100, 0)]);
+        let b = log_at(Rate::per_second(10), &[(300, 0)]);
+        let m = SkewMeter::new(vec![a, b]);
+        assert_eq!(m.skew_at(SimTime::from_millis(200)), None);
+        assert!(m.skew_at(SimTime::from_millis(300)).is_some());
+    }
+
+    #[test]
+    fn series_samples_inclusive() {
+        let a = log_at(Rate::per_second(10), &[(0, 0), (100, 1)]);
+        let b = log_at(Rate::per_second(10), &[(0, 0), (100, 1)]);
+        let m = SkewMeter::new(vec![a, b]);
+        let (pts, mut stats) = m.series(
+            SimTime::ZERO,
+            SimTime::from_millis(200),
+            SimDuration::from_millis(50),
+        );
+        assert_eq!(pts.len(), 5);
+        assert_eq!(stats.max(), 0.0);
+    }
+}

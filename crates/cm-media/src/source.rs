@@ -1,0 +1,362 @@
+//! Media source actors: the "source application threads" of the paper.
+//!
+//! [`StoredSource`] models a storage server playing a [`ClipReader`]
+//! (crate::clip): on `Orch.Prime.indication` it starts filling the send
+//! buffer and keeps it topped up (a disk can stay ahead of the network);
+//! the *transmission* rate is the transport protocol's paced rate, so the
+//! source node's clock skew shows up on the wire exactly as in the real
+//! system. [`ThrottledSource`] produces at a limited rate instead — the
+//! "application thread not running sufficiently fast" case that
+//! `Orch.Delayed` exists for (§6.3.3). [`LiveSource`] free-runs from the
+//! moment it is switched on (§3.6: live media cannot be started, stopped
+//! or re-paced).
+
+use crate::clip::ClipReader;
+use cm_core::address::{OrchSessionId, VcId};
+use cm_core::time::{Rate, SimDuration};
+use cm_orchestration::OrchAppHandler;
+use cm_transport::TransportService;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// A stored-media source driving one VC.
+pub struct StoredSource {
+    svc: TransportService,
+    vc: VcId,
+    reader: RefCell<ClipReader>,
+    producing: Cell<bool>,
+    parked: Cell<bool>,
+    /// Units written over the actor's lifetime.
+    pub written: Cell<u64>,
+    /// How often the actor answers `Orch.Delayed` with "give up".
+    give_up_on_delay: Cell<bool>,
+}
+
+impl StoredSource {
+    /// Create a source for `vc` playing `reader`.
+    pub fn new(svc: TransportService, vc: VcId, reader: ClipReader) -> Rc<StoredSource> {
+        Rc::new(StoredSource {
+            svc,
+            vc,
+            reader: RefCell::new(reader),
+            producing: Cell::new(false),
+            parked: Cell::new(false),
+            written: Cell::new(0),
+            give_up_on_delay: Cell::new(false),
+        })
+    }
+
+    /// Make the source answer `Orch.Delayed` with a denial.
+    pub fn set_give_up_on_delay(&self, b: bool) {
+        self.give_up_on_delay.set(b);
+    }
+
+    /// Begin producing without orchestration (plain transport use).
+    pub fn start_producing(self: &Rc<Self>) {
+        self.producing.set(true);
+        self.fill();
+    }
+
+    /// Stop producing (the clip position is retained).
+    pub fn stop_producing(&self) {
+        self.producing.set(false);
+    }
+
+    /// Seek the clip (legal while stopped; combine with buffer flushes for
+    /// the §6.2.1 stop-seek-restart pattern).
+    pub fn seek(&self, index: u64) {
+        self.reader.borrow_mut().seek(index);
+    }
+
+    /// The clip position (next unit to write).
+    pub fn position(&self) -> u64 {
+        self.reader.borrow().position()
+    }
+
+    /// Top up the send buffer until it refuses or the clip ends.
+    fn fill(self: &Rc<Self>) {
+        if !self.producing.get() {
+            return;
+        }
+        loop {
+            let unit = self.reader.borrow_mut().next_unit();
+            let Some((payload, event)) = unit else {
+                self.producing.set(false);
+                return;
+            };
+            match self.svc.write_osdu(self.vc, payload, event) {
+                Ok(true) => {
+                    self.written.set(self.written.get() + 1);
+                }
+                Ok(false) => {
+                    // Buffer full: rewind the reader one unit and park.
+                    let pos = self.reader.borrow().position();
+                    self.reader.borrow_mut().seek(pos - 1);
+                    self.park();
+                    return;
+                }
+                Err(_) => {
+                    self.producing.set(false);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn park(self: &Rc<Self>) {
+        if self.parked.get() {
+            return;
+        }
+        let Ok(buf) = self.svc.send_handle(self.vc) else {
+            return;
+        };
+        self.parked.set(true);
+        let me = self.clone();
+        let engine = self.svc.network().engine().clone();
+        buf.park_producer(self.svc.now(), move || {
+            let me2 = me.clone();
+            engine.schedule_in(SimDuration::ZERO, move |_| {
+                me2.parked.set(false);
+                me2.fill();
+            });
+        });
+    }
+}
+
+impl OrchAppHandler for StoredSource {
+    fn orch_prime_indication(&self, _session: OrchSessionId, _vc: VcId) -> bool {
+        // `&self` here, but fill() needs Rc — run via a queued start.
+        self.producing.set(true);
+        true
+    }
+
+    fn orch_start_indication(&self, _session: OrchSessionId, _vc: VcId) {
+        self.producing.set(true);
+    }
+
+    fn orch_stop_indication(&self, _session: OrchSessionId, _vc: VcId) {
+        // Freeze production too: buffered data is retained for a primed
+        // restart, and a subsequent seek + flush must not race against
+        // stale refills (§6.2.1).
+        self.stop_producing();
+    }
+
+    fn orch_delayed_indication(&self, _session: OrchSessionId, _vc: VcId, _behind: u64) -> bool {
+        !self.give_up_on_delay.get()
+    }
+}
+
+/// Wire a [`StoredSource`] into the orchestration layer: registers it as
+/// the app handler for its VC and arranges that prime/start indications
+/// actually kick the fill loop.
+pub struct SourceDriver;
+
+impl SourceDriver {
+    /// Register `source` with `llo` for its VC.
+    pub fn register(llo: &cm_orchestration::Llo, vc: VcId, source: &Rc<StoredSource>) {
+        struct Adapter {
+            source: Rc<StoredSource>,
+        }
+        impl OrchAppHandler for Adapter {
+            fn orch_prime_indication(&self, s: OrchSessionId, v: VcId) -> bool {
+                let ok = self.source.orch_prime_indication(s, v);
+                if ok {
+                    self.source.fill();
+                }
+                ok
+            }
+            fn orch_start_indication(&self, s: OrchSessionId, v: VcId) {
+                self.source.orch_start_indication(s, v);
+                self.source.fill();
+            }
+            fn orch_stop_indication(&self, s: OrchSessionId, v: VcId) {
+                self.source.orch_stop_indication(s, v);
+            }
+            fn orch_delayed_indication(&self, s: OrchSessionId, v: VcId, b: u64) -> bool {
+                self.source.orch_delayed_indication(s, v, b)
+            }
+        }
+        llo.register_app(
+            vc,
+            Rc::new(Adapter {
+                source: source.clone(),
+            }),
+        );
+    }
+}
+
+/// A source whose application thread is rate-limited (slower than the
+/// media rate): models the `Orch.Delayed` scenario of §6.3.3.
+pub struct ThrottledSource {
+    svc: TransportService,
+    vc: VcId,
+    reader: RefCell<ClipReader>,
+    /// The (slow) production rate.
+    rate: Cell<Rate>,
+    running: Cell<bool>,
+    /// Units written.
+    pub written: Cell<u64>,
+    /// Whether a `Orch.Delayed` indication arrived.
+    pub delayed_seen: Cell<u64>,
+    /// On `Orch.Delayed`, speed up to the full media rate ("requesting
+    /// more processor resources", §6.3.3).
+    speed_up_on_delay: Cell<bool>,
+    /// The rate to switch to when speeding up.
+    full_rate: Cell<Option<Rate>>,
+}
+
+impl ThrottledSource {
+    /// Create a throttled source producing at `rate`.
+    pub fn new(
+        svc: TransportService,
+        vc: VcId,
+        reader: ClipReader,
+        rate: Rate,
+    ) -> Rc<ThrottledSource> {
+        Rc::new(ThrottledSource {
+            svc,
+            vc,
+            reader: RefCell::new(reader),
+            rate: Cell::new(rate),
+            running: Cell::new(false),
+            written: Cell::new(0),
+            delayed_seen: Cell::new(0),
+            speed_up_on_delay: Cell::new(false),
+            full_rate: Cell::new(None),
+        })
+    }
+
+    /// React to `Orch.Delayed` by speeding up to `full_rate` ("requesting
+    /// more processor resources", §6.3.3).
+    pub fn speed_up_on_delay(&self, full_rate: Rate) {
+        self.speed_up_on_delay.set(true);
+        self.full_rate.set(Some(full_rate));
+    }
+
+    /// Start the production ticker.
+    pub fn start(self: &Rc<Self>) {
+        if self.running.replace(true) {
+            return;
+        }
+        self.tick();
+    }
+
+    /// Stop producing.
+    pub fn stop(&self) {
+        self.running.set(false);
+    }
+
+    fn tick(self: &Rc<Self>) {
+        if !self.running.get() {
+            return;
+        }
+        let unit = self.reader.borrow_mut().next_unit();
+        if let Some((payload, event)) = unit {
+            // A throttled producer that meets a full buffer just skips its
+            // turn (it is slow, not parked).
+            if let Ok(true) = self.svc.write_osdu(self.vc, payload, event) {
+                self.written.set(self.written.get() + 1);
+            } else {
+                let pos = self.reader.borrow().position();
+                self.reader.borrow_mut().seek(pos - 1);
+            }
+        } else {
+            self.running.set(false);
+            return;
+        }
+        let me = self.clone();
+        let interval = self.rate.get().interval();
+        self.svc
+            .network()
+            .engine()
+            .schedule_in(interval, move |_| me.tick());
+    }
+}
+
+impl OrchAppHandler for ThrottledSource {
+    fn orch_delayed_indication(&self, _session: OrchSessionId, _vc: VcId, _behind: u64) -> bool {
+        self.delayed_seen.set(self.delayed_seen.get() + 1);
+        if self.speed_up_on_delay.get() {
+            if let Some(r) = self.full_rate.get() {
+                self.rate.set(r);
+            }
+        }
+        true
+    }
+}
+
+/// A live source (camera/microphone): free-runs at its node's local clock
+/// from `switch_on`; cannot be primed, paused or re-paced (§3.6).
+pub struct LiveSource {
+    svc: TransportService,
+    vc: VcId,
+    rate: Rate,
+    unit_size: usize,
+    next_tag: Cell<u64>,
+    on: Cell<bool>,
+    /// Units captured (written or attempted).
+    pub captured: Cell<u64>,
+    /// Units discarded because the buffer was full (live media waits for
+    /// nobody).
+    pub overrun: Cell<u64>,
+}
+
+impl LiveSource {
+    /// Create a live source for `vc` at `rate` with fixed unit size.
+    pub fn new(svc: TransportService, vc: VcId, rate: Rate, unit_size: usize) -> Rc<LiveSource> {
+        Rc::new(LiveSource {
+            svc,
+            vc,
+            rate,
+            unit_size,
+            next_tag: Cell::new(0),
+            on: Cell::new(false),
+            captured: Cell::new(0),
+            overrun: Cell::new(0),
+        })
+    }
+
+    /// Switch the camera on.
+    pub fn switch_on(self: &Rc<Self>) {
+        if self.on.replace(true) {
+            return;
+        }
+        self.capture_tick();
+    }
+
+    /// Switch it off.
+    pub fn switch_off(&self) {
+        self.on.set(false);
+    }
+
+    fn capture_tick(self: &Rc<Self>) {
+        if !self.on.get() {
+            return;
+        }
+        let tag = self.next_tag.get();
+        self.next_tag.set(tag + 1);
+        self.captured.set(self.captured.get() + 1);
+        match self.svc.write_osdu(
+            self.vc,
+            cm_core::osdu::Payload::synthetic(tag, self.unit_size),
+            None,
+        ) {
+            Ok(true) => {}
+            Ok(false) => self.overrun.set(self.overrun.get() + 1),
+            Err(_) => {
+                self.on.set(false);
+                return;
+            }
+        }
+        // Pace on the *local* clock: the camera's crystal.
+        let me = self.clone();
+        let node = self.svc.node();
+        let clock = self.svc.network().clock(node);
+        let local_interval = self.rate.interval();
+        let global = clock.global_duration(local_interval);
+        self.svc
+            .network()
+            .engine()
+            .schedule_in(global, move |_| me.capture_tick());
+    }
+}

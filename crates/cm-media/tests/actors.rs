@@ -1,0 +1,295 @@
+//! Tests for the media actors: stored sources (eager fill, seek, clip
+//! end), throttled sources (slow production + Orch.Delayed reaction),
+//! live sources (free-running on the local clock, overrun behaviour) and
+//! playout sinks (local-clock pacing, underruns, catch-up).
+
+use cm_core::media::MediaProfile;
+use cm_core::service_class::ServiceClass;
+use cm_core::time::{Rate, SimDuration};
+use cm_media::{LiveSource, PlayoutSink, StoredClip, StoredSource, ThrottledSource};
+use cm_testkit::{Stack, StackConfig};
+
+fn small_stack(skews: Vec<i32>) -> Stack {
+    let mut cfg = StackConfig::default();
+    cfg.testbed.workstations = 1;
+    cfg.testbed.servers = 1;
+    cfg.testbed.clock_skews_ppm = skews;
+    Stack::build(cfg)
+}
+
+#[test]
+fn stored_source_plays_clip_to_the_end() {
+    let stack = small_stack(vec![]);
+    let profile = MediaProfile::audio_telephone();
+    let vc = stack.connect(
+        stack.tb.servers[0],
+        stack.tb.workstations[0],
+        ServiceClass::cm_default(),
+        profile.requirement(),
+    );
+    let clip = StoredClip::cbr_for(&profile, 4); // 200 units
+    let src = StoredSource::new(stack.node(stack.tb.servers[0]).svc.clone(), vc, clip.reader());
+    src.start_producing();
+    let sink = PlayoutSink::new(
+        stack.node(stack.tb.workstations[0]).svc.clone(),
+        vc,
+        profile.osdu_rate,
+    );
+    sink.play();
+    stack.run_for(SimDuration::from_secs(10));
+    assert_eq!(src.written.get(), 200, "whole clip written");
+    assert_eq!(sink.log.borrow().len(), 200, "whole clip presented");
+    assert_eq!(sink.position(), Some(199));
+    // Media unit indices survive end-to-end (payload tags).
+    assert!(sink
+        .log
+        .borrow()
+        .iter()
+        .enumerate()
+        .all(|(i, p)| p.tag == Some(i as u64)));
+}
+
+#[test]
+fn stored_source_seek_skips_media() {
+    let stack = small_stack(vec![]);
+    let profile = MediaProfile::audio_telephone();
+    let vc = stack.connect(
+        stack.tb.servers[0],
+        stack.tb.workstations[0],
+        ServiceClass::cm_default(),
+        profile.requirement(),
+    );
+    let clip = StoredClip::cbr_for(&profile, 60);
+    let src = StoredSource::new(stack.node(stack.tb.servers[0]).svc.clone(), vc, clip.reader());
+    // Seek before starting: play from unit 1000.
+    src.seek(1000);
+    src.start_producing();
+    let sink = PlayoutSink::new(
+        stack.node(stack.tb.workstations[0]).svc.clone(),
+        vc,
+        profile.osdu_rate,
+    );
+    sink.play();
+    stack.run_for(SimDuration::from_secs(2));
+    let first = sink.log.borrow().first().and_then(|p| p.tag);
+    assert_eq!(first, Some(1000));
+}
+
+#[test]
+fn throttled_source_limits_production_rate() {
+    let stack = small_stack(vec![]);
+    let profile = MediaProfile::audio_telephone();
+    let vc = stack.connect(
+        stack.tb.servers[0],
+        stack.tb.workstations[0],
+        ServiceClass::cm_default(),
+        profile.requirement(),
+    );
+    let clip = StoredClip::cbr_for(&profile, 60);
+    let slow = ThrottledSource::new(
+        stack.node(stack.tb.servers[0]).svc.clone(),
+        vc,
+        clip.reader(),
+        profile.osdu_rate.scaled(1, 2), // 25/s instead of 50/s
+    );
+    slow.start();
+    let sink = PlayoutSink::new(
+        stack.node(stack.tb.workstations[0]).svc.clone(),
+        vc,
+        profile.osdu_rate,
+    );
+    sink.play();
+    stack.run_for(SimDuration::from_secs(10));
+    let written = slow.written.get();
+    assert!(
+        (230..=260).contains(&written),
+        "half-rate producer wrote {written} in 10 s"
+    );
+    // The sink could only present what the slow producer supplied.
+    assert!(sink.log.borrow().len() <= written as usize);
+    assert!(sink.underruns.get() > 100, "starvation must show as underruns");
+}
+
+#[test]
+fn live_source_paces_on_its_local_clock() {
+    // Camera node +10000 ppm: captures 1% more units than nominal.
+    let stack = small_stack(vec![0, 10_000]);
+    let profile = MediaProfile::audio_telephone();
+    let vc = stack.connect(
+        stack.tb.servers[0],
+        stack.tb.workstations[0],
+        ServiceClass::cm_default(),
+        profile.requirement(),
+    );
+    let live = LiveSource::new(
+        stack.node(stack.tb.servers[0]).svc.clone(),
+        vc,
+        profile.osdu_rate,
+        profile.nominal_osdu_size,
+    );
+    live.switch_on();
+    stack.run_for(SimDuration::from_secs(100));
+    let captured = live.captured.get();
+    assert!(
+        (5040..=5060).contains(&captured),
+        "+1% clock must capture ~5050 in 100 s, got {captured}"
+    );
+    live.switch_off();
+    let at_off = live.captured.get();
+    stack.run_for(SimDuration::from_secs(2));
+    assert_eq!(live.captured.get(), at_off, "off means off");
+}
+
+#[test]
+fn live_source_drops_on_full_buffer_instead_of_blocking() {
+    // Nobody consumes: the live source keeps capturing and counts
+    // overruns (live media waits for nobody, §3.6).
+    let stack = small_stack(vec![]);
+    let profile = MediaProfile::audio_telephone();
+    let vc = stack.connect(
+        stack.tb.servers[0],
+        stack.tb.workstations[0],
+        ServiceClass::cm_default(),
+        profile.requirement(),
+    );
+    let live = LiveSource::new(
+        stack.node(stack.tb.servers[0]).svc.clone(),
+        vc,
+        profile.osdu_rate,
+        profile.nominal_osdu_size,
+    );
+    live.switch_on();
+    stack.run_for(SimDuration::from_secs(10));
+    assert_eq!(live.captured.get(), 501, "capture never pauses");
+    assert!(
+        live.overrun.get() > 300,
+        "unconsumed stream must overrun, got {}",
+        live.overrun.get()
+    );
+}
+
+#[test]
+fn playout_sink_counts_underruns_when_starved() {
+    let stack = small_stack(vec![]);
+    let profile = MediaProfile::audio_telephone();
+    let vc = stack.connect(
+        stack.tb.servers[0],
+        stack.tb.workstations[0],
+        ServiceClass::cm_default(),
+        profile.requirement(),
+    );
+    // Supply only 1 s of media, play for 5 s.
+    let clip = StoredClip::cbr_for(&profile, 1);
+    let src = StoredSource::new(stack.node(stack.tb.servers[0]).svc.clone(), vc, clip.reader());
+    src.start_producing();
+    let sink = PlayoutSink::new(
+        stack.node(stack.tb.workstations[0]).svc.clone(),
+        vc,
+        profile.osdu_rate,
+    );
+    sink.play();
+    stack.run_for(SimDuration::from_secs(5));
+    assert_eq!(sink.log.borrow().len(), 50);
+    assert!(
+        sink.underruns.get() > 150,
+        "starved sink must record underruns, got {}",
+        sink.underruns.get()
+    );
+}
+
+#[test]
+fn playout_sink_catch_up_skips_units() {
+    let stack = small_stack(vec![]);
+    let profile = MediaProfile::audio_telephone();
+    let vc = stack.connect(
+        stack.tb.servers[0],
+        stack.tb.workstations[0],
+        ServiceClass::cm_default(),
+        profile.requirement(),
+    );
+    let clip = StoredClip::cbr_for(&profile, 30);
+    let src = StoredSource::new(stack.node(stack.tb.servers[0]).svc.clone(), vc, clip.reader());
+    src.start_producing();
+    let sink = PlayoutSink::new(
+        stack.node(stack.tb.workstations[0]).svc.clone(),
+        vc,
+        profile.osdu_rate,
+    );
+    sink.play();
+    stack.run_for(SimDuration::from_secs(5));
+    let before = sink.position().expect("playing");
+    // Simulate an Orch.Delayed of 10 units (the §6.3.3 reaction).
+    use cm_orchestration::OrchAppHandler;
+    sink.orch_delayed_indication(cm_core::address::OrchSessionId(1), vc, 10);
+    stack.run_for(SimDuration::from_secs(2));
+    let after = sink.position().expect("playing");
+    // All ten catch-up skips executed, and the stream kept advancing at
+    // (at least) the supply rate — skips consume supply, so the net
+    // position stays supply-paced once the backlog is gone.
+    assert_eq!(sink.skipped.get(), 10);
+    let advanced = after - before;
+    assert!(
+        (95..=115).contains(&advanced),
+        "position should advance ~2 s of media, got {advanced}"
+    );
+    // Conservation: everything popped was either presented or skipped.
+    let presented = sink.log.borrow().len() as u64;
+    assert_eq!(presented + sink.skipped.get(), after + 1);
+}
+
+#[test]
+fn vbr_clip_respects_max_osdu_size_end_to_end() {
+    let stack = small_stack(vec![]);
+    let profile = MediaProfile::video_mono();
+    let vc = stack.connect(
+        stack.tb.servers[0],
+        stack.tb.workstations[0],
+        ServiceClass::cm_default(),
+        profile.requirement(),
+    );
+    let clip = StoredClip::vbr_for(&profile, 10, 99);
+    let src = StoredSource::new(stack.node(stack.tb.servers[0]).svc.clone(), vc, clip.reader());
+    src.start_producing();
+    let sink = PlayoutSink::new(
+        stack.node(stack.tb.workstations[0]).svc.clone(),
+        vc,
+        profile.osdu_rate,
+    );
+    sink.play();
+    stack.run_for(SimDuration::from_secs(12));
+    // VBR units all arrived (none rejected for size) and in order.
+    assert_eq!(sink.log.borrow().len(), 250);
+}
+
+#[test]
+fn skew_meter_rate_independence() {
+    // Sanity: two streams of different rates presenting the same media
+    // timeline measure zero skew.
+    use cm_media::{Presented, SkewMeter};
+    use cm_core::time::SimTime;
+    let audio: Vec<Presented> = (0..100)
+        .map(|i| Presented {
+            at: SimTime::from_millis(i * 20),
+            seq: i,
+            tag: Some(i),
+        })
+        .collect();
+    let video: Vec<Presented> = (0..50)
+        .map(|i| Presented {
+            at: SimTime::from_millis(i * 40),
+            seq: i,
+            tag: Some(i),
+        })
+        .collect();
+    let meter = SkewMeter::new(vec![
+        (Rate::per_second(50), audio),
+        (Rate::per_second(25), video),
+    ]);
+    for t in [500u64, 1000, 1500] {
+        let skew = meter.skew_at(SimTime::from_millis(t)).expect("skew");
+        assert!(
+            skew <= SimDuration::from_millis(20),
+            "skew {skew} at {t} ms"
+        );
+    }
+}

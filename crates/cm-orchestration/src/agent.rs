@@ -1,0 +1,562 @@
+//! The HLO agent — the policy half of orchestration (paper §5, fig. 6).
+//!
+//! One agent runs at the orchestrating node per session. It drives the LLO
+//! group primitives (prime / start / stop), and runs the continuous
+//! feedback loop of fig. 6: at every interval boundary it computes a
+//! per-VC `target-OSDU#` from the master clock (the orchestrating node's
+//! own clock — the datum of the common-node scheme), issues
+//! `Orch.Regulate.request`s, reads the end-of-interval indications, and
+//! compensates relative drift. When a VC persistently misses targets the
+//! agent diagnoses the bottleneck from the blocking-time statistics
+//! (§6.3.1.2): application threads blocked → protocol throughput too low →
+//! renegotiate QoS; protocol threads blocked → application too slow →
+//! `Orch.Delayed`.
+
+use crate::clock_sync::ClockSync;
+use crate::llo::{Llo, OrchObserver, RegulateIndication};
+use crate::msg::IntervalId;
+use crate::policy::{FailureAction, OrchestrationPolicy};
+use cm_core::address::{OrchSessionId, VcId};
+use cm_core::error::OrchDenyReason;
+use cm_core::qos::QosTolerance;
+use cm_core::time::{Rate, SimDuration, SimTime};
+use cm_transport::VcRole;
+use netsim::EventId;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The bottleneck diagnosis derived from interval blocking times
+/// (§6.3.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bottleneck {
+    /// Everything on target.
+    None,
+    /// Application threads blocked → protocol throughput too low.
+    ProtocolStarved,
+    /// Source protocol blocked on an empty buffer → source application
+    /// producing too slowly.
+    SourceAppSlow,
+    /// Receive buffer full → sink application consuming too slowly.
+    SinkAppSlow,
+}
+
+/// One interval's outcome for one VC, kept for experiments and the
+/// session's observers.
+#[derive(Debug, Clone)]
+pub struct IntervalRecord {
+    /// The interval.
+    pub interval: IntervalId,
+    /// The VC.
+    pub vc: VcId,
+    /// The target that was set (table 6 `target-OSDU#`).
+    pub target: u64,
+    /// Source progress achieved (charged seq).
+    pub source_seq: u64,
+    /// Sink progress achieved (in-order delivery point).
+    pub sink_seq: u64,
+    /// Source drops this interval.
+    pub dropped: u64,
+    /// Sink losses this interval.
+    pub lost: u64,
+    /// The diagnosis for this interval.
+    pub bottleneck: Bottleneck,
+    /// Master-clock time the indication was folded in.
+    pub at_master: SimTime,
+}
+
+/// Escalations the agent performed (visible to tests/experiments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentAction {
+    /// Reported a persistent miss without intervening.
+    Reported(VcId, Bottleneck),
+    /// Requested a QoS upgrade on the VC (protocol-starved).
+    RenegotiatedQos(VcId),
+    /// Sent `Orch.Delayed` to the slow application end.
+    Delayed(VcId, VcRole),
+    /// Stopped the session after an application gave up.
+    StoppedSession,
+}
+
+struct VcCtl {
+    rate: Rate,
+    /// Latest known source charged seq (from indications).
+    last_charged: u64,
+    /// Latest known sink in-order seq.
+    last_sink: u64,
+    /// Consecutive intervals missing the target.
+    misses: u32,
+    /// Pipeline-occupancy setpoint (units between source charge point and
+    /// sink delivery point), captured at the first regulate after start:
+    /// the primed backlog that regulation must preserve, not drain.
+    pipeline_setpoint: Option<u64>,
+}
+
+struct AgentState {
+    vcs: HashMap<VcId, VcCtl>,
+    running: bool,
+    master_start: Option<SimTime>,
+    paused_at: Option<SimTime>,
+    total_paused: SimDuration,
+    next_interval: u64,
+    interval_event: Option<EventId>,
+    history: Vec<IntervalRecord>,
+    actions: Vec<AgentAction>,
+    on_event: Option<Box<dyn Fn(VcId, u64, u64)>>,
+    /// Optional external time reference: the master clock becomes the
+    /// *reference node's* clock, read through the NTP-style offset
+    /// estimate (the §7 no-common-node extension).
+    time_ref: Option<(ClockSync, cm_core::address::NetAddr)>,
+    /// Optional common epoch on the reference timeline (lets independent
+    /// agents align their ideal-position timelines).
+    epoch: Option<SimTime>,
+}
+
+struct AgentInner {
+    llo: Llo,
+    session: OrchSessionId,
+    policy: OrchestrationPolicy,
+    state: RefCell<AgentState>,
+}
+
+/// HLO agent handle (clones share the agent).
+#[derive(Clone)]
+pub struct HloAgent {
+    inner: Rc<AgentInner>,
+}
+
+struct AgentObserver(Rc<AgentInner>);
+
+impl OrchObserver for AgentObserver {
+    fn regulate_indication(&self, _session: OrchSessionId, ind: &RegulateIndication) {
+        HloAgent {
+            inner: self.0.clone(),
+        }
+        .on_indication(ind);
+    }
+
+    fn event_indication(&self, _session: OrchSessionId, vc: VcId, pattern: u64, seq: u64) {
+        let st = self.0.state.borrow();
+        if let Some(f) = &st.on_event {
+            f(vc, pattern, seq);
+        }
+    }
+
+    fn delayed_response(&self, _session: OrchSessionId, _vc: VcId, gave_up: bool) {
+        if gave_up {
+            let agent = HloAgent {
+                inner: self.0.clone(),
+            };
+            agent.inner.state.borrow_mut().actions.push(AgentAction::StoppedSession);
+            agent.stop(|_| {});
+        }
+    }
+}
+
+impl HloAgent {
+    /// Create an agent for `session` at the orchestrating node's LLO.
+    pub fn new(llo: Llo, session: OrchSessionId, policy: OrchestrationPolicy) -> HloAgent {
+        HloAgent {
+            inner: Rc::new(AgentInner {
+                llo,
+                session,
+                policy,
+                state: RefCell::new(AgentState {
+                    vcs: HashMap::new(),
+                    running: false,
+                    master_start: None,
+                    paused_at: None,
+                    total_paused: SimDuration::ZERO,
+                    next_interval: 0,
+                    interval_event: None,
+                    history: Vec::new(),
+                    actions: Vec::new(),
+                    on_event: None,
+                    time_ref: None,
+                    epoch: None,
+                }),
+            }),
+        }
+    }
+
+    /// The session this agent controls.
+    pub fn session(&self) -> OrchSessionId {
+        self.inner.session
+    }
+
+    /// The LLO this agent drives.
+    pub fn llo(&self) -> &Llo {
+        &self.inner.llo
+    }
+
+    /// Use `reference` node's clock (read through `cs`'s offset estimate)
+    /// as the master clock instead of this node's own — the §7
+    /// "no common node" extension. Recalibrate `cs` periodically to bound
+    /// the residual rate error.
+    pub fn set_time_reference(&self, cs: ClockSync, reference: cm_core::address::NetAddr) {
+        self.inner.state.borrow_mut().time_ref = Some((cs, reference));
+    }
+
+    /// Pin the session's media epoch to an instant on the master timeline
+    /// (independent agents sharing a reference can align their ideals).
+    pub fn set_master_epoch(&self, epoch: SimTime) {
+        self.inner.state.borrow_mut().epoch = Some(epoch);
+    }
+
+    /// Read the master clock: this node's local clock, or the reference
+    /// node's clock via the offset estimate.
+    pub fn master_now(&self) -> SimTime {
+        let local = self.inner.llo.local_now();
+        let st = self.inner.state.borrow();
+        match &st.time_ref {
+            Some((cs, peer)) => {
+                let off = cs.offset_to(*peer).map(|s| s.offset_us).unwrap_or(0);
+                let t = local.as_micros() as i64 + off;
+                SimTime::from_micros(t.max(0) as u64)
+            }
+            None => local,
+        }
+    }
+
+    /// Establish the orchestration session over `vcs` (table 4). Each VC
+    /// must have one end at this node.
+    pub fn setup(
+        &self,
+        vcs: &[VcId],
+        done: impl FnOnce(Result<(), OrchDenyReason>) + 'static,
+    ) {
+        {
+            let mut st = self.inner.state.borrow_mut();
+            for &vc in vcs {
+                let rate = self
+                    .inner
+                    .llo
+                    .service()
+                    .osdu_rate(vc)
+                    .unwrap_or(Rate::per_second(1));
+                st.vcs.insert(
+                    vc,
+                    VcCtl {
+                        rate,
+                        last_charged: 0,
+                        last_sink: 0,
+                        misses: 0,
+                        pipeline_setpoint: None,
+                    },
+                );
+            }
+        }
+        let observer = Rc::new(AgentObserver(self.inner.clone()));
+        self.inner.llo.orch_request(self.inner.session, vcs, observer, done);
+    }
+
+    /// `Orch.Prime` the whole group (fig. 7).
+    pub fn prime(&self, done: impl FnOnce(Result<(), OrchDenyReason>) + 'static) {
+        self.inner.llo.prime(self.inner.session, done);
+    }
+
+    /// `Orch.Start` the group and begin the regulation loop (fig. 6).
+    pub fn start(&self, done: impl FnOnce(Result<(), OrchDenyReason>) + 'static) {
+        let me = self.clone();
+        self.inner.llo.start(self.inner.session, move |r| {
+            if r.is_ok() {
+                me.on_started();
+            }
+            done(r);
+        });
+    }
+
+    /// `Orch.Stop` the group; regulation pauses and the media positions
+    /// are retained for a subsequent start (§6.2.3).
+    pub fn stop(&self, done: impl FnOnce(Result<(), OrchDenyReason>) + 'static) {
+        {
+            let now = self.master_now();
+            let mut st = self.inner.state.borrow_mut();
+            st.running = false;
+            st.paused_at = Some(now);
+            if let Some(ev) = st.interval_event.take() {
+                self.inner.llo.service().network().engine().cancel(ev);
+            }
+        }
+        self.inner.llo.stop(self.inner.session, done);
+    }
+
+    /// Flush every VC's buffers (stop + seek, §6.2.1). Only meaningful
+    /// while stopped.
+    pub fn flush_all(&self) {
+        let vcs: Vec<VcId> = self.inner.state.borrow().vcs.keys().copied().collect();
+        for vc in vcs {
+            self.inner.llo.flush_vc(self.inner.session, vc);
+        }
+    }
+
+    /// Release the session (table 4).
+    pub fn release(&self) {
+        {
+            let mut st = self.inner.state.borrow_mut();
+            st.running = false;
+            if let Some(ev) = st.interval_event.take() {
+                self.inner.llo.service().network().engine().cancel(ev);
+            }
+        }
+        self.inner
+            .llo
+            .orch_release(self.inner.session, OrchDenyReason::UserRelease);
+    }
+
+    /// Register an `Orch.Event` pattern on a VC (§6.3.4); indications
+    /// arrive at the callback installed with [`HloAgent::on_event`].
+    pub fn register_event(&self, vc: VcId, pattern: u64) {
+        self.inner.llo.register_event(self.inner.session, vc, pattern);
+    }
+
+    /// Install the event-indication callback `(vc, pattern, seq)`.
+    pub fn on_event(&self, f: impl Fn(VcId, u64, u64) + 'static) {
+        self.inner.state.borrow_mut().on_event = Some(Box::new(f));
+    }
+
+    /// The per-interval history (experiments read this).
+    pub fn history(&self) -> Vec<IntervalRecord> {
+        self.inner.state.borrow().history.clone()
+    }
+
+    /// Escalation actions taken so far.
+    pub fn actions(&self) -> Vec<AgentAction> {
+        self.inner.state.borrow().actions.clone()
+    }
+
+    /// Current inter-stream skew in media time: the spread of the media
+    /// positions of all VCs at the latest indications.
+    pub fn current_skew(&self) -> SimDuration {
+        let st = self.inner.state.borrow();
+        let mut lo: Option<SimTime> = None;
+        let mut hi: Option<SimTime> = None;
+        for ctl in st.vcs.values() {
+            let pos = ctl.rate.due_time(SimTime::ZERO, ctl.last_sink);
+            lo = Some(lo.map_or(pos, |l| l.min(pos)));
+            hi = Some(hi.map_or(pos, |h| h.max(pos)));
+        }
+        match (lo, hi) {
+            (Some(l), Some(h)) => h.saturating_since(l),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn on_started(&self) {
+        {
+            let now = self.master_now();
+            let mut st = self.inner.state.borrow_mut();
+            st.running = true;
+            if st.master_start.is_none() {
+                st.master_start = Some(st.epoch.unwrap_or(now));
+            } else if let Some(p) = st.paused_at.take() {
+                st.total_paused += now.saturating_since(p);
+            }
+        }
+        self.schedule_interval();
+    }
+
+    fn schedule_interval(&self) {
+        let me = self.clone();
+        let interval = self.inner.policy.interval;
+        // Regulate *now* for the interval ending one interval ahead, then
+        // reschedule.
+        self.issue_regulates();
+        let clock = self
+            .inner
+            .llo
+            .service()
+            .network()
+            .clock(self.inner.llo.node());
+        let global = clock.global_duration(interval);
+        let ev = self
+            .inner
+            .llo
+            .service()
+            .network()
+            .engine()
+            .schedule_in(global, move |_| {
+                if me.inner.state.borrow().running {
+                    me.schedule_interval();
+                }
+            });
+        self.inner.state.borrow_mut().interval_event = Some(ev);
+    }
+
+    /// Fig. 6: set each VC's target for the interval ending one interval
+    /// from now, derived from the master clock and clamped to the policy's
+    /// correction limit.
+    fn issue_regulates(&self) {
+        let now = self.master_now();
+        let interval = self.inner.policy.interval;
+        let plan: Vec<(VcId, IntervalId, u64, u64, u64)> = {
+            let mut st = self.inner.state.borrow_mut();
+            let Some(start) = st.master_start else {
+                return;
+            };
+            let elapsed_at_end =
+                now.saturating_since(start).saturating_sub(st.total_paused) + interval;
+            let iid = IntervalId(st.next_interval);
+            st.next_interval += 1;
+            let policy = &self.inner.policy;
+            let svc = self.inner.llo.service().clone();
+            st.vcs
+                .iter_mut()
+                .map(|(&vc, ctl)| {
+                    // Table 6: target-OSDU# is the sequence that "should
+                    // ideally be delivered to the sink application at
+                    // precisely the end of the interval" — derived from the
+                    // master clock. Compensation acts at the *source*, so
+                    // the wire target adds the pipeline-occupancy setpoint
+                    // (the primed backlog): aiming the charge point at the
+                    // sink ideal would silently drain the jitter buffer.
+                    let ideal = ctl.rate.units_in(elapsed_at_end);
+                    let setpoint = *ctl.pipeline_setpoint.get_or_insert_with(|| {
+                        // Seed from whichever end is local.
+                        if let Ok((charged, _, _)) = svc.source_progress(vc) {
+                            charged.saturating_sub(ctl.last_sink)
+                        } else if let Ok(buf) = svc.recv_handle(vc) {
+                            buf.len() as u64
+                        } else {
+                            0
+                        }
+                    });
+                    (vc, iid, ideal + setpoint, ideal, policy.max_drop_per_interval)
+                })
+                .collect()
+        };
+        let max_rate_ppt = 1000 + self.inner.policy.rate_nudge_limit_ppt;
+        for (vc, iid, source_target, sink_target, max_drop) in plan {
+            self.inner.llo.regulate(
+                self.inner.session,
+                vc,
+                iid,
+                source_target,
+                sink_target,
+                max_drop,
+                max_rate_ppt,
+                self.inner.policy.spread_drops,
+                interval,
+            );
+        }
+    }
+
+    fn on_indication(&self, ind: &RegulateIndication) {
+        let now = self.master_now();
+        let diagnosis = self.diagnose(ind);
+        let escalate = {
+            let mut st = self.inner.state.borrow_mut();
+            let Some(ctl) = st.vcs.get_mut(&ind.vc) else {
+                return;
+            };
+            ctl.last_charged = ind.source.seq_progress;
+            ctl.last_sink = ind.sink.seq_progress;
+            let tolerance_units = ctl
+                .rate
+                .units_in(self.inner.policy.sync_tolerance)
+                .max(1);
+            let missed = ind.sink.seq_progress + tolerance_units < ind.target_osdu;
+            if missed {
+                ctl.misses += 1;
+            } else {
+                ctl.misses = 0;
+            }
+            let escalate = missed && ctl.misses >= self.inner.policy.failure_patience;
+            if escalate {
+                ctl.misses = 0;
+            }
+            st.history.push(IntervalRecord {
+                interval: ind.interval,
+                vc: ind.vc,
+                target: ind.target_osdu,
+                source_seq: ind.source.seq_progress,
+                sink_seq: ind.sink.seq_progress,
+                dropped: ind.source.dropped,
+                lost: ind.sink.lost,
+                bottleneck: diagnosis,
+                at_master: now,
+            });
+            escalate
+        };
+        if escalate {
+            self.escalate(ind.vc, diagnosis, ind);
+        }
+    }
+
+    /// §6.3.1.2: read the blocking times. Application blocked → protocol
+    /// too slow; protocol blocked → application too slow.
+    fn diagnose(&self, ind: &RegulateIndication) -> Bottleneck {
+        let half = self.inner.policy.interval.mul_ratio(1, 2);
+        if ind.sink.proto_blocked > half {
+            Bottleneck::SinkAppSlow
+        } else if ind.source.proto_blocked > half {
+            Bottleneck::SourceAppSlow
+        } else if ind.source.app_blocked > half || ind.sink.app_blocked > half {
+            Bottleneck::ProtocolStarved
+        } else {
+            Bottleneck::None
+        }
+    }
+
+    fn escalate(&self, vc: VcId, diagnosis: Bottleneck, ind: &RegulateIndication) {
+        let behind = ind.target_osdu.saturating_sub(ind.sink.seq_progress);
+        match (self.inner.policy.on_failure, diagnosis) {
+            (FailureAction::Report, _) | (_, Bottleneck::None) => {
+                self.inner
+                    .state
+                    .borrow_mut()
+                    .actions
+                    .push(AgentAction::Reported(vc, diagnosis));
+            }
+            (FailureAction::RenegotiateQos, Bottleneck::ProtocolStarved)
+            | (FailureAction::RenegotiateQos, Bottleneck::SinkAppSlow)
+            | (FailureAction::RenegotiateQos, Bottleneck::SourceAppSlow) => {
+                if diagnosis == Bottleneck::ProtocolStarved {
+                    // Upgrade throughput 25% (§3.3's dynamic QoS control).
+                    if let Ok(contract) = self.inner.llo.service().contract(vc) {
+                        let mut pref = contract;
+                        pref.throughput =
+                            cm_core::time::Bandwidth::bps(contract.throughput.as_bps() * 5 / 4);
+                        let tol = QosTolerance {
+                            preferred: pref,
+                            worst: contract,
+                        };
+                        let _ = self.inner.llo.service().t_renegotiate_request(vc, tol);
+                        self.inner
+                            .state
+                            .borrow_mut()
+                            .actions
+                            .push(AgentAction::RenegotiatedQos(vc));
+                    }
+                } else {
+                    let end = if diagnosis == Bottleneck::SinkAppSlow {
+                        VcRole::Sink
+                    } else {
+                        VcRole::Source
+                    };
+                    self.inner.llo.delayed(self.inner.session, vc, end, behind);
+                    self.inner
+                        .state
+                        .borrow_mut()
+                        .actions
+                        .push(AgentAction::Delayed(vc, end));
+                }
+            }
+            (FailureAction::DelayThenStop, d) => {
+                let end = if d == Bottleneck::SinkAppSlow {
+                    VcRole::Sink
+                } else {
+                    VcRole::Source
+                };
+                self.inner.llo.delayed(self.inner.session, vc, end, behind);
+                self.inner
+                    .state
+                    .borrow_mut()
+                    .actions
+                    .push(AgentAction::Delayed(vc, end));
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Clock-offset estimation between nodes — the generalisation the paper
+//! leaves as future work (§5 footnote, §7: "the orchestration of VCs with
+//! no common node").
+//!
+//! With a common node, the orchestrating node's own clock is the datum and
+//! no synchronisation is needed. Without one, the agent must convert
+//! remote-clock readings to its own clock. [`ClockSync`] implements the
+//! classic NTP-style two-way exchange (\[Mills,89\], cited by the paper):
+//! probe at `t1` (local), remote stamps `t2`/`t3` (remote), echo arrives at
+//! `t4` (local); `offset ≈ ((t2−t1)+(t3−t4))/2` with error bounded by the
+//! path asymmetry. The estimator keeps the minimum-RTT sample per peer
+//! (best-of-N filtering).
+
+use crate::msg::{ClockMsg, CLOCK_TSAP};
+use cm_core::address::{NetAddr, TransportAddr};
+use cm_core::time::{SimDuration, SimTime};
+use cm_transport::{TransportService, TransportUser};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One two-way measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OffsetSample {
+    /// Estimated `remote − local` clock offset in microseconds.
+    pub offset_us: i64,
+    /// Round-trip time of the exchange (quality indicator).
+    pub rtt: SimDuration,
+}
+
+struct Pending {
+    peer: NetAddr,
+    done: Option<Box<dyn FnOnce(OffsetSample)>>,
+}
+
+struct State {
+    next_nonce: u64,
+    pending: HashMap<u64, Pending>,
+    /// Best (min-RTT) sample per peer.
+    best: HashMap<NetAddr, OffsetSample>,
+}
+
+struct Inner {
+    svc: TransportService,
+    state: RefCell<State>,
+}
+
+/// Per-node clock-sync service (responder + estimator).
+#[derive(Clone)]
+pub struct ClockSync {
+    inner: Rc<Inner>,
+}
+
+struct ClockUser(ClockSync);
+
+impl TransportUser for ClockUser {
+    fn t_datagram_indication(
+        &self,
+        _svc: &TransportService,
+        from: TransportAddr,
+        payload: Rc<dyn Any>,
+    ) {
+        if let Some(msg) = payload.downcast_ref::<ClockMsg>() {
+            self.0.on_msg(from, *msg);
+        }
+    }
+}
+
+impl ClockSync {
+    /// Install on the node served by `svc`; binds the clock-sync TSAP.
+    pub fn install(svc: TransportService) -> ClockSync {
+        let cs = ClockSync {
+            inner: Rc::new(Inner {
+                svc: svc.clone(),
+                state: RefCell::new(State {
+                    next_nonce: 0,
+                    pending: HashMap::new(),
+                    best: HashMap::new(),
+                }),
+            }),
+        };
+        svc.bind(CLOCK_TSAP, Rc::new(ClockUser(cs.clone())))
+            .expect("clock TSAP already bound");
+        cs
+    }
+
+    fn local_now(&self) -> SimTime {
+        self.inner
+            .svc
+            .network()
+            .local_time(self.inner.svc.node())
+    }
+
+    /// Send one probe to `peer`; `done` receives the sample.
+    pub fn probe(&self, peer: NetAddr, done: impl FnOnce(OffsetSample) + 'static) {
+        let nonce = {
+            let mut st = self.inner.state.borrow_mut();
+            let n = st.next_nonce;
+            st.next_nonce += 1;
+            st.pending.insert(
+                n,
+                Pending {
+                    peer,
+                    done: Some(Box::new(done)),
+                },
+            );
+            n
+        };
+        let msg = ClockMsg::Probe {
+            nonce,
+            t1_local: self.local_now(),
+        };
+        self.inner.svc.send_datagram(
+            CLOCK_TSAP,
+            TransportAddr {
+                node: peer,
+                tsap: CLOCK_TSAP,
+            },
+            Rc::new(msg),
+            32,
+        );
+    }
+
+    /// Run `n` probes to `peer` and call `done` with the best (min-RTT)
+    /// estimate.
+    pub fn calibrate(&self, peer: NetAddr, n: usize, done: impl FnOnce(OffsetSample) + 'static) {
+        assert!(n > 0);
+        let me = self.clone();
+        let remaining = Rc::new(std::cell::Cell::new(n));
+        let done = Rc::new(RefCell::new(Some(Box::new(done) as Box<dyn FnOnce(OffsetSample)>)));
+        fn fire(me: ClockSync, peer: NetAddr, remaining: Rc<std::cell::Cell<usize>>, done: Rc<RefCell<Option<Box<dyn FnOnce(OffsetSample)>>>>) {
+            let me2 = me.clone();
+            me.probe(peer, move |_s| {
+                let left = remaining.get() - 1;
+                remaining.set(left);
+                if left == 0 {
+                    if let Some(d) = done.borrow_mut().take() {
+                        let best = me2
+                            .offset_to(peer)
+                            .expect("at least one sample recorded");
+                        d(best);
+                    }
+                } else {
+                    fire(me2, peer, remaining, done);
+                }
+            });
+        }
+        fire(me, peer, remaining, done);
+    }
+
+    /// The best offset estimate to `peer`, if any probe completed.
+    pub fn offset_to(&self, peer: NetAddr) -> Option<OffsetSample> {
+        self.inner.state.borrow().best.get(&peer).copied()
+    }
+
+    /// Convert a remote-clock reading into this node's clock using the
+    /// best estimate (`None` before any calibration).
+    pub fn remote_to_local(&self, peer: NetAddr, t_remote: SimTime) -> Option<SimTime> {
+        let s = self.offset_to(peer)?;
+        let local = t_remote.as_micros() as i64 - s.offset_us;
+        Some(SimTime::from_micros(local.max(0) as u64))
+    }
+
+    fn on_msg(&self, from: TransportAddr, msg: ClockMsg) {
+        match msg {
+            ClockMsg::Probe { nonce, t1_local } => {
+                let now = self.local_now();
+                let echo = ClockMsg::Echo {
+                    nonce,
+                    t1_local,
+                    t2_remote: now,
+                    t3_remote: now,
+                };
+                self.inner.svc.send_datagram(
+                    CLOCK_TSAP,
+                    TransportAddr {
+                        node: from.node,
+                        tsap: CLOCK_TSAP,
+                    },
+                    Rc::new(echo),
+                    32,
+                );
+            }
+            ClockMsg::Echo {
+                nonce,
+                t1_local,
+                t2_remote,
+                t3_remote,
+            } => {
+                let t4 = self.local_now();
+                let pending = self.inner.state.borrow_mut().pending.remove(&nonce);
+                let Some(mut pending) = pending else { return };
+                let t1 = t1_local.as_micros() as i64;
+                let t2 = t2_remote.as_micros() as i64;
+                let t3 = t3_remote.as_micros() as i64;
+                let t4 = t4.as_micros() as i64;
+                let offset_us = ((t2 - t1) + (t3 - t4)) / 2;
+                let rtt = SimDuration::from_micros(((t4 - t1) - (t3 - t2)).max(0) as u64);
+                let sample = OffsetSample { offset_us, rtt };
+                {
+                    let mut st = self.inner.state.borrow_mut();
+                    let entry = st.best.entry(pending.peer).or_insert(sample);
+                    if sample.rtt <= entry.rtt {
+                        *entry = sample;
+                    }
+                }
+                if let Some(done) = pending.done.take() {
+                    done(sample);
+                }
+            }
+        }
+    }
+}

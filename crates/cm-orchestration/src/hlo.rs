@@ -1,0 +1,142 @@
+//! The High Level Orchestrator (paper §5).
+//!
+//! The HLO is the platform-facing, location-independent service:
+//! applications hand it the connections underlying their Streams plus a
+//! policy; it finds the physical endpoints, chooses the *orchestrating
+//! node* ("that common to the greatest number of VCs", fig. 5), creates an
+//! HLO agent there, and returns a control interface through which the
+//! application drives the on-going session.
+
+use crate::agent::HloAgent;
+use crate::llo::Llo;
+use crate::policy::OrchestrationPolicy;
+use cm_core::address::{NetAddr, OrchSessionId, VcId};
+use cm_core::error::OrchDenyReason;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Domain-wide HLO: knows every node's LLO instance.
+pub struct Hlo {
+    llos: HashMap<NetAddr, Llo>,
+    next_session: Cell<u64>,
+    /// When set, groups without a common node are accepted (the §7
+    /// future-work extension; requires clock sync for faithful targets —
+    /// see `clock_sync`).
+    allow_no_common_node: Cell<bool>,
+}
+
+impl Hlo {
+    /// An HLO over the given per-node LLO instances.
+    pub fn new(llos: impl IntoIterator<Item = Llo>) -> Hlo {
+        Hlo {
+            llos: llos.into_iter().map(|l| (l.node(), l)).collect(),
+            next_session: Cell::new(1),
+            allow_no_common_node: Cell::new(false),
+        }
+    }
+
+    /// Enable orchestration of groups with no common node (§7 extension).
+    pub fn allow_no_common_node(&self) {
+        self.allow_no_common_node.set(true);
+    }
+
+    /// The LLO at `node`, if registered.
+    pub fn llo(&self, node: NetAddr) -> Option<&Llo> {
+        self.llos.get(&node)
+    }
+
+    /// Locate the endpoints of `vc` by asking the registered LLOs.
+    fn endpoints(&self, vc: VcId) -> Option<(NetAddr, NetAddr)> {
+        for llo in self.llos.values() {
+            if let Ok(triple) = llo.service().triple(vc) {
+                return Some((triple.source.node, triple.destination.node));
+            }
+        }
+        None
+    }
+
+    /// Choose the orchestrating node: the node common to the greatest
+    /// number of VCs (fig. 5). With the common-node restriction in force
+    /// (§5 footnote) the chosen node must touch *every* VC.
+    pub fn pick_orchestrating_node(&self, vcs: &[VcId]) -> Result<NetAddr, OrchDenyReason> {
+        let mut counts: HashMap<NetAddr, usize> = HashMap::new();
+        for &vc in vcs {
+            let (src, dst) = self.endpoints(vc).ok_or(OrchDenyReason::NoSuchVc)?;
+            *counts.entry(src).or_default() += 1;
+            if dst != src {
+                *counts.entry(dst).or_default() += 1;
+            }
+        }
+        let (&node, &count) = counts
+            .iter()
+            .max_by_key(|&(n, c)| (*c, std::cmp::Reverse(n.0)))
+            .ok_or(OrchDenyReason::NoSuchVc)?;
+        if count < vcs.len() && !self.allow_no_common_node.get() {
+            return Err(OrchDenyReason::NoCommonNode);
+        }
+        Ok(node)
+    }
+
+    /// Create an orchestration session over `vcs` with `policy`: pick the
+    /// orchestrating node, instantiate the agent, and run table-4 session
+    /// establishment. The returned agent is the application's control
+    /// interface (the ADT interface of §5).
+    pub fn orchestrate(
+        &self,
+        vcs: &[VcId],
+        policy: OrchestrationPolicy,
+        done: impl FnOnce(Result<(), OrchDenyReason>) + 'static,
+    ) -> Result<HloAgent, OrchDenyReason> {
+        let node = self.pick_orchestrating_node(vcs)?;
+        let llo = self
+            .llos
+            .get(&node)
+            .ok_or(OrchDenyReason::NoSuchVc)?
+            .clone();
+        let session = OrchSessionId(self.next_session.get());
+        self.next_session.set(session.0 + 1);
+        let agent = HloAgent::new(llo, session, policy);
+        agent.setup(vcs, done);
+        Ok(agent)
+    }
+
+    /// Convenience wrapper: orchestrate and, when established, prime and
+    /// start in sequence. `started` fires once every stream is released.
+    pub fn orchestrate_and_start(
+        &self,
+        vcs: &[VcId],
+        policy: OrchestrationPolicy,
+        started: impl FnOnce(Result<(), OrchDenyReason>) + 'static,
+    ) -> Result<HloAgent, OrchDenyReason> {
+        let node = self.pick_orchestrating_node(vcs)?;
+        let llo = self
+            .llos
+            .get(&node)
+            .ok_or(OrchDenyReason::NoSuchVc)?
+            .clone();
+        let session = OrchSessionId(self.next_session.get());
+        self.next_session.set(session.0 + 1);
+        let agent = HloAgent::new(llo, session, policy);
+        let started = Rc::new(std::cell::RefCell::new(Some(Box::new(started)
+            as Box<dyn FnOnce(Result<(), OrchDenyReason>)>)));
+        let finish = move |r: Result<(), OrchDenyReason>| {
+            if let Some(f) = started.borrow_mut().take() {
+                f(r);
+            }
+        };
+        let a_prime = agent.clone();
+        agent.setup(vcs, move |r| match r {
+            Err(e) => finish(Err(e)),
+            Ok(()) => {
+                let a_start = a_prime.clone();
+                let finish2 = finish;
+                a_prime.prime(move |r| match r {
+                    Err(e) => finish2(Err(e)),
+                    Ok(()) => a_start.start(finish2),
+                });
+            }
+        });
+        Ok(agent)
+    }
+}

@@ -1,0 +1,34 @@
+//! # cm-orchestration — multi-stream orchestration (paper §5–6)
+//!
+//! The three-level orchestration architecture of *"A Continuous Media
+//! Transport and Orchestration Service"*:
+//!
+//! - [`hlo::Hlo`] — the platform-facing High Level Orchestrator: finds the
+//!   endpoints of the connections to be co-ordinated, picks the
+//!   orchestrating node (the common node, fig. 5) and instantiates agents;
+//! - [`agent::HloAgent`] — per-session feedback controller (fig. 6):
+//!   interval targets, drift compensation, bottleneck diagnosis from
+//!   blocking times, policy escalation;
+//! - [`llo::Llo`] — per-node Low Level Orchestrator: the table-4/5/6
+//!   primitive mechanisms (prime / start / stop / add / remove, regulate /
+//!   delayed / event) over the transport's orchestration hooks.
+//!
+//! [`clock_sync::ClockSync`] adds the NTP-style offset estimation the
+//! paper leaves as future work, enabling sessions with no common node.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod agent;
+pub mod clock_sync;
+pub mod hlo;
+pub mod llo;
+pub mod msg;
+pub mod policy;
+
+pub use agent::{AgentAction, Bottleneck, HloAgent, IntervalRecord};
+pub use clock_sync::{ClockSync, OffsetSample};
+pub use hlo::Hlo;
+pub use llo::{Llo, OrchAppHandler, OrchObserver, RegulateIndication};
+pub use msg::{IntervalId, OrchMsg, ORCH_TSAP};
+pub use policy::{FailureAction, OrchestrationPolicy};

@@ -1,0 +1,1510 @@
+//! The Low Level Orchestrator (paper §6).
+//!
+//! One [`Llo`] instance runs on every node that holds an end of an
+//! orchestrated VC (fig. 5). The instance at the *orchestrating node* (the
+//! common node) exposes the table-4/5/6 primitives to the HLO agent; the
+//! instances at the other ends execute OPDU commands arriving on the
+//! orchestration TSAP. The LLO is pure *mechanism*, best-effort (§5): it
+//! primes, starts, stops, regulates and reports; all policy (targets,
+//! escalation) belongs to the HLO agent above.
+//!
+//! Mapping of the paper's machinery onto the transport hooks:
+//!
+//! | paper                                   | here                                  |
+//! |-----------------------------------------|---------------------------------------|
+//! | prime: fill buffers, hold delivery §6.2.1 | `set_recv_gate(true)` + full-watch  |
+//! | start: unblock receive buffers §6.2.2   | `set_recv_gate(false)` + resume       |
+//! | stop: freeze via flow control §6.2.3    | `pause_source` + gate                 |
+//! | behind: drop at source pointer §6.3.1.1 | `source_drop_one`, spread over interval |
+//! | ahead: block via rate adaptation §6.3.1.1 | `set_rate_factor` (paced, no bursts) |
+//! | blocking-time statistics §6.3.1.2       | `take_end_stats` per end              |
+//! | event matching §6.3.4                   | `VcTap::on_osdu_arrived` vs patterns  |
+
+use crate::msg::{IntervalId, OrchMsg, ORCH_TSAP};
+use cm_core::address::{NetAddr, OrchSessionId, TransportAddr, VcId};
+use cm_core::error::OrchDenyReason;
+use cm_core::osdu::Opdu;
+use cm_core::time::{SimDuration, SimTime};
+use cm_transport::{EndStats, TransportService, TransportUser, VcRole, VcTap};
+use netsim::EventId;
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Application-thread callbacks (the `Orch.*.indication`s delivered to the
+/// source/sink application threads, §6.2.1, fig. 7).
+#[allow(unused_variables)]
+pub trait OrchAppHandler {
+    /// `Orch.Prime.indication`: start generating data (source) or prepare
+    /// to accept it (sink). Return `false` to deny (`Orch.Deny`, §6.2.1).
+    fn orch_prime_indication(&self, session: OrchSessionId, vc: VcId) -> bool {
+        true
+    }
+
+    /// `Orch.Start.indication` (§6.2.2). Primed threads need no special
+    /// action — they are already set up and blocked by the protocol.
+    fn orch_start_indication(&self, session: OrchSessionId, vc: VcId) {}
+
+    /// `Orch.Stop.indication` (§6.2.3).
+    fn orch_stop_indication(&self, session: OrchSessionId, vc: VcId) {}
+
+    /// `Orch.Delayed.indication` (§6.3.3): this thread is producing/
+    /// consuming too slowly. Return `false` to give up (`Orch.Deny`).
+    fn orch_delayed_indication(&self, session: OrchSessionId, vc: VcId, osdus_behind: u64) -> bool {
+        true
+    }
+}
+
+/// Observer of orchestration outcomes at the orchestrating node — the HLO
+/// agent implements this.
+#[allow(unused_variables)]
+pub trait OrchObserver {
+    /// `Orch.Regulate.indication` (table 6): both ends' statistics for a
+    /// completed interval.
+    fn regulate_indication(&self, session: OrchSessionId, ind: &RegulateIndication) {}
+
+    /// `Orch.Event.indication` (§6.3.4).
+    fn event_indication(&self, session: OrchSessionId, vc: VcId, pattern: u64, seq: u64) {}
+
+    /// Response to a prior `Orch.Delayed` (§6.3.3): `gave_up` means the
+    /// application denied.
+    fn delayed_response(&self, session: OrchSessionId, vc: VcId, gave_up: bool) {}
+}
+
+/// The assembled `Orch.Regulate.indication` (table 6).
+#[derive(Debug, Clone)]
+pub struct RegulateIndication {
+    /// The VC reported on.
+    pub vc: VcId,
+    /// The interval this covers.
+    pub interval: IntervalId,
+    /// The target that was set.
+    pub target_osdu: u64,
+    /// Source-end statistics (charged seq, drops, blocking times).
+    pub source: EndStats,
+    /// Sink-end statistics (delivered seq, losses, blocking times).
+    pub sink: EndStats,
+}
+
+/// Group operations whose fan-out acks are being collected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum GroupOpKind {
+    Prime,
+    Start,
+    Stop,
+}
+
+struct PendingGroupOp {
+    kind: GroupOpKind,
+    /// (vc, end-role) acks still outstanding.
+    waiting: Vec<(VcId, VcRole)>,
+    /// First denial, if any.
+    denial: Option<OrchDenyReason>,
+    done: Option<Box<dyn FnOnce(Result<(), OrchDenyReason>)>>,
+}
+
+struct PendingInterval {
+    target_osdu: u64,
+    source: Option<EndStats>,
+    sink: Option<EndStats>,
+}
+
+struct VcOrchState {
+    role: VcRole,
+    /// Node of the far end.
+    peer: NetAddr,
+    /// Event patterns registered at this (sink) end.
+    patterns: Vec<u64>,
+    /// Scheduled spread-drop events for the current interval.
+    drop_events: Vec<EventId>,
+    /// Scheduled release-limit bumps for the current interval (sink end).
+    release_events: Vec<EventId>,
+    /// Scheduled end-of-interval harvest.
+    harvest_event: Option<EventId>,
+    /// Waiting to send a prime ack once the sink buffer fills.
+    priming: bool,
+}
+
+struct Session {
+    /// Where acks/reports go (`None` at the orchestrating node itself).
+    orchestrator: Option<TransportAddr>,
+    vcs: HashMap<VcId, VcOrchState>,
+    /// Orchestrating-node-only group state.
+    pending_op: Option<PendingGroupOp>,
+    pending_intervals: HashMap<(VcId, IntervalId), PendingInterval>,
+    observer: Option<Rc<dyn OrchObserver>>,
+    /// Callback for a pending session-establishment fan-out.
+    pending_setup: Option<(usize, Box<dyn FnOnce(Result<(), OrchDenyReason>)>)>,
+}
+
+struct LloState {
+    max_sessions: usize,
+    sessions: HashMap<OrchSessionId, Session>,
+    apps: HashMap<VcId, Rc<dyn OrchAppHandler>>,
+}
+
+struct LloInner {
+    svc: TransportService,
+    state: RefCell<LloState>,
+}
+
+/// Per-node LLO handle (clones share the instance).
+#[derive(Clone)]
+pub struct Llo {
+    inner: Rc<LloInner>,
+}
+
+/// Adapter: OPDU datagrams arriving at the orchestration TSAP.
+struct LloUser(Llo);
+
+impl TransportUser for LloUser {
+    fn t_datagram_indication(
+        &self,
+        _svc: &TransportService,
+        from: TransportAddr,
+        payload: Rc<dyn Any>,
+    ) {
+        if let Some(msg) = payload.downcast_ref::<OrchMsg>() {
+            self.0.on_opdu(from, msg.clone());
+        }
+    }
+}
+
+/// Adapter: per-VC transport tap for event matching (§6.3.4).
+struct LloTap {
+    llo: Llo,
+    session: OrchSessionId,
+}
+
+impl VcTap for LloTap {
+    fn on_osdu_arrived(&self, vc: VcId, opdu: Opdu) {
+        self.llo.on_osdu_arrived(self.session, vc, opdu);
+    }
+}
+
+impl Llo {
+    /// Install an LLO on the node served by `svc`; binds the orchestration
+    /// TSAP. `max_sessions` is the table space of §6.1 (rejections with
+    /// `NoTableSpace` beyond it).
+    pub fn install(svc: TransportService, max_sessions: usize) -> Llo {
+        let llo = Llo {
+            inner: Rc::new(LloInner {
+                svc: svc.clone(),
+                state: RefCell::new(LloState {
+                    max_sessions,
+                    sessions: HashMap::new(),
+                    apps: HashMap::new(),
+                }),
+            }),
+        };
+        svc.bind(ORCH_TSAP, Rc::new(LloUser(llo.clone())))
+            .expect("orchestration TSAP already bound");
+        llo
+    }
+
+    /// The transport service this LLO drives.
+    pub fn service(&self) -> &TransportService {
+        &self.inner.svc
+    }
+
+    /// This node's address.
+    pub fn node(&self) -> NetAddr {
+        self.inner.svc.node()
+    }
+
+    /// This node's local clock reading (the master/datum clock when this
+    /// is the orchestrating node, §5 footnote).
+    pub fn local_now(&self) -> SimTime {
+        self.inner.svc.network().local_time(self.node())
+    }
+
+    /// Register the application handler for one VC end at this node.
+    pub fn register_app(&self, vc: VcId, handler: Rc<dyn OrchAppHandler>) {
+        self.inner.state.borrow_mut().apps.insert(vc, handler);
+    }
+
+    fn send_opdu(&self, to_node: NetAddr, msg: OrchMsg) {
+        self.inner.svc.send_datagram(
+            ORCH_TSAP,
+            TransportAddr {
+                node: to_node,
+                tsap: ORCH_TSAP,
+            },
+            Rc::new(msg),
+            64,
+        );
+    }
+
+    /// Schedule `f` after a duration measured on this node's local clock.
+    fn schedule_local_in(&self, local: SimDuration, f: impl FnOnce() + 'static) -> EventId {
+        let clock = self.inner.svc.network().clock(self.node());
+        let global = clock.global_duration(local);
+        self.inner
+            .svc
+            .network()
+            .engine()
+            .schedule_in(global, move |_| f())
+    }
+
+    // ==================================================================
+    // Orchestrating-node primitives (called by the HLO agent)
+    // ==================================================================
+
+    /// `Orch.request` (table 4): create a session over `vcs`. Every VC
+    /// must have one end at this node (the common-node restriction, §5).
+    /// The outcome arrives through `done` (`Orch.confirm` /
+    /// `Orch.Release.indication`).
+    pub fn orch_request(
+        &self,
+        session: OrchSessionId,
+        vcs: &[VcId],
+        observer: Rc<dyn OrchObserver>,
+        done: impl FnOnce(Result<(), OrchDenyReason>) + 'static,
+    ) {
+        if vcs.is_empty() {
+            done(Err(OrchDenyReason::NoSuchVc));
+            return;
+        }
+        // Validate locally first.
+        let mut ends = Vec::new();
+        for &vc in vcs {
+            match (self.inner.svc.role(vc), self.inner.svc.triple(vc)) {
+                (Ok(role), Ok(triple)) => {
+                    let peer = match role {
+                        VcRole::Source => triple.destination.node,
+                        VcRole::Sink => triple.source.node,
+                    };
+                    ends.push((vc, role, peer));
+                }
+                _ => {
+                    done(Err(OrchDenyReason::NoSuchVc));
+                    return;
+                }
+            }
+        }
+        {
+            let mut st = self.inner.state.borrow_mut();
+            if st.sessions.len() >= st.max_sessions {
+                done(Err(OrchDenyReason::NoTableSpace));
+                return;
+            }
+            let mut vcs_map = HashMap::new();
+            for &(vc, role, peer) in &ends {
+                vcs_map.insert(
+                    vc,
+                    VcOrchState {
+                        role,
+                        peer,
+                        patterns: Vec::new(),
+                        drop_events: Vec::new(),
+                        release_events: Vec::new(),
+                        harvest_event: None,
+                        priming: false,
+                    },
+                );
+            }
+            st.sessions.insert(
+                session,
+                Session {
+                    orchestrator: None,
+                    vcs: vcs_map,
+                    pending_op: None,
+                    pending_intervals: HashMap::new(),
+                    observer: Some(observer),
+                    pending_setup: Some((ends.len(), Box::new(done))),
+                },
+            );
+        }
+        // Tap local ends and fan out session requests to the far ends.
+        let me = TransportAddr {
+            node: self.node(),
+            tsap: ORCH_TSAP,
+        };
+        for (vc, _role, peer) in ends {
+            let _ = self.inner.svc.register_tap(
+                vc,
+                Rc::new(LloTap {
+                    llo: self.clone(),
+                    session,
+                }),
+            );
+            self.send_opdu(
+                peer,
+                OrchMsg::SessionReq {
+                    session,
+                    vc,
+                    orchestrator: me,
+                },
+            );
+        }
+    }
+
+    /// `Orch.Release.request` (table 4).
+    pub fn orch_release(&self, session: OrchSessionId, reason: OrchDenyReason) {
+        let peers: Vec<NetAddr> = {
+            let mut st = self.inner.state.borrow_mut();
+            match st.sessions.remove(&session) {
+                Some(s) => {
+                    let engine = self.inner.svc.network().engine().clone();
+                    for (vc, vs) in &s.vcs {
+                        self.inner.svc.clear_tap(*vc);
+                        let _ = self.inner.svc.set_release_limit(*vc, None);
+                        for ev in vs.drop_events.iter().chain(&vs.release_events) {
+                            engine.cancel(*ev);
+                        }
+                        if let Some(ev) = vs.harvest_event {
+                            engine.cancel(ev);
+                        }
+                    }
+                    s.vcs.values().map(|v| v.peer).collect()
+                }
+                None => return,
+            }
+        };
+        for peer in peers {
+            self.send_opdu(peer, OrchMsg::Release { session, reason });
+        }
+    }
+
+    fn begin_group_op(
+        &self,
+        session: OrchSessionId,
+        kind: GroupOpKind,
+        done: impl FnOnce(Result<(), OrchDenyReason>) + 'static,
+    ) -> Option<Vec<(VcId, VcRole, NetAddr)>> {
+        let mut st = self.inner.state.borrow_mut();
+        let s = match st.sessions.get_mut(&session) {
+            Some(s) => s,
+            None => {
+                drop(st);
+                done(Err(OrchDenyReason::NoSuchVc));
+                return None;
+            }
+        };
+        // One group op at a time (the HLO serialises).
+        assert!(
+            s.pending_op.is_none(),
+            "overlapping group operations on {session}"
+        );
+        let ends: Vec<(VcId, VcRole, NetAddr)> = s
+            .vcs
+            .iter()
+            .map(|(&vc, v)| (vc, v.role, v.peer))
+            .collect();
+        // Each VC contributes two acks: its local end and its remote end.
+        let mut waiting = Vec::new();
+        for &(vc, role, _) in &ends {
+            waiting.push((vc, role));
+            waiting.push((
+                vc,
+                match role {
+                    VcRole::Source => VcRole::Sink,
+                    VcRole::Sink => VcRole::Source,
+                },
+            ));
+        }
+        s.pending_op = Some(PendingGroupOp {
+            kind,
+            waiting,
+            denial: None,
+            done: Some(Box::new(done)),
+        });
+        Some(ends)
+    }
+
+    /// `Orch.Prime.request` (table 5, fig. 7): fill the pipelines of every
+    /// VC in the session without releasing data to the sink applications.
+    /// Completes when every sink buffer is full and every source
+    /// application is generating.
+    pub fn prime(
+        &self,
+        session: OrchSessionId,
+        done: impl FnOnce(Result<(), OrchDenyReason>) + 'static,
+    ) {
+        let Some(ends) = self.begin_group_op(session, GroupOpKind::Prime, done) else {
+            return;
+        };
+        for (vc, role, peer) in ends {
+            // Local end.
+            self.prime_local_end(session, vc, role);
+            // Remote end.
+            self.send_opdu(peer, OrchMsg::Prime { session, vc });
+        }
+    }
+
+    /// `Orch.Start.request` (table 5): atomically release the primed
+    /// flows.
+    pub fn start(
+        &self,
+        session: OrchSessionId,
+        done: impl FnOnce(Result<(), OrchDenyReason>) + 'static,
+    ) {
+        let Some(ends) = self.begin_group_op(session, GroupOpKind::Start, done) else {
+            return;
+        };
+        for (vc, role, peer) in ends {
+            self.start_local_end(session, vc, role);
+            self.send_opdu(peer, OrchMsg::Start { session, vc });
+        }
+    }
+
+    /// `Orch.Stop.request` (table 5): freeze the flows; buffered data is
+    /// retained for a subsequent primed start (§6.2.3).
+    pub fn stop(
+        &self,
+        session: OrchSessionId,
+        done: impl FnOnce(Result<(), OrchDenyReason>) + 'static,
+    ) {
+        let Some(ends) = self.begin_group_op(session, GroupOpKind::Stop, done) else {
+            return;
+        };
+        for (vc, role, peer) in ends {
+            self.stop_local_end(session, vc, role);
+            self.send_opdu(peer, OrchMsg::Stop { session, vc });
+        }
+    }
+
+    /// `Orch.Add.request` (table 5): join another VC (one end must be
+    /// local) to a live session.
+    pub fn add_vc(
+        &self,
+        session: OrchSessionId,
+        vc: VcId,
+        done: impl FnOnce(Result<(), OrchDenyReason>) + 'static,
+    ) {
+        let (role, peer) = match (self.inner.svc.role(vc), self.inner.svc.triple(vc)) {
+            (Ok(role), Ok(triple)) => (
+                role,
+                match role {
+                    VcRole::Source => triple.destination.node,
+                    VcRole::Sink => triple.source.node,
+                },
+            ),
+            _ => {
+                done(Err(OrchDenyReason::NoSuchVc));
+                return;
+            }
+        };
+        {
+            let mut st = self.inner.state.borrow_mut();
+            let s = match st.sessions.get_mut(&session) {
+                Some(s) => s,
+                None => {
+                    drop(st);
+                    done(Err(OrchDenyReason::NoSuchVc));
+                    return;
+                }
+            };
+            s.vcs.insert(
+                vc,
+                VcOrchState {
+                    role,
+                    peer,
+                    patterns: Vec::new(),
+                    drop_events: Vec::new(),
+                    release_events: Vec::new(),
+                    harvest_event: None,
+                    priming: false,
+                },
+            );
+            s.pending_setup = Some((1, Box::new(done)));
+        }
+        let _ = self.inner.svc.register_tap(
+            vc,
+            Rc::new(LloTap {
+                llo: self.clone(),
+                session,
+            }),
+        );
+        self.send_opdu(
+            peer,
+            OrchMsg::SessionReq {
+                session,
+                vc,
+                orchestrator: TransportAddr {
+                    node: self.node(),
+                    tsap: ORCH_TSAP,
+                },
+            },
+        );
+    }
+
+    /// `Orch.Remove.request` (table 5): detach a VC from the session.
+    /// Data may keep flowing — the VC is simply no longer co-ordinated.
+    pub fn remove_vc(&self, session: OrchSessionId, vc: VcId) {
+        let peer = {
+            let mut st = self.inner.state.borrow_mut();
+            let Some(s) = st.sessions.get_mut(&session) else {
+                return;
+            };
+            match s.vcs.remove(&vc) {
+                Some(vs) => {
+                    let engine = self.inner.svc.network().engine().clone();
+                    let _ = self.inner.svc.set_release_limit(vc, None);
+                    for ev in vs.drop_events.iter().chain(&vs.release_events) {
+                        engine.cancel(*ev);
+                    }
+                    if let Some(ev) = vs.harvest_event {
+                        engine.cancel(ev);
+                    }
+                    Some(vs.peer)
+                }
+                None => None,
+            }
+        };
+        if let Some(peer) = peer {
+            self.inner.svc.clear_tap(vc);
+            self.send_opdu(peer, OrchMsg::Release {
+                session,
+                reason: OrchDenyReason::UserRelease,
+            });
+        }
+    }
+
+    /// `Orch.Regulate.request` (table 6): set the flow-rate targets for
+    /// one VC over the coming interval — `source_target` for the charge
+    /// point at the source (compensation acts there: rate retune + drops),
+    /// `sink_target` for the paced release of OSDUs to the sink
+    /// application (§5). The indication (both ends' statistics) arrives at
+    /// the session observer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn regulate(
+        &self,
+        session: OrchSessionId,
+        vc: VcId,
+        interval: IntervalId,
+        source_target: u64,
+        sink_target: u64,
+        max_drop: u64,
+        max_rate_ppt: u64,
+        spread_drops: bool,
+        interval_len: SimDuration,
+    ) {
+        let (role, peer) = {
+            let mut st = self.inner.state.borrow_mut();
+            let Some(s) = st.sessions.get_mut(&session) else {
+                return;
+            };
+            let Some(vs) = s.vcs.get(&vc) else { return };
+            s.pending_intervals.insert(
+                (vc, interval),
+                PendingInterval {
+                    target_osdu: sink_target,
+                    source: None,
+                    sink: None,
+                },
+            );
+            (vs.role, vs.peer)
+        };
+        match role {
+            VcRole::Source => {
+                // Compensation + source stats locally; release pacing and
+                // sink stats at the remote sink.
+                self.apply_compensation(
+                    session,
+                    vc,
+                    source_target,
+                    max_drop,
+                    max_rate_ppt,
+                    spread_drops,
+                    interval_len,
+                );
+                self.schedule_harvest(session, vc, interval, interval_len);
+                self.send_opdu(
+                    peer,
+                    OrchMsg::StatRequest {
+                        session,
+                        vc,
+                        interval,
+                        target_osdu: sink_target,
+                        interval_len,
+                    },
+                );
+            }
+            VcRole::Sink => {
+                // Source side is remote: ship the compensation there; pace
+                // release locally.
+                self.pace_release(session, vc, sink_target, interval_len);
+                self.schedule_harvest(session, vc, interval, interval_len);
+                self.send_opdu(
+                    peer,
+                    OrchMsg::Regulate {
+                        session,
+                        vc,
+                        interval,
+                        target_osdu: source_target,
+                        max_drop,
+                        max_rate_ppt,
+                        spread_drops,
+                        interval_len,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Pace the release of buffered OSDUs at this (sink) end: raise the
+    /// release cap in unit steps spread across the interval so that
+    /// exactly `target` units are releasable by its end (§5).
+    fn pace_release(
+        &self,
+        session: OrchSessionId,
+        vc: VcId,
+        target: u64,
+        interval_len: SimDuration,
+    ) {
+        let Ok(buf) = self.inner.svc.recv_handle(vc) else {
+            return;
+        };
+        let from = buf.release_limit().unwrap_or_else(|| {
+            self.inner.svc.sink_delivery_point(vc).unwrap_or(0)
+        });
+        let engine = self.inner.svc.network().engine().clone();
+        {
+            let mut st = self.inner.state.borrow_mut();
+            if let Some(vs) = st
+                .sessions
+                .get_mut(&session)
+                .and_then(|s| s.vcs.get_mut(&vc))
+            {
+                for ev in vs.release_events.drain(..) {
+                    engine.cancel(ev);
+                }
+            }
+        }
+        let steps = target.saturating_sub(from);
+        if steps == 0 {
+            // Already at (or past) the target: hold the line.
+            let _ = self.inner.svc.set_release_limit(vc, Some(target.max(from)));
+            return;
+        }
+        let mut events = Vec::with_capacity(steps as usize);
+        for i in 1..=steps {
+            let at = interval_len.mul_ratio(i, steps);
+            let svc = self.inner.svc.clone();
+            let ev = self.schedule_local_in(at, move || {
+                let _ = svc.set_release_limit(vc, Some(from + i));
+            });
+            events.push(ev);
+        }
+        let mut st = self.inner.state.borrow_mut();
+        if let Some(vs) = st
+            .sessions
+            .get_mut(&session)
+            .and_then(|s| s.vcs.get_mut(&vc))
+        {
+            vs.release_events = events;
+        }
+    }
+
+    /// `Orch.Delayed.request` (table 6, §6.3.3): tell the application
+    /// thread at `end` of `vc` that it is `osdus_behind` too slow.
+    pub fn delayed(&self, session: OrchSessionId, vc: VcId, end: VcRole, osdus_behind: u64) {
+        let (role, peer) = {
+            let st = self.inner.state.borrow();
+            let Some(s) = st.sessions.get(&session) else {
+                return;
+            };
+            let Some(vs) = s.vcs.get(&vc) else { return };
+            (vs.role, vs.peer)
+        };
+        if role == end {
+            // Local application thread.
+            let ok = self.indicate_delayed(session, vc, osdus_behind);
+            self.notify_delayed_response(session, vc, !ok);
+        } else {
+            self.send_opdu(
+                peer,
+                OrchMsg::Delayed {
+                    session,
+                    vc,
+                    osdus_behind,
+                },
+            );
+        }
+    }
+
+    /// `Orch.Event.request` (table 6, §6.3.4): match `pattern` against the
+    /// event fields of OSDUs arriving at `vc`'s sink.
+    pub fn register_event(&self, session: OrchSessionId, vc: VcId, pattern: u64) {
+        let (role, peer) = {
+            let mut st = self.inner.state.borrow_mut();
+            let Some(s) = st.sessions.get_mut(&session) else {
+                return;
+            };
+            let Some(vs) = s.vcs.get_mut(&vc) else { return };
+            if vs.role == VcRole::Sink {
+                vs.patterns.push(pattern);
+                return;
+            }
+            (vs.role, vs.peer)
+        };
+        debug_assert_eq!(role, VcRole::Source);
+        self.send_opdu(peer, OrchMsg::EventReg {
+            session,
+            vc,
+            pattern,
+        });
+    }
+
+    /// Flush both ends of a VC (stop + seek support, §6.2.1).
+    pub fn flush_vc(&self, session: OrchSessionId, vc: VcId) {
+        let peer = {
+            let st = self.inner.state.borrow();
+            let Some(s) = st.sessions.get(&session) else {
+                return;
+            };
+            let Some(vs) = s.vcs.get(&vc) else { return };
+            vs.peer
+        };
+        let _ = self.inner.svc.flush_local(vc);
+        self.send_opdu(peer, OrchMsg::Flush { session, vc });
+    }
+
+    // ==================================================================
+    // Local end mechanics
+    // ==================================================================
+
+    fn app_for(&self, vc: VcId) -> Option<Rc<dyn OrchAppHandler>> {
+        self.inner.state.borrow().apps.get(&vc).cloned()
+    }
+
+    /// Prime this node's end of `vc`; acks flow to the orchestrator (which
+    /// may be ourselves).
+    fn prime_local_end(&self, session: OrchSessionId, vc: VcId, role: VcRole) {
+        match role {
+            VcRole::Source => {
+                // A stopped source's protocol is paused; priming must let
+                // transmission refill the pipeline (delivery stays gated at
+                // the sink, fig. 7).
+                let _ = self.inner.svc.resume_source(vc);
+                let ready = self
+                    .app_for(vc)
+                    .map(|h| h.orch_prime_indication(session, vc))
+                    .unwrap_or(true);
+                let result = if ready {
+                    Ok(())
+                } else {
+                    Err(OrchDenyReason::ApplicationNotReady)
+                };
+                self.deliver_ack(session, vc, VcRole::Source, GroupOpKind::Prime, result);
+            }
+            VcRole::Sink => {
+                let now = self.inner.svc.now();
+                let _ = self.inner.svc.set_recv_gate(vc, true);
+                let ready = self
+                    .app_for(vc)
+                    .map(|h| h.orch_prime_indication(session, vc))
+                    .unwrap_or(true);
+                if !ready {
+                    self.deliver_ack(
+                        session,
+                        vc,
+                        VcRole::Sink,
+                        GroupOpKind::Prime,
+                        Err(OrchDenyReason::ApplicationNotReady),
+                    );
+                    return;
+                }
+                let buf = match self.inner.svc.recv_handle(vc) {
+                    Ok(b) => b,
+                    Err(_) => {
+                        self.deliver_ack(
+                            session,
+                            vc,
+                            VcRole::Sink,
+                            GroupOpKind::Prime,
+                            Err(OrchDenyReason::NoSuchVc),
+                        );
+                        return;
+                    }
+                };
+                if buf.is_full() {
+                    self.deliver_ack(session, vc, VcRole::Sink, GroupOpKind::Prime, Ok(()));
+                    return;
+                }
+                // Mark priming and wait for the buffer to fill (§6.2.1:
+                // "when the receive buffers are eventually full, each sink
+                // LLO notifies the [orchestrating] LLO").
+                {
+                    let mut st = self.inner.state.borrow_mut();
+                    if let Some(s) = st.sessions.get_mut(&session) {
+                        if let Some(vs) = s.vcs.get_mut(&vc) {
+                            vs.priming = true;
+                        }
+                    }
+                }
+                let llo = self.clone();
+                let engine = self.inner.svc.network().engine().clone();
+                buf.set_full_watch(move || {
+                    // Trampoline out of the buffer's borrow context.
+                    let llo2 = llo.clone();
+                    engine.schedule_in(SimDuration::ZERO, move |_| {
+                        llo2.on_sink_buffer_full(session, vc);
+                    });
+                });
+                let _ = now;
+            }
+        }
+    }
+
+    fn on_sink_buffer_full(&self, session: OrchSessionId, vc: VcId) {
+        let was_priming = {
+            let mut st = self.inner.state.borrow_mut();
+            match st
+                .sessions
+                .get_mut(&session)
+                .and_then(|s| s.vcs.get_mut(&vc))
+            {
+                Some(vs) if vs.priming => {
+                    vs.priming = false;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if was_priming {
+            if let Ok(buf) = self.inner.svc.recv_handle(vc) {
+                buf.clear_full_watch();
+            }
+            self.deliver_ack(session, vc, VcRole::Sink, GroupOpKind::Prime, Ok(()));
+        }
+    }
+
+    fn start_local_end(&self, session: OrchSessionId, vc: VcId, role: VcRole) {
+        match role {
+            VcRole::Source => {
+                let _ = self.inner.svc.resume_source(vc);
+            }
+            VcRole::Sink => {
+                let _ = self.inner.svc.set_recv_gate(vc, false);
+            }
+        }
+        if let Some(h) = self.app_for(vc) {
+            h.orch_start_indication(session, vc);
+        }
+        self.deliver_ack(session, vc, role, GroupOpKind::Start, Ok(()));
+    }
+
+    fn stop_local_end(&self, session: OrchSessionId, vc: VcId, role: VcRole) {
+        match role {
+            VcRole::Source => {
+                let _ = self.inner.svc.pause_source(vc);
+            }
+            VcRole::Sink => {
+                // Make the buffers unavailable *before* they drain (§6.2.3).
+                let _ = self.inner.svc.set_recv_gate(vc, true);
+            }
+        }
+        if let Some(h) = self.app_for(vc) {
+            h.orch_stop_indication(session, vc);
+        }
+        self.deliver_ack(session, vc, role, GroupOpKind::Stop, Ok(()));
+    }
+
+    /// Route a (possibly local) ack toward the orchestrating node's group
+    /// op.
+    fn deliver_ack(
+        &self,
+        session: OrchSessionId,
+        vc: VcId,
+        end: VcRole,
+        kind: GroupOpKind,
+        result: Result<(), OrchDenyReason>,
+    ) {
+        let orchestrator = {
+            let st = self.inner.state.borrow();
+            st.sessions.get(&session).and_then(|s| s.orchestrator)
+        };
+        match orchestrator {
+            None => self.collect_ack(session, vc, end, kind, result),
+            Some(addr) => {
+                let msg = match kind {
+                    GroupOpKind::Prime => OrchMsg::PrimeAck {
+                        session,
+                        vc,
+                        result,
+                    },
+                    GroupOpKind::Start => OrchMsg::StartAck { session, vc },
+                    GroupOpKind::Stop => OrchMsg::StopAck { session, vc },
+                };
+                self.send_opdu(addr.node, msg);
+            }
+        }
+    }
+
+    /// Orchestrating node: account one ack; fire the op callback when all
+    /// are in.
+    fn collect_ack(
+        &self,
+        session: OrchSessionId,
+        vc: VcId,
+        end: VcRole,
+        kind: GroupOpKind,
+        result: Result<(), OrchDenyReason>,
+    ) {
+        let finished = {
+            let mut st = self.inner.state.borrow_mut();
+            let Some(s) = st.sessions.get_mut(&session) else {
+                return;
+            };
+            let Some(op) = s.pending_op.as_mut() else {
+                return;
+            };
+            if op.kind != kind {
+                return; // stale ack from a previous op
+            }
+            if let Some(pos) = op.waiting.iter().position(|&(v, e)| v == vc && e == end) {
+                op.waiting.swap_remove(pos);
+            }
+            if let Err(r) = result {
+                op.denial.get_or_insert(r);
+            }
+            if op.waiting.is_empty() {
+                let mut op = s.pending_op.take().expect("pending op present");
+                Some((op.done.take().expect("callback present"), op.denial))
+            } else {
+                None
+            }
+        };
+        if let Some((done, denial)) = finished {
+            match denial {
+                Some(r) => done(Err(r)),
+                None => done(Ok(())),
+            }
+        }
+    }
+
+    // ==================================================================
+    // Regulation mechanics (§6.3.1)
+    // ==================================================================
+
+    /// Source-side compensation toward `target_osdu` by the end of the
+    /// interval: retune the pacing rate (bounded), and spread up to
+    /// `max_drop` source drops across the interval (§6.3.1.1).
+    #[allow(clippy::too_many_arguments)]
+    fn apply_compensation(
+        &self,
+        session: OrchSessionId,
+        vc: VcId,
+        target_osdu: u64,
+        max_drop: u64,
+        max_rate_ppt: u64,
+        spread_drops: bool,
+        interval_len: SimDuration,
+    ) {
+        let Ok((charged, _dropped, _next)) = self.inner.svc.source_progress(vc) else {
+            return;
+        };
+        let Ok(rate) = self.inner.svc.osdu_rate(vc) else {
+            return;
+        };
+        let needed = target_osdu.saturating_sub(charged);
+
+        // All arithmetic in milli-units (×1000) so that intervals holding
+        // a fractional number of units (e.g. 12.5 video frames per 500 ms)
+        // do not read as deficits and trigger spurious drops.
+        let per_us = rate.per.as_micros().max(1) as u128;
+        let base_x1000 = ((interval_len.as_micros() as u128 * rate.units as u128 * 1000)
+            / per_us)
+            .max(1) as u64;
+        let needed_x1000 = needed.saturating_mul(1000);
+        let reachable_x1000 = base_x1000.saturating_mul(max_rate_ppt.max(1000)) / 1000;
+
+        // Fine-grained correction: retune the pacing rate within the
+        // policy bound (speed-up capped at `max_rate_ppt`; slow-down floor
+        // 1/2). The paper's "ahead → block" maps to a factor < 1 — a paced
+        // slow-down avoids the jitter a hard block would create, §6.3.1.1.
+        let num = needed_x1000.clamp(base_x1000 / 2, reachable_x1000).max(1);
+        let _ = self.inner.svc.set_rate_factor(vc, num, base_x1000);
+
+        // Drops cover what pacing alone cannot reach (§6.3.1.1: "if a
+        // connection is behind, its sole compensatory strategy is to drop
+        // OSDUs").
+        let drops = (needed_x1000.saturating_sub(reachable_x1000) / 1000).min(max_drop);
+
+        // Cancel any unexecuted drops from the previous interval, then
+        // spread the new ones evenly to avoid jitter bunching (§6.3.1.1).
+        let engine = self.inner.svc.network().engine().clone();
+        {
+            let mut st = self.inner.state.borrow_mut();
+            if let Some(vs) = st
+                .sessions
+                .get_mut(&session)
+                .and_then(|s| s.vcs.get_mut(&vc))
+            {
+                for ev in vs.drop_events.drain(..) {
+                    engine.cancel(ev);
+                }
+            }
+        }
+        if drops == 0 {
+            return;
+        }
+        let mut events = Vec::new();
+        for i in 0..drops {
+            // Spread evenly across the interval (§6.3.1.1), or bunch at
+            // the start for the A1 ablation.
+            let frac = if spread_drops {
+                interval_len.mul_ratio(i + 1, drops + 1)
+            } else {
+                SimDuration::from_micros(i + 1)
+            };
+            let svc = self.inner.svc.clone();
+            let ev = self.schedule_local_in(frac, move || {
+                // Re-check at fire time: if the source caught up in the
+                // meantime, dropping would overshoot the target.
+                let still_behind = svc
+                    .source_progress(vc)
+                    .map(|(charged, _, _)| charged < target_osdu)
+                    .unwrap_or(false);
+                if still_behind {
+                    let _ = svc.source_drop_one(vc);
+                }
+            });
+            events.push(ev);
+        }
+        let mut st = self.inner.state.borrow_mut();
+        if let Some(vs) = st
+            .sessions
+            .get_mut(&session)
+            .and_then(|s| s.vcs.get_mut(&vc))
+        {
+            vs.drop_events = events;
+        }
+    }
+
+    /// Schedule an end-of-interval stats harvest for this node's end.
+    fn schedule_harvest(
+        &self,
+        session: OrchSessionId,
+        vc: VcId,
+        interval: IntervalId,
+        interval_len: SimDuration,
+    ) {
+        let llo = self.clone();
+        let ev = self.schedule_local_in(interval_len, move || {
+            llo.harvest_now(session, vc, interval);
+        });
+        let mut st = self.inner.state.borrow_mut();
+        if let Some(vs) = st
+            .sessions
+            .get_mut(&session)
+            .and_then(|s| s.vcs.get_mut(&vc))
+        {
+            vs.harvest_event = Some(ev);
+        }
+    }
+
+    fn harvest_now(&self, session: OrchSessionId, vc: VcId, interval: IntervalId) {
+        let Ok(stats) = self.inner.svc.take_end_stats(vc) else {
+            return;
+        };
+        let role = match self.inner.svc.role(vc) {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        let orchestrator = {
+            let mut st = self.inner.state.borrow_mut();
+            if let Some(vs) = st
+                .sessions
+                .get_mut(&session)
+                .and_then(|s| s.vcs.get_mut(&vc))
+            {
+                vs.harvest_event = None;
+            }
+            st.sessions.get(&session).and_then(|s| s.orchestrator)
+        };
+        match orchestrator {
+            None => self.accept_interval_stats(session, vc, interval, role, stats),
+            Some(addr) => self.send_opdu(
+                addr.node,
+                OrchMsg::IntervalReport {
+                    session,
+                    vc,
+                    interval,
+                    stats,
+                },
+            ),
+        }
+    }
+
+    /// Orchestrating node: fold one end's stats into the pending interval;
+    /// emit `Orch.Regulate.indication` when both halves are present.
+    fn accept_interval_stats(
+        &self,
+        session: OrchSessionId,
+        vc: VcId,
+        interval: IntervalId,
+        end: VcRole,
+        stats: EndStats,
+    ) {
+        let ready = {
+            let mut st = self.inner.state.borrow_mut();
+            let Some(s) = st.sessions.get_mut(&session) else {
+                return;
+            };
+            let Some(p) = s.pending_intervals.get_mut(&(vc, interval)) else {
+                return;
+            };
+            match end {
+                VcRole::Source => p.source = Some(stats),
+                VcRole::Sink => p.sink = Some(stats),
+            }
+            if p.source.is_some() && p.sink.is_some() {
+                let p = s
+                    .pending_intervals
+                    .remove(&(vc, interval))
+                    .expect("pending interval present");
+                let observer = s.observer.clone();
+                Some((
+                    observer,
+                    RegulateIndication {
+                        vc,
+                        interval,
+                        target_osdu: p.target_osdu,
+                        source: p.source.expect("source half"),
+                        sink: p.sink.expect("sink half"),
+                    },
+                ))
+            } else {
+                None
+            }
+        };
+        if let Some((observer, ind)) = ready {
+            if let Some(o) = observer {
+                o.regulate_indication(session, &ind);
+            }
+        }
+    }
+
+    fn indicate_delayed(&self, session: OrchSessionId, vc: VcId, behind: u64) -> bool {
+        self.app_for(vc)
+            .map(|h| h.orch_delayed_indication(session, vc, behind))
+            .unwrap_or(true)
+    }
+
+    fn notify_delayed_response(&self, session: OrchSessionId, vc: VcId, gave_up: bool) {
+        let observer = {
+            let st = self.inner.state.borrow();
+            st.sessions.get(&session).and_then(|s| s.observer.clone())
+        };
+        if let Some(o) = observer {
+            o.delayed_response(session, vc, gave_up);
+        }
+    }
+
+    // ==================================================================
+    // OPDU dispatch (remote-LLO side + ack collection)
+    // ==================================================================
+
+    fn on_opdu(&self, from: TransportAddr, msg: OrchMsg) {
+        match msg {
+            OrchMsg::SessionReq {
+                session,
+                vc,
+                orchestrator,
+            } => {
+                let verdict = self.accept_session_req(session, vc, orchestrator);
+                self.send_opdu(
+                    from.node,
+                    OrchMsg::SessionAck {
+                        session,
+                        vc,
+                        reject: verdict.err(),
+                    },
+                );
+            }
+            OrchMsg::SessionAck {
+                session,
+                vc,
+                reject,
+            } => self.on_session_ack(session, vc, reject),
+            OrchMsg::Release { session, .. } => {
+                let mut st = self.inner.state.borrow_mut();
+                if let Some(s) = st.sessions.remove(&session) {
+                    for vc in s.vcs.keys() {
+                        self.inner.svc.clear_tap(*vc);
+                    }
+                }
+            }
+            OrchMsg::Prime { session, vc } => {
+                if let Ok(role) = self.inner.svc.role(vc) {
+                    self.prime_local_end(session, vc, role);
+                }
+            }
+            OrchMsg::PrimeAck {
+                session,
+                vc,
+                result,
+            } => {
+                // The remote end's role is the opposite of ours.
+                if let Ok(local_role) = self.inner.svc.role(vc) {
+                    let end = match local_role {
+                        VcRole::Source => VcRole::Sink,
+                        VcRole::Sink => VcRole::Source,
+                    };
+                    self.collect_ack(session, vc, end, GroupOpKind::Prime, result);
+                }
+            }
+            OrchMsg::Start { session, vc } => {
+                if let Ok(role) = self.inner.svc.role(vc) {
+                    self.start_local_end(session, vc, role);
+                }
+            }
+            OrchMsg::StartAck { session, vc } => {
+                if let Ok(local_role) = self.inner.svc.role(vc) {
+                    let end = match local_role {
+                        VcRole::Source => VcRole::Sink,
+                        VcRole::Sink => VcRole::Source,
+                    };
+                    self.collect_ack(session, vc, end, GroupOpKind::Start, Ok(()));
+                }
+            }
+            OrchMsg::Stop { session, vc } => {
+                if let Ok(role) = self.inner.svc.role(vc) {
+                    self.stop_local_end(session, vc, role);
+                }
+            }
+            OrchMsg::StopAck { session, vc } => {
+                if let Ok(local_role) = self.inner.svc.role(vc) {
+                    let end = match local_role {
+                        VcRole::Source => VcRole::Sink,
+                        VcRole::Sink => VcRole::Source,
+                    };
+                    self.collect_ack(session, vc, end, GroupOpKind::Stop, Ok(()));
+                }
+            }
+            OrchMsg::Regulate {
+                session,
+                vc,
+                interval,
+                target_osdu,
+                max_drop,
+                max_rate_ppt,
+                spread_drops,
+                interval_len,
+            } => {
+                self.apply_compensation(
+                    session,
+                    vc,
+                    target_osdu,
+                    max_drop,
+                    max_rate_ppt,
+                    spread_drops,
+                    interval_len,
+                );
+                self.schedule_harvest(session, vc, interval, interval_len);
+            }
+            OrchMsg::StatRequest {
+                session,
+                vc,
+                interval,
+                target_osdu,
+                interval_len,
+            } => {
+                self.pace_release(session, vc, target_osdu, interval_len);
+                self.schedule_harvest(session, vc, interval, interval_len);
+            }
+            OrchMsg::IntervalReport {
+                session,
+                vc,
+                interval,
+                stats,
+            } => {
+                // Arriving at the orchestrating node: the reporting end's
+                // role is the opposite of our local role.
+                if let Ok(local_role) = self.inner.svc.role(vc) {
+                    let end = match local_role {
+                        VcRole::Source => VcRole::Sink,
+                        VcRole::Sink => VcRole::Source,
+                    };
+                    self.accept_interval_stats(session, vc, interval, end, stats);
+                }
+            }
+            OrchMsg::Delayed {
+                session,
+                vc,
+                osdus_behind,
+            } => {
+                let ok = self.indicate_delayed(session, vc, osdus_behind);
+                self.send_opdu(
+                    from.node,
+                    OrchMsg::DelayedAck {
+                        session,
+                        vc,
+                        result: if ok {
+                            Ok(())
+                        } else {
+                            Err(OrchDenyReason::ApplicationGaveUp)
+                        },
+                    },
+                );
+            }
+            OrchMsg::DelayedAck {
+                session,
+                vc,
+                result,
+            } => {
+                self.notify_delayed_response(session, vc, result.is_err());
+            }
+            OrchMsg::EventReg {
+                session,
+                vc,
+                pattern,
+            } => {
+                let mut st = self.inner.state.borrow_mut();
+                if let Some(vs) = st
+                    .sessions
+                    .get_mut(&session)
+                    .and_then(|s| s.vcs.get_mut(&vc))
+                {
+                    vs.patterns.push(pattern);
+                }
+            }
+            OrchMsg::EventInd {
+                session,
+                vc,
+                pattern,
+                seq,
+            } => {
+                let observer = {
+                    let st = self.inner.state.borrow();
+                    st.sessions.get(&session).and_then(|s| s.observer.clone())
+                };
+                if let Some(o) = observer {
+                    o.event_indication(session, vc, pattern, seq);
+                }
+            }
+            OrchMsg::Flush { session: _, vc } => {
+                let _ = self.inner.svc.flush_local(vc);
+            }
+        }
+    }
+
+    fn accept_session_req(
+        &self,
+        session: OrchSessionId,
+        vc: VcId,
+        orchestrator: TransportAddr,
+    ) -> Result<(), OrchDenyReason> {
+        let (role, peer) = match (self.inner.svc.role(vc), self.inner.svc.triple(vc)) {
+            (Ok(role), Ok(triple)) => (
+                role,
+                match role {
+                    VcRole::Source => triple.destination.node,
+                    VcRole::Sink => triple.source.node,
+                },
+            ),
+            _ => return Err(OrchDenyReason::NoSuchVc),
+        };
+        {
+            let mut st = self.inner.state.borrow_mut();
+            let is_new = !st.sessions.contains_key(&session);
+            if is_new && st.sessions.len() >= st.max_sessions {
+                return Err(OrchDenyReason::NoTableSpace);
+            }
+            let s = st.sessions.entry(session).or_insert_with(|| Session {
+                orchestrator: Some(orchestrator),
+                vcs: HashMap::new(),
+                pending_op: None,
+                pending_intervals: HashMap::new(),
+                observer: None,
+                pending_setup: None,
+            });
+            s.vcs.insert(
+                vc,
+                VcOrchState {
+                    role,
+                    peer,
+                    patterns: Vec::new(),
+                    drop_events: Vec::new(),
+                    release_events: Vec::new(),
+                    harvest_event: None,
+                    priming: false,
+                },
+            );
+        }
+        let _ = self.inner.svc.register_tap(
+            vc,
+            Rc::new(LloTap {
+                llo: self.clone(),
+                session,
+            }),
+        );
+        Ok(())
+    }
+
+    fn on_session_ack(&self, session: OrchSessionId, _vc: VcId, reject: Option<OrchDenyReason>) {
+        let finished = {
+            let mut st = self.inner.state.borrow_mut();
+            let Some(s) = st.sessions.get_mut(&session) else {
+                return;
+            };
+            let Some((remaining, _)) = s.pending_setup.as_mut() else {
+                return;
+            };
+            *remaining -= 1;
+            if let Some(r) = reject {
+                let (_, done) = s.pending_setup.take().expect("setup pending");
+                st.sessions.remove(&session);
+                Some((done, Some(r)))
+            } else if *remaining == 0 {
+                let (_, done) = s.pending_setup.take().expect("setup pending");
+                Some((done, None))
+            } else {
+                None
+            }
+        };
+        if let Some((done, reject)) = finished {
+            match reject {
+                Some(r) => {
+                    // Tell the accepted peers to forget the session.
+                    self.orch_release(session, r);
+                    done(Err(r));
+                }
+                None => done(Ok(())),
+            }
+        }
+    }
+
+    /// Tap callback: an OSDU reached `vc`'s receive buffer at this node.
+    fn on_osdu_arrived(&self, session: OrchSessionId, vc: VcId, opdu: Opdu) {
+        let Some(event) = opdu.event else { return };
+        let (matched, orchestrator) = {
+            let st = self.inner.state.borrow();
+            let Some(s) = st.sessions.get(&session) else {
+                return;
+            };
+            let Some(vs) = s.vcs.get(&vc) else { return };
+            (
+                vs.patterns.contains(&event),
+                s.orchestrator,
+            )
+        };
+        if !matched {
+            return;
+        }
+        match orchestrator {
+            None => {
+                let observer = {
+                    let st = self.inner.state.borrow();
+                    st.sessions.get(&session).and_then(|s| s.observer.clone())
+                };
+                if let Some(o) = observer {
+                    o.event_indication(session, vc, event, opdu.seq);
+                }
+            }
+            Some(addr) => self.send_opdu(
+                addr.node,
+                OrchMsg::EventInd {
+                    session,
+                    vc,
+                    pattern: event,
+                    seq: opdu.seq,
+                },
+            ),
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Orchestrator PDUs (OPDUs) exchanged between LLO instances (§5).
+//!
+//! Session management and group primitives travel as datagrams to each
+//! node's well-known orchestration TSAP; per-interval regulation and event
+//! notifications do too. All orchestration traffic rides the network's
+//! control class — the paper's out-of-band connections "with guaranteed
+//! bandwidth" (§5).
+
+use cm_core::address::{OrchSessionId, TransportAddr, VcId};
+use cm_core::error::OrchDenyReason;
+use cm_core::time::{SimDuration, SimTime};
+use cm_transport::EndStats;
+
+/// The well-known TSAP every LLO instance binds for orchestration OPDUs.
+pub const ORCH_TSAP: cm_core::address::Tsap = cm_core::address::Tsap(0xFFFE);
+
+/// Identifies one regulation interval within a session (table 6
+/// `interval-id`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntervalId(pub u64);
+
+/// OPDUs between LLO instances.
+#[derive(Debug, Clone)]
+pub enum OrchMsg {
+    /// Orchestrating LLO → peer LLO: join `vc` to the session (table 4,
+    /// `Orch.request` leg).
+    SessionReq {
+        /// Session id allocated by the HLO (§6.1).
+        session: OrchSessionId,
+        /// The VC whose far end lives at the receiving node.
+        vc: VcId,
+        /// Where acks and reports go.
+        orchestrator: TransportAddr,
+    },
+    /// Peer LLO → orchestrating LLO: verdict on `SessionReq`.
+    SessionAck {
+        /// Session id.
+        session: OrchSessionId,
+        /// The VC covered.
+        vc: VcId,
+        /// Rejection reason, if refused (no table space, unknown VC…).
+        reject: Option<OrchDenyReason>,
+    },
+    /// Orchestrating LLO → peer LLO: the session (or one VC of it) is
+    /// released (table 4).
+    Release {
+        /// Session id.
+        session: OrchSessionId,
+        /// Why.
+        reason: OrchDenyReason,
+    },
+    /// Prime one VC (table 5, fig. 7): the receiving LLO gates its sink
+    /// buffer and/or tells its application thread to start producing.
+    Prime {
+        /// Session id.
+        session: OrchSessionId,
+        /// The VC to prime at this node.
+        vc: VcId,
+    },
+    /// Peer → orchestrator: prime progress for `vc` at this end.
+    PrimeAck {
+        /// Session id.
+        session: OrchSessionId,
+        /// The VC.
+        vc: VcId,
+        /// `Ok(())` when this end is ready (source producing / sink buffer
+        /// full); `Err` if the application denied (§6.2.1 `Orch.Deny`).
+        result: Result<(), OrchDenyReason>,
+    },
+    /// Start the flow on one VC at this node (table 5): open the sink gate
+    /// and/or resume the source.
+    Start {
+        /// Session id.
+        session: OrchSessionId,
+        /// The VC.
+        vc: VcId,
+    },
+    /// Peer → orchestrator: start executed.
+    StartAck {
+        /// Session id.
+        session: OrchSessionId,
+        /// The VC.
+        vc: VcId,
+    },
+    /// Freeze the flow on one VC at this node (table 5): pause the source
+    /// and/or close the sink gate before it drains (§6.2.3).
+    Stop {
+        /// Session id.
+        session: OrchSessionId,
+        /// The VC.
+        vc: VcId,
+    },
+    /// Peer → orchestrator: stop executed.
+    StopAck {
+        /// Session id.
+        session: OrchSessionId,
+        /// The VC.
+        vc: VcId,
+    },
+    /// Orchestrator → source-end LLO: flow-rate target for the coming
+    /// interval (table 6, `Orch.Regulate.request`).
+    Regulate {
+        /// Session id.
+        session: OrchSessionId,
+        /// The VC to regulate.
+        vc: VcId,
+        /// Matches the eventual report (table 6 `interval-id`).
+        interval: IntervalId,
+        /// OSDU sequence number that should ideally be charged at the
+        /// source by the end of the interval (table 6 `target-OSDU#`).
+        target_osdu: u64,
+        /// Maximum OSDUs the source may discard to catch up (table 6
+        /// `max-drop#`).
+        max_drop: u64,
+        /// Upper bound on the pacing-rate factor, in parts per thousand
+        /// (policy: fine-grained corrections stay within the contracted
+        /// QoS; anything beyond is covered by drops, §6.3.1.1).
+        max_rate_ppt: u64,
+        /// Spread drops across the interval (§6.3.1.1) or execute them
+        /// back-to-back (ablation A1).
+        spread_drops: bool,
+        /// Interval length (table 6 `interval-length`).
+        interval_len: SimDuration,
+    },
+    /// Either-end LLO → orchestrator: the end's statistics for a completed
+    /// interval (feeds `Orch.Regulate.indication`).
+    IntervalReport {
+        /// Session id.
+        session: OrchSessionId,
+        /// The VC.
+        vc: VcId,
+        /// Which interval.
+        interval: IntervalId,
+        /// Blocking times and progress harvested at this end (§6.3.1.2).
+        stats: EndStats,
+    },
+    /// Orchestrator → sink-end LLO: pace the release of buffered OSDUs to
+    /// the application toward `target_osdu` by interval end (§5: quanta
+    /// are released "at times determined by the HLO initiated targets"),
+    /// and harvest this end's stats at interval end.
+    StatRequest {
+        /// Session id.
+        session: OrchSessionId,
+        /// The VC.
+        vc: VcId,
+        /// Which interval.
+        interval: IntervalId,
+        /// Release target: total OSDUs releasable by interval end.
+        target_osdu: u64,
+        /// Interval length.
+        interval_len: SimDuration,
+    },
+    /// Orchestrator → application-end LLO: the application thread is too
+    /// slow (table 6, `Orch.Delayed`).
+    Delayed {
+        /// Session id.
+        session: OrchSessionId,
+        /// The VC.
+        vc: VcId,
+        /// How many OSDUs behind the target (table 6 `OSDUs-behind`).
+        osdus_behind: u64,
+    },
+    /// Application-end LLO → orchestrator: the application's answer to
+    /// `Delayed` (`Err` = it gave up, `Orch.Deny`).
+    DelayedAck {
+        /// Session id.
+        session: OrchSessionId,
+        /// The VC.
+        vc: VcId,
+        /// Acknowledgement or denial.
+        result: Result<(), OrchDenyReason>,
+    },
+    /// Orchestrator → sink-end LLO: register interest in an event pattern
+    /// (table 6, `Orch.Event.request`, §6.3.4).
+    EventReg {
+        /// Session id.
+        session: OrchSessionId,
+        /// The VC whose OSDUs are matched.
+        vc: VcId,
+        /// The opaque pattern, matched verbatim against OPDU event fields.
+        pattern: u64,
+    },
+    /// Sink-end LLO → orchestrator: an OSDU matched a registered pattern
+    /// (`Orch.Event.indication`).
+    EventInd {
+        /// Session id.
+        session: OrchSessionId,
+        /// The VC.
+        vc: VcId,
+        /// The matched pattern.
+        pattern: u64,
+        /// The sequence number of the matching OSDU.
+        seq: u64,
+    },
+    /// Orchestrator → peer LLO: flush this end's buffered OSDUs (stop +
+    /// seek, §6.2.1: stale media must not play after a reposition).
+    Flush {
+        /// Session id.
+        session: OrchSessionId,
+        /// The VC to flush at this node.
+        vc: VcId,
+    },
+}
+
+/// Clock-synchronisation messages (the §7 "no common node" extension) —
+/// exchanged on the dedicated clock-sync TSAP, NTP-style (\[Mills,89\]).
+#[derive(Debug, Clone, Copy)]
+pub enum ClockMsg {
+    /// Probe: requester's local send time.
+    Probe {
+        /// Correlates the echo.
+        nonce: u64,
+        /// Requester's local clock at transmission.
+        t1_local: SimTime,
+    },
+    /// Echo: remote receive/transmit times on the remote clock.
+    Echo {
+        /// Correlates with the probe.
+        nonce: u64,
+        /// Echoed requester send time.
+        t1_local: SimTime,
+        /// Remote clock at probe receipt.
+        t2_remote: SimTime,
+        /// Remote clock at echo transmission.
+        t3_remote: SimTime,
+    },
+}
+
+/// The well-known TSAP for clock-sync probes.
+pub const CLOCK_TSAP: cm_core::address::Tsap = cm_core::address::Tsap(0xFFFD);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opdu_is_cloneable_and_carries_ids() {
+        let m = OrchMsg::Regulate {
+            session: OrchSessionId(1),
+            vc: VcId(2),
+            interval: IntervalId(3),
+            target_osdu: 100,
+            max_drop: 2,
+            max_rate_ppt: 1100,
+            spread_drops: true,
+            interval_len: SimDuration::from_millis(500),
+        };
+        let m2 = m.clone();
+        match m2 {
+            OrchMsg::Regulate {
+                session,
+                vc,
+                interval,
+                target_osdu,
+                max_drop,
+                max_rate_ppt,
+                spread_drops,
+                interval_len,
+            } => {
+                assert_eq!(session, OrchSessionId(1));
+                assert!(spread_drops);
+                assert_eq!(vc, VcId(2));
+                assert_eq!(interval, IntervalId(3));
+                assert_eq!(target_osdu, 100);
+                assert_eq!(max_drop, 2);
+                assert_eq!(max_rate_ppt, 1100);
+                assert_eq!(interval_len, SimDuration::from_millis(500));
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+}

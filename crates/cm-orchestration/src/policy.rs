@@ -1,0 +1,116 @@
+//! Orchestration policy (§5: applications specify "constraints on how
+//! 'strict' the continuous synchronisation should be and actions to take
+//! on failure"; the HLO turns policy into LLO mechanism).
+
+use cm_core::time::SimDuration;
+
+/// What the HLO agent does when a VC persistently misses its targets
+/// despite LLO-level compensation (§5, §6.3.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureAction {
+    /// Only report through the session's observer.
+    Report,
+    /// Renegotiate the failing VC's QoS upward (protocol-starved case).
+    RenegotiateQos,
+    /// Tell the slow application thread to speed up (`Orch.Delayed`);
+    /// stop the whole session if it gives up.
+    DelayThenStop,
+}
+
+/// Per-session orchestration policy.
+#[derive(Debug, Clone)]
+pub struct OrchestrationPolicy {
+    /// Regulation interval length (fig. 6). Shorter = tighter sync, more
+    /// control traffic — the F6 ablation sweeps this.
+    pub interval: SimDuration,
+    /// Maximum OSDUs a VC may discard per interval to catch up (table 6
+    /// `max-drop#`). Zero for no-loss media such as voice (§6.3.1.1).
+    pub max_drop_per_interval: u64,
+    /// Bound on the LLO's rate-factor compensation, in parts per thousand
+    /// around unity (e.g. 100 = factors within [0.9, 1.1]).
+    pub rate_nudge_limit_ppt: u64,
+    /// Inter-stream skew (in media time) the application tolerates before
+    /// the failure action is taken.
+    pub sync_tolerance: SimDuration,
+    /// How many consecutive intervals a VC may miss its target before the
+    /// failure action fires.
+    pub failure_patience: u32,
+    /// What to do then.
+    pub on_failure: FailureAction,
+    /// Spread compensation drops evenly across the interval (§6.3.1.1:
+    /// "the LLO must take responsibility for attempting to spread
+    /// compensatory actions over the length of the target interval to
+    /// avoid unnecessary jitter"). `false` executes them back-to-back at
+    /// the interval start — kept only for the A1 ablation.
+    pub spread_drops: bool,
+}
+
+impl Default for OrchestrationPolicy {
+    fn default() -> Self {
+        OrchestrationPolicy {
+            interval: SimDuration::from_millis(500),
+            max_drop_per_interval: 2,
+            rate_nudge_limit_ppt: 100,
+            sync_tolerance: SimDuration::from_millis(80),
+            failure_patience: 4,
+            on_failure: FailureAction::Report,
+            spread_drops: true,
+        }
+    }
+}
+
+impl OrchestrationPolicy {
+    /// Lip-sync strictness: ±80 ms detectability threshold, small drop
+    /// budget on the video, 500 ms intervals.
+    pub fn lip_sync() -> OrchestrationPolicy {
+        OrchestrationPolicy::default()
+    }
+
+    /// No-loss policy for voice-grade media: compensation by rate nudging
+    /// only (§6.3.1.1: "a max-drop# of zero will often be chosen where a
+    /// no-loss medium such as voice is involved").
+    pub fn no_loss() -> OrchestrationPolicy {
+        OrchestrationPolicy {
+            max_drop_per_interval: 0,
+            ..OrchestrationPolicy::default()
+        }
+    }
+
+    /// Clamp a proposed rational rate factor `num/den` to the policy's
+    /// nudge limit, returning the clamped `(num, den)`.
+    pub fn clamp_factor(&self, num: u64, den: u64) -> (u64, u64) {
+        if den == 0 {
+            return (1, 1);
+        }
+        let lo_num = 1000 - self.rate_nudge_limit_ppt.min(500);
+        let hi_num = 1000 + self.rate_nudge_limit_ppt;
+        // Compare num/den against lo_num/1000 and hi_num/1000.
+        if num * 1000 < lo_num * den {
+            (lo_num, 1000)
+        } else if num * 1000 > hi_num * den {
+            (hi_num, 1000)
+        } else {
+            (num, den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_factor_bounds() {
+        let p = OrchestrationPolicy::default(); // ±10%
+        assert_eq!(p.clamp_factor(1, 1), (1, 1));
+        assert_eq!(p.clamp_factor(105, 100), (105, 100));
+        assert_eq!(p.clamp_factor(2, 1), (1100, 1000));
+        assert_eq!(p.clamp_factor(1, 2), (900, 1000));
+        assert_eq!(p.clamp_factor(1, 0), (1, 1));
+    }
+
+    #[test]
+    fn no_loss_has_zero_drop_budget() {
+        assert_eq!(OrchestrationPolicy::no_loss().max_drop_per_interval, 0);
+    }
+}

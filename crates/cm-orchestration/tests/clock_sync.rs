@@ -1,0 +1,163 @@
+//! Tests for the NTP-style clock-sync service (the §7 extension):
+//! estimation accuracy on symmetric paths, min-RTT filtering under
+//! jitter, and conversion helpers.
+
+use cm_core::qos::ErrorRate;
+use cm_core::time::{Bandwidth, SimDuration, SimTime};
+use cm_orchestration::ClockSync;
+use cm_transport::{EntityConfig, TransportService};
+use netsim::{Engine, JitterModel, LinkParams, Network, NodeClock};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn two_nodes(
+    skew_a: i32,
+    offset_a_us: i64,
+    jitter: JitterModel,
+) -> (Network, ClockSync, cm_core::address::NetAddr) {
+    let net = Network::new(Engine::new());
+    let mut rng = cm_core::rng::DetRng::from_seed(5);
+    let a = net.add_node(NodeClock {
+        skew_ppm: skew_a,
+        offset_us: offset_a_us,
+    });
+    let b = net.add_node(NodeClock::perfect());
+    let params = LinkParams {
+        jitter,
+        ..LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(2))
+    };
+    net.add_duplex(a, b, params, &mut rng);
+    let svc_a = TransportService::install(&net, a, EntityConfig::default());
+    let svc_b = TransportService::install(&net, b, EntityConfig::default());
+    let cs_a = ClockSync::install(svc_a);
+    let _cs_b = ClockSync::install(svc_b); // responder
+    (net, cs_a, b)
+}
+
+#[test]
+fn offset_estimated_exactly_on_symmetric_path() {
+    // Node a is 3 s ahead of the reference; symmetric 2 ms path.
+    let (net, cs, b) = two_nodes(0, 3_000_000, JitterModel::None);
+    let sample = Rc::new(Cell::new(None));
+    let s2 = sample.clone();
+    cs.probe(b, move |s| s2.set(Some(s)));
+    net.engine().run_for(SimDuration::from_millis(50));
+    let s = sample.get().expect("sample");
+    // offset = remote − local = −3 s, exact on a symmetric path.
+    assert_eq!(s.offset_us, -3_000_000);
+    // RTT ≈ 2 × (2 ms prop + control serialisation + intra-host hop).
+    assert!(s.rtt >= SimDuration::from_millis(4));
+    assert!(s.rtt < SimDuration::from_millis(6), "rtt {}", s.rtt);
+}
+
+#[test]
+fn remote_to_local_uses_best_estimate() {
+    let (net, cs, b) = two_nodes(0, 1_000_000, JitterModel::None);
+    cs.calibrate(b, 3, |_| {});
+    net.engine().run_for(SimDuration::from_millis(200));
+    // Remote (perfect clock) reads t; local reads t + 1 s.
+    let local = cs
+        .remote_to_local(b, SimTime::from_secs(10))
+        .expect("calibrated");
+    assert!(
+        local.as_micros().abs_diff(11_000_000) <= 5,
+        "converted {local}"
+    );
+}
+
+#[test]
+fn min_rtt_filtering_beats_single_probe_under_jitter() {
+    // Heavy asymmetric jitter: individual samples err by up to half the
+    // jitter; the min-RTT sample over many probes is near-exact.
+    let (net, cs, b) = two_nodes(0, 500_000, JitterModel::Uniform(SimDuration::from_millis(20)));
+    cs.calibrate(b, 16, |_| {});
+    net.engine().run_for(SimDuration::from_secs(2));
+    let best = cs.offset_to(b).expect("calibrated");
+    let err = (best.offset_us + 500_000).unsigned_abs();
+    assert!(
+        err < 3_000,
+        "best-of-16 offset error {err} us under ±20 ms jitter"
+    );
+}
+
+#[test]
+fn skewed_clock_offset_tracks_elapsed_time() {
+    // +1000 ppm local clock: by t the local clock is ahead by ~t/1000.
+    let (net, cs, b) = two_nodes(1000, 0, JitterModel::None);
+    net.engine().run_until(SimTime::from_secs(100));
+    let sample = Rc::new(Cell::new(None));
+    let s2 = sample.clone();
+    cs.probe(b, move |s| s2.set(Some(s)));
+    net.engine().run_for(SimDuration::from_millis(50));
+    let s = sample.get().expect("sample");
+    // local ahead by ~100 ms ⇒ offset (remote − local) ≈ −100 ms.
+    assert!(
+        (s.offset_us + 100_000).unsigned_abs() < 1_000,
+        "offset {} at t=100 s with +1000 ppm",
+        s.offset_us
+    );
+    // Recalibrating later reflects the continued drift.
+    net.engine().run_until(SimTime::from_secs(200));
+    let sample2 = Rc::new(Cell::new(None));
+    let s3 = sample2.clone();
+    cs.probe(b, move |s| s3.set(Some(s)));
+    net.engine().run_for(SimDuration::from_millis(50));
+    let s2nd = sample2.get().expect("sample");
+    assert!(
+        (s2nd.offset_us + 200_000).unsigned_abs() < 1_000,
+        "offset {} at t=200 s",
+        s2nd.offset_us
+    );
+}
+
+#[test]
+fn unanswered_probe_yields_no_estimate() {
+    // No responder at the far end: the estimator must simply have no data
+    // (and not fabricate one).
+    let net = Network::new(Engine::new());
+    let mut rng = cm_core::rng::DetRng::from_seed(6);
+    let a = net.add_node(NodeClock::perfect());
+    let b = net.add_node(NodeClock::perfect());
+    net.add_duplex(
+        a,
+        b,
+        LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1)),
+        &mut rng,
+    );
+    let svc_a = TransportService::install(&net, a, EntityConfig::default());
+    let _svc_b = TransportService::install(&net, b, EntityConfig::default());
+    let cs = ClockSync::install(svc_a);
+    let fired = Rc::new(Cell::new(false));
+    let f2 = fired.clone();
+    cs.probe(b, move |_| f2.set(true));
+    net.engine().run_for(SimDuration::from_secs(1));
+    assert!(!fired.get());
+    assert!(cs.offset_to(b).is_none());
+    assert!(cs.remote_to_local(b, SimTime::from_secs(1)).is_none());
+}
+
+#[test]
+fn loss_on_data_does_not_affect_control_probes() {
+    // Clock probes ride the guaranteed control channel: 50% data loss must
+    // not lose a single probe.
+    let net = Network::new(Engine::new());
+    let mut rng = cm_core::rng::DetRng::from_seed(7);
+    let a = net.add_node(NodeClock::perfect());
+    let b = net.add_node(NodeClock::perfect());
+    let params = LinkParams {
+        loss: ErrorRate::from_prob(0.5),
+        ..LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1))
+    };
+    net.add_duplex(a, b, params, &mut rng);
+    let svc_a = TransportService::install(&net, a, EntityConfig::default());
+    let svc_b = TransportService::install(&net, b, EntityConfig::default());
+    let cs = ClockSync::install(svc_a);
+    let _resp = ClockSync::install(svc_b);
+    let done = Rc::new(Cell::new(0u32));
+    for _ in 0..10 {
+        let d = done.clone();
+        cs.probe(b, move |_| d.set(d.get() + 1));
+    }
+    net.engine().run_for(SimDuration::from_secs(1));
+    assert_eq!(done.get(), 10, "every probe must complete");
+}

@@ -1,0 +1,500 @@
+//! End-to-end orchestration tests over the full stack: session
+//! establishment (table 4), prime/start/stop semantics (table 5, fig. 7),
+//! regulation with drift correction (table 6, fig. 6), event-driven
+//! synchronisation (§6.3.4) and the Orch.Delayed path (§6.3.3).
+
+use cm_core::address::OrchSessionId;
+use cm_core::error::OrchDenyReason;
+use cm_core::media::MediaProfile;
+use cm_core::time::{SimDuration, SimTime};
+use cm_orchestration::{
+    AgentAction, FailureAction, HloAgent, OrchestrationPolicy,
+};
+use cm_testkit::scenario::MediaStream;
+use cm_testkit::{FilmScenario, LanguageLab, Stack, StackConfig};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+fn film(skews: (i32, i32), secs: u64) -> FilmScenario {
+    FilmScenario::build(skews, secs, StackConfig::default())
+}
+
+/// Establish + prime + start a film and return its agent.
+fn launch(f: &FilmScenario, policy: OrchestrationPolicy) -> HloAgent {
+    let started = Rc::new(Cell::new(false));
+    let s2 = started.clone();
+    let agent = f
+        .stack
+        .hlo
+        .orchestrate_and_start(&[f.audio.vc, f.video.vc], policy, move |r| {
+            r.expect("orchestrated start");
+            s2.set(true);
+        })
+        .expect("orchestrate");
+    f.stack.run_for(SimDuration::from_secs(3));
+    assert!(started.get(), "session failed to start within 3 s");
+    agent
+}
+
+// -------------------------------------------------------------------
+// Session establishment (table 4)
+// -------------------------------------------------------------------
+
+#[test]
+fn session_setup_confirms() {
+    let f = film((0, 0), 30);
+    let confirmed = Rc::new(Cell::new(false));
+    let c2 = confirmed.clone();
+    let _agent = f
+        .stack
+        .hlo
+        .orchestrate(
+            &[f.audio.vc, f.video.vc],
+            OrchestrationPolicy::default(),
+            move |r| {
+                r.expect("setup");
+                c2.set(true);
+            },
+        )
+        .expect("orchestrate");
+    f.stack.run_for(SimDuration::from_millis(100));
+    assert!(confirmed.get());
+}
+
+#[test]
+fn orchestrating_node_is_the_common_sink() {
+    let f = film((0, 0), 30);
+    let node = f
+        .stack
+        .hlo
+        .pick_orchestrating_node(&[f.audio.vc, f.video.vc])
+        .expect("pick");
+    assert_eq!(node, f.workstation, "fig. 5: the common sink orchestrates");
+}
+
+#[test]
+fn no_common_node_is_rejected_by_default() {
+    // Two streams with entirely disjoint endpoints.
+    let mut cfg = StackConfig::default();
+    cfg.testbed.workstations = 2;
+    cfg.testbed.servers = 2;
+    let stack = Stack::build(cfg);
+    let p = MediaProfile::audio_telephone();
+    let clip = cm_media::StoredClip::cbr_for(&p, 10);
+    let s1 = MediaStream::build(&stack, stack.tb.servers[0], stack.tb.workstations[0], &p, &clip);
+    let s2 = MediaStream::build(&stack, stack.tb.servers[1], stack.tb.workstations[1], &p, &clip);
+    let err = stack
+        .hlo
+        .pick_orchestrating_node(&[s1.vc, s2.vc])
+        .unwrap_err();
+    assert_eq!(err, OrchDenyReason::NoCommonNode);
+    // The §7 extension lifts the restriction.
+    stack.hlo.allow_no_common_node();
+    assert!(stack.hlo.pick_orchestrating_node(&[s1.vc, s2.vc]).is_ok());
+}
+
+#[test]
+fn table_space_exhaustion_rejects_with_no_table_space() {
+    let mut cfg = StackConfig::default();
+    cfg.max_sessions = 0;
+    let f = FilmScenario::build((0, 0), 10, cfg);
+    let got = Rc::new(RefCell::new(None));
+    let g2 = got.clone();
+    let _ = f.stack.hlo.orchestrate(
+        &[f.audio.vc, f.video.vc],
+        OrchestrationPolicy::default(),
+        move |r| {
+            *g2.borrow_mut() = Some(r);
+        },
+    );
+    f.stack.run_for(SimDuration::from_millis(100));
+    assert_eq!(
+        *got.borrow(),
+        Some(Err(OrchDenyReason::NoTableSpace)),
+        "zero table space must reject (§6.1)"
+    );
+}
+
+// -------------------------------------------------------------------
+// Prime / Start / Stop (table 5, fig. 7)
+// -------------------------------------------------------------------
+
+#[test]
+fn prime_fills_buffers_without_delivery() {
+    let f = film((0, 0), 30);
+    let agent = f
+        .stack
+        .hlo
+        .orchestrate(
+            &[f.audio.vc, f.video.vc],
+            OrchestrationPolicy::default(),
+            |r| r.expect("setup"),
+        )
+        .expect("orchestrate");
+    f.stack.run_for(SimDuration::from_millis(100));
+    let primed = Rc::new(Cell::new(false));
+    let p2 = primed.clone();
+    agent.prime(move |r| {
+        r.expect("prime");
+        p2.set(true);
+    });
+    f.stack.run_for(SimDuration::from_secs(3));
+    assert!(primed.get(), "prime confirm (fig. 7)");
+    // Buffers full at the sink, nothing presented.
+    let ws = f.stack.node(f.workstation);
+    assert!(ws.svc.recv_handle(f.audio.vc).expect("buf").is_full());
+    assert!(ws.svc.recv_handle(f.video.vc).expect("buf").is_full());
+    assert_eq!(f.audio.sink.log.borrow().len(), 0);
+    assert_eq!(f.video.sink.log.borrow().len(), 0);
+}
+
+#[test]
+fn start_after_prime_has_minimal_start_skew() {
+    let f = film((0, 0), 30);
+    let _agent = launch(&f, OrchestrationPolicy::default());
+    let a0 = f.audio.sink.log.borrow().first().map(|p| p.at);
+    let v0 = f.video.sink.log.borrow().first().map(|p| p.at);
+    let (a0, v0) = (a0.expect("audio started"), v0.expect("video started"));
+    let skew = a0.saturating_since(v0).max(v0.saturating_since(a0));
+    // Both sinks sit on the orchestrating node: start is near-instant
+    // (§6.2.2 "at (almost) the same instant").
+    assert!(
+        skew < SimDuration::from_millis(25),
+        "start skew {skew} too large"
+    );
+}
+
+#[test]
+fn stop_freezes_and_start_resumes() {
+    let f = film((0, 0), 60);
+    let agent = launch(&f, OrchestrationPolicy::default());
+    f.stack.run_for(SimDuration::from_secs(5));
+    let stopped = Rc::new(Cell::new(false));
+    let s2 = stopped.clone();
+    agent.stop(move |r| {
+        r.expect("stop");
+        s2.set(true);
+    });
+    f.stack.run_for(SimDuration::from_secs(1));
+    assert!(stopped.get());
+    let presented_at_stop = f.audio.sink.log.borrow().len();
+    f.stack.run_for(SimDuration::from_secs(3));
+    assert_eq!(
+        f.audio.sink.log.borrow().len(),
+        presented_at_stop,
+        "no presentations while stopped"
+    );
+    // Buffers retain data for the restart (§6.2.3).
+    let ws = f.stack.node(f.workstation);
+    assert!(!ws.svc.recv_handle(f.audio.vc).expect("buf").is_empty());
+    // Restart.
+    agent.start(|r| r.expect("restart"));
+    f.stack.run_for(SimDuration::from_secs(3));
+    assert!(f.audio.sink.log.borrow().len() > presented_at_stop + 50);
+    // No data was lost across the stop: presented seqs are continuous.
+    let seqs: Vec<u64> = f.audio.sink.log.borrow().iter().map(|p| p.seq).collect();
+    for w in seqs.windows(2) {
+        assert_eq!(w[1], w[0] + 1, "gap across stop/start");
+    }
+}
+
+#[test]
+fn stop_seek_flush_restart_skips_stale_data() {
+    let f = film((0, 0), 120);
+    let agent = launch(&f, OrchestrationPolicy::default());
+    f.stack.run_for(SimDuration::from_secs(4));
+    agent.stop(|r| r.expect("stop"));
+    f.stack.run_for(SimDuration::from_secs(1));
+    // Seek both media to the 60 s mark and flush the pipelines (§6.2.1:
+    // otherwise "a short burst of media buffered from the previous play
+    // would be discernible").
+    agent.flush_all();
+    f.stack.run_for(SimDuration::from_millis(100));
+    f.audio.source.seek(50 * 60);
+    f.video.source.seek(25 * 60);
+    let before = f.audio.sink.log.borrow().len();
+    let p2 = Rc::new(Cell::new(false));
+    let p3 = p2.clone();
+    let agent2 = agent.clone();
+    agent.prime(move |r| {
+        r.expect("re-prime");
+        agent2.start(|r| r.expect("re-start"));
+        p3.set(true);
+    });
+    f.stack.run_for(SimDuration::from_secs(4));
+    assert!(p2.get());
+    let log = f.audio.sink.log.borrow();
+    let first_after = log[before].tag.expect("synthetic payload tag");
+    assert!(
+        first_after >= 50 * 60,
+        "stale pre-seek data presented: media unit {first_after}"
+    );
+}
+
+// -------------------------------------------------------------------
+// Regulation (table 6, fig. 6)
+// -------------------------------------------------------------------
+
+#[test]
+fn regulation_indications_flow_every_interval() {
+    let f = film((0, 0), 30);
+    let agent = launch(&f, OrchestrationPolicy::default());
+    f.stack.run_for(SimDuration::from_secs(10));
+    let history = agent.history();
+    // ~20 intervals × 2 VCs at 500 ms over 10 s (allowing edge slop).
+    assert!(
+        history.len() >= 30,
+        "only {} interval records",
+        history.len()
+    );
+    // Both VCs are represented and targets are monotone per VC.
+    for vc in [f.audio.vc, f.video.vc] {
+        let targets: Vec<u64> = history
+            .iter()
+            .filter(|r| r.vc == vc)
+            .map(|r| r.target)
+            .collect();
+        assert!(targets.len() >= 15, "vc {vc} has {} records", targets.len());
+        for w in targets.windows(2) {
+            assert!(w[1] >= w[0], "targets must not regress");
+        }
+    }
+}
+
+#[test]
+fn orchestration_bounds_drift_from_clock_skew() {
+    // ±5000 ppm source skew: the slow stream falls ~5 ms of media time
+    // behind per second of play-out.
+    let secs = 120;
+    // Without orchestration: start both streams by hand.
+    let f_free = film((5000, -5000), secs);
+    f_free.audio.source.start_producing();
+    f_free.video.source.start_producing();
+    f_free.audio.sink.play();
+    f_free.video.sink.play();
+    f_free.stack.run_for(SimDuration::from_secs(85));
+    let meter = f_free.skew_meter();
+    let free_skew = meter
+        .skew_at(SimTime::from_secs(80))
+        .expect("skew measured");
+
+    // With orchestration.
+    let f_orch = film((5000, -5000), secs);
+    let _agent = launch(&f_orch, OrchestrationPolicy::default());
+    f_orch.stack.run_for(SimDuration::from_secs(85));
+    let meter = f_orch.skew_meter();
+    let orch_skew = meter
+        .skew_at(SimTime::from_secs(80))
+        .expect("skew measured");
+
+    assert!(
+        free_skew > SimDuration::from_millis(150),
+        "unregulated skew {free_skew} unexpectedly small"
+    );
+    assert!(
+        orch_skew < SimDuration::from_millis(80),
+        "orchestrated skew {orch_skew} exceeds lip-sync tolerance (free ran to {free_skew})"
+    );
+}
+
+#[test]
+fn language_lab_stays_in_sync_across_workstations() {
+    // Common node is the *source* (storage server); sinks on three
+    // student workstations with different clocks.
+    let lab = LanguageLab::build(3, vec![1500, -1500, 0], 60, StackConfig::default());
+    let vcs: Vec<_> = lab.tracks.iter().map(|t| t.vc).collect();
+    let started = Rc::new(Cell::new(false));
+    let s2 = started.clone();
+    let _agent = lab
+        .stack
+        .hlo
+        .orchestrate_and_start(&vcs, OrchestrationPolicy::default(), move |r| {
+            r.expect("lab start");
+            s2.set(true);
+        })
+        .expect("orchestrate");
+    lab.stack.run_for(SimDuration::from_secs(30));
+    assert!(started.get());
+    let meter = cm_media::SkewMeter::new(
+        lab.tracks
+            .iter()
+            .map(|t| {
+                (
+                    cm_core::media::MediaProfile::audio_telephone().osdu_rate,
+                    t.sink.log.borrow().clone(),
+                )
+            })
+            .collect(),
+    );
+    let skew = meter.skew_at(SimTime::from_secs(25)).expect("skew");
+    assert!(
+        skew <= SimDuration::from_millis(80),
+        "language-lab skew {skew}"
+    );
+}
+
+// -------------------------------------------------------------------
+// Orch.Event (§6.3.4)
+// -------------------------------------------------------------------
+
+#[test]
+fn event_marks_raise_indications() {
+    let mut cfg = StackConfig::default();
+    cfg.testbed.servers = 2;
+    cfg.testbed.workstations = 1;
+    let stack = Stack::build(cfg);
+    let ws = stack.tb.workstations[0];
+    let server = stack.tb.servers[0];
+    let profile = MediaProfile::audio_telephone();
+    // Mark an encoding change at unit 100 (§6.3.4's example).
+    let clip = cm_media::StoredClip::cbr_for(&profile, 30).with_event(100, 0xC0DE);
+    let stream = MediaStream::build(&stack, server, ws, &profile, &clip);
+
+    let events = Rc::new(RefCell::new(Vec::new()));
+    let started = Rc::new(Cell::new(false));
+    let s2 = started.clone();
+    let agent = stack
+        .hlo
+        .orchestrate_and_start(&[stream.vc], OrchestrationPolicy::default(), move |r| {
+            r.expect("start");
+            s2.set(true);
+        })
+        .expect("orchestrate");
+    let ev2 = events.clone();
+    agent.on_event(move |vc, pattern, seq| ev2.borrow_mut().push((vc, pattern, seq)));
+    agent.register_event(stream.vc, 0xC0DE);
+    stack.run_for(SimDuration::from_secs(5));
+    assert!(started.get());
+    let events = events.borrow();
+    assert_eq!(events.len(), 1, "exactly one matching OSDU");
+    assert_eq!(events[0], (stream.vc, 0xC0DE, 100));
+}
+
+// -------------------------------------------------------------------
+// Orch.Delayed (§6.3.3) and diagnosis (§6.3.1.2)
+// -------------------------------------------------------------------
+
+#[test]
+fn slow_source_app_triggers_delayed_indication() {
+    let mut cfg = StackConfig::default();
+    cfg.testbed.servers = 1;
+    cfg.testbed.workstations = 1;
+    let stack = Stack::build(cfg);
+    let ws = stack.tb.workstations[0];
+    let server = stack.tb.servers[0];
+    let profile = MediaProfile::audio_telephone();
+    let vc = stack.connect(
+        server,
+        ws,
+        cm_core::service_class::ServiceClass::cm_default(),
+        profile.requirement(),
+    );
+    // The source application produces at HALF the media rate.
+    let clip = cm_media::StoredClip::cbr_for(&profile, 60);
+    let slow = cm_media::ThrottledSource::new(
+        stack.node(server).svc.clone(),
+        vc,
+        clip.reader(),
+        profile.osdu_rate.scaled(1, 2),
+    );
+    stack.node(server).llo.register_app(vc, slow.clone());
+    slow.start();
+    let sink = cm_media::PlayoutSink::new(stack.node(ws).svc.clone(), vc, profile.osdu_rate);
+    cm_media::SinkDriver::register(&stack.node(ws).llo, vc, &sink);
+
+    let policy = OrchestrationPolicy {
+        on_failure: FailureAction::DelayThenStop,
+        failure_patience: 2,
+        ..OrchestrationPolicy::default()
+    };
+    // Skip priming: a half-rate source would take very long to fill the
+    // pipeline; establish and start directly.
+    let agent = stack
+        .hlo
+        .orchestrate(&[vc], policy, |r| r.expect("setup"))
+        .expect("orchestrate");
+    stack.run_for(SimDuration::from_millis(100));
+    agent.start(|r| r.expect("start"));
+    stack.run_for(SimDuration::from_secs(10));
+
+    assert!(
+        slow.delayed_seen.get() > 0,
+        "the slow application thread must receive Orch.Delayed (§6.3.3)"
+    );
+    assert!(agent
+        .actions()
+        .iter()
+        .any(|a| matches!(a, AgentAction::Delayed(v, cm_transport::VcRole::Source) if *v == vc)));
+}
+
+#[test]
+fn max_drop_lets_a_behind_stream_catch_up() {
+    // Audio server clock very slow (-5000 ppm) and nudge limit small, so
+    // rate correction alone cannot close the gap; drops must.
+    let f = film((-5000, 0), 60);
+    let policy = OrchestrationPolicy {
+        rate_nudge_limit_ppt: 2, // ±0.2% only
+        max_drop_per_interval: 5,
+        ..OrchestrationPolicy::default()
+    };
+    let agent = launch(&f, policy);
+    f.stack.run_for(SimDuration::from_secs(30));
+    let drops: u64 = agent
+        .history()
+        .iter()
+        .filter(|r| r.vc == f.audio.vc)
+        .map(|r| r.dropped)
+        .sum();
+    assert!(drops > 0, "catch-up requires source drops (§6.3.1.1)");
+    let meter = f.skew_meter();
+    let skew = meter.skew_at(SimTime::from_secs(25)).expect("skew");
+    assert!(
+        skew < SimDuration::from_millis(200),
+        "skew {skew} despite drop compensation"
+    );
+}
+
+#[test]
+fn no_loss_policy_never_drops() {
+    let f = film((-3000, 0), 40);
+    let agent = launch(&f, OrchestrationPolicy::no_loss());
+    f.stack.run_for(SimDuration::from_secs(20));
+    let drops: u64 = agent.history().iter().map(|r| r.dropped).sum();
+    assert_eq!(drops, 0, "max-drop 0 must never drop (§6.3.1.1)");
+}
+
+#[test]
+fn release_tears_down_session() {
+    let f = film((0, 0), 30);
+    let agent = launch(&f, OrchestrationPolicy::default());
+    f.stack.run_for(SimDuration::from_secs(2));
+    agent.release();
+    f.stack.run_for(SimDuration::from_secs(1));
+    let n = agent.history().len();
+    f.stack.run_for(SimDuration::from_secs(3));
+    assert_eq!(agent.history().len(), n, "no regulation after release");
+}
+
+#[test]
+fn sessions_are_identified_and_independent() {
+    let f = film((0, 0), 30);
+    let agent = launch(&f, OrchestrationPolicy::default());
+    assert_eq!(agent.session(), OrchSessionId(1));
+    // A second film session on the same stack gets a fresh id.
+    let audio2 = MediaStream::build(
+        &f.stack,
+        f.stack.tb.servers[0],
+        f.workstation,
+        &MediaProfile::audio_telephone(),
+        &cm_media::StoredClip::cbr_for(&MediaProfile::audio_telephone(), 10),
+    );
+    let agent2 = f
+        .stack
+        .hlo
+        .orchestrate(&[audio2.vc], OrchestrationPolicy::default(), |r| {
+            r.expect("setup 2")
+        })
+        .expect("orchestrate 2");
+    f.stack.run_for(SimDuration::from_millis(100));
+    assert_eq!(agent2.session(), OrchSessionId(2));
+}

@@ -1,0 +1,135 @@
+//! Multimedia device objects (paper §2.1–2.2).
+//!
+//! The Lancaster platform managed "all CM sources and sinks" behind ADT
+//! interfaces: storage servers holding clips, cameras and microphones
+//! (live sources), video monitors and speakers (playout sinks). These
+//! wrappers bind the cm-media actors to platform streams and register the
+//! orchestration app handlers, so application code reads like the paper's
+//! scenarios.
+
+use crate::platform::Platform;
+use crate::stream::Stream;
+use cm_core::address::NetAddr;
+use cm_core::media::MediaProfile;
+use cm_core::time::Rate;
+use cm_media::{LiveSource, PlayoutSink, SinkDriver, SourceDriver, StoredClip, StoredSource};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A storage server: a node holding named stored clips (§2.1's "PC based
+/// storage server").
+pub struct StorageServer {
+    platform: Platform,
+    /// The server's node.
+    pub node: NetAddr,
+    clips: RefCell<HashMap<String, StoredClip>>,
+}
+
+impl StorageServer {
+    /// A storage server on `node`.
+    pub fn new(platform: &Platform, node: NetAddr) -> StorageServer {
+        StorageServer {
+            platform: platform.clone(),
+            node,
+            clips: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Store a clip under `name`.
+    pub fn store(&self, name: &str, clip: StoredClip) {
+        self.clips.borrow_mut().insert(name.to_string(), clip);
+    }
+
+    /// The profile-appropriate rate of a stored clip.
+    pub fn clip_rate(&self, name: &str) -> Option<Rate> {
+        self.clips.borrow().get(name).map(|c| c.rate)
+    }
+
+    /// Attach clip `name` as the source of `stream`'s first branch:
+    /// creates the source actor and registers it with this node's LLO for
+    /// orchestration. Panics if the clip is unknown.
+    pub fn play(&self, name: &str, stream: &Stream) -> Rc<StoredSource> {
+        let clip = self
+            .clips
+            .borrow()
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| panic!("no clip named {name}"));
+        let vc = stream.vc();
+        let source = StoredSource::new(self.platform.service(self.node), vc, clip.reader());
+        SourceDriver::register(&self.platform.llo(self.node), vc, &source);
+        source
+    }
+}
+
+/// A video monitor / speaker: a playout device on a workstation.
+pub struct MonitorDevice {
+    platform: Platform,
+    /// The workstation node.
+    pub node: NetAddr,
+}
+
+impl MonitorDevice {
+    /// A monitor on `node`.
+    pub fn new(platform: &Platform, node: NetAddr) -> MonitorDevice {
+        MonitorDevice {
+            platform: platform.clone(),
+            node,
+        }
+    }
+
+    /// Attach to the branch of `stream` that terminates at this node,
+    /// presenting at the stream profile's rate. Returns the playout actor.
+    pub fn attach(&self, stream: &Stream, profile: &MediaProfile) -> Rc<PlayoutSink> {
+        let branch = stream
+            .branches
+            .iter()
+            .find(|b| b.sink == self.node)
+            .expect("stream has no branch to this monitor's node");
+        let sink = PlayoutSink::new(
+            self.platform.service(self.node),
+            branch.vc,
+            profile.osdu_rate,
+        );
+        SinkDriver::register(&self.platform.llo(self.node), branch.vc, &sink);
+        sink
+    }
+}
+
+/// A camera or microphone: a live capture device (§3.6: live media
+/// free-runs; only latency compatibility matters).
+pub struct CaptureDevice {
+    platform: Platform,
+    /// The node hosting the device.
+    pub node: NetAddr,
+    /// Capture rate (frames or sample blocks per second).
+    pub rate: Rate,
+    /// Captured unit size in bytes.
+    pub unit_size: usize,
+}
+
+impl CaptureDevice {
+    /// A camera producing `profile`-shaped units on `node`.
+    pub fn camera(platform: &Platform, node: NetAddr, profile: &MediaProfile) -> CaptureDevice {
+        CaptureDevice {
+            platform: platform.clone(),
+            node,
+            rate: profile.osdu_rate,
+            unit_size: profile.nominal_osdu_size,
+        }
+    }
+
+    /// Switch the device on, feeding `stream`'s first branch. Returns the
+    /// live source actor.
+    pub fn switch_on(&self, stream: &Stream) -> Rc<LiveSource> {
+        let src = LiveSource::new(
+            self.platform.service(self.node),
+            stream.vc(),
+            self.rate,
+            self.unit_size,
+        );
+        src.switch_on();
+        src
+    }
+}

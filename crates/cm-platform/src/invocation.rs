@@ -1,0 +1,175 @@
+//! Delay-bounded invocation — the platform's RPC (paper §2.2).
+//!
+//! "Remote interaction is modelled as the invocation of named operations
+//! in abstract data type interfaces … implemented by means of an RPC
+//! protocol known as REX extended to provide the delay bounded
+//! communication required for the real-time control of multimedia
+//! applications." Invocations ride control-class datagrams; each call
+//! carries a deadline and fails with [`InvokeError::DeadlineExceeded`] if
+//! the reply does not arrive in time.
+
+use cm_core::address::{TransportAddr, Tsap};
+use cm_core::time::SimDuration;
+use cm_transport::{TransportService, TransportUser};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Why an invocation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvokeError {
+    /// No reply within the deadline (the REX delay bound).
+    DeadlineExceeded,
+    /// The target interface rejected the operation name.
+    NoSuchOperation,
+}
+
+/// Server-side interface: an ADT object exporting named operations.
+pub trait AdtInterface {
+    /// Execute `op` with `arg`, returning the reply value or `None` for
+    /// an unknown operation.
+    fn invoke(&self, op: &str, arg: Rc<dyn Any>) -> Option<Rc<dyn Any>>;
+}
+
+struct RpcRequest {
+    id: u64,
+    op: String,
+    arg: Rc<dyn Any>,
+    reply_to: TransportAddr,
+}
+
+struct RpcReply {
+    id: u64,
+    result: Result<Rc<dyn Any>, InvokeError>,
+}
+
+type PendingCb = Box<dyn FnOnce(Result<Rc<dyn Any>, InvokeError>)>;
+
+struct InvokerState {
+    next_id: u64,
+    pending: HashMap<u64, PendingCb>,
+    exported: Option<Rc<dyn AdtInterface>>,
+}
+
+struct InvokerInner {
+    svc: TransportService,
+    tsap: Tsap,
+    state: RefCell<InvokerState>,
+}
+
+/// A per-endpoint invoker: both client stub and server skeleton.
+#[derive(Clone)]
+pub struct Invoker {
+    inner: Rc<InvokerInner>,
+}
+
+struct InvokerUser(Invoker);
+
+impl TransportUser for InvokerUser {
+    fn t_datagram_indication(
+        &self,
+        _svc: &TransportService,
+        _from: TransportAddr,
+        payload: Rc<dyn Any>,
+    ) {
+        if let Some(req) = payload.downcast_ref::<Rc<RpcRequest>>() {
+            self.0.on_request(req.clone());
+        } else if let Some(rep) = payload.downcast_ref::<Rc<RpcReply>>() {
+            self.0.on_reply(rep.clone());
+        }
+    }
+}
+
+impl Invoker {
+    /// Bind an invoker to `tsap` on the node served by `svc`.
+    pub fn bind(svc: TransportService, tsap: Tsap) -> Invoker {
+        let inv = Invoker {
+            inner: Rc::new(InvokerInner {
+                svc: svc.clone(),
+                tsap,
+                state: RefCell::new(InvokerState {
+                    next_id: 0,
+                    pending: HashMap::new(),
+                    exported: None,
+                }),
+            }),
+        };
+        svc.bind(tsap, Rc::new(InvokerUser(inv.clone())))
+            .expect("invoker TSAP busy");
+        inv
+    }
+
+    /// This invoker's address (register it with the trader).
+    pub fn address(&self) -> TransportAddr {
+        TransportAddr {
+            node: self.inner.svc.node(),
+            tsap: self.inner.tsap,
+        }
+    }
+
+    /// Export an ADT interface for incoming invocations.
+    pub fn export(&self, iface: Rc<dyn AdtInterface>) {
+        self.inner.state.borrow_mut().exported = Some(iface);
+    }
+
+    /// Invoke `op(arg)` on the interface at `to`, with a reply deadline.
+    pub fn invoke(
+        &self,
+        to: TransportAddr,
+        op: &str,
+        arg: Rc<dyn Any>,
+        deadline: SimDuration,
+        done: impl FnOnce(Result<Rc<dyn Any>, InvokeError>) + 'static,
+    ) {
+        let id = {
+            let mut st = self.inner.state.borrow_mut();
+            let id = st.next_id;
+            st.next_id += 1;
+            st.pending.insert(id, Box::new(done));
+            id
+        };
+        let req = Rc::new(RpcRequest {
+            id,
+            op: op.to_string(),
+            arg,
+            reply_to: self.address(),
+        });
+        self.inner
+            .svc
+            .send_datagram(self.inner.tsap, to, Rc::new(req), 128);
+        // Arm the delay bound.
+        let me = self.clone();
+        self.inner
+            .svc
+            .network()
+            .engine()
+            .schedule_in(deadline, move |_| {
+                let cb = me.inner.state.borrow_mut().pending.remove(&id);
+                if let Some(cb) = cb {
+                    cb(Err(InvokeError::DeadlineExceeded));
+                }
+            });
+    }
+
+    fn on_request(&self, req: Rc<RpcRequest>) {
+        let iface = self.inner.state.borrow().exported.clone();
+        let result = match iface {
+            Some(iface) => iface
+                .invoke(&req.op, req.arg.clone())
+                .ok_or(InvokeError::NoSuchOperation),
+            None => Err(InvokeError::NoSuchOperation),
+        };
+        let reply = Rc::new(RpcReply { id: req.id, result });
+        self.inner
+            .svc
+            .send_datagram(self.inner.tsap, req.reply_to, Rc::new(reply), 128);
+    }
+
+    fn on_reply(&self, rep: Rc<RpcReply>) {
+        let cb = self.inner.state.borrow_mut().pending.remove(&rep.id);
+        if let Some(cb) = cb {
+            cb(rep.result.clone());
+        }
+    }
+}

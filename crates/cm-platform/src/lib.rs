@@ -1,0 +1,26 @@
+//! # cm-platform — the object-based distributed application platform
+//!
+//! Reproduction of the Lancaster ANSA-based platform (paper §2):
+//! applications see two abstractions — delay-bounded *invocation* of named
+//! operations on ADT interfaces ([`invocation`]), and first-class
+//! unidirectional *Streams* carrying continuous media with media-level QoS
+//! operations ([`stream`]). The [`platform::Platform`] installs the whole
+//! stack per node, the [`trader`] provides location-independent binding,
+//! and [`devices`] wraps storage servers, monitors and cameras as the ADT
+//! objects the paper's applications (microscope controller, AV telephone,
+//! video disc jockey) were built from.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod devices;
+pub mod invocation;
+pub mod platform;
+pub mod stream;
+pub mod trader;
+
+pub use devices::{CaptureDevice, MonitorDevice, StorageServer};
+pub use invocation::{AdtInterface, InvokeError, Invoker};
+pub use platform::Platform;
+pub use stream::{Branch, BranchState, Stream};
+pub use trader::Trader;

@@ -1,0 +1,237 @@
+//! The object-based distributed application platform (paper §2).
+//!
+//! The [`Platform`] "isolates applications from the complexities of
+//! multimedia devices and CM communications": it installs the transport
+//! entity and LLO on every node, owns the trader and the HLO, allocates
+//! endpoints, and hands applications the two platform abstractions —
+//! invocation ([`crate::invocation::Invoker`]) and Streams
+//! ([`crate::stream::Stream`]).
+
+use crate::stream::{Branch, BranchState, Stream};
+use crate::trader::Trader;
+use cm_core::address::{AddressTriple, NetAddr, TransportAddr, Tsap, VcId};
+use cm_core::error::DisconnectReason;
+use cm_core::media::MediaProfile;
+use cm_core::qos::{QosParams, QosRequirement, QosTolerance};
+use cm_core::service_class::ServiceClass;
+use cm_orchestration::{Hlo, HloAgent, Llo, OrchestrationPolicy};
+use cm_transport::{EntityConfig, TransportService, TransportUser};
+use netsim::Network;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+struct NodeCtx {
+    svc: TransportService,
+    llo: Llo,
+    user: Rc<PlatformUser>,
+}
+
+/// The per-node platform transport user: accepts stream connects and
+/// updates branch states on confirms.
+#[derive(Default)]
+struct PlatformUser {
+    branches: RefCell<HashMap<VcId, Rc<Branch>>>,
+}
+
+impl TransportUser for PlatformUser {
+    fn t_connect_indication(
+        &self,
+        svc: &TransportService,
+        vc: VcId,
+        _triple: AddressTriple,
+        _class: ServiceClass,
+        _qos: QosRequirement,
+    ) {
+        svc.t_connect_response(vc, true).expect("platform accept");
+    }
+
+    fn t_connect_confirm(
+        &self,
+        _svc: &TransportService,
+        vc: VcId,
+        result: Result<QosParams, DisconnectReason>,
+    ) {
+        if let Some(b) = self.branches.borrow().get(&vc) {
+            *b.state.borrow_mut() = match result {
+                Ok(q) => BranchState::Open(q),
+                Err(r) => BranchState::Failed(r),
+            };
+        }
+    }
+
+    fn t_disconnect_indication(&self, _svc: &TransportService, vc: VcId, reason: DisconnectReason) {
+        if reason == DisconnectReason::RenegotiationRefused {
+            return; // VC still open (§4.1.3)
+        }
+        if let Some(b) = self.branches.borrow().get(&vc) {
+            *b.state.borrow_mut() = BranchState::Failed(reason);
+        }
+    }
+
+    fn t_renegotiate_indication(
+        &self,
+        svc: &TransportService,
+        vc: VcId,
+        _new_tolerance: QosTolerance,
+    ) {
+        svc.t_renegotiate_response(vc, true)
+            .expect("platform reneg accept");
+    }
+}
+
+struct PlatformInner {
+    net: Network,
+    nodes: RefCell<HashMap<NetAddr, NodeCtx>>,
+    trader: Trader,
+    hlo: RefCell<Option<Rc<Hlo>>>,
+    next_tsap: Cell<u16>,
+}
+
+/// Handle to the platform (clones share it).
+#[derive(Clone)]
+pub struct Platform {
+    inner: Rc<PlatformInner>,
+}
+
+impl Platform {
+    /// A platform over `net` with no nodes installed yet.
+    pub fn new(net: Network) -> Platform {
+        Platform {
+            inner: Rc::new(PlatformInner {
+                net,
+                nodes: RefCell::new(HashMap::new()),
+                trader: Trader::new(),
+                hlo: RefCell::new(None),
+                next_tsap: Cell::new(1000),
+            }),
+        }
+    }
+
+    /// Install the platform (transport entity + LLO) on `node`.
+    pub fn install_node(&self, node: NetAddr) {
+        self.install_node_with(node, EntityConfig::default());
+    }
+
+    /// Install with an explicit transport configuration.
+    pub fn install_node_with(&self, node: NetAddr, config: EntityConfig) {
+        let svc = TransportService::install(&self.inner.net, node, config);
+        let llo = Llo::install(svc.clone(), 64);
+        let user = Rc::new(PlatformUser::default());
+        self.inner.nodes.borrow_mut().insert(
+            node,
+            NodeCtx {
+                svc,
+                llo,
+                user,
+            },
+        );
+        // A new node invalidates a previously built HLO.
+        *self.inner.hlo.borrow_mut() = None;
+    }
+
+    /// The network.
+    pub fn network(&self) -> &Network {
+        &self.inner.net
+    }
+
+    /// The engine.
+    pub fn engine(&self) -> &netsim::Engine {
+        self.inner.net.engine()
+    }
+
+    /// The domain trader.
+    pub fn trader(&self) -> &Trader {
+        &self.inner.trader
+    }
+
+    /// The transport service of `node` (panics if not installed).
+    pub fn service(&self, node: NetAddr) -> TransportService {
+        self.inner.nodes.borrow()[&node].svc.clone()
+    }
+
+    /// The LLO of `node` (panics if not installed).
+    pub fn llo(&self, node: NetAddr) -> Llo {
+        self.inner.nodes.borrow()[&node].llo.clone()
+    }
+
+    /// The HLO over all installed nodes (built on first use).
+    pub fn hlo(&self) -> Rc<Hlo> {
+        if self.inner.hlo.borrow().is_none() {
+            let llos: Vec<Llo> = self
+                .inner
+                .nodes
+                .borrow()
+                .values()
+                .map(|c| c.llo.clone())
+                .collect();
+            *self.inner.hlo.borrow_mut() = Some(Rc::new(Hlo::new(llos)));
+        }
+        self.inner.hlo.borrow().as_ref().expect("hlo built").clone()
+    }
+
+    /// Allocate a platform-unique TSAP.
+    pub fn fresh_tsap(&self) -> Tsap {
+        let t = self.inner.next_tsap.get();
+        self.inner.next_tsap.set(t + 1);
+        Tsap(t)
+    }
+
+    /// Bind the platform user at an endpoint address.
+    pub(crate) fn bind_endpoint(&self, addr: TransportAddr) {
+        let nodes = self.inner.nodes.borrow();
+        let ctx = nodes
+            .get(&addr.node)
+            .expect("endpoint node not installed on platform");
+        ctx.svc
+            .bind(addr.tsap, ctx.user.clone())
+            .expect("platform endpoint TSAP busy");
+    }
+
+    /// Track a branch so confirms update its state.
+    pub(crate) fn watch_branch(&self, source: NetAddr, branch: Rc<Branch>) {
+        let nodes = self.inner.nodes.borrow();
+        nodes[&source]
+            .user
+            .branches
+            .borrow_mut()
+            .insert(branch.vc, branch.clone());
+    }
+
+    /// Establish a unidirectional stream `source → sinks` carrying
+    /// `profile` (§2.2; 1:N per §3.8). Returns immediately; use
+    /// [`Stream::await_open`] to drive the handshake.
+    pub fn create_stream(
+        &self,
+        source: NetAddr,
+        sinks: &[NetAddr],
+        profile: MediaProfile,
+    ) -> Rc<Stream> {
+        Stream::establish(self, source, sinks, profile, ServiceClass::cm_default())
+    }
+
+    /// As [`Platform::create_stream`] with an explicit service class.
+    pub fn create_stream_with_class(
+        &self,
+        source: NetAddr,
+        sinks: &[NetAddr],
+        profile: MediaProfile,
+        class: ServiceClass,
+    ) -> Rc<Stream> {
+        Stream::establish(self, source, sinks, profile, class)
+    }
+
+    /// Orchestrate a set of streams (§5: "applications pass Stream
+    /// interfaces to these operations"): collects the underlying VCs,
+    /// picks the orchestrating node and returns the agent / control
+    /// interface.
+    pub fn orchestrate_streams(
+        &self,
+        streams: &[&Stream],
+        policy: OrchestrationPolicy,
+        started: impl FnOnce(Result<(), cm_core::error::OrchDenyReason>) + 'static,
+    ) -> Result<HloAgent, cm_core::error::OrchDenyReason> {
+        let vcs: Vec<VcId> = streams.iter().flat_map(|s| s.vcs()).collect();
+        self.hlo().orchestrate_and_start(&vcs, policy, started)
+    }
+}

@@ -1,0 +1,159 @@
+//! The Stream abstraction (paper §2.2).
+//!
+//! Streams are "the primary extension … made to the basic ANSA model. They
+//! represent underlying CM connections but … appear as ADT services with
+//! first class status". A [`Stream`] is unidirectional, carries QoS
+//! operations *in media-specific terms* (profiles rather than raw transport
+//! parameters), and hides the transport service interface: establishment
+//! runs the full three-party connect underneath, `set_quality` runs a QoS
+//! renegotiation, and 1:N fan-out builds one simplex VC per sink (§3.8's
+//! CM multicast is "a simple 1:N topology").
+
+use crate::platform::Platform;
+use cm_core::address::{AddressTriple, NetAddr, TransportAddr, VcId};
+use cm_core::error::DisconnectReason;
+use cm_core::media::MediaProfile;
+use cm_core::qos::QosParams;
+use cm_core::service_class::ServiceClass;
+use cm_core::time::SimDuration;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Establishment state of a stream branch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BranchState {
+    /// Handshake running.
+    Connecting,
+    /// Open with the negotiated QoS.
+    Open(QosParams),
+    /// Refused or released.
+    Failed(DisconnectReason),
+}
+
+/// One simplex branch of a stream (source → one sink).
+pub struct Branch {
+    /// The underlying VC.
+    pub vc: VcId,
+    /// The sink node.
+    pub sink: NetAddr,
+    /// Establishment state.
+    pub state: RefCell<BranchState>,
+}
+
+/// A first-class, unidirectional CM stream: one source endpoint fanning
+/// out to one or more sinks.
+pub struct Stream {
+    platform: Platform,
+    /// The media profile the stream carries.
+    pub profile: RefCell<MediaProfile>,
+    /// The source endpoint node.
+    pub source: NetAddr,
+    /// Per-sink branches.
+    pub branches: Vec<Rc<Branch>>,
+    class: ServiceClass,
+}
+
+impl Stream {
+    pub(crate) fn establish(
+        platform: &Platform,
+        source: NetAddr,
+        sinks: &[NetAddr],
+        profile: MediaProfile,
+        class: ServiceClass,
+    ) -> Rc<Stream> {
+        assert!(!sinks.is_empty(), "a stream needs at least one sink");
+        let mut branches = Vec::new();
+        for &sink in sinks {
+            let src_addr = TransportAddr {
+                node: source,
+                tsap: platform.fresh_tsap(),
+            };
+            let dst_addr = TransportAddr {
+                node: sink,
+                tsap: platform.fresh_tsap(),
+            };
+            platform.bind_endpoint(src_addr);
+            platform.bind_endpoint(dst_addr);
+            let triple = AddressTriple::conventional(src_addr, dst_addr);
+            let vc = platform
+                .service(source)
+                .t_connect_request(triple, class, profile.requirement())
+                .expect("stream connect request");
+            let branch = Rc::new(Branch {
+                vc,
+                sink,
+                state: RefCell::new(BranchState::Connecting),
+            });
+            platform.watch_branch(source, branch.clone());
+            branches.push(branch);
+        }
+        Rc::new(Stream {
+            platform: platform.clone(),
+            profile: RefCell::new(profile),
+            source,
+            branches,
+            class,
+        })
+    }
+
+    /// The service class in use.
+    pub fn class(&self) -> ServiceClass {
+        self.class
+    }
+
+    /// True when every branch is open.
+    pub fn is_open(&self) -> bool {
+        self.branches
+            .iter()
+            .all(|b| matches!(&*b.state.borrow(), BranchState::Open(_)))
+    }
+
+    /// The VCs underlying this stream (what the HLO orchestrates).
+    pub fn vcs(&self) -> Vec<VcId> {
+        self.branches.iter().map(|b| b.vc).collect()
+    }
+
+    /// The primary (first) branch's VC.
+    pub fn vc(&self) -> VcId {
+        self.branches[0].vc
+    }
+
+    /// Change the stream's quality in media terms (§3.3's "upgrading from
+    /// monochrome to colour video, or telephone quality to CD quality
+    /// audio"): renegotiates the QoS of every branch toward the new
+    /// profile's tolerance. Outcomes arrive through the transport user's
+    /// renegotiation callbacks; the stream's profile is updated eagerly.
+    pub fn set_quality(&self, new_profile: MediaProfile) {
+        for b in &self.branches {
+            let _ = self
+                .platform
+                .service(self.source)
+                .t_renegotiate_request(b.vc, new_profile.tolerance(75));
+        }
+        *self.profile.borrow_mut() = new_profile;
+    }
+
+    /// Release every branch.
+    pub fn release(&self) {
+        for b in &self.branches {
+            let _ = self.platform.service(self.source).t_disconnect_request(b.vc);
+        }
+    }
+
+    /// Drive the platform until the stream settles (open or failed);
+    /// panics if it is still connecting after `timeout`.
+    pub fn await_open(&self, timeout: SimDuration) {
+        let engine = self.platform.engine();
+        let deadline = engine.now() + timeout;
+        while engine.now() < deadline && !self.settled() {
+            engine.run_for(SimDuration::from_millis(10));
+        }
+        assert!(self.settled(), "stream did not settle within {timeout}");
+    }
+
+    fn settled(&self) -> bool {
+        self.branches
+            .iter()
+            .all(|b| !matches!(&*b.state.borrow(), BranchState::Connecting))
+    }
+}

@@ -1,0 +1,99 @@
+//! Interface trading — location-independent binding (paper §2.2).
+//!
+//! ANSA applications access services "in a location independent fashion":
+//! an exporter registers a named interface with the trader, an importer
+//! resolves the name to an interface reference (here a transport address)
+//! and invokes through it. The trader itself is a domain-wide registry —
+//! the simulation equivalent of the ANSA trader process.
+
+use cm_core::address::TransportAddr;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A domain-wide name → interface-reference registry.
+#[derive(Clone, Default)]
+pub struct Trader {
+    entries: Rc<RefCell<HashMap<String, TransportAddr>>>,
+}
+
+impl Trader {
+    /// An empty trader.
+    pub fn new() -> Trader {
+        Trader::default()
+    }
+
+    /// Export an interface under `name` (replacing any previous export).
+    pub fn export(&self, name: &str, addr: TransportAddr) {
+        self.entries.borrow_mut().insert(name.to_string(), addr);
+    }
+
+    /// Withdraw an export.
+    pub fn withdraw(&self, name: &str) {
+        self.entries.borrow_mut().remove(name);
+    }
+
+    /// Resolve `name` to an interface reference.
+    pub fn import(&self, name: &str) -> Option<TransportAddr> {
+        self.entries.borrow().get(name).copied()
+    }
+
+    /// List exports matching a prefix (service browsing).
+    pub fn list(&self, prefix: &str) -> Vec<(String, TransportAddr)> {
+        self.entries
+            .borrow()
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_core::address::{NetAddr, Tsap};
+
+    fn addr(n: u32, t: u16) -> TransportAddr {
+        TransportAddr {
+            node: NetAddr(n),
+            tsap: Tsap(t),
+        }
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let t = Trader::new();
+        t.export("lab/microscope-1/video", addr(1, 10));
+        assert_eq!(t.import("lab/microscope-1/video"), Some(addr(1, 10)));
+        assert_eq!(t.import("lab/microscope-2/video"), None);
+    }
+
+    #[test]
+    fn withdraw_removes() {
+        let t = Trader::new();
+        t.export("svc", addr(1, 1));
+        t.withdraw("svc");
+        assert_eq!(t.import("svc"), None);
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let t = Trader::new();
+        t.export("lab/mic-1", addr(1, 1));
+        t.export("lab/mic-2", addr(2, 1));
+        t.export("office/phone", addr(3, 1));
+        let mut labs = t.list("lab/");
+        labs.sort();
+        assert_eq!(labs.len(), 2);
+        assert_eq!(labs[0].0, "lab/mic-1");
+    }
+
+    #[test]
+    fn re_export_replaces() {
+        let t = Trader::new();
+        t.export("svc", addr(1, 1));
+        t.export("svc", addr(2, 2));
+        assert_eq!(t.import("svc"), Some(addr(2, 2)));
+    }
+}

@@ -1,0 +1,278 @@
+//! Platform-level tests: Streams (creation, quality change, fan-out),
+//! invocation with delay bounds, trading, device objects and
+//! platform-driven orchestration — the application's-eye view of §2.2.
+
+use cm_core::media::MediaProfile;
+use cm_core::time::{SimDuration, SimTime};
+use cm_media::StoredClip;
+use cm_orchestration::OrchestrationPolicy;
+use cm_platform::{
+    AdtInterface, BranchState, CaptureDevice, InvokeError, Invoker, MonitorDevice, Platform,
+    StorageServer,
+};
+use netsim::{Engine, TestbedConfig};
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+struct World {
+    platform: Platform,
+    workstations: Vec<cm_core::address::NetAddr>,
+    servers: Vec<cm_core::address::NetAddr>,
+}
+
+fn world(workstations: usize, servers: usize) -> World {
+    let tb = TestbedConfig {
+        workstations,
+        servers,
+        ..TestbedConfig::default()
+    }
+    .build(Engine::new());
+    let platform = Platform::new(tb.net.clone());
+    for &n in tb.workstations.iter().chain(tb.servers.iter()) {
+        platform.install_node(n);
+    }
+    World {
+        platform,
+        workstations: tb.workstations,
+        servers: tb.servers,
+    }
+}
+
+#[test]
+fn stream_establishes_and_reports_qos() {
+    let w = world(1, 1);
+    let s = w.platform.create_stream(
+        w.servers[0],
+        &[w.workstations[0]],
+        MediaProfile::video_mono(),
+    );
+    s.await_open(SimDuration::from_millis(200));
+    assert!(s.is_open());
+    let state = s.branches[0].state.borrow().clone();
+    match state {
+        BranchState::Open(q) => {
+            assert!(q.throughput >= MediaProfile::video_mono().nominal_throughput())
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn stream_fan_out_builds_one_vc_per_sink() {
+    let w = world(3, 1);
+    let s = w.platform.create_stream(
+        w.servers[0],
+        &w.workstations,
+        MediaProfile::audio_telephone(),
+    );
+    s.await_open(SimDuration::from_millis(200));
+    assert!(s.is_open());
+    assert_eq!(s.vcs().len(), 3);
+    // All distinct simplex VCs (§3.1/§3.8).
+    let mut vcs = s.vcs();
+    vcs.dedup();
+    assert_eq!(vcs.len(), 3);
+}
+
+#[test]
+fn stream_quality_upgrade_renegotiates() {
+    let w = world(1, 1);
+    let s = w.platform.create_stream(
+        w.servers[0],
+        &[w.workstations[0]],
+        MediaProfile::video_mono(),
+    );
+    s.await_open(SimDuration::from_millis(200));
+    let before = w
+        .platform
+        .service(w.servers[0])
+        .contract(s.vc())
+        .expect("contract");
+    // Mono → colour (§3.3).
+    s.set_quality(MediaProfile::video_colour());
+    w.platform.engine().run_for(SimDuration::from_millis(200));
+    let after = w
+        .platform
+        .service(w.servers[0])
+        .contract(s.vc())
+        .expect("contract");
+    assert!(after.throughput > before.throughput);
+    assert_eq!(s.profile.borrow().name, "video/colour-25");
+}
+
+#[test]
+fn invocation_roundtrip_with_deadline() {
+    let w = world(2, 0);
+    struct Doubler;
+    impl AdtInterface for Doubler {
+        fn invoke(&self, op: &str, arg: Rc<dyn Any>) -> Option<Rc<dyn Any>> {
+            match op {
+                "double" => {
+                    let x = *arg.downcast_ref::<u32>()?;
+                    Some(Rc::new(x * 2))
+                }
+                _ => None,
+            }
+        }
+    }
+    let server = Invoker::bind(
+        w.platform.service(w.workstations[0]),
+        w.platform.fresh_tsap(),
+    );
+    server.export(Rc::new(Doubler));
+    w.platform
+        .trader()
+        .export("math/doubler", server.address());
+
+    let client = Invoker::bind(
+        w.platform.service(w.workstations[1]),
+        w.platform.fresh_tsap(),
+    );
+    let target = w.platform.trader().import("math/doubler").expect("traded");
+    let got = Rc::new(Cell::new(0u32));
+    let g2 = got.clone();
+    client.invoke(
+        target,
+        "double",
+        Rc::new(21u32),
+        SimDuration::from_millis(100),
+        move |r| {
+            g2.set(*r.expect("reply").downcast_ref::<u32>().expect("u32"));
+        },
+    );
+    w.platform.engine().run_for(SimDuration::from_millis(200));
+    assert_eq!(got.get(), 42);
+}
+
+#[test]
+fn invocation_deadline_exceeded_on_silence() {
+    let w = world(2, 0);
+    let client = Invoker::bind(
+        w.platform.service(w.workstations[1]),
+        w.platform.fresh_tsap(),
+    );
+    // Target TSAP exists on no node ⇒ no reply ever.
+    let target = cm_core::address::TransportAddr {
+        node: w.workstations[0],
+        tsap: cm_core::address::Tsap(4321),
+    };
+    let err = Rc::new(RefCell::new(None));
+    let e2 = err.clone();
+    client.invoke(
+        target,
+        "noop",
+        Rc::new(()),
+        SimDuration::from_millis(50),
+        move |r| {
+            *e2.borrow_mut() = Some(r.err());
+        },
+    );
+    w.platform.engine().run_for(SimDuration::from_millis(200));
+    assert_eq!(*err.borrow(), Some(Some(InvokeError::DeadlineExceeded)));
+}
+
+#[test]
+fn unknown_operation_is_rejected() {
+    let w = world(2, 0);
+    struct Nothing;
+    impl AdtInterface for Nothing {
+        fn invoke(&self, _op: &str, _arg: Rc<dyn Any>) -> Option<Rc<dyn Any>> {
+            None
+        }
+    }
+    let server = Invoker::bind(
+        w.platform.service(w.workstations[0]),
+        w.platform.fresh_tsap(),
+    );
+    server.export(Rc::new(Nothing));
+    let client = Invoker::bind(
+        w.platform.service(w.workstations[1]),
+        w.platform.fresh_tsap(),
+    );
+    let err = Rc::new(RefCell::new(None));
+    let e2 = err.clone();
+    client.invoke(
+        server.address(),
+        "mystery",
+        Rc::new(()),
+        SimDuration::from_millis(100),
+        move |r| {
+            *e2.borrow_mut() = Some(r.err());
+        },
+    );
+    w.platform.engine().run_for(SimDuration::from_millis(200));
+    assert_eq!(*err.borrow(), Some(Some(InvokeError::NoSuchOperation)));
+}
+
+#[test]
+fn devices_play_a_film_through_the_platform() {
+    // The §3.6 film, written entirely against the platform API.
+    let w = world(1, 2);
+    let ws = w.workstations[0];
+    let audio_profile = MediaProfile::audio_telephone();
+    let video_profile = MediaProfile::video_mono();
+
+    let audio_server = StorageServer::new(&w.platform, w.servers[0]);
+    audio_server.store("film/soundtrack", StoredClip::cbr_for(&audio_profile, 60));
+    let video_server = StorageServer::new(&w.platform, w.servers[1]);
+    video_server.store("film/picture", StoredClip::cbr_for(&video_profile, 60));
+
+    let audio_stream = w.platform.create_stream(w.servers[0], &[ws], audio_profile.clone());
+    let video_stream = w.platform.create_stream(w.servers[1], &[ws], video_profile.clone());
+    audio_stream.await_open(SimDuration::from_millis(200));
+    video_stream.await_open(SimDuration::from_millis(200));
+
+    let _audio_src = audio_server.play("film/soundtrack", &audio_stream);
+    let _video_src = video_server.play("film/picture", &video_stream);
+    let monitor = MonitorDevice::new(&w.platform, ws);
+    let speaker = monitor.attach(&audio_stream, &audio_profile);
+    let screen = monitor.attach(&video_stream, &video_profile);
+
+    let started = Rc::new(Cell::new(false));
+    let s2 = started.clone();
+    let _agent = w
+        .platform
+        .orchestrate_streams(
+            &[&audio_stream, &video_stream],
+            OrchestrationPolicy::lip_sync(),
+            move |r| {
+                r.expect("film start");
+                s2.set(true);
+            },
+        )
+        .expect("orchestrate");
+    w.platform.engine().run_for(SimDuration::from_secs(12));
+    assert!(started.get());
+    assert!(speaker.log.borrow().len() > 400, "audio playing");
+    assert!(screen.log.borrow().len() > 200, "video playing");
+    // Lip sync holds.
+    let meter = cm_media::SkewMeter::new(vec![
+        (audio_profile.osdu_rate, speaker.log.borrow().clone()),
+        (video_profile.osdu_rate, screen.log.borrow().clone()),
+    ]);
+    let skew = meter.skew_at(SimTime::from_secs(10)).expect("skew");
+    assert!(skew <= SimDuration::from_millis(80), "skew {skew}");
+}
+
+#[test]
+fn live_capture_flows_over_a_stream() {
+    let w = world(2, 0);
+    let profile = MediaProfile::audio_telephone();
+    let stream = w
+        .platform
+        .create_stream(w.workstations[0], &[w.workstations[1]], profile.clone());
+    stream.await_open(SimDuration::from_millis(200));
+    let mic = CaptureDevice::camera(&w.platform, w.workstations[0], &profile);
+    let live = mic.switch_on(&stream);
+    let monitor = MonitorDevice::new(&w.platform, w.workstations[1]);
+    let speaker = monitor.attach(&stream, &profile);
+    speaker.play();
+    w.platform.engine().run_for(SimDuration::from_secs(5));
+    assert!(live.captured.get() >= 240, "captured {}", live.captured.get());
+    assert!(
+        speaker.log.borrow().len() >= 200,
+        "presented {}",
+        speaker.log.borrow().len()
+    );
+}

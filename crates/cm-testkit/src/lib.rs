@@ -1,0 +1,15 @@
+//! # cm-testkit — shared scenario builders
+//!
+//! Assembles the full stack (network testbed → transport entities → LLOs →
+//! HLO → media actors) into ready-made scenarios used by the integration
+//! tests, the examples and the experiment harness: the *film* (lip-sync,
+//! §3.6), the *language laboratory* (§3.6) and the captioned-video session.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod scenario;
+pub mod users;
+
+pub use scenario::{connect_media, FilmScenario, LanguageLab, Stack, StackConfig};
+pub use users::AutoAcceptUser;

@@ -1,0 +1,297 @@
+//! Full-stack scenario builders.
+
+use crate::users::AutoAcceptUser;
+use cm_core::address::{AddressTriple, NetAddr, TransportAddr, Tsap, VcId};
+use cm_core::media::MediaProfile;
+use cm_core::qos::QosRequirement;
+use cm_core::service_class::ServiceClass;
+use cm_core::time::SimDuration;
+use cm_media::{ClipReader, PlayoutSink, SinkDriver, SourceDriver, StoredClip, StoredSource};
+use cm_orchestration::{Hlo, Llo};
+use cm_transport::{EntityConfig, TransportService};
+use netsim::{Engine, Testbed, TestbedConfig};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Configuration of a full stack.
+#[derive(Debug, Clone)]
+pub struct StackConfig {
+    /// Network shape and impairments.
+    pub testbed: TestbedConfig,
+    /// Transport entity configuration (applied to every node).
+    pub entity: EntityConfig,
+    /// LLO session table space per node.
+    pub max_sessions: usize,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig {
+            testbed: TestbedConfig::default(),
+            entity: EntityConfig::default(),
+            max_sessions: 16,
+        }
+    }
+}
+
+/// One node's installed services.
+pub struct StackNode {
+    /// Transport service.
+    pub svc: TransportService,
+    /// Low-level orchestrator.
+    pub llo: Llo,
+    /// The node's scenario user (accepts connects, records reports).
+    pub user: Rc<AutoAcceptUser>,
+}
+
+/// The full stack over a star testbed.
+pub struct Stack {
+    /// The underlying testbed (network + node roles).
+    pub tb: Testbed,
+    /// Per-node services.
+    pub nodes: HashMap<NetAddr, StackNode>,
+    /// The high-level orchestrator over all LLOs.
+    pub hlo: Hlo,
+    next_tsap: Cell<u16>,
+}
+
+impl Stack {
+    /// Build the stack: testbed, one transport entity + LLO per
+    /// workstation/server node, and the HLO over them.
+    pub fn build(cfg: StackConfig) -> Stack {
+        let tb = cfg.testbed.build(Engine::new());
+        let mut nodes = HashMap::new();
+        let mut llos = Vec::new();
+        for &node in tb.workstations.iter().chain(tb.servers.iter()) {
+            let svc = TransportService::install(&tb.net, node, cfg.entity.clone());
+            let llo = Llo::install(svc.clone(), cfg.max_sessions);
+            let user = AutoAcceptUser::new();
+            llos.push(llo.clone());
+            nodes.insert(node, StackNode { svc, llo, user });
+        }
+        Stack {
+            tb,
+            nodes,
+            hlo: Hlo::new(llos),
+            next_tsap: Cell::new(100),
+        }
+    }
+
+    /// The engine driving everything.
+    pub fn engine(&self) -> &netsim::Engine {
+        self.tb.net.engine()
+    }
+
+    /// Run the simulation for `d`.
+    pub fn run_for(&self, d: SimDuration) {
+        self.engine().run_for(d);
+    }
+
+    /// A node's services.
+    pub fn node(&self, n: NetAddr) -> &StackNode {
+        &self.nodes[&n]
+    }
+
+    /// Allocate a fresh TSAP number (scenario-unique).
+    pub fn fresh_tsap(&self) -> Tsap {
+        let t = self.next_tsap.get();
+        self.next_tsap.set(t + 1);
+        Tsap(t)
+    }
+
+    /// Open a simplex media VC `src → dst`, binding fresh TSAPs with the
+    /// nodes' auto-accept users and running the engine until the
+    /// handshake completes. Panics if the connect is refused.
+    pub fn connect(
+        &self,
+        src: NetAddr,
+        dst: NetAddr,
+        class: ServiceClass,
+        req: QosRequirement,
+    ) -> VcId {
+        let src_tsap = self.fresh_tsap();
+        let dst_tsap = self.fresh_tsap();
+        let sn = self.node(src);
+        let dn = self.node(dst);
+        sn.svc.bind(src_tsap, sn.user.clone()).expect("bind src");
+        dn.svc.bind(dst_tsap, dn.user.clone()).expect("bind dst");
+        let triple = AddressTriple::conventional(
+            TransportAddr {
+                node: src,
+                tsap: src_tsap,
+            },
+            TransportAddr {
+                node: dst,
+                tsap: dst_tsap,
+            },
+        );
+        let vc = sn
+            .svc
+            .t_connect_request(triple, class, req)
+            .expect("connect request");
+        // Generous handshake window: slow/long links take hundreds of ms.
+        self.run_for(SimDuration::from_millis(800));
+        assert!(
+            sn.svc.is_open(vc),
+            "scenario connect refused: {:?}",
+            sn.user.confirmed.borrow().last()
+        );
+        vc
+    }
+}
+
+/// Open a media VC for `profile` between two nodes of a stack.
+pub fn connect_media(stack: &Stack, src: NetAddr, dst: NetAddr, profile: &MediaProfile) -> VcId {
+    stack.connect(src, dst, ServiceClass::cm_default(), profile.requirement())
+}
+
+/// One orchestrated stream: VC + source + sink actors, registered with the
+/// LLOs at both ends.
+pub struct MediaStream {
+    /// The VC.
+    pub vc: VcId,
+    /// Source actor (at the VC's source node).
+    pub source: Rc<StoredSource>,
+    /// Sink actor (at the VC's destination node).
+    pub sink: Rc<PlayoutSink>,
+}
+
+impl MediaStream {
+    /// Build a stream: connect the VC, attach a [`StoredSource`] playing
+    /// `clip` and a [`PlayoutSink`] presenting at the clip rate.
+    pub fn build(
+        stack: &Stack,
+        src: NetAddr,
+        dst: NetAddr,
+        profile: &MediaProfile,
+        clip: &StoredClip,
+    ) -> MediaStream {
+        Self::build_with_class(stack, src, dst, profile, clip, ServiceClass::cm_default())
+    }
+
+    /// As [`MediaStream::build`] with an explicit service class.
+    pub fn build_with_class(
+        stack: &Stack,
+        src: NetAddr,
+        dst: NetAddr,
+        profile: &MediaProfile,
+        clip: &StoredClip,
+        class: ServiceClass,
+    ) -> MediaStream {
+        let vc = stack.connect(src, dst, class, profile.requirement());
+        let reader: ClipReader = clip.reader();
+        let source = StoredSource::new(stack.node(src).svc.clone(), vc, reader);
+        SourceDriver::register(&stack.node(src).llo, vc, &source);
+        let sink = PlayoutSink::new(stack.node(dst).svc.clone(), vc, clip.rate);
+        SinkDriver::register(&stack.node(dst).llo, vc, &sink);
+        MediaStream { vc, source, sink }
+    }
+}
+
+/// The film scenario of §3.6: separately stored audio and video tracks of
+/// one film, played out in lip sync at a single workstation. Audio and
+/// video come from (possibly different) storage servers with their own
+/// clock skews.
+pub struct FilmScenario {
+    /// The stack.
+    pub stack: Stack,
+    /// Audio stream (50 blocks/s telephone-grade track).
+    pub audio: MediaStream,
+    /// Video stream (25 f/s mono).
+    pub video: MediaStream,
+    /// The common sink workstation (the orchestrating node, fig. 5).
+    pub workstation: NetAddr,
+}
+
+impl FilmScenario {
+    /// Build the film: `skews_ppm = (audio server, video server)` clock
+    /// skews; clip length in seconds.
+    pub fn build(skews_ppm: (i32, i32), secs: u64, mut cfg: StackConfig) -> FilmScenario {
+        cfg.testbed.servers = 2;
+        cfg.testbed.workstations = 1;
+        // Node order in the builder: workstations then servers; clocks
+        // cycle through the list, so pin them explicitly.
+        cfg.testbed.clock_skews_ppm = vec![0, skews_ppm.0, skews_ppm.1];
+        let stack = Stack::build(cfg);
+        let workstation = stack.tb.workstations[0];
+        let audio_server = stack.tb.servers[0];
+        let video_server = stack.tb.servers[1];
+
+        let audio_profile = MediaProfile::audio_telephone();
+        let video_profile = MediaProfile::video_mono();
+        let audio_clip = StoredClip::cbr_for(&audio_profile, secs);
+        let video_clip = StoredClip::cbr_for(&video_profile, secs);
+
+        let audio = MediaStream::build(&stack, audio_server, workstation, &audio_profile, &audio_clip);
+        let video = MediaStream::build(&stack, video_server, workstation, &video_profile, &video_clip);
+        FilmScenario {
+            stack,
+            audio,
+            video,
+            workstation,
+        }
+    }
+
+    /// The skew meter over both presentation logs.
+    pub fn skew_meter(&self) -> cm_media::SkewMeter {
+        cm_media::SkewMeter::new(vec![
+            (
+                MediaProfile::audio_telephone().osdu_rate,
+                self.audio.sink.log.borrow().clone(),
+            ),
+            (
+                MediaProfile::video_mono().osdu_rate,
+                self.video.sink.log.borrow().clone(),
+            ),
+        ])
+    }
+}
+
+/// The language laboratory of §3.6: several audio tracks stored on one
+/// server, distributed to different workstations in a live lesson. The
+/// *source* is the common (orchestrating) node.
+pub struct LanguageLab {
+    /// The stack.
+    pub stack: Stack,
+    /// One stream per student workstation.
+    pub tracks: Vec<MediaStream>,
+    /// The storage server (common node).
+    pub server: NetAddr,
+}
+
+impl LanguageLab {
+    /// Build a lab with `students` workstations, each with the given clock
+    /// skew (cycled), playing `secs` seconds of telephone audio.
+    pub fn build(students: usize, student_skews_ppm: Vec<i32>, secs: u64, mut cfg: StackConfig) -> LanguageLab {
+        cfg.testbed.workstations = students;
+        cfg.testbed.servers = 1;
+        let mut skews = Vec::new();
+        for i in 0..students {
+            skews.push(
+                student_skews_ppm
+                    .get(i % student_skews_ppm.len().max(1))
+                    .copied()
+                    .unwrap_or(0),
+            );
+        }
+        skews.push(0); // the server (common node) is the datum clock
+        cfg.testbed.clock_skews_ppm = skews;
+        let stack = Stack::build(cfg);
+        let server = stack.tb.servers[0];
+        let profile = MediaProfile::audio_telephone();
+        let clip = StoredClip::cbr_for(&profile, secs);
+        let tracks: Vec<MediaStream> = stack
+            .tb
+            .workstations
+            .clone()
+            .iter()
+            .map(|&w| MediaStream::build(&stack, server, w, &profile, &clip))
+            .collect();
+        LanguageLab {
+            stack,
+            tracks,
+            server,
+        }
+    }
+}

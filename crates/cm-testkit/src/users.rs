@@ -1,0 +1,74 @@
+//! Transport users for scenario plumbing.
+
+use cm_core::address::{AddressTriple, VcId};
+use cm_core::error::DisconnectReason;
+use cm_core::qos::{QosParams, QosRequirement, QosTolerance};
+use cm_core::service_class::ServiceClass;
+use cm_transport::{QosReport, TransportService, TransportUser};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A transport user that accepts every connect and renegotiation, and
+/// records what happened (sufficient for scenario plumbing; protocol
+/// conformance is asserted by the dedicated transport tests).
+#[derive(Default)]
+pub struct AutoAcceptUser {
+    /// Successful connects confirmed to this user.
+    pub confirmed: RefCell<Vec<(VcId, Result<QosParams, DisconnectReason>)>>,
+    /// QoS degradation reports received.
+    pub qos_reports: RefCell<Vec<QosReport>>,
+    /// Disconnect indications received.
+    pub disconnects: RefCell<Vec<(VcId, DisconnectReason)>>,
+    /// Error (loss) indications received.
+    pub errors: RefCell<Vec<(VcId, u64)>>,
+}
+
+impl AutoAcceptUser {
+    /// A fresh auto-accepting user.
+    pub fn new() -> Rc<AutoAcceptUser> {
+        Rc::new(AutoAcceptUser::default())
+    }
+}
+
+impl TransportUser for AutoAcceptUser {
+    fn t_connect_indication(
+        &self,
+        svc: &TransportService,
+        vc: VcId,
+        _triple: AddressTriple,
+        _class: ServiceClass,
+        _qos: QosRequirement,
+    ) {
+        svc.t_connect_response(vc, true).expect("accept connect");
+    }
+
+    fn t_connect_confirm(
+        &self,
+        _svc: &TransportService,
+        vc: VcId,
+        result: Result<QosParams, DisconnectReason>,
+    ) {
+        self.confirmed.borrow_mut().push((vc, result));
+    }
+
+    fn t_disconnect_indication(&self, _svc: &TransportService, vc: VcId, reason: DisconnectReason) {
+        self.disconnects.borrow_mut().push((vc, reason));
+    }
+
+    fn t_qos_indication(&self, _svc: &TransportService, report: QosReport) {
+        self.qos_reports.borrow_mut().push(report);
+    }
+
+    fn t_renegotiate_indication(
+        &self,
+        svc: &TransportService,
+        vc: VcId,
+        _new_tolerance: QosTolerance,
+    ) {
+        svc.t_renegotiate_response(vc, true).expect("accept reneg");
+    }
+
+    fn t_error_indication(&self, _svc: &TransportService, vc: VcId, seq: u64) {
+        self.errors.borrow_mut().push((vc, seq));
+    }
+}

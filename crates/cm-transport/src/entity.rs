@@ -1,0 +1,2102 @@
+//! The per-node transport entity: connection management, data path and
+//! demultiplexing.
+//!
+//! One [`TransportEntity`] runs on every end-system, registered as the
+//! node's packet handler. It implements the full service of §4:
+//!
+//! - three-party connection establishment and release (§3.5, §4.1.1,
+//!   figures 2–3), with end-to-end QoS negotiation and ST-II-style
+//!   resource reservation;
+//! - QoS monitoring with `T-QoS.indication` (§4.1.2) and in-place QoS
+//!   renegotiation (§4.1.3);
+//! - the rate-based data path (paced transmission, credit backpressure,
+//!   per-class error control) and the window-based baseline;
+//! - the orchestration-facing hooks (§5–6): per-VC control channel, receive
+//!   gating, source-side drops, rate retuning and blocking-time harvest.
+//!
+//! **Re-entrancy discipline.** The entity's state sits in one `RefCell`.
+//! Nothing that can call back into the entity runs while that borrow is
+//! held: user/tap callbacks are dispatched as engine events at the current
+//! instant, and buffer wakers are engine-scheduling trampolines.
+
+use crate::buffer::{BufferHandle, PushOutcome};
+use crate::monitor::QosMonitor;
+use crate::rate::RateClock;
+use crate::receiver::{SinkAction, SinkEngine};
+use crate::service::{EntityConfig, TransportService, TransportUser, VcTap};
+use crate::tpdu::{
+    fragment_sizes, ControlMsg, DataTpdu, QosReport, CONTROL_WIRE_SIZE,
+};
+use crate::vc::{EndStats, SinkEnd, SourceEnd, Vc, VcPhase, VcRole};
+use crate::window::{GoBackNReceiver, GoBackNSender};
+use cm_core::address::{AddressTriple, NetAddr, Tsap, VcId};
+use cm_core::error::{DisconnectReason, ServiceError};
+use cm_core::osdu::{Osdu, Payload};
+use cm_core::qos::{GuaranteeMode, QosParams, QosRequirement, QosTolerance};
+use cm_core::service_class::{ProtocolProfile, ServiceClass};
+use cm_core::time::SimTime;
+use netsim::{Network, NodeHandler, Packet};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// What travels inside simulated packets between transport entities.
+pub(crate) enum WirePdu {
+    /// Rate-profile data fragment.
+    Data(DataTpdu),
+    /// Window-profile data fragment with its window sequence number.
+    WindowData {
+        wseq: u64,
+        tpdu: DataTpdu,
+    },
+    /// Everything else.
+    Control(ControlMsg),
+}
+
+/// Destination-side record of a connect awaiting the local user's response.
+struct PendingDst {
+    triple: AddressTriple,
+    class: ServiceClass,
+    requirement: QosRequirement,
+    agreed: QosParams,
+    capacity: u32,
+}
+
+/// Source-side record of a connect in progress.
+struct PendingSrc {
+    triple: AddressTriple,
+    class: ServiceClass,
+    requirement: QosRequirement,
+    /// Awaiting the local source user's T-Connect.response (remote connect
+    /// leg 1) rather than the destination's answer.
+    awaiting_user: bool,
+}
+
+/// Initiator-side record of a remote connect (initiator ∉ {source, dest}).
+struct PendingRemote {
+    triple: AddressTriple,
+}
+
+pub(crate) struct State {
+    users: HashMap<Tsap, Rc<dyn TransportUser>>,
+    pub(crate) vcs: HashMap<VcId, Vc>,
+    pending_dst: HashMap<VcId, PendingDst>,
+    pending_src: HashMap<VcId, PendingSrc>,
+    pending_remote: HashMap<VcId, PendingRemote>,
+    /// Remote-connect triples remembered at the initiator for later
+    /// remote release.
+    initiated: HashMap<VcId, AddressTriple>,
+    taps: HashMap<VcId, Rc<dyn VcTap>>,
+    next_vc: u64,
+}
+
+/// The transport entity of one node.
+pub struct TransportEntity {
+    pub(crate) node: NetAddr,
+    pub(crate) net: Network,
+    pub(crate) config: EntityConfig,
+    pub(crate) state: RefCell<State>,
+}
+
+/// The node handler: an `Rc` wrapper so event closures can hold the entity
+/// strongly.
+pub(crate) struct EntityRef(pub(crate) Rc<TransportEntity>);
+
+impl NodeHandler for EntityRef {
+    fn on_packet(&self, _net: &Network, _at: NetAddr, pkt: Packet) {
+        TransportEntity::handle_packet(&self.0, pkt);
+    }
+}
+
+impl TransportEntity {
+    /// Create an entity for `node`, register it as the node's handler, and
+    /// return its service interface.
+    pub fn install(net: &Network, node: NetAddr, config: EntityConfig) -> TransportService {
+        let entity = Rc::new(TransportEntity {
+            node,
+            net: net.clone(),
+            config,
+            state: RefCell::new(State {
+                users: HashMap::new(),
+                vcs: HashMap::new(),
+                pending_dst: HashMap::new(),
+                pending_src: HashMap::new(),
+                pending_remote: HashMap::new(),
+                initiated: HashMap::new(),
+                taps: HashMap::new(),
+                next_vc: 0,
+            }),
+        });
+        net.set_handler(node, Rc::new(EntityRef(entity.clone())));
+        TransportService::new(entity)
+    }
+
+    fn now(&self) -> SimTime {
+        self.net.engine().now()
+    }
+
+    /// This node's local clock reading. The rate-based pacing clock runs
+    /// on *local* time: real protocol engines pace off their own crystal,
+    /// which is exactly the clock-rate discrepancy the orchestrator exists
+    /// to correct (§3.6).
+    fn local_now(&self) -> SimTime {
+        self.net.local_time(self.node)
+    }
+
+    /// Convert a node-local instant to global engine time for scheduling.
+    fn local_to_global(&self, local: SimTime) -> SimTime {
+        self.net.clock(self.node).global_of(local)
+    }
+
+    fn alloc_vc(&self) -> VcId {
+        let mut st = self.state.borrow_mut();
+        st.next_vc += 1;
+        VcId(((self.node.0 as u64 + 1) << 40) | st.next_vc)
+    }
+
+    pub(crate) fn send_control(&self, to: NetAddr, msg: ControlMsg) {
+        let pkt = Packet::control(
+            self.node,
+            to,
+            CONTROL_WIRE_SIZE,
+            self.now(),
+            WirePdu::Control(msg),
+        );
+        self.net.send(self.node, pkt);
+    }
+
+    /// Dispatch a user callback as an event at the current instant.
+    fn to_user(
+        self: &Rc<Self>,
+        tsap: Tsap,
+        f: impl FnOnce(&TransportService, &Rc<dyn TransportUser>) + 'static,
+    ) {
+        let user = self.state.borrow().users.get(&tsap).cloned();
+        if let Some(user) = user {
+            let me = self.clone();
+            self.net.engine().schedule_in(cm_core::time::SimDuration::ZERO, move |_| {
+                let svc = TransportService::new(me.clone());
+                f(&svc, &user);
+            });
+        }
+    }
+
+    /// Dispatch a tap callback as an event at the current instant.
+    fn to_tap(self: &Rc<Self>, vc: VcId, f: impl FnOnce(&Rc<dyn VcTap>) + 'static) {
+        let tap = self.state.borrow().taps.get(&vc).cloned();
+        if let Some(tap) = tap {
+            self.net
+                .engine()
+                .schedule_in(cm_core::time::SimDuration::ZERO, move |_| f(&tap));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Service requests (called through TransportService)
+    // ------------------------------------------------------------------
+
+    /// `T-Connect.request` (table 1). Must be called at the initiator node.
+    pub(crate) fn t_connect_request(
+        self: &Rc<Self>,
+        triple: AddressTriple,
+        class: ServiceClass,
+        requirement: QosRequirement,
+    ) -> Result<VcId, ServiceError> {
+        if triple.initiator.node != self.node {
+            return Err(ServiceError::BadArgument(
+                "T-Connect.request must be issued at the initiator node",
+            ));
+        }
+        if !requirement.tolerance.is_well_formed() {
+            return Err(ServiceError::BadArgument(
+                "preferred QoS weaker than worst-acceptable",
+            ));
+        }
+        let vc = self.alloc_vc();
+        if triple.is_conventional() {
+            // The initiator is the source: go straight to leg 2.
+            self.state.borrow_mut().pending_src.insert(
+                vc,
+                PendingSrc {
+                    triple,
+                    class,
+                    requirement,
+                    awaiting_user: false,
+                },
+            );
+            self.send_control(
+                triple.destination.node,
+                ControlMsg::ConnectRequest {
+                    vc,
+                    triple,
+                    class,
+                    qos: requirement,
+                },
+            );
+        } else {
+            // Remote connect (§3.5): ask the source entity to raise the
+            // indication at the source user.
+            self.state
+                .borrow_mut()
+                .pending_remote
+                .insert(vc, PendingRemote { triple });
+            self.state.borrow_mut().initiated.insert(vc, triple);
+            self.send_control(
+                triple.source.node,
+                ControlMsg::RemoteConnectRequest {
+                    vc,
+                    triple,
+                    class,
+                    qos: requirement,
+                },
+            );
+        }
+        Ok(vc)
+    }
+
+    /// `T-Connect.response` / rejection via `T-Disconnect.request` during
+    /// connect (table 1, fig. 3).
+    pub(crate) fn t_connect_response(
+        self: &Rc<Self>,
+        vc: VcId,
+        accept: bool,
+    ) -> Result<(), ServiceError> {
+        // Destination answering its indication?
+        let dst = self.state.borrow_mut().pending_dst.remove(&vc);
+        if let Some(p) = dst {
+            if accept {
+                self.open_sink(vc, &p);
+                self.send_control(
+                    p.triple.source.node,
+                    ControlMsg::ConnectResponse {
+                        vc,
+                        result: Ok((p.agreed, p.capacity)),
+                    },
+                );
+            } else {
+                self.net.release_reservation(vc);
+                self.send_control(
+                    p.triple.source.node,
+                    ControlMsg::ConnectResponse {
+                        vc,
+                        result: Err(DisconnectReason::UserRejected),
+                    },
+                );
+            }
+            return Ok(());
+        }
+        // Source user answering a remote-connect indication?
+        let go = {
+            let mut st = self.state.borrow_mut();
+            match st.pending_src.get_mut(&vc) {
+                Some(p) if p.awaiting_user => {
+                    p.awaiting_user = false;
+                    Some((p.triple, p.class, p.requirement))
+                }
+                _ => None,
+            }
+        };
+        if let Some((triple, class, requirement)) = go {
+            if accept {
+                self.send_control(
+                    triple.destination.node,
+                    ControlMsg::ConnectRequest {
+                        vc,
+                        triple,
+                        class,
+                        qos: requirement,
+                    },
+                );
+            } else {
+                self.state.borrow_mut().pending_src.remove(&vc);
+                self.send_control(
+                    triple.initiator.node,
+                    ControlMsg::RemoteConnectReply {
+                        vc,
+                        result: Err(DisconnectReason::UserRejected),
+                    },
+                );
+            }
+            return Ok(());
+        }
+        Err(ServiceError::UnknownVc)
+    }
+
+    /// `T-Disconnect.request` (table 1). Valid at either endpoint or at the
+    /// remote initiator.
+    pub(crate) fn t_disconnect_request(
+        self: &Rc<Self>,
+        vc: VcId,
+        reason: DisconnectReason,
+    ) -> Result<(), ServiceError> {
+        // Endpoint with live state: tear down and tell the peer (and the
+        // remote initiator, if any — §3.5: responses go to both).
+        let info = {
+            let st = self.state.borrow();
+            st.vcs
+                .get(&vc)
+                .filter(|v| v.phase != VcPhase::Closed)
+                .map(|v| (v.peer_node, v.triple))
+        };
+        if let Some((peer, triple)) = info {
+            self.teardown_local(vc, reason.clone(), false);
+            self.send_control(
+                peer,
+                ControlMsg::Disconnect {
+                    vc,
+                    reason: reason.clone(),
+                    notify: None,
+                },
+            );
+            if triple.initiator.node != self.node
+                && triple.initiator != triple.source
+                && triple.initiator != triple.destination
+            {
+                self.send_control(
+                    triple.initiator.node,
+                    ControlMsg::Disconnect {
+                        vc,
+                        reason,
+                        notify: None,
+                    },
+                );
+            }
+            return Ok(());
+        }
+        // Remote initiator: relay the release request to the source, whose
+        // user receives the indication and performs the actual release
+        // (§4.1.1 "remotely released").
+        let triple = self.state.borrow().initiated.get(&vc).copied();
+        if let Some(triple) = triple {
+            self.send_control(
+                triple.source.node,
+                ControlMsg::Disconnect {
+                    vc,
+                    reason,
+                    notify: Some(triple.initiator),
+                },
+            );
+            return Ok(());
+        }
+        Err(ServiceError::UnknownVc)
+    }
+
+    /// `T-Renegotiate.request` (table 3), issued at either endpoint.
+    pub(crate) fn t_renegotiate_request(
+        self: &Rc<Self>,
+        vc: VcId,
+        new_tolerance: QosTolerance,
+    ) -> Result<(), ServiceError> {
+        if !new_tolerance.is_well_formed() {
+            return Err(ServiceError::BadArgument(
+                "preferred QoS weaker than worst-acceptable",
+            ));
+        }
+        let peer = {
+            let st = self.state.borrow();
+            let v = st.vcs.get(&vc).ok_or(ServiceError::UnknownVc)?;
+            if v.phase != VcPhase::Open {
+                return Err(ServiceError::WrongState("renegotiate on non-open VC"));
+            }
+            v.peer_node
+        };
+        self.send_control(peer, ControlMsg::RenegotiateRequest { vc, new_tolerance });
+        Ok(())
+    }
+
+    /// `T-Renegotiate.response` (table 3): the peer user's verdict. On
+    /// acceptance the entity renegotiates resources and, if that succeeds,
+    /// applies the new contract at both ends.
+    pub(crate) fn t_renegotiate_response(
+        self: &Rc<Self>,
+        vc: VcId,
+        accept: bool,
+    ) -> Result<(), ServiceError> {
+        let (peer, triple) = {
+            let st = self.state.borrow();
+            let v = st.vcs.get(&vc).ok_or(ServiceError::UnknownVc)?;
+            (v.peer_node, v.triple)
+        };
+        if !accept {
+            self.send_control(
+                peer,
+                ControlMsg::RenegotiateResponse {
+                    vc,
+                    result: Err(DisconnectReason::RenegotiationRefused),
+                },
+            );
+            return Ok(());
+        }
+        let pending = {
+            let mut st = self.state.borrow_mut();
+            let v = st.vcs.get_mut(&vc).ok_or(ServiceError::UnknownVc)?;
+            v.pending_renegotiation().take()
+        };
+        let new_tolerance = match pending {
+            Some(t) => t,
+            None => return Err(ServiceError::WrongState("no renegotiation pending")),
+        };
+        let result = self.apply_renegotiation(vc, triple, new_tolerance);
+        match &result {
+            Ok(qos) => {
+                self.send_control(
+                    peer,
+                    ControlMsg::RenegotiateResponse {
+                        vc,
+                        result: Ok(*qos),
+                    },
+                );
+            }
+            Err(reason) => {
+                self.send_control(
+                    peer,
+                    ControlMsg::RenegotiateResponse {
+                        vc,
+                        result: Err(reason.clone()),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Negotiate the new tolerance against the path and the reservation
+    /// ledger; on success the local contract is replaced in place —
+    /// protocol state, buffers and sequence numbers survive (§4.1.3).
+    fn apply_renegotiation(
+        self: &Rc<Self>,
+        vc: VcId,
+        triple: AddressTriple,
+        new_tolerance: QosTolerance,
+    ) -> Result<QosParams, DisconnectReason> {
+        let src = triple.source.node;
+        let dst = triple.destination.node;
+        let mut achievable = self
+            .net
+            .path_qos(src, dst, self.config.mtu)
+            .ok_or(DisconnectReason::Unreachable)?;
+        // Capacity available = unreserved + what this VC already holds.
+        let held = {
+            let st = self.state.borrow();
+            st.vcs.get(&vc).map(|v| v.contract.throughput)
+        }
+        .unwrap_or(cm_core::time::Bandwidth::ZERO);
+        if let Some(avail) = self.net.available_bandwidth(src, dst) {
+            achievable.throughput = (avail + held).min(achievable.throughput);
+        }
+        let agreed = new_tolerance
+            .negotiate(&achievable)
+            .map_err(|_| DisconnectReason::RenegotiationRefused)?;
+        self.net
+            .renegotiate_reservation(vc, agreed.throughput)
+            .map_err(|_| DisconnectReason::RenegotiationRefused)?;
+        let mut st = self.state.borrow_mut();
+        if let Some(v) = st.vcs.get_mut(&vc) {
+            v.contract = agreed;
+            v.requirement.tolerance = new_tolerance;
+        }
+        Ok(agreed)
+    }
+
+    // ------------------------------------------------------------------
+    // VC endpoint construction
+    // ------------------------------------------------------------------
+
+    fn buffer_slots(&self, requirement: &QosRequirement) -> usize {
+        if let Some(n) = self.config.buffer_slots_override {
+            return n;
+        }
+        // Half a second of media, clamped to [4, 64] slots.
+        let per_half_s = requirement
+            .osdu_rate
+            .units_in(cm_core::time::SimDuration::from_millis(500));
+        (per_half_s as usize).clamp(4, 64)
+    }
+
+    fn open_sink(self: &Rc<Self>, vc: VcId, p: &PendingDst) {
+        let slots = p.capacity as usize;
+        let monitor = (p.requirement.guarantee != GuaranteeMode::BestEffort).then(|| {
+            QosMonitor::new(self.config.monitor_period, self.now())
+        });
+        let sink = SinkEnd {
+            recv_buf: BufferHandle::new(slots),
+            engine: SinkEngine::new(p.class.error_control),
+            gbn_recv: (p.class.profile == ProtocolProfile::WindowBased)
+                .then(GoBackNReceiver::new),
+            app_popped: 0,
+            last_freed_sent: 0,
+            monitor,
+            monitor_event: None,
+            pending_delivery: std::collections::VecDeque::new(),
+            producer_parked: false,
+            lost_snap: 0,
+            delivered_snap: 0,
+        };
+        let v = Vc {
+            id: vc,
+            triple: p.triple,
+            class: p.class,
+            requirement: p.requirement,
+            contract: p.agreed,
+            role: VcRole::Sink,
+            peer_node: p.triple.source.node,
+            local_tsap: p.triple.destination.tsap,
+            phase: VcPhase::Open,
+            source: None,
+            sink: Some(sink),
+            pending_reneg: None,
+        };
+        self.state.borrow_mut().vcs.insert(vc, v);
+        if self
+            .state
+            .borrow()
+            .vcs
+            .get(&vc)
+            .map(|v| v.sink.as_ref().expect("sink end").monitor.is_some())
+            .unwrap_or(false)
+        {
+            self.schedule_monitor(vc);
+        }
+    }
+
+    fn open_source(
+        self: &Rc<Self>,
+        vc: VcId,
+        p: &PendingSrc,
+        agreed: QosParams,
+        recv_capacity: u32,
+    ) {
+        let slots = self.buffer_slots(&p.requirement);
+        let mut clock = RateClock::new(p.requirement.osdu_rate);
+        clock.start(self.local_now());
+        let source = SourceEnd {
+            send_buf: BufferHandle::new(slots),
+            clock,
+            gbn: (p.class.profile == ProtocolProfile::WindowBased).then(|| {
+                GoBackNSender::new(self.config.window_size, self.config.rto)
+            }),
+            pending_frags: std::collections::VecDeque::new(),
+            next_write_seq: 0,
+            charged: 0,
+            freed_remote: 0,
+            recv_capacity: recv_capacity as u64,
+            dropped: 0,
+            sent: 0,
+            retrans_cache: std::collections::VecDeque::new(),
+            retrans_cache_cap: (recv_capacity as usize) * 4,
+            tick_event: None,
+            rto_event: None,
+            waiting_buffer: false,
+            stalled_credit: false,
+            dropped_snap: 0,
+        };
+        let v = Vc {
+            id: vc,
+            triple: p.triple,
+            class: p.class,
+            requirement: p.requirement,
+            contract: agreed,
+            role: VcRole::Source,
+            peer_node: p.triple.destination.node,
+            local_tsap: p.triple.source.tsap,
+            phase: VcPhase::Open,
+            source: Some(source),
+            sink: None,
+            pending_reneg: None,
+        };
+        self.state.borrow_mut().vcs.insert(vc, v);
+        // Arm the pacing/pump machinery; it will park on the empty buffer.
+        match p.class.profile {
+            ProtocolProfile::RateBasedCm => self.ensure_tick_now(vc),
+            ProtocolProfile::WindowBased => self.pump_window(vc),
+            ProtocolProfile::Datagram => {}
+        }
+    }
+
+    fn teardown_local(self: &Rc<Self>, vc: VcId, reason: DisconnectReason, indicate: bool) {
+        let tsap = {
+            let mut st = self.state.borrow_mut();
+            st.taps.remove(&vc);
+            match st.vcs.get_mut(&vc) {
+                Some(v) if v.phase != VcPhase::Closed => {
+                    v.phase = VcPhase::Closed;
+                    let engine = self.net.engine();
+                    if let Some(s) = &mut v.source {
+                        if let Some(ev) = s.tick_event.take() {
+                            engine.cancel(ev);
+                        }
+                        if let Some(ev) = s.rto_event.take() {
+                            engine.cancel(ev);
+                        }
+                    }
+                    if let Some(k) = &mut v.sink {
+                        if let Some(ev) = k.monitor_event.take() {
+                            engine.cancel(ev);
+                        }
+                    }
+                    Some(v.local_tsap)
+                }
+                _ => None,
+            }
+        };
+        self.net.release_reservation(vc);
+        if indicate {
+            if let Some(tsap) = tsap {
+                self.to_user(tsap, move |svc, u| {
+                    u.t_disconnect_indication(svc, vc, reason)
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Packet handling
+    // ------------------------------------------------------------------
+
+    fn handle_packet(self: &Rc<Self>, pkt: Packet) {
+        // Take the payload out (avoid double-Rc clones of big TPDUs).
+        let corrupted = pkt.corrupted;
+        if let Some(pdu) = pkt.payload_as::<WirePdu>() {
+            match pdu {
+                WirePdu::Data(tpdu) => self.on_data(tpdu.clone(), corrupted),
+                WirePdu::WindowData { wseq, tpdu } => {
+                    self.on_window_data(*wseq, tpdu.clone(), corrupted)
+                }
+                WirePdu::Control(msg) => self.on_control(msg.clone()),
+            }
+        }
+    }
+
+    fn on_control(self: &Rc<Self>, msg: ControlMsg) {
+        match msg {
+            ControlMsg::RemoteConnectRequest {
+                vc,
+                triple,
+                class,
+                qos,
+            } => {
+                // Leg 1 arrival at the source entity: indication to the
+                // source user (fig. 3).
+                let bound = self
+                    .state
+                    .borrow()
+                    .users
+                    .contains_key(&triple.source.tsap);
+                if !bound {
+                    self.send_control(
+                        triple.initiator.node,
+                        ControlMsg::RemoteConnectReply {
+                            vc,
+                            result: Err(DisconnectReason::NoSuchTsap),
+                        },
+                    );
+                    return;
+                }
+                self.state.borrow_mut().pending_src.insert(
+                    vc,
+                    PendingSrc {
+                        triple,
+                        class,
+                        requirement: qos,
+                        awaiting_user: true,
+                    },
+                );
+                self.to_user(triple.source.tsap, move |svc, u| {
+                    u.t_connect_indication(svc, vc, triple, class, qos)
+                });
+            }
+            ControlMsg::ConnectRequest {
+                vc,
+                triple,
+                class,
+                qos,
+            } => self.on_connect_request(vc, triple, class, qos),
+            ControlMsg::ConnectResponse { vc, result } => {
+                self.on_connect_response(vc, result)
+            }
+            ControlMsg::RemoteConnectReply { vc, result } => {
+                let p = self.state.borrow_mut().pending_remote.remove(&vc);
+                if let Some(p) = p {
+                    let tsap = p.triple.initiator.tsap;
+                    match result {
+                        Ok(qos) => self.to_user(tsap, move |svc, u| {
+                            u.t_connect_confirm(svc, vc, Ok(qos))
+                        }),
+                        Err(reason) => {
+                            self.state.borrow_mut().initiated.remove(&vc);
+                            self.to_user(tsap, move |svc, u| {
+                                u.t_connect_confirm(svc, vc, Err(reason))
+                            })
+                        }
+                    }
+                }
+            }
+            ControlMsg::Disconnect { vc, reason, notify } => {
+                if let Some(to_notify) = notify {
+                    // Remote release request: indication only; the user
+                    // decides whether to actually release (§4.1.1).
+                    let tsap = {
+                        let st = self.state.borrow();
+                        st.vcs.get(&vc).map(|v| v.local_tsap)
+                    };
+                    if let Some(tsap) = tsap {
+                        let r = reason.clone();
+                        self.to_user(tsap, move |svc, u| {
+                            u.t_disconnect_indication(svc, vc, r)
+                        });
+                    } else {
+                        // VC unknown: report back to the requester.
+                        let _ = to_notify;
+                    }
+                } else {
+                    self.teardown_local(vc, reason, true);
+                }
+            }
+            ControlMsg::RenegotiateRequest { vc, new_tolerance } => {
+                let tsap = {
+                    let mut st = self.state.borrow_mut();
+                    match st.vcs.get_mut(&vc) {
+                        Some(v) if v.phase == VcPhase::Open => {
+                            *v.pending_renegotiation() = Some(new_tolerance);
+                            Some(v.local_tsap)
+                        }
+                        _ => None,
+                    }
+                };
+                if let Some(tsap) = tsap {
+                    self.to_user(tsap, move |svc, u| {
+                        u.t_renegotiate_indication(svc, vc, new_tolerance)
+                    });
+                }
+            }
+            ControlMsg::RenegotiateResponse { vc, result } => {
+                let tsap = {
+                    let st = self.state.borrow();
+                    st.vcs.get(&vc).map(|v| v.local_tsap)
+                };
+                let Some(tsap) = tsap else { return };
+                match result {
+                    Ok(qos) => {
+                        {
+                            let mut st = self.state.borrow_mut();
+                            if let Some(v) = st.vcs.get_mut(&vc) {
+                                v.contract = qos;
+                            }
+                        }
+                        self.to_user(tsap, move |svc, u| {
+                            u.t_renegotiate_confirm(svc, vc, qos)
+                        });
+                    }
+                    Err(reason) => {
+                        // §4.1.3: refusal arrives as T-Disconnect.indication
+                        // but the existing VC is *not* torn down.
+                        self.to_user(tsap, move |svc, u| {
+                            u.t_disconnect_indication(svc, vc, reason)
+                        });
+                    }
+                }
+            }
+            ControlMsg::Credit { vc, freed_total } => self.on_credit(vc, freed_total),
+            ControlMsg::Dropped { vc, seqs } => {
+                let now = self.now();
+                let actions = {
+                    let mut st = self.state.borrow_mut();
+                    match st.vcs.get_mut(&vc).and_then(|v| v.sink.as_mut()) {
+                        Some(k) => k.engine.on_drop_notice(&seqs, now),
+                        None => return,
+                    }
+                };
+                self.apply_sink_actions(vc, actions, None);
+            }
+            ControlMsg::Nack { vc, seqs } => self.on_nack(vc, seqs),
+            ControlMsg::Ack { vc, upto } => self.on_ack(vc, upto),
+            ControlMsg::QosReportMsg(report) => {
+                let tsap = {
+                    let st = self.state.borrow();
+                    st.vcs.get(&report.vc).map(|v| v.local_tsap)
+                };
+                if let Some(tsap) = tsap {
+                    self.to_user(tsap, move |svc, u| u.t_qos_indication(svc, report));
+                }
+            }
+            ControlMsg::UserControl { vc, payload } => {
+                self.to_tap(vc, move |tap| tap.on_control(vc, payload));
+            }
+            ControlMsg::Datagram {
+                to_tsap,
+                from,
+                payload,
+                wire_size: _,
+            } => {
+                self.to_user(to_tsap, move |svc, u| {
+                    u.t_datagram_indication(svc, from, payload)
+                });
+            }
+        }
+    }
+
+    /// Connectionless send to a TSAP (control-class priority).
+    pub(crate) fn send_datagram(
+        self: &Rc<Self>,
+        from_tsap: Tsap,
+        to: cm_core::address::TransportAddr,
+        payload: Rc<dyn Any>,
+        wire_size: usize,
+    ) {
+        let msg = ControlMsg::Datagram {
+            to_tsap: to.tsap,
+            from: cm_core::address::TransportAddr {
+                node: self.node,
+                tsap: from_tsap,
+            },
+            payload,
+            wire_size,
+        };
+        let pkt = Packet::control(
+            self.node,
+            to.node,
+            CONTROL_WIRE_SIZE + wire_size,
+            self.now(),
+            WirePdu::Control(msg),
+        );
+        self.net.send(self.node, pkt);
+    }
+
+    fn on_connect_request(
+        self: &Rc<Self>,
+        vc: VcId,
+        triple: AddressTriple,
+        class: ServiceClass,
+        qos: QosRequirement,
+    ) {
+        let reply_to = triple.source.node;
+        let reject = |reason: DisconnectReason| {
+            self.send_control(
+                reply_to,
+                ControlMsg::ConnectResponse {
+                    vc,
+                    result: Err(reason),
+                },
+            );
+        };
+        if !self
+            .state
+            .borrow()
+            .users
+            .contains_key(&triple.destination.tsap)
+        {
+            reject(DisconnectReason::NoSuchTsap);
+            return;
+        }
+        // End-to-end QoS negotiation against what the path can offer
+        // (§3.2: full option negotiation at connect time).
+        let src = triple.source.node;
+        let dst = triple.destination.node;
+        let Some(mut achievable) = self.net.path_qos(src, dst, self.config.mtu) else {
+            reject(DisconnectReason::Unreachable);
+            return;
+        };
+        if qos.guarantee != GuaranteeMode::BestEffort {
+            if let Some(avail) = self.net.available_bandwidth(src, dst) {
+                achievable.throughput = achievable.throughput.min(avail);
+            }
+        }
+        let agreed = match qos.tolerance.negotiate(&achievable) {
+            Ok(a) => a,
+            Err(violations) => {
+                reject(DisconnectReason::from_violations(&violations));
+                return;
+            }
+        };
+        if qos.guarantee != GuaranteeMode::BestEffort {
+            match self.net.reserve_path(vc, src, dst, agreed.throughput) {
+                Some(Ok(())) => {}
+                Some(Err(_)) => {
+                    reject(DisconnectReason::AdmissionDenied);
+                    return;
+                }
+                None => {
+                    reject(DisconnectReason::Unreachable);
+                    return;
+                }
+            }
+        }
+        let capacity = self.buffer_slots(&qos) as u32;
+        self.state.borrow_mut().pending_dst.insert(
+            vc,
+            PendingDst {
+                triple,
+                class,
+                requirement: qos,
+                agreed,
+                capacity,
+            },
+        );
+        self.to_user(triple.destination.tsap, move |svc, u| {
+            u.t_connect_indication(svc, vc, triple, class, qos)
+        });
+    }
+
+    fn on_connect_response(
+        self: &Rc<Self>,
+        vc: VcId,
+        result: Result<(QosParams, u32), DisconnectReason>,
+    ) {
+        let p = self.state.borrow_mut().pending_src.remove(&vc);
+        let Some(p) = p else { return };
+        let remote = !p.triple.is_conventional();
+        match result {
+            Ok((agreed, capacity)) => {
+                self.open_source(vc, &p, agreed, capacity);
+                // Confirm to the source user...
+                let src_tsap = p.triple.source.tsap;
+                self.to_user(src_tsap, move |svc, u| {
+                    u.t_connect_confirm(svc, vc, Ok(agreed))
+                });
+                // ...and to the remote initiator (§3.5: responses to both).
+                if remote {
+                    self.send_control(
+                        p.triple.initiator.node,
+                        ControlMsg::RemoteConnectReply {
+                            vc,
+                            result: Ok(agreed),
+                        },
+                    );
+                }
+            }
+            Err(reason) => {
+                let src_tsap = p.triple.source.tsap;
+                if remote {
+                    let r = reason.clone();
+                    self.to_user(src_tsap, move |svc, u| {
+                        u.t_disconnect_indication(svc, vc, r)
+                    });
+                    self.send_control(
+                        p.triple.initiator.node,
+                        ControlMsg::RemoteConnectReply {
+                            vc,
+                            result: Err(reason),
+                        },
+                    );
+                } else {
+                    self.to_user(src_tsap, move |svc, u| {
+                        u.t_connect_confirm(svc, vc, Err(reason))
+                    });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rate-based data path
+    // ------------------------------------------------------------------
+
+    /// (Re)schedule the pacing tick for `vc` at its next due instant.
+    pub(crate) fn ensure_tick_now(self: &Rc<Self>, vc: VcId) {
+        self.ensure_tick_with_floor(vc, self.now());
+    }
+
+    /// As [`Self::ensure_tick_now`] with an explicit earliest firing time.
+    /// The early-wake re-arm passes `now + 1 µs`: the local↔global clock
+    /// conversions truncate to whole microseconds, so a "due" instant can
+    /// map back onto the current instant and a same-time re-arm would spin
+    /// forever without advancing virtual time.
+    fn ensure_tick_with_floor(self: &Rc<Self>, vc: VcId, floor: SimTime) {
+        let at = {
+            let st = self.state.borrow();
+            match st.vcs.get(&vc).and_then(|v| v.source.as_ref()) {
+                Some(s) => s.clock.next_due(),
+                None => None,
+            }
+        };
+        let Some(at_local) = at else { return };
+        let at = self.local_to_global(at_local).max(floor);
+        let me = self.clone();
+        let ev = self
+            .net
+            .engine()
+            .schedule_at(at, move |_| me.source_tick(vc));
+        let mut st = self.state.borrow_mut();
+        if let Some(s) = st.vcs.get_mut(&vc).and_then(|v| v.source.as_mut()) {
+            if let Some(old) = s.tick_event.replace(ev) {
+                self.net.engine().cancel(old);
+            }
+        } else {
+            self.net.engine().cancel(ev);
+        }
+    }
+
+    fn source_tick(self: &Rc<Self>, vc: VcId) {
+        let now = self.now();
+        let local = self.local_now();
+        enum Next {
+            Idle,
+            ParkOnBuffer,
+            Send(Osdu),
+        }
+        let next = {
+            let mut st = self.state.borrow_mut();
+            let Some(v) = st.vcs.get_mut(&vc) else { return };
+            if v.phase != VcPhase::Open {
+                return;
+            }
+            let s = v.source.as_mut().expect("source end on tick");
+            s.tick_event = None;
+            match s.clock.next_due() {
+                None => Next::Idle, // paused
+                // 1 us tolerance: local->global->local conversion truncates,
+                // so an exactly-due tick can read as infinitesimally early —
+                // without the slack it would re-arm at the same instant
+                // forever.
+                Some(due) if due > local + cm_core::time::SimDuration::from_micros(1) => {
+                    // Early wake (stale event survived a reschedule):
+                    // fall through to re-arm below.
+                    Next::Idle
+                }
+                Some(_) => {
+                    if !s.has_credit() {
+                        s.stalled_credit = true;
+                        Next::Idle
+                    } else {
+                        match s.send_buf.try_pop(now) {
+                            Some(osdu) => Next::Send(osdu),
+                            None => Next::ParkOnBuffer,
+                        }
+                    }
+                }
+            }
+        };
+        match next {
+            Next::Idle => {
+                // Re-arm if running and due in the future.
+                let due = {
+                    let st = self.state.borrow();
+                    st.vcs
+                        .get(&vc)
+                        .and_then(|v| v.source.as_ref())
+                        .and_then(|s| s.clock.next_due())
+                };
+                if let Some(due) = due {
+                    if due > local + cm_core::time::SimDuration::from_micros(1) {
+                        // Strictly future: see ensure_tick_with_floor.
+                        self.ensure_tick_with_floor(
+                            vc,
+                            now + cm_core::time::SimDuration::from_micros(1),
+                        );
+                    }
+                }
+            }
+            Next::ParkOnBuffer => {
+                // Protocol blocked: application slow producing (§6.3.1.2).
+                let (buf, already) = {
+                    let mut st = self.state.borrow_mut();
+                    let s = st
+                        .vcs
+                        .get_mut(&vc)
+                        .and_then(|v| v.source.as_mut())
+                        .expect("source end");
+                    let already = s.waiting_buffer;
+                    s.waiting_buffer = true;
+                    (s.send_buf.clone(), already)
+                };
+                if !already {
+                    let me = self.clone();
+                    buf.park_consumer(now, move || {
+                        // Trampoline: never re-enter synchronously.
+                        let me2 = me.clone();
+                        me.net
+                            .engine()
+                            .schedule_in(cm_core::time::SimDuration::ZERO, move |_| {
+                                {
+                                    let mut st = me2.state.borrow_mut();
+                                    if let Some(s) = st
+                                        .vcs
+                                        .get_mut(&vc)
+                                        .and_then(|v| v.source.as_mut())
+                                    {
+                                        s.waiting_buffer = false;
+                                    }
+                                }
+                                me2.source_tick(vc);
+                            });
+                    });
+                }
+            }
+            Next::Send(osdu) => {
+                self.transmit_osdu(vc, osdu, false);
+                {
+                    let mut st = self.state.borrow_mut();
+                    if let Some(s) =
+                        st.vcs.get_mut(&vc).and_then(|v| v.source.as_mut())
+                    {
+                        s.clock.consume_slot();
+                        // Never burst more than a couple of units of
+                        // backlog after a stall — rate-based senders pace.
+                        s.clock.limit_backlog(local, 2);
+                    }
+                }
+                self.ensure_tick_now(vc);
+            }
+        }
+    }
+
+    /// Fragment and transmit one OSDU (fresh or retransmission).
+    fn transmit_osdu(self: &Rc<Self>, vc: VcId, osdu: Osdu, is_retrans: bool) {
+        let now = self.now();
+        let (peer, seq, sizes) = {
+            let mut st = self.state.borrow_mut();
+            let Some(v) = st.vcs.get_mut(&vc) else { return };
+            let peer = v.peer_node;
+            let seq = osdu.seq();
+            let sizes = fragment_sizes(osdu.wire_size(), self.config.mtu);
+            let s = v.source.as_mut().expect("source end");
+            if !is_retrans {
+                s.charged += 1;
+                s.sent += 1;
+                if v.class.error_control.corrects() {
+                    s.retrans_cache.push_back(osdu.clone());
+                    while s.retrans_cache.len() > s.retrans_cache_cap {
+                        s.retrans_cache.pop_front();
+                    }
+                }
+            }
+            (peer, seq, sizes)
+        };
+        let count = sizes.len() as u32;
+        for (i, bytes) in sizes.iter().enumerate() {
+            let last = i as u32 + 1 == count;
+            let tpdu = DataTpdu {
+                vc,
+                osdu_seq: seq,
+                frag_index: i as u32,
+                frag_count: count,
+                frag_bytes: *bytes,
+                opdu: osdu.opdu,
+                payload: last.then(|| osdu.payload.clone()),
+                osdu_sent_at: now,
+            };
+            let wire = tpdu.wire_size();
+            let pkt = Packet::data(self.node, peer, vc, wire, now, WirePdu::Data(tpdu));
+            self.net.send(self.node, pkt);
+        }
+    }
+
+    fn on_credit(self: &Rc<Self>, vc: VcId, freed_total: u64) {
+        let resume = {
+            let mut st = self.state.borrow_mut();
+            let Some(s) = st.vcs.get_mut(&vc).and_then(|v| v.source.as_mut()) else {
+                return;
+            };
+            s.freed_remote = s.freed_remote.max(freed_total);
+            if s.stalled_credit && s.has_credit() {
+                s.stalled_credit = false;
+                true
+            } else {
+                false
+            }
+        };
+        if resume {
+            let profile = {
+                let st = self.state.borrow();
+                st.vcs.get(&vc).map(|v| v.class.profile)
+            };
+            match profile {
+                Some(ProtocolProfile::RateBasedCm) => self.source_tick(vc),
+                Some(ProtocolProfile::WindowBased) => self.pump_window(vc),
+                _ => {}
+            }
+        }
+    }
+
+    fn on_nack(self: &Rc<Self>, vc: VcId, seqs: Vec<u64>) {
+        let mut to_resend = Vec::new();
+        let mut gone = Vec::new();
+        {
+            let st = self.state.borrow();
+            let Some(s) = st.vcs.get(&vc).and_then(|v| v.source.as_ref()) else {
+                return;
+            };
+            for seq in seqs {
+                match s.retrans_cache.iter().find(|o| o.seq() == seq) {
+                    Some(o) => to_resend.push(o.clone()),
+                    None => gone.push(seq),
+                }
+            }
+        }
+        for osdu in to_resend {
+            self.transmit_osdu(vc, osdu, true);
+        }
+        if !gone.is_empty() {
+            // Evicted from the cache: give up so the receiver can move on.
+            let peer = {
+                let st = self.state.borrow();
+                st.vcs.get(&vc).map(|v| v.peer_node)
+            };
+            if let Some(peer) = peer {
+                self.send_control(peer, ControlMsg::Dropped { vc, seqs: gone });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Window-based data path
+    // ------------------------------------------------------------------
+
+    /// Transmit as much as window + credit allow (window profile).
+    pub(crate) fn pump_window(self: &Rc<Self>, vc: VcId) {
+        let now = self.now();
+        loop {
+            enum Step {
+                SendFrag(u64, DataTpdu),
+                NeedOsdu,
+                Done,
+            }
+            let step = {
+                let mut st = self.state.borrow_mut();
+                let Some(v) = st.vcs.get_mut(&vc) else { return };
+                if v.phase != VcPhase::Open {
+                    return;
+                }
+                let peer = v.peer_node;
+                let _ = peer;
+                let s = v.source.as_mut().expect("source end");
+                let gbn = s.gbn.as_mut().expect("window sender");
+                if !gbn.can_send() {
+                    Step::Done
+                } else if let Some(tpdu) = s.pending_frags.pop_front() {
+                    let wseq = gbn.on_send(tpdu.clone(), now);
+                    Step::SendFrag(wseq, tpdu)
+                } else {
+                    Step::NeedOsdu
+                }
+            };
+            match step {
+                Step::Done => break,
+                Step::SendFrag(wseq, tpdu) => {
+                    self.send_window_frag(vc, wseq, tpdu);
+                }
+                Step::NeedOsdu => {
+                    // Pull the next OSDU, fragment it into pending_frags.
+                    enum Pull {
+                        Got,
+                        Park,
+                        Stall,
+                    }
+                    let pull = {
+                        let mut st = self.state.borrow_mut();
+                        let Some(v) = st.vcs.get_mut(&vc) else { return };
+                        let mtu = self.config.mtu;
+                        let s = v.source.as_mut().expect("source end");
+                        if !s.has_credit() {
+                            s.stalled_credit = true;
+                            Pull::Stall
+                        } else {
+                            match s.send_buf.try_pop(now) {
+                                None => Pull::Park,
+                                Some(osdu) => {
+                                    let seq = osdu.seq();
+                                    let sizes =
+                                        fragment_sizes(osdu.wire_size(), mtu);
+                                    let count = sizes.len() as u32;
+                                    for (i, bytes) in sizes.iter().enumerate() {
+                                        let last = i as u32 + 1 == count;
+                                        s.pending_frags.push_back(DataTpdu {
+                                            vc,
+                                            osdu_seq: seq,
+                                            frag_index: i as u32,
+                                            frag_count: count,
+                                            frag_bytes: *bytes,
+                                            opdu: osdu.opdu,
+                                            payload: last
+                                                .then(|| osdu.payload.clone()),
+                                            osdu_sent_at: now,
+                                        });
+                                    }
+                                    s.charged += 1;
+                                    s.sent += 1;
+                                    Pull::Got
+                                }
+                            }
+                        }
+                    };
+                    match pull {
+                        Pull::Got => continue,
+                        Pull::Stall => break,
+                        Pull::Park => {
+                            let (buf, already) = {
+                                let mut st = self.state.borrow_mut();
+                                let s = st
+                                    .vcs
+                                    .get_mut(&vc)
+                                    .and_then(|v| v.source.as_mut())
+                                    .expect("source end");
+                                let already = s.waiting_buffer;
+                                s.waiting_buffer = true;
+                                (s.send_buf.clone(), already)
+                            };
+                            if !already {
+                                let me = self.clone();
+                                buf.park_consumer(now, move || {
+                                    let me2 = me.clone();
+                                    me.net.engine().schedule_in(
+                                        cm_core::time::SimDuration::ZERO,
+                                        move |_| {
+                                            {
+                                                let mut st = me2.state.borrow_mut();
+                                                if let Some(s) = st
+                                                    .vcs
+                                                    .get_mut(&vc)
+                                                    .and_then(|v| v.source.as_mut())
+                                                {
+                                                    s.waiting_buffer = false;
+                                                }
+                                            }
+                                            me2.pump_window(vc);
+                                        },
+                                    );
+                                });
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.arm_rto(vc);
+    }
+
+    fn send_window_frag(self: &Rc<Self>, vc: VcId, wseq: u64, tpdu: DataTpdu) {
+        let peer = {
+            let st = self.state.borrow();
+            match st.vcs.get(&vc) {
+                Some(v) => v.peer_node,
+                None => return,
+            }
+        };
+        let wire = tpdu.wire_size();
+        let now = self.now();
+        let pkt = Packet::data(
+            self.node,
+            peer,
+            vc,
+            wire,
+            now,
+            WirePdu::WindowData { wseq, tpdu },
+        );
+        self.net.send(self.node, pkt);
+    }
+
+    fn arm_rto(self: &Rc<Self>, vc: VcId) {
+        let at = {
+            let st = self.state.borrow();
+            st.vcs
+                .get(&vc)
+                .and_then(|v| v.source.as_ref())
+                .and_then(|s| s.gbn.as_ref())
+                .and_then(|g| g.timeout_at())
+        };
+        let me = self.clone();
+        let ev = at.map(|at| {
+            self.net
+                .engine()
+                .schedule_at(at.max(self.now()), move |_| me.rto_fire(vc))
+        });
+        let mut st = self.state.borrow_mut();
+        if let Some(s) = st.vcs.get_mut(&vc).and_then(|v| v.source.as_mut()) {
+            let old = match ev {
+                Some(ev) => s.rto_event.replace(ev),
+                None => s.rto_event.take(),
+            };
+            if let Some(old) = old {
+                self.net.engine().cancel(old);
+            }
+        } else if let Some(ev) = ev {
+            self.net.engine().cancel(ev);
+        }
+    }
+
+    fn rto_fire(self: &Rc<Self>, vc: VcId) {
+        let now = self.now();
+        let resend = {
+            let mut st = self.state.borrow_mut();
+            let Some(v) = st.vcs.get_mut(&vc) else { return };
+            if v.phase != VcPhase::Open {
+                return;
+            }
+            let s = v.source.as_mut().expect("source end");
+            s.rto_event = None;
+            let gbn = s.gbn.as_mut().expect("window sender");
+            // wseqs of cached entries are base..next, in order.
+            gbn.check_timeout(now).map(|tpdus| (tpdus, gbn.base()))
+        };
+        if let Some((tpdus, base)) = resend {
+            for (i, tpdu) in tpdus.into_iter().enumerate() {
+                self.send_window_frag(vc, base + i as u64, tpdu);
+            }
+        }
+        self.arm_rto(vc);
+    }
+
+    fn on_ack(self: &Rc<Self>, vc: VcId, upto: u64) {
+        let now = self.now();
+        let slid = {
+            let mut st = self.state.borrow_mut();
+            let Some(s) = st.vcs.get_mut(&vc).and_then(|v| v.source.as_mut()) else {
+                return;
+            };
+            match s.gbn.as_mut() {
+                Some(g) => g.on_ack(upto, now),
+                None => false,
+            }
+        };
+        if slid {
+            self.pump_window(vc);
+        } else {
+            self.arm_rto(vc);
+        }
+    }
+
+    fn on_window_data(self: &Rc<Self>, wseq: u64, tpdu: DataTpdu, corrupted: bool) {
+        let vc = tpdu.vc;
+        let now = self.now();
+        let (accept, ack, peer) = {
+            let mut st = self.state.borrow_mut();
+            let Some(v) = st.vcs.get_mut(&vc) else { return };
+            let peer = v.peer_node;
+            let Some(k) = v.sink.as_mut() else { return };
+            let g = k.gbn_recv.as_mut().expect("window receiver");
+            if corrupted {
+                // A damaged TPDU is treated as lost: dup-ack.
+                g.discarded += 1;
+                (false, g.expected(), peer)
+            } else {
+                let (a, ack) = g.on_tpdu_seq(wseq);
+                (a, ack, peer)
+            }
+        };
+        self.send_control(peer, ControlMsg::Ack { vc, upto: ack });
+        if accept {
+            self.feed_sink(vc, tpdu, false, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sink-side common path
+    // ------------------------------------------------------------------
+
+    fn on_data(self: &Rc<Self>, tpdu: DataTpdu, corrupted: bool) {
+        let vc = tpdu.vc;
+        let now = self.now();
+        self.feed_sink(vc, tpdu, corrupted, now);
+    }
+
+    fn feed_sink(self: &Rc<Self>, vc: VcId, tpdu: DataTpdu, corrupted: bool, now: SimTime) {
+        let final_frag = tpdu.frag_index + 1 == tpdu.frag_count;
+        let delay = now.saturating_since(tpdu.osdu_sent_at);
+        let wire_total = tpdu.frag_bytes; // summed via monitor per fragment
+        let actions = {
+            let mut st = self.state.borrow_mut();
+            let Some(v) = st.vcs.get_mut(&vc) else { return };
+            if v.phase != VcPhase::Open {
+                return;
+            }
+            let Some(k) = v.sink.as_mut() else { return };
+            let lost_before = k.engine.lost;
+            let corrupted_before = k.engine.corrupted;
+            let delivered_before = k.engine.delivered;
+            let actions = k.engine.on_tpdu(&tpdu, corrupted, now);
+            if let Some(m) = &mut k.monitor {
+                m.on_lost(k.engine.lost - lost_before);
+                for _ in 0..(k.engine.corrupted - corrupted_before) {
+                    m.on_corrupted();
+                }
+                // Count a completed OSDU's delay once, at its final frag.
+                if final_frag && k.engine.delivered > delivered_before {
+                    m.on_delivered(wire_total, delay);
+                } else if final_frag {
+                    // Completed into the stash (reliable reorder) still
+                    // counts as received for throughput purposes.
+                    let stashed = k.engine.delivered == delivered_before
+                        && k.engine.lost == lost_before
+                        && k.engine.corrupted == corrupted_before;
+                    if stashed {
+                        m.on_delivered(wire_total, delay);
+                    }
+                }
+            }
+            actions
+        };
+        self.apply_sink_actions(vc, actions, Some(now));
+    }
+
+    /// Execute the actions a sink engine emitted, then refresh credits.
+    fn apply_sink_actions(
+        self: &Rc<Self>,
+        vc: VcId,
+        actions: Vec<SinkAction>,
+        now: Option<SimTime>,
+    ) {
+        let now = now.unwrap_or_else(|| self.now());
+        for action in actions {
+            match action {
+                SinkAction::Deliver(osdu) => self.deliver_to_buffer(vc, osdu, now),
+                SinkAction::SendNack(seqs) => {
+                    let peer = {
+                        let st = self.state.borrow();
+                        st.vcs.get(&vc).map(|v| v.peer_node)
+                    };
+                    if let Some(peer) = peer {
+                        self.send_control(peer, ControlMsg::Nack { vc, seqs });
+                    }
+                }
+                SinkAction::IndicateLoss(seq) => {
+                    let tsap = {
+                        let st = self.state.borrow();
+                        st.vcs.get(&vc).map(|v| v.local_tsap)
+                    };
+                    if let Some(tsap) = tsap {
+                        self.to_user(tsap, move |svc, u| {
+                            u.t_error_indication(svc, vc, seq)
+                        });
+                    }
+                    self.to_tap(vc, move |tap| tap.on_loss_indicated(vc, seq));
+                }
+            }
+        }
+        self.maybe_send_credit(vc);
+    }
+
+    fn deliver_to_buffer(self: &Rc<Self>, vc: VcId, osdu: Osdu, now: SimTime) {
+        let opdu = osdu.opdu;
+        let pushed = {
+            let mut st = self.state.borrow_mut();
+            let Some(k) = st.vcs.get_mut(&vc).and_then(|v| v.sink.as_mut()) else {
+                return;
+            };
+            if !k.pending_delivery.is_empty() {
+                k.pending_delivery.push_back(osdu);
+                false
+            } else {
+                match k.recv_buf.try_push(now, osdu) {
+                    PushOutcome::Pushed { .. } => true,
+                    PushOutcome::Full(osdu) => {
+                        k.pending_delivery.push_back(osdu);
+                        false
+                    }
+                }
+            }
+        };
+        if pushed {
+            self.to_tap(vc, move |tap| tap.on_osdu_arrived(vc, opdu));
+        } else {
+            self.park_sink_producer(vc, now);
+        }
+    }
+
+    fn park_sink_producer(self: &Rc<Self>, vc: VcId, now: SimTime) {
+        let (buf, already) = {
+            let mut st = self.state.borrow_mut();
+            let Some(k) = st.vcs.get_mut(&vc).and_then(|v| v.sink.as_mut()) else {
+                return;
+            };
+            let already = k.producer_parked;
+            k.producer_parked = true;
+            (k.recv_buf.clone(), already)
+        };
+        if already {
+            return;
+        }
+        let me = self.clone();
+        buf.park_producer(now, move || {
+            let me2 = me.clone();
+            me.net
+                .engine()
+                .schedule_in(cm_core::time::SimDuration::ZERO, move |_| {
+                    me2.drain_pending_delivery(vc)
+                });
+        });
+    }
+
+    fn drain_pending_delivery(self: &Rc<Self>, vc: VcId) {
+        let now = self.now();
+        loop {
+            let (osdu, done) = {
+                let mut st = self.state.borrow_mut();
+                let Some(k) = st.vcs.get_mut(&vc).and_then(|v| v.sink.as_mut()) else {
+                    return;
+                };
+                k.producer_parked = false;
+                match k.pending_delivery.pop_front() {
+                    None => (None, true),
+                    Some(o) => (Some(o), false),
+                }
+            };
+            if done {
+                break;
+            }
+            let osdu = osdu.expect("osdu present");
+            let opdu = osdu.opdu;
+            let pushed = {
+                let mut st = self.state.borrow_mut();
+                let Some(k) = st.vcs.get_mut(&vc).and_then(|v| v.sink.as_mut()) else {
+                    return;
+                };
+                match k.recv_buf.try_push(now, osdu) {
+                    PushOutcome::Pushed { .. } => true,
+                    PushOutcome::Full(osdu) => {
+                        k.pending_delivery.push_front(osdu);
+                        false
+                    }
+                }
+            };
+            if pushed {
+                self.to_tap(vc, move |tap| tap.on_osdu_arrived(vc, opdu));
+            } else {
+                self.park_sink_producer(vc, now);
+                break;
+            }
+        }
+        self.maybe_send_credit(vc);
+    }
+
+    /// Advertise newly freed receive slots to the sender.
+    pub(crate) fn maybe_send_credit(self: &Rc<Self>, vc: VcId) {
+        let msg = {
+            let mut st = self.state.borrow_mut();
+            let Some(v) = st.vcs.get_mut(&vc) else { return };
+            let peer = v.peer_node;
+            let Some(k) = v.sink.as_mut() else { return };
+            let freed = k.freed_total();
+            if freed > k.last_freed_sent {
+                k.last_freed_sent = freed;
+                Some((peer, freed))
+            } else {
+                None
+            }
+        };
+        if let Some((peer, freed)) = msg {
+            self.send_control(
+                peer,
+                ControlMsg::Credit {
+                    vc,
+                    freed_total: freed,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // QoS monitoring
+    // ------------------------------------------------------------------
+
+    fn schedule_monitor(self: &Rc<Self>, vc: VcId) {
+        let at = {
+            let st = self.state.borrow();
+            st.vcs
+                .get(&vc)
+                .and_then(|v| v.sink.as_ref())
+                .and_then(|k| k.monitor.as_ref().map(|m| m.period_end()))
+        };
+        let Some(at) = at else { return };
+        let me = self.clone();
+        let ev = self
+            .net
+            .engine()
+            .schedule_at(at, move |_| me.monitor_fire(vc));
+        let mut st = self.state.borrow_mut();
+        if let Some(k) = st.vcs.get_mut(&vc).and_then(|v| v.sink.as_mut()) {
+            if let Some(old) = k.monitor_event.replace(ev) {
+                self.net.engine().cancel(old);
+            }
+        }
+    }
+
+    fn monitor_fire(self: &Rc<Self>, vc: VcId) {
+        let now = self.now();
+        let report = {
+            let mut st = self.state.borrow_mut();
+            let Some(v) = st.vcs.get_mut(&vc) else { return };
+            if v.phase != VcPhase::Open {
+                return;
+            }
+            let contract = v.contract;
+            let peer = v.peer_node;
+            let tsap = v.local_tsap;
+            let Some(k) = v.sink.as_mut() else { return };
+            k.monitor_event = None;
+            let Some(m) = &mut k.monitor else { return };
+            let period = m.period();
+            let measured = m.end_period(now);
+            let violations = measured.violations_of(&contract);
+            if violations.is_empty() {
+                None
+            } else {
+                Some((
+                    QosReport {
+                        vc,
+                        contracted: contract,
+                        measured,
+                        sample_period: period,
+                        violations,
+                    },
+                    peer,
+                    tsap,
+                ))
+            }
+        };
+        if let Some((report, peer, tsap)) = report {
+            // Indicate locally (sink user)...
+            let r2 = report.clone();
+            self.to_user(tsap, move |svc, u| u.t_qos_indication(svc, r2));
+            // ...and report to the source end (§4.1.2's initiator/source
+            // notification).
+            self.send_control(peer, ControlMsg::QosReportMsg(report));
+        }
+        self.schedule_monitor(vc);
+    }
+
+    // ------------------------------------------------------------------
+    // Application data interface + orchestration hooks (via service)
+    // ------------------------------------------------------------------
+
+    /// Application-side OSDU write: assigns the next sequence number
+    /// (OPDU numbering starts at zero from first use of the connection,
+    /// §5) and pushes into the send buffer.
+    pub(crate) fn write_osdu(
+        self: &Rc<Self>,
+        vc: VcId,
+        payload: Payload,
+        event: Option<u64>,
+    ) -> Result<bool, ServiceError> {
+        let now = self.now();
+        let max = {
+            let st = self.state.borrow();
+            let v = st.vcs.get(&vc).ok_or(ServiceError::UnknownVc)?;
+            if v.role != VcRole::Source {
+                return Err(ServiceError::WrongState("write on sink end"));
+            }
+            if v.phase != VcPhase::Open {
+                return Err(ServiceError::WrongState("write on non-open VC"));
+            }
+            v.requirement.max_osdu_size
+        };
+        if payload.len() > max {
+            return Err(ServiceError::BadArgument("OSDU exceeds max_osdu_size"));
+        }
+        let mut st = self.state.borrow_mut();
+        let s = st
+            .vcs
+            .get_mut(&vc)
+            .and_then(|v| v.source.as_mut())
+            .expect("source end");
+        // Assign the sequence number only if there is room (a refused
+        // write must not burn a seq).
+        if s.send_buf.is_full() {
+            return Ok(false);
+        }
+        let seq = s.next_write_seq;
+        let mut osdu = Osdu::new(seq, payload);
+        osdu.opdu.event = event;
+        match s.send_buf.try_push(now, osdu) {
+            PushOutcome::Pushed { .. } => {
+                s.next_write_seq += 1;
+                Ok(true)
+            }
+            PushOutcome::Full(_) => Ok(false),
+        }
+    }
+
+    /// Application-side OSDU read from the receive buffer (respects the
+    /// orchestration gate). Sends credit for the freed slot.
+    pub(crate) fn read_osdu(self: &Rc<Self>, vc: VcId) -> Result<Option<Osdu>, ServiceError> {
+        let now = self.now();
+        let osdu = {
+            let mut st = self.state.borrow_mut();
+            let v = st.vcs.get_mut(&vc).ok_or(ServiceError::UnknownVc)?;
+            if v.role != VcRole::Sink {
+                return Err(ServiceError::WrongState("read on source end"));
+            }
+            let k = v.sink.as_mut().expect("sink end");
+            match k.recv_buf.try_pop(now) {
+                Some(o) => {
+                    k.app_popped += 1;
+                    Some(o)
+                }
+                None => None,
+            }
+        };
+        if osdu.is_some() {
+            self.maybe_send_credit(vc);
+            // Freed a slot: resume any stalled pending deliveries.
+            self.drain_pending_delivery(vc);
+        }
+        Ok(osdu)
+    }
+
+    /// Harvest this end's interval statistics (blocking times mapped to
+    /// application/protocol according to the end's role, §6.3.1.2).
+    pub(crate) fn take_end_stats(self: &Rc<Self>, vc: VcId) -> Result<EndStats, ServiceError> {
+        let now = self.now();
+        let mut st = self.state.borrow_mut();
+        let v = st.vcs.get_mut(&vc).ok_or(ServiceError::UnknownVc)?;
+        match v.role {
+            VcRole::Source => {
+                let s = v.source.as_mut().expect("source end");
+                let b = s.send_buf.take_stats(now);
+                let dropped = s.dropped - s.dropped_snap;
+                s.dropped_snap = s.dropped;
+                Ok(EndStats {
+                    // At the source the application *produces* (blocked on
+                    // full buffer) and the protocol *consumes* (blocked on
+                    // empty buffer).
+                    app_blocked: b.producer_blocked,
+                    proto_blocked: b.consumer_blocked,
+                    seq_progress: s.charged,
+                    dropped,
+                    lost: 0,
+                    app_popped: 0,
+                })
+            }
+            VcRole::Sink => {
+                let k = v.sink.as_mut().expect("sink end");
+                let b = k.recv_buf.take_stats(now);
+                let lost = k.engine.lost - k.lost_snap;
+                k.lost_snap = k.engine.lost;
+                Ok(EndStats {
+                    // At the sink the protocol produces, the app consumes.
+                    // Flow control stalls the *sender* before the local
+                    // producer ever parks, so the honest "protocol blocked"
+                    // figure is the time the receive buffer sat full.
+                    app_blocked: b.consumer_blocked,
+                    proto_blocked: b.full_time.max(b.producer_blocked),
+                    // Table 6's OSDU# is what was *delivered to the sink
+                    // application thread* — buffered-but-unread units do
+                    // not count.
+                    seq_progress: k.app_popped + k.engine.internal_freed,
+                    dropped: 0,
+                    lost,
+                    app_popped: k.app_popped,
+                })
+            }
+        }
+    }
+}
+
+impl TransportEntity {
+    // ------------------------------------------------------------------
+    // TSAP binding and orchestration hooks
+    // ------------------------------------------------------------------
+
+    /// Attach a user to a TSAP.
+    pub(crate) fn bind(&self, tsap: Tsap, user: Rc<dyn TransportUser>) -> Result<(), ServiceError> {
+        let mut st = self.state.borrow_mut();
+        if st.users.contains_key(&tsap) {
+            return Err(ServiceError::TsapBusy);
+        }
+        st.users.insert(tsap, user);
+        Ok(())
+    }
+
+    /// Detach the user from a TSAP.
+    pub(crate) fn unbind(&self, tsap: Tsap) -> Result<(), ServiceError> {
+        self.state
+            .borrow_mut()
+            .users
+            .remove(&tsap)
+            .map(|_| ())
+            .ok_or(ServiceError::TsapUnbound)
+    }
+
+    /// Register the orchestration tap for a VC.
+    pub(crate) fn register_tap(&self, vc: VcId, tap: Rc<dyn VcTap>) -> Result<(), ServiceError> {
+        let mut st = self.state.borrow_mut();
+        if !st.vcs.contains_key(&vc) {
+            return Err(ServiceError::UnknownVc);
+        }
+        st.taps.insert(vc, tap);
+        Ok(())
+    }
+
+    /// Remove the orchestration tap for a VC.
+    pub(crate) fn clear_tap(&self, vc: VcId) {
+        self.state.borrow_mut().taps.remove(&vc);
+    }
+
+    /// Send an opaque control payload to the VC's peer LLO (§5's OPDU
+    /// channel).
+    pub(crate) fn send_vc_control(
+        self: &Rc<Self>,
+        vc: VcId,
+        payload: Rc<dyn Any>,
+    ) -> Result<(), ServiceError> {
+        let peer = {
+            let st = self.state.borrow();
+            st.vcs
+                .get(&vc)
+                .filter(|v| v.phase == VcPhase::Open)
+                .map(|v| v.peer_node)
+                .ok_or(ServiceError::UnknownVc)?
+        };
+        self.send_control(peer, ControlMsg::UserControl { vc, payload });
+        Ok(())
+    }
+
+    /// Freeze the source's transmission instantly (Orch.Stop, §6.2.3).
+    pub(crate) fn pause_source(self: &Rc<Self>, vc: VcId) -> Result<(), ServiceError> {
+        let mut st = self.state.borrow_mut();
+        let s = st
+            .vcs
+            .get_mut(&vc)
+            .and_then(|v| v.source.as_mut())
+            .ok_or(ServiceError::UnknownVc)?;
+        s.clock.pause();
+        if let Some(ev) = s.tick_event.take() {
+            self.net.engine().cancel(ev);
+        }
+        Ok(())
+    }
+
+    /// Resume a paused source (Orch.Start, §6.2.2).
+    pub(crate) fn resume_source(self: &Rc<Self>, vc: VcId) -> Result<(), ServiceError> {
+        let now = self.local_now();
+        {
+            let mut st = self.state.borrow_mut();
+            let s = st
+                .vcs
+                .get_mut(&vc)
+                .and_then(|v| v.source.as_mut())
+                .ok_or(ServiceError::UnknownVc)?;
+            s.clock.resume(now);
+        }
+        self.ensure_tick_now(vc);
+        Ok(())
+    }
+
+    /// Retune the source's pacing rate to `base × num/den` (the LLO's
+    /// fine-grained regulation, §6.3.1).
+    pub(crate) fn set_rate_factor(
+        self: &Rc<Self>,
+        vc: VcId,
+        num: u64,
+        den: u64,
+    ) -> Result<(), ServiceError> {
+        if num == 0 || den == 0 {
+            return Err(ServiceError::BadArgument("zero rate factor"));
+        }
+        let now = self.local_now();
+        {
+            let mut st = self.state.borrow_mut();
+            let s = st
+                .vcs
+                .get_mut(&vc)
+                .and_then(|v| v.source.as_mut())
+                .ok_or(ServiceError::UnknownVc)?;
+            s.clock.set_factor(num, den, now);
+        }
+        self.ensure_tick_now(vc);
+        Ok(())
+    }
+
+    /// Discard the oldest unsent OSDU at the source "by incrementing the
+    /// source shared buffer pointer" (§6.3.1.1). The receiver is notified
+    /// so the gap is not treated as loss. Returns whether anything was
+    /// dropped.
+    pub(crate) fn source_drop_one(self: &Rc<Self>, vc: VcId) -> Result<bool, ServiceError> {
+        let now = self.now();
+        let dropped = {
+            let mut st = self.state.borrow_mut();
+            let v = st.vcs.get_mut(&vc).ok_or(ServiceError::UnknownVc)?;
+            let peer = v.peer_node;
+            let s = v.source.as_mut().ok_or(ServiceError::WrongState(
+                "drop on sink end",
+            ))?;
+            match s.send_buf.try_pop(now) {
+                Some(osdu) => {
+                    s.charged += 1;
+                    s.dropped += 1;
+                    Some((peer, osdu.seq()))
+                }
+                None => None,
+            }
+        };
+        match dropped {
+            Some((peer, seq)) => {
+                self.send_control(peer, ControlMsg::Dropped { vc, seqs: vec![seq] });
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Open or close the receive-delivery gate (Orch.Prime holds data in
+    /// the buffers without releasing it, §6.2.1).
+    pub(crate) fn set_recv_gate(self: &Rc<Self>, vc: VcId, gated: bool) -> Result<(), ServiceError> {
+        let now = self.now();
+        let st = self.state.borrow();
+        let k = st
+            .vcs
+            .get(&vc)
+            .and_then(|v| v.sink.as_ref())
+            .ok_or(ServiceError::UnknownVc)?;
+        k.recv_buf.set_gated(now, gated);
+        Ok(())
+    }
+
+    /// Flush this end's buffer (stop + seek, §6.2.1). At the source the
+    /// flushed OSDUs are declared dropped so the receiver does not count
+    /// them lost; at the sink the freed slots are credited back.
+    pub(crate) fn flush_local(self: &Rc<Self>, vc: VcId) -> Result<usize, ServiceError> {
+        let now = self.now();
+        enum Which {
+            Src { peer: NetAddr, first: u64, n: usize },
+            Snk { n: usize },
+        }
+        let which = {
+            let mut st = self.state.borrow_mut();
+            let v = st.vcs.get_mut(&vc).ok_or(ServiceError::UnknownVc)?;
+            let peer = v.peer_node;
+            match v.role {
+                VcRole::Source => {
+                    let s = v.source.as_mut().expect("source end");
+                    let n = s.send_buf.flush(now);
+                    // FIFO + sequential assignment ⇒ the flushed units were
+                    // exactly seqs charged..charged+n.
+                    let first = s.charged;
+                    s.charged += n as u64;
+                    s.dropped += n as u64;
+                    Which::Src { peer, first, n }
+                }
+                VcRole::Sink => {
+                    let k = v.sink.as_mut().expect("sink end");
+                    let n = k.recv_buf.flush(now) + k.pending_delivery.len();
+                    k.pending_delivery.clear();
+                    // Freed without application delivery.
+                    k.app_popped += n as u64;
+                    Which::Snk { n }
+                }
+            }
+        };
+        match which {
+            Which::Src { peer, first, n } => {
+                if n > 0 {
+                    let seqs: Vec<u64> = (first..first + n as u64).collect();
+                    self.send_control(peer, ControlMsg::Dropped { vc, seqs });
+                }
+                Ok(n)
+            }
+            Which::Snk { n } => {
+                self.maybe_send_credit(vc);
+                Ok(n)
+            }
+        }
+    }
+}
+
+impl Vc {
+    /// Slot for a tolerance received in a `RenegotiateRequest`, awaiting
+    /// the local user's response.
+    pub(crate) fn pending_renegotiation(&mut self) -> &mut Option<QosTolerance> {
+        &mut self.pending_reneg
+    }
+}

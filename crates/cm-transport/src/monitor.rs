@@ -1,0 +1,165 @@
+//! Per-VC QoS monitoring (§4.1.2, table 2).
+//!
+//! The sink-side transport entity measures each connection over a sample
+//! period — throughput, mean end-to-end OSDU delay, delay jitter, packet
+//! (OSDU) error rate and bit-error-derived corruption rate — compares the
+//! measurement against the contracted tolerance, and produces the
+//! `T-QoS.indication` payload when any contracted level is violated (the
+//! paper's *soft guarantee*: violations are notified, not silently
+//! absorbed).
+
+use cm_core::qos::{ErrorRate, QosParams};
+use cm_core::stats::OnlineStats;
+use cm_core::time::{Bandwidth, SimDuration, SimTime};
+
+/// One sample period's raw measurements.
+#[derive(Debug)]
+pub struct QosMonitor {
+    period: SimDuration,
+    period_start: SimTime,
+    bytes: u64,
+    delay: OnlineStats,
+    delivered: u64,
+    lost: u64,
+    corrupted: u64,
+}
+
+impl QosMonitor {
+    /// A monitor with the given sample period, starting at `now`.
+    pub fn new(period: SimDuration, now: SimTime) -> QosMonitor {
+        assert!(!period.is_zero(), "sample period must be positive");
+        QosMonitor {
+            period,
+            period_start: now,
+            bytes: 0,
+            delay: OnlineStats::new(),
+            delivered: 0,
+            lost: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// The configured sample period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// When the current period ends.
+    pub fn period_end(&self) -> SimTime {
+        self.period_start + self.period
+    }
+
+    /// Record a delivered OSDU: wire bytes and end-to-end delay.
+    pub fn on_delivered(&mut self, wire_bytes: usize, delay: SimDuration) {
+        self.bytes += wire_bytes as u64;
+        self.delay.push_duration(delay);
+        self.delivered += 1;
+    }
+
+    /// Record `n` OSDUs lost or damaged beyond repair.
+    pub fn on_lost(&mut self, n: u64) {
+        self.lost += n;
+    }
+
+    /// Record an OSDU that arrived with bit errors.
+    pub fn on_corrupted(&mut self) {
+        self.corrupted += 1;
+    }
+
+    /// Close the period at `now`, returning the measured [`QosParams`] and
+    /// resetting for the next period.
+    ///
+    /// Jitter is reported as the spread (max − min) of OSDU delays within
+    /// the period — the "variance in delay" of §3.2 in its worst-case form.
+    /// The bit-error figure is the fraction of OSDUs that arrived damaged
+    /// (the per-bit rate is not observable once the link has flagged the
+    /// unit, so the corrupted-unit fraction is the honest measurement).
+    pub fn end_period(&mut self, now: SimTime) -> QosParams {
+        let elapsed = now.saturating_since(self.period_start);
+        let secs_us = elapsed.as_micros().max(1);
+        let throughput = Bandwidth::bps((self.bytes as u128 * 8 * 1_000_000 / secs_us as u128) as u64);
+        let delay = SimDuration::from_micros(self.delay.mean() as u64);
+        let jitter = if self.delay.count() >= 2 {
+            SimDuration::from_micros((self.delay.max() - self.delay.min()) as u64)
+        } else {
+            SimDuration::ZERO
+        };
+        let total = self.delivered + self.lost;
+        let packet_error_rate = ErrorRate::observed(self.lost, total);
+        let bit_error_rate = ErrorRate::observed(self.corrupted, total);
+        // Reset for the next period.
+        self.period_start = now;
+        self.bytes = 0;
+        self.delay.reset();
+        self.delivered = 0;
+        self.lost = 0;
+        self.corrupted = 0;
+        QosParams {
+            throughput,
+            delay,
+            jitter,
+            packet_error_rate,
+            bit_error_rate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_delay_measured() {
+        let mut m = QosMonitor::new(SimDuration::from_secs(1), SimTime::ZERO);
+        // 25 OSDUs × 5000 B over 1 s = 1 Mb/s.
+        for _ in 0..25 {
+            m.on_delivered(5000, SimDuration::from_millis(20));
+        }
+        let q = m.end_period(SimTime::from_secs(1));
+        assert_eq!(q.throughput, Bandwidth::mbps(1));
+        assert_eq!(q.delay, SimDuration::from_millis(20));
+        assert_eq!(q.jitter, SimDuration::ZERO);
+        assert_eq!(q.packet_error_rate, ErrorRate::ZERO);
+    }
+
+    #[test]
+    fn jitter_is_delay_spread() {
+        let mut m = QosMonitor::new(SimDuration::from_secs(1), SimTime::ZERO);
+        m.on_delivered(100, SimDuration::from_millis(10));
+        m.on_delivered(100, SimDuration::from_millis(25));
+        m.on_delivered(100, SimDuration::from_millis(18));
+        let q = m.end_period(SimTime::from_secs(1));
+        assert_eq!(q.jitter, SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn loss_rate_observed() {
+        let mut m = QosMonitor::new(SimDuration::from_secs(1), SimTime::ZERO);
+        for _ in 0..90 {
+            m.on_delivered(100, SimDuration::from_millis(1));
+        }
+        m.on_lost(10);
+        let q = m.end_period(SimTime::from_secs(1));
+        assert_eq!(q.packet_error_rate, ErrorRate::from_prob(0.1));
+    }
+
+    #[test]
+    fn period_resets() {
+        let mut m = QosMonitor::new(SimDuration::from_secs(1), SimTime::ZERO);
+        m.on_delivered(1000, SimDuration::from_millis(5));
+        m.end_period(SimTime::from_secs(1));
+        // Next period is empty.
+        let q = m.end_period(SimTime::from_secs(2));
+        assert_eq!(q.throughput, Bandwidth::ZERO);
+        assert_eq!(q.delay, SimDuration::ZERO);
+        assert_eq!(m.period_end(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn empty_period_has_no_errors() {
+        let mut m = QosMonitor::new(SimDuration::from_secs(1), SimTime::ZERO);
+        let q = m.end_period(SimTime::from_secs(1));
+        assert_eq!(q.packet_error_rate, ErrorRate::ZERO);
+        assert_eq!(q.bit_error_rate, ErrorRate::ZERO);
+    }
+}

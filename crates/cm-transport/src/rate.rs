@@ -1,0 +1,234 @@
+//! Rate-based transmission pacing (\[Shepherd,91\] stand-in; see also
+//! \[Cheriton,86\], \[Chesson,88\], \[Clark,88\] cited in §7).
+//!
+//! The paper's protocol transmits one logical unit per period at the
+//! connection's contracted rate, with flow control *decoupled from error
+//! control* and "capable of rapid adaptation" (§6.2.3). [`RateClock`]
+//! implements the drift-free schedule: transmissions are due at exact
+//! rational multiples of the effective rate, and the orchestrator can
+//! retune the rate (the LLO's fine-grained regulation, §6.3.1) or pause/
+//! resume it instantaneously without losing the schedule.
+
+use cm_core::time::{Rate, SimDuration, SimTime};
+
+/// Drift-free pacing clock for one sending VC.
+#[derive(Debug, Clone)]
+pub struct RateClock {
+    /// The contracted logical-unit rate.
+    base_rate: Rate,
+    /// Regulation factor applied on top (LLO speed-up/slow-down).
+    factor_num: u64,
+    factor_den: u64,
+    /// Datum of the current schedule.
+    base_time: SimTime,
+    /// Transmission slots consumed since the datum.
+    slots: u64,
+    /// Paused by Orch.Stop / flow control.
+    paused: bool,
+    started: bool,
+}
+
+impl RateClock {
+    /// A clock for `base_rate`, not yet started.
+    pub fn new(base_rate: Rate) -> RateClock {
+        assert!(!base_rate.is_zero(), "zero OSDU rate");
+        RateClock {
+            base_rate,
+            factor_num: 1,
+            factor_den: 1,
+            base_time: SimTime::ZERO,
+            slots: 0,
+            paused: false,
+            started: false,
+        }
+    }
+
+    /// The effective rate (base × factor).
+    pub fn effective_rate(&self) -> Rate {
+        self.base_rate.scaled(self.factor_num, self.factor_den)
+    }
+
+    /// The base rate as contracted.
+    pub fn base_rate(&self) -> Rate {
+        self.base_rate
+    }
+
+    /// Begin the schedule at `now`: the first unit is due immediately.
+    pub fn start(&mut self, now: SimTime) {
+        self.base_time = now;
+        self.slots = 0;
+        self.started = true;
+        self.paused = false;
+    }
+
+    /// True once started and not paused.
+    pub fn is_running(&self) -> bool {
+        self.started && !self.paused
+    }
+
+    /// True if `start` was ever called.
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+
+    /// Freeze transmissions (Orch.Stop or credit exhaustion). The schedule
+    /// datum is dropped; `resume` rebases.
+    pub fn pause(&mut self) {
+        self.paused = true;
+    }
+
+    /// Whether the clock is paused.
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Resume after a pause: the next unit is due one interval from `now`
+    /// (an instantaneous re-start would bunch units around the stop).
+    pub fn resume(&mut self, now: SimTime) {
+        if !self.paused {
+            return;
+        }
+        self.paused = false;
+        self.base_time = now + self.interval();
+        self.slots = 0;
+    }
+
+    /// When the next transmission is due (`None` while paused or before
+    /// start).
+    pub fn next_due(&self) -> Option<SimTime> {
+        if !self.is_running() {
+            return None;
+        }
+        Some(self.effective_rate().due_time(self.base_time, self.slots))
+    }
+
+    /// Consume one transmission slot (call exactly once per unit sent).
+    pub fn consume_slot(&mut self) {
+        debug_assert!(self.is_running(), "slot consumed while not running");
+        self.slots += 1;
+    }
+
+    /// Retune the regulation factor: effective rate becomes
+    /// `base × num/den`. The next unit stays due at its previously
+    /// scheduled instant; subsequent units follow the new rate (the paper's
+    /// requirement to "spread compensatory actions over the interval",
+    /// §6.3.1.1, is implemented by retuning rather than bursting).
+    pub fn set_factor(&mut self, num: u64, den: u64, now: SimTime) {
+        assert!(num > 0 && den > 0, "factor must be positive");
+        // Preserve the next due instant under the old schedule.
+        let next = self.next_due();
+        self.factor_num = num;
+        self.factor_den = den;
+        if let Some(next) = next {
+            self.base_time = next.max(now);
+            self.slots = 0;
+        }
+    }
+
+    /// The nominal gap between units at the effective rate.
+    pub fn interval(&self) -> SimDuration {
+        self.effective_rate().interval()
+    }
+
+    /// The current factor `(num, den)`.
+    pub fn factor(&self) -> (u64, u64) {
+        (self.factor_num, self.factor_den)
+    }
+
+    /// Bound the catch-up backlog: if the schedule has fallen more than
+    /// `max_slots` transmission intervals behind `now`, rebase so the next
+    /// unit is due one interval from now. Rate-based senders transmit on
+    /// schedule — after a long stall (credit exhaustion, Orch.Stop) they
+    /// resume pacing rather than bursting the entire backlog onto the
+    /// network (\[Clark,88\]-style rate control, §7).
+    pub fn limit_backlog(&mut self, now: SimTime, max_slots: u64) {
+        if !self.is_running() {
+            return;
+        }
+        let due = self
+            .effective_rate()
+            .due_time(self.base_time, self.slots);
+        let horizon = self.interval().saturating_mul(max_slots);
+        if due + horizon < now {
+            self.base_time = now + self.interval();
+            self.slots = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_drift_free() {
+        let mut c = RateClock::new(Rate::per_second(25));
+        c.start(SimTime::from_secs(1));
+        // Unit 0 due immediately; unit 25 due exactly 1 s later.
+        assert_eq!(c.next_due(), Some(SimTime::from_secs(1)));
+        for _ in 0..25 {
+            c.consume_slot();
+        }
+        assert_eq!(c.next_due(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn pause_stops_and_resume_rebases() {
+        let mut c = RateClock::new(Rate::per_second(10));
+        c.start(SimTime::ZERO);
+        c.consume_slot();
+        c.pause();
+        assert_eq!(c.next_due(), None);
+        assert!(c.is_paused());
+        c.resume(SimTime::from_secs(5));
+        // One interval after the resume point.
+        assert_eq!(c.next_due(), Some(SimTime::from_millis(5_100)));
+    }
+
+    #[test]
+    fn resume_when_not_paused_is_noop() {
+        let mut c = RateClock::new(Rate::per_second(10));
+        c.start(SimTime::ZERO);
+        c.consume_slot();
+        c.resume(SimTime::from_secs(9));
+        assert_eq!(c.next_due(), Some(SimTime::from_millis(100)));
+    }
+
+    #[test]
+    fn factor_slows_the_schedule() {
+        let mut c = RateClock::new(Rate::per_second(10));
+        c.start(SimTime::ZERO);
+        c.consume_slot(); // next due at 100 ms
+        c.set_factor(9, 10, SimTime::from_millis(50)); // 10% slower
+        // Next unit keeps its slot at 100 ms...
+        assert_eq!(c.next_due(), Some(SimTime::from_millis(100)));
+        c.consume_slot();
+        // ...but the one after follows the new 9/s rate: +111.1 ms.
+        assert_eq!(
+            c.next_due(),
+            Some(SimTime::from_micros(100_000 + 111_111))
+        );
+    }
+
+    #[test]
+    fn factor_speeds_up() {
+        let mut c = RateClock::new(Rate::per_second(10));
+        c.start(SimTime::ZERO);
+        c.consume_slot();
+        c.set_factor(11, 10, SimTime::from_millis(10));
+        assert_eq!(c.effective_rate().per_second_f64(), 11.0);
+    }
+
+    #[test]
+    fn not_started_has_no_due_time() {
+        let c = RateClock::new(Rate::per_second(10));
+        assert_eq!(c.next_due(), None);
+        assert!(!c.is_running());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero OSDU rate")]
+    fn zero_rate_rejected() {
+        RateClock::new(Rate::ZERO);
+    }
+}

@@ -1,0 +1,237 @@
+//! Window-based flow control — the baseline the paper argues against for
+//! continuous media (§7: rate-based flow control was chosen over "a
+//! traditional window based technique \[Postel,81\], \[Stallings,87\]").
+//!
+//! A classic go-back-N sender over TPDU sequence numbers: transmit as fast
+//! as the window allows (no pacing — hence bursts), cumulative ACKs,
+//! timeout-driven retransmission of everything unacknowledged. The E3
+//! experiment runs the same media workload over this engine and the
+//! rate-based engine and compares delay/jitter/loss.
+
+use crate::tpdu::DataTpdu;
+use cm_core::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Go-back-N sender state for one VC.
+#[derive(Debug)]
+pub struct GoBackNSender {
+    window: usize,
+    next_seq: u64,
+    base: u64,
+    /// Unacknowledged TPDUs, `base..next_seq` in order.
+    cache: VecDeque<DataTpdu>,
+    rto: SimDuration,
+    /// When the oldest unacked TPDU was (re)sent.
+    oldest_sent_at: Option<SimTime>,
+    /// TPDUs retransmitted over the connection's lifetime.
+    pub retransmissions: u64,
+    /// Retransmission-timer expiries over the connection's lifetime.
+    pub timeouts: u64,
+}
+
+impl GoBackNSender {
+    /// A sender with the given window (in TPDUs) and retransmission
+    /// timeout.
+    pub fn new(window: usize, rto: SimDuration) -> GoBackNSender {
+        assert!(window > 0, "window must be positive");
+        GoBackNSender {
+            window,
+            next_seq: 0,
+            base: 0,
+            cache: VecDeque::new(),
+            rto,
+            oldest_sent_at: None,
+            retransmissions: 0,
+            timeouts: 0,
+        }
+    }
+
+    /// TPDUs in flight.
+    pub fn in_flight(&self) -> usize {
+        (self.next_seq - self.base) as usize
+    }
+
+    /// Whether a new TPDU may be transmitted now.
+    pub fn can_send(&self) -> bool {
+        self.in_flight() < self.window
+    }
+
+    /// Register a fresh TPDU as transmitted; returns the window (TPDU)
+    /// sequence number it was assigned.
+    pub fn on_send(&mut self, tpdu: DataTpdu, now: SimTime) -> u64 {
+        debug_assert!(self.can_send());
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.cache.push_back(tpdu);
+        if self.oldest_sent_at.is_none() {
+            self.oldest_sent_at = Some(now);
+        }
+        seq
+    }
+
+    /// Process a cumulative ACK (`upto` = one past highest in-order
+    /// received). Returns true if the window slid (new sends possible).
+    pub fn on_ack(&mut self, upto: u64, now: SimTime) -> bool {
+        if upto <= self.base {
+            return false;
+        }
+        let advance = (upto - self.base) as usize;
+        for _ in 0..advance.min(self.cache.len()) {
+            self.cache.pop_front();
+        }
+        self.base = upto;
+        self.oldest_sent_at = if self.cache.is_empty() {
+            None
+        } else {
+            Some(now)
+        };
+        true
+    }
+
+    /// If the retransmission timer has expired, return the TPDUs to resend
+    /// (the whole unacked window, go-back-N) and restart the timer.
+    pub fn check_timeout(&mut self, now: SimTime) -> Option<Vec<DataTpdu>> {
+        let sent_at = self.oldest_sent_at?;
+        if now.saturating_since(sent_at) < self.rto {
+            return None;
+        }
+        self.timeouts += 1;
+        self.retransmissions += self.cache.len() as u64;
+        self.oldest_sent_at = Some(now);
+        Some(self.cache.iter().cloned().collect())
+    }
+
+    /// When the retransmission timer will next expire (for scheduling).
+    pub fn timeout_at(&self) -> Option<SimTime> {
+        self.oldest_sent_at.map(|t| t + self.rto)
+    }
+
+    /// The configured RTO.
+    pub fn rto(&self) -> SimDuration {
+        self.rto
+    }
+
+    /// The lowest unacknowledged window sequence number.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The next window sequence number to assign.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+/// Go-back-N receiver state: accepts only the exactly-next TPDU sequence
+/// number; everything else is discarded and re-ACKed.
+#[derive(Debug, Default)]
+pub struct GoBackNReceiver {
+    expected: u64,
+    /// TPDUs discarded as out-of-order.
+    pub discarded: u64,
+}
+
+impl GoBackNReceiver {
+    /// A fresh receiver expecting TPDU 0.
+    pub fn new() -> GoBackNReceiver {
+        GoBackNReceiver::default()
+    }
+
+    /// Feed a TPDU-level sequence number; returns `(accept, ack_upto)`:
+    /// whether the TPDU should be processed, and the cumulative ACK to
+    /// send back.
+    pub fn on_tpdu_seq(&mut self, seq: u64) -> (bool, u64) {
+        if seq == self.expected {
+            self.expected += 1;
+            (true, self.expected)
+        } else {
+            self.discarded += 1;
+            (false, self.expected)
+        }
+    }
+
+    /// The next TPDU sequence number expected.
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_core::address::VcId;
+    use cm_core::osdu::Opdu;
+
+    fn tpdu(osdu_seq: u64) -> DataTpdu {
+        DataTpdu {
+            vc: VcId(1),
+            osdu_seq,
+            frag_index: 0,
+            frag_count: 1,
+            frag_bytes: 10,
+            opdu: Opdu {
+                seq: osdu_seq,
+                event: None,
+            },
+            payload: None,
+            osdu_sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn window_limits_in_flight() {
+        let mut s = GoBackNSender::new(3, SimDuration::from_millis(100));
+        for i in 0..3 {
+            assert!(s.can_send());
+            assert_eq!(s.on_send(tpdu(i), SimTime::ZERO), i);
+        }
+        assert!(!s.can_send());
+        assert_eq!(s.in_flight(), 3);
+    }
+
+    #[test]
+    fn ack_slides_window() {
+        let mut s = GoBackNSender::new(2, SimDuration::from_millis(100));
+        s.on_send(tpdu(0), SimTime::ZERO);
+        s.on_send(tpdu(1), SimTime::ZERO);
+        assert!(s.on_ack(1, SimTime::from_millis(10)));
+        assert!(s.can_send());
+        assert_eq!(s.in_flight(), 1);
+        // Duplicate/old ACK is a no-op.
+        assert!(!s.on_ack(1, SimTime::from_millis(11)));
+    }
+
+    #[test]
+    fn timeout_resends_whole_window() {
+        let mut s = GoBackNSender::new(4, SimDuration::from_millis(100));
+        for i in 0..3 {
+            s.on_send(tpdu(i), SimTime::ZERO);
+        }
+        assert!(s.check_timeout(SimTime::from_millis(50)).is_none());
+        let resend = s.check_timeout(SimTime::from_millis(100)).unwrap();
+        assert_eq!(resend.len(), 3);
+        assert_eq!(s.retransmissions, 3);
+        assert_eq!(s.timeouts, 1);
+        // Timer restarted.
+        assert_eq!(s.timeout_at(), Some(SimTime::from_millis(200)));
+    }
+
+    #[test]
+    fn ack_clears_timer_when_all_acked() {
+        let mut s = GoBackNSender::new(4, SimDuration::from_millis(100));
+        s.on_send(tpdu(0), SimTime::ZERO);
+        s.on_ack(1, SimTime::from_millis(5));
+        assert_eq!(s.timeout_at(), None);
+    }
+
+    #[test]
+    fn receiver_accepts_in_order_only() {
+        let mut r = GoBackNReceiver::new();
+        assert_eq!(r.on_tpdu_seq(0), (true, 1));
+        // A gap: 2 arrives while 1 expected → discard, dup-ack 1.
+        assert_eq!(r.on_tpdu_seq(2), (false, 1));
+        assert_eq!(r.discarded, 1);
+        assert_eq!(r.on_tpdu_seq(1), (true, 2));
+        assert_eq!(r.on_tpdu_seq(2), (true, 3));
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-node clocks with rate skew.
+//!
+//! §3.6 of the paper names "the inevitable discrepancies between remote
+//! clock rates" as a prime cause of long-run loss of synchronisation between
+//! related connections. The simulator therefore gives every node its own
+//! clock: a linear map of global simulation time with a rate skew in parts
+//! per million and a fixed offset. Media sources pace themselves by their
+//! *local* clock, so two stored streams started together genuinely drift —
+//! the pathology the orchestrator's regulation loop exists to correct.
+
+use cm_core::time::{SimDuration, SimTime};
+
+/// A node-local clock: `local = global × (1 + ppm/10⁶) + offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeClock {
+    /// Rate skew in parts per million (positive = this clock runs fast).
+    pub skew_ppm: i32,
+    /// Fixed offset added to the scaled time, in microseconds (may be
+    /// negative: the clock started "behind").
+    pub offset_us: i64,
+}
+
+impl Default for NodeClock {
+    fn default() -> Self {
+        NodeClock::perfect()
+    }
+}
+
+impl NodeClock {
+    /// A clock with no skew and no offset (the orchestrating node's datum
+    /// clock is treated as perfect — the paper's common-node scheme measures
+    /// everything relative to it).
+    pub const fn perfect() -> NodeClock {
+        NodeClock {
+            skew_ppm: 0,
+            offset_us: 0,
+        }
+    }
+
+    /// A clock with the given rate skew and zero offset.
+    pub const fn with_skew(ppm: i32) -> NodeClock {
+        NodeClock {
+            skew_ppm: ppm,
+            offset_us: 0,
+        }
+    }
+
+    /// Read this clock at global instant `global`.
+    pub fn local_of(&self, global: SimTime) -> SimTime {
+        let g = global.as_micros() as i128;
+        let scaled = g + g * self.skew_ppm as i128 / 1_000_000;
+        let l = scaled + self.offset_us as i128;
+        SimTime::from_micros(l.max(0) as u64)
+    }
+
+    /// Invert: the global instant at which this clock reads `local`.
+    ///
+    /// Exact up to the microsecond truncation of [`NodeClock::local_of`].
+    pub fn global_of(&self, local: SimTime) -> SimTime {
+        let l = local.as_micros() as i128 - self.offset_us as i128;
+        let g = l * 1_000_000 / (1_000_000 + self.skew_ppm as i128);
+        SimTime::from_micros(g.max(0) as u64)
+    }
+
+    /// Convert a *duration* measured on this clock into global time.
+    pub fn global_duration(&self, local: SimDuration) -> SimDuration {
+        let l = local.as_micros() as i128;
+        let g = l * 1_000_000 / (1_000_000 + self.skew_ppm as i128);
+        SimDuration::from_micros(g.max(0) as u64)
+    }
+
+    /// Convert a global duration into this clock's units.
+    pub fn local_duration(&self, global: SimDuration) -> SimDuration {
+        let g = global.as_micros() as i128;
+        let l = g + g * self.skew_ppm as i128 / 1_000_000;
+        SimDuration::from_micros(l.max(0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        let c = NodeClock::perfect();
+        let t = SimTime::from_secs(12345);
+        assert_eq!(c.local_of(t), t);
+        assert_eq!(c.global_of(t), t);
+    }
+
+    #[test]
+    fn fast_clock_runs_ahead() {
+        // +100 ppm over 10 000 s = 1 s ahead.
+        let c = NodeClock::with_skew(100);
+        let t = SimTime::from_secs(10_000);
+        assert_eq!(c.local_of(t), SimTime::from_secs(10_001));
+    }
+
+    #[test]
+    fn slow_clock_runs_behind() {
+        let c = NodeClock::with_skew(-100);
+        let t = SimTime::from_secs(10_000);
+        assert_eq!(c.local_of(t), SimTime::from_secs(9_999));
+    }
+
+    #[test]
+    fn offset_applies() {
+        let c = NodeClock {
+            skew_ppm: 0,
+            offset_us: 500_000,
+        };
+        assert_eq!(
+            c.local_of(SimTime::from_secs(1)),
+            SimTime::from_millis(1_500)
+        );
+        assert_eq!(
+            c.global_of(SimTime::from_millis(1_500)),
+            SimTime::from_secs(1)
+        );
+    }
+
+    #[test]
+    fn negative_offset_clamps_at_zero() {
+        let c = NodeClock {
+            skew_ppm: 0,
+            offset_us: -2_000_000,
+        };
+        assert_eq!(c.local_of(SimTime::from_secs(1)), SimTime::ZERO);
+        assert_eq!(c.local_of(SimTime::from_secs(3)), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn roundtrip_within_truncation() {
+        for ppm in [-500, -37, 0, 37, 500] {
+            let c = NodeClock::with_skew(ppm);
+            for s in [1u64, 60, 3_600, 86_400] {
+                let g = SimTime::from_secs(s);
+                let back = c.global_of(c.local_of(g));
+                let diff = g
+                    .as_micros()
+                    .abs_diff(back.as_micros());
+                assert!(diff <= 1, "ppm {ppm} s {s}: diff {diff}us");
+            }
+        }
+    }
+
+    #[test]
+    fn duration_conversions_invert() {
+        let c = NodeClock::with_skew(250);
+        let d = SimDuration::from_secs(100);
+        let l = c.local_duration(d);
+        assert_eq!(l, SimDuration::from_micros(100_025_000));
+        let g = c.global_duration(l);
+        assert!(g.as_micros().abs_diff(d.as_micros()) <= 1);
+    }
+}

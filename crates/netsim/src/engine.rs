@@ -1,0 +1,361 @@
+//! The discrete-event core.
+//!
+//! Everything in the reproduction — link transmissions, protocol timers,
+//! application threads, orchestration intervals — runs as closures scheduled
+//! on one [`Engine`]. The engine is single-threaded and deterministic:
+//! events fire in `(time, sequence)` order, where sequence is the order of
+//! scheduling, so two events at the same instant run in FIFO order and every
+//! simulation is exactly repeatable.
+//!
+//! The engine is a cheaply clonable handle (`Rc` inside): components keep a
+//! clone and schedule events without needing a mutable reference to a
+//! central world object, which is what keeps the crates above loosely
+//! coupled (the smoltcp lesson: explicit `poll`-style time, no hidden
+//! runtime).
+
+use cm_core::time::{SimDuration, SimTime};
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::rc::Rc;
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+type Action = Box<dyn FnOnce(&Engine)>;
+
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    action: Action,
+}
+
+// Ordering for the max-heap: we invert so the earliest (time, seq) pops
+// first. Only `at` and `seq` participate; two entries never tie because
+// `seq` is unique.
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: smaller (at, seq) = "greater" for BinaryHeap.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct EngineInner {
+    now: Cell<SimTime>,
+    queue: RefCell<BinaryHeap<Entry>>,
+    next_seq: Cell<u64>,
+    cancelled: RefCell<HashSet<EventId>>,
+    executed: Cell<u64>,
+    /// Hard stop against runaway event loops in tests; `u64::MAX` = off.
+    event_limit: Cell<u64>,
+    /// Same-instant storm guard: (instant, events executed at it).
+    same_instant: Cell<(SimTime, u64)>,
+}
+
+/// A deterministic discrete-event scheduler handle.
+///
+/// Clones share the same underlying queue and clock.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Rc<EngineInner>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// A fresh engine at time zero with an empty queue.
+    pub fn new() -> Engine {
+        Engine {
+            inner: Rc::new(EngineInner {
+                now: Cell::new(SimTime::ZERO),
+                queue: RefCell::new(BinaryHeap::new()),
+                next_seq: Cell::new(0),
+                cancelled: RefCell::new(HashSet::new()),
+                executed: Cell::new(0),
+                event_limit: Cell::new(u64::MAX),
+                same_instant: Cell::new((SimTime::ZERO, 0)),
+            }),
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.inner.now.get()
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.inner.executed.get()
+    }
+
+    /// Number of events still pending (including cancelled tombstones).
+    pub fn pending(&self) -> usize {
+        self.inner.queue.borrow().len()
+    }
+
+    /// Cap the total number of events the run loops will execute; exceeding
+    /// it panics. Tests use this to catch scheduling loops.
+    pub fn set_event_limit(&self, limit: u64) {
+        self.inner.event_limit.set(limit);
+    }
+
+    /// Schedule `action` to run at absolute time `at`.
+    ///
+    /// `at` must not lie in the past. Returns an id usable with
+    /// [`Engine::cancel`].
+    pub fn schedule_at(&self, at: SimTime, action: impl FnOnce(&Engine) + 'static) -> EventId {
+        assert!(
+            at >= self.now(),
+            "cannot schedule into the past: {at} < {}",
+            self.now()
+        );
+        let seq = self.inner.next_seq.get();
+        self.inner.next_seq.set(seq + 1);
+        let id = EventId(seq);
+        self.inner.queue.borrow_mut().push(Entry {
+            at,
+            seq,
+            id,
+            action: Box::new(action),
+        });
+        id
+    }
+
+    /// Schedule `action` to run after `delay`.
+    pub fn schedule_in(&self, delay: SimDuration, action: impl FnOnce(&Engine) + 'static) -> EventId {
+        self.schedule_at(self.now() + delay, action)
+    }
+
+    /// Cancel a pending event. Cancelling an already-fired or already-
+    /// cancelled event is a no-op.
+    pub fn cancel(&self, id: EventId) {
+        self.inner.cancelled.borrow_mut().insert(id);
+    }
+
+    /// Execute the next pending event, if any. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&self) -> bool {
+        loop {
+            // Pop while *not* holding the borrow across the action call:
+            // actions schedule and cancel freely.
+            let entry = match self.inner.queue.borrow_mut().pop() {
+                Some(e) => e,
+                None => return false,
+            };
+            if self.inner.cancelled.borrow_mut().remove(&entry.id) {
+                continue; // tombstoned
+            }
+            debug_assert!(entry.at >= self.now());
+            self.inner.now.set(entry.at);
+            let n = self.inner.executed.get() + 1;
+            self.inner.executed.set(n);
+            assert!(
+                n <= self.inner.event_limit.get(),
+                "event limit exceeded at {} ({} events executed)",
+                self.now(),
+                n
+            );
+            // Same-instant storm guard: a zero-delay event cycle would
+            // freeze virtual time while burning real time — fail loudly
+            // instead of hanging.
+            let (at, count) = self.inner.same_instant.get();
+            if at == entry.at {
+                assert!(
+                    count < 5_000_000,
+                    "same-instant event storm at {at}: >5M events without time advancing"
+                );
+                self.inner.same_instant.set((at, count + 1));
+            } else {
+                self.inner.same_instant.set((entry.at, 1));
+            }
+            (entry.action)(self);
+            return true;
+        }
+    }
+
+    /// Run until the queue drains.
+    pub fn run(&self) {
+        while self.step() {}
+    }
+
+    /// Run all events scheduled strictly before or at `deadline`, then set
+    /// the clock to `deadline` (even if the queue drained earlier), leaving
+    /// later events pending.
+    pub fn run_until(&self, deadline: SimTime) {
+        loop {
+            let next_at = loop {
+                // Skim tombstones off the top so peek sees a live event.
+                let mut q = self.inner.queue.borrow_mut();
+                match q.peek() {
+                    None => break None,
+                    Some(e) => {
+                        if self.inner.cancelled.borrow().contains(&e.id) {
+                            let e = q.pop().expect("peeked entry vanished");
+                            self.inner.cancelled.borrow_mut().remove(&e.id);
+                            continue;
+                        }
+                        break Some(e.at);
+                    }
+                }
+            };
+            match next_at {
+                Some(at) if at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now() < deadline {
+            self.inner.now.set(deadline);
+        }
+    }
+
+    /// Run for `span` of simulated time from now.
+    pub fn run_for(&self, span: SimDuration) {
+        let deadline = self.now() + span;
+        self.run_until(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let e = Engine::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (t, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let log = log.clone();
+            e.schedule_at(SimTime::from_micros(t), move |_| log.borrow_mut().push(tag));
+        }
+        e.run();
+        assert_eq!(*log.borrow(), vec!['a', 'b', 'c']);
+        assert_eq!(e.now(), SimTime::from_micros(30));
+        assert_eq!(e.executed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let e = Engine::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in 0..10 {
+            let log = log.clone();
+            e.schedule_at(SimTime::from_micros(5), move |_| log.borrow_mut().push(tag));
+        }
+        e.run();
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn actions_can_schedule_more_events() {
+        let e = Engine::new();
+        let count = Rc::new(Cell::new(0u32));
+        fn tick(e: &Engine, count: Rc<Cell<u32>>) {
+            let n = count.get() + 1;
+            count.set(n);
+            if n < 5 {
+                let c = count.clone();
+                e.schedule_in(SimDuration::from_millis(1), move |e| tick(e, c));
+            }
+        }
+        let c = count.clone();
+        e.schedule_at(SimTime::ZERO, move |e| tick(e, c));
+        e.run();
+        assert_eq!(count.get(), 5);
+        assert_eq!(e.now(), SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let e = Engine::new();
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        let id = e.schedule_in(SimDuration::from_millis(1), move |_| f.set(true));
+        e.cancel(id);
+        e.run();
+        assert!(!fired.get());
+        // Double-cancel and cancel-after-run are harmless.
+        e.cancel(id);
+    }
+
+    #[test]
+    fn run_until_leaves_later_events_and_advances_clock() {
+        let e = Engine::new();
+        let fired = Rc::new(Cell::new(0));
+        for t in [1u64, 2, 3, 10] {
+            let f = fired.clone();
+            e.schedule_at(SimTime::from_secs(t), move |_| {
+                f.set(f.get() + 1);
+            });
+        }
+        e.run_until(SimTime::from_secs(5));
+        assert_eq!(fired.get(), 3);
+        assert_eq!(e.now(), SimTime::from_secs(5));
+        assert_eq!(e.pending(), 1);
+        e.run();
+        assert_eq!(fired.get(), 4);
+    }
+
+    #[test]
+    fn run_until_with_cancelled_head() {
+        let e = Engine::new();
+        let fired = Rc::new(Cell::new(false));
+        let id = e.schedule_at(SimTime::from_secs(1), |_| {});
+        let f = fired.clone();
+        e.schedule_at(SimTime::from_secs(2), move |_| f.set(true));
+        e.cancel(id);
+        e.run_until(SimTime::from_secs(3));
+        assert!(fired.get());
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let e = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), |_| {});
+        e.run();
+        e.schedule_at(SimTime::from_millis(1), |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_catches_runaway() {
+        let e = Engine::new();
+        e.set_event_limit(100);
+        fn forever(e: &Engine) {
+            e.schedule_in(SimDuration::from_micros(1), forever);
+        }
+        e.schedule_at(SimTime::ZERO, forever);
+        e.run();
+    }
+
+    #[test]
+    fn run_for_is_relative() {
+        let e = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), |_| {});
+        e.run();
+        e.run_for(SimDuration::from_secs(2));
+        assert_eq!(e.now(), SimTime::from_secs(3));
+    }
+}

@@ -1,0 +1,32 @@
+//! # netsim — deterministic discrete-event network substrate
+//!
+//! Stand-in for the Lancaster transputer-based "real-time high-speed
+//! network emulator" (§2.1 of the SIGCOMM '92 paper). Everything above the
+//! network — transport protocol, orchestration, platform, applications —
+//! runs as closures on the [`engine::Engine`], a single-threaded,
+//! deterministic event scheduler; the network itself models store-and-
+//! forward nodes joined by simplex [`link::Link`]s with bandwidth,
+//! propagation delay, jitter, loss and bit-error processes, plus the
+//! ST-II-style [`reservation`] ledger the paper assumes (§7).
+//!
+//! Per-node skewed [`clock::NodeClock`]s reproduce the clock-drift
+//! pathology (§3.6) that orchestration exists to correct.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod engine;
+pub mod link;
+pub mod network;
+pub mod packet;
+pub mod reservation;
+pub mod topology;
+
+pub use clock::NodeClock;
+pub use engine::{Engine, EventId};
+pub use link::{JitterModel, LinkCounters, LinkParams};
+pub use network::{LinkId, Network, NetworkCounters, NodeHandler};
+pub use packet::{Packet, PacketClass};
+pub use reservation::{AdmissionError, ReservationTable};
+pub use topology::{line, two_node, Testbed, TestbedConfig};

@@ -1,0 +1,391 @@
+//! Simplex link model: bandwidth, propagation delay, jitter, loss, bit
+//! errors and a finite transmit queue.
+//!
+//! A [`Link`] is pure bookkeeping — given a submission at a point in time it
+//! computes the arrival time (or the drop) deterministically from its own
+//! seeded random stream; the [`Network`](crate::network::Network) schedules
+//! the resulting delivery on the engine. Control-class packets ride the
+//! reserved control channel (§5 of the paper: orchestration PDUs travel on
+//! out-of-band connections with guaranteed bandwidth): they skip the data
+//! queue and cannot be overtaken-blocked by data backlog.
+
+use cm_core::qos::ErrorRate;
+use cm_core::rng::DetRng;
+use cm_core::time::{Bandwidth, SimDuration, SimTime};
+use crate::packet::PacketClass;
+use std::collections::VecDeque;
+
+/// How jitter (extra, random forwarding latency) is sampled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JitterModel {
+    /// No jitter: delay is deterministic.
+    None,
+    /// Uniform in `[0, max]`.
+    Uniform(SimDuration),
+    /// Exponential with the given mean, truncated at 10× the mean.
+    Exponential(SimDuration),
+}
+
+impl JitterModel {
+    fn sample(&self, rng: &mut DetRng) -> SimDuration {
+        match self {
+            JitterModel::None => SimDuration::ZERO,
+            JitterModel::Uniform(max) => rng.jitter_uniform(*max),
+            JitterModel::Exponential(mean) => rng.jitter_exponential(*mean),
+        }
+    }
+}
+
+/// Static link characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkParams {
+    /// Serialisation bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Propagation delay.
+    pub propagation: SimDuration,
+    /// Random extra latency.
+    pub jitter: JitterModel,
+    /// Probability a packet is lost in transit.
+    pub loss: ErrorRate,
+    /// Probability a packet is delivered with bit errors (`corrupted` set).
+    pub bit_error: ErrorRate,
+    /// Transmit-queue capacity in bytes; a data packet arriving to a full
+    /// queue is dropped (overflow).
+    pub queue_capacity: usize,
+}
+
+impl LinkParams {
+    /// A clean, fast default useful in tests: 100 Mb/s, 1 ms propagation,
+    /// no jitter/loss/errors, 1 MiB queue.
+    pub fn clean(bandwidth: Bandwidth, propagation: SimDuration) -> LinkParams {
+        LinkParams {
+            bandwidth,
+            propagation,
+            jitter: JitterModel::None,
+            loss: ErrorRate::ZERO,
+            bit_error: ErrorRate::ZERO,
+            queue_capacity: 1 << 20,
+        }
+    }
+}
+
+/// Why a submission did not result in delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The transmit queue had no room.
+    QueueOverflow,
+    /// The loss process consumed the packet in transit.
+    Loss,
+}
+
+/// Outcome of submitting one packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// The packet will arrive at the far end at `arrival`.
+    Deliver {
+        /// Global arrival instant at the receiving node.
+        arrival: SimTime,
+        /// Whether the bit-error process damaged it.
+        corrupted: bool,
+    },
+    /// The packet was dropped.
+    Drop(DropReason),
+}
+
+/// Per-link counters, exposed for traces and experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkCounters {
+    /// Packets submitted (both classes).
+    pub submitted: u64,
+    /// Packets that will be delivered.
+    pub delivered: u64,
+    /// Data packets dropped on queue overflow.
+    pub dropped_overflow: u64,
+    /// Packets dropped by the loss process.
+    pub dropped_loss: u64,
+    /// Packets delivered with the corrupted flag.
+    pub corrupted: u64,
+    /// Payload bytes accepted for transmission.
+    pub bytes: u64,
+}
+
+/// Runtime state of one simplex link.
+#[derive(Debug)]
+pub struct Link {
+    params: LinkParams,
+    rng: DetRng,
+    /// When the data channel finishes its current backlog.
+    busy_until: SimTime,
+    /// (serialisation-finish time, bytes) of queued data packets, used to
+    /// compute queue occupancy without engine callbacks.
+    in_flight: VecDeque<(SimTime, usize)>,
+    /// Arrival-time floor per class, enforcing FIFO delivery within a class
+    /// even under jitter.
+    last_arrival_data: SimTime,
+    last_arrival_control: SimTime,
+    /// Counters.
+    pub counters: LinkCounters,
+}
+
+impl Link {
+    /// Create a link with the given parameters and its own random stream.
+    pub fn new(params: LinkParams, rng: DetRng) -> Link {
+        Link {
+            params,
+            rng,
+            busy_until: SimTime::ZERO,
+            in_flight: VecDeque::new(),
+            last_arrival_data: SimTime::ZERO,
+            last_arrival_control: SimTime::ZERO,
+            counters: LinkCounters::default(),
+        }
+    }
+
+    /// The static parameters.
+    pub fn params(&self) -> &LinkParams {
+        &self.params
+    }
+
+    /// Bytes currently waiting in (or being serialised by) the data channel.
+    pub fn queue_occupancy(&mut self, now: SimTime) -> usize {
+        while let Some(&(finish, _)) = self.in_flight.front() {
+            if finish <= now {
+                self.in_flight.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.in_flight.iter().map(|&(_, b)| b).sum()
+    }
+
+    /// Submit one packet for transmission at global time `now`.
+    pub fn submit(&mut self, now: SimTime, class: PacketClass, wire_size: usize) -> LinkOutcome {
+        self.counters.submitted += 1;
+        let tx = self.params.bandwidth.transmission_time(wire_size);
+
+        let departure = match class {
+            PacketClass::Control => {
+                // Reserved control channel: no data-queue wait, no capacity
+                // check — guaranteed bandwidth per §5.
+                now + tx
+            }
+            PacketClass::Data => {
+                if self.queue_occupancy(now) + wire_size > self.params.queue_capacity {
+                    self.counters.dropped_overflow += 1;
+                    return LinkOutcome::Drop(DropReason::QueueOverflow);
+                }
+                let start = self.busy_until.max(now);
+                let finish = start + tx;
+                self.busy_until = finish;
+                self.in_flight.push_back((finish, wire_size));
+                finish
+            }
+        };
+        self.counters.bytes += wire_size as u64;
+
+        // Loss and bit errors apply to the data channel only: the control
+        // channel models the paper's reserved internal control VC (§5),
+        // which the orchestration and connection-management machinery
+        // assume is reliable.
+        if class == PacketClass::Data && self.rng.chance(self.params.loss) {
+            // The packet still consumed serialisation time (it was sent and
+            // lost in transit), so busy_until stays advanced.
+            self.counters.dropped_loss += 1;
+            return LinkOutcome::Drop(DropReason::Loss);
+        }
+
+        let jitter = self.params.jitter.sample(&mut self.rng);
+        let mut arrival = departure + self.params.propagation + jitter;
+
+        // Jitter must not reorder a FIFO link within a class.
+        let floor = match class {
+            PacketClass::Data => &mut self.last_arrival_data,
+            PacketClass::Control => &mut self.last_arrival_control,
+        };
+        arrival = arrival.max(*floor);
+        *floor = arrival;
+
+        let corrupted =
+            class == PacketClass::Data && self.rng.chance(self.params.bit_error);
+        if corrupted {
+            self.counters.corrupted += 1;
+        }
+        self.counters.delivered += 1;
+        LinkOutcome::Deliver { arrival, corrupted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(bw_mbps: u64, prop_ms: u64) -> Link {
+        Link::new(
+            LinkParams::clean(
+                Bandwidth::mbps(bw_mbps),
+                SimDuration::from_millis(prop_ms),
+            ),
+            DetRng::from_seed(1),
+        )
+    }
+
+    #[test]
+    fn uncontended_delivery_time() {
+        let mut l = mk(10, 5);
+        // 1250 bytes at 10 Mb/s = 1 ms tx; +5 ms prop = arrival at 6 ms.
+        match l.submit(SimTime::ZERO, PacketClass::Data, 1250) {
+            LinkOutcome::Deliver { arrival, corrupted } => {
+                assert_eq!(arrival, SimTime::from_millis(6));
+                assert!(!corrupted);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_behind_each_other() {
+        let mut l = mk(10, 0);
+        let a1 = match l.submit(SimTime::ZERO, PacketClass::Data, 1250) {
+            LinkOutcome::Deliver { arrival, .. } => arrival,
+            o => panic!("{o:?}"),
+        };
+        let a2 = match l.submit(SimTime::ZERO, PacketClass::Data, 1250) {
+            LinkOutcome::Deliver { arrival, .. } => arrival,
+            o => panic!("{o:?}"),
+        };
+        assert_eq!(a1, SimTime::from_millis(1));
+        assert_eq!(a2, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn control_bypasses_data_backlog() {
+        let mut l = mk(10, 0);
+        // Fill the data channel with 1 s of backlog.
+        for _ in 0..100 {
+            l.submit(SimTime::ZERO, PacketClass::Data, 12_500);
+        }
+        // A control packet still arrives after its own tx time only.
+        match l.submit(SimTime::ZERO, PacketClass::Control, 1250) {
+            LinkOutcome::Deliver { arrival, .. } => {
+                assert_eq!(arrival, SimTime::from_millis(1));
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_overflow_drops_data() {
+        let mut l = Link::new(
+            LinkParams {
+                queue_capacity: 3000,
+                ..LinkParams::clean(Bandwidth::mbps(1), SimDuration::ZERO)
+            },
+            DetRng::from_seed(2),
+        );
+        assert!(matches!(
+            l.submit(SimTime::ZERO, PacketClass::Data, 1500),
+            LinkOutcome::Deliver { .. }
+        ));
+        assert!(matches!(
+            l.submit(SimTime::ZERO, PacketClass::Data, 1500),
+            LinkOutcome::Deliver { .. }
+        ));
+        assert_eq!(
+            l.submit(SimTime::ZERO, PacketClass::Data, 1500),
+            LinkOutcome::Drop(DropReason::QueueOverflow)
+        );
+        assert_eq!(l.counters.dropped_overflow, 1);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut l = Link::new(
+            LinkParams {
+                queue_capacity: 3000,
+                ..LinkParams::clean(Bandwidth::mbps(1), SimDuration::ZERO)
+            },
+            DetRng::from_seed(2),
+        );
+        l.submit(SimTime::ZERO, PacketClass::Data, 1500);
+        l.submit(SimTime::ZERO, PacketClass::Data, 1500);
+        // 1500 B at 1 Mb/s = 12 ms each; by 13 ms the first has left.
+        assert!(matches!(
+            l.submit(SimTime::from_millis(13), PacketClass::Data, 1500),
+            LinkOutcome::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn loss_process_matches_probability() {
+        let mut l = Link::new(
+            LinkParams {
+                loss: ErrorRate::from_prob(0.1),
+                ..LinkParams::clean(Bandwidth::mbps(1000), SimDuration::ZERO)
+            },
+            DetRng::from_seed(7),
+        );
+        let mut lost = 0;
+        for i in 0..10_000u64 {
+            if matches!(
+                l.submit(
+                    SimTime::from_micros(i * 100),
+                    PacketClass::Data,
+                    100
+                ),
+                LinkOutcome::Drop(DropReason::Loss)
+            ) {
+                lost += 1;
+            }
+        }
+        let frac = lost as f64 / 10_000.0;
+        assert!((frac - 0.1).abs() < 0.02, "loss frac {frac}");
+    }
+
+    #[test]
+    fn jitter_never_reorders_within_class() {
+        let mut l = Link::new(
+            LinkParams {
+                jitter: JitterModel::Uniform(SimDuration::from_millis(20)),
+                ..LinkParams::clean(Bandwidth::mbps(100), SimDuration::from_millis(1))
+            },
+            DetRng::from_seed(3),
+        );
+        let mut last = SimTime::ZERO;
+        for i in 0..1000u64 {
+            match l.submit(SimTime::from_micros(i * 50), PacketClass::Data, 500) {
+                LinkOutcome::Deliver { arrival, .. } => {
+                    assert!(arrival >= last, "reordered at {i}");
+                    last = arrival;
+                }
+                o => panic!("{o:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_errors_set_corrupted() {
+        let mut l = Link::new(
+            LinkParams {
+                bit_error: ErrorRate::ONE,
+                ..LinkParams::clean(Bandwidth::mbps(10), SimDuration::ZERO)
+            },
+            DetRng::from_seed(4),
+        );
+        match l.submit(SimTime::ZERO, PacketClass::Data, 100) {
+            LinkOutcome::Deliver { corrupted, .. } => assert!(corrupted),
+            o => panic!("{o:?}"),
+        }
+        assert_eq!(l.counters.corrupted, 1);
+    }
+
+    #[test]
+    fn counters_add_up() {
+        let mut l = mk(10, 1);
+        for _ in 0..5 {
+            l.submit(SimTime::ZERO, PacketClass::Data, 1000);
+        }
+        assert_eq!(l.counters.submitted, 5);
+        assert_eq!(l.counters.delivered, 5);
+        assert_eq!(l.counters.bytes, 5000);
+    }
+}

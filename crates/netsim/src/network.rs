@@ -1,0 +1,560 @@
+//! The simulated network: nodes, simplex links, routing and delivery.
+//!
+//! A [`Network`] is a cheaply clonable handle shared by every protocol
+//! entity. End-systems register a [`NodeHandler`]; intermediate nodes
+//! without handlers act as store-and-forward switches. Routing is
+//! shortest-path by hop count, computed once and cached (topologies are
+//! static after construction, as in the Lancaster testbed).
+
+use crate::clock::NodeClock;
+use crate::engine::Engine;
+use crate::link::{DropReason, Link, LinkOutcome, LinkParams};
+use crate::packet::Packet;
+use crate::reservation::{AdmissionError, ReservationTable};
+use cm_core::address::{NetAddr, VcId};
+use cm_core::qos::{ErrorRate, QosParams};
+use cm_core::rng::DetRng;
+use cm_core::time::{Bandwidth, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Identifies one simplex link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub u32);
+
+/// Receives packets addressed to a node.
+///
+/// Handlers take `&self`: implementations wrap their mutable state in
+/// `RefCell`, which is safe because the engine is single-threaded and the
+/// network never re-enters a handler while it is running.
+pub trait NodeHandler {
+    /// Called when `pkt` arrives at `at` (which is always `pkt.dst`).
+    fn on_packet(&self, net: &Network, at: NetAddr, pkt: Packet);
+}
+
+struct NodeState {
+    clock: NodeClock,
+    handler: Option<Rc<dyn NodeHandler>>,
+}
+
+struct LinkState {
+    to: NetAddr,
+    link: Link,
+}
+
+/// Network-wide drop counters by cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkCounters {
+    /// Packets handed to a registered handler.
+    pub delivered: u64,
+    /// Packets that reached a node with no handler registered.
+    pub no_handler: u64,
+    /// Packets dropped for lack of a route.
+    pub no_route: u64,
+    /// Packets dropped by link queue overflow.
+    pub queue_overflow: u64,
+    /// Packets dropped by link loss processes.
+    pub link_loss: u64,
+}
+
+struct NetworkInner {
+    nodes: Vec<NodeState>,
+    links: Vec<LinkState>,
+    /// Outgoing link ids per node.
+    adjacency: Vec<Vec<LinkId>>,
+    /// `next_hop[from][dst]` = link to take, or `None` (lazily built).
+    next_hop: Vec<Option<Vec<Option<LinkId>>>>,
+    counters: NetworkCounters,
+    reservations: ReservationTable,
+}
+
+impl NetworkInner {
+    fn build_routes_from(&mut self, from: usize) {
+        // BFS by hop count; first-added link wins ties, so routing is
+        // deterministic and independent of query order.
+        let n = self.nodes.len();
+        let mut first_link: Vec<Option<LinkId>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut q = VecDeque::new();
+        visited[from] = true;
+        q.push_back(from);
+        while let Some(u) = q.pop_front() {
+            for &lid in &self.adjacency[u] {
+                let v = self.links[lid.0 as usize].to.0 as usize;
+                if !visited[v] {
+                    visited[v] = true;
+                    // The first hop toward v is inherited from u, unless u
+                    // is the origin, in which case it is this link itself.
+                    first_link[v] = if u == from { Some(lid) } else { first_link[u] };
+                    q.push_back(v);
+                }
+            }
+        }
+        self.next_hop[from] = Some(first_link);
+    }
+
+    fn next_hop(&mut self, from: NetAddr, dst: NetAddr) -> Option<LinkId> {
+        let f = from.0 as usize;
+        if self.next_hop[f].is_none() {
+            self.build_routes_from(f);
+        }
+        self.next_hop[f]
+            .as_ref()
+            .expect("routes just built")[dst.0 as usize]
+    }
+}
+
+/// Handle to the simulated network (clones share state).
+#[derive(Clone)]
+pub struct Network {
+    engine: Engine,
+    inner: Rc<RefCell<NetworkInner>>,
+}
+
+impl Network {
+    /// An empty network bound to `engine`.
+    pub fn new(engine: Engine) -> Network {
+        Network {
+            engine,
+            inner: Rc::new(RefCell::new(NetworkInner {
+                nodes: Vec::new(),
+                links: Vec::new(),
+                adjacency: Vec::new(),
+                next_hop: Vec::new(),
+                counters: NetworkCounters::default(),
+                reservations: ReservationTable::default(),
+            })),
+        }
+    }
+
+    /// The engine driving this network.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Add a node with the given clock; returns its address.
+    pub fn add_node(&self, clock: NodeClock) -> NetAddr {
+        let mut inner = self.inner.borrow_mut();
+        let addr = NetAddr(inner.nodes.len() as u32);
+        inner.nodes.push(NodeState {
+            clock,
+            handler: None,
+        });
+        inner.adjacency.push(Vec::new());
+        inner.next_hop.push(None);
+        addr
+    }
+
+    /// Add a simplex link `from → to`; returns its id.
+    ///
+    /// Panics if routes have already been computed (topology must be fixed
+    /// before traffic starts).
+    pub fn add_link(&self, from: NetAddr, to: NetAddr, params: LinkParams, rng: DetRng) -> LinkId {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            inner.next_hop.iter().all(|r| r.is_none()),
+            "topology frozen once routing has begun"
+        );
+        assert!(
+            (from.0 as usize) < inner.nodes.len() && (to.0 as usize) < inner.nodes.len(),
+            "link endpoints must exist"
+        );
+        assert_ne!(from, to, "self-links are not allowed");
+        let id = LinkId(inner.links.len() as u32);
+        inner.links.push(LinkState {
+            to,
+            link: Link::new(params, rng),
+        });
+        inner.adjacency[from.0 as usize].push(id);
+        id
+    }
+
+    /// Add a pair of simplex links (`a → b` and `b → a`) with identical
+    /// parameters; returns both ids.
+    pub fn add_duplex(
+        &self,
+        a: NetAddr,
+        b: NetAddr,
+        params: LinkParams,
+        rng: &mut DetRng,
+    ) -> (LinkId, LinkId) {
+        let fwd = self.add_link(a, b, params.clone(), rng.fork(&format!("l{}-{}", a.0, b.0)));
+        let rev = self.add_link(b, a, params, rng.fork(&format!("l{}-{}", b.0, a.0)));
+        (fwd, rev)
+    }
+
+    /// Register the packet handler for a node (replacing any previous one).
+    pub fn set_handler(&self, node: NetAddr, handler: Rc<dyn NodeHandler>) {
+        self.inner.borrow_mut().nodes[node.0 as usize].handler = Some(handler);
+    }
+
+    /// The node's local clock.
+    pub fn clock(&self, node: NetAddr) -> NodeClock {
+        self.inner.borrow().nodes[node.0 as usize].clock
+    }
+
+    /// Read a node's local clock *now*.
+    pub fn local_time(&self, node: NetAddr) -> SimTime {
+        self.clock(node).local_of(self.engine.now())
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// Network-wide counters.
+    pub fn counters(&self) -> NetworkCounters {
+        self.inner.borrow().counters
+    }
+
+    /// Counters of one link.
+    pub fn link_counters(&self, id: LinkId) -> crate::link::LinkCounters {
+        self.inner.borrow().links[id.0 as usize].link.counters
+    }
+
+    /// The links a packet would traverse from `from` to `dst`, or `None`
+    /// if unreachable.
+    pub fn route(&self, from: NetAddr, dst: NetAddr) -> Option<Vec<LinkId>> {
+        if from == dst {
+            return Some(Vec::new());
+        }
+        let mut inner = self.inner.borrow_mut();
+        let mut at = from;
+        let mut path = Vec::new();
+        while at != dst {
+            let lid = inner.next_hop(at, dst)?;
+            path.push(lid);
+            at = inner.links[lid.0 as usize].to;
+            if path.len() > inner.nodes.len() {
+                return None; // routing loop guard (cannot happen with BFS)
+            }
+        }
+        Some(path)
+    }
+
+    /// Estimate the QoS achievable on the path `from → dst` for packets of
+    /// `mtu` bytes, used as the provider's offer in end-to-end QoS
+    /// negotiation: throughput is the tightest link bandwidth, delay the
+    /// sum of propagation and per-hop serialisation, jitter the sum of the
+    /// links' maximum jitter, and the error rates the route's combined loss
+    /// and bit-error probabilities.
+    pub fn path_qos(&self, from: NetAddr, dst: NetAddr, mtu: usize) -> Option<QosParams> {
+        let route = self.route(from, dst)?;
+        let inner = self.inner.borrow();
+        let mut throughput = Bandwidth::bps(u64::MAX);
+        let mut delay = SimDuration::ZERO;
+        let mut jitter = SimDuration::ZERO;
+        let mut p_deliver = 1.0f64;
+        let mut p_intact = 1.0f64;
+        for lid in route {
+            let p = inner.links[lid.0 as usize].link.params();
+            throughput = throughput.min(p.bandwidth);
+            delay += p.propagation + p.bandwidth.transmission_time(mtu);
+            jitter += match p.jitter {
+                crate::link::JitterModel::None => SimDuration::ZERO,
+                crate::link::JitterModel::Uniform(m) => m,
+                crate::link::JitterModel::Exponential(m) => m.saturating_mul(10),
+            };
+            p_deliver *= 1.0 - p.loss.as_prob();
+            p_intact *= 1.0 - p.bit_error.as_prob();
+        }
+        Some(QosParams {
+            throughput,
+            delay,
+            jitter,
+            packet_error_rate: ErrorRate::from_prob(1.0 - p_deliver),
+            bit_error_rate: ErrorRate::from_prob(1.0 - p_intact),
+        })
+    }
+
+    /// Reserve `bandwidth` for `vc` along the route `from → dst`
+    /// (ST-II-style, §7). Fails with `NoRoute` mapped to
+    /// [`AdmissionError::InsufficientBandwidth`] semantics kept separate:
+    /// returns `None` if the nodes are not connected at all.
+    pub fn reserve_path(
+        &self,
+        vc: VcId,
+        from: NetAddr,
+        dst: NetAddr,
+        bandwidth: Bandwidth,
+    ) -> Option<Result<(), AdmissionError>> {
+        let route = self.route(from, dst)?;
+        let mut inner = self.inner.borrow_mut();
+        let with_caps: Vec<(LinkId, Bandwidth)> = route
+            .iter()
+            .map(|&lid| (lid, inner.links[lid.0 as usize].link.params().bandwidth))
+            .collect();
+        Some(inner.reservations.admit(vc, &with_caps, bandwidth))
+    }
+
+    /// Release any reservation held by `vc`.
+    pub fn release_reservation(&self, vc: VcId) {
+        self.inner.borrow_mut().reservations.release(vc);
+    }
+
+    /// Adjust `vc`'s reservation to `bandwidth` in place (QoS
+    /// renegotiation support, §4.1.3).
+    pub fn renegotiate_reservation(
+        &self,
+        vc: VcId,
+        bandwidth: Bandwidth,
+    ) -> Result<(), AdmissionError> {
+        let mut inner = self.inner.borrow_mut();
+        let caps: std::collections::HashMap<LinkId, Bandwidth> = inner
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LinkId(i as u32), l.link.params().bandwidth))
+            .collect();
+        inner.reservations.renegotiate(vc, &caps, bandwidth)
+    }
+
+    /// The bandwidth still reservable along `from → dst` (the tightest
+    /// unreserved share over the route), or `None` if unreachable.
+    pub fn available_bandwidth(&self, from: NetAddr, dst: NetAddr) -> Option<Bandwidth> {
+        let route = self.route(from, dst)?;
+        let inner = self.inner.borrow();
+        let mut avail = Bandwidth::bps(u64::MAX);
+        for lid in route {
+            let cap = inner.links[lid.0 as usize].link.params().bandwidth;
+            avail = avail.min(inner.reservations.available_on(lid, cap));
+        }
+        Some(avail)
+    }
+
+    /// Number of live reservations (for experiments).
+    pub fn reservation_count(&self) -> usize {
+        self.inner.borrow().reservations.count()
+    }
+
+    /// Inject a packet at `from` and route it toward `pkt.dst`.
+    ///
+    /// Local delivery (`from == pkt.dst`) is scheduled after a fixed 10 µs
+    /// intra-host hop, preserving "no handler runs inside its caller".
+    pub fn send(&self, from: NetAddr, pkt: Packet) {
+        if from == pkt.dst {
+            let net = self.clone();
+            self.engine
+                .schedule_in(SimDuration::from_micros(10), move |_| {
+                    net.arrive(pkt.dst, pkt);
+                });
+            return;
+        }
+        self.hop(from, pkt);
+    }
+
+    /// Forward `pkt` one hop from `at`.
+    fn hop(&self, at: NetAddr, pkt: Packet) {
+        let now = self.engine.now();
+        let (outcome, next) = {
+            let mut inner = self.inner.borrow_mut();
+            let lid = match inner.next_hop(at, pkt.dst) {
+                Some(l) => l,
+                None => {
+                    inner.counters.no_route += 1;
+                    return;
+                }
+            };
+            let ls = &mut inner.links[lid.0 as usize];
+            let next = ls.to;
+            let outcome = ls.link.submit(now, pkt.class, pkt.wire_size);
+            (outcome, next)
+        };
+        match outcome {
+            LinkOutcome::Deliver { arrival, corrupted } => {
+                let mut pkt = pkt;
+                pkt.corrupted |= corrupted;
+                let net = self.clone();
+                self.engine.schedule_at(arrival, move |_| {
+                    if pkt.dst == next {
+                        net.arrive(next, pkt);
+                    } else {
+                        net.hop(next, pkt);
+                    }
+                });
+            }
+            LinkOutcome::Drop(DropReason::QueueOverflow) => {
+                self.inner.borrow_mut().counters.queue_overflow += 1;
+            }
+            LinkOutcome::Drop(DropReason::Loss) => {
+                self.inner.borrow_mut().counters.link_loss += 1;
+            }
+        }
+    }
+
+    /// Final delivery at the destination node.
+    fn arrive(&self, node: NetAddr, pkt: Packet) {
+        let handler = {
+            let mut inner = self.inner.borrow_mut();
+            let h = inner.nodes[node.0 as usize].handler.clone();
+            if h.is_some() {
+                inner.counters.delivered += 1;
+            } else {
+                inner.counters.no_handler += 1;
+            }
+            h
+        };
+        if let Some(h) = handler {
+            h.on_packet(self, node, pkt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// Collects every packet delivered to it, with arrival times.
+    pub struct Collector {
+        pub got: RefCell<Vec<(SimTime, Packet)>>,
+    }
+
+    impl Collector {
+        pub fn new() -> Rc<Collector> {
+            Rc::new(Collector {
+                got: RefCell::new(Vec::new()),
+            })
+        }
+    }
+
+    impl NodeHandler for Collector {
+        fn on_packet(&self, net: &Network, _at: NetAddr, pkt: Packet) {
+            self.got.borrow_mut().push((net.engine().now(), pkt));
+        }
+    }
+
+    fn line3() -> (Network, NetAddr, NetAddr, NetAddr, Rc<Collector>) {
+        // a --10Mb/1ms-- b --10Mb/1ms-- c
+        let net = Network::new(Engine::new());
+        let mut rng = DetRng::from_seed(11);
+        let a = net.add_node(NodeClock::perfect());
+        let b = net.add_node(NodeClock::perfect());
+        let c = net.add_node(NodeClock::perfect());
+        let p = LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1));
+        net.add_duplex(a, b, p.clone(), &mut rng);
+        net.add_duplex(b, c, p, &mut rng);
+        let col = Collector::new();
+        net.set_handler(c, col.clone());
+        (net, a, b, c, col)
+    }
+
+    #[test]
+    fn multi_hop_delivery_and_timing() {
+        let (net, a, _b, c, col) = line3();
+        // 1250 B: 1 ms tx + 1 ms prop per hop = 4 ms total.
+        net.send(
+            a,
+            Packet::control(a, c, 1250, net.engine().now(), "x"),
+        );
+        net.engine().run();
+        let got = col.got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, SimTime::from_millis(4));
+        assert_eq!(got[0].1.payload_as::<&str>(), Some(&"x"));
+    }
+
+    #[test]
+    fn route_is_shortest() {
+        let (net, a, b, c, _) = line3();
+        assert_eq!(net.route(a, c).unwrap().len(), 2);
+        assert_eq!(net.route(a, b).unwrap().len(), 1);
+        assert_eq!(net.route(a, a).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unreachable_is_counted() {
+        let net = Network::new(Engine::new());
+        let a = net.add_node(NodeClock::perfect());
+        let _lonely = net.add_node(NodeClock::perfect());
+        net.send(
+            a,
+            Packet::control(a, NetAddr(1), 100, SimTime::ZERO, ()),
+        );
+        net.engine().run();
+        assert_eq!(net.counters().no_route, 1);
+    }
+
+    #[test]
+    fn local_delivery_loops_back() {
+        let net = Network::new(Engine::new());
+        let a = net.add_node(NodeClock::perfect());
+        let col = Collector::new();
+        net.set_handler(a, col.clone());
+        net.send(a, Packet::control(a, a, 10, SimTime::ZERO, 7u32));
+        net.engine().run();
+        assert_eq!(col.got.borrow().len(), 1);
+        assert_eq!(col.got.borrow()[0].0, SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn no_handler_is_counted_not_fatal() {
+        let (net, a, _b, c, _col) = line3();
+        // Remove handler by pointing packets at b (which has none).
+        net.send(a, Packet::control(a, NetAddr(1), 100, SimTime::ZERO, ()));
+        let _ = c;
+        net.engine().run();
+        assert_eq!(net.counters().no_handler, 1);
+    }
+
+    #[test]
+    fn path_qos_estimates_route() {
+        let (net, a, _b, c, _) = line3();
+        let q = net.path_qos(a, c, 1250).unwrap();
+        assert_eq!(q.throughput, Bandwidth::mbps(10));
+        // 2 × (1 ms prop + 1 ms tx).
+        assert_eq!(q.delay, SimDuration::from_millis(4));
+        assert_eq!(q.jitter, SimDuration::ZERO);
+        assert_eq!(q.packet_error_rate, ErrorRate::ZERO);
+    }
+
+    #[test]
+    fn data_class_carries_vc_and_queues() {
+        use cm_core::address::VcId;
+        let (net, a, _b, c, col) = line3();
+        for i in 0..3u64 {
+            net.send(
+                a,
+                Packet::data(a, c, VcId(1), 12_500, SimTime::ZERO, i),
+            );
+        }
+        net.engine().run();
+        let got = col.got.borrow();
+        assert_eq!(got.len(), 3);
+        // 12.5 KB at 10 Mb/s = 10 ms tx per packet per hop; pipelined over
+        // two hops: first arrives at 22 ms, then every 10 ms.
+        assert_eq!(got[0].0, SimTime::from_millis(22));
+        assert_eq!(got[1].0, SimTime::from_millis(32));
+        assert_eq!(got[2].0, SimTime::from_millis(42));
+        // FIFO payload order preserved.
+        let tags: Vec<u64> = got
+            .iter()
+            .map(|(_, p)| *p.payload_as::<u64>().unwrap())
+            .collect();
+        assert_eq!(tags, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen")]
+    fn topology_freezes_after_routing() {
+        let (net, a, b, _c, _) = line3();
+        net.route(a, b);
+        net.add_link(
+            a,
+            b,
+            LinkParams::clean(Bandwidth::mbps(1), SimDuration::ZERO),
+            DetRng::from_seed(0),
+        );
+    }
+
+    #[test]
+    fn skewed_node_clock_readable() {
+        let net = Network::new(Engine::new());
+        let a = net.add_node(NodeClock::with_skew(100));
+        net.engine().schedule_at(SimTime::from_secs(10_000), |_| {});
+        net.engine().run();
+        assert_eq!(net.local_time(a), SimTime::from_secs(10_001));
+    }
+}

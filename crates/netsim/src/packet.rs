@@ -1,0 +1,143 @@
+//! Packets as carried by the simulated network.
+//!
+//! Payloads are typed, not serialised: a packet carries an `Rc<dyn Any>`
+//! plus an explicit wire size, so upper layers exchange real TPDU structures
+//! while the simulator charges authentic transmission time. Bit errors are
+//! modelled as a `corrupted` flag (the checksum the real protocol would
+//! compute is simulated by the flag — error-control classes decide what to
+//! do about it).
+
+use cm_core::address::{NetAddr, VcId};
+use cm_core::time::SimTime;
+use std::any::Any;
+use std::rc::Rc;
+
+/// Traffic class, for link scheduling.
+///
+/// The paper requires the orchestrator's out-of-band connections to "have
+/// guaranteed bandwidth to support the necessary real-time communication of
+/// orchestration primitives" (§5); links here serve control traffic with
+/// strict priority over data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketClass {
+    /// Connection-management and orchestration PDUs (priority).
+    Control,
+    /// Media TPDUs.
+    Data,
+}
+
+/// One simulated network packet.
+#[derive(Clone)]
+pub struct Packet {
+    /// Originating end-system.
+    pub src: NetAddr,
+    /// Destination end-system.
+    pub dst: NetAddr,
+    /// The VC this packet belongs to, if any (reserved VCs get their
+    /// reserved share at each hop; `None` rides best-effort).
+    pub vc: Option<VcId>,
+    /// Control or data, for priority queueing.
+    pub class: PacketClass,
+    /// Bytes on the wire, including headers — what transmission time is
+    /// charged for.
+    pub wire_size: usize,
+    /// Set by the link's bit-error process; detected by error control.
+    pub corrupted: bool,
+    /// Global time the packet entered the network at its source.
+    pub sent_at: SimTime,
+    /// The typed payload (a TPDU, an OPDU, an RPC message…).
+    pub payload: Rc<dyn Any>,
+}
+
+impl Packet {
+    /// Construct a control-class packet.
+    pub fn control<T: Any>(
+        src: NetAddr,
+        dst: NetAddr,
+        wire_size: usize,
+        sent_at: SimTime,
+        payload: T,
+    ) -> Packet {
+        Packet {
+            src,
+            dst,
+            vc: None,
+            class: PacketClass::Control,
+            wire_size,
+            corrupted: false,
+            sent_at,
+            payload: Rc::new(payload),
+        }
+    }
+
+    /// Construct a data-class packet belonging to a VC.
+    pub fn data<T: Any>(
+        src: NetAddr,
+        dst: NetAddr,
+        vc: VcId,
+        wire_size: usize,
+        sent_at: SimTime,
+        payload: T,
+    ) -> Packet {
+        Packet {
+            src,
+            dst,
+            vc: Some(vc),
+            class: PacketClass::Data,
+            wire_size,
+            corrupted: false,
+            sent_at,
+            payload: Rc::new(payload),
+        }
+    }
+
+    /// Downcast the payload to a concrete type.
+    pub fn payload_as<T: Any>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+}
+
+impl std::fmt::Debug for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Packet")
+            .field("src", &self.src)
+            .field("dst", &self.dst)
+            .field("vc", &self.vc)
+            .field("class", &self.class)
+            .field("wire_size", &self.wire_size)
+            .field("corrupted", &self.corrupted)
+            .field("sent_at", &self.sent_at)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_downcast() {
+        #[derive(Debug, PartialEq)]
+        struct Tpdu(u32);
+        let p = Packet::data(
+            NetAddr(0),
+            NetAddr(1),
+            VcId(9),
+            1000,
+            SimTime::ZERO,
+            Tpdu(42),
+        );
+        assert_eq!(p.payload_as::<Tpdu>(), Some(&Tpdu(42)));
+        assert_eq!(p.payload_as::<String>(), None);
+        assert_eq!(p.vc, Some(VcId(9)));
+        assert_eq!(p.class, PacketClass::Data);
+    }
+
+    #[test]
+    fn control_packets_have_no_vc_by_default() {
+        let p = Packet::control(NetAddr(0), NetAddr(1), 64, SimTime::ZERO, "hello");
+        assert_eq!(p.vc, None);
+        assert_eq!(p.class, PacketClass::Control);
+        assert!(!p.corrupted);
+    }
+}

@@ -1,0 +1,274 @@
+//! Resource reservation with admission control.
+//!
+//! The paper assumes that "a network level resource reservation protocol
+//! such as ST-II or SRP will need to be used to guarantee resources in
+//! intermediate nodes" (§7), and that for CM VCs "resources must be
+//! explicitly reserved" (§3.1). This module provides that substrate: a
+//! per-link bandwidth ledger with admission control over a route. A
+//! connection is admitted only if every link along its route still has the
+//! requested bandwidth unreserved; otherwise the connection request fails
+//! with `AdmissionDenied` and the already-admitted connections keep their
+//! guarantees.
+
+use crate::network::LinkId;
+use cm_core::address::VcId;
+use cm_core::time::Bandwidth;
+use std::collections::HashMap;
+
+/// Why admission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// This link cannot supply the requested bandwidth on top of existing
+    /// reservations.
+    InsufficientBandwidth {
+        /// The bottleneck link.
+        link: LinkId,
+        /// What remains unreserved there.
+        available: Bandwidth,
+        /// What was requested.
+        requested: Bandwidth,
+    },
+    /// The VC already holds a reservation (renegotiate instead).
+    AlreadyReserved,
+}
+
+#[derive(Debug, Clone)]
+struct Record {
+    route: Vec<LinkId>,
+    bandwidth: Bandwidth,
+}
+
+/// The bandwidth ledger.
+///
+/// `utilisation_percent` caps how much of each link's raw capacity is
+/// reservable (default 100); operators leave headroom for control traffic
+/// by lowering it.
+#[derive(Debug)]
+pub struct ReservationTable {
+    reserved: HashMap<LinkId, Bandwidth>,
+    records: HashMap<VcId, Record>,
+    utilisation_percent: u64,
+}
+
+impl Default for ReservationTable {
+    fn default() -> Self {
+        ReservationTable::new(100)
+    }
+}
+
+impl ReservationTable {
+    /// A ledger allowing reservation of `utilisation_percent`% of each
+    /// link's capacity.
+    pub fn new(utilisation_percent: u64) -> ReservationTable {
+        assert!(
+            (1..=100).contains(&utilisation_percent),
+            "utilisation must be 1..=100"
+        );
+        ReservationTable {
+            reserved: HashMap::new(),
+            records: HashMap::new(),
+            utilisation_percent,
+        }
+    }
+
+    /// Bandwidth currently reserved on `link`.
+    pub fn reserved_on(&self, link: LinkId) -> Bandwidth {
+        self.reserved.get(&link).copied().unwrap_or(Bandwidth::ZERO)
+    }
+
+    /// Bandwidth still reservable on `link` given its raw `capacity`.
+    pub fn available_on(&self, link: LinkId, capacity: Bandwidth) -> Bandwidth {
+        let cap = Bandwidth::bps(capacity.as_bps() * self.utilisation_percent / 100);
+        cap.saturating_sub(self.reserved_on(link))
+    }
+
+    /// Admit `vc` over `route` (link id + raw capacity pairs) at
+    /// `bandwidth`. All-or-nothing: on failure no link is charged.
+    pub fn admit(
+        &mut self,
+        vc: VcId,
+        route: &[(LinkId, Bandwidth)],
+        bandwidth: Bandwidth,
+    ) -> Result<(), AdmissionError> {
+        if self.records.contains_key(&vc) {
+            return Err(AdmissionError::AlreadyReserved);
+        }
+        for &(link, capacity) in route {
+            let available = self.available_on(link, capacity);
+            if bandwidth > available {
+                return Err(AdmissionError::InsufficientBandwidth {
+                    link,
+                    available,
+                    requested: bandwidth,
+                });
+            }
+        }
+        for &(link, _) in route {
+            let r = self.reserved.entry(link).or_insert(Bandwidth::ZERO);
+            *r = *r + bandwidth;
+        }
+        self.records.insert(
+            vc,
+            Record {
+                route: route.iter().map(|&(l, _)| l).collect(),
+                bandwidth,
+            },
+        );
+        Ok(())
+    }
+
+    /// Release the reservation held by `vc` (no-op if it holds none).
+    pub fn release(&mut self, vc: VcId) {
+        if let Some(rec) = self.records.remove(&vc) {
+            for link in rec.route {
+                if let Some(r) = self.reserved.get_mut(&link) {
+                    *r = r.saturating_sub(rec.bandwidth);
+                }
+            }
+        }
+    }
+
+    /// Adjust an existing reservation to `new_bandwidth` in place — the
+    /// transport's QoS renegotiation (§4.1.3) maps to this. All-or-nothing;
+    /// on failure the old reservation stands.
+    pub fn renegotiate(
+        &mut self,
+        vc: VcId,
+        capacities: &HashMap<LinkId, Bandwidth>,
+        new_bandwidth: Bandwidth,
+    ) -> Result<(), AdmissionError> {
+        let rec = match self.records.get(&vc) {
+            Some(r) => r.clone(),
+            None => return Err(AdmissionError::AlreadyReserved),
+        };
+        if new_bandwidth > rec.bandwidth {
+            let extra = new_bandwidth - rec.bandwidth;
+            for link in &rec.route {
+                let capacity = capacities.get(link).copied().unwrap_or(Bandwidth::ZERO);
+                let available = self.available_on(*link, capacity);
+                if extra > available {
+                    return Err(AdmissionError::InsufficientBandwidth {
+                        link: *link,
+                        available,
+                        requested: extra,
+                    });
+                }
+            }
+        }
+        for link in &rec.route {
+            let r = self
+                .reserved
+                .get_mut(link)
+                .expect("reserved entry for admitted route");
+            *r = r.saturating_sub(rec.bandwidth) + new_bandwidth;
+        }
+        self.records
+            .get_mut(&vc)
+            .expect("record just read")
+            .bandwidth = new_bandwidth;
+        Ok(())
+    }
+
+    /// The bandwidth `vc` holds, if any.
+    pub fn bandwidth_of(&self, vc: VcId) -> Option<Bandwidth> {
+        self.records.get(&vc).map(|r| r.bandwidth)
+    }
+
+    /// Number of live reservations.
+    pub fn count(&self) -> usize {
+        self.records.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route2() -> Vec<(LinkId, Bandwidth)> {
+        vec![
+            (LinkId(0), Bandwidth::mbps(10)),
+            (LinkId(1), Bandwidth::mbps(10)),
+        ]
+    }
+
+    #[test]
+    fn admit_and_release_roundtrip() {
+        let mut t = ReservationTable::default();
+        t.admit(VcId(1), &route2(), Bandwidth::mbps(4)).unwrap();
+        assert_eq!(t.reserved_on(LinkId(0)), Bandwidth::mbps(4));
+        assert_eq!(t.bandwidth_of(VcId(1)), Some(Bandwidth::mbps(4)));
+        t.release(VcId(1));
+        assert_eq!(t.reserved_on(LinkId(0)), Bandwidth::ZERO);
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn admission_denied_when_full() {
+        let mut t = ReservationTable::default();
+        t.admit(VcId(1), &route2(), Bandwidth::mbps(7)).unwrap();
+        let err = t.admit(VcId(2), &route2(), Bandwidth::mbps(4)).unwrap_err();
+        match err {
+            AdmissionError::InsufficientBandwidth {
+                link, available, ..
+            } => {
+                assert_eq!(link, LinkId(0));
+                assert_eq!(available, Bandwidth::mbps(3));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Failure charged nothing extra.
+        assert_eq!(t.reserved_on(LinkId(0)), Bandwidth::mbps(7));
+    }
+
+    #[test]
+    fn all_or_nothing_on_partial_route() {
+        let mut t = ReservationTable::default();
+        // Link 1 is nearly full; link 0 is empty.
+        t.admit(VcId(1), &[(LinkId(1), Bandwidth::mbps(10))], Bandwidth::mbps(9))
+            .unwrap();
+        let r = t.admit(VcId(2), &route2(), Bandwidth::mbps(2));
+        assert!(r.is_err());
+        assert_eq!(t.reserved_on(LinkId(0)), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn duplicate_vc_rejected() {
+        let mut t = ReservationTable::default();
+        t.admit(VcId(1), &route2(), Bandwidth::mbps(1)).unwrap();
+        assert_eq!(
+            t.admit(VcId(1), &route2(), Bandwidth::mbps(1)),
+            Err(AdmissionError::AlreadyReserved)
+        );
+    }
+
+    #[test]
+    fn utilisation_cap_leaves_headroom() {
+        let mut t = ReservationTable::new(80);
+        let r = t.admit(VcId(1), &route2(), Bandwidth::mbps(9));
+        assert!(r.is_err());
+        t.admit(VcId(2), &route2(), Bandwidth::mbps(8)).unwrap();
+    }
+
+    #[test]
+    fn renegotiate_up_and_down() {
+        let mut t = ReservationTable::default();
+        let caps: HashMap<LinkId, Bandwidth> = route2().into_iter().collect();
+        t.admit(VcId(1), &route2(), Bandwidth::mbps(4)).unwrap();
+        // Up within capacity.
+        t.renegotiate(VcId(1), &caps, Bandwidth::mbps(9)).unwrap();
+        assert_eq!(t.reserved_on(LinkId(1)), Bandwidth::mbps(9));
+        // Up beyond capacity fails, old reservation stands.
+        assert!(t.renegotiate(VcId(1), &caps, Bandwidth::mbps(11)).is_err());
+        assert_eq!(t.bandwidth_of(VcId(1)), Some(Bandwidth::mbps(9)));
+        // Down always succeeds.
+        t.renegotiate(VcId(1), &caps, Bandwidth::mbps(1)).unwrap();
+        assert_eq!(t.reserved_on(LinkId(0)), Bandwidth::mbps(1));
+    }
+
+    #[test]
+    fn release_unknown_vc_is_noop() {
+        let mut t = ReservationTable::default();
+        t.release(VcId(99));
+        assert_eq!(t.count(), 0);
+    }
+}

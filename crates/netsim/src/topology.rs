@@ -1,0 +1,226 @@
+//! Ready-made topologies mirroring the Lancaster testbed (§2.1).
+//!
+//! The experimental configuration in the paper was small: "two PC based
+//! multimedia workstations, a Sun 4/UNIX based multimedia workstation and a
+//! PC based storage server" joined by a high-speed network emulator. The
+//! builders here reproduce that shape (plus the star/line generalisations
+//! the experiments sweep over) so tests and benches share one vocabulary.
+
+use crate::clock::NodeClock;
+use crate::engine::Engine;
+use crate::link::{JitterModel, LinkParams};
+use crate::network::Network;
+use cm_core::address::NetAddr;
+use cm_core::qos::ErrorRate;
+use cm_core::rng::DetRng;
+use cm_core::time::{Bandwidth, SimDuration};
+
+/// A built testbed: the network plus the roles of its nodes.
+pub struct Testbed {
+    /// The network itself.
+    pub net: Network,
+    /// The switch at the centre (the "network emulator").
+    pub switch: NetAddr,
+    /// Workstation nodes (sinks and interactive sources).
+    pub workstations: Vec<NetAddr>,
+    /// Storage-server nodes (stored-media sources).
+    pub servers: Vec<NetAddr>,
+}
+
+/// Parameters for building a testbed.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// Number of workstations.
+    pub workstations: usize,
+    /// Number of storage servers.
+    pub servers: usize,
+    /// Access-link bandwidth (each node ↔ switch).
+    pub bandwidth: Bandwidth,
+    /// Access-link propagation delay.
+    pub propagation: SimDuration,
+    /// Optional per-node propagation override, cycled across nodes in
+    /// creation order (workstations then servers); empty = uniform
+    /// `propagation`. Models heterogeneous paths (fig. 2's hosts at
+    /// different network distances).
+    pub propagation_steps: Vec<SimDuration>,
+    /// Jitter on every link.
+    pub jitter: JitterModel,
+    /// Loss on every link.
+    pub loss: ErrorRate,
+    /// Bit-error rate on every link.
+    pub bit_error: ErrorRate,
+    /// Link queue capacity in bytes.
+    pub queue_capacity: usize,
+    /// Clock skew applied to each node, in ppm, cycling through this list
+    /// (empty = all perfect). The switch clock is always perfect.
+    pub clock_skews_ppm: Vec<i32>,
+    /// Seed for all link random processes.
+    pub seed: u64,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            workstations: 3,
+            servers: 1,
+            bandwidth: Bandwidth::mbps(100),
+            propagation: SimDuration::from_millis(1),
+            propagation_steps: Vec::new(),
+            jitter: JitterModel::None,
+            loss: ErrorRate::ZERO,
+            bit_error: ErrorRate::ZERO,
+            queue_capacity: 1 << 20,
+            clock_skews_ppm: Vec::new(),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl TestbedConfig {
+    /// The paper's own configuration: two PC workstations, one Sun
+    /// workstation, one storage server (§2.1), on a clean fast emulator.
+    pub fn lancaster() -> TestbedConfig {
+        TestbedConfig::default()
+    }
+
+    fn link_params(&self) -> LinkParams {
+        LinkParams {
+            bandwidth: self.bandwidth,
+            propagation: self.propagation,
+            jitter: self.jitter,
+            loss: self.loss,
+            bit_error: self.bit_error,
+            queue_capacity: self.queue_capacity,
+        }
+    }
+
+    /// Build a star: every workstation and server has a duplex link to a
+    /// central switch.
+    pub fn build(&self, engine: Engine) -> Testbed {
+        let net = Network::new(engine);
+        let mut rng = DetRng::from_seed(self.seed);
+        let mut skews = self.clock_skews_ppm.iter().copied().cycle();
+        let mut next_clock = move |list_empty: bool| {
+            if list_empty {
+                NodeClock::perfect()
+            } else {
+                NodeClock::with_skew(skews.next().expect("cycled iterator"))
+            }
+        };
+        let empty = self.clock_skews_ppm.is_empty();
+
+        let switch = net.add_node(NodeClock::perfect());
+        let params = self.link_params();
+        let prop_for = |i: usize| -> SimDuration {
+            if self.propagation_steps.is_empty() {
+                self.propagation
+            } else {
+                self.propagation_steps[i % self.propagation_steps.len()]
+            }
+        };
+        let mut idx = 0usize;
+        let mut workstations = Vec::new();
+        for _ in 0..self.workstations {
+            let w = net.add_node(next_clock(empty));
+            let mut p = params.clone();
+            p.propagation = prop_for(idx);
+            idx += 1;
+            net.add_duplex(w, switch, p, &mut rng);
+            workstations.push(w);
+        }
+        let mut servers = Vec::new();
+        for _ in 0..self.servers {
+            let s = net.add_node(next_clock(empty));
+            let mut p = params.clone();
+            p.propagation = prop_for(idx);
+            idx += 1;
+            net.add_duplex(s, switch, p, &mut rng);
+            servers.push(s);
+        }
+        Testbed {
+            net,
+            switch,
+            workstations,
+            servers,
+        }
+    }
+}
+
+/// Build a simple two-node duplex network (source ↔ sink) — the workhorse
+/// of the transport-level tests.
+pub fn two_node(engine: Engine, params: LinkParams, seed: u64) -> (Network, NetAddr, NetAddr) {
+    let net = Network::new(engine);
+    let mut rng = DetRng::from_seed(seed);
+    let a = net.add_node(NodeClock::perfect());
+    let b = net.add_node(NodeClock::perfect());
+    net.add_duplex(a, b, params, &mut rng);
+    (net, a, b)
+}
+
+/// Build a line of `n` nodes with duplex links, returning the node list —
+/// used by the multi-hop reservation experiments.
+pub fn line(engine: Engine, n: usize, params: LinkParams, seed: u64) -> (Network, Vec<NetAddr>) {
+    assert!(n >= 2, "a line needs at least two nodes");
+    let net = Network::new(engine);
+    let mut rng = DetRng::from_seed(seed);
+    let nodes: Vec<NetAddr> = (0..n).map(|_| net.add_node(NodeClock::perfect())).collect();
+    for w in nodes.windows(2) {
+        net.add_duplex(w[0], w[1], params.clone(), &mut rng);
+    }
+    (net, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lancaster_testbed_shape() {
+        let tb = TestbedConfig::lancaster().build(Engine::new());
+        assert_eq!(tb.workstations.len(), 3);
+        assert_eq!(tb.servers.len(), 1);
+        assert_eq!(tb.net.node_count(), 5);
+        // Every node reaches every other through the switch (2 hops).
+        let r = tb
+            .net
+            .route(tb.servers[0], tb.workstations[2])
+            .expect("route exists");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn clock_skews_cycle_over_nodes() {
+        let tb = TestbedConfig {
+            clock_skews_ppm: vec![100, -100],
+            ..TestbedConfig::default()
+        }
+        .build(Engine::new());
+        assert_eq!(tb.net.clock(tb.workstations[0]).skew_ppm, 100);
+        assert_eq!(tb.net.clock(tb.workstations[1]).skew_ppm, -100);
+        assert_eq!(tb.net.clock(tb.workstations[2]).skew_ppm, 100);
+        assert_eq!(tb.net.clock(tb.switch).skew_ppm, 0);
+    }
+
+    #[test]
+    fn line_topology_routes_end_to_end() {
+        let (net, nodes) = line(
+            Engine::new(),
+            5,
+            LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1)),
+            7,
+        );
+        let r = net.route(nodes[0], nodes[4]).unwrap();
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn two_node_is_symmetric() {
+        let (net, a, b) = two_node(
+            Engine::new(),
+            LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1)),
+            7,
+        );
+        assert_eq!(net.route(a, b).unwrap().len(), 1);
+        assert_eq!(net.route(b, a).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests on the network substrate: engine ordering and
+//! determinism, link timing invariants, reservation-ledger conservation,
+//! and clock conversion round-trips.
+
+use cm_core::address::VcId;
+use cm_core::qos::ErrorRate;
+use cm_core::rng::DetRng;
+use cm_core::time::{Bandwidth, SimDuration, SimTime};
+use netsim::link::{Link, LinkOutcome};
+use netsim::reservation::ReservationTable;
+use netsim::{Engine, JitterModel, LinkId, LinkParams, NodeClock, PacketClass};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    /// Events fire in exact (time, insertion) order regardless of the
+    /// order they were scheduled in.
+    #[test]
+    fn engine_orders_events(times in proptest::collection::vec(0u64..1_000, 1..100)) {
+        let e = Engine::new();
+        let fired: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &t) in times.iter().enumerate() {
+            let f = fired.clone();
+            e.schedule_at(SimTime::from_micros(t), move |e| {
+                f.borrow_mut().push((e.now().as_micros(), i));
+            });
+        }
+        e.run();
+        let log = fired.borrow();
+        prop_assert_eq!(log.len(), times.len());
+        for w in log.windows(2) {
+            // Time non-decreasing; FIFO among equal times.
+            prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+
+    /// Data arrivals on one link are FIFO and never precede the physical
+    /// minimum (serialisation + propagation).
+    #[test]
+    fn link_arrivals_fifo_and_causal(
+        sizes in proptest::collection::vec(1usize..10_000, 1..100),
+        jitter_ms in 0u64..20,
+        seed in 0u64..1_000,
+    ) {
+        let params = LinkParams {
+            jitter: if jitter_ms == 0 {
+                JitterModel::None
+            } else {
+                JitterModel::Uniform(SimDuration::from_millis(jitter_ms))
+            },
+            queue_capacity: usize::MAX >> 1,
+            ..LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(2))
+        };
+        let mut link = Link::new(params, DetRng::from_seed(seed));
+        let mut last_arrival = SimTime::ZERO;
+        for (i, &size) in sizes.iter().enumerate() {
+            let now = SimTime::from_micros(i as u64 * 100);
+            match link.submit(now, PacketClass::Data, size) {
+                LinkOutcome::Deliver { arrival, .. } => {
+                    prop_assert!(arrival >= last_arrival, "FIFO violated");
+                    // Causality: at least serialisation + propagation.
+                    let min = now
+                        + Bandwidth::mbps(10).transmission_time(size)
+                        + SimDuration::from_millis(2);
+                    prop_assert!(arrival >= min, "arrival {arrival} before physical minimum {min}");
+                    last_arrival = arrival;
+                }
+                LinkOutcome::Drop(_) => {}
+            }
+        }
+    }
+
+    /// The same seed yields the same loss/corruption/arrival pattern.
+    #[test]
+    fn link_is_deterministic(seed in 0u64..10_000) {
+        let params = LinkParams {
+            loss: ErrorRate::from_prob(0.1),
+            bit_error: ErrorRate::from_prob(0.05),
+            jitter: JitterModel::Exponential(SimDuration::from_millis(3)),
+            ..LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1))
+        };
+        let run = || {
+            let mut link = Link::new(params.clone(), DetRng::from_seed(seed));
+            (0..200u64)
+                .map(|i| {
+                    format!(
+                        "{:?}",
+                        link.submit(SimTime::from_micros(i * 500), PacketClass::Data, 1_000)
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Reservation ledger: any sequence of admissions and releases leaves
+    /// per-link reserved bandwidth equal to the sum of live reservations,
+    /// and admission never oversubscribes.
+    #[test]
+    fn reservation_ledger_conserves(
+        ops in proptest::collection::vec((0u8..2, 0u64..10, 1u64..6), 1..100),
+    ) {
+        let capacity = Bandwidth::mbps(10);
+        let route = [(LinkId(0), capacity), (LinkId(1), capacity)];
+        let mut table = ReservationTable::default();
+        let mut live: std::collections::HashMap<u64, u64> = Default::default();
+        for (op, vc, mbps) in ops {
+            match op {
+                0 => {
+                    let r = table.admit(VcId(vc), &route, Bandwidth::mbps(mbps));
+                    if r.is_ok() {
+                        prop_assert!(!live.contains_key(&vc), "double admit accepted");
+                        live.insert(vc, mbps);
+                    }
+                }
+                _ => {
+                    table.release(VcId(vc));
+                    live.remove(&vc);
+                }
+            }
+            let total: u64 = live.values().sum();
+            prop_assert!(total <= 10, "oversubscribed: {total} Mb/s on 10 Mb/s");
+            prop_assert_eq!(
+                table.reserved_on(LinkId(0)),
+                Bandwidth::mbps(total)
+            );
+            prop_assert_eq!(
+                table.reserved_on(LinkId(1)),
+                Bandwidth::mbps(total)
+            );
+        }
+    }
+
+    /// Clock conversions round-trip within 1 µs for any plausible skew.
+    #[test]
+    fn clock_roundtrip(ppm in -10_000i32..10_000, secs in 0u64..1_000_000) {
+        let c = NodeClock::with_skew(ppm);
+        let g = SimTime::from_secs(secs);
+        let back = c.global_of(c.local_of(g));
+        prop_assert!(g.as_micros().abs_diff(back.as_micros()) <= 1);
+    }
+
+    /// run_until never executes events beyond the deadline and always
+    /// advances the clock to it.
+    #[test]
+    fn run_until_respects_deadline(times in proptest::collection::vec(0u64..2_000, 1..50), deadline in 0u64..2_000) {
+        let e = Engine::new();
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        for &t in &times {
+            let f = fired.clone();
+            e.schedule_at(SimTime::from_micros(t), move |e| {
+                f.borrow_mut().push(e.now().as_micros());
+            });
+        }
+        e.run_until(SimTime::from_micros(deadline));
+        prop_assert!(fired.borrow().iter().all(|&t| t <= deadline));
+        prop_assert_eq!(
+            fired.borrow().len(),
+            times.iter().filter(|&&t| t <= deadline).count()
+        );
+        prop_assert_eq!(e.now(), SimTime::from_micros(deadline));
+    }
+}

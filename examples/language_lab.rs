@@ -1,0 +1,135 @@
+//! The language laboratory of §3.6: "separate audio tracks in different
+//! languages are stored on a single server but are to be distributed to
+//! different workstations in a real-time interactive language lesson."
+//!
+//! The common node here is the *source* (the storage server), which
+//! therefore becomes the orchestrating node (fig. 5). Each student
+//! workstation has its own clock; the lesson must stay in step across all
+//! of them, both free-running (drifts) and orchestrated (doesn't).
+//!
+//! Run with: `cargo run --example language_lab`
+
+use cm_core::media::MediaProfile;
+use cm_core::time::{SimDuration, SimTime};
+use cm_media::{SkewMeter, StoredClip};
+use cm_orchestration::{FailureAction, OrchestrationPolicy};
+use cm_platform::{MonitorDevice, Platform, StorageServer};
+use netsim::{Engine, TestbedConfig};
+use std::cell::Cell;
+use std::rc::Rc;
+
+const STUDENTS: usize = 4;
+const STUDENT_SKEWS_PPM: [i32; STUDENTS] = [2500, -2500, 1200, 0];
+
+struct LessonOutcome {
+    skews_ms: Vec<(f64, f64)>, // (t seconds, skew ms)
+    worst_ms: f64,
+}
+
+fn run_lesson(orchestrated: bool) -> LessonOutcome {
+    let mut skews = STUDENT_SKEWS_PPM.to_vec();
+    skews.push(0); // the server — datum clock
+    let tb = TestbedConfig {
+        workstations: STUDENTS,
+        servers: 1,
+        clock_skews_ppm: skews,
+        ..TestbedConfig::default()
+    }
+    .build(Engine::new());
+    let server_node = tb.servers[0];
+
+    let platform = Platform::new(tb.net.clone());
+    for &n in tb.workstations.iter().chain(tb.servers.iter()) {
+        platform.install_node(n);
+    }
+
+    let profile = MediaProfile::audio_telephone();
+    let server = StorageServer::new(&platform, server_node);
+    // One track per language; for the experiment they are equal-length.
+    for lang in ["english", "french", "german", "spanish"] {
+        server.store(lang, StoredClip::cbr_for(&profile, 240));
+    }
+
+    // One stream per student (all from the same server — the common node).
+    let streams: Vec<_> = tb
+        .workstations
+        .iter()
+        .map(|&ws| platform.create_stream(server_node, &[ws], profile.clone()))
+        .collect();
+    for s in &streams {
+        s.await_open(SimDuration::from_millis(200));
+    }
+    let sources: Vec<_> = streams
+        .iter()
+        .zip(["english", "french", "german", "spanish"])
+        .map(|(s, lang)| server.play(lang, s))
+        .collect();
+    let sinks: Vec<_> = streams
+        .iter()
+        .zip(&tb.workstations)
+        .map(|(s, &ws)| MonitorDevice::new(&platform, ws).attach(s, &profile))
+        .collect();
+
+    if orchestrated {
+        let refs: Vec<&cm_platform::Stream> = streams.iter().map(|s| s.as_ref()).collect();
+        let started = Rc::new(Cell::new(false));
+        let s2 = started.clone();
+        platform
+            .orchestrate_streams(
+                &refs,
+                OrchestrationPolicy {
+                    max_drop_per_interval: 0,
+                    on_failure: FailureAction::DelayThenStop,
+                    failure_patience: 2,
+                    ..OrchestrationPolicy::default()
+                },
+                move |r| {
+                r.expect("lesson start");
+                s2.set(true);
+            },
+            )
+            .expect("orchestrate");
+        platform.engine().run_for(SimDuration::from_secs(182));
+        assert!(started.get());
+    } else {
+        for (src, sink) in sources.iter().zip(&sinks) {
+            src.start_producing();
+            sink.play();
+        }
+        platform.engine().run_for(SimDuration::from_secs(182));
+    }
+
+    let meter = SkewMeter::new(
+        sinks
+            .iter()
+            .map(|s| (profile.osdu_rate, s.log.borrow().clone()))
+            .collect(),
+    );
+    let (series, mut stats) = meter.series(
+        SimTime::from_secs(2),
+        SimTime::from_secs(180),
+        SimDuration::from_secs(6),
+    );
+    LessonOutcome {
+        skews_ms: series
+            .iter()
+            .map(|(t, s)| (t.as_secs_f64(), s.as_micros() as f64 / 1000.0))
+            .collect(),
+        worst_ms: stats.max() / 1000.0,
+    }
+}
+
+fn main() {
+    println!("language lab: {STUDENTS} students, clock skews {STUDENT_SKEWS_PPM:?} ppm\n");
+    let free = run_lesson(false);
+    let orch = run_lesson(true);
+    println!("{:>6} {:>14} {:>14}", "t (s)", "free skew (ms)", "orch skew (ms)");
+    for (f, o) in free.skews_ms.iter().zip(&orch.skews_ms).step_by(3) {
+        println!("{:>6.0} {:>14.1} {:>14.1}", f.0, f.1, o.1);
+    }
+    println!(
+        "\nworst-case inter-student skew: free {:.1} ms vs orchestrated {:.1} ms",
+        free.worst_ms, orch.worst_ms
+    );
+    assert!(orch.worst_ms < free.worst_ms, "orchestration must win");
+}

@@ -1,0 +1,102 @@
+//! Quickstart: lip-synchronised film play-out (the paper's motivating
+//! example, §1/§3.6).
+//!
+//! A film's sound track and picture track are stored on two different
+//! storage servers whose clocks drift apart. Both are streamed to one
+//! workstation; the orchestration service starts them together and keeps
+//! them in lip sync.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cm_core::media::MediaProfile;
+use cm_core::time::{SimDuration, SimTime};
+use cm_media::{SkewMeter, StoredClip};
+use cm_orchestration::OrchestrationPolicy;
+use cm_platform::{MonitorDevice, Platform, StorageServer};
+use netsim::{Engine, TestbedConfig};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn main() {
+    // 1. A small testbed: one workstation, two storage servers whose
+    //    clocks drift ±3000 ppm (exaggerated crystal error so the effect
+    //    shows within a minute; see EXPERIMENTS.md E1 for the sweep).
+    let tb = TestbedConfig {
+        workstations: 1,
+        servers: 2,
+        clock_skews_ppm: vec![0, 3000, -3000],
+        ..TestbedConfig::default()
+    }
+    .build(Engine::new());
+    let workstation = tb.workstations[0];
+
+    // 2. Install the platform on every node.
+    let platform = Platform::new(tb.net.clone());
+    for &n in tb.workstations.iter().chain(tb.servers.iter()) {
+        platform.install_node(n);
+    }
+
+    // 3. Store the film's two tracks on their servers.
+    let audio_profile = MediaProfile::audio_telephone();
+    let video_profile = MediaProfile::video_mono();
+    let audio_server = StorageServer::new(&platform, tb.servers[0]);
+    audio_server.store("film/sound", StoredClip::cbr_for(&audio_profile, 120));
+    let video_server = StorageServer::new(&platform, tb.servers[1]);
+    video_server.store("film/picture", StoredClip::cbr_for(&video_profile, 120));
+
+    // 4. Create one Stream per track (simplex, QoS-negotiated — §3.1/§3.2).
+    let audio = platform.create_stream(tb.servers[0], &[workstation], audio_profile.clone());
+    let video = platform.create_stream(tb.servers[1], &[workstation], video_profile.clone());
+    audio.await_open(SimDuration::from_millis(200));
+    video.await_open(SimDuration::from_millis(200));
+    println!("streams open:");
+    println!("  audio contract: {}", platform.service(tb.servers[0]).contract(audio.vc()).unwrap());
+    println!("  video contract: {}", platform.service(tb.servers[1]).contract(video.vc()).unwrap());
+
+    // 5. Attach devices.
+    let _audio_src = audio_server.play("film/sound", &audio);
+    let _video_src = video_server.play("film/picture", &video);
+    let monitor = MonitorDevice::new(&platform, workstation);
+    let speaker = monitor.attach(&audio, &audio_profile);
+    let screen = monitor.attach(&video, &video_profile);
+
+    // 6. Orchestrate: establish the session, prime the pipelines, start
+    //    atomically, and let the fig.-6 regulation loop hold lip sync.
+    let started = Rc::new(Cell::new(false));
+    let s2 = started.clone();
+    let agent = platform
+        .orchestrate_streams(&[&audio, &video], OrchestrationPolicy::lip_sync(), move |r| {
+            r.expect("orchestrated start");
+            s2.set(true);
+        })
+        .expect("orchestrate");
+
+    // 7. Play one simulated minute.
+    platform.engine().run_for(SimDuration::from_secs(62));
+    assert!(started.get());
+
+    // 8. Report.
+    let meter = SkewMeter::new(vec![
+        (audio_profile.osdu_rate, speaker.log.borrow().clone()),
+        (video_profile.osdu_rate, screen.log.borrow().clone()),
+    ]);
+    println!("\nafter 60 s of play-out:");
+    println!("  audio presented: {:>6} blocks ({} underruns)", speaker.log.borrow().len(), speaker.underruns.get());
+    println!("  video presented: {:>6} frames ({} underruns)", screen.log.borrow().len(), screen.underruns.get());
+    let (series, mut stats) = meter.series(
+        SimTime::from_secs(2),
+        SimTime::from_secs(60),
+        SimDuration::from_secs(2),
+    );
+    println!("  lip-sync skew: mean {:.1} ms, worst {:.1} ms (±80 ms is detectable)",
+        stats.mean() / 1000.0,
+        stats.max() / 1000.0,
+    );
+    print!("  skew trace (s → ms):");
+    for (t, skew) in series.iter().step_by(5) {
+        print!(" {:.0}→{:.0}", t.as_secs_f64(), skew.as_micros() as f64 / 1000.0);
+    }
+    println!();
+    let drops: u64 = agent.history().iter().map(|r| r.dropped).sum();
+    println!("  regulation intervals: {}, source drops: {}", agent.history().len(), drops);
+}

@@ -1,0 +1,5 @@
+//! Cross-crate integration tests (see `tests/` alongside this file).
+//!
+//! The per-crate suites cover each layer in isolation; the tests here
+//! exercise the full stack the way the paper's applications did and pin
+//! the service-interface conformance artefacts (tables 1–6, figure 3).

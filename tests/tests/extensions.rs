@@ -1,0 +1,240 @@
+//! Extension coverage: 1:N stream fan-out carrying data (§3.8's CM
+//! multicast shape), dynamic Orch.Add joining a regulated session, and
+//! multi-hop resource reservation.
+
+use cm_core::media::MediaProfile;
+use cm_core::qos::QosTolerance;
+use cm_core::service_class::ServiceClass;
+use cm_core::time::{Bandwidth, SimDuration, SimTime};
+use cm_media::{PlayoutSink, SinkDriver, StoredClip};
+use cm_orchestration::OrchestrationPolicy;
+use cm_platform::{MonitorDevice, Platform, StorageServer};
+use cm_testkit::scenario::MediaStream;
+use cm_testkit::{FilmScenario, StackConfig};
+use netsim::{line, Engine, LinkParams, TestbedConfig};
+use std::cell::Cell;
+use std::rc::Rc;
+
+#[test]
+fn stream_fan_out_delivers_to_every_sink() {
+    // One audio track to three student workstations via one Stream (§3.8:
+    // "in a CM based multicast session a simple 1:N topology is usually
+    // all that is required").
+    let tb = TestbedConfig {
+        workstations: 3,
+        servers: 1,
+        ..TestbedConfig::default()
+    }
+    .build(Engine::new());
+    let platform = Platform::new(tb.net.clone());
+    for &n in tb.workstations.iter().chain(tb.servers.iter()) {
+        platform.install_node(n);
+    }
+    let profile = MediaProfile::audio_telephone();
+    let server = StorageServer::new(&platform, tb.servers[0]);
+    server.store("track", StoredClip::cbr_for(&profile, 30));
+    let stream = platform.create_stream(tb.servers[0], &tb.workstations, profile.clone());
+    stream.await_open(SimDuration::from_millis(500));
+    assert_eq!(stream.vcs().len(), 3);
+
+    // One source actor per branch (the storage server replicates at the
+    // source — §3.8 leaves multicast to the subnetwork; source replication
+    // is the 1:N shape over unicast links).
+    let sources: Vec<_> = stream
+        .branches
+        .iter()
+        .map(|b| {
+            let src = cm_media::StoredSource::new(
+                platform.service(tb.servers[0]),
+                b.vc,
+                StoredClip::cbr_for(&profile, 30).reader(),
+            );
+            src.start_producing();
+            src
+        })
+        .collect();
+    let sinks: Vec<Rc<PlayoutSink>> = tb
+        .workstations
+        .iter()
+        .map(|&ws| {
+            let s = MonitorDevice::new(&platform, ws).attach(&stream, &profile);
+            s.play();
+            s
+        })
+        .collect();
+    platform.engine().run_for(SimDuration::from_secs(10));
+    for (i, s) in sinks.iter().enumerate() {
+        let n = s.log.borrow().len();
+        assert!((480..=505).contains(&n), "sink {i} presented {n}");
+    }
+    drop(sources);
+}
+
+#[test]
+fn orch_add_brings_a_late_stream_under_regulation() {
+    // Start a film; 5 s in, add a captions VC to the live session: it gets
+    // regulated (interval records appear for it).
+    let f = FilmScenario::build((0, 0), 60, StackConfig::default());
+    let started = Rc::new(Cell::new(false));
+    let s2 = started.clone();
+    let agent = f
+        .stack
+        .hlo
+        .orchestrate_and_start(
+            &[f.audio.vc, f.video.vc],
+            OrchestrationPolicy::default(),
+            move |r| {
+                r.expect("start");
+                s2.set(true);
+            },
+        )
+        .expect("orchestrate");
+    f.stack.run_for(SimDuration::from_secs(5));
+    assert!(started.get());
+
+    let caption_profile = MediaProfile::text_captions();
+    let captions = MediaStream::build(
+        &f.stack,
+        f.stack.tb.servers[0],
+        f.workstation,
+        &caption_profile,
+        &StoredClip::cbr_for(&caption_profile, 60),
+    );
+    captions.source.start_producing();
+    captions.sink.play();
+    let added = Rc::new(Cell::new(false));
+    let a2 = added.clone();
+    agent.llo().add_vc(agent.session(), captions.vc, move |r| {
+        r.expect("add");
+        a2.set(true);
+    });
+    f.stack.run_for(SimDuration::from_secs(10));
+    assert!(added.get(), "Orch.Add must confirm");
+    // Note: the agent regulates VCs from its setup list; the added VC is
+    // part of the LLO session (taps, group ops). Removing it detaches
+    // cleanly while data keeps flowing (table 5).
+    let presented_before = captions.sink.log.borrow().len();
+    agent.llo().remove_vc(agent.session(), captions.vc);
+    f.stack.run_for(SimDuration::from_secs(5));
+    let presented_after = captions.sink.log.borrow().len();
+    assert!(
+        presented_after > presented_before,
+        "removed VC must keep flowing (§6.2.4)"
+    );
+}
+
+#[test]
+fn multi_hop_reservation_and_renegotiation() {
+    // A 5-node line: reservations are charged on every hop; admission
+    // fails end-to-end when any hop is full; renegotiation adjusts all.
+    let (net, nodes) = line(
+        Engine::new(),
+        5,
+        LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1)),
+        17,
+    );
+    use cm_core::address::VcId;
+    let (a, e) = (nodes[0], nodes[4]);
+    // 6 Mb/s over the full line.
+    net.reserve_path(VcId(1), a, e, Bandwidth::mbps(6))
+        .expect("route")
+        .expect("admit");
+    // A crossing 6 Mb/s flow over the middle hop must be refused...
+    let r = net
+        .reserve_path(VcId(2), nodes[1], nodes[3], Bandwidth::mbps(6))
+        .expect("route");
+    assert!(r.is_err(), "middle hops are charged");
+    // ...but fits after the first VC renegotiates down to 3 Mb/s.
+    net.renegotiate_reservation(VcId(1), Bandwidth::mbps(3))
+        .expect("renegotiate");
+    net.reserve_path(VcId(2), nodes[1], nodes[3], Bandwidth::mbps(6))
+        .expect("route")
+        .expect("admit after renegotiation");
+    // Available bandwidth reflects both reservations on the middle hop.
+    let avail = net.available_bandwidth(nodes[1], nodes[3]).expect("route");
+    assert_eq!(avail, Bandwidth::mbps(1));
+    // Releases restore capacity.
+    net.release_reservation(VcId(1));
+    net.release_reservation(VcId(2));
+    assert_eq!(
+        net.available_bandwidth(a, e).expect("route"),
+        Bandwidth::mbps(10)
+    );
+}
+
+#[test]
+fn hard_guarantee_monitoring_still_reports() {
+    // A hard-guarantee VC is monitored too: if the provider fails (here:
+    // the source simply stops, violating the throughput floor), the
+    // indication still fires — the "at least an indication should be
+    // provided" clause of §3.2.
+    let mut cfg = StackConfig::default();
+    cfg.testbed.workstations = 1;
+    cfg.testbed.servers = 1;
+    let stack = cm_testkit::Stack::build(cfg);
+    let mut req = MediaProfile::audio_telephone().requirement();
+    req.guarantee = cm_core::qos::GuaranteeMode::Hard;
+    let vc = stack.connect(
+        stack.tb.servers[0],
+        stack.tb.workstations[0],
+        ServiceClass::cm_default(),
+        req,
+    );
+    // 1 s of data, then silence.
+    let clip = StoredClip::cbr_for(&MediaProfile::audio_telephone(), 1);
+    let src = cm_media::StoredSource::new(stack.node(stack.tb.servers[0]).svc.clone(), vc, clip.reader());
+    src.start_producing();
+    let sink = PlayoutSink::new(
+        stack.node(stack.tb.workstations[0]).svc.clone(),
+        vc,
+        MediaProfile::audio_telephone().osdu_rate,
+    );
+    SinkDriver::register(&stack.node(stack.tb.workstations[0]).llo, vc, &sink);
+    sink.play();
+    stack.run_for(SimDuration::from_secs(4));
+    let reports = stack
+        .node(stack.tb.workstations[0])
+        .user
+        .qos_reports
+        .borrow()
+        .len();
+    assert!(reports >= 1, "hard-guarantee violations must be indicated");
+}
+
+#[test]
+fn renegotiation_during_active_orchestration_survives() {
+    // Upgrade the video contract while the orchestrated film plays: the
+    // session keeps regulating, playout never stops, skew stays bounded.
+    let f = FilmScenario::build((1000, -1000), 60, StackConfig::default());
+    let started = Rc::new(Cell::new(false));
+    let s2 = started.clone();
+    let agent = f
+        .stack
+        .hlo
+        .orchestrate_and_start(
+            &[f.audio.vc, f.video.vc],
+            OrchestrationPolicy::lip_sync(),
+            move |r| {
+                r.expect("start");
+                s2.set(true);
+            },
+        )
+        .expect("orchestrate");
+    f.stack.run_for(SimDuration::from_secs(10));
+    assert!(started.get());
+    // Ask for more headroom on the video VC.
+    let tol: QosTolerance = MediaProfile::video_colour().tolerance(75);
+    f.stack
+        .node(f.stack.tb.servers[1])
+        .svc
+        .t_renegotiate_request(f.video.vc, tol)
+        .expect("renegotiate");
+    f.stack.run_for(SimDuration::from_secs(20));
+    let meter = f.skew_meter();
+    let skew = meter.skew_at(SimTime::from_secs(28)).expect("skew");
+    assert!(
+        skew <= SimDuration::from_millis(80),
+        "skew {skew} after mid-session renegotiation"
+    );
+    assert!(!agent.history().is_empty());
+}

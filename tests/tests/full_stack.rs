@@ -1,0 +1,168 @@
+//! Whole-stack integration: the paper's application scenarios running
+//! end-to-end through the platform API, long-haul stability, and
+//! bit-exact determinism of the entire stack.
+
+use cm_core::media::MediaProfile;
+use cm_core::time::{SimDuration, SimTime};
+use cm_media::{SkewMeter, StoredClip};
+use cm_orchestration::OrchestrationPolicy;
+use cm_platform::{MonitorDevice, Platform, StorageServer};
+use cm_testkit::{FilmScenario, StackConfig};
+use netsim::{Engine, TestbedConfig};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn film_platform(skews: Vec<i32>) -> (Platform, Vec<cm_core::address::NetAddr>, Vec<cm_core::address::NetAddr>) {
+    let tb = TestbedConfig {
+        workstations: 1,
+        servers: 2,
+        clock_skews_ppm: skews,
+        ..TestbedConfig::default()
+    }
+    .build(Engine::new());
+    let platform = Platform::new(tb.net.clone());
+    for &n in tb.workstations.iter().chain(tb.servers.iter()) {
+        platform.install_node(n);
+    }
+    (platform, tb.workstations, tb.servers)
+}
+
+#[test]
+fn quickstart_scenario_holds_lip_sync() {
+    let (platform, ws, servers) = film_platform(vec![0, 3000, -3000]);
+    let audio_p = MediaProfile::audio_telephone();
+    let video_p = MediaProfile::video_mono();
+    let audio_server = StorageServer::new(&platform, servers[0]);
+    audio_server.store("a", StoredClip::cbr_for(&audio_p, 90));
+    let video_server = StorageServer::new(&platform, servers[1]);
+    video_server.store("v", StoredClip::cbr_for(&video_p, 90));
+    let audio = platform.create_stream(servers[0], &[ws[0]], audio_p.clone());
+    let video = platform.create_stream(servers[1], &[ws[0]], video_p.clone());
+    audio.await_open(SimDuration::from_millis(500));
+    video.await_open(SimDuration::from_millis(500));
+    let _as = audio_server.play("a", &audio);
+    let _vs = video_server.play("v", &video);
+    let monitor = MonitorDevice::new(&platform, ws[0]);
+    let speaker = monitor.attach(&audio, &audio_p);
+    let screen = monitor.attach(&video, &video_p);
+    let started = Rc::new(Cell::new(false));
+    let s2 = started.clone();
+    let _agent = platform
+        .orchestrate_streams(&[&audio, &video], OrchestrationPolicy::lip_sync(), move |r| {
+            r.expect("start");
+            s2.set(true);
+        })
+        .expect("orchestrate");
+    platform.engine().run_for(SimDuration::from_secs(60));
+    assert!(started.get());
+    let meter = SkewMeter::new(vec![
+        (audio_p.osdu_rate, speaker.log.borrow().clone()),
+        (video_p.osdu_rate, screen.log.borrow().clone()),
+    ]);
+    for t in [15u64, 30, 45, 55] {
+        let skew = meter.skew_at(SimTime::from_secs(t)).expect("skew");
+        assert!(
+            skew <= SimDuration::from_millis(80),
+            "lip-sync broken at {t}s: {skew}"
+        );
+    }
+}
+
+#[test]
+fn long_haul_session_stays_stable() {
+    // 30 simulated minutes of drifting film: skew stays bounded, drops
+    // stay proportionate, nothing wedges.
+    let f = FilmScenario::build((1000, -1000), 1900, StackConfig::default());
+    let started = Rc::new(Cell::new(false));
+    let s2 = started.clone();
+    let agent = f
+        .stack
+        .hlo
+        .orchestrate_and_start(
+            &[f.audio.vc, f.video.vc],
+            OrchestrationPolicy::lip_sync(),
+            move |r| {
+                r.expect("start");
+                s2.set(true);
+            },
+        )
+        .expect("orchestrate");
+    f.stack.run_for(SimDuration::from_secs(1800));
+    assert!(started.get());
+    let meter = f.skew_meter();
+    for t in [300u64, 900, 1500, 1790] {
+        let skew = meter.skew_at(SimTime::from_secs(t)).expect("skew");
+        assert!(
+            skew <= SimDuration::from_millis(80),
+            "skew {skew} at {t}s of a 30-minute session"
+        );
+    }
+    // The regulation loop ran the whole time.
+    let records = agent.history().len();
+    assert!(records > 7000, "only {records} interval records in 30 min");
+    // Audio kept flowing: ~50/s for 30 min.
+    let presented = f.audio.sink.log.borrow().len();
+    assert!(presented > 88_000, "audio presented only {presented}");
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || -> (usize, usize, u64, Vec<(u64, u64)>) {
+        let f = FilmScenario::build((2000, -2000), 40, StackConfig::default());
+        let _agent = f
+            .stack
+            .hlo
+            .orchestrate_and_start(
+                &[f.audio.vc, f.video.vc],
+                OrchestrationPolicy::lip_sync(),
+                |r| r.expect("start"),
+            )
+            .expect("orchestrate");
+        f.stack.run_for(SimDuration::from_secs(30));
+        let audio: Vec<(u64, u64)> = f
+            .audio
+            .sink
+            .log
+            .borrow()
+            .iter()
+            .map(|p| (p.at.as_micros(), p.seq))
+            .collect();
+        let counts = (
+            f.audio.sink.log.borrow().len(),
+            f.video.sink.log.borrow().len(),
+            f.stack.engine().executed(),
+        );
+        (counts.0, counts.1, counts.2, audio)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2, "event counts must match exactly");
+    assert_eq!(a.3, b.3, "presentation timelines must match to the microsecond");
+}
+
+#[test]
+fn quality_change_mid_film_keeps_playing() {
+    // §3.3's dynamic QoS: upgrade the video stream mono → colour while the
+    // film plays; the stream never stops.
+    let (platform, ws, servers) = film_platform(vec![0, 0, 0]);
+    let video_p = MediaProfile::video_mono();
+    let server = StorageServer::new(&platform, servers[0]);
+    server.store("v", StoredClip::cbr_for(&video_p, 60));
+    let video = platform.create_stream(servers[0], &[ws[0]], video_p.clone());
+    video.await_open(SimDuration::from_millis(500));
+    let src = server.play("v", &video);
+    src.start_producing();
+    let screen = MonitorDevice::new(&platform, ws[0]).attach(&video, &video_p);
+    screen.play();
+    platform.engine().run_for(SimDuration::from_secs(10));
+    let before = screen.log.borrow().len();
+    video.set_quality(MediaProfile::video_colour());
+    platform.engine().run_for(SimDuration::from_secs(10));
+    let after = screen.log.borrow().len();
+    // ~25 f/s throughout: no stall around the upgrade.
+    assert!(after - before > 240, "only {} frames across the upgrade", after - before);
+    let contract = platform.service(servers[0]).contract(video.vc()).expect("contract");
+    assert!(contract.throughput >= MediaProfile::video_colour().nominal_throughput());
+}

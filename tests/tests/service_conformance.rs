@@ -1,0 +1,237 @@
+//! Service-interface conformance: the primitives of tables 1–3 occur in
+//! the sequences the paper's time-sequence diagrams prescribe, with the
+//! prescribed parameters. (The orchestration primitives of tables 4–6 are
+//! pinned by `cm-orchestration`'s end-to-end suite; figure 3's ordering is
+//! asserted here.)
+
+use cm_core::address::{AddressTriple, TransportAddr, Tsap, VcId};
+use cm_core::error::DisconnectReason;
+use cm_core::media::MediaProfile;
+use cm_core::qos::{QosParams, QosRequirement, QosTolerance};
+use cm_core::service_class::ServiceClass;
+use cm_core::time::{Bandwidth, SimDuration, SimTime};
+use cm_transport::{QosReport, TransportService, TransportUser};
+use netsim::{Engine, LinkParams, Network, NodeClock};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Records `(site, primitive)` in global arrival order.
+struct Recorder {
+    site: &'static str,
+    log: Rc<RefCell<Vec<(SimTime, &'static str, &'static str)>>>,
+}
+
+impl Recorder {
+    fn ev(&self, svc: &TransportService, what: &'static str) {
+        self.log.borrow_mut().push((svc.now(), self.site, what));
+    }
+}
+
+impl TransportUser for Recorder {
+    fn t_connect_indication(
+        &self,
+        svc: &TransportService,
+        vc: VcId,
+        _triple: AddressTriple,
+        _class: ServiceClass,
+        _qos: QosRequirement,
+    ) {
+        self.ev(svc, "T-Connect.indication");
+        svc.t_connect_response(vc, true).expect("respond");
+        self.ev(svc, "T-Connect.response");
+    }
+
+    fn t_connect_confirm(
+        &self,
+        svc: &TransportService,
+        _vc: VcId,
+        result: Result<QosParams, DisconnectReason>,
+    ) {
+        assert!(result.is_ok(), "conformance connect must succeed");
+        self.ev(svc, "T-Connect.confirm");
+    }
+
+    fn t_disconnect_indication(
+        &self,
+        svc: &TransportService,
+        _vc: VcId,
+        _reason: DisconnectReason,
+    ) {
+        self.ev(svc, "T-Disconnect.indication");
+    }
+
+    fn t_qos_indication(&self, svc: &TransportService, report: QosReport) {
+        // Table 2: the indication carries the contract, the measurement,
+        // the sample period, and the violated-parameter numbers.
+        assert!(!report.violations.is_empty());
+        assert!(!report.sample_period.is_zero());
+        self.ev(svc, "T-QoS.indication");
+    }
+
+    fn t_renegotiate_indication(
+        &self,
+        svc: &TransportService,
+        vc: VcId,
+        new_tolerance: QosTolerance,
+    ) {
+        assert!(new_tolerance.is_well_formed());
+        self.ev(svc, "T-Renegotiate.indication");
+        svc.t_renegotiate_response(vc, true).expect("respond");
+        self.ev(svc, "T-Renegotiate.response");
+    }
+
+    fn t_renegotiate_confirm(&self, svc: &TransportService, _vc: VcId, _qos: QosParams) {
+        self.ev(svc, "T-Renegotiate.confirm");
+    }
+}
+
+fn three_hosts() -> (
+    Network,
+    [TransportService; 3],
+    Rc<RefCell<Vec<(SimTime, &'static str, &'static str)>>>,
+) {
+    let net = Network::new(Engine::new());
+    let mut rng = cm_core::rng::DetRng::from_seed(33);
+    let h: Vec<_> = (0..3).map(|_| net.add_node(NodeClock::perfect())).collect();
+    let params = LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1));
+    net.add_duplex(h[0], h[1], params.clone(), &mut rng);
+    net.add_duplex(h[1], h[2], params.clone(), &mut rng);
+    net.add_duplex(h[0], h[2], params, &mut rng);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mk = |node, site| {
+        let svc = TransportService::install(&net, node, Default::default());
+        svc.bind(
+            Tsap(1),
+            Rc::new(Recorder {
+                site,
+                log: log.clone(),
+            }),
+        )
+        .expect("bind");
+        svc
+    };
+    let s0 = mk(h[0], "source");
+    let s1 = mk(h[1], "destination");
+    let s2 = mk(h[2], "initiator");
+    (net, [s0, s1, s2], log)
+}
+
+#[test]
+fn figure_3_sequence_holds() {
+    let (net, [s0, s1, s2], log) = three_hosts();
+    let triple = AddressTriple::remote(
+        TransportAddr { node: s2.node(), tsap: Tsap(1) },
+        TransportAddr { node: s0.node(), tsap: Tsap(1) },
+        TransportAddr { node: s1.node(), tsap: Tsap(1) },
+    );
+    s2.t_connect_request(
+        triple,
+        ServiceClass::cm_default(),
+        MediaProfile::audio_telephone().requirement(),
+    )
+    .expect("request");
+    net.engine().run_for(SimDuration::from_millis(100));
+    let seq: Vec<(&str, &str)> = log.borrow().iter().map(|&(_, s, p)| (s, p)).collect();
+    assert_eq!(
+        seq,
+        vec![
+            ("source", "T-Connect.indication"),
+            ("source", "T-Connect.response"),
+            ("destination", "T-Connect.indication"),
+            ("destination", "T-Connect.response"),
+            ("source", "T-Connect.confirm"),
+            ("initiator", "T-Connect.confirm"),
+        ],
+        "figure 3's time sequence must hold"
+    );
+    // And times strictly advance across hops.
+    let times: Vec<SimTime> = log.borrow().iter().map(|&(t, _, _)| t).collect();
+    for w in times.windows(2) {
+        assert!(w[1] >= w[0]);
+    }
+}
+
+#[test]
+fn table_1_2_3_primitive_exchanges() {
+    let (net, [s0, s1, _s2], log) = three_hosts();
+    let triple = AddressTriple::conventional(
+        TransportAddr { node: s0.node(), tsap: Tsap(1) },
+        TransportAddr { node: s1.node(), tsap: Tsap(1) },
+    );
+    let vc = s0
+        .t_connect_request(
+            triple,
+            ServiceClass::cm_default(),
+            MediaProfile::audio_telephone().requirement(),
+        )
+        .expect("request");
+    net.engine().run_for(SimDuration::from_millis(100));
+    assert!(s0.is_open(vc));
+
+    // T2: write briefly, then go silent — the throughput floor is violated
+    // over the next full sample period at the sink and reported to both
+    // ends.
+    for i in 0..50u64 {
+        let _ = s0.write_osdu(vc, cm_core::osdu::Payload::synthetic(i, 80), None);
+    }
+    net.engine().run_for(SimDuration::from_secs(3));
+
+    // T3: renegotiate upward; peer accepts; confirm delivered.
+    s0.t_renegotiate_request(vc, MediaProfile::audio_cd().tolerance(50))
+        .expect("renegotiate");
+    net.engine().run_for(SimDuration::from_millis(100));
+
+    // T1: release; peer gets the indication.
+    s0.t_disconnect_request(vc).expect("disconnect");
+    net.engine().run_for(SimDuration::from_millis(100));
+
+    let seq: Vec<(&str, &str)> = log.borrow().iter().map(|&(_, s, p)| (s, p)).collect();
+    let count = |site: &str, prim: &str| seq.iter().filter(|&&(s, p)| s == site && p == prim).count();
+    // Table 1.
+    assert_eq!(count("destination", "T-Connect.indication"), 1);
+    assert_eq!(count("destination", "T-Connect.response"), 1);
+    assert_eq!(count("source", "T-Connect.confirm"), 1);
+    assert_eq!(count("destination", "T-Disconnect.indication"), 1);
+    // Table 2 — degradations reported at both ends.
+    assert!(count("destination", "T-QoS.indication") >= 1, "{seq:?}");
+    assert!(count("source", "T-QoS.indication") >= 1);
+    // Table 3.
+    assert_eq!(count("destination", "T-Renegotiate.indication"), 1);
+    assert_eq!(count("destination", "T-Renegotiate.response"), 1);
+    assert_eq!(count("source", "T-Renegotiate.confirm"), 1);
+}
+
+#[test]
+fn remote_release_reaches_source_as_indication() {
+    // §4.1.1: a remote T-Disconnect.request arrives at the source as an
+    // indication; the attached application performs the actual release.
+    let (net, [s0, s1, s2], log) = three_hosts();
+    let triple = AddressTriple::remote(
+        TransportAddr { node: s2.node(), tsap: Tsap(1) },
+        TransportAddr { node: s0.node(), tsap: Tsap(1) },
+        TransportAddr { node: s1.node(), tsap: Tsap(1) },
+    );
+    let vc = s2
+        .t_connect_request(
+            triple,
+            ServiceClass::cm_default(),
+            MediaProfile::audio_telephone().requirement(),
+        )
+        .expect("request");
+    net.engine().run_for(SimDuration::from_millis(100));
+    assert!(s0.is_open(vc));
+    log.borrow_mut().clear();
+    s2.t_disconnect_request(vc).expect("remote release");
+    net.engine().run_for(SimDuration::from_millis(100));
+    let seq: Vec<(&str, &str)> = log.borrow().iter().map(|&(_, s, p)| (s, p)).collect();
+    assert!(
+        seq.contains(&("source", "T-Disconnect.indication")),
+        "the source user must see the remote release request: {seq:?}"
+    );
+    // The VC itself is *not* torn down until the source acts (§4.1.1).
+    assert!(s0.is_open(vc));
+    s0.t_disconnect_request(vc).expect("actual release");
+    net.engine().run_for(SimDuration::from_millis(100));
+    assert!(!s0.is_open(vc));
+    assert!(!s1.is_open(vc));
+}
