@@ -5,8 +5,8 @@ use cm_core::osdu::{Opdu, Payload};
 use cm_core::qos::QosParams;
 use cm_core::service_class::ErrorControlClass;
 use cm_core::time::{Rate, SimTime};
-use cm_transport::receiver::{SinkAction, SinkEngine};
 use cm_transport::rate::RateClock;
+use cm_transport::receiver::{SinkAction, SinkEngine};
 use cm_transport::tpdu::DataTpdu;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 

@@ -1,0 +1,176 @@
+//! Criterion bench: session-layer cost — room join/leave latency against a
+//! room with a live stream (graft + prune on the shared tree), and group
+//! fan-out throughput (OSDUs delivered per wall-clock second) for receiver
+//! counts N ∈ {1, 8, 64, 256}.
+
+use cm_core::address::NetAddr;
+use cm_core::address::VcId;
+use cm_core::media::MediaProfile;
+use cm_core::osdu::{Osdu, Payload};
+use cm_core::rng::DetRng;
+use cm_core::service_class::ServiceClass;
+use cm_core::time::{Bandwidth, SimDuration};
+use cm_platform::Platform;
+use cm_session::{Room, RoomMember, Session};
+use cm_transport::TransportService;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Counts arriving OSDUs; nothing else.
+#[derive(Default)]
+struct Counter {
+    heard: Cell<u64>,
+}
+
+impl RoomMember for Counter {
+    fn on_media(&self, _room: &str, _stream: &str, _osdu: Osdu) {
+        self.heard.set(self.heard.get() + 1);
+    }
+}
+
+struct Classroom {
+    net: netsim::Network,
+    /// Rooms hold only a weak ref to their session — keep it alive.
+    _session: Session,
+    room: Room,
+    /// One spare leaf node kept out of the room, for join/leave cycling.
+    spare: NetAddr,
+    stream_svc: TransportService,
+    vc: VcId,
+    counters: Vec<Rc<Counter>>,
+}
+
+/// Star of `n + 1` leaves (n admitted students + one spare), a room with a
+/// published telephone-audio stream, everyone joined and grafted.
+fn classroom(n: usize) -> Classroom {
+    let net = netsim::Network::new(netsim::Engine::new());
+    let mut rng = DetRng::from_seed(31);
+    let clean = netsim::LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1));
+    let nodes: Vec<NetAddr> = (0..n + 3)
+        .map(|_| net.add_node(netsim::NodeClock::perfect()))
+        .collect();
+    net.add_duplex(nodes[0], nodes[1], clean.clone(), &mut rng);
+    for (i, &leaf) in nodes[2..].iter().enumerate() {
+        net.add_link(nodes[1], leaf, clean.clone(), rng.fork(&format!("fwd{i}")));
+        net.add_link(leaf, nodes[1], clean.clone(), rng.fork(&format!("rev{i}")));
+    }
+    let platform = Platform::new(net.clone());
+    for &node in &nodes {
+        platform.install_node(node);
+    }
+    let session = Session::new(&platform);
+    let room = session.create_room("bench", nodes[0], n + 2);
+    let run = |ms: u64| net.engine().run_for(SimDuration::from_millis(ms));
+
+    let teacher_id = Rc::new(Cell::new(None));
+    let tid = teacher_id.clone();
+    room.join(nodes[0], "teacher", Rc::new(Counter::default()), move |r| {
+        tid.set(Some(r.expect("teacher joins")));
+    });
+    run(10);
+    let mut counters = Vec::new();
+    for i in 0..n {
+        let c = Rc::new(Counter::default());
+        counters.push(c.clone());
+        room.join(nodes[2 + i], &format!("s{i}"), c, |r| {
+            r.expect("student joins");
+        });
+        run(5);
+    }
+    let vc = room
+        .publish(
+            teacher_id.get().expect("teacher admitted"),
+            "lesson",
+            ServiceClass::cm_default(),
+            MediaProfile::audio_telephone().requirement(),
+        )
+        .expect("publish");
+    run(500);
+    let stream_svc = room.stream_service("lesson").expect("svc");
+    assert_eq!(stream_svc.group_receivers(vc).expect("receivers").len(), n);
+    Classroom {
+        spare: nodes[n + 2],
+        net,
+        _session: session,
+        room,
+        stream_svc,
+        vc,
+        counters,
+    }
+}
+
+/// Writes `total` 80-byte OSDUs as fast as the send buffer allows.
+fn drive_writer(svc: TransportService, vc: VcId, total: u64) {
+    let written = Rc::new(Cell::new(0u64));
+    fn step(svc: TransportService, vc: VcId, total: u64, written: Rc<Cell<u64>>) {
+        loop {
+            if written.get() >= total {
+                return;
+            }
+            match svc.write_osdu(vc, Payload::synthetic(written.get(), 80), None) {
+                Ok(true) => written.set(written.get() + 1),
+                Ok(false) => {
+                    let buf = svc.send_handle(vc).expect("send handle");
+                    let now = svc.now();
+                    let svc2 = svc.clone();
+                    let engine = svc.network().engine().clone();
+                    buf.park_producer(now, move || {
+                        let w = written.clone();
+                        engine.schedule_in(SimDuration::ZERO, move |_| step(svc2, vc, total, w));
+                    });
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+    step(svc, vc, total, written);
+}
+
+/// One join + leave cycle against a room with a live 8-receiver stream:
+/// QoS admission, tree graft, membership events, then the branch prune.
+fn room_join_leave(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session_membership");
+    g.sample_size(20);
+    let cl = classroom(8);
+    g.bench_function("join_leave_live_stream", |b| {
+        b.iter(|| {
+            let id = Rc::new(Cell::new(None));
+            let id2 = id.clone();
+            cl.room
+                .join(cl.spare, "cycler", Rc::new(Counter::default()), move |r| {
+                    id2.set(Some(r.expect("cycler joins")));
+                });
+            cl.net.engine().run_for(SimDuration::from_millis(50));
+            cl.room.leave(id.get().expect("cycler admitted"));
+            cl.net.engine().run_for(SimDuration::from_millis(50));
+        });
+    });
+    g.finish();
+}
+
+/// Deliver one simulated second of telephone audio (50 OSDUs) to N
+/// receivers over the shared tree; throughput counts delivered OSDUs.
+fn group_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session_fanout");
+    g.sample_size(10);
+    for n in [1usize, 8, 64, 256] {
+        let cl = classroom(n);
+        let osdus = 50u64;
+        g.throughput(Throughput::Elements(osdus * n as u64));
+        g.bench_with_input(BenchmarkId::new("osdus_delivered", n), &n, |b, _| {
+            b.iter(|| {
+                let before: u64 = cl.counters.iter().map(|c| c.heard.get()).sum();
+                drive_writer(cl.stream_svc.clone(), cl.vc, osdus);
+                cl.net.engine().run_for(SimDuration::from_millis(1_400));
+                let after: u64 = cl.counters.iter().map(|c| c.heard.get()).sum();
+                assert_eq!(after - before, osdus * n as u64, "fan-out short");
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, room_join_leave, group_fanout);
+criterion_main!(benches);

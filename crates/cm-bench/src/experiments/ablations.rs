@@ -84,7 +84,9 @@ pub fn a1_drop_spreading() {
 /// A2 — fig. 6: the regulation interval length trades control traffic
 /// against sync tightness.
 pub fn a2_interval_length() {
-    println!("A2: regulation interval length vs skew bound and control traffic (film, ±3000 ppm)\n");
+    println!(
+        "A2: regulation interval length vs skew bound and control traffic (film, ±3000 ppm)\n"
+    );
     let mut table = Table::new(&[
         "interval",
         "skew@60s (ms)",

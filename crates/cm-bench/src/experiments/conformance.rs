@@ -14,7 +14,7 @@ use cm_orchestration::OrchestrationPolicy;
 use cm_testkit::scenario::MediaStream;
 use cm_testkit::{FilmScenario, Stack, StackConfig};
 use cm_transport::{QosReport, TransportService, TransportUser};
-use netsim::{Engine, NodeClock, Network};
+use netsim::{Engine, Network, NodeClock};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -136,9 +136,18 @@ pub fn f3() -> bool {
         .expect("bind");
     }
     let triple = AddressTriple::remote(
-        TransportAddr { node: h3, tsap: Tsap(3) },
-        TransportAddr { node: h1, tsap: Tsap(1) },
-        TransportAddr { node: h2, tsap: Tsap(2) },
+        TransportAddr {
+            node: h3,
+            tsap: Tsap(3),
+        },
+        TransportAddr {
+            node: h1,
+            tsap: Tsap(1),
+        },
+        TransportAddr {
+            node: h2,
+            tsap: Tsap(2),
+        },
     );
     log.borrow_mut().push((
         net.engine().now(),
@@ -182,12 +191,22 @@ fn table1_2_3() {
         log: log.clone(),
         accept: true,
     });
-    stack.node(server).svc.bind(Tsap(10), src_user).expect("bind");
+    stack
+        .node(server)
+        .svc
+        .bind(Tsap(10), src_user)
+        .expect("bind");
     stack.node(ws).svc.bind(Tsap(20), dst_user).expect("bind");
     let req = MediaProfile::audio_telephone().requirement();
     let triple = AddressTriple::conventional(
-        TransportAddr { node: server, tsap: Tsap(10) },
-        TransportAddr { node: ws, tsap: Tsap(20) },
+        TransportAddr {
+            node: server,
+            tsap: Tsap(10),
+        },
+        TransportAddr {
+            node: ws,
+            tsap: Tsap(20),
+        },
     );
     log.borrow_mut().push((
         stack.engine().now(),
@@ -231,7 +250,11 @@ fn table1_2_3() {
         stack.engine().now(),
         format!("{:<12} T-Disconnect.request    {vc}", "source"),
     ));
-    stack.node(server).svc.t_disconnect_request(vc).expect("disconnect");
+    stack
+        .node(server)
+        .svc
+        .t_disconnect_request(vc)
+        .expect("disconnect");
     stack.run_for(SimDuration::from_millis(100));
     print_log(&log);
     println!();
@@ -253,7 +276,10 @@ fn tables_4_5_6() {
     f.stack.run_for(SimDuration::from_millis(100));
     t.row(&[
         "Orch.request / Orch.confirm".into(),
-        format!("session {} over 2 VCs accepted by all LLOs", agent.session()),
+        format!(
+            "session {} over 2 VCs accepted by all LLOs",
+            agent.session()
+        ),
     ]);
     let events = Rc::new(RefCell::new(Vec::new()));
     let e2 = events.clone();
@@ -286,7 +312,7 @@ fn tables_4_5_6() {
         ),
     ]);
     let h = agent.history();
-    let last = h.iter().filter(|r| r.vc == f.audio.vc).next_back();
+    let last = h.iter().rfind(|r| r.vc == f.audio.vc);
     if let Some(r) = last {
         t.row(&[
             "Orch.Regulate.request / indication".into(),
@@ -302,9 +328,7 @@ fn tables_4_5_6() {
     f.stack.run_for(SimDuration::from_secs(1));
     t.row(&[
         "Orch.Stop.request / confirm".into(),
-        format!(
-            "flows frozen (presented count stable at {frozen}), buffers retained"
-        ),
+        format!("flows frozen (presented count stable at {frozen}), buffers retained"),
     ]);
     // Add / remove a third VC.
     let extra_profile = MediaProfile::text_captions();
@@ -331,7 +355,10 @@ fn tables_4_5_6() {
     ]);
     t.row(&[
         "Orch.Event.request / indication".into(),
-        format!("pattern 0x5E registered; matches so far: {:?}", events.borrow()),
+        format!(
+            "pattern 0x5E registered; matches so far: {:?}",
+            events.borrow()
+        ),
     ]);
     t.row(&[
         "Orch.Delayed / Orch.Deny".into(),

@@ -8,8 +8,23 @@ pub mod sync;
 
 /// Every experiment id, in presentation order.
 pub const ALL: &[&str] = &[
-    "conformance", "f3", "f6", "f7", "e1", "e2", "e3", "e4", "e5", "e6",
-    "e7", "e9", "e10", "e11", "e12", "a1", "a2",
+    "conformance",
+    "f3",
+    "f6",
+    "f7",
+    "e1",
+    "e2",
+    "e3",
+    "e4",
+    "e5",
+    "e6",
+    "e7",
+    "e9",
+    "e10",
+    "e11",
+    "e12",
+    "a1",
+    "a2",
 ];
 
 /// Run one experiment by id; returns false for an unknown id.

@@ -151,9 +151,8 @@ pub fn e4_mux_vs_orch() {
                         buf.park_producer(now, move || {
                             let svc3 = svc2.clone();
                             let w3 = w2.clone();
-                            engine.schedule_in(SimDuration::ZERO, move |_| {
-                                pump(svc3, vc, total, w3)
-                            });
+                            engine
+                                .schedule_in(SimDuration::ZERO, move |_| pump(svc3, vc, total, w3));
                         });
                         return;
                     }

@@ -75,7 +75,11 @@ pub fn e7_admission() {
             let mean_under: f64 = if n == 0 {
                 0.0
             } else {
-                admitted.iter().map(|(_, s)| s.underruns.get() as f64).sum::<f64>() / n as f64
+                admitted
+                    .iter()
+                    .map(|(_, s)| s.underruns.get() as f64)
+                    .sum::<f64>()
+                    / n as f64
             };
             (n, mean_under)
         };
@@ -166,7 +170,11 @@ pub fn e10_diagnosis() {
             ServiceClass::cm_default(),
             profile.requirement(),
         );
-        let src = cm_media::StoredSource::new(stack.node(stack.tb.servers[0]).svc.clone(), vc, clip.reader());
+        let src = cm_media::StoredSource::new(
+            stack.node(stack.tb.servers[0]).svc.clone(),
+            vc,
+            clip.reader(),
+        );
         cm_media::SourceDriver::register(&stack.node(stack.tb.servers[0]).llo, vc, &src);
         // Sink pops at HALF the media rate.
         let sink = PlayoutSink::new(
@@ -204,7 +212,10 @@ pub fn e10_diagnosis() {
             clip.reader(),
             profile.osdu_rate.scaled(1, 2),
         );
-        stack.node(stack.tb.servers[0]).llo.register_app(vc, slow.clone());
+        stack
+            .node(stack.tb.servers[0])
+            .llo
+            .register_app(vc, slow.clone());
         slow.start();
         let sink = PlayoutSink::new(
             stack.node(stack.tb.workstations[0]).svc.clone(),
@@ -246,7 +257,11 @@ pub fn e10_diagnosis() {
             req,
         );
         let clip = StoredClip::cbr_for(&profile, 60);
-        let src = cm_media::StoredSource::new(stack.node(stack.tb.servers[0]).svc.clone(), vc, clip.reader());
+        let src = cm_media::StoredSource::new(
+            stack.node(stack.tb.servers[0]).svc.clone(),
+            vc,
+            clip.reader(),
+        );
         cm_media::SourceDriver::register(&stack.node(stack.tb.servers[0]).llo, vc, &src);
         let sink = PlayoutSink::new(
             stack.node(stack.tb.workstations[0]).svc.clone(),
@@ -268,7 +283,11 @@ pub fn e10_diagnosis() {
 }
 
 fn yesno(b: bool) -> String {
-    if b { "yes".into() } else { "NO".into() }
+    if b {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
 }
 
 /// Orchestrate one VC (no prime — the impaired pipelines would stall it),

@@ -148,11 +148,7 @@ pub fn e2_start_skew() {
             let hi = *firsts.iter().max().expect("streams present");
             (hi - lo) as f64
         };
-        table.row(&[
-            n.to_string(),
-            ms(spread(false)),
-            ms(spread(true)),
-        ]);
+        table.row(&[n.to_string(), ms(spread(false)), ms(spread(true))]);
     }
     table.print();
     println!("\n  expectation: naive skew reflects differing pipeline fill/first-arrival times;");
@@ -223,11 +219,20 @@ pub fn f7() {
     let ws = f.stack.node(f.workstation);
     let audio_buf = ws.svc.recv_handle(f.audio.vc).expect("audio buf");
     let video_buf = ws.svc.recv_handle(f.video.vc).expect("video buf");
-    let mut table = Table::new(&["t (ms)", "audio buf", "video buf", "audio presented", "video presented"]);
+    let mut table = Table::new(&[
+        "t (ms)",
+        "audio buf",
+        "video buf",
+        "audio presented",
+        "video presented",
+    ]);
     for _ in 0..12 {
         f.stack.run_for(SimDuration::from_millis(60));
         table.row(&[
-            format!("{:.0}", (f.stack.engine().now() - t_prime).as_micros() as f64 / 1000.0),
+            format!(
+                "{:.0}",
+                (f.stack.engine().now() - t_prime).as_micros() as f64 / 1000.0
+            ),
             format!("{}/{}", audio_buf.len(), audio_buf.capacity()),
             format!("{}/{}", video_buf.len(), video_buf.capacity()),
             f.audio.sink.log.borrow().len().to_string(),
@@ -238,7 +243,10 @@ pub fn f7() {
     agent.start(|r| r.expect("start"));
     f.stack.run_for(SimDuration::from_millis(300));
     table.row(&[
-        format!("{:.0} (start)", (t_start - t_prime).as_micros() as f64 / 1000.0),
+        format!(
+            "{:.0} (start)",
+            (t_start - t_prime).as_micros() as f64 / 1000.0
+        ),
         format!("{}/{}", audio_buf.len(), audio_buf.capacity()),
         format!("{}/{}", video_buf.len(), video_buf.capacity()),
         f.audio.sink.log.borrow().len().to_string(),
@@ -246,8 +254,22 @@ pub fn f7() {
     ]);
     table.print();
     let prime_latency = primed_at.get().saturating_since(t_prime);
-    let a0 = f.audio.sink.log.borrow().first().map(|p| p.at).expect("audio first");
-    let v0 = f.video.sink.log.borrow().first().map(|p| p.at).expect("video first");
+    let a0 = f
+        .audio
+        .sink
+        .log
+        .borrow()
+        .first()
+        .map(|p| p.at)
+        .expect("audio first");
+    let v0 = f
+        .video
+        .sink
+        .log
+        .borrow()
+        .first()
+        .map(|p| p.at)
+        .expect("video first");
     println!("\n  prime confirm after {prime_latency} (both pipelines full, nothing delivered);");
     println!(
         "  after start, first deliveries at {} (audio) and {} (video): skew {}",
@@ -385,8 +407,20 @@ pub fn e12_no_common_node() {
         let stack = Stack::build(cfg);
         let p = MediaProfile::audio_telephone();
         let clip = StoredClip::cbr_for(&p, 150);
-        let s1 = MediaStream::build(&stack, stack.tb.servers[0], stack.tb.workstations[0], &p, &clip);
-        let s2 = MediaStream::build(&stack, stack.tb.servers[1], stack.tb.workstations[1], &p, &clip);
+        let s1 = MediaStream::build(
+            &stack,
+            stack.tb.servers[0],
+            stack.tb.workstations[0],
+            &p,
+            &clip,
+        );
+        let s2 = MediaStream::build(
+            &stack,
+            stack.tb.servers[1],
+            stack.tb.workstations[1],
+            &p,
+            &clip,
+        );
 
         // One agent per session, each at its own sink workstation (the
         // common node of its own single-VC group).
@@ -418,7 +452,11 @@ pub fn e12_no_common_node() {
                 // residual rate error.
                 cs.calibrate(reference, 4, |_| {});
                 let engine = stack.engine().clone();
-                fn recal(cs: ClockSync, reference: cm_core::address::NetAddr, engine: netsim::Engine) {
+                fn recal(
+                    cs: ClockSync,
+                    reference: cm_core::address::NetAddr,
+                    engine: netsim::Engine,
+                ) {
                     let engine2 = engine.clone();
                     engine.schedule_in(SimDuration::from_secs(5), move |_| {
                         let cs2 = cs.clone();
@@ -489,4 +527,3 @@ pub(crate) fn one_stream(
     );
     (stack, stream)
 }
-

@@ -36,9 +36,7 @@ pub use address::{AddressTriple, NetAddr, OrchSessionId, TransportAddr, Tsap, Vc
 pub use error::{DisconnectReason, OrchDenyReason, ServiceError};
 pub use media::{MediaKind, MediaProfile};
 pub use osdu::{Opdu, Osdu, Payload, OPDU_WIRE_SIZE};
-pub use qos::{
-    ErrorRate, GuaranteeMode, QosParams, QosRequirement, QosTolerance, QosViolation,
-};
+pub use qos::{ErrorRate, GuaranteeMode, QosParams, QosRequirement, QosTolerance, QosViolation};
 pub use rng::DetRng;
 pub use service_class::{ErrorControlClass, ProtocolProfile, ServiceClass};
 pub use stats::{OnlineStats, SampleSet};

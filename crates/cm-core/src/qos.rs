@@ -375,13 +375,7 @@ mod tests {
     use super::*;
     use crate::time::{Bandwidth, SimDuration};
 
-    fn q(
-        thr_kbps: u64,
-        delay_ms: u64,
-        jitter_ms: u64,
-        per_ppm: u64,
-        ber_ppm: u64,
-    ) -> QosParams {
+    fn q(thr_kbps: u64, delay_ms: u64, jitter_ms: u64, per_ppm: u64, ber_ppm: u64) -> QosParams {
         QosParams {
             throughput: Bandwidth::kbps(thr_kbps),
             delay: SimDuration::from_millis(delay_ms),

@@ -100,7 +100,10 @@ mod tests {
         let mut a = DetRng::from_seed(42);
         let mut b = DetRng::from_seed(42);
         for _ in 0..100 {
-            assert_eq!(a.range_inclusive(0, 1_000_000), b.range_inclusive(0, 1_000_000));
+            assert_eq!(
+                a.range_inclusive(0, 1_000_000),
+                b.range_inclusive(0, 1_000_000)
+            );
         }
     }
 
@@ -111,8 +114,12 @@ mod tests {
         // alone (each fork also advances the parent stream).
         let mut a = root.clone().fork("link0");
         let mut b = root.fork("link1");
-        let va: Vec<u64> = (0..10).map(|_| a.range_inclusive(0, u64::MAX - 1)).collect();
-        let vb: Vec<u64> = (0..10).map(|_| b.range_inclusive(0, u64::MAX - 1)).collect();
+        let va: Vec<u64> = (0..10)
+            .map(|_| a.range_inclusive(0, u64::MAX - 1))
+            .collect();
+        let vb: Vec<u64> = (0..10)
+            .map(|_| b.range_inclusive(0, u64::MAX - 1))
+            .collect();
         assert_ne!(va, vb);
     }
 

@@ -288,8 +288,8 @@ impl Rate {
     /// immediately, so this is `floor(elapsed * rate) + 1` for a started
     /// flow; callers wanting the raw product use [`Rate::units_in`]).
     pub fn units_in(&self, elapsed: SimDuration) -> u64 {
-        ((elapsed.as_micros() as u128 * self.units as u128)
-            / self.per.as_micros().max(1) as u128) as u64
+        ((elapsed.as_micros() as u128 * self.units as u128) / self.per.as_micros().max(1) as u128)
+            as u64
     }
 
     /// The nominal gap between consecutive units (truncated to whole
@@ -461,10 +461,7 @@ mod tests {
     fn bandwidth_transmission_time() {
         // 1250 bytes = 10_000 bits at 10 Mb/s = 1 ms.
         let bw = Bandwidth::mbps(10);
-        assert_eq!(
-            bw.transmission_time(1250),
-            SimDuration::from_millis(1)
-        );
+        assert_eq!(bw.transmission_time(1250), SimDuration::from_millis(1));
         // Rounds up to a whole microsecond.
         assert_eq!(
             Bandwidth::mbps(1).transmission_time(1),

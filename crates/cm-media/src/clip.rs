@@ -39,8 +39,9 @@ impl SizeModel {
                 std_dev,
                 min,
                 max,
-            } => rng.normal_clamped(*mean as f64, *std_dev as f64, *min as f64, *max as f64)
-                as usize,
+            } => {
+                rng.normal_clamped(*mean as f64, *std_dev as f64, *min as f64, *max as f64) as usize
+            }
         }
     }
 }
@@ -65,7 +66,9 @@ impl StoredClip {
     /// A CBR clip matching a media profile, `secs` seconds long.
     pub fn cbr_for(profile: &MediaProfile, secs: u64) -> StoredClip {
         StoredClip {
-            frames: profile.osdu_rate.units_in(cm_core::time::SimDuration::from_secs(secs)),
+            frames: profile
+                .osdu_rate
+                .units_in(cm_core::time::SimDuration::from_secs(secs)),
             rate: profile.osdu_rate,
             size_model: SizeModel::Cbr(profile.nominal_osdu_size),
             events: HashMap::new(),
@@ -78,7 +81,9 @@ impl StoredClip {
     pub fn vbr_for(profile: &MediaProfile, secs: u64, seed: u64) -> StoredClip {
         let mean = profile.nominal_osdu_size;
         StoredClip {
-            frames: profile.osdu_rate.units_in(cm_core::time::SimDuration::from_secs(secs)),
+            frames: profile
+                .osdu_rate
+                .units_in(cm_core::time::SimDuration::from_secs(secs)),
             rate: profile.osdu_rate,
             size_model: SizeModel::Vbr {
                 mean,

@@ -241,7 +241,10 @@ mod tests {
         let a = log_at(Rate::per_second(10), &[(0, 0), (100, 1), (200, 2)]);
         let b = log_at(Rate::per_second(10), &[(0, 0), (100, 1), (200, 2)]);
         let m = SkewMeter::new(vec![a, b]);
-        assert_eq!(m.skew_at(SimTime::from_millis(250)), Some(SimDuration::ZERO));
+        assert_eq!(
+            m.skew_at(SimTime::from_millis(250)),
+            Some(SimDuration::ZERO)
+        );
     }
 
     #[test]
@@ -262,7 +265,10 @@ mod tests {
         let a = log_at(Rate::per_second(50), &[(0, 0), (210, 10)]);
         let v = log_at(Rate::per_second(25), &[(0, 0), (205, 5)]);
         let m = SkewMeter::new(vec![a, v]);
-        assert_eq!(m.skew_at(SimTime::from_millis(220)), Some(SimDuration::ZERO));
+        assert_eq!(
+            m.skew_at(SimTime::from_millis(220)),
+            Some(SimDuration::ZERO)
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ fn stored_source_plays_clip_to_the_end() {
         profile.requirement(),
     );
     let clip = StoredClip::cbr_for(&profile, 4); // 200 units
-    let src = StoredSource::new(stack.node(stack.tb.servers[0]).svc.clone(), vc, clip.reader());
+    let src = StoredSource::new(
+        stack.node(stack.tb.servers[0]).svc.clone(),
+        vc,
+        clip.reader(),
+    );
     src.start_producing();
     let sink = PlayoutSink::new(
         stack.node(stack.tb.workstations[0]).svc.clone(),
@@ -60,7 +64,11 @@ fn stored_source_seek_skips_media() {
         profile.requirement(),
     );
     let clip = StoredClip::cbr_for(&profile, 60);
-    let src = StoredSource::new(stack.node(stack.tb.servers[0]).svc.clone(), vc, clip.reader());
+    let src = StoredSource::new(
+        stack.node(stack.tb.servers[0]).svc.clone(),
+        vc,
+        clip.reader(),
+    );
     // Seek before starting: play from unit 1000.
     src.seek(1000);
     src.start_producing();
@@ -107,7 +115,10 @@ fn throttled_source_limits_production_rate() {
     );
     // The sink could only present what the slow producer supplied.
     assert!(sink.log.borrow().len() <= written as usize);
-    assert!(sink.underruns.get() > 100, "starvation must show as underruns");
+    assert!(
+        sink.underruns.get() > 100,
+        "starvation must show as underruns"
+    );
 }
 
 #[test]
@@ -180,7 +191,11 @@ fn playout_sink_counts_underruns_when_starved() {
     );
     // Supply only 1 s of media, play for 5 s.
     let clip = StoredClip::cbr_for(&profile, 1);
-    let src = StoredSource::new(stack.node(stack.tb.servers[0]).svc.clone(), vc, clip.reader());
+    let src = StoredSource::new(
+        stack.node(stack.tb.servers[0]).svc.clone(),
+        vc,
+        clip.reader(),
+    );
     src.start_producing();
     let sink = PlayoutSink::new(
         stack.node(stack.tb.workstations[0]).svc.clone(),
@@ -208,7 +223,11 @@ fn playout_sink_catch_up_skips_units() {
         profile.requirement(),
     );
     let clip = StoredClip::cbr_for(&profile, 30);
-    let src = StoredSource::new(stack.node(stack.tb.servers[0]).svc.clone(), vc, clip.reader());
+    let src = StoredSource::new(
+        stack.node(stack.tb.servers[0]).svc.clone(),
+        vc,
+        clip.reader(),
+    );
     src.start_producing();
     let sink = PlayoutSink::new(
         stack.node(stack.tb.workstations[0]).svc.clone(),
@@ -248,7 +267,11 @@ fn vbr_clip_respects_max_osdu_size_end_to_end() {
         profile.requirement(),
     );
     let clip = StoredClip::vbr_for(&profile, 10, 99);
-    let src = StoredSource::new(stack.node(stack.tb.servers[0]).svc.clone(), vc, clip.reader());
+    let src = StoredSource::new(
+        stack.node(stack.tb.servers[0]).svc.clone(),
+        vc,
+        clip.reader(),
+    );
     src.start_producing();
     let sink = PlayoutSink::new(
         stack.node(stack.tb.workstations[0]).svc.clone(),
@@ -265,8 +288,8 @@ fn vbr_clip_respects_max_osdu_size_end_to_end() {
 fn skew_meter_rate_independence() {
     // Sanity: two streams of different rates presenting the same media
     // timeline measure zero skew.
-    use cm_media::{Presented, SkewMeter};
     use cm_core::time::SimTime;
+    use cm_media::{Presented, SkewMeter};
     let audio: Vec<Presented> = (0..100)
         .map(|i| Presented {
             at: SimTime::from_millis(i * 20),

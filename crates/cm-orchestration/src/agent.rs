@@ -23,7 +23,7 @@ use cm_core::time::{Rate, SimDuration, SimTime};
 use cm_transport::VcRole;
 use netsim::EventId;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// The bottleneck diagnosis derived from interval blocking times
@@ -78,6 +78,9 @@ pub enum AgentAction {
     StoppedSession,
 }
 
+/// Hook invoked on `(vc, seq, mark)` event-mark arrivals.
+type EventHook = Box<dyn Fn(VcId, u64, u64)>;
+
 struct VcCtl {
     rate: Rate,
     /// Latest known source charged seq (from indications).
@@ -93,7 +96,7 @@ struct VcCtl {
 }
 
 struct AgentState {
-    vcs: HashMap<VcId, VcCtl>,
+    vcs: BTreeMap<VcId, VcCtl>,
     running: bool,
     master_start: Option<SimTime>,
     paused_at: Option<SimTime>,
@@ -102,7 +105,7 @@ struct AgentState {
     interval_event: Option<EventId>,
     history: Vec<IntervalRecord>,
     actions: Vec<AgentAction>,
-    on_event: Option<Box<dyn Fn(VcId, u64, u64)>>,
+    on_event: Option<EventHook>,
     /// Optional external time reference: the master clock becomes the
     /// *reference node's* clock, read through the NTP-style offset
     /// estimate (the §7 no-common-node extension).
@@ -147,7 +150,12 @@ impl OrchObserver for AgentObserver {
             let agent = HloAgent {
                 inner: self.0.clone(),
             };
-            agent.inner.state.borrow_mut().actions.push(AgentAction::StoppedSession);
+            agent
+                .inner
+                .state
+                .borrow_mut()
+                .actions
+                .push(AgentAction::StoppedSession);
             agent.stop(|_| {});
         }
     }
@@ -162,7 +170,7 @@ impl HloAgent {
                 session,
                 policy,
                 state: RefCell::new(AgentState {
-                    vcs: HashMap::new(),
+                    vcs: BTreeMap::new(),
                     running: false,
                     master_start: None,
                     paused_at: None,
@@ -220,11 +228,7 @@ impl HloAgent {
 
     /// Establish the orchestration session over `vcs` (table 4). Each VC
     /// must have one end at this node.
-    pub fn setup(
-        &self,
-        vcs: &[VcId],
-        done: impl FnOnce(Result<(), OrchDenyReason>) + 'static,
-    ) {
+    pub fn setup(&self, vcs: &[VcId], done: impl FnOnce(Result<(), OrchDenyReason>) + 'static) {
         {
             let mut st = self.inner.state.borrow_mut();
             for &vc in vcs {
@@ -247,7 +251,9 @@ impl HloAgent {
             }
         }
         let observer = Rc::new(AgentObserver(self.inner.clone()));
-        self.inner.llo.orch_request(self.inner.session, vcs, observer, done);
+        self.inner
+            .llo
+            .orch_request(self.inner.session, vcs, observer, done);
     }
 
     /// `Orch.Prime` the whole group (fig. 7).
@@ -307,7 +313,9 @@ impl HloAgent {
     /// Register an `Orch.Event` pattern on a VC (§6.3.4); indications
     /// arrive at the callback installed with [`HloAgent::on_event`].
     pub fn register_event(&self, vc: VcId, pattern: u64) {
-        self.inner.llo.register_event(self.inner.session, vc, pattern);
+        self.inner
+            .llo
+            .register_event(self.inner.session, vc, pattern);
     }
 
     /// Install the event-indication callback `(vc, pattern, seq)`.
@@ -423,7 +431,13 @@ impl HloAgent {
                             0
                         }
                     });
-                    (vc, iid, ideal + setpoint, ideal, policy.max_drop_per_interval)
+                    (
+                        vc,
+                        iid,
+                        ideal + setpoint,
+                        ideal,
+                        policy.max_drop_per_interval,
+                    )
                 })
                 .collect()
         };
@@ -453,10 +467,7 @@ impl HloAgent {
             };
             ctl.last_charged = ind.source.seq_progress;
             ctl.last_sink = ind.sink.seq_progress;
-            let tolerance_units = ctl
-                .rate
-                .units_in(self.inner.policy.sync_tolerance)
-                .max(1);
+            let tolerance_units = ctl.rate.units_in(self.inner.policy.sync_tolerance).max(1);
             let missed = ind.sink.seq_progress + tolerance_units < ind.target_osdu;
             if missed {
                 ctl.misses += 1;

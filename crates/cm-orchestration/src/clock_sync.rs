@@ -29,6 +29,9 @@ pub struct OffsetSample {
     pub rtt: SimDuration,
 }
 
+/// Shared one-shot completion slot for an offset-sample round.
+type SampleDone = Rc<RefCell<Option<Box<dyn FnOnce(OffsetSample)>>>>;
+
 struct Pending {
     peer: NetAddr,
     done: Option<Box<dyn FnOnce(OffsetSample)>>,
@@ -86,10 +89,7 @@ impl ClockSync {
     }
 
     fn local_now(&self) -> SimTime {
-        self.inner
-            .svc
-            .network()
-            .local_time(self.inner.svc.node())
+        self.inner.svc.network().local_time(self.inner.svc.node())
     }
 
     /// Send one probe to `peer`; `done` receives the sample.
@@ -128,17 +128,22 @@ impl ClockSync {
         assert!(n > 0);
         let me = self.clone();
         let remaining = Rc::new(std::cell::Cell::new(n));
-        let done = Rc::new(RefCell::new(Some(Box::new(done) as Box<dyn FnOnce(OffsetSample)>)));
-        fn fire(me: ClockSync, peer: NetAddr, remaining: Rc<std::cell::Cell<usize>>, done: Rc<RefCell<Option<Box<dyn FnOnce(OffsetSample)>>>>) {
+        let done = Rc::new(RefCell::new(Some(
+            Box::new(done) as Box<dyn FnOnce(OffsetSample)>
+        )));
+        fn fire(
+            me: ClockSync,
+            peer: NetAddr,
+            remaining: Rc<std::cell::Cell<usize>>,
+            done: SampleDone,
+        ) {
             let me2 = me.clone();
             me.probe(peer, move |_s| {
                 let left = remaining.get() - 1;
                 remaining.set(left);
                 if left == 0 {
                     if let Some(d) = done.borrow_mut().take() {
-                        let best = me2
-                            .offset_to(peer)
-                            .expect("at least one sample recorded");
+                        let best = me2.offset_to(peer).expect("at least one sample recorded");
                         d(best);
                     }
                 } else {

@@ -13,12 +13,12 @@ use crate::policy::OrchestrationPolicy;
 use cm_core::address::{NetAddr, OrchSessionId, VcId};
 use cm_core::error::OrchDenyReason;
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Domain-wide HLO: knows every node's LLO instance.
 pub struct Hlo {
-    llos: HashMap<NetAddr, Llo>,
+    llos: BTreeMap<NetAddr, Llo>,
     next_session: Cell<u64>,
     /// When set, groups without a common node are accepted (the §7
     /// future-work extension; requires clock sync for faithful targets —
@@ -60,7 +60,7 @@ impl Hlo {
     /// number of VCs (fig. 5). With the common-node restriction in force
     /// (§5 footnote) the chosen node must touch *every* VC.
     pub fn pick_orchestrating_node(&self, vcs: &[VcId]) -> Result<NetAddr, OrchDenyReason> {
-        let mut counts: HashMap<NetAddr, usize> = HashMap::new();
+        let mut counts: BTreeMap<NetAddr, usize> = BTreeMap::new();
         for &vc in vcs {
             let (src, dst) = self.endpoints(vc).ok_or(OrchDenyReason::NoSuchVc)?;
             *counts.entry(src).or_default() += 1;
@@ -118,8 +118,9 @@ impl Hlo {
         let session = OrchSessionId(self.next_session.get());
         self.next_session.set(session.0 + 1);
         let agent = HloAgent::new(llo, session, policy);
-        let started = Rc::new(std::cell::RefCell::new(Some(Box::new(started)
-            as Box<dyn FnOnce(Result<(), OrchDenyReason>)>)));
+        let started = Rc::new(std::cell::RefCell::new(Some(
+            Box::new(started) as Box<dyn FnOnce(Result<(), OrchDenyReason>)>
+        )));
         let finish = move |r: Result<(), OrchDenyReason>| {
             if let Some(f) = started.borrow_mut().take() {
                 f(r);

@@ -29,7 +29,7 @@ use cm_transport::{EndStats, TransportService, TransportUser, VcRole, VcTap};
 use netsim::EventId;
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Application-thread callbacks (the `Orch.*.indication`s delivered to the
@@ -95,13 +95,16 @@ enum GroupOpKind {
     Stop,
 }
 
+/// One-shot verdict callback for a session-establishment fan-out.
+type SetupDone = Box<dyn FnOnce(Result<(), OrchDenyReason>)>;
+
 struct PendingGroupOp {
     kind: GroupOpKind,
     /// (vc, end-role) acks still outstanding.
     waiting: Vec<(VcId, VcRole)>,
     /// First denial, if any.
     denial: Option<OrchDenyReason>,
-    done: Option<Box<dyn FnOnce(Result<(), OrchDenyReason>)>>,
+    done: Option<SetupDone>,
 }
 
 struct PendingInterval {
@@ -129,19 +132,19 @@ struct VcOrchState {
 struct Session {
     /// Where acks/reports go (`None` at the orchestrating node itself).
     orchestrator: Option<TransportAddr>,
-    vcs: HashMap<VcId, VcOrchState>,
+    vcs: BTreeMap<VcId, VcOrchState>,
     /// Orchestrating-node-only group state.
     pending_op: Option<PendingGroupOp>,
-    pending_intervals: HashMap<(VcId, IntervalId), PendingInterval>,
+    pending_intervals: BTreeMap<(VcId, IntervalId), PendingInterval>,
     observer: Option<Rc<dyn OrchObserver>>,
     /// Callback for a pending session-establishment fan-out.
-    pending_setup: Option<(usize, Box<dyn FnOnce(Result<(), OrchDenyReason>)>)>,
+    pending_setup: Option<(usize, SetupDone)>,
 }
 
 struct LloState {
     max_sessions: usize,
-    sessions: HashMap<OrchSessionId, Session>,
-    apps: HashMap<VcId, Rc<dyn OrchAppHandler>>,
+    sessions: BTreeMap<OrchSessionId, Session>,
+    apps: BTreeMap<VcId, Rc<dyn OrchAppHandler>>,
 }
 
 struct LloInner {
@@ -193,8 +196,8 @@ impl Llo {
                 svc: svc.clone(),
                 state: RefCell::new(LloState {
                     max_sessions,
-                    sessions: HashMap::new(),
-                    apps: HashMap::new(),
+                    sessions: BTreeMap::new(),
+                    apps: BTreeMap::new(),
                 }),
             }),
         };
@@ -289,7 +292,7 @@ impl Llo {
                 done(Err(OrchDenyReason::NoTableSpace));
                 return;
             }
-            let mut vcs_map = HashMap::new();
+            let mut vcs_map = BTreeMap::new();
             for &(vc, role, peer) in &ends {
                 vcs_map.insert(
                     vc,
@@ -310,7 +313,7 @@ impl Llo {
                     orchestrator: None,
                     vcs: vcs_map,
                     pending_op: None,
-                    pending_intervals: HashMap::new(),
+                    pending_intervals: BTreeMap::new(),
                     observer: Some(observer),
                     pending_setup: Some((ends.len(), Box::new(done))),
                 },
@@ -387,11 +390,8 @@ impl Llo {
             s.pending_op.is_none(),
             "overlapping group operations on {session}"
         );
-        let ends: Vec<(VcId, VcRole, NetAddr)> = s
-            .vcs
-            .iter()
-            .map(|(&vc, v)| (vc, v.role, v.peer))
-            .collect();
+        let ends: Vec<(VcId, VcRole, NetAddr)> =
+            s.vcs.iter().map(|(&vc, v)| (vc, v.role, v.peer)).collect();
         // Each VC contributes two acks: its local end and its remote end.
         let mut waiting = Vec::new();
         for &(vc, role, _) in &ends {
@@ -555,10 +555,13 @@ impl Llo {
         };
         if let Some(peer) = peer {
             self.inner.svc.clear_tap(vc);
-            self.send_opdu(peer, OrchMsg::Release {
-                session,
-                reason: OrchDenyReason::UserRelease,
-            });
+            self.send_opdu(
+                peer,
+                OrchMsg::Release {
+                    session,
+                    reason: OrchDenyReason::UserRelease,
+                },
+            );
         }
     }
 
@@ -657,9 +660,9 @@ impl Llo {
         let Ok(buf) = self.inner.svc.recv_handle(vc) else {
             return;
         };
-        let from = buf.release_limit().unwrap_or_else(|| {
-            self.inner.svc.sink_delivery_point(vc).unwrap_or(0)
-        });
+        let from = buf
+            .release_limit()
+            .unwrap_or_else(|| self.inner.svc.sink_delivery_point(vc).unwrap_or(0));
         let engine = self.inner.svc.network().engine().clone();
         {
             let mut st = self.inner.state.borrow_mut();
@@ -741,11 +744,14 @@ impl Llo {
             (vs.role, vs.peer)
         };
         debug_assert_eq!(role, VcRole::Source);
-        self.send_opdu(peer, OrchMsg::EventReg {
-            session,
-            vc,
-            pattern,
-        });
+        self.send_opdu(
+            peer,
+            OrchMsg::EventReg {
+                session,
+                vc,
+                pattern,
+            },
+        );
     }
 
     /// Flush both ends of a VC (stop + seek support, §6.2.1).
@@ -1006,9 +1012,8 @@ impl Llo {
         // a fractional number of units (e.g. 12.5 video frames per 500 ms)
         // do not read as deficits and trigger spurious drops.
         let per_us = rate.per.as_micros().max(1) as u128;
-        let base_x1000 = ((interval_len.as_micros() as u128 * rate.units as u128 * 1000)
-            / per_us)
-            .max(1) as u64;
+        let base_x1000 =
+            ((interval_len.as_micros() as u128 * rate.units as u128 * 1000) / per_us).max(1) as u64;
         let needed_x1000 = needed.saturating_mul(1000);
         let reachable_x1000 = base_x1000.saturating_mul(max_rate_ppt.max(1000)) / 1000;
 
@@ -1172,10 +1177,8 @@ impl Llo {
                 None
             }
         };
-        if let Some((observer, ind)) = ready {
-            if let Some(o) = observer {
-                o.regulate_indication(session, &ind);
-            }
+        if let Some((Some(o), ind)) = ready {
+            o.regulate_indication(session, &ind);
         }
     }
 
@@ -1407,9 +1410,9 @@ impl Llo {
             }
             let s = st.sessions.entry(session).or_insert_with(|| Session {
                 orchestrator: Some(orchestrator),
-                vcs: HashMap::new(),
+                vcs: BTreeMap::new(),
                 pending_op: None,
-                pending_intervals: HashMap::new(),
+                pending_intervals: BTreeMap::new(),
                 observer: None,
                 pending_setup: None,
             });
@@ -1478,10 +1481,7 @@ impl Llo {
                 return;
             };
             let Some(vs) = s.vcs.get(&vc) else { return };
-            (
-                vs.patterns.contains(&event),
-                s.orchestrator,
-            )
+            (vs.patterns.contains(&event), s.orchestrator)
         };
         if !matched {
             return;

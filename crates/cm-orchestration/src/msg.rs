@@ -16,7 +16,7 @@ pub const ORCH_TSAP: cm_core::address::Tsap = cm_core::address::Tsap(0xFFFE);
 
 /// Identifies one regulation interval within a session (table 6
 /// `interval-id`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IntervalId(pub u64);
 
 /// OPDUs between LLO instances.

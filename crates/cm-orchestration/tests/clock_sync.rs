@@ -69,7 +69,11 @@ fn remote_to_local_uses_best_estimate() {
 fn min_rtt_filtering_beats_single_probe_under_jitter() {
     // Heavy asymmetric jitter: individual samples err by up to half the
     // jitter; the min-RTT sample over many probes is near-exact.
-    let (net, cs, b) = two_nodes(0, 500_000, JitterModel::Uniform(SimDuration::from_millis(20)));
+    let (net, cs, b) = two_nodes(
+        0,
+        500_000,
+        JitterModel::Uniform(SimDuration::from_millis(20)),
+    );
     cs.calibrate(b, 16, |_| {});
     net.engine().run_for(SimDuration::from_secs(2));
     let best = cs.offset_to(b).expect("calibrated");

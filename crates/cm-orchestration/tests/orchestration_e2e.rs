@@ -7,9 +7,7 @@ use cm_core::address::OrchSessionId;
 use cm_core::error::OrchDenyReason;
 use cm_core::media::MediaProfile;
 use cm_core::time::{SimDuration, SimTime};
-use cm_orchestration::{
-    AgentAction, FailureAction, HloAgent, OrchestrationPolicy,
-};
+use cm_orchestration::{AgentAction, FailureAction, HloAgent, OrchestrationPolicy};
 use cm_testkit::scenario::MediaStream;
 use cm_testkit::{FilmScenario, LanguageLab, Stack, StackConfig};
 use std::cell::{Cell, RefCell};
@@ -81,8 +79,20 @@ fn no_common_node_is_rejected_by_default() {
     let stack = Stack::build(cfg);
     let p = MediaProfile::audio_telephone();
     let clip = cm_media::StoredClip::cbr_for(&p, 10);
-    let s1 = MediaStream::build(&stack, stack.tb.servers[0], stack.tb.workstations[0], &p, &clip);
-    let s2 = MediaStream::build(&stack, stack.tb.servers[1], stack.tb.workstations[1], &p, &clip);
+    let s1 = MediaStream::build(
+        &stack,
+        stack.tb.servers[0],
+        stack.tb.workstations[0],
+        &p,
+        &clip,
+    );
+    let s2 = MediaStream::build(
+        &stack,
+        stack.tb.servers[1],
+        stack.tb.workstations[1],
+        &p,
+        &clip,
+    );
     let err = stack
         .hlo
         .pick_orchestrating_node(&[s1.vc, s2.vc])
@@ -95,8 +105,10 @@ fn no_common_node_is_rejected_by_default() {
 
 #[test]
 fn table_space_exhaustion_rejects_with_no_table_space() {
-    let mut cfg = StackConfig::default();
-    cfg.max_sessions = 0;
+    let cfg = StackConfig {
+        max_sessions: 0,
+        ..Default::default()
+    };
     let f = FilmScenario::build((0, 0), 10, cfg);
     let got = Rc::new(RefCell::new(None));
     let g2 = got.clone();

@@ -118,14 +118,10 @@ impl Platform {
         let svc = TransportService::install(&self.inner.net, node, config);
         let llo = Llo::install(svc.clone(), 64);
         let user = Rc::new(PlatformUser::default());
-        self.inner.nodes.borrow_mut().insert(
-            node,
-            NodeCtx {
-                svc,
-                llo,
-                user,
-            },
-        );
+        self.inner
+            .nodes
+            .borrow_mut()
+            .insert(node, NodeCtx { svc, llo, user });
         // A new node invalidates a previously built HLO.
         *self.inner.hlo.borrow_mut() = None;
     }

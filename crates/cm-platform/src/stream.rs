@@ -136,7 +136,10 @@ impl Stream {
     /// Release every branch.
     pub fn release(&self) {
         for b in &self.branches {
-            let _ = self.platform.service(self.source).t_disconnect_request(b.vc);
+            let _ = self
+                .platform
+                .service(self.source)
+                .t_disconnect_request(b.vc);
         }
     }
 

@@ -8,13 +8,17 @@
 
 use cm_core::address::TransportAddr;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// A domain-wide name → interface-reference registry.
+///
+/// Backed by an ordered map so enumeration ([`Trader::list`]) is
+/// deterministic — registry iteration order must never feed simulation
+/// decisions differently across runs.
 #[derive(Clone, Default)]
 pub struct Trader {
-    entries: Rc<RefCell<HashMap<String, TransportAddr>>>,
+    entries: Rc<RefCell<BTreeMap<String, TransportAddr>>>,
 }
 
 impl Trader {
@@ -38,12 +42,12 @@ impl Trader {
         self.entries.borrow().get(name).copied()
     }
 
-    /// List exports matching a prefix (service browsing).
+    /// List exports matching a prefix (service browsing), in name order.
     pub fn list(&self, prefix: &str) -> Vec<(String, TransportAddr)> {
         self.entries
             .borrow()
-            .iter()
-            .filter(|(k, _)| k.starts_with(prefix))
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(k, v)| (k.clone(), *v))
             .collect()
     }

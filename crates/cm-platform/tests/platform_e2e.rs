@@ -121,9 +121,7 @@ fn invocation_roundtrip_with_deadline() {
         w.platform.fresh_tsap(),
     );
     server.export(Rc::new(Doubler));
-    w.platform
-        .trader()
-        .export("math/doubler", server.address());
+    w.platform.trader().export("math/doubler", server.address());
 
     let client = Invoker::bind(
         w.platform.service(w.workstations[1]),
@@ -218,8 +216,12 @@ fn devices_play_a_film_through_the_platform() {
     let video_server = StorageServer::new(&w.platform, w.servers[1]);
     video_server.store("film/picture", StoredClip::cbr_for(&video_profile, 60));
 
-    let audio_stream = w.platform.create_stream(w.servers[0], &[ws], audio_profile.clone());
-    let video_stream = w.platform.create_stream(w.servers[1], &[ws], video_profile.clone());
+    let audio_stream = w
+        .platform
+        .create_stream(w.servers[0], &[ws], audio_profile.clone());
+    let video_stream = w
+        .platform
+        .create_stream(w.servers[1], &[ws], video_profile.clone());
     audio_stream.await_open(SimDuration::from_millis(200));
     video_stream.await_open(SimDuration::from_millis(200));
 
@@ -269,7 +271,11 @@ fn live_capture_flows_over_a_stream() {
     let speaker = monitor.attach(&stream, &profile);
     speaker.play();
     w.platform.engine().run_for(SimDuration::from_secs(5));
-    assert!(live.captured.get() >= 240, "captured {}", live.captured.get());
+    assert!(
+        live.captured.get() >= 240,
+        "captured {}",
+        live.captured.get()
+    );
     assert!(
         speaker.log.borrow().len() >= 200,
         "presented {}",

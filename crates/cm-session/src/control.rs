@@ -1,0 +1,82 @@
+//! Room-wide orchestration over the group control channel.
+//!
+//! The paper's LLO orchestrates pairwise VCs through per-node control
+//! connections (§5). A room's stream has one source and N sinks sharing
+//! one multicast tree, so the session layer orchestrates differently:
+//! source-side actions execute locally on the publisher and the matching
+//! sink-side opcode is fanned out to every member as **one** control OPDU
+//! on the group VC — the shared tree carries it once per link, exactly
+//! like media. This deviation from the pairwise LLO is deliberate and
+//! documented in DESIGN.md.
+
+use cm_core::address::VcId;
+use cm_core::error::ServiceError;
+use cm_transport::TransportService;
+use std::rc::Rc;
+
+/// Room-wide orchestration opcodes, fanned out to every member over the
+/// group VC's control channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoomCtl {
+    /// Gate every sink while the source keeps filling the pipeline
+    /// (`Orch.Prime` room-wide).
+    Prime,
+    /// Open every sink gate; delivery starts room-wide (`Orch.Start`).
+    Start,
+    /// Freeze: the source is paused and every sink gated (`Orch.Stop`).
+    Stop,
+    /// Informational: the source pacing rate was retuned to
+    /// `base × num/den` (`Orch.Regulate`).
+    Regulate {
+        /// Rate factor numerator.
+        num: u64,
+        /// Rate factor denominator.
+        den: u64,
+    },
+}
+
+/// Orchestrates one published stream room-wide from its publisher node.
+pub struct RoomOrchestrator {
+    svc: TransportService,
+    vc: VcId,
+}
+
+impl RoomOrchestrator {
+    pub(crate) fn new(svc: TransportService, vc: VcId) -> RoomOrchestrator {
+        RoomOrchestrator { svc, vc }
+    }
+
+    /// The orchestrated group VC.
+    pub fn vc(&self) -> VcId {
+        self.vc
+    }
+
+    /// Prime: the source runs (resumed if frozen) while every member's
+    /// sink gate closes, so the pipeline and sink buffers fill without
+    /// anything reaching the applications.
+    pub fn prime(&self) -> Result<(), ServiceError> {
+        self.svc.resume_source(self.vc)?;
+        self.svc.send_vc_control(self.vc, Rc::new(RoomCtl::Prime))
+    }
+
+    /// Start: resume the source and open every member's sink gate.
+    pub fn start(&self) -> Result<(), ServiceError> {
+        self.svc.resume_source(self.vc)?;
+        self.svc.send_vc_control(self.vc, Rc::new(RoomCtl::Start))
+    }
+
+    /// Stop: freeze the source and gate every member's sink before it
+    /// drains (§6.2.3).
+    pub fn stop(&self) -> Result<(), ServiceError> {
+        self.svc.pause_source(self.vc)?;
+        self.svc.send_vc_control(self.vc, Rc::new(RoomCtl::Stop))
+    }
+
+    /// Regulate: retune the source pacing to `base × num/den` and tell
+    /// the members.
+    pub fn regulate(&self, num: u64, den: u64) -> Result<(), ServiceError> {
+        self.svc.set_rate_factor(self.vc, num, den)?;
+        self.svc
+            .send_vc_control(self.vc, Rc::new(RoomCtl::Regulate { num, den }))
+    }
+}

@@ -1,0 +1,282 @@
+//! The session service: one [`Session`] per platform domain, one
+//! [`NodeAgent`] per node.
+//!
+//! The agent is the session layer's transport user — it owns the node's
+//! session TSAP, accepts exactly the group-VC invitations the room layer
+//! announced, pumps arriving media to the member's [`RoomMember`] handler
+//! and applies room-wide control OPDUs ([`RoomCtl`]) to the local sink.
+
+use crate::control::RoomCtl;
+use crate::room::{Room, RoomMember};
+use cm_core::address::{AddressTriple, NetAddr, TransportAddr, Tsap, VcId};
+use cm_core::error::DisconnectReason;
+use cm_core::qos::{QosParams, QosRequirement};
+use cm_core::service_class::ServiceClass;
+use cm_core::time::SimDuration;
+use cm_platform::Platform;
+use cm_transport::{TransportService, TransportUser, VcTap};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::{Rc, Weak};
+
+/// The domain-wide session service. Clones share the same state.
+#[derive(Clone)]
+pub struct Session {
+    pub(crate) inner: Rc<SessionInner>,
+}
+
+pub(crate) struct SessionInner {
+    pub(crate) platform: Platform,
+    /// Rooms by name — ordered so enumeration is deterministic.
+    pub(crate) rooms: RefCell<BTreeMap<String, Room>>,
+    /// One agent per node, installed on first use.
+    pub(crate) agents: RefCell<BTreeMap<NetAddr, Rc<NodeAgent>>>,
+    /// Group VC → owning room, for routing transport confirms.
+    pub(crate) vc_rooms: RefCell<BTreeMap<VcId, String>>,
+}
+
+impl Session {
+    /// A session service over `platform` (whose nodes must already be
+    /// installed before agents are created on them).
+    pub fn new(platform: &Platform) -> Session {
+        Session {
+            inner: Rc::new(SessionInner {
+                platform: platform.clone(),
+                rooms: RefCell::new(BTreeMap::new()),
+                agents: RefCell::new(BTreeMap::new()),
+                vc_rooms: RefCell::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// The underlying platform.
+    pub fn platform(&self) -> &Platform {
+        &self.inner.platform
+    }
+
+    /// Create a room and export it through the trader as `room/<name>`.
+    /// `host` names the node whose session agent answers for the room in
+    /// the registry (the room state itself is domain-wide, like the
+    /// trader).
+    pub fn create_room(&self, name: &str, host: NetAddr, max_peers: usize) -> Room {
+        let agent = self.inner.agent(host);
+        let room = Room::new(&self.inner, name, max_peers);
+        self.inner
+            .platform
+            .trader()
+            .export(&format!("room/{name}"), agent.addr());
+        self.inner
+            .rooms
+            .borrow_mut()
+            .insert(name.to_string(), room.clone());
+        room
+    }
+
+    /// Look up a room created in this domain.
+    pub fn room(&self, name: &str) -> Option<Room> {
+        self.inner.rooms.borrow().get(name).cloned()
+    }
+
+    /// Resolve a room's registry interface through the trader.
+    pub fn locate(&self, name: &str) -> Option<TransportAddr> {
+        self.inner.platform.trader().import(&format!("room/{name}"))
+    }
+}
+
+impl SessionInner {
+    /// The session agent of `node`, installing (and binding a fresh TSAP)
+    /// on first use.
+    pub(crate) fn agent(self: &Rc<Self>, node: NetAddr) -> Rc<NodeAgent> {
+        if let Some(a) = self.agents.borrow().get(&node) {
+            return a.clone();
+        }
+        let svc = self.platform.service(node);
+        let tsap = self.platform.fresh_tsap();
+        let agent = Rc::new(NodeAgent {
+            node,
+            tsap,
+            svc: svc.clone(),
+            session: Rc::downgrade(self),
+            sinks: RefCell::new(BTreeMap::new()),
+        });
+        svc.bind(tsap, agent.clone() as Rc<dyn TransportUser>)
+            .expect("session TSAP busy");
+        self.agents.borrow_mut().insert(node, agent.clone());
+        agent
+    }
+
+    /// Route a group-join outcome to the owning room.
+    fn on_join_confirm(
+        &self,
+        vc: VcId,
+        member: TransportAddr,
+        result: Result<QosParams, DisconnectReason>,
+    ) {
+        let room = {
+            let names = self.vc_rooms.borrow();
+            names
+                .get(&vc)
+                .and_then(|n| self.rooms.borrow().get(n).cloned())
+        };
+        if let Some(room) = room {
+            room.on_join_confirm(vc, member, result);
+        }
+    }
+}
+
+/// What a member expects on one group VC: which room/stream it belongs to
+/// and where arriving media goes.
+#[derive(Clone)]
+pub(crate) struct SinkBinding {
+    pub(crate) room: String,
+    pub(crate) stream: String,
+    pub(crate) handler: Rc<dyn RoomMember>,
+}
+
+/// Per-node session agent (the session layer's transport user).
+pub(crate) struct NodeAgent {
+    pub(crate) node: NetAddr,
+    pub(crate) tsap: Tsap,
+    pub(crate) svc: TransportService,
+    session: Weak<SessionInner>,
+    /// Group VCs this node was invited into, announced by the room layer
+    /// before the wire invitation arrives.
+    sinks: RefCell<BTreeMap<VcId, SinkBinding>>,
+}
+
+impl NodeAgent {
+    pub(crate) fn addr(&self) -> TransportAddr {
+        TransportAddr {
+            node: self.node,
+            tsap: self.tsap,
+        }
+    }
+
+    /// Announce an inbound group-VC invitation (called by the room layer
+    /// before `t_group_add_receiver`, so the wire indication finds it).
+    pub(crate) fn expect_stream(&self, vc: VcId, binding: SinkBinding) {
+        self.sinks.borrow_mut().insert(vc, binding);
+    }
+
+    /// Drop an announcement (join rollback, stream close, member leave).
+    pub(crate) fn forget_stream(&self, vc: VcId) {
+        self.sinks.borrow_mut().remove(&vc);
+    }
+
+    fn binding(&self, vc: VcId) -> Option<SinkBinding> {
+        self.sinks.borrow().get(&vc).cloned()
+    }
+}
+
+impl TransportUser for NodeAgent {
+    fn t_connect_indication(
+        &self,
+        svc: &TransportService,
+        vc: VcId,
+        _triple: AddressTriple,
+        _class: ServiceClass,
+        _qos: QosRequirement,
+    ) {
+        // Only invitations the room layer announced are accepted.
+        let expected = self.sinks.borrow().contains_key(&vc);
+        svc.t_connect_response(vc, expected)
+            .expect("session accept");
+        if !expected {
+            return;
+        }
+        // The sink end is open now: attach the room-control tap and start
+        // pumping media to the member's handler.
+        let Some(session) = self.session.upgrade() else {
+            return;
+        };
+        let Some(agent) = session.agents.borrow().get(&self.node).cloned() else {
+            return;
+        };
+        let _ = svc.register_tap(
+            vc,
+            Rc::new(MemberTap {
+                agent: agent.clone(),
+            }),
+        );
+        pump(agent, vc);
+    }
+
+    fn t_disconnect_indication(
+        &self,
+        _svc: &TransportService,
+        vc: VcId,
+        _reason: DisconnectReason,
+    ) {
+        self.sinks.borrow_mut().remove(&vc);
+    }
+
+    fn t_group_join_confirm(
+        &self,
+        _svc: &TransportService,
+        vc: VcId,
+        member: TransportAddr,
+        result: Result<QosParams, DisconnectReason>,
+    ) {
+        if let Some(session) = self.session.upgrade() {
+            session.on_join_confirm(vc, member, result);
+        }
+    }
+}
+
+/// The member-side tap on a group VC: applies room-wide control OPDUs to
+/// the local sink gate and forwards them to the member's handler.
+struct MemberTap {
+    agent: Rc<NodeAgent>,
+}
+
+impl VcTap for MemberTap {
+    fn on_control(&self, vc: VcId, payload: Rc<dyn Any>) {
+        let Some(ctl) = payload.downcast_ref::<RoomCtl>().copied() else {
+            return;
+        };
+        match ctl {
+            // Prime holds arriving media in the sink buffer while the
+            // source fills the pipeline; Stop freezes delivery too.
+            RoomCtl::Prime | RoomCtl::Stop => {
+                let _ = self.agent.svc.set_recv_gate(vc, true);
+            }
+            RoomCtl::Start => {
+                let _ = self.agent.svc.set_recv_gate(vc, false);
+            }
+            RoomCtl::Regulate { .. } => {}
+        }
+        if let Some(b) = self.agent.binding(vc) {
+            b.handler.on_ctl(&b.room, &b.stream, ctl);
+        }
+    }
+}
+
+/// Eagerly drain the sink buffer into the member's handler, parking on the
+/// buffer whenever it runs dry (or the orchestration gate is closed).
+fn pump(agent: Rc<NodeAgent>, vc: VcId) {
+    let svc = agent.svc.clone();
+    loop {
+        match svc.read_osdu(vc) {
+            Ok(Some(osdu)) => {
+                let Some(b) = agent.binding(vc) else {
+                    return;
+                };
+                b.handler.on_media(&b.room, &b.stream, osdu);
+            }
+            Ok(None) => {
+                let Ok(buf) = svc.recv_handle(vc) else {
+                    return;
+                };
+                let now = svc.now();
+                let engine = svc.network().engine().clone();
+                let a = agent.clone();
+                buf.park_consumer(now, move || {
+                    engine.schedule_in(SimDuration::ZERO, move |_| pump(a, vc));
+                });
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}

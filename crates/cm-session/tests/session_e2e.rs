@@ -1,0 +1,578 @@
+//! End-to-end tests of the room/peer session layer: trader-exported
+//! registries, membership events, QoS-gated admission with typed denials,
+//! branch-scoped reservation release on leave, and room-wide
+//! Prime/Start/Stop orchestration over the group control channel.
+
+use cm_core::address::{NetAddr, VcId};
+use cm_core::error::DisconnectReason;
+use cm_core::media::MediaProfile;
+use cm_core::osdu::{Osdu, Payload};
+use cm_core::qos::QosRequirement;
+use cm_core::rng::DetRng;
+use cm_core::service_class::ServiceClass;
+use cm_core::time::{Bandwidth, SimDuration};
+use cm_platform::Platform;
+use cm_session::{JoinDenied, PeerId, Room, RoomCtl, RoomMember, Session};
+use cm_transport::TransportService;
+use netsim::{Engine, LinkParams, Network, NodeClock};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+/// Records every room callback it sees.
+#[derive(Default)]
+struct Rec {
+    joined: RefCell<Vec<(PeerId, String)>>,
+    left: RefCell<Vec<(PeerId, String)>>,
+    published: RefCell<Vec<String>>,
+    closed: RefCell<Vec<String>>,
+    media: RefCell<Vec<u64>>,
+    ctls: RefCell<Vec<RoomCtl>>,
+    denied: RefCell<Vec<(String, DisconnectReason)>>,
+}
+
+impl Rec {
+    fn new() -> Rc<Rec> {
+        Rc::new(Rec::default())
+    }
+
+    fn seqs(&self) -> Vec<u64> {
+        self.media.borrow().clone()
+    }
+}
+
+impl RoomMember for Rec {
+    fn on_peer_joined(&self, _room: &str, peer: PeerId, name: &str) {
+        self.joined.borrow_mut().push((peer, name.to_string()));
+    }
+    fn on_peer_left(&self, _room: &str, peer: PeerId, name: &str) {
+        self.left.borrow_mut().push((peer, name.to_string()));
+    }
+    fn on_stream_published(&self, _room: &str, stream: &str, _publisher: PeerId) {
+        self.published.borrow_mut().push(stream.to_string());
+    }
+    fn on_stream_closed(&self, _room: &str, stream: &str) {
+        self.closed.borrow_mut().push(stream.to_string());
+    }
+    fn on_media(&self, _room: &str, _stream: &str, osdu: Osdu) {
+        self.media.borrow_mut().push(osdu.seq());
+    }
+    fn on_ctl(&self, _room: &str, _stream: &str, ctl: RoomCtl) {
+        self.ctls.borrow_mut().push(ctl);
+    }
+    fn on_subscribe_denied(&self, _room: &str, stream: &str, reason: DisconnectReason) {
+        self.denied.borrow_mut().push((stream.to_string(), reason));
+    }
+}
+
+struct World {
+    net: Network,
+    platform: Platform,
+    session: Session,
+    nodes: Vec<NetAddr>,
+}
+
+impl World {
+    fn run_ms(&self, ms: u64) {
+        self.net.engine().run_for(SimDuration::from_millis(ms));
+    }
+}
+
+fn clean() -> LinkParams {
+    LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1))
+}
+
+/// Star: node 0 (host/teacher) — node 1 (hub) — nodes 2.. (one per entry
+/// in `branches`, giving that branch's hub→member link params; the
+/// reverse direction is always clean).
+fn star(branches: &[LinkParams]) -> World {
+    let net = Network::new(Engine::new());
+    let mut rng = DetRng::from_seed(23);
+    let n = branches.len() + 2;
+    let nodes: Vec<NetAddr> = (0..n).map(|_| net.add_node(NodeClock::perfect())).collect();
+    net.add_duplex(nodes[0], nodes[1], clean(), &mut rng);
+    for (i, p) in branches.iter().enumerate() {
+        let r = nodes[2 + i];
+        net.add_link(nodes[1], r, p.clone(), rng.fork(&format!("fwd{i}")));
+        net.add_link(r, nodes[1], clean(), rng.fork(&format!("rev{i}")));
+    }
+    finish(net, nodes)
+}
+
+/// Chain: node 0 — node 1 — node 2 — …, clean links throughout.
+fn chain(n: usize) -> World {
+    let net = Network::new(Engine::new());
+    let mut rng = DetRng::from_seed(23);
+    let nodes: Vec<NetAddr> = (0..n).map(|_| net.add_node(NodeClock::perfect())).collect();
+    for w in nodes.windows(2) {
+        net.add_duplex(w[0], w[1], clean(), &mut rng);
+    }
+    finish(net, nodes)
+}
+
+fn finish(net: Network, nodes: Vec<NetAddr>) -> World {
+    let platform = Platform::new(net.clone());
+    for &n in &nodes {
+        platform.install_node(n);
+    }
+    let session = Session::new(&platform);
+    World {
+        net,
+        platform,
+        session,
+        nodes,
+    }
+}
+
+fn telephone_req() -> QosRequirement {
+    MediaProfile::audio_telephone().requirement()
+}
+
+/// Join `node` as `name` and return the (shared) slot the verdict lands in.
+fn join(
+    room: &Room,
+    node: NetAddr,
+    name: &str,
+    handler: Rc<Rec>,
+) -> Rc<RefCell<Option<Result<PeerId, JoinDenied>>>> {
+    let slot = Rc::new(RefCell::new(None));
+    let s = slot.clone();
+    room.join(node, name, handler, move |r| {
+        *s.borrow_mut() = Some(r);
+    });
+    slot
+}
+
+fn joined_id(slot: &Rc<RefCell<Option<Result<PeerId, JoinDenied>>>>) -> PeerId {
+    slot.borrow()
+        .clone()
+        .expect("join still pending")
+        .expect("join denied")
+}
+
+/// Writes `total` OSDUs of `size` bytes as fast as the send buffer allows.
+fn drive_writer(svc: TransportService, vc: VcId, total: u64, size: usize) {
+    let written = Rc::new(Cell::new(0u64));
+    fn step(svc: TransportService, vc: VcId, total: u64, size: usize, written: Rc<Cell<u64>>) {
+        loop {
+            if written.get() >= total {
+                return;
+            }
+            match svc.write_osdu(vc, Payload::synthetic(written.get(), size), None) {
+                Ok(true) => written.set(written.get() + 1),
+                Ok(false) => {
+                    let buf = svc.send_handle(vc).expect("send handle");
+                    let now = svc.now();
+                    let svc2 = svc.clone();
+                    let engine = svc.network().engine().clone();
+                    buf.park_producer(now, move || {
+                        let w = written.clone();
+                        engine.schedule_in(SimDuration::ZERO, move |_| {
+                            step(svc2, vc, total, size, w)
+                        });
+                    });
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+    step(svc, vc, total, size, written);
+}
+
+// ---------------------------------------------------------------------
+// Registry + membership events
+// ---------------------------------------------------------------------
+
+#[test]
+fn room_is_traded_and_membership_events_reach_members() {
+    let w = star(&[clean(), clean(), clean()]);
+    let room = w.session.create_room("seminar", w.nodes[0], 8);
+
+    // The room is discoverable through the platform trader.
+    assert!(w.session.locate("seminar").is_some());
+    assert!(w.session.locate("colloquium").is_none());
+    assert_eq!(w.platform.trader().list("room/").len(), 1);
+
+    let recs: Vec<Rc<Rec>> = (0..3).map(|_| Rec::new()).collect();
+    let a = join(&room, w.nodes[0], "alice", recs[0].clone());
+    w.run_ms(10);
+    let b = join(&room, w.nodes[2], "bob", recs[1].clone());
+    w.run_ms(10);
+    let c = join(&room, w.nodes[3], "carol", recs[2].clone());
+    w.run_ms(10);
+
+    let (ida, idb, idc) = (joined_id(&a), joined_id(&b), joined_id(&c));
+    assert_eq!(room.peers().len(), 3);
+
+    // Earlier members saw each later join; nobody saw their own.
+    assert_eq!(
+        *recs[0].joined.borrow(),
+        vec![(idb, "bob".to_string()), (idc, "carol".to_string())]
+    );
+    assert_eq!(*recs[1].joined.borrow(), vec![(idc, "carol".to_string())]);
+    assert!(recs[2].joined.borrow().is_empty());
+
+    room.leave(idb);
+    w.run_ms(10);
+    assert_eq!(room.peers().len(), 2);
+    assert_eq!(*recs[0].left.borrow(), vec![(idb, "bob".to_string())]);
+    assert_eq!(*recs[2].left.borrow(), vec![(idb, "bob".to_string())]);
+    let _ = ida;
+}
+
+#[test]
+fn capacity_name_and_node_admission_are_typed() {
+    let w = star(&[clean(), clean()]);
+    let room = w.session.create_room("booth", w.nodes[0], 2);
+    let r = Rec::new();
+
+    let a = join(&room, w.nodes[0], "alice", r.clone());
+    w.run_ms(10);
+    joined_id(&a);
+
+    // Same name → NameTaken; same node → NodeInUse.
+    let dup_name = join(&room, w.nodes[2], "alice", r.clone());
+    w.run_ms(10);
+    assert_eq!(
+        *dup_name.borrow(),
+        Some(Err(JoinDenied::NameTaken)),
+        "duplicate name must be denied"
+    );
+    let dup_node = join(&room, w.nodes[0], "alan", r.clone());
+    w.run_ms(10);
+    assert_eq!(*dup_node.borrow(), Some(Err(JoinDenied::NodeInUse)));
+
+    // Fill the room, then overflow → RoomFull.
+    let b = join(&room, w.nodes[2], "bob", r.clone());
+    w.run_ms(10);
+    joined_id(&b);
+    let over = join(&room, w.nodes[3], "carol", r.clone());
+    w.run_ms(10);
+    assert_eq!(*over.borrow(), Some(Err(JoinDenied::RoomFull)));
+}
+
+// ---------------------------------------------------------------------
+// Streams in rooms
+// ---------------------------------------------------------------------
+
+#[test]
+fn published_stream_reaches_every_member_once_on_the_first_hop() {
+    let w = star(&[clean(), clean(), clean()]);
+    let room = w.session.create_room("lab", w.nodes[0], 8);
+
+    let teacher = Rec::new();
+    let students: Vec<Rc<Rec>> = (0..3).map(|_| Rec::new()).collect();
+    let t = join(&room, w.nodes[0], "teacher", teacher.clone());
+    w.run_ms(10);
+    for (i, s) in students.iter().enumerate() {
+        let slot = join(&room, w.nodes[2 + i], &format!("student{i}"), s.clone());
+        w.run_ms(10);
+        joined_id(&slot);
+    }
+
+    let vc = room
+        .publish(
+            joined_id(&t),
+            "lesson",
+            ServiceClass::cm_default(),
+            telephone_req(),
+        )
+        .expect("publish");
+    w.run_ms(50);
+
+    // Everyone (publisher included) heard the announcement; the stream is
+    // in the trader; all three members were grafted onto the tree.
+    for s in &students {
+        assert_eq!(*s.published.borrow(), vec!["lesson".to_string()]);
+    }
+    assert!(w
+        .platform
+        .trader()
+        .import("room/lab/stream/lesson")
+        .is_some());
+    let svc = room.stream_service("lesson").expect("publisher svc");
+    assert_eq!(svc.group_receivers(vc).expect("receivers").len(), 3);
+
+    // From here on, every first-hop packet is the stream itself: the
+    // source link must carry each OSDU exactly once for 3 receivers.
+    let first_hop = w.net.route(w.nodes[0], w.nodes[1]).unwrap()[0];
+    let base = w.net.link_counters(first_hop).submitted;
+    drive_writer(svc.clone(), vc, 100, 80);
+    w.run_ms(4_000);
+
+    for (i, s) in students.iter().enumerate() {
+        assert_eq!(
+            s.seqs(),
+            (0..100).collect::<Vec<_>>(),
+            "student {i} stream diverges"
+        );
+    }
+    let delta = w.net.link_counters(first_hop).submitted - base;
+    assert_eq!(delta, 100, "first-hop link must carry the stream once");
+    assert_eq!(w.net.reservation_count(), 1, "one shared-tree reservation");
+}
+
+#[test]
+fn join_against_unservable_path_is_denied_with_typed_reason() {
+    // Two healthy branches and one 16 kb/s branch that cannot carry
+    // telephone audio (32 kb/s preferred, 24 kb/s worst-acceptable).
+    let skinny = LinkParams::clean(Bandwidth::kbps(16), SimDuration::from_millis(1));
+    let w = star(&[clean(), clean(), skinny]);
+    let room = w.session.create_room("lab", w.nodes[0], 8);
+
+    let teacher = Rec::new();
+    let t = join(&room, w.nodes[0], "teacher", teacher.clone());
+    w.run_ms(10);
+    let s0 = Rec::new();
+    let a = join(&room, w.nodes[2], "ann", s0.clone());
+    w.run_ms(10);
+    joined_id(&a);
+
+    let vc = room
+        .publish(
+            joined_id(&t),
+            "lesson",
+            ServiceClass::cm_default(),
+            telephone_req(),
+        )
+        .expect("publish");
+    w.run_ms(50);
+    let svc = room.stream_service("lesson").expect("svc");
+    assert_eq!(svc.group_receivers(vc).expect("receivers").len(), 1);
+    let reservations = w.net.reservation_count();
+
+    // A healthy late joiner clears QoS admission…
+    let s1 = Rec::new();
+    let b = join(&room, w.nodes[3], "bob", s1.clone());
+    w.run_ms(50);
+    joined_id(&b);
+    assert_eq!(svc.group_receivers(vc).expect("receivers").len(), 2);
+
+    // …the peer behind the skinny branch is denied, with the transport's
+    // typed reason, and nothing else changes.
+    let s2 = Rec::new();
+    let c = join(&room, w.nodes[4], "cathy", s2.clone());
+    w.run_ms(50);
+    match c.borrow().clone() {
+        Some(Err(JoinDenied::Qos { stream, reason })) => {
+            assert_eq!(stream, "lesson");
+            assert!(
+                matches!(reason, DisconnectReason::QosUnattainable(_)),
+                "unexpected reason {reason:?}"
+            );
+        }
+        other => panic!("expected QoS denial, got {other:?}"),
+    }
+    assert_eq!(room.peers().len(), 3, "denied peer must not be admitted");
+    assert_eq!(
+        svc.group_receivers(vc).expect("receivers").len(),
+        2,
+        "admitted receivers must be untouched"
+    );
+    assert_eq!(
+        w.net.reservation_count(),
+        reservations,
+        "no reservation leak"
+    );
+
+    // The admitted members still receive cleanly after the denial.
+    drive_writer(svc.clone(), vc, 30, 80);
+    w.run_ms(2_000);
+    assert_eq!(s0.seqs(), (0..30).collect::<Vec<_>>());
+    assert_eq!(s1.seqs(), (0..30).collect::<Vec<_>>());
+    assert!(s2.seqs().is_empty());
+}
+
+#[test]
+fn leave_releases_only_that_branchs_reservations() {
+    // 0 (teacher) — 1 (near student) — 2 (far student): the far branch
+    // link 1→2 serves only the far student.
+    let w = chain(3);
+    let room = w.session.create_room("lab", w.nodes[0], 8);
+
+    let teacher = Rec::new();
+    let near = Rec::new();
+    let far = Rec::new();
+    let t = join(&room, w.nodes[0], "teacher", teacher.clone());
+    w.run_ms(10);
+    let n = join(&room, w.nodes[1], "near", near.clone());
+    w.run_ms(10);
+    let f = join(&room, w.nodes[2], "far", far.clone());
+    w.run_ms(10);
+    joined_id(&n);
+
+    room.publish(
+        joined_id(&t),
+        "lesson",
+        ServiceClass::cm_default(),
+        telephone_req(),
+    )
+    .expect("publish");
+    w.run_ms(50);
+
+    let l01 = w.net.route(w.nodes[0], w.nodes[1]).unwrap()[0];
+    let l12 = w.net.route(w.nodes[1], w.nodes[2]).unwrap()[0];
+    let r01 = w.net.reserved_on(l01);
+    assert!(w.net.reserved_on(l12) > Bandwidth::ZERO);
+
+    room.leave(joined_id(&f));
+    w.run_ms(50);
+
+    assert_eq!(
+        w.net.reserved_on(l12),
+        Bandwidth::ZERO,
+        "far branch must be pruned"
+    );
+    assert_eq!(
+        w.net.reserved_on(l01),
+        r01,
+        "shared trunk must keep its reservation"
+    );
+    assert_eq!(
+        *teacher.left.borrow(),
+        vec![(joined_id(&f), "far".to_string())]
+    );
+
+    // The near student keeps receiving.
+    let vc = room.stream_vc("lesson").expect("vc");
+    let svc = room.stream_service("lesson").expect("svc");
+    drive_writer(svc, vc, 30, 80);
+    w.run_ms(2_000);
+    assert_eq!(near.seqs(), (0..30).collect::<Vec<_>>());
+}
+
+#[test]
+fn publisher_leave_closes_its_streams_and_releases_everything() {
+    let w = star(&[clean(), clean()]);
+    let room = w.session.create_room("lab", w.nodes[0], 8);
+    let teacher = Rec::new();
+    let s0 = Rec::new();
+    let s1 = Rec::new();
+    let t = join(&room, w.nodes[0], "teacher", teacher.clone());
+    w.run_ms(10);
+    let a = join(&room, w.nodes[2], "ann", s0.clone());
+    w.run_ms(10);
+    let b = join(&room, w.nodes[3], "bob", s1.clone());
+    w.run_ms(10);
+    joined_id(&a);
+    joined_id(&b);
+
+    room.publish(
+        joined_id(&t),
+        "lesson",
+        ServiceClass::cm_default(),
+        telephone_req(),
+    )
+    .expect("publish");
+    w.run_ms(50);
+    assert_eq!(w.net.reservation_count(), 1);
+
+    room.leave(joined_id(&t));
+    w.run_ms(50);
+
+    assert!(room.streams().is_empty(), "publisher's stream must close");
+    assert_eq!(w.net.reservation_count(), 0, "tree must be released");
+    assert!(w
+        .platform
+        .trader()
+        .import("room/lab/stream/lesson")
+        .is_none());
+    assert_eq!(*s0.closed.borrow(), vec!["lesson".to_string()]);
+    assert_eq!(*s1.closed.borrow(), vec!["lesson".to_string()]);
+    assert_eq!(room.peers().len(), 2);
+}
+
+// ---------------------------------------------------------------------
+// Room-wide orchestration over the group control channel
+// ---------------------------------------------------------------------
+
+#[test]
+fn orchestrator_primes_starts_and_stops_the_whole_room() {
+    let w = star(&[clean(), clean()]);
+    let room = w.session.create_room("lab", w.nodes[0], 8);
+    let teacher = Rec::new();
+    let s0 = Rec::new();
+    let s1 = Rec::new();
+    let t = join(&room, w.nodes[0], "teacher", teacher.clone());
+    w.run_ms(10);
+    let a = join(&room, w.nodes[2], "ann", s0.clone());
+    w.run_ms(10);
+    let b = join(&room, w.nodes[3], "bob", s1.clone());
+    w.run_ms(10);
+    joined_id(&a);
+    joined_id(&b);
+
+    let vc = room
+        .publish(
+            joined_id(&t),
+            "lesson",
+            ServiceClass::cm_default(),
+            telephone_req(),
+        )
+        .expect("publish");
+    w.run_ms(50);
+    let orch = room.orchestrator("lesson").expect("orchestrator");
+    let svc = room.stream_service("lesson").expect("svc");
+
+    // Prime: media is produced and shipped but held at every sink gate.
+    orch.prime().expect("prime");
+    w.run_ms(20);
+    drive_writer(svc.clone(), vc, 50, 80);
+    w.run_ms(2_000);
+    assert!(s0.seqs().is_empty(), "primed sink must hold delivery");
+    assert!(s1.seqs().is_empty(), "primed sink must hold delivery");
+    assert_eq!(*s0.ctls.borrow(), vec![RoomCtl::Prime]);
+
+    // Start: one control OPDU over the shared tree opens every gate.
+    orch.start().expect("start");
+    w.run_ms(2_000);
+    assert_eq!(s0.seqs(), (0..50).collect::<Vec<_>>());
+    assert_eq!(s1.seqs(), (0..50).collect::<Vec<_>>());
+    assert_eq!(*s1.ctls.borrow(), vec![RoomCtl::Prime, RoomCtl::Start]);
+
+    // Stop: the source freezes and the gates close; nothing written after
+    // the freeze is delivered.
+    orch.stop().expect("stop");
+    w.run_ms(20);
+    drive_writer(svc.clone(), vc, 20, 80);
+    w.run_ms(2_000);
+    assert_eq!(s0.seqs().len(), 50, "stopped room must not deliver");
+
+    // Start again: the backlog flows.
+    orch.start().expect("restart");
+    w.run_ms(4_000);
+    assert_eq!(s0.seqs(), (0..70).collect::<Vec<_>>());
+    assert_eq!(s1.seqs(), (0..70).collect::<Vec<_>>());
+}
+
+#[test]
+fn join_after_session_drop_is_denied_not_swallowed() {
+    let w = star(&[clean()]);
+    let room = w.session.create_room("orphan", w.nodes[0], 4);
+    let World {
+        net,
+        platform,
+        session,
+        nodes,
+    } = w;
+    drop(session);
+    drop(platform);
+    drop(net);
+
+    let verdict = Rc::new(RefCell::new(None));
+    let v = verdict.clone();
+    room.join(nodes[2], "late", Rec::new(), move |r| {
+        *v.borrow_mut() = Some(r);
+    });
+    // No engine is reachable any more, so the denial must arrive
+    // synchronously rather than the callback being dropped.
+    assert_eq!(
+        *verdict.borrow(),
+        Some(Err(JoinDenied::SessionClosed)),
+        "a join against a dead session must still resolve its callback"
+    );
+}

@@ -223,8 +223,20 @@ impl FilmScenario {
         let audio_clip = StoredClip::cbr_for(&audio_profile, secs);
         let video_clip = StoredClip::cbr_for(&video_profile, secs);
 
-        let audio = MediaStream::build(&stack, audio_server, workstation, &audio_profile, &audio_clip);
-        let video = MediaStream::build(&stack, video_server, workstation, &video_profile, &video_clip);
+        let audio = MediaStream::build(
+            &stack,
+            audio_server,
+            workstation,
+            &audio_profile,
+            &audio_clip,
+        );
+        let video = MediaStream::build(
+            &stack,
+            video_server,
+            workstation,
+            &video_profile,
+            &video_clip,
+        );
         FilmScenario {
             stack,
             audio,
@@ -263,7 +275,12 @@ pub struct LanguageLab {
 impl LanguageLab {
     /// Build a lab with `students` workstations, each with the given clock
     /// skew (cycled), playing `secs` seconds of telephone audio.
-    pub fn build(students: usize, student_skews_ppm: Vec<i32>, secs: u64, mut cfg: StackConfig) -> LanguageLab {
+    pub fn build(
+        students: usize,
+        student_skews_ppm: Vec<i32>,
+        secs: u64,
+        mut cfg: StackConfig,
+    ) -> LanguageLab {
         cfg.testbed.workstations = students;
         cfg.testbed.servers = 1;
         let mut skews = Vec::new();

@@ -197,9 +197,8 @@ impl BufferHandle {
                     b.full_acc += now.saturating_since(t0);
                 }
             }
-            let waker = b.producer_waiter.take().map(|w| {
+            let waker = b.producer_waiter.take().inspect(|_w| {
                 b.finish_producer_block(now);
-                w
             });
             (osdu, waker)
         };
@@ -229,9 +228,8 @@ impl BufferHandle {
             let mut b = self.inner.borrow_mut();
             b.gated = gated;
             if !gated && !b.slots.is_empty() {
-                b.consumer_waiter.take().map(|w| {
+                b.consumer_waiter.take().inspect(|_w| {
                     b.finish_consumer_block(now);
-                    w
                 })
             } else {
                 None
@@ -259,9 +257,8 @@ impl BufferHandle {
                 _ => true,
             };
             if releasable && !b.gated && !b.slots.is_empty() {
-                b.consumer_waiter.take().map(|w| {
+                b.consumer_waiter.take().inspect(|_w| {
                     b.finish_consumer_block(now);
-                    w
                 })
             } else {
                 None
@@ -288,9 +285,8 @@ impl BufferHandle {
                 b.full_acc += now.saturating_since(t0);
             }
             b.slots.clear();
-            let waker = b.producer_waiter.take().map(|w| {
+            let waker = b.producer_waiter.take().inspect(|_w| {
                 b.finish_producer_block(now);
-                w
             });
             (n, waker)
         };

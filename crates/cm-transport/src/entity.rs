@@ -24,12 +24,10 @@ use crate::monitor::QosMonitor;
 use crate::rate::RateClock;
 use crate::receiver::{SinkAction, SinkEngine};
 use crate::service::{EntityConfig, TransportService, TransportUser, VcTap};
-use crate::tpdu::{
-    fragment_sizes, ControlMsg, DataTpdu, QosReport, CONTROL_WIRE_SIZE,
-};
+use crate::tpdu::{fragment_sizes, ControlMsg, DataTpdu, QosReport, CONTROL_WIRE_SIZE};
 use crate::vc::{EndStats, SinkEnd, SourceEnd, Vc, VcPhase, VcRole};
 use crate::window::{GoBackNReceiver, GoBackNSender};
-use cm_core::address::{AddressTriple, NetAddr, Tsap, VcId};
+use cm_core::address::{AddressTriple, NetAddr, TransportAddr, Tsap, VcId};
 use cm_core::error::{DisconnectReason, ServiceError};
 use cm_core::osdu::{Osdu, Payload};
 use cm_core::qos::{GuaranteeMode, QosParams, QosRequirement, QosTolerance};
@@ -46,10 +44,7 @@ pub(crate) enum WirePdu {
     /// Rate-profile data fragment.
     Data(DataTpdu),
     /// Window-profile data fragment with its window sequence number.
-    WindowData {
-        wseq: u64,
-        tpdu: DataTpdu,
-    },
+    WindowData { wseq: u64, tpdu: DataTpdu },
     /// Everything else.
     Control(ControlMsg),
 }
@@ -61,6 +56,11 @@ struct PendingDst {
     requirement: QosRequirement,
     agreed: QosParams,
     capacity: u32,
+    /// Set when the pending connect is a group-VC invitation: the backing
+    /// multicast group, answered with `GroupConnectResponse`.
+    group: Option<netsim::GroupId>,
+    /// Group invitations only: first OSDU sequence this receiver is owed.
+    start_seq: u64,
 }
 
 /// Source-side record of a connect in progress.
@@ -79,7 +79,7 @@ struct PendingRemote {
 }
 
 pub(crate) struct State {
-    users: HashMap<Tsap, Rc<dyn TransportUser>>,
+    pub(crate) users: HashMap<Tsap, Rc<dyn TransportUser>>,
     pub(crate) vcs: HashMap<VcId, Vc>,
     pending_dst: HashMap<VcId, PendingDst>,
     pending_src: HashMap<VcId, PendingSrc>,
@@ -140,7 +140,7 @@ impl TransportEntity {
     /// on *local* time: real protocol engines pace off their own crystal,
     /// which is exactly the clock-rate discrepancy the orchestrator exists
     /// to correct (§3.6).
-    fn local_now(&self) -> SimTime {
+    pub(crate) fn local_now(&self) -> SimTime {
         self.net.local_time(self.node)
     }
 
@@ -149,7 +149,7 @@ impl TransportEntity {
         self.net.clock(self.node).global_of(local)
     }
 
-    fn alloc_vc(&self) -> VcId {
+    pub(crate) fn alloc_vc(&self) -> VcId {
         let mut st = self.state.borrow_mut();
         st.next_vc += 1;
         VcId(((self.node.0 as u64 + 1) << 40) | st.next_vc)
@@ -166,8 +166,36 @@ impl TransportEntity {
         self.net.send(self.node, pkt);
     }
 
+    /// Source-side feedback that must reach every receiving end: unicast
+    /// to the peer on an ordinary VC, multicast over the group's control
+    /// channel on a group VC.
+    pub(crate) fn send_source_feedback(&self, vc: VcId, msg: ControlMsg) {
+        let target = {
+            let st = self.state.borrow();
+            st.vcs
+                .get(&vc)
+                .map(|v| (v.group.as_ref().map(|ge| ge.group), v.peer_node))
+        };
+        match target {
+            Some((Some(g), _)) => {
+                let pkt = Packet::group(
+                    self.node,
+                    g,
+                    Some(vc),
+                    netsim::PacketClass::Control,
+                    CONTROL_WIRE_SIZE,
+                    self.now(),
+                    WirePdu::Control(msg),
+                );
+                self.net.send_to_group(g, pkt);
+            }
+            Some((None, peer)) => self.send_control(peer, msg),
+            None => {}
+        }
+    }
+
     /// Dispatch a user callback as an event at the current instant.
-    fn to_user(
+    pub(crate) fn to_user(
         self: &Rc<Self>,
         tsap: Tsap,
         f: impl FnOnce(&TransportService, &Rc<dyn TransportUser>) + 'static,
@@ -175,10 +203,12 @@ impl TransportEntity {
         let user = self.state.borrow().users.get(&tsap).cloned();
         if let Some(user) = user {
             let me = self.clone();
-            self.net.engine().schedule_in(cm_core::time::SimDuration::ZERO, move |_| {
-                let svc = TransportService::new(me.clone());
-                f(&svc, &user);
-            });
+            self.net
+                .engine()
+                .schedule_in(cm_core::time::SimDuration::ZERO, move |_| {
+                    let svc = TransportService::new(me.clone());
+                    f(&svc, &user);
+                });
         }
     }
 
@@ -265,6 +295,35 @@ impl TransportEntity {
         // Destination answering its indication?
         let dst = self.state.borrow_mut().pending_dst.remove(&vc);
         if let Some(p) = dst {
+            // Group invitation: answer the sender with the group handshake
+            // (reservations live on the shared tree, keyed by the group).
+            if p.group.is_some() {
+                let member = TransportAddr {
+                    node: self.node,
+                    tsap: p.triple.destination.tsap,
+                };
+                if accept {
+                    self.open_sink(vc, &p);
+                    self.send_control(
+                        p.triple.source.node,
+                        ControlMsg::GroupConnectResponse {
+                            vc,
+                            member,
+                            result: Ok((p.agreed, p.capacity)),
+                        },
+                    );
+                } else {
+                    self.send_control(
+                        p.triple.source.node,
+                        ControlMsg::GroupConnectResponse {
+                            vc,
+                            member,
+                            result: Err(DisconnectReason::UserRejected),
+                        },
+                    );
+                }
+                return Ok(());
+            }
             if accept {
                 self.open_sink(vc, &p);
                 self.send_control(
@@ -503,7 +562,7 @@ impl TransportEntity {
     // VC endpoint construction
     // ------------------------------------------------------------------
 
-    fn buffer_slots(&self, requirement: &QosRequirement) -> usize {
+    pub(crate) fn buffer_slots(&self, requirement: &QosRequirement) -> usize {
         if let Some(n) = self.config.buffer_slots_override {
             return n;
         }
@@ -516,14 +575,12 @@ impl TransportEntity {
 
     fn open_sink(self: &Rc<Self>, vc: VcId, p: &PendingDst) {
         let slots = p.capacity as usize;
-        let monitor = (p.requirement.guarantee != GuaranteeMode::BestEffort).then(|| {
-            QosMonitor::new(self.config.monitor_period, self.now())
-        });
-        let sink = SinkEnd {
+        let monitor = (p.requirement.guarantee != GuaranteeMode::BestEffort)
+            .then(|| QosMonitor::new(self.config.monitor_period, self.now()));
+        let mut sink = SinkEnd {
             recv_buf: BufferHandle::new(slots),
             engine: SinkEngine::new(p.class.error_control),
-            gbn_recv: (p.class.profile == ProtocolProfile::WindowBased)
-                .then(GoBackNReceiver::new),
+            gbn_recv: (p.class.profile == ProtocolProfile::WindowBased).then(GoBackNReceiver::new),
             app_popped: 0,
             last_freed_sent: 0,
             monitor,
@@ -533,6 +590,11 @@ impl TransportEntity {
             lost_snap: 0,
             delivered_snap: 0,
         };
+        // Mid-stream group join: the stream position starts at the
+        // invitation point, not zero.
+        if p.start_seq > 0 {
+            sink.engine.start_at(p.start_seq);
+        }
         let v = Vc {
             id: vc,
             triple: p.triple,
@@ -545,6 +607,7 @@ impl TransportEntity {
             phase: VcPhase::Open,
             source: None,
             sink: Some(sink),
+            group: None,
             pending_reneg: None,
         };
         self.state.borrow_mut().vcs.insert(vc, v);
@@ -573,9 +636,8 @@ impl TransportEntity {
         let source = SourceEnd {
             send_buf: BufferHandle::new(slots),
             clock,
-            gbn: (p.class.profile == ProtocolProfile::WindowBased).then(|| {
-                GoBackNSender::new(self.config.window_size, self.config.rto)
-            }),
+            gbn: (p.class.profile == ProtocolProfile::WindowBased)
+                .then(|| GoBackNSender::new(self.config.window_size, self.config.rto)),
             pending_frags: std::collections::VecDeque::new(),
             next_write_seq: 0,
             charged: 0,
@@ -603,6 +665,7 @@ impl TransportEntity {
             phase: VcPhase::Open,
             source: Some(source),
             sink: None,
+            group: None,
             pending_reneg: None,
         };
         self.state.borrow_mut().vcs.insert(vc, v);
@@ -614,7 +677,12 @@ impl TransportEntity {
         }
     }
 
-    fn teardown_local(self: &Rc<Self>, vc: VcId, reason: DisconnectReason, indicate: bool) {
+    pub(crate) fn teardown_local(
+        self: &Rc<Self>,
+        vc: VcId,
+        reason: DisconnectReason,
+        indicate: bool,
+    ) {
         let tsap = {
             let mut st = self.state.borrow_mut();
             st.taps.remove(&vc);
@@ -657,18 +725,21 @@ impl TransportEntity {
     fn handle_packet(self: &Rc<Self>, pkt: Packet) {
         // Take the payload out (avoid double-Rc clones of big TPDUs).
         let corrupted = pkt.corrupted;
+        let from = pkt.src;
         if let Some(pdu) = pkt.payload_as::<WirePdu>() {
             match pdu {
                 WirePdu::Data(tpdu) => self.on_data(tpdu.clone(), corrupted),
                 WirePdu::WindowData { wseq, tpdu } => {
                     self.on_window_data(*wseq, tpdu.clone(), corrupted)
                 }
-                WirePdu::Control(msg) => self.on_control(msg.clone()),
+                WirePdu::Control(msg) => self.on_control(from, msg.clone()),
             }
         }
     }
 
-    fn on_control(self: &Rc<Self>, msg: ControlMsg) {
+    /// `from` is the originating node — group VCs demultiplex per-receiver
+    /// feedback (credit, nacks, QoS reports, releases) on it.
+    fn on_control(self: &Rc<Self>, from: NetAddr, msg: ControlMsg) {
         match msg {
             ControlMsg::RemoteConnectRequest {
                 vc,
@@ -678,11 +749,7 @@ impl TransportEntity {
             } => {
                 // Leg 1 arrival at the source entity: indication to the
                 // source user (fig. 3).
-                let bound = self
-                    .state
-                    .borrow()
-                    .users
-                    .contains_key(&triple.source.tsap);
+                let bound = self.state.borrow().users.contains_key(&triple.source.tsap);
                 if !bound {
                     self.send_control(
                         triple.initiator.node,
@@ -712,17 +779,15 @@ impl TransportEntity {
                 class,
                 qos,
             } => self.on_connect_request(vc, triple, class, qos),
-            ControlMsg::ConnectResponse { vc, result } => {
-                self.on_connect_response(vc, result)
-            }
+            ControlMsg::ConnectResponse { vc, result } => self.on_connect_response(vc, result),
             ControlMsg::RemoteConnectReply { vc, result } => {
                 let p = self.state.borrow_mut().pending_remote.remove(&vc);
                 if let Some(p) = p {
                     let tsap = p.triple.initiator.tsap;
                     match result {
-                        Ok(qos) => self.to_user(tsap, move |svc, u| {
-                            u.t_connect_confirm(svc, vc, Ok(qos))
-                        }),
+                        Ok(qos) => {
+                            self.to_user(tsap, move |svc, u| u.t_connect_confirm(svc, vc, Ok(qos)))
+                        }
                         Err(reason) => {
                             self.state.borrow_mut().initiated.remove(&vc);
                             self.to_user(tsap, move |svc, u| {
@@ -732,7 +797,37 @@ impl TransportEntity {
                     }
                 }
             }
+            ControlMsg::GroupConnectRequest {
+                vc,
+                group,
+                triple,
+                class,
+                requirement,
+                agreed,
+                start_seq,
+            } => self.on_group_connect_request(
+                vc,
+                group,
+                triple,
+                class,
+                requirement,
+                agreed,
+                start_seq,
+            ),
+            ControlMsg::GroupConnectResponse { vc, member, result } => {
+                self.on_group_connect_response(vc, member, result)
+            }
             ControlMsg::Disconnect { vc, reason, notify } => {
+                // At a group sender a release from a member means that
+                // member leaves — the group VC itself stays up.
+                let group_sender = {
+                    let st = self.state.borrow();
+                    st.vcs.get(&vc).is_some_and(|v| v.group.is_some())
+                };
+                if group_sender {
+                    self.group_member_left(vc, from, reason);
+                    return;
+                }
                 if let Some(to_notify) = notify {
                     // Remote release request: indication only; the user
                     // decides whether to actually release (§4.1.1).
@@ -742,9 +837,7 @@ impl TransportEntity {
                     };
                     if let Some(tsap) = tsap {
                         let r = reason.clone();
-                        self.to_user(tsap, move |svc, u| {
-                            u.t_disconnect_indication(svc, vc, r)
-                        });
+                        self.to_user(tsap, move |svc, u| u.t_disconnect_indication(svc, vc, r));
                     } else {
                         // VC unknown: report back to the requester.
                         let _ = to_notify;
@@ -784,9 +877,7 @@ impl TransportEntity {
                                 v.contract = qos;
                             }
                         }
-                        self.to_user(tsap, move |svc, u| {
-                            u.t_renegotiate_confirm(svc, vc, qos)
-                        });
+                        self.to_user(tsap, move |svc, u| u.t_renegotiate_confirm(svc, vc, qos));
                     }
                     Err(reason) => {
                         // §4.1.3: refusal arrives as T-Disconnect.indication
@@ -797,7 +888,7 @@ impl TransportEntity {
                     }
                 }
             }
-            ControlMsg::Credit { vc, freed_total } => self.on_credit(vc, freed_total),
+            ControlMsg::Credit { vc, freed_total } => self.on_credit(from, vc, freed_total),
             ControlMsg::Dropped { vc, seqs } => {
                 let now = self.now();
                 let actions = {
@@ -809,15 +900,26 @@ impl TransportEntity {
                 };
                 self.apply_sink_actions(vc, actions, None);
             }
-            ControlMsg::Nack { vc, seqs } => self.on_nack(vc, seqs),
+            ControlMsg::Nack { vc, seqs } => self.on_nack(from, vc, seqs),
             ControlMsg::Ack { vc, upto } => self.on_ack(vc, upto),
             ControlMsg::QosReportMsg(report) => {
-                let tsap = {
+                let info = {
                     let st = self.state.borrow();
-                    st.vcs.get(&report.vc).map(|v| v.local_tsap)
+                    st.vcs
+                        .get(&report.vc)
+                        .map(|v| (v.local_tsap, v.group.is_some()))
                 };
-                if let Some(tsap) = tsap {
-                    self.to_user(tsap, move |svc, u| u.t_qos_indication(svc, report));
+                if let Some((tsap, is_group)) = info {
+                    if is_group {
+                        // Per-receiver monitoring: attribute the report to
+                        // the member that measured it.
+                        let vc = report.vc;
+                        self.to_user(tsap, move |svc, u| {
+                            u.t_group_qos_indication(svc, vc, from, report)
+                        });
+                    } else {
+                        self.to_user(tsap, move |svc, u| u.t_qos_indication(svc, report));
+                    }
                 }
             }
             ControlMsg::UserControl { vc, payload } => {
@@ -931,10 +1033,61 @@ impl TransportEntity {
                 requirement: qos,
                 agreed,
                 capacity,
+                group: None,
+                start_seq: 0,
             },
         );
         self.to_user(triple.destination.tsap, move |svc, u| {
             u.t_connect_indication(svc, vc, triple, class, qos)
+        });
+    }
+
+    /// A group-VC invitation arrived at a prospective receiver. QoS and
+    /// reservation were settled at the sender against this member's
+    /// branch; here only the local user's consent and buffer capacity are
+    /// needed (answered through the ordinary `t_connect_response`).
+    #[allow(clippy::too_many_arguments)]
+    fn on_group_connect_request(
+        self: &Rc<Self>,
+        vc: VcId,
+        group: netsim::GroupId,
+        triple: AddressTriple,
+        class: ServiceClass,
+        requirement: QosRequirement,
+        agreed: QosParams,
+        start_seq: u64,
+    ) {
+        if !self
+            .state
+            .borrow()
+            .users
+            .contains_key(&triple.destination.tsap)
+        {
+            self.send_control(
+                triple.source.node,
+                ControlMsg::GroupConnectResponse {
+                    vc,
+                    member: triple.destination,
+                    result: Err(DisconnectReason::NoSuchTsap),
+                },
+            );
+            return;
+        }
+        let capacity = self.buffer_slots(&requirement) as u32;
+        self.state.borrow_mut().pending_dst.insert(
+            vc,
+            PendingDst {
+                triple,
+                class,
+                requirement,
+                agreed,
+                capacity,
+                group: Some(group),
+                start_seq,
+            },
+        );
+        self.to_user(triple.destination.tsap, move |svc, u| {
+            u.t_connect_indication(svc, vc, triple, class, requirement)
         });
     }
 
@@ -1027,7 +1180,7 @@ impl TransportEntity {
         }
     }
 
-    fn source_tick(self: &Rc<Self>, vc: VcId) {
+    pub(crate) fn source_tick(self: &Rc<Self>, vc: VcId) {
         let now = self.now();
         let local = self.local_now();
         enum Next {
@@ -1110,10 +1263,8 @@ impl TransportEntity {
                             .schedule_in(cm_core::time::SimDuration::ZERO, move |_| {
                                 {
                                     let mut st = me2.state.borrow_mut();
-                                    if let Some(s) = st
-                                        .vcs
-                                        .get_mut(&vc)
-                                        .and_then(|v| v.source.as_mut())
+                                    if let Some(s) =
+                                        st.vcs.get_mut(&vc).and_then(|v| v.source.as_mut())
                                     {
                                         s.waiting_buffer = false;
                                     }
@@ -1124,12 +1275,10 @@ impl TransportEntity {
                 }
             }
             Next::Send(osdu) => {
-                self.transmit_osdu(vc, osdu, false);
+                self.transmit_osdu(vc, osdu, false, None);
                 {
                     let mut st = self.state.borrow_mut();
-                    if let Some(s) =
-                        st.vcs.get_mut(&vc).and_then(|v| v.source.as_mut())
-                    {
+                    if let Some(s) = st.vcs.get_mut(&vc).and_then(|v| v.source.as_mut()) {
                         s.clock.consume_slot();
                         // Never burst more than a couple of units of
                         // backlog after a stall — rate-based senders pace.
@@ -1141,13 +1290,31 @@ impl TransportEntity {
         }
     }
 
-    /// Fragment and transmit one OSDU (fresh or retransmission).
-    fn transmit_osdu(self: &Rc<Self>, vc: VcId, osdu: Osdu, is_retrans: bool) {
+    /// Fragment and transmit one OSDU (fresh or retransmission). Fresh
+    /// sends on a group VC fan out over the shared tree; `explicit_to`
+    /// overrides the destination for per-receiver unicast retransmission.
+    fn transmit_osdu(
+        self: &Rc<Self>,
+        vc: VcId,
+        osdu: Osdu,
+        is_retrans: bool,
+        explicit_to: Option<NetAddr>,
+    ) {
+        enum Dest {
+            Unicast(NetAddr),
+            Group(netsim::GroupId),
+        }
         let now = self.now();
-        let (peer, seq, sizes) = {
+        let (dest, seq, sizes) = {
             let mut st = self.state.borrow_mut();
             let Some(v) = st.vcs.get_mut(&vc) else { return };
-            let peer = v.peer_node;
+            let dest = match explicit_to {
+                Some(node) => Dest::Unicast(node),
+                None => match &v.group {
+                    Some(ge) => Dest::Group(ge.group),
+                    None => Dest::Unicast(v.peer_node),
+                },
+            };
             let seq = osdu.seq();
             let sizes = fragment_sizes(osdu.wire_size(), self.config.mtu);
             let s = v.source.as_mut().expect("source end");
@@ -1161,7 +1328,7 @@ impl TransportEntity {
                     }
                 }
             }
-            (peer, seq, sizes)
+            (dest, seq, sizes)
         };
         let count = sizes.len() as u32;
         for (i, bytes) in sizes.iter().enumerate() {
@@ -1177,12 +1344,36 @@ impl TransportEntity {
                 osdu_sent_at: now,
             };
             let wire = tpdu.wire_size();
-            let pkt = Packet::data(self.node, peer, vc, wire, now, WirePdu::Data(tpdu));
-            self.net.send(self.node, pkt);
+            match &dest {
+                Dest::Unicast(node) => {
+                    let pkt = Packet::data(self.node, *node, vc, wire, now, WirePdu::Data(tpdu));
+                    self.net.send(self.node, pkt);
+                }
+                Dest::Group(g) => {
+                    let pkt = Packet::group(
+                        self.node,
+                        *g,
+                        Some(vc),
+                        netsim::PacketClass::Data,
+                        wire,
+                        now,
+                        WirePdu::Data(tpdu),
+                    );
+                    self.net.send_to_group(*g, pkt);
+                }
+            }
         }
     }
 
-    fn on_credit(self: &Rc<Self>, vc: VcId, freed_total: u64) {
+    fn on_credit(self: &Rc<Self>, from: NetAddr, vc: VcId, freed_total: u64) {
+        let is_group = {
+            let st = self.state.borrow();
+            st.vcs.get(&vc).is_some_and(|v| v.group.is_some())
+        };
+        if is_group {
+            self.on_group_credit(vc, from, freed_total);
+            return;
+        }
         let resume = {
             let mut st = self.state.borrow_mut();
             let Some(s) = st.vcs.get_mut(&vc).and_then(|v| v.source.as_mut()) else {
@@ -1209,7 +1400,10 @@ impl TransportEntity {
         }
     }
 
-    fn on_nack(self: &Rc<Self>, vc: VcId, seqs: Vec<u64>) {
+    /// Per-receiver error control: retransmissions (and give-up notices
+    /// for cache-evicted sequences) go *unicast* to the requesting node,
+    /// so one lossy receiver never triggers a resend to the whole group.
+    fn on_nack(self: &Rc<Self>, from: NetAddr, vc: VcId, seqs: Vec<u64>) {
         let mut to_resend = Vec::new();
         let mut gone = Vec::new();
         {
@@ -1225,17 +1419,11 @@ impl TransportEntity {
             }
         }
         for osdu in to_resend {
-            self.transmit_osdu(vc, osdu, true);
+            self.transmit_osdu(vc, osdu, true, Some(from));
         }
         if !gone.is_empty() {
             // Evicted from the cache: give up so the receiver can move on.
-            let peer = {
-                let st = self.state.borrow();
-                st.vcs.get(&vc).map(|v| v.peer_node)
-            };
-            if let Some(peer) = peer {
-                self.send_control(peer, ControlMsg::Dropped { vc, seqs: gone });
-            }
+            self.send_control(from, ControlMsg::Dropped { vc, seqs: gone });
         }
     }
 
@@ -1296,8 +1484,7 @@ impl TransportEntity {
                                 None => Pull::Park,
                                 Some(osdu) => {
                                     let seq = osdu.seq();
-                                    let sizes =
-                                        fragment_sizes(osdu.wire_size(), mtu);
+                                    let sizes = fragment_sizes(osdu.wire_size(), mtu);
                                     let count = sizes.len() as u32;
                                     for (i, bytes) in sizes.iter().enumerate() {
                                         let last = i as u32 + 1 == count;
@@ -1308,8 +1495,7 @@ impl TransportEntity {
                                             frag_count: count,
                                             frag_bytes: *bytes,
                                             opdu: osdu.opdu,
-                                            payload: last
-                                                .then(|| osdu.payload.clone()),
+                                            payload: last.then(|| osdu.payload.clone()),
                                             osdu_sent_at: now,
                                         });
                                     }
@@ -1556,9 +1742,7 @@ impl TransportEntity {
                         st.vcs.get(&vc).map(|v| v.local_tsap)
                     };
                     if let Some(tsap) = tsap {
-                        self.to_user(tsap, move |svc, u| {
-                            u.t_error_indication(svc, vc, seq)
-                        });
+                        self.to_user(tsap, move |svc, u| u.t_error_indication(svc, vc, seq));
                     }
                     self.to_tap(vc, move |tap| tap.on_loss_indicated(vc, seq));
                 }
@@ -1930,15 +2114,16 @@ impl TransportEntity {
         vc: VcId,
         payload: Rc<dyn Any>,
     ) -> Result<(), ServiceError> {
-        let peer = {
+        {
             let st = self.state.borrow();
             st.vcs
                 .get(&vc)
                 .filter(|v| v.phase == VcPhase::Open)
-                .map(|v| v.peer_node)
-                .ok_or(ServiceError::UnknownVc)?
-        };
-        self.send_control(peer, ControlMsg::UserControl { vc, payload });
+                .ok_or(ServiceError::UnknownVc)?;
+        }
+        // On a group VC this fans the OPDU out to every member over the
+        // shared tree — the session layer's room-wide control channel.
+        self.send_source_feedback(vc, ControlMsg::UserControl { vc, payload });
         Ok(())
     }
 
@@ -2007,22 +2192,28 @@ impl TransportEntity {
         let dropped = {
             let mut st = self.state.borrow_mut();
             let v = st.vcs.get_mut(&vc).ok_or(ServiceError::UnknownVc)?;
-            let peer = v.peer_node;
-            let s = v.source.as_mut().ok_or(ServiceError::WrongState(
-                "drop on sink end",
-            ))?;
+            let s = v
+                .source
+                .as_mut()
+                .ok_or(ServiceError::WrongState("drop on sink end"))?;
             match s.send_buf.try_pop(now) {
                 Some(osdu) => {
                     s.charged += 1;
                     s.dropped += 1;
-                    Some((peer, osdu.seq()))
+                    Some(osdu.seq())
                 }
                 None => None,
             }
         };
         match dropped {
-            Some((peer, seq)) => {
-                self.send_control(peer, ControlMsg::Dropped { vc, seqs: vec![seq] });
+            Some(seq) => {
+                self.send_source_feedback(
+                    vc,
+                    ControlMsg::Dropped {
+                        vc,
+                        seqs: vec![seq],
+                    },
+                );
                 Ok(true)
             }
             None => Ok(false),
@@ -2031,7 +2222,11 @@ impl TransportEntity {
 
     /// Open or close the receive-delivery gate (Orch.Prime holds data in
     /// the buffers without releasing it, §6.2.1).
-    pub(crate) fn set_recv_gate(self: &Rc<Self>, vc: VcId, gated: bool) -> Result<(), ServiceError> {
+    pub(crate) fn set_recv_gate(
+        self: &Rc<Self>,
+        vc: VcId,
+        gated: bool,
+    ) -> Result<(), ServiceError> {
         let now = self.now();
         let st = self.state.borrow();
         let k = st
@@ -2049,13 +2244,12 @@ impl TransportEntity {
     pub(crate) fn flush_local(self: &Rc<Self>, vc: VcId) -> Result<usize, ServiceError> {
         let now = self.now();
         enum Which {
-            Src { peer: NetAddr, first: u64, n: usize },
+            Src { first: u64, n: usize },
             Snk { n: usize },
         }
         let which = {
             let mut st = self.state.borrow_mut();
             let v = st.vcs.get_mut(&vc).ok_or(ServiceError::UnknownVc)?;
-            let peer = v.peer_node;
             match v.role {
                 VcRole::Source => {
                     let s = v.source.as_mut().expect("source end");
@@ -2065,7 +2259,7 @@ impl TransportEntity {
                     let first = s.charged;
                     s.charged += n as u64;
                     s.dropped += n as u64;
-                    Which::Src { peer, first, n }
+                    Which::Src { first, n }
                 }
                 VcRole::Sink => {
                     let k = v.sink.as_mut().expect("sink end");
@@ -2078,10 +2272,10 @@ impl TransportEntity {
             }
         };
         match which {
-            Which::Src { peer, first, n } => {
+            Which::Src { first, n } => {
                 if n > 0 {
                     let seqs: Vec<u64> = (first..first + n as u64).collect();
-                    self.send_control(peer, ControlMsg::Dropped { vc, seqs });
+                    self.send_source_feedback(vc, ControlMsg::Dropped { vc, seqs });
                 }
                 Ok(n)
             }

@@ -17,6 +17,7 @@
 
 pub mod buffer;
 pub mod entity;
+pub mod group;
 pub mod monitor;
 pub mod rate;
 pub mod receiver;
@@ -27,6 +28,7 @@ pub mod vc;
 pub mod window;
 
 pub use buffer::{BufferHandle, BufferStats, PushOutcome};
+pub use group::{GroupEnd, GroupReceiver};
 pub use service::{EntityConfig, TransportService, TransportUser, VcTap};
 pub use sync_buffer::SyncCircularBuffer;
 pub use tpdu::{QosReport, DEFAULT_MTU};

@@ -77,7 +77,8 @@ impl QosMonitor {
     pub fn end_period(&mut self, now: SimTime) -> QosParams {
         let elapsed = now.saturating_since(self.period_start);
         let secs_us = elapsed.as_micros().max(1);
-        let throughput = Bandwidth::bps((self.bytes as u128 * 8 * 1_000_000 / secs_us as u128) as u64);
+        let throughput =
+            Bandwidth::bps((self.bytes as u128 * 8 * 1_000_000 / secs_us as u128) as u64);
         let delay = SimDuration::from_micros(self.delay.mean() as u64);
         let jitter = if self.delay.count() >= 2 {
             SimDuration::from_micros((self.delay.max() - self.delay.min()) as u64)

@@ -145,9 +145,7 @@ impl RateClock {
         if !self.is_running() {
             return;
         }
-        let due = self
-            .effective_rate()
-            .due_time(self.base_time, self.slots);
+        let due = self.effective_rate().due_time(self.base_time, self.slots);
         let horizon = self.interval().saturating_mul(max_slots);
         if due + horizon < now {
             self.base_time = now + self.interval();
@@ -200,14 +198,11 @@ mod tests {
         c.start(SimTime::ZERO);
         c.consume_slot(); // next due at 100 ms
         c.set_factor(9, 10, SimTime::from_millis(50)); // 10% slower
-        // Next unit keeps its slot at 100 ms...
+                                                       // Next unit keeps its slot at 100 ms...
         assert_eq!(c.next_due(), Some(SimTime::from_millis(100)));
         c.consume_slot();
         // ...but the one after follows the new 9/s rate: +111.1 ms.
-        assert_eq!(
-            c.next_due(),
-            Some(SimTime::from_micros(100_000 + 111_111))
-        );
+        assert_eq!(c.next_due(), Some(SimTime::from_micros(100_000 + 111_111)));
     }
 
     #[test]

@@ -14,10 +14,10 @@
 //! Links deliver FIFO within the data class, so out-of-order arrival occurs
 //! only via retransmission — which is what the stash handles.
 
+use crate::tpdu::DataTpdu;
 use cm_core::osdu::Osdu;
 use cm_core::service_class::ErrorControlClass;
 use cm_core::time::{SimDuration, SimTime};
-use crate::tpdu::DataTpdu;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// What the entity must do after feeding a TPDU in.
@@ -103,6 +103,21 @@ impl SinkEngine {
         self.next_expected
     }
 
+    /// Start the in-order point at `seq` instead of zero (a receiver
+    /// joining a multicast group mid-stream): everything below `seq`
+    /// predates this receiver and is neither owed to the application nor
+    /// counted as loss. Only valid before any TPDU has been fed in.
+    pub fn start_at(&mut self, seq: u64) {
+        debug_assert!(
+            self.next_expected == 0 && self.highest_seen.is_none(),
+            "start_at on a running engine"
+        );
+        self.next_expected = seq;
+        if seq > 0 {
+            self.highest_seen = Some(seq - 1);
+        }
+    }
+
     /// Outstanding holes (reliable mode).
     pub fn hole_count(&self) -> usize {
         self.holes.len()
@@ -132,7 +147,7 @@ impl SinkEngine {
         }
 
         // Whole-OSDU gap detection, only when moving forward.
-        let forward = self.highest_seen.map_or(true, |h| seq > h);
+        let forward = self.highest_seen.is_none_or(|h| seq > h);
         if forward {
             let from = self.highest_seen.map_or(0, |h| h + 1);
             for missing in from..seq {

@@ -114,6 +114,46 @@ pub trait TransportUser {
         payload: Rc<dyn Any>,
     ) {
     }
+
+    // ---- Group (1:N) VC callbacks, sender side ---------------------------
+
+    /// Outcome of a [`TransportService::t_group_add_receiver`] invitation:
+    /// either the per-receiver contract now in force for `member`, or a
+    /// typed denial (branch QoS below the acceptable floor, reservation
+    /// admission failure, unreachable node, or the member's own refusal).
+    /// Denials leave already-admitted receivers untouched.
+    fn t_group_join_confirm(
+        &self,
+        svc: &TransportService,
+        vc: VcId,
+        member: TransportAddr,
+        result: Result<QosParams, DisconnectReason>,
+    ) {
+    }
+
+    /// A group member released its end (or was torn down remotely); its
+    /// branch reservations have been pruned and the group contract
+    /// re-derived from the remaining receivers.
+    fn t_group_leave_indication(
+        &self,
+        svc: &TransportService,
+        vc: VcId,
+        member: TransportAddr,
+        reason: DisconnectReason,
+    ) {
+    }
+
+    /// A QoS violation report from one receiver of a group VC (soft
+    /// guarantee, §3.2) — per-member, so one degraded branch is
+    /// attributable without implicating the rest of the group.
+    fn t_group_qos_indication(
+        &self,
+        svc: &TransportService,
+        vc: VcId,
+        member: NetAddr,
+        report: QosReport,
+    ) {
+    }
 }
 
 /// Orchestration-layer tap on one VC (the "close implementation
@@ -214,6 +254,74 @@ impl TransportService {
     /// `T-Renegotiate.response`: answer a `t_renegotiate_indication`.
     pub fn t_renegotiate_response(&self, vc: VcId, accept: bool) -> Result<(), ServiceError> {
         self.entity.t_renegotiate_response(vc, accept)
+    }
+
+    // ---- Group (1:N) VCs (§3.1 CM multicast) -----------------------------
+
+    /// Open the sending end of a 1:N group VC at `tsap`. The VC starts
+    /// with an empty receiver set; invite members with
+    /// [`TransportService::t_group_add_receiver`]. Each OSDU is forwarded
+    /// once per shared-tree link and fanned out at branch points, so the
+    /// source's first-hop link carries the stream exactly once regardless
+    /// of the receiver count.
+    pub fn t_group_open(
+        &self,
+        tsap: Tsap,
+        class: ServiceClass,
+        qos: QosRequirement,
+    ) -> Result<VcId, ServiceError> {
+        self.entity.t_group_open(tsap, class, qos)
+    }
+
+    /// Invite `to` into group VC `vc`. Synchronous errors cover misuse
+    /// only; the admission outcome arrives via
+    /// [`TransportUser::t_group_join_confirm`]. The invitee sees an
+    /// ordinary `t_connect_indication` and answers with
+    /// [`TransportService::t_connect_response`].
+    pub fn t_group_add_receiver(&self, vc: VcId, to: TransportAddr) -> Result<(), ServiceError> {
+        self.entity.t_group_add_receiver(vc, to)
+    }
+
+    /// Remove `member` from the group: its branch reservations are
+    /// released (and only those — the rest of the tree is untouched) and
+    /// the group contract re-derived from the remaining receivers.
+    pub fn t_group_remove_receiver(&self, vc: VcId, member: NetAddr) -> Result<(), ServiceError> {
+        self.entity.t_group_remove_receiver(vc, member)
+    }
+
+    /// Close the whole group VC: disconnect every member and release the
+    /// shared tree.
+    pub fn t_group_close(&self, vc: VcId) -> Result<(), ServiceError> {
+        self.entity.t_group_close(vc)
+    }
+
+    /// The network-layer multicast group behind a group VC.
+    pub fn group_id(&self, vc: VcId) -> Result<netsim::GroupId, ServiceError> {
+        let st = self.entity.state.borrow();
+        st.vcs
+            .get(&vc)
+            .and_then(|v| v.group.as_ref())
+            .map(|ge| ge.group)
+            .ok_or(ServiceError::UnknownVc)
+    }
+
+    /// The admitted receivers of a group VC with their per-member
+    /// contracts, in deterministic node order.
+    pub fn group_receivers(
+        &self,
+        vc: VcId,
+    ) -> Result<Vec<(TransportAddr, QosParams)>, ServiceError> {
+        let st = self.entity.state.borrow();
+        st.vcs
+            .get(&vc)
+            .and_then(|v| v.group.as_ref())
+            .map(|ge| {
+                ge.receivers
+                    .values()
+                    .map(|r| (r.addr, r.contract))
+                    .collect()
+            })
+            .ok_or(ServiceError::UnknownVc)
     }
 
     // ---- Data transfer (§3.7) --------------------------------------------

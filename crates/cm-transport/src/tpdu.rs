@@ -135,6 +135,38 @@ pub enum ControlMsg {
         /// Agreed QoS or rejection reason.
         result: Result<QosParams, DisconnectReason>,
     },
+    /// Group-VC invitation: sender entity → prospective receiver entity.
+    /// The per-receiver QoS was already negotiated against the member's
+    /// branch of the shared tree and the branch admitted to the
+    /// reservation ledger before this is sent.
+    GroupConnectRequest {
+        /// VC id (shared by the sender end and every receiver end).
+        vc: VcId,
+        /// The network-layer multicast group backing the VC.
+        group: netsim::GroupId,
+        /// Address triple: initiator = source = the sending end.
+        triple: AddressTriple,
+        /// Protocol/error-control class (rate-based only for groups).
+        class: ServiceClass,
+        /// The sender's original requirement (buffer sizing, monitoring).
+        requirement: QosRequirement,
+        /// The per-receiver contract negotiated against this member's
+        /// branch.
+        agreed: QosParams,
+        /// First OSDU sequence number this receiver is owed — the group
+        /// stream position at invitation time.
+        start_seq: u64,
+    },
+    /// Prospective receiver → sender: accept (echoing the contract plus
+    /// the receiver's initial buffer credit) or reject.
+    GroupConnectResponse {
+        /// VC id.
+        vc: VcId,
+        /// The answering member.
+        member: TransportAddr,
+        /// Contract and initial credit, or the rejection reason.
+        result: Result<(QosParams, u32), DisconnectReason>,
+    },
     /// Release request travelling to a VC endpoint (§4.1.1): on arrival the
     /// entity raises `T-Disconnect.indication` and tears down.
     Disconnect {
@@ -229,6 +261,8 @@ impl ControlMsg {
             ControlMsg::RemoteConnectRequest { vc, .. }
             | ControlMsg::ConnectRequest { vc, .. }
             | ControlMsg::ConnectResponse { vc, .. }
+            | ControlMsg::GroupConnectRequest { vc, .. }
+            | ControlMsg::GroupConnectResponse { vc, .. }
             | ControlMsg::RemoteConnectReply { vc, .. }
             | ControlMsg::Disconnect { vc, .. }
             | ControlMsg::RenegotiateRequest { vc, .. }

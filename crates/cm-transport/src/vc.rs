@@ -151,6 +151,11 @@ pub struct Vc {
     pub source: Option<SourceEnd>,
     /// Sink-end machinery (when `role == Sink`).
     pub sink: Option<SinkEnd>,
+    /// Group state when this is the sending end of a 1:N group VC: the
+    /// multicast group id plus the per-receiver book-keeping (credit,
+    /// contracts). `None` on ordinary point-to-point VCs and on the sink
+    /// ends of group VCs.
+    pub group: Option<crate::group::GroupEnd>,
     /// Tolerance received in a `RenegotiateRequest`, awaiting the local
     /// user's `T-Renegotiate.response`.
     pub pending_reneg: Option<cm_core::qos::QosTolerance>,

@@ -49,7 +49,7 @@ proptest! {
         for op in ops {
             match op {
                 // push
-                0 | 1 | 2 => {
+                0..=2 => {
                     match b.try_push(now, osdu(next_seq)) {
                         PushOutcome::Pushed { .. } => {
                             next_seq += 1;
@@ -202,7 +202,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut last_due = SimTime::ZERO;
         for (op, a, b) in ops {
-            now = now + SimDuration::from_millis(a);
+            now += SimDuration::from_millis(a);
             match op {
                 0 => {
                     if let Some(due) = c.next_due() {

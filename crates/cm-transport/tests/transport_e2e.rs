@@ -12,7 +12,7 @@ use cm_core::qos::{ErrorRate, QosParams, QosRequirement, QosTolerance};
 use cm_core::service_class::{ErrorControlClass, ProtocolProfile, ServiceClass};
 use cm_core::time::{Bandwidth, SimDuration, SimTime};
 use cm_transport::{EntityConfig, QosReport, TransportService, TransportUser};
-use netsim::{two_node, Engine, JitterModel, LinkParams, NodeClock, Network};
+use netsim::{two_node, Engine, JitterModel, LinkParams, Network, NodeClock};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
@@ -205,8 +205,14 @@ fn world(params: LinkParams) -> World {
         svc_b,
         user_a,
         user_b,
-        addr_a: TransportAddr { node: a, tsap: Tsap(1) },
-        addr_b: TransportAddr { node: b, tsap: Tsap(2) },
+        addr_a: TransportAddr {
+            node: a,
+            tsap: Tsap(1),
+        },
+        addr_b: TransportAddr {
+            node: b,
+            tsap: Tsap(2),
+        },
     }
 }
 
@@ -364,9 +370,18 @@ fn remote_connect_follows_figure_3() {
     svc_c.bind(Tsap(3), uc.clone()).expect("bind");
 
     let triple = AddressTriple::remote(
-        TransportAddr { node: c, tsap: Tsap(3) },
-        TransportAddr { node: a, tsap: Tsap(1) },
-        TransportAddr { node: b, tsap: Tsap(2) },
+        TransportAddr {
+            node: c,
+            tsap: Tsap(3),
+        },
+        TransportAddr {
+            node: a,
+            tsap: Tsap(1),
+        },
+        TransportAddr {
+            node: b,
+            tsap: Tsap(2),
+        },
     );
     let vc = svc_c
         .t_connect_request(triple, ServiceClass::cm_default(), telephone_req())
@@ -406,9 +421,18 @@ fn remote_connect_rejected_by_source_user() {
     svc_c.bind(Tsap(3), uc.clone()).expect("bind");
 
     let triple = AddressTriple::remote(
-        TransportAddr { node: c, tsap: Tsap(3) },
-        TransportAddr { node: a, tsap: Tsap(1) },
-        TransportAddr { node: b, tsap: Tsap(2) },
+        TransportAddr {
+            node: c,
+            tsap: Tsap(3),
+        },
+        TransportAddr {
+            node: a,
+            tsap: Tsap(1),
+        },
+        TransportAddr {
+            node: b,
+            tsap: Tsap(2),
+        },
     );
     let vc = svc_c
         .t_connect_request(triple, ServiceClass::cm_default(), telephone_req())
@@ -446,7 +470,10 @@ fn disconnect_indicates_at_peer_and_releases_resources() {
 
 fn open_vc(w: &World, class: ServiceClass, req: QosRequirement) -> VcId {
     let triple = AddressTriple::conventional(w.addr_a, w.addr_b);
-    let vc = w.svc_a.t_connect_request(triple, class, req).expect("request");
+    let vc = w
+        .svc_a
+        .t_connect_request(triple, class, req)
+        .expect("request");
     w.net.engine().run_for(SimDuration::from_millis(50));
     assert!(w.svc_a.is_open(vc), "VC failed to open");
     vc
@@ -595,13 +622,19 @@ fn source_flush_declares_drops_not_losses() {
     // Pause the source so everything stays buffered, then write and flush.
     w.svc_a.pause_source(vc).expect("pause");
     for i in 0..5u64 {
-        assert!(w.svc_a.write_osdu(vc, Payload::synthetic(i, 80), None).unwrap());
+        assert!(w
+            .svc_a
+            .write_osdu(vc, Payload::synthetic(i, 80), None)
+            .unwrap());
     }
     let flushed = w.svc_a.flush_local(vc).expect("flush");
     assert_eq!(flushed, 5);
     // Write five more and resume: receiver sees seqs 5..10 with no loss.
     for i in 5..10u64 {
-        assert!(w.svc_a.write_osdu(vc, Payload::synthetic(i, 80), None).unwrap());
+        assert!(w
+            .svc_a
+            .write_osdu(vc, Payload::synthetic(i, 80), None)
+            .unwrap());
     }
     w.svc_a.resume_source(vc).expect("resume");
     let got = drive_reader(w.svc_b.clone(), vc);
@@ -749,7 +782,7 @@ fn recv_gate_holds_delivery_until_opened() {
     w.net.engine().run_for(SimDuration::from_secs(2));
     assert_eq!(got.borrow().len(), 0, "gated buffer must not deliver");
     let recv = w.svc_b.recv_handle(vc).expect("handle");
-    assert!(recv.len() > 0, "data must accumulate behind the gate");
+    assert!(!recv.is_empty(), "data must accumulate behind the gate");
     w.svc_b.set_recv_gate(vc, false).expect("ungate");
     w.net.engine().run_for(SimDuration::from_secs(2));
     assert_eq!(got.borrow().len(), 30);
@@ -776,7 +809,10 @@ fn source_drop_skips_without_receiver_loss() {
     let vc = open_vc(&w, ServiceClass::cm_default(), telephone_req());
     w.svc_a.pause_source(vc).expect("pause");
     for i in 0..10u64 {
-        assert!(w.svc_a.write_osdu(vc, Payload::synthetic(i, 80), None).unwrap());
+        assert!(w
+            .svc_a
+            .write_osdu(vc, Payload::synthetic(i, 80), None)
+            .unwrap());
     }
     // Drop the two oldest buffered OSDUs (seqs 0 and 1).
     assert!(w.svc_a.source_drop_one(vc).expect("drop"));
@@ -834,7 +870,10 @@ fn osdu_events_reach_the_tap() {
     // Mark OSDU 3 with an event bit pattern (§6.3.4).
     for i in 0..5u64 {
         let ev = (i == 3).then_some(0xBEEF);
-        assert!(w.svc_a.write_osdu(vc, Payload::synthetic(i, 80), ev).unwrap());
+        assert!(w
+            .svc_a
+            .write_osdu(vc, Payload::synthetic(i, 80), ev)
+            .unwrap());
     }
     let _got = drive_reader(w.svc_b.clone(), vc);
     w.net.engine().run_for(SimDuration::from_secs(1));

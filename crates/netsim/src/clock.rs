@@ -137,9 +137,7 @@ mod tests {
             for s in [1u64, 60, 3_600, 86_400] {
                 let g = SimTime::from_secs(s);
                 let back = c.global_of(c.local_of(g));
-                let diff = g
-                    .as_micros()
-                    .abs_diff(back.as_micros());
+                let diff = g.as_micros().abs_diff(back.as_micros());
                 assert!(diff <= 1, "ppm {ppm} s {s}: diff {diff}us");
             }
         }

@@ -139,7 +139,11 @@ impl Engine {
     }
 
     /// Schedule `action` to run after `delay`.
-    pub fn schedule_in(&self, delay: SimDuration, action: impl FnOnce(&Engine) + 'static) -> EventId {
+    pub fn schedule_in(
+        &self,
+        delay: SimDuration,
+        action: impl FnOnce(&Engine) + 'static,
+    ) -> EventId {
         self.schedule_at(self.now() + delay, action)
     }
 

@@ -18,6 +18,7 @@
 pub mod clock;
 pub mod engine;
 pub mod link;
+pub mod multicast;
 pub mod network;
 pub mod packet;
 pub mod reservation;
@@ -26,6 +27,7 @@ pub mod topology;
 pub use clock::NodeClock;
 pub use engine::{Engine, EventId};
 pub use link::{JitterModel, LinkCounters, LinkParams};
+pub use multicast::{GroupId, GroupTree};
 pub use network::{LinkId, Network, NetworkCounters, NodeHandler};
 pub use packet::{Packet, PacketClass};
 pub use reservation::{AdmissionError, ReservationTable};

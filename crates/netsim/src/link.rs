@@ -9,10 +9,10 @@
 //! out-of-band connections with guaranteed bandwidth): they skip the data
 //! queue and cannot be overtaken-blocked by data backlog.
 
+use crate::packet::PacketClass;
 use cm_core::qos::ErrorRate;
 use cm_core::rng::DetRng;
 use cm_core::time::{Bandwidth, SimDuration, SimTime};
-use crate::packet::PacketClass;
 use std::collections::VecDeque;
 
 /// How jitter (extra, random forwarding latency) is sampled.
@@ -205,8 +205,7 @@ impl Link {
         arrival = arrival.max(*floor);
         *floor = arrival;
 
-        let corrupted =
-            class == PacketClass::Data && self.rng.chance(self.params.bit_error);
+        let corrupted = class == PacketClass::Data && self.rng.chance(self.params.bit_error);
         if corrupted {
             self.counters.corrupted += 1;
         }
@@ -221,10 +220,7 @@ mod tests {
 
     fn mk(bw_mbps: u64, prop_ms: u64) -> Link {
         Link::new(
-            LinkParams::clean(
-                Bandwidth::mbps(bw_mbps),
-                SimDuration::from_millis(prop_ms),
-            ),
+            LinkParams::clean(Bandwidth::mbps(bw_mbps), SimDuration::from_millis(prop_ms)),
             DetRng::from_seed(1),
         )
     }
@@ -327,11 +323,7 @@ mod tests {
         let mut lost = 0;
         for i in 0..10_000u64 {
             if matches!(
-                l.submit(
-                    SimTime::from_micros(i * 100),
-                    PacketClass::Data,
-                    100
-                ),
+                l.submit(SimTime::from_micros(i * 100), PacketClass::Data, 100),
                 LinkOutcome::Drop(DropReason::Loss)
             ) {
                 lost += 1;

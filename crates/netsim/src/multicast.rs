@@ -1,0 +1,70 @@
+//! Multicast groups over a shared delivery tree.
+//!
+//! The paper's CM connections are *simplex and multicast* ("CM multicast is
+//! a simple 1:N topology", §3.1): one source drives N receivers. This
+//! module gives the network substrate that topology natively — a group is
+//! rooted at its source, receivers graft themselves onto the BFS
+//! shortest-path tree from the root, and a packet sent to the group
+//! traverses each tree link **exactly once**, fanning out only at branch
+//! points. Bandwidth is reserved ST-II-style per shared link (not per
+//! receiver), so the source's first-hop link carries the stream once no
+//! matter how many receivers join downstream.
+//!
+//! Membership changes never disturb packets already in flight: each send
+//! captures the tree as an immutable [`GroupTree`] snapshot (an `Rc`
+//! carried through the per-hop events), so a concurrent join or leave
+//! affects only subsequent sends.
+
+use crate::network::LinkId;
+use cm_core::address::{NetAddr, VcId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifies one multicast group within a [`crate::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+/// Bit marking a [`VcId`] as a group reservation identity, keeping the
+/// ledger's group entries disjoint from transport-allocated VC ids.
+pub const GROUP_VC_BIT: u64 = 1 << 63;
+
+impl GroupId {
+    /// The ledger identity under which this group's shared tree holds its
+    /// (single, link-deduplicated) bandwidth reservation.
+    pub fn reservation_vc(self) -> VcId {
+        VcId(GROUP_VC_BIT | self.0 as u64)
+    }
+}
+
+/// Immutable snapshot of a group's shared delivery tree.
+///
+/// Produced by the network on every membership change; sends capture the
+/// current snapshot so in-flight packets are unaffected by churn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupTree {
+    /// The sending end: packets enter the tree here.
+    pub root: NetAddr,
+    /// Receivers; a copy is delivered at each (members may also be
+    /// interior forwarding nodes of the tree).
+    pub members: BTreeSet<NetAddr>,
+    /// Tree edges leaving each node, in deterministic (child-node) order.
+    pub out_links: BTreeMap<NetAddr, Vec<LinkId>>,
+    /// Every link of the tree; each carries one copy per send.
+    pub links: BTreeSet<LinkId>,
+}
+
+impl GroupTree {
+    /// An empty tree rooted at `root` (no members, no links).
+    pub fn empty(root: NetAddr) -> GroupTree {
+        GroupTree {
+            root,
+            members: BTreeSet::new(),
+            out_links: BTreeMap::new(),
+            links: BTreeSet::new(),
+        }
+    }
+
+    /// Number of receivers.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+}

@@ -9,6 +9,7 @@
 use crate::clock::NodeClock;
 use crate::engine::Engine;
 use crate::link::{DropReason, Link, LinkOutcome, LinkParams};
+use crate::multicast::{GroupId, GroupTree};
 use crate::packet::Packet;
 use crate::reservation::{AdmissionError, ReservationTable};
 use cm_core::address::{NetAddr, VcId};
@@ -16,11 +17,11 @@ use cm_core::qos::{ErrorRate, QosParams};
 use cm_core::rng::DetRng;
 use cm_core::time::{Bandwidth, SimDuration, SimTime};
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
 /// Identifies one simplex link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub u32);
 
 /// Receives packets addressed to a node.
@@ -58,6 +59,20 @@ pub struct NetworkCounters {
     pub link_loss: u64,
 }
 
+/// State of one multicast group (see [`crate::multicast`]).
+struct GroupState {
+    root: NetAddr,
+    /// Bandwidth reserved on every tree link (one rate per tree).
+    bandwidth: Bandwidth,
+    members: BTreeSet<NetAddr>,
+    /// `parent[v]` = (parent node, link parent→v) on the BFS shortest-path
+    /// tree rooted at `root`, computed once (topology is frozen).
+    parent: Vec<Option<(NetAddr, LinkId)>>,
+    /// Current immutable snapshot; sends capture it, so membership churn
+    /// never affects packets already in flight.
+    tree: Rc<GroupTree>,
+}
+
 struct NetworkInner {
     nodes: Vec<NodeState>,
     links: Vec<LinkState>,
@@ -65,6 +80,7 @@ struct NetworkInner {
     adjacency: Vec<Vec<LinkId>>,
     /// `next_hop[from][dst]` = link to take, or `None` (lazily built).
     next_hop: Vec<Option<Vec<Option<LinkId>>>>,
+    groups: Vec<GroupState>,
     counters: NetworkCounters,
     reservations: ReservationTable,
 }
@@ -99,9 +115,81 @@ impl NetworkInner {
         if self.next_hop[f].is_none() {
             self.build_routes_from(f);
         }
-        self.next_hop[f]
-            .as_ref()
-            .expect("routes just built")[dst.0 as usize]
+        self.next_hop[f].as_ref().expect("routes just built")[dst.0 as usize]
+    }
+
+    /// BFS from `root` recording, for every reachable node, the edge it was
+    /// first discovered through. Same deterministic tie-break as unicast
+    /// routing (first-added link wins), so the shared tree is stable.
+    fn build_mcast_parents(&self, root: usize) -> Vec<Option<(NetAddr, LinkId)>> {
+        let n = self.nodes.len();
+        let mut parent: Vec<Option<(NetAddr, LinkId)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut q = VecDeque::new();
+        visited[root] = true;
+        q.push_back(root);
+        while let Some(u) = q.pop_front() {
+            for &lid in &self.adjacency[u] {
+                let v = self.links[lid.0 as usize].to.0 as usize;
+                if !visited[v] {
+                    visited[v] = true;
+                    parent[v] = Some((NetAddr(u as u32), lid));
+                    q.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The links `member`'s branch would add to a tree currently holding
+    /// `existing` links: the parent-walk from `member` toward the root,
+    /// stopping at the graft point. `None` if `member` is unreachable.
+    fn branch_links(
+        group: &GroupState,
+        member: NetAddr,
+        existing: &BTreeSet<LinkId>,
+    ) -> Option<Vec<LinkId>> {
+        let mut acc = Vec::new();
+        let mut v = member;
+        while v != group.root {
+            let (p, lid) = group.parent[v.0 as usize]?;
+            if existing.contains(&lid) {
+                break; // grafted onto the existing tree
+            }
+            acc.push(lid);
+            v = p;
+        }
+        Some(acc)
+    }
+
+    /// Rebuild a group's immutable tree snapshot from its member set.
+    fn rebuild_tree(&self, g: GroupId) -> Rc<GroupTree> {
+        let group = &self.groups[g.0 as usize];
+        let mut links = BTreeSet::new();
+        for &m in &group.members {
+            let mut v = m;
+            while v != group.root {
+                let (p, lid) = group.parent[v.0 as usize].expect("member admitted ⇒ reachable");
+                if !links.insert(lid) {
+                    break; // remainder of the walk is already in the tree
+                }
+                v = p;
+            }
+        }
+        let mut out_links: BTreeMap<NetAddr, Vec<LinkId>> = BTreeMap::new();
+        for v in 0..self.nodes.len() {
+            if let Some((p, lid)) = group.parent[v] {
+                if links.contains(&lid) {
+                    out_links.entry(p).or_default().push(lid);
+                }
+            }
+        }
+        Rc::new(GroupTree {
+            root: group.root,
+            members: group.members.clone(),
+            out_links,
+            links,
+        })
     }
 }
 
@@ -122,6 +210,7 @@ impl Network {
                 links: Vec::new(),
                 adjacency: Vec::new(),
                 next_hop: Vec::new(),
+                groups: Vec::new(),
                 counters: NetworkCounters::default(),
                 reservations: ReservationTable::default(),
             })),
@@ -242,13 +331,19 @@ impl Network {
     /// and bit-error probabilities.
     pub fn path_qos(&self, from: NetAddr, dst: NetAddr, mtu: usize) -> Option<QosParams> {
         let route = self.route(from, dst)?;
+        Some(self.qos_over_links(&route, mtu))
+    }
+
+    /// QoS achievable over an explicit link sequence (shared by unicast
+    /// routes and multicast branches).
+    fn qos_over_links(&self, route: &[LinkId], mtu: usize) -> QosParams {
         let inner = self.inner.borrow();
         let mut throughput = Bandwidth::bps(u64::MAX);
         let mut delay = SimDuration::ZERO;
         let mut jitter = SimDuration::ZERO;
         let mut p_deliver = 1.0f64;
         let mut p_intact = 1.0f64;
-        for lid in route {
+        for &lid in route {
             let p = inner.links[lid.0 as usize].link.params();
             throughput = throughput.min(p.bandwidth);
             delay += p.propagation + p.bandwidth.transmission_time(mtu);
@@ -260,13 +355,13 @@ impl Network {
             p_deliver *= 1.0 - p.loss.as_prob();
             p_intact *= 1.0 - p.bit_error.as_prob();
         }
-        Some(QosParams {
+        QosParams {
             throughput,
             delay,
             jitter,
             packet_error_rate: ErrorRate::from_prob(1.0 - p_deliver),
             bit_error_rate: ErrorRate::from_prob(1.0 - p_intact),
-        })
+        }
     }
 
     /// Reserve `bandwidth` for `vc` along the route `from → dst`
@@ -327,6 +422,187 @@ impl Network {
     /// Number of live reservations (for experiments).
     pub fn reservation_count(&self) -> usize {
         self.inner.borrow().reservations.count()
+    }
+
+    /// Bandwidth currently reserved on one link (unicast VCs plus shared
+    /// multicast trees) — the observable for branch-accounting tests.
+    pub fn reserved_on(&self, link: LinkId) -> Bandwidth {
+        self.inner.borrow().reservations.reserved_on(link)
+    }
+
+    // ==================================================================
+    // Multicast groups (shared-tree 1:N delivery, see `crate::multicast`)
+    // ==================================================================
+
+    /// Create a multicast group rooted at `root`, reserving `bandwidth` on
+    /// every link its shared tree comes to hold. Freezes the topology
+    /// (the BFS tree is computed once).
+    pub fn create_group(&self, root: NetAddr, bandwidth: Bandwidth) -> GroupId {
+        let mut inner = self.inner.borrow_mut();
+        // Freeze the topology exactly like unicast routing does, so links
+        // cannot be added under a computed tree.
+        if inner.next_hop[root.0 as usize].is_none() {
+            inner.build_routes_from(root.0 as usize);
+        }
+        let id = GroupId(inner.groups.len() as u32);
+        let parent = inner.build_mcast_parents(root.0 as usize);
+        inner.groups.push(GroupState {
+            root,
+            bandwidth,
+            members: BTreeSet::new(),
+            parent,
+            tree: Rc::new(GroupTree::empty(root)),
+        });
+        id
+    }
+
+    /// Graft `member` onto `g`'s shared tree, reserving the group's
+    /// bandwidth on **only the links the new branch adds** (ST-II-style 1:N
+    /// reservation). Returns `None` if `member` is unreachable from the
+    /// root; `Some(Err(_))` if a branch link lacks bandwidth (nothing is
+    /// charged, existing members are untouched); joining twice is a no-op.
+    pub fn group_join(&self, g: GroupId, member: NetAddr) -> Option<Result<(), AdmissionError>> {
+        let mut inner = self.inner.borrow_mut();
+        let group = &inner.groups[g.0 as usize];
+        assert_ne!(member, group.root, "the root is the sender, not a receiver");
+        if group.members.contains(&member) {
+            return Some(Ok(()));
+        }
+        let new_links = NetworkInner::branch_links(group, member, &group.tree.links)?;
+        let bandwidth = group.bandwidth;
+        let with_caps: Vec<(LinkId, Bandwidth)> = new_links
+            .iter()
+            .map(|&lid| (lid, inner.links[lid.0 as usize].link.params().bandwidth))
+            .collect();
+        if let Err(e) = inner
+            .reservations
+            .admit_links(g.reservation_vc(), &with_caps, bandwidth)
+        {
+            return Some(Err(e));
+        }
+        inner.groups[g.0 as usize].members.insert(member);
+        let tree = inner.rebuild_tree(g);
+        inner.groups[g.0 as usize].tree = tree;
+        Some(Ok(()))
+    }
+
+    /// Prune `member` from `g`'s shared tree, releasing **only the links
+    /// its departure removes** (links still serving other members stay
+    /// reserved). No-op if `member` is not in the group. Packets already in
+    /// flight keep the snapshot they were sent with.
+    pub fn group_leave(&self, g: GroupId, member: NetAddr) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.groups[g.0 as usize].members.remove(&member) {
+            return;
+        }
+        let old_links = inner.groups[g.0 as usize].tree.links.clone();
+        let new_tree = inner.rebuild_tree(g);
+        let released: Vec<LinkId> = old_links.difference(&new_tree.links).copied().collect();
+        inner
+            .reservations
+            .release_links(g.reservation_vc(), &released);
+        inner.groups[g.0 as usize].tree = new_tree;
+    }
+
+    /// Dissolve `g`: drop all members and release every tree reservation.
+    pub fn group_release(&self, g: GroupId) {
+        let mut inner = self.inner.borrow_mut();
+        inner.reservations.release(g.reservation_vc());
+        let root = inner.groups[g.0 as usize].root;
+        inner.groups[g.0 as usize].members.clear();
+        inner.groups[g.0 as usize].tree = Rc::new(GroupTree::empty(root));
+    }
+
+    /// The group's current tree snapshot.
+    pub fn group_tree(&self, g: GroupId) -> Rc<GroupTree> {
+        self.inner.borrow().groups[g.0 as usize].tree.clone()
+    }
+
+    /// Current members of the group, in address order.
+    pub fn group_members(&self, g: GroupId) -> Vec<NetAddr> {
+        self.inner.borrow().groups[g.0 as usize]
+            .members
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// QoS achievable on the tree path from `g`'s root to `member` (whether
+    /// or not it has joined yet) — the provider's offer for per-receiver
+    /// admission. `None` if unreachable.
+    pub fn group_path_qos(&self, g: GroupId, member: NetAddr, mtu: usize) -> Option<QosParams> {
+        let path = {
+            let inner = self.inner.borrow();
+            let group = &inner.groups[g.0 as usize];
+            if member == group.root {
+                return None;
+            }
+            // Full parent-walk (ignore the current tree): the branch a
+            // packet would traverse root → member.
+            let mut acc = Vec::new();
+            let mut v = member;
+            while v != group.root {
+                let (p, lid) = group.parent[v.0 as usize]?;
+                acc.push(lid);
+                v = p;
+            }
+            acc
+        };
+        Some(self.qos_over_links(&path, mtu))
+    }
+
+    /// Inject `pkt` into group `g` at its root. The packet is forwarded
+    /// once per tree link and copied only at branch points; a copy is
+    /// delivered to every member (with `dst` rewritten to that member).
+    /// The tree is snapshotted now: later joins/leaves do not affect this
+    /// packet.
+    pub fn send_to_group(&self, g: GroupId, mut pkt: Packet) {
+        let tree = self.group_tree(g);
+        pkt.mgroup = Some(g);
+        self.mcast_forward(&tree, tree.root, &pkt);
+    }
+
+    /// Forward a group packet over the tree edges leaving `at`.
+    fn mcast_forward(&self, tree: &Rc<GroupTree>, at: NetAddr, pkt: &Packet) {
+        let now = self.engine.now();
+        let Some(outs) = tree.out_links.get(&at) else {
+            return;
+        };
+        for &lid in outs {
+            let (outcome, next) = {
+                let mut inner = self.inner.borrow_mut();
+                let ls = &mut inner.links[lid.0 as usize];
+                (ls.link.submit(now, pkt.class, pkt.wire_size), ls.to)
+            };
+            match outcome {
+                LinkOutcome::Deliver { arrival, corrupted } => {
+                    let mut branch_pkt = pkt.clone();
+                    branch_pkt.corrupted |= corrupted;
+                    let net = self.clone();
+                    let tree = tree.clone();
+                    self.engine.schedule_at(arrival, move |_| {
+                        net.mcast_arrive(tree, next, branch_pkt);
+                    });
+                }
+                LinkOutcome::Drop(DropReason::QueueOverflow) => {
+                    self.inner.borrow_mut().counters.queue_overflow += 1;
+                }
+                LinkOutcome::Drop(DropReason::Loss) => {
+                    self.inner.borrow_mut().counters.link_loss += 1;
+                }
+            }
+        }
+    }
+
+    /// A group packet reached `node`: deliver locally if it is a member,
+    /// then keep forwarding down the subtree.
+    fn mcast_arrive(&self, tree: Rc<GroupTree>, node: NetAddr, pkt: Packet) {
+        if tree.members.contains(&node) {
+            let mut copy = pkt.clone();
+            copy.dst = node;
+            self.arrive(node, copy);
+        }
+        self.mcast_forward(&tree, node, &pkt);
     }
 
     /// Inject a packet at `from` and route it toward `pkt.dst`.
@@ -405,6 +681,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packet::PacketClass;
     use std::cell::RefCell;
 
     /// Collects every packet delivered to it, with arrival times.
@@ -445,10 +722,7 @@ mod tests {
     fn multi_hop_delivery_and_timing() {
         let (net, a, _b, c, col) = line3();
         // 1250 B: 1 ms tx + 1 ms prop per hop = 4 ms total.
-        net.send(
-            a,
-            Packet::control(a, c, 1250, net.engine().now(), "x"),
-        );
+        net.send(a, Packet::control(a, c, 1250, net.engine().now(), "x"));
         net.engine().run();
         let got = col.got.borrow();
         assert_eq!(got.len(), 1);
@@ -469,10 +743,7 @@ mod tests {
         let net = Network::new(Engine::new());
         let a = net.add_node(NodeClock::perfect());
         let _lonely = net.add_node(NodeClock::perfect());
-        net.send(
-            a,
-            Packet::control(a, NetAddr(1), 100, SimTime::ZERO, ()),
-        );
+        net.send(a, Packet::control(a, NetAddr(1), 100, SimTime::ZERO, ()));
         net.engine().run();
         assert_eq!(net.counters().no_route, 1);
     }
@@ -515,10 +786,7 @@ mod tests {
         use cm_core::address::VcId;
         let (net, a, _b, c, col) = line3();
         for i in 0..3u64 {
-            net.send(
-                a,
-                Packet::data(a, c, VcId(1), 12_500, SimTime::ZERO, i),
-            );
+            net.send(a, Packet::data(a, c, VcId(1), 12_500, SimTime::ZERO, i));
         }
         net.engine().run();
         let got = col.got.borrow();
@@ -547,6 +815,176 @@ mod tests {
             LinkParams::clean(Bandwidth::mbps(1), SimDuration::ZERO),
             DetRng::from_seed(0),
         );
+    }
+
+    /// Star-of-chains topology for multicast tests:
+    /// `root — hub — {r0, r1, r2}` (duplex everywhere, 10 Mb/s, 1 ms).
+    fn mcast_net() -> (Network, NetAddr, NetAddr, [NetAddr; 3], Vec<Rc<Collector>>) {
+        let net = Network::new(Engine::new());
+        let mut rng = DetRng::from_seed(23);
+        let root = net.add_node(NodeClock::perfect());
+        let hub = net.add_node(NodeClock::perfect());
+        let rs = [
+            net.add_node(NodeClock::perfect()),
+            net.add_node(NodeClock::perfect()),
+            net.add_node(NodeClock::perfect()),
+        ];
+        let p = LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1));
+        net.add_duplex(root, hub, p.clone(), &mut rng);
+        let mut cols = Vec::new();
+        for &r in &rs {
+            net.add_duplex(hub, r, p.clone(), &mut rng);
+            let c = Collector::new();
+            net.set_handler(r, c.clone());
+            cols.push(c);
+        }
+        (net, root, hub, rs, cols)
+    }
+
+    #[test]
+    fn group_delivers_exactly_once_per_member() {
+        let (net, root, _hub, rs, cols) = mcast_net();
+        let g = net.create_group(root, Bandwidth::mbps(2));
+        for &r in &rs {
+            net.group_join(g, r).unwrap().unwrap();
+        }
+        for i in 0..5u64 {
+            net.send_to_group(
+                g,
+                Packet::group(
+                    root,
+                    g,
+                    None,
+                    PacketClass::Data,
+                    1000,
+                    net.engine().now(),
+                    i,
+                ),
+            );
+        }
+        net.engine().run();
+        for (i, c) in cols.iter().enumerate() {
+            let got = c.got.borrow();
+            assert_eq!(got.len(), 5, "receiver {i}");
+            let tags: Vec<u64> = got
+                .iter()
+                .map(|(_, p)| *p.payload_as::<u64>().unwrap())
+                .collect();
+            assert_eq!(tags, vec![0, 1, 2, 3, 4]);
+            assert_eq!(got[0].1.dst, rs[i]);
+            assert_eq!(got[0].1.mgroup, Some(g));
+        }
+    }
+
+    #[test]
+    fn shared_link_carries_stream_once() {
+        let (net, root, _hub, rs, _cols) = mcast_net();
+        let g = net.create_group(root, Bandwidth::mbps(2));
+        for &r in &rs {
+            net.group_join(g, r).unwrap().unwrap();
+        }
+        let first_hop = net.route(root, rs[0]).unwrap()[0];
+        for i in 0..10u64 {
+            net.send_to_group(
+                g,
+                Packet::group(
+                    root,
+                    g,
+                    None,
+                    PacketClass::Data,
+                    1000,
+                    net.engine().now(),
+                    i,
+                ),
+            );
+        }
+        net.engine().run();
+        // 3 receivers, but the root→hub link carried each packet once.
+        assert_eq!(net.link_counters(first_hop).submitted, 10);
+        assert_eq!(net.link_counters(first_hop).bytes, 10_000);
+    }
+
+    #[test]
+    fn join_reserves_branch_only_and_leave_releases_it() {
+        let (net, root, hub, rs, _cols) = mcast_net();
+        let g = net.create_group(root, Bandwidth::mbps(2));
+        let shared = net.route(root, rs[0]).unwrap()[0]; // root→hub
+        net.group_join(g, rs[0]).unwrap().unwrap();
+        let b0 = net.route(root, rs[0]).unwrap()[1]; // hub→r0
+        assert_eq!(net.reserved_on(shared), Bandwidth::mbps(2));
+        assert_eq!(net.reserved_on(b0), Bandwidth::mbps(2));
+        // Second join charges only its own branch; shared link unchanged.
+        net.group_join(g, rs[1]).unwrap().unwrap();
+        let b1 = net.route(hub, rs[1]).unwrap()[0];
+        assert_eq!(net.reserved_on(shared), Bandwidth::mbps(2));
+        assert_eq!(net.reserved_on(b1), Bandwidth::mbps(2));
+        assert_eq!(net.reservation_count(), 1);
+        // Leaving r0 releases hub→r0 but keeps the shared link (r1 lives).
+        net.group_leave(g, rs[0]);
+        assert_eq!(net.reserved_on(b0), Bandwidth::ZERO);
+        assert_eq!(net.reserved_on(shared), Bandwidth::mbps(2));
+        // Last leave releases everything.
+        net.group_leave(g, rs[1]);
+        assert_eq!(net.reserved_on(shared), Bandwidth::ZERO);
+        assert_eq!(net.reservation_count(), 0);
+    }
+
+    #[test]
+    fn join_denied_leaves_members_untouched() {
+        let (net, root, _hub, rs, _cols) = mcast_net();
+        // Group wants 6 Mb/s per tree link; r0 joins, then a unicast VC
+        // fills r1's branch so its graft must be denied.
+        let g = net.create_group(root, Bandwidth::mbps(6));
+        net.group_join(g, rs[0]).unwrap().unwrap();
+        net.reserve_path(VcId(77), NetAddr(1), rs[1], Bandwidth::mbps(6))
+            .unwrap()
+            .unwrap();
+        let denied = net.group_join(g, rs[1]).unwrap();
+        assert!(matches!(
+            denied,
+            Err(AdmissionError::InsufficientBandwidth { .. })
+        ));
+        // r0's branch (and the shared link) still reserved.
+        let shared = net.route(root, rs[0]).unwrap()[0];
+        assert_eq!(net.reserved_on(shared), Bandwidth::mbps(6));
+        assert_eq!(net.group_members(g), vec![rs[0]]);
+    }
+
+    #[test]
+    fn in_flight_packets_use_send_time_tree() {
+        let (net, root, _hub, rs, cols) = mcast_net();
+        let g = net.create_group(root, Bandwidth::mbps(1));
+        net.group_join(g, rs[0]).unwrap().unwrap();
+        net.group_join(g, rs[1]).unwrap().unwrap();
+        // Send, then immediately change membership before delivery (~2 ms).
+        net.send_to_group(
+            g,
+            Packet::group(
+                root,
+                g,
+                None,
+                PacketClass::Data,
+                100,
+                net.engine().now(),
+                1u64,
+            ),
+        );
+        net.group_leave(g, rs[0]);
+        net.group_join(g, rs[2]).unwrap().unwrap();
+        net.engine().run();
+        // The in-flight packet went to the send-time members {r0, r1} only.
+        assert_eq!(cols[0].got.borrow().len(), 1);
+        assert_eq!(cols[1].got.borrow().len(), 1);
+        assert_eq!(cols[2].got.borrow().len(), 0);
+    }
+
+    #[test]
+    fn unreachable_member_is_none() {
+        let net = Network::new(Engine::new());
+        let root = net.add_node(NodeClock::perfect());
+        let lonely = net.add_node(NodeClock::perfect());
+        let g = net.create_group(root, Bandwidth::mbps(1));
+        assert!(net.group_join(g, lonely).is_none());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! compute is simulated by the flag — error-control classes decide what to
 //! do about it).
 
+use crate::multicast::GroupId;
 use cm_core::address::{NetAddr, VcId};
 use cm_core::time::SimTime;
 use std::any::Any;
@@ -41,6 +42,10 @@ pub struct Packet {
     /// Bytes on the wire, including headers — what transmission time is
     /// charged for.
     pub wire_size: usize,
+    /// The multicast group this packet was sent to, if any. Group packets
+    /// are fanned out over the group's shared tree; `dst` is rewritten to
+    /// the receiving member at each delivery point.
+    pub mgroup: Option<GroupId>,
     /// Set by the link's bit-error process; detected by error control.
     pub corrupted: bool,
     /// Global time the packet entered the network at its source.
@@ -64,6 +69,7 @@ impl Packet {
             vc: None,
             class: PacketClass::Control,
             wire_size,
+            mgroup: None,
             corrupted: false,
             sent_at,
             payload: Rc::new(payload),
@@ -85,6 +91,31 @@ impl Packet {
             vc: Some(vc),
             class: PacketClass::Data,
             wire_size,
+            mgroup: None,
+            corrupted: false,
+            sent_at,
+            payload: Rc::new(payload),
+        }
+    }
+
+    /// Construct a packet addressed to a multicast group. `dst` starts as
+    /// the source and is rewritten per delivered copy by the network.
+    pub fn group<T: Any>(
+        src: NetAddr,
+        group: GroupId,
+        vc: Option<VcId>,
+        class: PacketClass,
+        wire_size: usize,
+        sent_at: SimTime,
+        payload: T,
+    ) -> Packet {
+        Packet {
+            src,
+            dst: src,
+            vc,
+            class,
+            wire_size,
+            mgroup: Some(group),
             corrupted: false,
             sent_at,
             payload: Rc::new(payload),

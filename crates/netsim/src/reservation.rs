@@ -117,6 +117,76 @@ impl ReservationTable {
         Ok(())
     }
 
+    /// Incrementally admit additional `links` (id + raw capacity pairs)
+    /// under `vc`, creating the record if absent — the multicast branch
+    /// grafting operation: joining a receiver charges only the links its
+    /// branch adds to the shared tree. All-or-nothing over the new links;
+    /// links the record already holds must not be resubmitted. `bandwidth`
+    /// must match the record's existing bandwidth (one rate per tree).
+    pub fn admit_links(
+        &mut self,
+        vc: VcId,
+        links: &[(LinkId, Bandwidth)],
+        bandwidth: Bandwidth,
+    ) -> Result<(), AdmissionError> {
+        if let Some(rec) = self.records.get(&vc) {
+            assert_eq!(
+                rec.bandwidth, bandwidth,
+                "a shared tree reserves one bandwidth on every link"
+            );
+            debug_assert!(
+                links.iter().all(|(l, _)| !rec.route.contains(l)),
+                "link resubmitted to admit_links"
+            );
+        }
+        for &(link, capacity) in links {
+            let available = self.available_on(link, capacity);
+            if bandwidth > available {
+                return Err(AdmissionError::InsufficientBandwidth {
+                    link,
+                    available,
+                    requested: bandwidth,
+                });
+            }
+        }
+        for &(link, _) in links {
+            let r = self.reserved.entry(link).or_insert(Bandwidth::ZERO);
+            *r = *r + bandwidth;
+        }
+        self.records
+            .entry(vc)
+            .or_insert(Record {
+                route: Vec::new(),
+                bandwidth,
+            })
+            .route
+            .extend(links.iter().map(|&(l, _)| l));
+        Ok(())
+    }
+
+    /// Release only `links` from `vc`'s reservation — the multicast branch
+    /// pruning operation: a leaving receiver uncharges exactly the links
+    /// its departure removed from the shared tree. Removes the record when
+    /// its route becomes empty. No-op for links the record does not hold.
+    pub fn release_links(&mut self, vc: VcId, links: &[LinkId]) {
+        let Some(rec) = self.records.get_mut(&vc) else {
+            return;
+        };
+        let bandwidth = rec.bandwidth;
+        for link in links {
+            let Some(pos) = rec.route.iter().position(|l| l == link) else {
+                continue;
+            };
+            rec.route.swap_remove(pos);
+            if let Some(r) = self.reserved.get_mut(link) {
+                *r = r.saturating_sub(bandwidth);
+            }
+        }
+        if rec.route.is_empty() {
+            self.records.remove(&vc);
+        }
+    }
+
     /// Release the reservation held by `vc` (no-op if it holds none).
     pub fn release(&mut self, vc: VcId) {
         if let Some(rec) = self.records.remove(&vc) {
@@ -224,8 +294,12 @@ mod tests {
     fn all_or_nothing_on_partial_route() {
         let mut t = ReservationTable::default();
         // Link 1 is nearly full; link 0 is empty.
-        t.admit(VcId(1), &[(LinkId(1), Bandwidth::mbps(10))], Bandwidth::mbps(9))
-            .unwrap();
+        t.admit(
+            VcId(1),
+            &[(LinkId(1), Bandwidth::mbps(10))],
+            Bandwidth::mbps(9),
+        )
+        .unwrap();
         let r = t.admit(VcId(2), &route2(), Bandwidth::mbps(2));
         assert!(r.is_err());
         assert_eq!(t.reserved_on(LinkId(0)), Bandwidth::ZERO);
@@ -270,5 +344,49 @@ mod tests {
         let mut t = ReservationTable::default();
         t.release(VcId(99));
         assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn incremental_admit_charges_only_new_links() {
+        let mut t = ReservationTable::default();
+        let cap = Bandwidth::mbps(10);
+        t.admit_links(VcId(1), &[(LinkId(0), cap)], Bandwidth::mbps(3))
+            .unwrap();
+        assert_eq!(t.count(), 1);
+        t.admit_links(
+            VcId(1),
+            &[(LinkId(1), cap), (LinkId(2), cap)],
+            Bandwidth::mbps(3),
+        )
+        .unwrap();
+        assert_eq!(t.count(), 1);
+        for l in 0..3 {
+            assert_eq!(t.reserved_on(LinkId(l)), Bandwidth::mbps(3));
+        }
+        // Pruning one branch uncharges exactly its links.
+        t.release_links(VcId(1), &[LinkId(1), LinkId(2)]);
+        assert_eq!(t.reserved_on(LinkId(0)), Bandwidth::mbps(3));
+        assert_eq!(t.reserved_on(LinkId(1)), Bandwidth::ZERO);
+        assert_eq!(t.count(), 1);
+        // Pruning the last link removes the record entirely.
+        t.release_links(VcId(1), &[LinkId(0)]);
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn incremental_admit_is_all_or_nothing() {
+        let mut t = ReservationTable::default();
+        let cap = Bandwidth::mbps(10);
+        t.admit(VcId(7), &[(LinkId(1), cap)], Bandwidth::mbps(9))
+            .unwrap();
+        // Second link of the branch lacks bandwidth: nothing is charged.
+        let r = t.admit_links(
+            VcId(1),
+            &[(LinkId(0), cap), (LinkId(1), cap)],
+            Bandwidth::mbps(2),
+        );
+        assert!(r.is_err());
+        assert_eq!(t.reserved_on(LinkId(0)), Bandwidth::ZERO);
+        assert!(t.bandwidth_of(VcId(1)).is_none());
     }
 }

@@ -45,7 +45,10 @@ fn main() {
         ("alice→bob colour", &a_video, alice),
         ("bob→alice mono  ", &b_video, bob),
     ] {
-        println!("  {name}: {}", platform.service(node).contract(s.vc()).unwrap());
+        println!(
+            "  {name}: {}",
+            platform.service(node).contract(s.vc()).unwrap()
+        );
     }
 
     // Live capture at both ends.

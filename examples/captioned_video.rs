@@ -72,10 +72,14 @@ fn main() {
     let started = Rc::new(Cell::new(false));
     let s2 = started.clone();
     let agent = platform
-        .orchestrate_streams(&[&video, &captions], OrchestrationPolicy::default(), move |r| {
-            r.expect("start");
-            s2.set(true);
-        })
+        .orchestrate_streams(
+            &[&video, &captions],
+            OrchestrationPolicy::default(),
+            move |r| {
+                r.expect("start");
+                s2.set(true);
+            },
+        )
         .expect("orchestrate");
 
     // Watch for the encoding-change event.

@@ -1,135 +1,333 @@
-//! The language laboratory of §3.6: "separate audio tracks in different
-//! languages are stored on a single server but are to be distributed to
-//! different workstations in a real-time interactive language lesson."
+//! The language laboratory of §3.6, rebuilt on the session layer: the
+//! lesson is a *room*. The teacher publishes one audio stream into it;
+//! students join and are grafted onto the stream's shared multicast tree,
+//! with admission checked against each student's path QoS. The room
+//! orchestrator primes, starts and stops the whole class with single
+//! control OPDUs fanned out over the tree.
 //!
-//! The common node here is the *source* (the storage server), which
-//! therefore becomes the orchestrating node (fig. 5). Each student
-//! workstation has its own clock; the lesson must stay in step across all
-//! of them, both free-running (drifts) and orchestrated (doesn't).
+//! The second half is the scaling experiment: with 1 teacher and N
+//! students (N up to 256), the source's first-hop link carries the lesson
+//! exactly once on the group VC, while an N-unicast baseline carries it N
+//! times. Fixed seeds throughout — rerunning prints identical numbers.
 //!
 //! Run with: `cargo run --example language_lab`
 
+use cm_core::address::NetAddr;
+use cm_core::address::VcId;
+use cm_core::error::DisconnectReason;
 use cm_core::media::MediaProfile;
-use cm_core::time::{SimDuration, SimTime};
-use cm_media::{SkewMeter, StoredClip};
-use cm_orchestration::{FailureAction, OrchestrationPolicy};
-use cm_platform::{MonitorDevice, Platform, StorageServer};
-use netsim::{Engine, TestbedConfig};
-use std::cell::Cell;
+use cm_core::osdu::{Osdu, Payload};
+use cm_core::rng::DetRng;
+use cm_core::service_class::ServiceClass;
+use cm_core::time::{Bandwidth, SimDuration};
+use cm_platform::Platform;
+use cm_session::{JoinDenied, PeerId, RoomCtl, RoomMember, Session};
+use cm_transport::TransportService;
+use netsim::{Engine, LinkParams, Network, NodeClock};
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-const STUDENTS: usize = 4;
-const STUDENT_SKEWS_PPM: [i32; STUDENTS] = [2500, -2500, 1200, 0];
+/// 5 s of telephone audio at 50 OSDU/s.
+const LESSON_OSDUS: u64 = 250;
 
-struct LessonOutcome {
-    skews_ms: Vec<(f64, f64)>, // (t seconds, skew ms)
-    worst_ms: f64,
+struct Student {
+    name: String,
+    verbose: bool,
+    heard: Cell<u64>,
+    ctls: RefCell<Vec<RoomCtl>>,
 }
 
-fn run_lesson(orchestrated: bool) -> LessonOutcome {
-    let mut skews = STUDENT_SKEWS_PPM.to_vec();
-    skews.push(0); // the server — datum clock
-    let tb = TestbedConfig {
-        workstations: STUDENTS,
-        servers: 1,
-        clock_skews_ppm: skews,
-        ..TestbedConfig::default()
+impl Student {
+    fn new(name: &str, verbose: bool) -> Rc<Student> {
+        Rc::new(Student {
+            name: name.to_string(),
+            verbose,
+            heard: Cell::new(0),
+            ctls: RefCell::new(Vec::new()),
+        })
     }
-    .build(Engine::new());
-    let server_node = tb.servers[0];
+}
 
-    let platform = Platform::new(tb.net.clone());
-    for &n in tb.workstations.iter().chain(tb.servers.iter()) {
+impl RoomMember for Student {
+    fn on_peer_joined(&self, room: &str, _peer: PeerId, name: &str) {
+        if self.verbose {
+            println!("  [{}] sees {name} join {room}", self.name);
+        }
+    }
+    fn on_peer_left(&self, room: &str, _peer: PeerId, name: &str) {
+        if self.verbose {
+            println!("  [{}] sees {name} leave {room}", self.name);
+        }
+    }
+    fn on_media(&self, _room: &str, _stream: &str, _osdu: Osdu) {
+        self.heard.set(self.heard.get() + 1);
+    }
+    fn on_ctl(&self, _room: &str, _stream: &str, ctl: RoomCtl) {
+        self.ctls.borrow_mut().push(ctl);
+    }
+}
+
+/// Star topology: node 0 (teacher) — node 1 (hub) — one leaf per entry in
+/// `branches` (hub→leaf params; the reverse direction is always clean).
+fn star(branches: &[LinkParams]) -> (Network, Platform, Vec<NetAddr>) {
+    let net = Network::new(Engine::new());
+    let mut rng = DetRng::from_seed(92);
+    let clean = LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1));
+    let nodes: Vec<NetAddr> = (0..branches.len() + 2)
+        .map(|_| net.add_node(NodeClock::perfect()))
+        .collect();
+    net.add_duplex(nodes[0], nodes[1], clean.clone(), &mut rng);
+    for (i, p) in branches.iter().enumerate() {
+        net.add_link(
+            nodes[1],
+            nodes[2 + i],
+            p.clone(),
+            rng.fork(&format!("fwd{i}")),
+        );
+        net.add_link(
+            nodes[2 + i],
+            nodes[1],
+            clean.clone(),
+            rng.fork(&format!("rev{i}")),
+        );
+    }
+    let platform = Platform::new(net.clone());
+    for &n in &nodes {
         platform.install_node(n);
     }
+    (net, platform, nodes)
+}
 
-    let profile = MediaProfile::audio_telephone();
-    let server = StorageServer::new(&platform, server_node);
-    // One track per language; for the experiment they are equal-length.
-    for lang in ["english", "french", "german", "spanish"] {
-        server.store(lang, StoredClip::cbr_for(&profile, 240));
+/// Writes `total` OSDUs of 80 bytes as fast as the send buffer allows
+/// (the transport paces actual transmission at the contracted rate).
+fn drive_writer(svc: TransportService, vc: VcId, total: u64) {
+    let written = Rc::new(Cell::new(0u64));
+    fn step(svc: TransportService, vc: VcId, total: u64, written: Rc<Cell<u64>>) {
+        loop {
+            if written.get() >= total {
+                return;
+            }
+            match svc.write_osdu(vc, Payload::synthetic(written.get(), 80), None) {
+                Ok(true) => written.set(written.get() + 1),
+                Ok(false) => {
+                    let buf = svc.send_handle(vc).expect("send handle");
+                    let now = svc.now();
+                    let svc2 = svc.clone();
+                    let engine = svc.network().engine().clone();
+                    buf.park_producer(now, move || {
+                        let w = written.clone();
+                        engine.schedule_in(SimDuration::ZERO, move |_| step(svc2, vc, total, w));
+                    });
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+    step(svc, vc, total, written);
+}
+
+/// The interactive lesson: membership events, one QoS-denied student,
+/// room-wide prime/start/stop orchestration.
+fn lesson_demo() {
+    // Four healthy students and one behind a 16 kb/s line that cannot
+    // carry telephone audio (32 kb/s preferred, 24 kb/s acceptable).
+    let clean = LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1));
+    let skinny = LinkParams::clean(Bandwidth::kbps(16), SimDuration::from_millis(1));
+    let branches = vec![clean.clone(), clean.clone(), clean.clone(), clean, skinny];
+    let (net, platform, nodes) = star(&branches);
+    let session = Session::new(&platform);
+    let room = session.create_room("language-lab", nodes[0], 16);
+    println!(
+        "room exported through the trader: {:?}",
+        session.locate("language-lab").is_some()
+    );
+
+    let run = |ms: u64| net.engine().run_for(SimDuration::from_millis(ms));
+    let teacher = Student::new("teacher", true);
+    let teacher_id = Rc::new(RefCell::new(None));
+    let tid = teacher_id.clone();
+    room.join(nodes[0], "teacher", teacher.clone(), move |r| {
+        *tid.borrow_mut() = Some(r.expect("teacher joins"));
+    });
+    run(10);
+    let teacher_id = teacher_id.borrow().expect("teacher admitted");
+
+    let students: Vec<Rc<Student>> = (0..4)
+        .map(|i| Student::new(&format!("student-{i}"), true))
+        .collect();
+    for (i, s) in students.iter().enumerate() {
+        room.join(nodes[2 + i], &s.name.clone(), s.clone(), |r| {
+            r.expect("student joins");
+        });
+        run(10);
     }
 
-    // One stream per student (all from the same server — the common node).
-    let streams: Vec<_> = tb
-        .workstations
-        .iter()
-        .map(|&ws| platform.create_stream(server_node, &[ws], profile.clone()))
+    let vc = room
+        .publish(
+            teacher_id,
+            "lesson/english",
+            ServiceClass::cm_default(),
+            MediaProfile::audio_telephone().requirement(),
+        )
+        .expect("publish");
+    run(50);
+
+    // The fifth student's branch cannot carry the lesson: the join is
+    // denied with the transport's typed reason, nobody else is disturbed.
+    let late = Student::new("student-4", false);
+    room.join(nodes[6], "student-4", late.clone(), |r| match r {
+        Err(JoinDenied::Qos { stream, reason }) => {
+            let kind = match reason {
+                DisconnectReason::QosUnattainable(_) => "QoS unattainable on its path",
+                other => panic!("unexpected denial {other:?}"),
+            };
+            println!("  [room] student-4 denied: {stream}: {kind}");
+        }
+        other => panic!("expected a QoS denial, got {other:?}"),
+    });
+    run(50);
+
+    let svc = room.stream_service("lesson/english").expect("svc");
+    println!(
+        "lesson published; {} students on the shared tree",
+        svc.group_receivers(vc).expect("receivers").len()
+    );
+
+    // Prime fills the pipeline with every sink gated, start releases the
+    // whole class at once, stop freezes it — each a single control OPDU
+    // multicast over the tree.
+    let orch = room.orchestrator("lesson/english").expect("orchestrator");
+    orch.prime().expect("prime");
+    drive_writer(svc, vc, LESSON_OSDUS);
+    run(500);
+    let held: u64 = students.iter().map(|s| s.heard.get()).sum();
+    orch.start().expect("start");
+    run(7_000);
+    orch.stop().expect("stop");
+    run(50);
+    println!(
+        "primed (delivered while gated: {held}); after start, each student heard: {:?}",
+        students.iter().map(|s| s.heard.get()).collect::<Vec<_>>()
+    );
+    for s in &students {
+        assert_eq!(s.heard.get(), LESSON_OSDUS, "{} missed audio", s.name);
+        assert_eq!(
+            *s.ctls.borrow(),
+            vec![RoomCtl::Prime, RoomCtl::Start, RoomCtl::Stop]
+        );
+    }
+    assert_eq!(held, 0, "primed sinks must hold delivery");
+}
+
+/// First-hop packets for the lesson multicast to `n` students in a room.
+fn multicast_first_hop_pkts(n: usize) -> u64 {
+    let clean = LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1));
+    let (net, platform, nodes) = star(&vec![clean; n]);
+    let session = Session::new(&platform);
+    let room = session.create_room("language-lab", nodes[0], n + 1);
+    let run = |ms: u64| net.engine().run_for(SimDuration::from_millis(ms));
+
+    let quiet = Student::new("teacher", false);
+    let teacher_id = Rc::new(RefCell::new(None));
+    let tid = teacher_id.clone();
+    room.join(nodes[0], "teacher", quiet, move |r| {
+        *tid.borrow_mut() = Some(r.expect("teacher joins"));
+    });
+    run(10);
+    for i in 0..n {
+        let s = Student::new(&format!("s{i}"), false);
+        room.join(nodes[2 + i], &format!("s{i}"), s, |r| {
+            r.expect("student joins");
+        });
+        run(5);
+    }
+    let vc = room
+        .publish(
+            teacher_id.borrow().expect("teacher admitted"),
+            "lesson",
+            ServiceClass::cm_default(),
+            MediaProfile::audio_telephone().requirement(),
+        )
+        .expect("publish");
+    run(500);
+    let svc = room.stream_service("lesson").expect("svc");
+    assert_eq!(svc.group_receivers(vc).expect("receivers").len(), n);
+
+    let first_hop = net.route(nodes[0], nodes[1]).unwrap()[0];
+    let base = net.link_counters(first_hop).submitted;
+    drive_writer(svc, vc, LESSON_OSDUS);
+    net.engine().run_for(SimDuration::from_secs(10));
+    net.link_counters(first_hop).submitted - base
+}
+
+/// Eagerly consumes OSDUs at a unicast sink so credits keep flowing.
+fn drive_reader(svc: TransportService, vc: VcId) {
+    loop {
+        match svc.read_osdu(vc) {
+            Ok(Some(_)) => {}
+            Ok(None) => {
+                let Ok(buf) = svc.recv_handle(vc) else { return };
+                let now = svc.now();
+                let svc2 = svc.clone();
+                let engine = svc.network().engine().clone();
+                buf.park_consumer(now, move || {
+                    engine.schedule_in(SimDuration::ZERO, move |_| drive_reader(svc2, vc));
+                });
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// First-hop packets for the same lesson as `n` point-to-point streams.
+fn unicast_first_hop_pkts(n: usize) -> u64 {
+    let clean = LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1));
+    let (net, platform, nodes) = star(&vec![clean; n]);
+    let profile = MediaProfile::audio_telephone();
+    let streams: Vec<_> = (0..n)
+        .map(|i| platform.create_stream(nodes[0], &[nodes[2 + i]], profile.clone()))
         .collect();
     for s in &streams {
-        s.await_open(SimDuration::from_millis(200));
+        s.await_open(SimDuration::from_millis(500));
     }
-    let sources: Vec<_> = streams
-        .iter()
-        .zip(["english", "french", "german", "spanish"])
-        .map(|(s, lang)| server.play(lang, s))
-        .collect();
-    let sinks: Vec<_> = streams
-        .iter()
-        .zip(&tb.workstations)
-        .map(|(s, &ws)| MonitorDevice::new(&platform, ws).attach(s, &profile))
-        .collect();
-
-    if orchestrated {
-        let refs: Vec<&cm_platform::Stream> = streams.iter().map(|s| s.as_ref()).collect();
-        let started = Rc::new(Cell::new(false));
-        let s2 = started.clone();
-        platform
-            .orchestrate_streams(
-                &refs,
-                OrchestrationPolicy {
-                    max_drop_per_interval: 0,
-                    on_failure: FailureAction::DelayThenStop,
-                    failure_patience: 2,
-                    ..OrchestrationPolicy::default()
-                },
-                move |r| {
-                r.expect("lesson start");
-                s2.set(true);
-            },
-            )
-            .expect("orchestrate");
-        platform.engine().run_for(SimDuration::from_secs(182));
-        assert!(started.get());
-    } else {
-        for (src, sink) in sources.iter().zip(&sinks) {
-            src.start_producing();
-            sink.play();
+    let first_hop = net.route(nodes[0], nodes[1]).unwrap()[0];
+    let base = net.link_counters(first_hop).submitted;
+    let svc = platform.service(nodes[0]);
+    for (i, s) in streams.iter().enumerate() {
+        for vc in s.vcs() {
+            drive_writer(svc.clone(), vc, LESSON_OSDUS);
+            drive_reader(platform.service(nodes[2 + i]), vc);
         }
-        platform.engine().run_for(SimDuration::from_secs(182));
     }
-
-    let meter = SkewMeter::new(
-        sinks
-            .iter()
-            .map(|s| (profile.osdu_rate, s.log.borrow().clone()))
-            .collect(),
-    );
-    let (series, mut stats) = meter.series(
-        SimTime::from_secs(2),
-        SimTime::from_secs(180),
-        SimDuration::from_secs(6),
-    );
-    LessonOutcome {
-        skews_ms: series
-            .iter()
-            .map(|(t, s)| (t.as_secs_f64(), s.as_micros() as f64 / 1000.0))
-            .collect(),
-        worst_ms: stats.max() / 1000.0,
-    }
+    net.engine().run_for(SimDuration::from_secs(10));
+    net.link_counters(first_hop).submitted - base
 }
 
 fn main() {
-    println!("language lab: {STUDENTS} students, clock skews {STUDENT_SKEWS_PPM:?} ppm\n");
-    let free = run_lesson(false);
-    let orch = run_lesson(true);
-    println!("{:>6} {:>14} {:>14}", "t (s)", "free skew (ms)", "orch skew (ms)");
-    for (f, o) in free.skews_ms.iter().zip(&orch.skews_ms).step_by(3) {
-        println!("{:>6.0} {:>14.1} {:>14.1}", f.0, f.1, o.1);
-    }
+    println!("== language lab as a room ==\n");
+    lesson_demo();
+
+    println!("\n== scaling: 1 teacher -> N students ==\n");
     println!(
-        "\nworst-case inter-student skew: free {:.1} ms vs orchestrated {:.1} ms",
-        free.worst_ms, orch.worst_ms
+        "{:>5} {:>24} {:>24}",
+        "N", "group VC src-link pkts", "N-unicast src-link pkts"
     );
-    assert!(orch.worst_ms < free.worst_ms, "orchestration must win");
+    for n in [1usize, 4, 16, 64, 256] {
+        let multi = multicast_first_hop_pkts(n);
+        let uni = unicast_first_hop_pkts(n);
+        println!("{n:>5} {multi:>24} {uni:>24}");
+        assert_eq!(
+            multi, LESSON_OSDUS,
+            "group VC must carry the lesson once regardless of N"
+        );
+        assert_eq!(
+            uni,
+            LESSON_OSDUS * n as u64,
+            "unicast baseline grows with N"
+        );
+    }
+    println!("\nsource-link load stays flat on the shared tree; the unicast");
+    println!("baseline grows linearly with the class size.");
 }

@@ -12,13 +12,13 @@
 //!
 //! Run with: `cargo run --example microscope`
 
+use cm_core::address::VcId;
 use cm_core::address::{AddressTriple, TransportAddr};
+use cm_core::error::DisconnectReason;
 use cm_core::media::MediaProfile;
 use cm_core::qos::{QosParams, QosRequirement};
 use cm_core::service_class::ServiceClass;
 use cm_core::time::SimDuration;
-use cm_core::error::DisconnectReason;
-use cm_core::address::VcId;
 use cm_media::{LiveSource, PlayoutSink};
 use cm_platform::{AdtInterface, Invoker, Platform};
 use cm_transport::{TransportService, TransportUser};
@@ -92,8 +92,8 @@ impl TransportUser for MonitorEndpoint {
 /// `route_video(workstation-monitor-address)` performs the third-party
 /// connect from the camera to that monitor.
 struct MicroscopeControl {
-    svc: TransportService,       // the *controller host's* transport service
-    camera: TransportAddr,       // the camera TSAP (on the microscope host)
+    svc: TransportService, // the *controller host's* transport service
+    camera: TransportAddr, // the camera TSAP (on the microscope host)
     profile: MediaProfile,
 }
 
@@ -195,16 +195,15 @@ fn main() {
         .expect("bind initiator");
 
     // Export the microscope's control interface and trade it.
-    let scope_iface = Invoker::bind(
-        platform.service(controller_host),
-        platform.fresh_tsap(),
-    );
+    let scope_iface = Invoker::bind(platform.service(controller_host), platform.fresh_tsap());
     scope_iface.export(Rc::new(MicroscopeControl {
         svc: platform.service(controller_host),
         camera: camera_addr,
         profile: profile.clone(),
     }));
-    platform.trader().export("lab/microscope-1/control", scope_iface.address());
+    platform
+        .trader()
+        .export("lab/microscope-1/control", scope_iface.address());
 
     // The scientist's application: import the control interface, invoke
     // route_video(monitor).

@@ -50,8 +50,20 @@ fn main() {
     audio.await_open(SimDuration::from_millis(200));
     video.await_open(SimDuration::from_millis(200));
     println!("streams open:");
-    println!("  audio contract: {}", platform.service(tb.servers[0]).contract(audio.vc()).unwrap());
-    println!("  video contract: {}", platform.service(tb.servers[1]).contract(video.vc()).unwrap());
+    println!(
+        "  audio contract: {}",
+        platform
+            .service(tb.servers[0])
+            .contract(audio.vc())
+            .unwrap()
+    );
+    println!(
+        "  video contract: {}",
+        platform
+            .service(tb.servers[1])
+            .contract(video.vc())
+            .unwrap()
+    );
 
     // 5. Attach devices.
     let _audio_src = audio_server.play("film/sound", &audio);
@@ -65,10 +77,14 @@ fn main() {
     let started = Rc::new(Cell::new(false));
     let s2 = started.clone();
     let agent = platform
-        .orchestrate_streams(&[&audio, &video], OrchestrationPolicy::lip_sync(), move |r| {
-            r.expect("orchestrated start");
-            s2.set(true);
-        })
+        .orchestrate_streams(
+            &[&audio, &video],
+            OrchestrationPolicy::lip_sync(),
+            move |r| {
+                r.expect("orchestrated start");
+                s2.set(true);
+            },
+        )
         .expect("orchestrate");
 
     // 7. Play one simulated minute.
@@ -81,22 +97,39 @@ fn main() {
         (video_profile.osdu_rate, screen.log.borrow().clone()),
     ]);
     println!("\nafter 60 s of play-out:");
-    println!("  audio presented: {:>6} blocks ({} underruns)", speaker.log.borrow().len(), speaker.underruns.get());
-    println!("  video presented: {:>6} frames ({} underruns)", screen.log.borrow().len(), screen.underruns.get());
+    println!(
+        "  audio presented: {:>6} blocks ({} underruns)",
+        speaker.log.borrow().len(),
+        speaker.underruns.get()
+    );
+    println!(
+        "  video presented: {:>6} frames ({} underruns)",
+        screen.log.borrow().len(),
+        screen.underruns.get()
+    );
     let (series, mut stats) = meter.series(
         SimTime::from_secs(2),
         SimTime::from_secs(60),
         SimDuration::from_secs(2),
     );
-    println!("  lip-sync skew: mean {:.1} ms, worst {:.1} ms (±80 ms is detectable)",
+    println!(
+        "  lip-sync skew: mean {:.1} ms, worst {:.1} ms (±80 ms is detectable)",
         stats.mean() / 1000.0,
         stats.max() / 1000.0,
     );
     print!("  skew trace (s → ms):");
     for (t, skew) in series.iter().step_by(5) {
-        print!(" {:.0}→{:.0}", t.as_secs_f64(), skew.as_micros() as f64 / 1000.0);
+        print!(
+            " {:.0}→{:.0}",
+            t.as_secs_f64(),
+            skew.as_micros() as f64 / 1000.0
+        );
     }
     println!();
     let drops: u64 = agent.history().iter().map(|r| r.dropped).sum();
-    println!("  regulation intervals: {}, source drops: {}", agent.history().len(), drops);
+    println!(
+        "  regulation intervals: {}, source drops: {}",
+        agent.history().len(),
+        drops
+    );
 }

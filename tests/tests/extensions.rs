@@ -182,7 +182,11 @@ fn hard_guarantee_monitoring_still_reports() {
     );
     // 1 s of data, then silence.
     let clip = StoredClip::cbr_for(&MediaProfile::audio_telephone(), 1);
-    let src = cm_media::StoredSource::new(stack.node(stack.tb.servers[0]).svc.clone(), vc, clip.reader());
+    let src = cm_media::StoredSource::new(
+        stack.node(stack.tb.servers[0]).svc.clone(),
+        vc,
+        clip.reader(),
+    );
     src.start_producing();
     let sink = PlayoutSink::new(
         stack.node(stack.tb.workstations[0]).svc.clone(),

@@ -12,7 +12,13 @@ use netsim::{Engine, TestbedConfig};
 use std::cell::Cell;
 use std::rc::Rc;
 
-fn film_platform(skews: Vec<i32>) -> (Platform, Vec<cm_core::address::NetAddr>, Vec<cm_core::address::NetAddr>) {
+fn film_platform(
+    skews: Vec<i32>,
+) -> (
+    Platform,
+    Vec<cm_core::address::NetAddr>,
+    Vec<cm_core::address::NetAddr>,
+) {
     let tb = TestbedConfig {
         workstations: 1,
         servers: 2,
@@ -48,10 +54,14 @@ fn quickstart_scenario_holds_lip_sync() {
     let started = Rc::new(Cell::new(false));
     let s2 = started.clone();
     let _agent = platform
-        .orchestrate_streams(&[&audio, &video], OrchestrationPolicy::lip_sync(), move |r| {
-            r.expect("start");
-            s2.set(true);
-        })
+        .orchestrate_streams(
+            &[&audio, &video],
+            OrchestrationPolicy::lip_sync(),
+            move |r| {
+                r.expect("start");
+                s2.set(true);
+            },
+        )
         .expect("orchestrate");
     platform.engine().run_for(SimDuration::from_secs(60));
     assert!(started.get());
@@ -139,7 +149,10 @@ fn whole_stack_is_deterministic() {
     assert_eq!(a.0, b.0);
     assert_eq!(a.1, b.1);
     assert_eq!(a.2, b.2, "event counts must match exactly");
-    assert_eq!(a.3, b.3, "presentation timelines must match to the microsecond");
+    assert_eq!(
+        a.3, b.3,
+        "presentation timelines must match to the microsecond"
+    );
 }
 
 #[test]
@@ -162,7 +175,14 @@ fn quality_change_mid_film_keeps_playing() {
     platform.engine().run_for(SimDuration::from_secs(10));
     let after = screen.log.borrow().len();
     // ~25 f/s throughout: no stall around the upgrade.
-    assert!(after - before > 240, "only {} frames across the upgrade", after - before);
-    let contract = platform.service(servers[0]).contract(video.vc()).expect("contract");
+    assert!(
+        after - before > 240,
+        "only {} frames across the upgrade",
+        after - before
+    );
+    let contract = platform
+        .service(servers[0])
+        .contract(video.vc())
+        .expect("contract");
     assert!(contract.throughput >= MediaProfile::video_colour().nominal_throughput());
 }

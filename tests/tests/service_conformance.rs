@@ -15,10 +15,13 @@ use netsim::{Engine, LinkParams, Network, NodeClock};
 use std::cell::RefCell;
 use std::rc::Rc;
 
+/// Global arrival-ordered `(time, site, primitive)` records.
+type EventLog = Rc<RefCell<Vec<(SimTime, &'static str, &'static str)>>>;
+
 /// Records `(site, primitive)` in global arrival order.
 struct Recorder {
     site: &'static str,
-    log: Rc<RefCell<Vec<(SimTime, &'static str, &'static str)>>>,
+    log: EventLog,
 }
 
 impl Recorder {
@@ -85,11 +88,7 @@ impl TransportUser for Recorder {
     }
 }
 
-fn three_hosts() -> (
-    Network,
-    [TransportService; 3],
-    Rc<RefCell<Vec<(SimTime, &'static str, &'static str)>>>,
-) {
+fn three_hosts() -> (Network, [TransportService; 3], EventLog) {
     let net = Network::new(Engine::new());
     let mut rng = cm_core::rng::DetRng::from_seed(33);
     let h: Vec<_> = (0..3).map(|_| net.add_node(NodeClock::perfect())).collect();
@@ -120,9 +119,18 @@ fn three_hosts() -> (
 fn figure_3_sequence_holds() {
     let (net, [s0, s1, s2], log) = three_hosts();
     let triple = AddressTriple::remote(
-        TransportAddr { node: s2.node(), tsap: Tsap(1) },
-        TransportAddr { node: s0.node(), tsap: Tsap(1) },
-        TransportAddr { node: s1.node(), tsap: Tsap(1) },
+        TransportAddr {
+            node: s2.node(),
+            tsap: Tsap(1),
+        },
+        TransportAddr {
+            node: s0.node(),
+            tsap: Tsap(1),
+        },
+        TransportAddr {
+            node: s1.node(),
+            tsap: Tsap(1),
+        },
     );
     s2.t_connect_request(
         triple,
@@ -155,8 +163,14 @@ fn figure_3_sequence_holds() {
 fn table_1_2_3_primitive_exchanges() {
     let (net, [s0, s1, _s2], log) = three_hosts();
     let triple = AddressTriple::conventional(
-        TransportAddr { node: s0.node(), tsap: Tsap(1) },
-        TransportAddr { node: s1.node(), tsap: Tsap(1) },
+        TransportAddr {
+            node: s0.node(),
+            tsap: Tsap(1),
+        },
+        TransportAddr {
+            node: s1.node(),
+            tsap: Tsap(1),
+        },
     );
     let vc = s0
         .t_connect_request(
@@ -186,7 +200,8 @@ fn table_1_2_3_primitive_exchanges() {
     net.engine().run_for(SimDuration::from_millis(100));
 
     let seq: Vec<(&str, &str)> = log.borrow().iter().map(|&(_, s, p)| (s, p)).collect();
-    let count = |site: &str, prim: &str| seq.iter().filter(|&&(s, p)| s == site && p == prim).count();
+    let count =
+        |site: &str, prim: &str| seq.iter().filter(|&&(s, p)| s == site && p == prim).count();
     // Table 1.
     assert_eq!(count("destination", "T-Connect.indication"), 1);
     assert_eq!(count("destination", "T-Connect.response"), 1);
@@ -207,9 +222,18 @@ fn remote_release_reaches_source_as_indication() {
     // indication; the attached application performs the actual release.
     let (net, [s0, s1, s2], log) = three_hosts();
     let triple = AddressTriple::remote(
-        TransportAddr { node: s2.node(), tsap: Tsap(1) },
-        TransportAddr { node: s0.node(), tsap: Tsap(1) },
-        TransportAddr { node: s1.node(), tsap: Tsap(1) },
+        TransportAddr {
+            node: s2.node(),
+            tsap: Tsap(1),
+        },
+        TransportAddr {
+            node: s0.node(),
+            tsap: Tsap(1),
+        },
+        TransportAddr {
+            node: s1.node(),
+            tsap: Tsap(1),
+        },
     );
     let vc = s2
         .t_connect_request(

@@ -1,0 +1,323 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, `criterion_group!`, `criterion_main!`) backed
+//! by a plain wall-clock sampler: per benchmark it calibrates an iteration
+//! count, takes a handful of samples, and prints the median time per
+//! iteration (plus derived throughput when declared). No statistics
+//! machinery, no HTML reports — numbers on stdout, one line per bench,
+//! and a machine-readable `BENCH_RESULT` line for scripting.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser value laundering.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name` with `parameter` appended, criterion-style (`name/param`).
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (used inside `bench_with_input` groups).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Things convertible into a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes handled by one iteration.
+    Bytes(u64),
+    /// Abstract elements handled by one iteration.
+    Elements(u64),
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` runs of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_sampled(
+    label: &str,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    mut routine: impl FnMut(&mut Bencher),
+) {
+    // Calibrate: grow the iteration count until one sample is ≥ ~1 ms or
+    // the target sample share is reached.
+    let mut iters: u64 = 1;
+    let per_iter_budget = measurement_time / 10;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || b.elapsed >= per_iter_budget {
+            break;
+        }
+        iters = iters.saturating_mul(4).max(iters + 1);
+        if iters > 1_000_000_000 {
+            break;
+        }
+    }
+    // Sample.
+    let mut samples: Vec<f64> = Vec::new();
+    let deadline = Instant::now() + measurement_time;
+    for _ in 0..10 {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters.max(1) as f64);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let mut line = format!("{label:<50} {:>14}/iter", fmt_ns(median));
+    if let Some(t) = throughput {
+        let (units, suffix) = match t {
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+        };
+        let per_sec = units / (median / 1e9);
+        line.push_str(&format!("  {:>12} {}", fmt_quantity(per_sec), suffix));
+    }
+    println!("{line}");
+    // Machine-readable trailer for scripts (ns per iteration).
+    println!("BENCH_RESULT\t{label}\t{median:.1}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_quantity(q: f64) -> String {
+    if q >= 1e9 {
+        format!("{:.2} G", q / 1e9)
+    } else if q >= 1e6 {
+        format!("{:.2} M", q / 1e6)
+    } else if q >= 1e3 {
+        format!("{:.2} K", q / 1e3)
+    } else {
+        format!("{q:.1} ")
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts and ignores CLI configuration (kept for API parity).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Set the per-benchmark sampling budget.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Run one free-standing benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        run_sampled(
+            &id.into_benchmark_id().name,
+            None,
+            self.measurement_time,
+            routine,
+        );
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the units one iteration processes (reported as a rate).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sampling budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Override the nominal sample count (accepted for API parity; the
+    /// sampler keys off time, not count).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().name);
+        run_sampled(
+            &label,
+            self.throughput,
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            routine,
+        );
+        self
+    }
+
+    /// Run one parameterised benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.name);
+        run_sampled(
+            &label,
+            self.throughput,
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            |b| routine(b, input),
+        );
+        self
+    }
+
+    /// End the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(20));
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        c.bench_function("id_str", |b| b.iter(|| black_box(3) + 4));
+    }
+}
