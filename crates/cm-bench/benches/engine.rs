@@ -56,6 +56,74 @@ fn engine_event_throughput(c: &mut Criterion) {
             e.run();
         });
     });
+    // The RTO pattern: a timer armed far ahead, cancelled and re-armed on
+    // every ack, almost never firing. Scheduler churn is pure set/cancel
+    // traffic with a deep backlog of doomed timers.
+    g.bench_function("rto_churn_64vc_100k", |b| {
+        b.iter(|| {
+            let e = Engine::new();
+            const VCS: usize = 64;
+            const ROUNDS: u64 = 100_000 / VCS as u64;
+            let rto = SimDuration::from_millis(200);
+            let mut pending: Vec<Option<netsim::EventId>> = vec![None; VCS];
+            for round in 0..ROUNDS {
+                // One "ack" per VC per round: cancel the old RTO, arm a new
+                // one, and let simulated time creep forward.
+                for slot in pending.iter_mut() {
+                    if let Some(id) = slot.take() {
+                        e.cancel(id);
+                    }
+                    *slot = Some(e.schedule_in(rto, |_| {}));
+                }
+                e.run_until(SimTime::from_micros(round + 1));
+            }
+            e.run();
+        });
+    });
+    // Steady-state media ticking, both ways: 64 VC-like timers firing
+    // every millisecond. The one-shot variant re-boxes a fresh closure per
+    // tick (the pre-PeriodicTimer idiom); the timer variant arms once and
+    // lets the engine re-arm in place.
+    g.bench_function("periodic_64x_reboxed_oneshot_100k", |b| {
+        b.iter(|| {
+            let e = Engine::new();
+            let count = Rc::new(Cell::new(0u64));
+            const TIMERS: u64 = 64;
+            let period = SimDuration::from_millis(1);
+            fn tick(e: &Engine, count: Rc<Cell<u64>>, period: SimDuration) {
+                count.set(count.get() + 1);
+                let c = count.clone();
+                e.schedule_in(period, move |e| tick(e, c, period));
+            }
+            for _ in 0..TIMERS {
+                let c = count.clone();
+                e.schedule_in(period, move |e| tick(e, c, period));
+            }
+            e.run_until(SimTime::from_millis(100_000 / TIMERS));
+            assert_eq!(count.get(), 100_000 / TIMERS * TIMERS);
+        });
+    });
+    g.bench_function("periodic_64x_periodic_timer_100k", |b| {
+        b.iter(|| {
+            let e = Engine::new();
+            let count = Rc::new(Cell::new(0u64));
+            const TIMERS: u64 = 64;
+            let period = SimDuration::from_millis(1);
+            let timers: Vec<netsim::PeriodicTimer> = (0..TIMERS)
+                .map(|_| {
+                    let c = count.clone();
+                    let t = netsim::PeriodicTimer::new(&e, move |_| {
+                        c.set(c.get() + 1);
+                    });
+                    t.arm_every(e.now() + period, period);
+                    t
+                })
+                .collect();
+            e.run_until(SimTime::from_millis(100_000 / TIMERS));
+            assert_eq!(count.get(), 100_000 / TIMERS * TIMERS);
+            drop(timers);
+        });
+    });
     g.finish();
 }
 

@@ -21,7 +21,7 @@ use cm_core::error::OrchDenyReason;
 use cm_core::qos::QosTolerance;
 use cm_core::time::{Rate, SimDuration, SimTime};
 use cm_transport::VcRole;
-use netsim::EventId;
+use netsim::PeriodicTimer;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -102,7 +102,9 @@ struct AgentState {
     paused_at: Option<SimTime>,
     total_paused: SimDuration,
     next_interval: u64,
-    interval_event: Option<EventId>,
+    /// Regulation-interval timer; created on first start, re-armed each
+    /// interval, disarmed (but kept) across stop/start cycles.
+    interval_timer: Option<PeriodicTimer>,
     history: Vec<IntervalRecord>,
     actions: Vec<AgentAction>,
     on_event: Option<EventHook>,
@@ -176,7 +178,7 @@ impl HloAgent {
                     paused_at: None,
                     total_paused: SimDuration::ZERO,
                     next_interval: 0,
-                    interval_event: None,
+                    interval_timer: None,
                     history: Vec::new(),
                     actions: Vec::new(),
                     on_event: None,
@@ -280,8 +282,8 @@ impl HloAgent {
             let mut st = self.inner.state.borrow_mut();
             st.running = false;
             st.paused_at = Some(now);
-            if let Some(ev) = st.interval_event.take() {
-                self.inner.llo.service().network().engine().cancel(ev);
+            if let Some(t) = &st.interval_timer {
+                t.disarm();
             }
         }
         self.inner.llo.stop(self.inner.session, done);
@@ -301,8 +303,8 @@ impl HloAgent {
         {
             let mut st = self.inner.state.borrow_mut();
             st.running = false;
-            if let Some(ev) = st.interval_event.take() {
-                self.inner.llo.service().network().engine().cancel(ev);
+            if let Some(t) = &st.interval_timer {
+                t.disarm();
             }
         }
         self.inner
@@ -367,7 +369,6 @@ impl HloAgent {
     }
 
     fn schedule_interval(&self) {
-        let me = self.clone();
         let interval = self.inner.policy.interval;
         // Regulate *now* for the interval ending one interval ahead, then
         // reschedule.
@@ -379,18 +380,22 @@ impl HloAgent {
             .network()
             .clock(self.inner.llo.node());
         let global = clock.global_duration(interval);
-        let ev = self
-            .inner
-            .llo
-            .service()
-            .network()
-            .engine()
-            .schedule_in(global, move |_| {
-                if me.inner.state.borrow().running {
-                    me.schedule_interval();
-                }
-            });
-        self.inner.state.borrow_mut().interval_event = Some(ev);
+        let mut st = self.inner.state.borrow_mut();
+        if st.interval_timer.is_none() {
+            let weak = Rc::downgrade(&self.inner);
+            st.interval_timer = Some(PeriodicTimer::new(
+                self.inner.llo.service().network().engine(),
+                move |_| {
+                    if let Some(inner) = weak.upgrade() {
+                        let me = HloAgent { inner };
+                        if me.inner.state.borrow().running {
+                            me.schedule_interval();
+                        }
+                    }
+                },
+            ));
+        }
+        st.interval_timer.as_ref().unwrap().arm_in(global);
     }
 
     /// Fig. 6: set each VC's target for the interval ending one interval

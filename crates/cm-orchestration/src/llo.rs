@@ -26,7 +26,7 @@ use cm_core::error::OrchDenyReason;
 use cm_core::osdu::Opdu;
 use cm_core::time::{SimDuration, SimTime};
 use cm_transport::{EndStats, TransportService, TransportUser, VcRole, VcTap};
-use netsim::EventId;
+use netsim::{EventId, PeriodicTimer};
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -123,8 +123,10 @@ struct VcOrchState {
     drop_events: Vec<EventId>,
     /// Scheduled release-limit bumps for the current interval (sink end).
     release_events: Vec<EventId>,
-    /// Scheduled end-of-interval harvest.
-    harvest_event: Option<EventId>,
+    /// End-of-interval harvest timer (one slab slot for the VC's life).
+    harvest_timer: PeriodicTimer,
+    /// Interval the armed harvest will report on, read at fire time.
+    harvest_interval: Option<IntervalId>,
     /// Waiting to send a prime ack once the sink buffer fills.
     priming: bool,
 }
@@ -302,7 +304,8 @@ impl Llo {
                         patterns: Vec::new(),
                         drop_events: Vec::new(),
                         release_events: Vec::new(),
-                        harvest_event: None,
+                        harvest_timer: self.make_harvest_timer(session, vc),
+                        harvest_interval: None,
                         priming: false,
                     },
                 );
@@ -355,9 +358,6 @@ impl Llo {
                         let _ = self.inner.svc.set_release_limit(*vc, None);
                         for ev in vs.drop_events.iter().chain(&vs.release_events) {
                             engine.cancel(*ev);
-                        }
-                        if let Some(ev) = vs.harvest_event {
-                            engine.cancel(ev);
                         }
                     }
                     s.vcs.values().map(|v| v.peer).collect()
@@ -504,7 +504,8 @@ impl Llo {
                     patterns: Vec::new(),
                     drop_events: Vec::new(),
                     release_events: Vec::new(),
-                    harvest_event: None,
+                    harvest_timer: self.make_harvest_timer(session, vc),
+                    harvest_interval: None,
                     priming: false,
                 },
             );
@@ -544,9 +545,6 @@ impl Llo {
                     let _ = self.inner.svc.set_release_limit(vc, None);
                     for ev in vs.drop_events.iter().chain(&vs.release_events) {
                         engine.cancel(*ev);
-                    }
-                    if let Some(ev) = vs.harvest_event {
-                        engine.cancel(ev);
                     }
                     Some(vs.peer)
                 }
@@ -1080,7 +1078,26 @@ impl Llo {
         }
     }
 
+    /// Build the harvest timer for one VC's orchestration state. The weak
+    /// upgrade makes a firing after LLO teardown a silent no-op, and keeps
+    /// the engine-owned closure from pinning the LLO alive.
+    fn make_harvest_timer(&self, session: OrchSessionId, vc: VcId) -> PeriodicTimer {
+        let weak = Rc::downgrade(&self.inner);
+        PeriodicTimer::new(self.inner.svc.network().engine(), move |_| {
+            if let Some(inner) = weak.upgrade() {
+                Llo { inner }.harvest_fire(session, vc);
+            }
+        })
+    }
+
     /// Schedule an end-of-interval stats harvest for this node's end.
+    ///
+    /// Normally the VC's harvest timer carries this; but clock skew can
+    /// stretch a local interval past the master's, so the next interval's
+    /// harvest can be requested while the previous one is still pending.
+    /// Both must fire (each reports its own interval), so the overlap case
+    /// falls back to a one-shot event, exactly as every harvest was
+    /// scheduled before the timer existed.
     fn schedule_harvest(
         &self,
         session: OrchSessionId,
@@ -1088,17 +1105,43 @@ impl Llo {
         interval: IntervalId,
         interval_len: SimDuration,
     ) {
-        let llo = self.clone();
-        let ev = self.schedule_local_in(interval_len, move || {
-            llo.harvest_now(session, vc, interval);
-        });
+        let timer_busy = {
+            let st = self.inner.state.borrow();
+            match st.sessions.get(&session).and_then(|s| s.vcs.get(&vc)) {
+                Some(vs) => vs.harvest_interval.is_some(),
+                None => return,
+            }
+        };
+        if timer_busy {
+            let llo = self.clone();
+            self.schedule_local_in(interval_len, move || {
+                llo.harvest_now(session, vc, interval);
+            });
+            return;
+        }
+        let clock = self.inner.svc.network().clock(self.node());
+        let global = clock.global_duration(interval_len);
         let mut st = self.inner.state.borrow_mut();
         if let Some(vs) = st
             .sessions
             .get_mut(&session)
             .and_then(|s| s.vcs.get_mut(&vc))
         {
-            vs.harvest_event = Some(ev);
+            vs.harvest_interval = Some(interval);
+            vs.harvest_timer.arm_in(global);
+        }
+    }
+
+    fn harvest_fire(&self, session: OrchSessionId, vc: VcId) {
+        let interval = {
+            let mut st = self.inner.state.borrow_mut();
+            st.sessions
+                .get_mut(&session)
+                .and_then(|s| s.vcs.get_mut(&vc))
+                .and_then(|vs| vs.harvest_interval.take())
+        };
+        if let Some(interval) = interval {
+            self.harvest_now(session, vc, interval);
         }
     }
 
@@ -1111,14 +1154,7 @@ impl Llo {
             Err(_) => return,
         };
         let orchestrator = {
-            let mut st = self.inner.state.borrow_mut();
-            if let Some(vs) = st
-                .sessions
-                .get_mut(&session)
-                .and_then(|s| s.vcs.get_mut(&vc))
-            {
-                vs.harvest_event = None;
-            }
+            let st = self.inner.state.borrow();
             st.sessions.get(&session).and_then(|s| s.orchestrator)
         };
         match orchestrator {
@@ -1424,7 +1460,8 @@ impl Llo {
                     patterns: Vec::new(),
                     drop_events: Vec::new(),
                     release_events: Vec::new(),
-                    harvest_event: None,
+                    harvest_timer: self.make_harvest_timer(session, vc),
+                    harvest_interval: None,
                     priming: false,
                 },
             );

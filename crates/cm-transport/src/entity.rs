@@ -573,10 +573,40 @@ impl TransportEntity {
         (per_half_s as usize).clamp(4, 64)
     }
 
+    /// Build the pacing-tick and RTO timers for a source end. One slab
+    /// slot and one boxed closure each for the life of the VC; the weak
+    /// upgrade makes a firing after entity teardown a silent no-op.
+    pub(crate) fn make_source_timers(
+        self: &Rc<Self>,
+        vc: VcId,
+    ) -> (netsim::PeriodicTimer, netsim::PeriodicTimer) {
+        let weak = Rc::downgrade(self);
+        let tick = netsim::PeriodicTimer::new(self.net.engine(), move |_| {
+            if let Some(me) = weak.upgrade() {
+                me.source_tick(vc);
+            }
+        });
+        let weak = Rc::downgrade(self);
+        let rto = netsim::PeriodicTimer::new(self.net.engine(), move |_| {
+            if let Some(me) = weak.upgrade() {
+                me.rto_fire(vc);
+            }
+        });
+        (tick, rto)
+    }
+
     fn open_sink(self: &Rc<Self>, vc: VcId, p: &PendingDst) {
         let slots = p.capacity as usize;
         let monitor = (p.requirement.guarantee != GuaranteeMode::BestEffort)
             .then(|| QosMonitor::new(self.config.monitor_period, self.now()));
+        let monitor_timer = monitor.is_some().then(|| {
+            let weak = Rc::downgrade(self);
+            netsim::PeriodicTimer::new(self.net.engine(), move |_| {
+                if let Some(me) = weak.upgrade() {
+                    me.monitor_fire(vc);
+                }
+            })
+        });
         let mut sink = SinkEnd {
             recv_buf: BufferHandle::new(slots),
             engine: SinkEngine::new(p.class.error_control),
@@ -584,7 +614,7 @@ impl TransportEntity {
             app_popped: 0,
             last_freed_sent: 0,
             monitor,
-            monitor_event: None,
+            monitor_timer,
             pending_delivery: std::collections::VecDeque::new(),
             producer_parked: false,
             lost_snap: 0,
@@ -631,6 +661,7 @@ impl TransportEntity {
         recv_capacity: u32,
     ) {
         let slots = self.buffer_slots(&p.requirement);
+        let (tick_timer, rto_timer) = self.make_source_timers(vc);
         let mut clock = RateClock::new(p.requirement.osdu_rate);
         clock.start(self.local_now());
         let source = SourceEnd {
@@ -647,8 +678,8 @@ impl TransportEntity {
             sent: 0,
             retrans_cache: std::collections::VecDeque::new(),
             retrans_cache_cap: (recv_capacity as usize) * 4,
-            tick_event: None,
-            rto_event: None,
+            tick_timer,
+            rto_timer,
             waiting_buffer: false,
             stalled_credit: false,
             dropped_snap: 0,
@@ -689,18 +720,13 @@ impl TransportEntity {
             match st.vcs.get_mut(&vc) {
                 Some(v) if v.phase != VcPhase::Closed => {
                     v.phase = VcPhase::Closed;
-                    let engine = self.net.engine();
-                    if let Some(s) = &mut v.source {
-                        if let Some(ev) = s.tick_event.take() {
-                            engine.cancel(ev);
-                        }
-                        if let Some(ev) = s.rto_event.take() {
-                            engine.cancel(ev);
-                        }
+                    if let Some(s) = &v.source {
+                        s.tick_timer.disarm();
+                        s.rto_timer.disarm();
                     }
-                    if let Some(k) = &mut v.sink {
-                        if let Some(ev) = k.monitor_event.take() {
-                            engine.cancel(ev);
+                    if let Some(k) = &v.sink {
+                        if let Some(t) = &k.monitor_timer {
+                            t.disarm();
                         }
                     }
                     Some(v.local_tsap)
@@ -1165,18 +1191,9 @@ impl TransportEntity {
         };
         let Some(at_local) = at else { return };
         let at = self.local_to_global(at_local).max(floor);
-        let me = self.clone();
-        let ev = self
-            .net
-            .engine()
-            .schedule_at(at, move |_| me.source_tick(vc));
-        let mut st = self.state.borrow_mut();
-        if let Some(s) = st.vcs.get_mut(&vc).and_then(|v| v.source.as_mut()) {
-            if let Some(old) = s.tick_event.replace(ev) {
-                self.net.engine().cancel(old);
-            }
-        } else {
-            self.net.engine().cancel(ev);
+        let st = self.state.borrow();
+        if let Some(s) = st.vcs.get(&vc).and_then(|v| v.source.as_ref()) {
+            s.tick_timer.arm_at(at);
         }
     }
 
@@ -1195,7 +1212,6 @@ impl TransportEntity {
                 return;
             }
             let s = v.source.as_mut().expect("source end on tick");
-            s.tick_event = None;
             match s.clock.next_due() {
                 None => Next::Idle, // paused
                 // 1 us tolerance: local->global->local conversion truncates,
@@ -1582,23 +1598,12 @@ impl TransportEntity {
                 .and_then(|s| s.gbn.as_ref())
                 .and_then(|g| g.timeout_at())
         };
-        let me = self.clone();
-        let ev = at.map(|at| {
-            self.net
-                .engine()
-                .schedule_at(at.max(self.now()), move |_| me.rto_fire(vc))
-        });
-        let mut st = self.state.borrow_mut();
-        if let Some(s) = st.vcs.get_mut(&vc).and_then(|v| v.source.as_mut()) {
-            let old = match ev {
-                Some(ev) => s.rto_event.replace(ev),
-                None => s.rto_event.take(),
-            };
-            if let Some(old) = old {
-                self.net.engine().cancel(old);
+        let st = self.state.borrow();
+        if let Some(s) = st.vcs.get(&vc).and_then(|v| v.source.as_ref()) {
+            match at {
+                Some(at) => s.rto_timer.arm_at(at.max(self.now())),
+                None => s.rto_timer.disarm(),
             }
-        } else if let Some(ev) = ev {
-            self.net.engine().cancel(ev);
         }
     }
 
@@ -1611,7 +1616,6 @@ impl TransportEntity {
                 return;
             }
             let s = v.source.as_mut().expect("source end");
-            s.rto_event = None;
             let gbn = s.gbn.as_mut().expect("window sender");
             // wseqs of cached entries are base..next, in order.
             gbn.check_timeout(now).map(|tpdus| (tpdus, gbn.base()))
@@ -1883,16 +1887,14 @@ impl TransportEntity {
                 .and_then(|k| k.monitor.as_ref().map(|m| m.period_end()))
         };
         let Some(at) = at else { return };
-        let me = self.clone();
-        let ev = self
-            .net
-            .engine()
-            .schedule_at(at, move |_| me.monitor_fire(vc));
-        let mut st = self.state.borrow_mut();
-        if let Some(k) = st.vcs.get_mut(&vc).and_then(|v| v.sink.as_mut()) {
-            if let Some(old) = k.monitor_event.replace(ev) {
-                self.net.engine().cancel(old);
-            }
+        let st = self.state.borrow();
+        if let Some(t) = st
+            .vcs
+            .get(&vc)
+            .and_then(|v| v.sink.as_ref())
+            .and_then(|k| k.monitor_timer.as_ref())
+        {
+            t.arm_at(at);
         }
     }
 
@@ -1908,7 +1910,6 @@ impl TransportEntity {
             let peer = v.peer_node;
             let tsap = v.local_tsap;
             let Some(k) = v.sink.as_mut() else { return };
-            k.monitor_event = None;
             let Some(m) = &mut k.monitor else { return };
             let period = m.period();
             let measured = m.end_period(now);
@@ -2136,9 +2137,7 @@ impl TransportEntity {
             .and_then(|v| v.source.as_mut())
             .ok_or(ServiceError::UnknownVc)?;
         s.clock.pause();
-        if let Some(ev) = s.tick_event.take() {
-            self.net.engine().cancel(ev);
-        }
+        s.tick_timer.disarm();
         Ok(())
     }
 

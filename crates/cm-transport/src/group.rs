@@ -108,6 +108,7 @@ impl TransportEntity {
             tsap,
         };
         let slots = self.buffer_slots(&requirement);
+        let (tick_timer, rto_timer) = self.make_source_timers(vc);
         let mut clock = crate::rate::RateClock::new(requirement.osdu_rate);
         clock.start(self.local_now());
         let source = SourceEnd {
@@ -124,8 +125,8 @@ impl TransportEntity {
             sent: 0,
             retrans_cache: std::collections::VecDeque::new(),
             retrans_cache_cap: slots * 4,
-            tick_event: None,
-            rto_event: None,
+            tick_timer,
+            rto_timer,
             waiting_buffer: false,
             stalled_credit: false,
             dropped_snap: 0,

@@ -16,7 +16,7 @@ use cm_core::osdu::Osdu;
 use cm_core::qos::{QosParams, QosRequirement};
 use cm_core::service_class::ServiceClass;
 use cm_core::time::SimDuration;
-use netsim::EventId;
+use netsim::PeriodicTimer;
 use std::collections::VecDeque;
 
 /// Which end of the simplex VC this entity holds.
@@ -56,10 +56,11 @@ pub struct SourceEnd {
     pub retrans_cache: VecDeque<Osdu>,
     /// Maximum entries in `retrans_cache`.
     pub retrans_cache_cap: usize,
-    /// Pending pacing-tick event (cancelled on reschedule).
-    pub tick_event: Option<EventId>,
-    /// Pending window RTO event.
-    pub rto_event: Option<EventId>,
+    /// Pacing-tick timer; each re-arm implicitly drops the previous
+    /// deadline (one boxed closure for the life of the VC).
+    pub tick_timer: PeriodicTimer,
+    /// Window RTO timer.
+    pub rto_timer: PeriodicTimer,
     /// Parked as consumer on the send buffer (application slow).
     pub waiting_buffer: bool,
     /// Stalled on exhausted receiver credit.
@@ -96,8 +97,8 @@ pub struct SinkEnd {
     pub last_freed_sent: u64,
     /// QoS monitor (absent for best-effort VCs).
     pub monitor: Option<QosMonitor>,
-    /// Pending monitor period event.
-    pub monitor_event: Option<EventId>,
+    /// Monitor period timer (absent for best-effort VCs).
+    pub monitor_timer: Option<PeriodicTimer>,
     /// In-order OSDUs waiting for receive-buffer space.
     pub pending_delivery: VecDeque<Osdu>,
     /// Producer side (protocol) parked on a full receive buffer.

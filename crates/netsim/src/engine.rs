@@ -12,52 +12,350 @@
 //! central world object, which is what keeps the crates above loosely
 //! coupled (the smoltcp lesson: explicit `poll`-style time, no hidden
 //! runtime).
+//!
+//! # Scheduler internals
+//!
+//! Events live in a slab of reusable slots addressed by a hierarchical timer
+//! wheel ([`LEVELS`] levels of [`SLOTS`] slots, each level covering 64× the
+//! span of the one below — level 0 resolves single microseconds, the top
+//! level ~19 simulated hours). Events beyond the wheel span wait in a small
+//! overflow heap and migrate into the wheel as the cursor approaches.
+//!
+//! [`EventId`]s carry a generation tag alongside the slot index, so `cancel`
+//! is an O(1) slot invalidation: a stale id (already fired, already
+//! cancelled, or slot since reused) simply no-ops. Cancelled events leave no
+//! tombstones — their bucket keys are dropped lazily when the containing
+//! slot drains — and [`Engine::pending`] counts exactly the live events.
+//!
+//! Determinism argument: every event placed at (or cascaded down to) its
+//! deadline lands in a level-0 bucket, and a level-0 bucket is drained only
+//! when the cursor equals that exact instant, at which point its live keys
+//! are sorted by sequence number before firing. Same-instant FIFO order
+//! therefore never depends on *how* an event reached level 0 (direct
+//! placement, cascade, or overflow migration). A differential proptest in
+//! `tests/engine_differential.rs` checks firing order against a reference
+//! binary-heap scheduler.
 
 use cm_core::time::{SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::rc::Rc;
 
+/// Bits of the deadline consumed per wheel level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Number of wheel levels; deadlines within `2^(LEVEL_BITS*LEVELS)` µs of
+/// the cursor (~19.1 simulated hours) live in the wheel, the rest overflow.
+const LEVELS: usize = 6;
+/// Total deadline bits the wheel can resolve.
+const WHEEL_BITS: u32 = LEVEL_BITS * LEVELS as u32;
+
 /// Identifies a scheduled event so it can be cancelled.
+///
+/// Packs a slab index and a generation tag; ids from fired or cancelled
+/// events go stale (the slot's generation advances) so a late [`Engine::cancel`]
+/// can never hit an unrelated event that reused the slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
 
+impl EventId {
+    fn pack(idx: u32, gen: u32) -> EventId {
+        EventId(((gen as u64) << 32) | idx as u64)
+    }
+    fn unpack(self) -> (u32, u32) {
+        (self.0 as u32, (self.0 >> 32) as u32)
+    }
+}
+
 type Action = Box<dyn FnOnce(&Engine)>;
+type RepeatAction = Box<dyn FnMut(&Engine)>;
 
-struct Entry {
-    at: SimTime,
+/// What a slab slot currently holds.
+enum Stored {
+    /// Free slot (on the free list) or a one-shot whose action was taken.
+    Vacant,
+    /// A one-shot event.
+    Once(Action),
+    /// A periodic timer's action, at rest.
+    Repeat(RepeatAction),
+    /// A periodic timer's action, moved out while it runs. If the slot is
+    /// released mid-fire (handle dropped inside its own callback) the
+    /// generation advances and the put-back drops the action instead.
+    RepeatTaken,
+}
+
+struct Slot {
+    /// Bumped on every release; pending `EventId`s and bucket keys from a
+    /// prior life of the slot no longer match.
+    gen: u32,
+    /// Whether the slot currently has a pending deadline in the wheel.
+    scheduled: bool,
+    /// Absolute deadline in µs (valid while `scheduled`).
+    at: u64,
+    /// Sequence number of the *current* arming. Bucket keys snapshot the
+    /// seq they were placed with; a key whose seq no longer matches is
+    /// stale (cancelled or re-armed) and is dropped when its bucket drains.
     seq: u64,
-    id: EventId,
-    action: Action,
+    /// Auto-rearm period for `PeriodicTimer::arm_every`, in µs.
+    period: Option<u64>,
+    stored: Stored,
 }
 
-// Ordering for the max-heap: we invert so the earliest (time, seq) pops
-// first. Only `at` and `seq` participate; two entries never tie because
-// `seq` is unique.
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+/// A bucket entry: slot index plus the seq it was scheduled under.
+#[derive(Clone, Copy)]
+struct Key {
+    idx: u32,
+    seq: u64,
+}
+
+struct Level {
+    /// Bitmap of non-empty buckets.
+    occupied: u64,
+    buckets: Vec<Vec<Key>>,
+}
+
+struct Core {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Live (scheduled, not cancelled) event count.
+    live: usize,
+    /// The wheel cursor: deadlines below it have been drained. Invariant:
+    /// while `live > 0`, `elapsed <=` the earliest live deadline. When
+    /// `live == 0` the cursor may drift past stale buckets and is rewound
+    /// on the next arm.
+    elapsed: u64,
+    levels: Vec<Level>,
+    /// Keys whose deadline equals `elapsed`, in firing (seq) order.
+    ready: VecDeque<Key>,
+    /// Events beyond the wheel span, ordered by `(at, seq)`.
+    overflow: BinaryHeap<Reverse<(u64, u64, u32)>>,
+}
+
+impl Core {
+    fn new() -> Core {
+        Core {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            elapsed: 0,
+            levels: (0..LEVELS)
+                .map(|_| Level {
+                    occupied: 0,
+                    buckets: (0..SLOTS).map(|_| Vec::new()).collect(),
+                })
+                .collect(),
+            ready: VecDeque::new(),
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    fn alloc(&mut self) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot {
+                gen: 0,
+                scheduled: false,
+                at: 0,
+                seq: 0,
+                period: None,
+                stored: Stored::Vacant,
+            });
+            idx
+        }
+    }
+
+    /// Return a slot to the free list, advancing its generation so every
+    /// outstanding id and bucket key for it goes stale. The caller must
+    /// have unscheduled it first.
+    fn release(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        debug_assert!(!slot.scheduled);
+        slot.stored = Stored::Vacant;
+        slot.period = None;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(idx);
+    }
+
+    /// Drop a slot's pending deadline, if any. Its bucket key stays behind
+    /// and is discarded when the bucket drains.
+    fn unschedule(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        if slot.scheduled {
+            slot.scheduled = false;
+            self.live -= 1;
+        }
+    }
+
+    fn key_live(&self, key: Key) -> bool {
+        let slot = &self.slots[key.idx as usize];
+        slot.scheduled && slot.seq == key.seq
+    }
+
+    /// Give a slot a new deadline under a fresh seq (any previous deadline
+    /// is implicitly dropped). `now` is the engine clock, a lower bound on
+    /// every future deadline.
+    fn arm(&mut self, idx: u32, at: u64, seq: u64, now: u64) {
+        self.unschedule(idx);
+        if self.live == 0 {
+            // No live deadline constrains the cursor, which may have
+            // drifted past `now` while chasing stale buckets; pull it back
+            // to the clock (not just to `at`) so that later arms at
+            // earlier-but-still-future deadlines stay reachable too.
+            self.elapsed = self.elapsed.min(now);
+        }
+        let slot = &mut self.slots[idx as usize];
+        slot.at = at;
+        slot.seq = seq;
+        slot.scheduled = true;
+        self.live += 1;
+        self.place(Key { idx, seq }, at);
+    }
+
+    /// Insert a key at the wheel position (or overflow heap) for deadline
+    /// `at`. Deadlines at the cursor itself go in their level-0 bucket so
+    /// that *every* path to firing funnels through the seq-sorted drain.
+    fn place(&mut self, key: Key, at: u64) {
+        debug_assert!(at >= self.elapsed);
+        let masked = at ^ self.elapsed;
+        if masked >> WHEEL_BITS != 0 {
+            self.overflow.push(Reverse((at, key.seq, key.idx)));
+            return;
+        }
+        let level = if masked < SLOTS as u64 {
+            0
+        } else {
+            ((63 - masked.leading_zeros()) / LEVEL_BITS) as usize
+        };
+        let slot = ((at >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.levels[level].buckets[slot].push(key);
+        self.levels[level].occupied |= 1 << slot;
+    }
+
+    /// Empty one bucket: level 0 feeds the ready queue in seq order (all
+    /// live keys there share deadline == `elapsed`); higher levels cascade
+    /// live keys down. Stale keys are discarded here — this is where
+    /// cancelled events actually leave the structure.
+    fn drain(&mut self, level: usize, slot: usize) {
+        self.levels[level].occupied &= !(1u64 << slot);
+        let mut keys = std::mem::take(&mut self.levels[level].buckets[slot]);
+        if level == 0 {
+            keys.retain(|k| self.key_live(*k));
+            keys.sort_unstable_by_key(|k| k.seq);
+            self.ready.extend(keys.iter().copied());
+        } else {
+            for &k in &keys {
+                if self.key_live(k) {
+                    let at = self.slots[k.idx as usize].at;
+                    self.place(k, at);
+                }
+            }
+        }
+        keys.clear();
+        self.levels[level].buckets[slot] = keys; // keep the allocation
+    }
+
+    /// Advance the cursor to the next live deadline `<= limit` and leave its
+    /// key at the front of the ready queue (without removing it). Returns
+    /// `None` when no live event is due by `limit`; the cursor never
+    /// advances past the first deadline beyond `limit`.
+    fn peek_due(&mut self, limit: u64) -> Option<Key> {
+        loop {
+            // 1. Overflow events now within the wheel span re-enter the
+            //    wheel (must precede the ready scan so a migrated event
+            //    can still win the seq-sort against same-instant peers).
+            while let Some(&Reverse((at, seq, idx))) = self.overflow.peek() {
+                let key = Key { idx, seq };
+                if !self.key_live(key) {
+                    self.overflow.pop();
+                    continue;
+                }
+                if (at ^ self.elapsed) >> WHEEL_BITS != 0 {
+                    break;
+                }
+                self.overflow.pop();
+                self.place(key, at);
+            }
+            // 2. Ready keys fire at `elapsed`.
+            while let Some(&key) = self.ready.front() {
+                if self.key_live(key) {
+                    if self.slots[key.idx as usize].at > limit {
+                        return None;
+                    }
+                    return Some(key);
+                }
+                self.ready.pop_front();
+            }
+            // 3. Advance to the earliest occupied slot and drain it. The
+            //    first non-empty level always holds the earliest candidate:
+            //    live keys on level L+1 lie in later L+1-windows than
+            //    everything on level L.
+            let mut advanced = false;
+            for level in 0..LEVELS {
+                let shift = LEVEL_BITS * level as u32;
+                let cursor = (self.elapsed >> shift) & (SLOTS as u64 - 1);
+                let occ = self.levels[level].occupied & (!0u64 << cursor);
+                if occ == 0 {
+                    continue;
+                }
+                let slot = occ.trailing_zeros() as usize;
+                let next_shift = shift + LEVEL_BITS;
+                let base = (self.elapsed >> next_shift) << next_shift;
+                // The deadline this slot represents in the current
+                // rotation; stale keys can make it sit below the cursor,
+                // in which case draining is a pure cleanup.
+                let t = (base | ((slot as u64) << shift)).max(self.elapsed);
+                if t > limit {
+                    return None;
+                }
+                self.elapsed = t;
+                self.drain(level, slot);
+                advanced = true;
+                break;
+            }
+            if advanced {
+                continue;
+            }
+            // 4. Wheel empty: jump the cursor to the overflow head (live —
+            //    dead heads were popped in step 1).
+            match self.overflow.peek() {
+                Some(&Reverse((at, seq, idx))) => {
+                    if at > limit {
+                        return None;
+                    }
+                    self.overflow.pop();
+                    self.elapsed = at;
+                    self.place(Key { idx, seq }, at);
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Remove and return the next due key (deadline `<= limit`), if any.
+    fn pop_due(&mut self, limit: u64) -> Option<Key> {
+        let key = self.peek_due(limit)?;
+        self.ready.pop_front();
+        let slot = &mut self.slots[key.idx as usize];
+        slot.scheduled = false;
+        self.live -= 1;
+        Some(key)
     }
 }
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: smaller (at, seq) = "greater" for BinaryHeap.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+
+/// What `step` extracted for the firing event.
+enum Fired {
+    Once(Action),
+    Repeat(RepeatAction, u32),
 }
 
 struct EngineInner {
     now: Cell<SimTime>,
-    queue: RefCell<BinaryHeap<Entry>>,
+    core: RefCell<Core>,
     next_seq: Cell<u64>,
-    cancelled: RefCell<HashSet<EventId>>,
     executed: Cell<u64>,
     /// Hard stop against runaway event loops in tests; `u64::MAX` = off.
     event_limit: Cell<u64>,
@@ -85,9 +383,8 @@ impl Engine {
         Engine {
             inner: Rc::new(EngineInner {
                 now: Cell::new(SimTime::ZERO),
-                queue: RefCell::new(BinaryHeap::new()),
+                core: RefCell::new(Core::new()),
                 next_seq: Cell::new(0),
-                cancelled: RefCell::new(HashSet::new()),
                 executed: Cell::new(0),
                 event_limit: Cell::new(u64::MAX),
                 same_instant: Cell::new((SimTime::ZERO, 0)),
@@ -105,15 +402,21 @@ impl Engine {
         self.inner.executed.get()
     }
 
-    /// Number of events still pending (including cancelled tombstones).
+    /// Number of live pending events (cancelled events don't count).
     pub fn pending(&self) -> usize {
-        self.inner.queue.borrow().len()
+        self.inner.core.borrow().live
     }
 
     /// Cap the total number of events the run loops will execute; exceeding
     /// it panics. Tests use this to catch scheduling loops.
     pub fn set_event_limit(&self, limit: u64) {
         self.inner.event_limit.set(limit);
+    }
+
+    fn next_seq(&self) -> u64 {
+        let seq = self.inner.next_seq.get();
+        self.inner.next_seq.set(seq + 1);
+        seq
     }
 
     /// Schedule `action` to run at absolute time `at`.
@@ -126,16 +429,15 @@ impl Engine {
             "cannot schedule into the past: {at} < {}",
             self.now()
         );
-        let seq = self.inner.next_seq.get();
-        self.inner.next_seq.set(seq + 1);
-        let id = EventId(seq);
-        self.inner.queue.borrow_mut().push(Entry {
-            at,
-            seq,
-            id,
-            action: Box::new(action),
-        });
-        id
+        let seq = self.next_seq();
+        let mut core = self.inner.core.borrow_mut();
+        let idx = core.alloc();
+        let slot = &mut core.slots[idx as usize];
+        let gen = slot.gen;
+        slot.stored = Stored::Once(Box::new(action));
+        let now = self.now().as_micros();
+        core.arm(idx, at.as_micros(), seq, now);
+        EventId::pack(idx, gen)
     }
 
     /// Schedule `action` to run after `delay`.
@@ -147,51 +449,98 @@ impl Engine {
         self.schedule_at(self.now() + delay, action)
     }
 
-    /// Cancel a pending event. Cancelling an already-fired or already-
-    /// cancelled event is a no-op.
+    /// Cancel a pending event in O(1). Cancelling an already-fired or
+    /// already-cancelled event is a no-op (the id has gone stale).
     pub fn cancel(&self, id: EventId) {
-        self.inner.cancelled.borrow_mut().insert(id);
+        let (idx, gen) = id.unpack();
+        let mut core = self.inner.core.borrow_mut();
+        let Some(slot) = core.slots.get(idx as usize) else {
+            return;
+        };
+        if slot.gen != gen || !matches!(slot.stored, Stored::Once(_)) {
+            return;
+        }
+        core.unschedule(idx);
+        core.release(idx);
+    }
+
+    /// Advance the clock to a firing event's deadline and run the
+    /// bookkeeping guards.
+    fn tick_clock(&self, at: SimTime) {
+        debug_assert!(at >= self.now());
+        self.inner.now.set(at);
+        let n = self.inner.executed.get() + 1;
+        self.inner.executed.set(n);
+        assert!(
+            n <= self.inner.event_limit.get(),
+            "event limit exceeded at {} ({} events executed)",
+            self.now(),
+            n
+        );
+        // Same-instant storm guard: a zero-delay event cycle would freeze
+        // virtual time while burning real time — fail loudly instead of
+        // hanging.
+        let (prev, count) = self.inner.same_instant.get();
+        if prev == at {
+            assert!(
+                count < 5_000_000,
+                "same-instant event storm at {prev}: >5M events without time advancing"
+            );
+            self.inner.same_instant.set((prev, count + 1));
+        } else {
+            self.inner.same_instant.set((at, 1));
+        }
     }
 
     /// Execute the next pending event, if any. Returns `false` when the
     /// queue is empty.
     pub fn step(&self) -> bool {
-        loop {
-            // Pop while *not* holding the borrow across the action call:
-            // actions schedule and cancel freely.
-            let entry = match self.inner.queue.borrow_mut().pop() {
-                Some(e) => e,
-                None => return false,
+        // Extract without holding the borrow across the action call:
+        // actions schedule and cancel freely.
+        let (key, at, fired) = {
+            let mut core = self.inner.core.borrow_mut();
+            let Some(key) = core.pop_due(u64::MAX) else {
+                return false;
             };
-            if self.inner.cancelled.borrow_mut().remove(&entry.id) {
-                continue; // tombstoned
+            let slot = &mut core.slots[key.idx as usize];
+            let at = slot.at;
+            let gen = slot.gen;
+            match std::mem::replace(&mut slot.stored, Stored::RepeatTaken) {
+                Stored::Once(action) => {
+                    slot.stored = Stored::Vacant;
+                    // Free before firing: the slot is reusable during the
+                    // callback, and a cancel of this id after the fire is a
+                    // stale-generation no-op.
+                    core.release(key.idx);
+                    (key, at, Fired::Once(action))
+                }
+                Stored::Repeat(action) => (key, at, Fired::Repeat(action, gen)),
+                Stored::Vacant | Stored::RepeatTaken => {
+                    unreachable!("live key points at an empty slot")
+                }
             }
-            debug_assert!(entry.at >= self.now());
-            self.inner.now.set(entry.at);
-            let n = self.inner.executed.get() + 1;
-            self.inner.executed.set(n);
-            assert!(
-                n <= self.inner.event_limit.get(),
-                "event limit exceeded at {} ({} events executed)",
-                self.now(),
-                n
-            );
-            // Same-instant storm guard: a zero-delay event cycle would
-            // freeze virtual time while burning real time — fail loudly
-            // instead of hanging.
-            let (at, count) = self.inner.same_instant.get();
-            if at == entry.at {
-                assert!(
-                    count < 5_000_000,
-                    "same-instant event storm at {at}: >5M events without time advancing"
-                );
-                self.inner.same_instant.set((at, count + 1));
-            } else {
-                self.inner.same_instant.set((entry.at, 1));
+        };
+        self.tick_clock(SimTime::from_micros(at));
+        match fired {
+            Fired::Once(action) => action(self),
+            Fired::Repeat(mut action, gen) => {
+                action(self);
+                // Put the action back unless the timer's handle was dropped
+                // (or the slot reused) during its own callback.
+                let mut core = self.inner.core.borrow_mut();
+                let slot = &mut core.slots[key.idx as usize];
+                if slot.gen == gen && matches!(slot.stored, Stored::RepeatTaken) {
+                    slot.stored = Stored::Repeat(action);
+                    if let (Some(period), false) = (slot.period, slot.scheduled) {
+                        // `arm_every` auto-rearm; an explicit arm from the
+                        // callback takes precedence.
+                        let seq = self.next_seq();
+                        core.arm(key.idx, at.saturating_add(period), seq, at);
+                    }
+                }
             }
-            (entry.action)(self);
-            return true;
         }
+        true
     }
 
     /// Run until the queue drains.
@@ -203,28 +552,13 @@ impl Engine {
     /// the clock to `deadline` (even if the queue drained earlier), leaving
     /// later events pending.
     pub fn run_until(&self, deadline: SimTime) {
+        let limit = deadline.as_micros();
         loop {
-            let next_at = loop {
-                // Skim tombstones off the top so peek sees a live event.
-                let mut q = self.inner.queue.borrow_mut();
-                match q.peek() {
-                    None => break None,
-                    Some(e) => {
-                        if self.inner.cancelled.borrow().contains(&e.id) {
-                            let e = q.pop().expect("peeked entry vanished");
-                            self.inner.cancelled.borrow_mut().remove(&e.id);
-                            continue;
-                        }
-                        break Some(e.at);
-                    }
-                }
-            };
-            match next_at {
-                Some(at) if at <= deadline => {
-                    self.step();
-                }
-                _ => break,
+            let due = self.inner.core.borrow_mut().peek_due(limit).is_some();
+            if !due {
+                break;
             }
+            self.step();
         }
         if self.now() < deadline {
             self.inner.now.set(deadline);
@@ -235,6 +569,98 @@ impl Engine {
     pub fn run_for(&self, span: SimDuration) {
         let deadline = self.now() + span;
         self.run_until(deadline);
+    }
+}
+
+/// A reusable timer: one slab slot, one boxed callback, armed and re-armed
+/// any number of times without re-boxing the closure per tick.
+///
+/// This is the primitive behind every steady-state repeat tick in the stack
+/// (media-source pacing, retransmission timeouts, QoS monitor periods,
+/// orchestration intervals). Re-arming implicitly drops the previous
+/// deadline in O(1); dropping the handle frees the slot and stales any
+/// in-flight deadline, even from inside the timer's own callback.
+pub struct PeriodicTimer {
+    engine: Engine,
+    idx: u32,
+    gen: u32,
+}
+
+impl PeriodicTimer {
+    /// Allocate a timer slot holding `action`. The timer starts disarmed
+    /// and consumes no sequence number until first armed, so creating
+    /// timers does not perturb event ordering.
+    pub fn new(engine: &Engine, action: impl FnMut(&Engine) + 'static) -> PeriodicTimer {
+        let mut core = engine.inner.core.borrow_mut();
+        let idx = core.alloc();
+        let slot = &mut core.slots[idx as usize];
+        let gen = slot.gen;
+        slot.stored = Stored::Repeat(Box::new(action));
+        PeriodicTimer {
+            engine: engine.clone(),
+            idx,
+            gen,
+        }
+    }
+
+    /// Arm (or re-arm) the timer to fire once at absolute time `at`.
+    pub fn arm_at(&self, at: SimTime) {
+        self.arm_inner(at, None);
+    }
+
+    /// Arm (or re-arm) the timer to fire once after `delay`.
+    pub fn arm_in(&self, delay: SimDuration) {
+        self.arm_inner(self.engine.now() + delay, None);
+    }
+
+    /// Arm the timer to fire at `first` and then every `period` after each
+    /// firing, until [`PeriodicTimer::disarm`]. The latest arm call defines
+    /// the mode: an `arm_at`/`arm_in` (including from inside the callback,
+    /// where it takes precedence over the auto-rearm) makes the timer
+    /// one-shot again.
+    pub fn arm_every(&self, first: SimTime, period: SimDuration) {
+        self.arm_inner(first, Some(period.as_micros()));
+    }
+
+    fn arm_inner(&self, at: SimTime, period: Option<u64>) {
+        assert!(
+            at >= self.engine.now(),
+            "cannot schedule into the past: {at} < {}",
+            self.engine.now()
+        );
+        let seq = self.engine.next_seq();
+        let mut core = self.engine.inner.core.borrow_mut();
+        debug_assert_eq!(
+            core.slots[self.idx as usize].gen, self.gen,
+            "periodic timer slot reused while the handle is alive"
+        );
+        core.slots[self.idx as usize].period = period;
+        let now = self.engine.now().as_micros();
+        core.arm(self.idx, at.as_micros(), seq, now);
+    }
+
+    /// Drop the pending deadline (and any auto-rearm period) in O(1).
+    /// Disarming an unarmed timer is a no-op; the callback is retained for
+    /// the next arm.
+    pub fn disarm(&self) {
+        let mut core = self.engine.inner.core.borrow_mut();
+        core.slots[self.idx as usize].period = None;
+        core.unschedule(self.idx);
+    }
+
+    /// Whether the timer currently has a pending deadline.
+    pub fn is_armed(&self) -> bool {
+        self.engine.inner.core.borrow().slots[self.idx as usize].scheduled
+    }
+}
+
+impl Drop for PeriodicTimer {
+    fn drop(&mut self) {
+        let mut core = self.engine.inner.core.borrow_mut();
+        // Safe even mid-fire: the generation bump makes the post-callback
+        // put-back drop the action instead of resurrecting the slot.
+        core.unschedule(self.idx);
+        core.release(self.idx);
     }
 }
 
@@ -361,5 +787,235 @@ mod tests {
         e.run();
         e.run_for(SimDuration::from_secs(2));
         assert_eq!(e.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn pending_counts_only_live_events() {
+        let e = Engine::new();
+        let a = e.schedule_at(SimTime::from_secs(1), |_| {});
+        let _b = e.schedule_at(SimTime::from_secs(2), |_| {});
+        assert_eq!(e.pending(), 2);
+        e.cancel(a);
+        assert_eq!(e.pending(), 1);
+        e.run();
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn stale_id_after_slot_reuse_is_a_no_op() {
+        let e = Engine::new();
+        let first = e.schedule_at(SimTime::from_micros(1), |_| {});
+        e.run(); // fires; the slot goes back on the free list
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        // Reuses the same slot under a new generation.
+        let _second = e.schedule_at(SimTime::from_micros(2), move |_| f.set(true));
+        e.cancel(first); // stale: must not touch the new occupant
+        e.run();
+        assert!(fired.get());
+    }
+
+    #[test]
+    fn cancel_after_fire_then_reschedule_many_times() {
+        // The tombstone-leak regression: cancelling after the fire used to
+        // leave an entry behind forever. Now it is a pure no-op and slots
+        // recycle; `pending` stays exact throughout.
+        let e = Engine::new();
+        for i in 0..1000u64 {
+            let id = e.schedule_at(SimTime::from_micros(i), |_| {});
+            e.run_until(SimTime::from_micros(i));
+            e.cancel(id); // already fired
+            assert_eq!(e.pending(), 0);
+        }
+        assert_eq!(e.executed(), 1000);
+    }
+
+    #[test]
+    fn far_future_events_cross_the_wheel_span() {
+        // 2^36 µs ≈ 19.1h is the wheel span; go far past it, mixed with
+        // near events, and check total order.
+        let e = Engine::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let days = 3 * 24 * 3600; // seconds
+        for (t, tag) in [
+            (SimTime::from_secs(days), 'z'),
+            (SimTime::from_micros(5), 'a'),
+            (SimTime::from_secs(days), 'y'), // same far instant, FIFO after 'z'
+            (SimTime::from_secs(100_000), 'm'),
+        ] {
+            let log = log.clone();
+            e.schedule_at(t, move |_| log.borrow_mut().push(tag));
+        }
+        e.run();
+        assert_eq!(*log.borrow(), vec!['a', 'm', 'z', 'y']);
+        assert_eq!(e.now(), SimTime::from_secs(days));
+    }
+
+    #[test]
+    fn run_until_partway_through_far_future() {
+        let e = Engine::new();
+        let fired = Rc::new(Cell::new(0u32));
+        for secs in [1u64, 100_000, 200_000] {
+            let f = fired.clone();
+            e.schedule_at(SimTime::from_secs(secs), move |_| f.set(f.get() + 1));
+        }
+        e.run_until(SimTime::from_secs(150_000));
+        assert_eq!(fired.get(), 2);
+        assert_eq!(e.pending(), 1);
+        e.run();
+        assert_eq!(fired.get(), 3);
+    }
+
+    #[test]
+    fn periodic_timer_fires_on_each_arm() {
+        let e = Engine::new();
+        let count = Rc::new(Cell::new(0u32));
+        let c = count.clone();
+        let t = PeriodicTimer::new(&e, move |_| c.set(c.get() + 1));
+        assert!(!t.is_armed());
+        t.arm_at(SimTime::from_micros(10));
+        assert!(t.is_armed());
+        e.run();
+        assert_eq!(count.get(), 1);
+        assert!(!t.is_armed());
+        t.arm_in(SimDuration::from_micros(5));
+        e.run();
+        assert_eq!(count.get(), 2);
+        assert_eq!(e.now(), SimTime::from_micros(15));
+    }
+
+    #[test]
+    fn periodic_timer_rearm_replaces_pending_deadline() {
+        let e = Engine::new();
+        let count = Rc::new(Cell::new(0u32));
+        let c = count.clone();
+        let t = PeriodicTimer::new(&e, move |_| c.set(c.get() + 1));
+        t.arm_at(SimTime::from_micros(10));
+        t.arm_at(SimTime::from_micros(50)); // pushes the deadline out
+        e.run();
+        assert_eq!(count.get(), 1);
+        assert_eq!(e.now(), SimTime::from_micros(50));
+    }
+
+    #[test]
+    fn periodic_timer_disarm_and_drop() {
+        let e = Engine::new();
+        let count = Rc::new(Cell::new(0u32));
+        let c = count.clone();
+        let t = PeriodicTimer::new(&e, move |_| c.set(c.get() + 1));
+        t.arm_at(SimTime::from_micros(10));
+        t.disarm();
+        assert_eq!(e.pending(), 0);
+        e.run();
+        assert_eq!(count.get(), 0);
+        t.arm_at(SimTime::from_micros(20));
+        drop(t); // dropping the handle stales the pending deadline
+        e.run();
+        assert_eq!(count.get(), 0);
+    }
+
+    #[test]
+    fn periodic_timer_arm_every_repeats_until_disarm() {
+        let e = Engine::new();
+        let count = Rc::new(Cell::new(0u32));
+        let c = count.clone();
+        let t = PeriodicTimer::new(&e, move |_| c.set(c.get() + 1));
+        t.arm_every(SimTime::from_micros(10), SimDuration::from_micros(10));
+        e.run_until(SimTime::from_micros(55));
+        assert_eq!(count.get(), 5); // fired at 10, 20, 30, 40, 50
+        assert!(t.is_armed());
+        t.disarm();
+        e.run_until(SimTime::from_micros(100));
+        assert_eq!(count.get(), 5);
+    }
+
+    #[test]
+    fn periodic_timer_callback_rearm_overrides_auto_rearm() {
+        let e = Engine::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let timer: Rc<RefCell<Option<PeriodicTimer>>> = Rc::new(RefCell::new(None));
+        let l = log.clone();
+        let th = timer.clone();
+        let t = PeriodicTimer::new(&e, move |e| {
+            l.borrow_mut().push(e.now().as_micros());
+            if e.now().as_micros() < 30 {
+                // Explicit re-arm with a different cadence than the period.
+                th.borrow()
+                    .as_ref()
+                    .unwrap()
+                    .arm_in(SimDuration::from_micros(7));
+            }
+        });
+        t.arm_every(SimTime::from_micros(10), SimDuration::from_micros(100));
+        *timer.borrow_mut() = Some(t);
+        e.run_until(SimTime::from_micros(40));
+        assert_eq!(*log.borrow(), vec![10, 17, 24, 31]);
+        // The one-shot re-arms cleared the auto-period (the latest arm call
+        // defines the mode), so after 31 the timer stays quiet.
+        e.run_until(SimTime::from_micros(200));
+        assert_eq!(*log.borrow(), vec![10, 17, 24, 31]);
+        assert!(!timer.borrow().as_ref().unwrap().is_armed());
+    }
+
+    #[test]
+    fn periodic_timer_dropped_inside_own_callback() {
+        let e = Engine::new();
+        let holder: Rc<RefCell<Option<PeriodicTimer>>> = Rc::new(RefCell::new(None));
+        let count = Rc::new(Cell::new(0u32));
+        let h = holder.clone();
+        let c = count.clone();
+        let t = PeriodicTimer::new(&e, move |_| {
+            c.set(c.get() + 1);
+            *h.borrow_mut() = None; // drop ourselves mid-fire
+        });
+        t.arm_every(SimTime::from_micros(10), SimDuration::from_micros(10));
+        *holder.borrow_mut() = Some(t);
+        e.run_until(SimTime::from_micros(100));
+        assert_eq!(count.get(), 1); // no auto-rearm after self-drop
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn same_instant_mixed_sources_fire_in_seq_order() {
+        // Events reaching time t by different routes (direct schedule,
+        // schedule-from-callback, periodic arm) still honor global FIFO.
+        let e = Engine::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        let timer = {
+            let l = log.clone();
+            PeriodicTimer::new(&e, move |_| l.borrow_mut().push("timer"))
+        };
+        e.schedule_at(SimTime::from_micros(10), move |e| {
+            l.borrow_mut().push("first");
+            let l2 = l.clone();
+            e.schedule_at(SimTime::from_micros(10), move |_| {
+                l2.borrow_mut().push("nested");
+            });
+        });
+        timer.arm_at(SimTime::from_micros(10));
+        let l3 = log.clone();
+        e.schedule_at(SimTime::from_micros(10), move |_| {
+            l3.borrow_mut().push("last")
+        });
+        e.run();
+        assert_eq!(*log.borrow(), vec!["first", "timer", "last", "nested"]);
+    }
+
+    #[test]
+    fn rewound_cursor_after_stale_drain() {
+        // Cancel everything so the cursor chases stale buckets past `now`,
+        // then schedule again at an earlier-than-cursor deadline.
+        let e = Engine::new();
+        let id = e.schedule_at(SimTime::from_secs(100), |_| {});
+        e.run_until(SimTime::from_secs(1));
+        e.cancel(id);
+        assert!(!e.step()); // drains stale state, may advance the cursor
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        e.schedule_at(SimTime::from_secs(2), move |_| f.set(true));
+        e.run();
+        assert!(fired.get());
+        assert_eq!(e.now(), SimTime::from_secs(2));
     }
 }

@@ -25,7 +25,7 @@ pub mod reservation;
 pub mod topology;
 
 pub use clock::NodeClock;
-pub use engine::{Engine, EventId};
+pub use engine::{Engine, EventId, PeriodicTimer};
 pub use link::{JitterModel, LinkCounters, LinkParams};
 pub use multicast::{GroupId, GroupTree};
 pub use network::{LinkId, Network, NetworkCounters, NodeHandler};
