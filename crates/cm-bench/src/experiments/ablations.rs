@@ -1,7 +1,7 @@
 //! Design-choice ablations: A1 (drop spreading, §6.3.1.1) and A2
 //! (regulation interval length, fig. 6).
 
-use crate::table::{ms, Table};
+use crate::table::{ms, notes, section, Table};
 use cm_core::time::{SimDuration, SimTime};
 use cm_orchestration::OrchestrationPolicy;
 use cm_testkit::{FilmScenario, StackConfig};
@@ -30,8 +30,10 @@ fn launch(f: &FilmScenario, policy: OrchestrationPolicy) -> cm_orchestration::Hl
 /// one presentation step (a visible glitch); spread drops skip one unit
 /// at a time.
 pub fn a1_drop_spreading() {
-    println!("A1: drop spreading vs bunching (audio source clock -5%, heavy drop load)");
-    println!("    media jump = gap in consecutive presented media-unit indices\n");
+    section(&[
+        "A1: drop spreading vs bunching (audio source clock -5%, heavy drop load)",
+        "    media jump = gap in consecutive presented media-unit indices",
+    ]);
     let mut table = Table::new(&[
         "drop execution",
         "drops (60s)",
@@ -76,17 +78,19 @@ pub fn a1_drop_spreading() {
         ]);
     }
     table.print();
-    println!("\n  expectation: the same total drop budget, but bunched execution turns it into");
-    println!("  multi-unit media skips (audible/visible glitches) where spreading yields only");
-    println!("  isolated single-unit skips — the stated reason for spreading (§6.3.1.1).");
+    notes(&[
+        "expectation: the same total drop budget, but bunched execution turns it into",
+        "multi-unit media skips (audible/visible glitches) where spreading yields only",
+        "isolated single-unit skips — the stated reason for spreading (§6.3.1.1).",
+    ]);
 }
 
 /// A2 — fig. 6: the regulation interval length trades control traffic
 /// against sync tightness.
 pub fn a2_interval_length() {
-    println!(
-        "A2: regulation interval length vs skew bound and control traffic (film, ±3000 ppm)\n"
-    );
+    section(&[
+        "A2: regulation interval length vs skew bound and control traffic (film, ±3000 ppm)",
+    ]);
     let mut table = Table::new(&[
         "interval",
         "skew@60s (ms)",
@@ -122,9 +126,11 @@ pub fn a2_interval_length() {
         ]);
     }
     table.print();
-    println!("\n  expectation: at realistic drift rates the skew bound is set by the");
-    println!("  presentation-phase floor, not the interval — so tightening the interval");
-    println!("  only multiplies control traffic (20x from 2 s to 100 ms). The interval is");
-    println!("  policy (§5); 500 ms keeps per-interval drift far below the lip-sync");
-    println!("  tolerance while costing ~12 exchanges/s for a two-stream film.");
+    notes(&[
+        "expectation: at realistic drift rates the skew bound is set by the",
+        "presentation-phase floor, not the interval — so tightening the interval",
+        "only multiplies control traffic (20x from 2 s to 100 ms). The interval is",
+        "policy (§5); 500 ms keeps per-interval drift far below the lip-sync",
+        "tolerance while costing ~12 exchanges/s for a two-stream film.",
+    ]);
 }

@@ -2,7 +2,7 @@
 //! their parameters, as observed at the service interface) and figure 3
 //! (the remote-connect time sequence).
 
-use crate::table::Table;
+use crate::table::{gap, note, notes, section, Table};
 use cm_core::address::{AddressTriple, TransportAddr, Tsap, VcId};
 use cm_core::error::DisconnectReason;
 use cm_core::media::MediaProfile;
@@ -97,13 +97,13 @@ fn print_log(log: &Rc<RefCell<Vec<(SimTime, String)>>>) {
     let mut entries = log.borrow().clone();
     entries.sort_by_key(|(t, _)| *t);
     for (t, line) in entries {
-        println!("  {t:>12}  {line}");
+        note(&format!("{t:>12}  {line}"));
     }
 }
 
 /// F3 — the remote-connect time sequence, regenerated from live primitives.
 pub fn f3() -> bool {
-    println!("F3: remote connection establishment (initiator host 3 connects host 1 -> host 2)\n");
+    section(&["F3: remote connection establishment (initiator host 3 connects host 1 -> host 2)"]);
     let net = Network::new(Engine::new());
     let mut rng = cm_core::rng::DetRng::from_seed(3);
     let h1 = net.add_node(NodeClock::perfect());
@@ -161,8 +161,10 @@ pub fn f3() -> bool {
     .expect("request");
     net.engine().run_for(SimDuration::from_millis(100));
     print_log(&log);
-    println!("\n  matches fig. 3: request → source indication/response → destination");
-    println!("  indication/response → source confirm → initiator confirm.");
+    notes(&[
+        "matches fig. 3: request → source indication/response → destination",
+        "indication/response → source confirm → initiator confirm.",
+    ]);
     true
 }
 
@@ -174,7 +176,7 @@ pub fn run() -> bool {
 }
 
 fn table1_2_3() {
-    println!("T1–T3: connection management / QoS primitives at the service interface\n");
+    section(&["T1–T3: connection management / QoS primitives at the service interface"]);
     let mut cfg = StackConfig::default();
     cfg.testbed.workstations = 1;
     cfg.testbed.servers = 1;
@@ -257,11 +259,11 @@ fn table1_2_3() {
         .expect("disconnect");
     stack.run_for(SimDuration::from_millis(100));
     print_log(&log);
-    println!();
+    gap();
 }
 
 fn tables_4_5_6() {
-    println!("T4–T6: orchestration primitives over a film session\n");
+    section(&["T4–T6: orchestration primitives over a film session"]);
     let f = FilmScenario::build((-2000, 0), 30, StackConfig::default());
     let mut t = Table::new(&["primitive (tables 4–6)", "observed"]);
     let agent = f
@@ -370,5 +372,5 @@ fn tables_4_5_6() {
     ]);
     agent.release();
     t.print();
-    println!();
+    gap();
 }

@@ -53,7 +53,7 @@ pub fn run(id: &str) -> bool {
         "a2" => ablations::a2_interval_length(),
         "all" => {
             for id in ALL {
-                println!("\n================ {id} ================");
+                crate::table::banner(id);
                 run(id);
             }
         }

@@ -2,7 +2,7 @@
 //! CM), E4 (multiplexed single VC vs separate orchestrated VCs), E5
 //! (transparent renegotiation vs teardown + reconnect).
 
-use crate::table::{ms, Table};
+use crate::table::{ms, notes, section, Table};
 use cm_core::media::MediaProfile;
 use cm_core::qos::ErrorRate;
 use cm_core::service_class::{ErrorControlClass, ProtocolProfile, ServiceClass};
@@ -37,7 +37,7 @@ fn measure(sink: &Rc<PlayoutSink>) -> Delivery {
 /// E3 — §7: rate-based flow control suits CM; window-based bursts and
 /// stalls. Same 25 f/s video, same tight link and loss, both protocols.
 pub fn e3_rate_vs_window() {
-    println!("E3: 25 f/s video over a tight 2.5 Mb/s path with 1% loss, 60 s of media\n");
+    section(&["E3: 25 f/s video over a tight 2.5 Mb/s path with 1% loss, 60 s of media"]);
     let mut table = Table::new(&[
         "protocol",
         "presented",
@@ -95,16 +95,18 @@ pub fn e3_rate_vs_window() {
         ]);
     }
     table.print();
-    println!("\n  expectation: the paced rate-based protocol keeps inter-frame gaps near the");
-    println!("  40 ms frame time; go-back-N bursts, stalls on loss (RTO) and shows long tails —");
-    println!("  the §7 argument for rate-based flow control for CM.");
+    notes(&[
+        "expectation: the paced rate-based protocol keeps inter-frame gaps near the",
+        "40 ms frame time; go-back-N bursts, stalls on loss (RTO) and shows long tails —",
+        "the §7 argument for rate-based flow control for CM.",
+    ]);
 }
 
 /// E4 — §3.6 / \[Tennenhouse,90\]: multiplexing related media onto one VC
 /// forces the strictest QoS onto all data and queues small audio units
 /// behind large video frames; separate orchestrated VCs avoid both.
 pub fn e4_mux_vs_orch() {
-    println!("E4: film as one multiplexed VC vs two orchestrated VCs (10 Mb/s path)\n");
+    section(&["E4: film as one multiplexed VC vs two orchestrated VCs (10 Mb/s path)"]);
 
     // --- Multiplexed: one VC carrying interleaved audio+video units.
     let mux_audio_gaps = {
@@ -245,15 +247,17 @@ pub fn e4_mux_vs_orch() {
         ms(sep_gaps.max()),
     ]);
     table.print();
-    println!("\n  expectation: the mux forces a combined contract at the strictest loss class");
-    println!("  and audio waits behind 8 KB frames (jitter tail); separate VCs isolate the");
-    println!("  media and the orchestrator supplies the temporal coupling instead (§3.6).");
+    notes(&[
+        "expectation: the mux forces a combined contract at the strictest loss class",
+        "and audio waits behind 8 KB frames (jitter tail); separate VCs isolate the",
+        "media and the orchestrator supplies the temporal coupling instead (§3.6).",
+    ]);
 }
 
 /// E5 — §3.3/§4.1.3: renegotiating QoS in place keeps the stream alive;
 /// tearing down and reconnecting interrupts it.
 pub fn e5_renegotiation() {
-    println!("E5: mono→colour upgrade mid-playout, in-place vs teardown+reconnect\n");
+    section(&["E5: mono→colour upgrade mid-playout, in-place vs teardown+reconnect"]);
     let upgrade_in_place = || -> (f64, usize) {
         let (stack, stream) =
             super::sync::one_stream(&MediaProfile::video_mono(), 120, StackConfig::default());
@@ -322,8 +326,10 @@ pub fn e5_renegotiation() {
     table.row(&["T-Renegotiate in place".into(), ms(gap_a), n_a.to_string()]);
     table.row(&["teardown + reconnect".into(), ms(gap_b), n_b.to_string()]);
     table.print();
-    println!("\n  expectation: in-place renegotiation keeps buffers, sequence state and the");
-    println!("  reservation (adjusted), so the play-out never pauses; reconnection loses the");
-    println!("  pipeline and pays connect + refill latency (§3.3's argument for doing QoS");
-    println!("  changes \"transparently behind the transport service interface\").");
+    notes(&[
+        "expectation: in-place renegotiation keeps buffers, sequence state and the",
+        "reservation (adjusted), so the play-out never pauses; reconnection loses the",
+        "pipeline and pays connect + refill latency (§3.3's argument for doing QoS",
+        "changes \"transparently behind the transport service interface\").",
+    ]);
 }

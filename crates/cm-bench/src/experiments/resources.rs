@@ -1,7 +1,7 @@
 //! Resource and monitoring experiments: E7 (admission control), E9
 //! (event-driven synchronisation) and E10 (blocking-time diagnosis).
 
-use crate::table::{ms, Table};
+use crate::table::{ms, notes, section, Table};
 use cm_core::media::MediaProfile;
 use cm_core::qos::GuaranteeMode;
 use cm_core::service_class::ServiceClass;
@@ -16,7 +16,7 @@ use std::rc::Rc;
 /// E7 — §3.2/§7: reservation-based admission control protects contracted
 /// QoS; without it, overload degrades everyone.
 pub fn e7_admission() {
-    println!("E7: offered 1.6 Mb/s video connections over one 10 Mb/s access link\n");
+    section(&["E7: offered 1.6 Mb/s video connections over one 10 Mb/s access link"]);
     let mut table = Table::new(&[
         "offered",
         "admitted (reserved)",
@@ -94,15 +94,17 @@ pub fn e7_admission() {
         ]);
     }
     table.print();
-    println!("\n  expectation: reservation admits only what fits (~6 × 1.6 Mb/s on 10 Mb/s) and");
-    println!("  those streams play cleanly; best-effort admits everything and overload smears");
-    println!("  underruns across all streams (§3.1: \"resources must be explicitly reserved\").");
+    notes(&[
+        "expectation: reservation admits only what fits (~6 × 1.6 Mb/s on 10 Mb/s) and",
+        "those streams play cleanly; best-effort admits everything and overload smears",
+        "underruns across all streams (§3.1: \"resources must be explicitly reserved\").",
+    ]);
 }
 
 /// E9 — §6.3.4: in-band `Orch.Event` matching vs application-layer
 /// scanning of every OSDU.
 pub fn e9_event() {
-    println!("E9: signalling an in-stream event at OSDU 1000 (video, 90 s)\n");
+    section(&["E9: signalling an in-stream event at OSDU 1000 (video, 90 s)"]);
     let profile = MediaProfile::video_mono();
     // In-band: register the pattern, application inspects nothing.
     let (stack, _stream) = super::sync::one_stream(&profile, 90, StackConfig::default());
@@ -145,15 +147,17 @@ pub fn e9_event() {
         "Some(1000)".into(),
     ]);
     table.print();
-    println!("\n  expectation: the in-band mechanism raises exactly one indication without the");
-    println!("  application examining any OSDU — §6.3.4: \"avoids complicating application");
-    println!("  code … and permits OSDUs to be dumped directly into, say, a video frame buffer\".");
+    notes(&[
+        "expectation: the in-band mechanism raises exactly one indication without the",
+        "application examining any OSDU — §6.3.4: \"avoids complicating application",
+        "code … and permits OSDUs to be dumped directly into, say, a video frame buffer\".",
+    ]);
 }
 
 /// E10 — §6.3.1.2: the blocking-time statistics attribute the bottleneck
 /// to the right component.
 pub fn e10_diagnosis() {
-    println!("E10: bottleneck diagnosis from blocking times (majority verdict over a 10 s run)\n");
+    section(&["E10: bottleneck diagnosis from blocking times (majority verdict over a 10 s run)"]);
     let mut table = Table::new(&["scenario", "expected", "diagnosed (majority)", "agreement"]);
 
     // Scenario A: slow sink application (consumes at half rate).
@@ -278,8 +282,10 @@ pub fn e10_diagnosis() {
         ]);
     }
     table.print();
-    println!("\n  expectation: §6.3.1.2 — application blocked ⇒ protocol too slow (renegotiate");
-    println!("  QoS); protocol blocked ⇒ the application at that end is too slow (Orch.Delayed).");
+    notes(&[
+        "expectation: §6.3.1.2 — application blocked ⇒ protocol too slow (renegotiate",
+        "QoS); protocol blocked ⇒ the application at that end is too slow (Orch.Delayed).",
+    ]);
 }
 
 fn yesno(b: bool) -> String {

@@ -2,7 +2,7 @@
 //! (max-drop catch-up), E11 (live media), E12 (no common node), and the
 //! behavioural regenerations of figures 6 and 7.
 
-use crate::table::{ms, Table};
+use crate::table::{ms, note, notes, section, Table};
 use cm_core::address::OrchSessionId;
 use cm_core::media::MediaProfile;
 use cm_core::time::{SimDuration, SimTime};
@@ -43,8 +43,10 @@ fn film_skew_at(f: &FilmScenario, t: SimTime) -> f64 {
 /// E1 — §3.6: related connections drift apart through clock-rate
 /// discrepancies; orchestration bounds the skew.
 pub fn e1_drift() {
-    println!("E1: inter-stream skew of a film vs source clock skew (audio +s ppm, video -s ppm)");
-    println!("    free = streams started together, no orchestration; orch = full orchestration\n");
+    section(&[
+        "E1: inter-stream skew of a film vs source clock skew (audio +s ppm, video -s ppm)",
+        "    free = streams started together, no orchestration; orch = full orchestration",
+    ]);
     let mut table = Table::new(&[
         "skew (ppm)",
         "free@60s (ms)",
@@ -82,14 +84,16 @@ pub fn e1_drift() {
         ]);
     }
     table.print();
-    println!("\n  expectation: free skew grows ~linearly with time x skew; orchestrated stays");
-    println!("  within the 80 ms lip-sync tolerance at every skew (paper §3.6, fig. 6 loop).");
+    notes(&[
+        "expectation: free skew grows ~linearly with time x skew; orchestrated stays",
+        "within the 80 ms lip-sync tolerance at every skew (paper §3.6, fig. 6 loop).",
+    ]);
 }
 
 /// E2 — §6.2: priming lets related flows start together; a naive start
 /// skews by per-stream pipeline fill time.
 pub fn e2_start_skew() {
-    println!("E2: start skew across N mixed-media streams (first-presentation spread)\n");
+    section(&["E2: start skew across N mixed-media streams (first-presentation spread)"]);
     let profiles = [
         MediaProfile::audio_telephone(),
         MediaProfile::video_mono(),
@@ -151,15 +155,19 @@ pub fn e2_start_skew() {
         table.row(&[n.to_string(), ms(spread(false)), ms(spread(true))]);
     }
     table.print();
-    println!("\n  expectation: naive skew reflects differing pipeline fill/first-arrival times;");
-    println!("  primed start is near-simultaneous (fig. 7: data waits at every sink).");
+    notes(&[
+        "expectation: naive skew reflects differing pipeline fill/first-arrival times;",
+        "primed start is near-simultaneous (fig. 7: data waits at every sink).",
+    ]);
 }
 
 /// F6 — regenerate the figure-6 interaction trace: per-interval targets,
 /// achieved positions and compensation for a drifting film.
 pub fn f6() {
-    println!("F6: HLO-agent <-> LLO interval loop (audio source clock -3000 ppm)");
-    println!("    one row per Orch.Regulate.indication for the audio VC\n");
+    section(&[
+        "F6: HLO-agent <-> LLO interval loop (audio source clock -3000 ppm)",
+        "    one row per Orch.Regulate.indication for the audio VC",
+    ]);
     let f = FilmScenario::build((-3000, 0), 60, StackConfig::default());
     let agent = launch_film(&f, OrchestrationPolicy::lip_sync());
     f.stack.run_for(SimDuration::from_secs(10));
@@ -187,14 +195,16 @@ pub fn f6() {
         ]);
     }
     table.print();
-    println!("\n  expectation: achieved positions track the master-clock targets each interval");
-    println!("  (fig. 6: targets out, reports back, compensation keeps the VC on its time line).");
+    notes(&[
+        "expectation: achieved positions track the master-clock targets each interval",
+        "(fig. 6: targets out, reports back, compensation keeps the VC on its time line).",
+    ]);
 }
 
 /// F7 — regenerate the figure-7 priming sequence: buffer fill during
 /// prime, confirm, then simultaneous first deliveries after start.
 pub fn f7() {
-    println!("F7: Orch.Prime time sequence (buffer fill held behind the gate)\n");
+    section(&["F7: Orch.Prime time sequence (buffer fill held behind the gate)"]);
     let f = FilmScenario::build((0, 0), 30, StackConfig::default());
     let agent = f
         .stack
@@ -270,20 +280,24 @@ pub fn f7() {
         .first()
         .map(|p| p.at)
         .expect("video first");
-    println!("\n  prime confirm after {prime_latency} (both pipelines full, nothing delivered);");
-    println!(
-        "  after start, first deliveries at {} (audio) and {} (video): skew {}",
+    notes(&[&format!(
+        "prime confirm after {prime_latency} (both pipelines full, nothing delivered);"
+    )]);
+    note(&format!(
+        "after start, first deliveries at {} (audio) and {} (video): skew {}",
         a0,
         v0,
         a0.saturating_since(v0).max(v0.saturating_since(a0))
-    );
+    ));
 }
 
 /// E6 — §6.3.1.1: max-drop budget lets a badly behind stream catch up;
 /// the no-loss setting never drops.
 pub fn e6_maxdrop() {
-    println!("E6: catch-up vs max-drop budget (audio source clock -5000 ppm, nudge limit 0.2%)");
-    println!("    error = target-OSDU# - sink delivery point, from Orch.Regulate.indication\n");
+    section(&[
+        "E6: catch-up vs max-drop budget (audio source clock -5000 ppm, nudge limit 0.2%)",
+        "    error = target-OSDU# - sink delivery point, from Orch.Regulate.indication",
+    ]);
     let mut table = Table::new(&[
         "max-drop/interval",
         "drops (240s)",
@@ -321,15 +335,17 @@ pub fn e6_maxdrop() {
         ]);
     }
     table.print();
-    println!("\n  expectation: with the rate nudge capped at 0.2% the -5000 ppm deficit is only");
-    println!("  recoverable by drops (\"its sole compensatory strategy is to drop OSDUs\");");
-    println!("  zero budget lets the error grow (~0.15 OSDU/s); any budget >= 1 bounds it.");
+    notes(&[
+        "expectation: with the rate nudge capped at 0.2% the -5000 ppm deficit is only",
+        "recoverable by drops (\"its sole compensatory strategy is to drop OSDUs\");",
+        "zero budget lets the error grow (~0.15 OSDU/s); any budget >= 1 bounds it.",
+    ]);
 }
 
 /// E11 — §3.6: live sources need no continuous synchronisation — only
 /// compatible latency. Play a live AV pair with no orchestration at all.
 pub fn e11_live() {
-    println!("E11: live camera + microphone, no orchestration (latency compatibility only)\n");
+    section(&["E11: live camera + microphone, no orchestration (latency compatibility only)"]);
     let mut cfg = StackConfig::default();
     cfg.testbed.workstations = 2;
     cfg.testbed.servers = 0;
@@ -381,23 +397,25 @@ pub fn e11_live() {
         table.row(&[t.to_string(), ms(s)]);
     }
     table.print();
-    println!(
-        "\n  captured: mic {} / cam {}; presented: {} / {}; capture overruns {} / {}",
-        mic.captured.get(),
-        cam.captured.get(),
-        spk.log.borrow().len(),
-        scr.log.borrow().len(),
-        mic.overrun.get(),
-        cam.overrun.get()
-    );
-    println!("  expectation: live media over same-latency VCs stays aligned by itself —");
-    println!("  \"live media with constant logical rates will always play out in real-time\".");
+    notes(&[
+        &format!(
+            "captured: mic {} / cam {}; presented: {} / {}; capture overruns {} / {}",
+            mic.captured.get(),
+            cam.captured.get(),
+            spk.log.borrow().len(),
+            scr.log.borrow().len(),
+            mic.overrun.get(),
+            cam.overrun.get()
+        ),
+        "expectation: live media over same-latency VCs stays aligned by itself —",
+        "\"live media with constant logical rates will always play out in real-time\".",
+    ]);
 }
 
 /// E12 — the §7 future-work extension: two sessions with *no common node*
 /// kept in step by the NTP-style clock-sync service.
 pub fn e12_no_common_node() {
-    println!("E12: no-common-node sync via clock-sync reference (two disjoint sessions)\n");
+    section(&["E12: no-common-node sync via clock-sync reference (two disjoint sessions)"]);
     let run = |use_clock_sync: bool| -> Vec<f64> {
         let mut cfg = StackConfig::default();
         cfg.testbed.workstations = 2;
@@ -501,9 +519,11 @@ pub fn e12_no_common_node() {
         table.row(&[t.to_string(), ms(without[i]), ms(with[i])]);
     }
     table.print();
-    println!("\n  expectation: with each agent timing against its own (skewed) workstation clock");
-    println!("  the sessions drift apart; referencing both to one clock via the NTP-style");
-    println!("  estimator ([Mills,89]) bounds the inter-session skew — the §7 extension.");
+    notes(&[
+        "expectation: with each agent timing against its own (skewed) workstation clock",
+        "the sessions drift apart; referencing both to one clock via the NTP-style",
+        "estimator ([Mills,89]) bounds the inter-session skew — the §7 extension.",
+    ]);
 }
 
 /// Helper shared with other experiment modules: a two-node stack with one

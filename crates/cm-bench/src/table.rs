@@ -1,4 +1,7 @@
-//! Minimal fixed-width table printing for experiment output.
+//! Minimal fixed-width table printing for experiment output, plus the
+//! narrative helpers ([`section`], [`banner`], [`note`], [`notes`]) every
+//! experiment routes its prose through — one choke point instead of raw
+//! `println!` scattered across the experiment modules.
 
 /// A simple left-padded table.
 pub struct Table {
@@ -49,6 +52,41 @@ impl Table {
 /// Format a microsecond quantity as milliseconds with one decimal.
 pub fn ms(us: f64) -> String {
     format!("{:.1}", us / 1000.0)
+}
+
+/// Print an experiment header: each title line verbatim, then one blank
+/// separator line.
+pub fn section(title_lines: &[&str]) {
+    for line in title_lines {
+        println!("{line}");
+    }
+    println!();
+}
+
+/// Print the `================ id ================` divider between
+/// experiments in an `all` run.
+pub fn banner(id: &str) {
+    println!("\n================ {id} ================");
+}
+
+/// Print one indented narrative line (two-space indent, matching table
+/// output).
+pub fn note(line: &str) {
+    println!("  {line}");
+}
+
+/// Print one blank separator line between blocks of output.
+pub fn gap() {
+    println!();
+}
+
+/// Print an indented commentary block: one blank separator line, then each
+/// line indented. Used for the `expectation:` epilogue of each experiment.
+pub fn notes(lines: &[&str]) {
+    println!();
+    for line in lines {
+        note(line);
+    }
 }
 
 #[cfg(test)]

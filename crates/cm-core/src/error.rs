@@ -37,6 +37,20 @@ impl DisconnectReason {
     pub fn from_violations(v: &[QosViolation]) -> DisconnectReason {
         DisconnectReason::QosUnattainable(v.iter().map(|x| x.error_number()).collect())
     }
+
+    /// Stable lower-case slug (telemetry fields, log keys).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DisconnectReason::UserRejected => "user_rejected",
+            DisconnectReason::NoSuchTsap => "no_such_tsap",
+            DisconnectReason::Unreachable => "unreachable",
+            DisconnectReason::QosUnattainable(_) => "qos_unattainable",
+            DisconnectReason::AdmissionDenied => "admission_denied",
+            DisconnectReason::UserRelease => "user_release",
+            DisconnectReason::RenegotiationRefused => "renegotiation_refused",
+            DisconnectReason::ProtocolFailure => "protocol_failure",
+        }
+    }
 }
 
 impl fmt::Display for DisconnectReason {

@@ -73,22 +73,27 @@ impl OnlineStats {
         self.variance().sqrt()
     }
 
-    /// Smallest observation, or 0 for an empty set.
-    pub fn min(&self) -> f64 {
+    /// Smallest observation, or `None` for an empty set.
+    pub fn min(&self) -> Option<f64> {
         if self.n == 0 {
-            0.0
+            None
         } else {
-            self.min
+            Some(self.min)
         }
     }
 
-    /// Largest observation, or 0 for an empty set.
-    pub fn max(&self) -> f64 {
+    /// Largest observation, or `None` for an empty set.
+    pub fn max(&self) -> Option<f64> {
         if self.n == 0 {
-            0.0
+            None
         } else {
-            self.max
+            Some(self.max)
         }
+    }
+
+    /// Observed range (`max − min`), or `None` with no observations.
+    pub fn range(&self) -> Option<f64> {
+        Some(self.max()? - self.min()?)
     }
 
     /// Reset to empty (used at QoS sample-period boundaries).
@@ -105,8 +110,8 @@ impl fmt::Display for OnlineStats {
             self.n,
             self.mean(),
             self.std_dev(),
-            self.min(),
-            self.max()
+            self.min().unwrap_or(f64::NAN),
+            self.max().unwrap_or(f64::NAN)
         )
     }
 }
@@ -211,8 +216,9 @@ mod tests {
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.variance() - 4.0).abs() < 1e-12);
         assert!((s.std_dev() - 2.0).abs() < 1e-12);
-        assert_eq!(s.min(), 2.0);
-        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.range(), Some(7.0));
     }
 
     #[test]
@@ -220,10 +226,14 @@ mod tests {
         let mut s = OnlineStats::new();
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.range(), None);
         s.push(3.0);
+        assert_eq!(s.max(), Some(3.0));
         s.reset();
         assert_eq!(s.count(), 0);
-        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.max(), None);
     }
 
     #[test]

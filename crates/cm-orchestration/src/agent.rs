@@ -20,6 +20,7 @@ use cm_core::address::{OrchSessionId, VcId};
 use cm_core::error::OrchDenyReason;
 use cm_core::qos::QosTolerance;
 use cm_core::time::{Rate, SimDuration, SimTime};
+use cm_telemetry::{Layer, Telemetry};
 use cm_transport::VcRole;
 use netsim::PeriodicTimer;
 use std::cell::RefCell;
@@ -39,6 +40,18 @@ pub enum Bottleneck {
     SourceAppSlow,
     /// Receive buffer full → sink application consuming too slowly.
     SinkAppSlow,
+}
+
+impl Bottleneck {
+    /// Stable lower-case slug (telemetry fields).
+    pub fn name(self) -> &'static str {
+        match self {
+            Bottleneck::None => "none",
+            Bottleneck::ProtocolStarved => "protocol_starved",
+            Bottleneck::SourceAppSlow => "source_app_slow",
+            Bottleneck::SinkAppSlow => "sink_app_slow",
+        }
+    }
 }
 
 /// One interval's outcome for one VC, kept for experiments and the
@@ -121,6 +134,8 @@ struct AgentInner {
     llo: Llo,
     session: OrchSessionId,
     policy: OrchestrationPolicy,
+    /// Cached clone of the engine-wide flight recorder.
+    tel: Telemetry,
     state: RefCell<AgentState>,
 }
 
@@ -168,6 +183,7 @@ impl HloAgent {
     pub fn new(llo: Llo, session: OrchSessionId, policy: OrchestrationPolicy) -> HloAgent {
         HloAgent {
             inner: Rc::new(AgentInner {
+                tel: llo.service().network().engine().telemetry().clone(),
                 llo,
                 session,
                 policy,
@@ -447,6 +463,19 @@ impl HloAgent {
                 .collect()
         };
         let max_rate_ppt = 1000 + self.inner.policy.rate_nudge_limit_ppt;
+        if self.inner.tel.enabled() {
+            let at = self.inner.llo.service().network().engine().now();
+            for &(vc, iid, source_target, sink_target, _) in &plan {
+                self.inner
+                    .tel
+                    .instant(at, Layer::Orchestration, "hlo.regulate", |e| {
+                        e.u64("vc", vc.0)
+                            .u64("interval", iid.0)
+                            .u64("source_target", source_target)
+                            .u64("sink_target", sink_target);
+                    });
+            }
+        }
         for (vc, iid, source_target, sink_target, max_drop) in plan {
             self.inner.llo.regulate(
                 self.inner.session,
@@ -494,9 +523,35 @@ impl HloAgent {
                 bottleneck: diagnosis,
                 at_master: now,
             });
+            if self.inner.tel.enabled() {
+                let at = self.inner.llo.service().network().engine().now();
+                if missed {
+                    self.inner.tel.count("hlo.miss", 1);
+                }
+                self.inner
+                    .tel
+                    .instant(at, Layer::Orchestration, "hlo.indication", |e| {
+                        e.u64("vc", ind.vc.0)
+                            .u64("interval", ind.interval.0)
+                            .u64("target", ind.target_osdu)
+                            .u64("source_seq", ind.source.seq_progress)
+                            .u64("sink_seq", ind.sink.seq_progress)
+                            .bool("missed", missed)
+                            .str("bottleneck", diagnosis.name());
+                    });
+            }
             escalate
         };
         if escalate {
+            if self.inner.tel.enabled() {
+                let at = self.inner.llo.service().network().engine().now();
+                self.inner.tel.count("hlo.escalate", 1);
+                self.inner
+                    .tel
+                    .instant(at, Layer::Orchestration, "hlo.escalate", |e| {
+                        e.u64("vc", ind.vc.0).str("bottleneck", diagnosis.name());
+                    });
+            }
             self.escalate(ind.vc, diagnosis, ind);
         }
     }

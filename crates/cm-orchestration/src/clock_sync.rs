@@ -14,6 +14,7 @@
 use crate::msg::{ClockMsg, CLOCK_TSAP};
 use cm_core::address::{NetAddr, TransportAddr};
 use cm_core::time::{SimDuration, SimTime};
+use cm_telemetry::{Layer, Telemetry};
 use cm_transport::{TransportService, TransportUser};
 use std::any::Any;
 use std::cell::RefCell;
@@ -46,6 +47,8 @@ struct State {
 
 struct Inner {
     svc: TransportService,
+    /// Cached clone of the engine-wide flight recorder.
+    tel: Telemetry,
     state: RefCell<State>,
 }
 
@@ -75,6 +78,7 @@ impl ClockSync {
     pub fn install(svc: TransportService) -> ClockSync {
         let cs = ClockSync {
             inner: Rc::new(Inner {
+                tel: svc.network().engine().telemetry().clone(),
                 svc: svc.clone(),
                 state: RefCell::new(State {
                     next_nonce: 0,
@@ -203,12 +207,30 @@ impl ClockSync {
                 let offset_us = ((t2 - t1) + (t3 - t4)) / 2;
                 let rtt = SimDuration::from_micros(((t4 - t1) - (t3 - t2)).max(0) as u64);
                 let sample = OffsetSample { offset_us, rtt };
-                {
+                let best = {
                     let mut st = self.inner.state.borrow_mut();
                     let entry = st.best.entry(pending.peer).or_insert(sample);
                     if sample.rtt <= entry.rtt {
                         *entry = sample;
                     }
+                    *entry
+                };
+                if self.inner.tel.enabled() {
+                    let at = self.inner.svc.network().engine().now();
+                    let peer = pending.peer;
+                    // Gauge names are dynamic (per peer) — the String is
+                    // built only on the enabled path.
+                    self.inner.tel.gauge(
+                        &format!("clock.offset_us/{}", peer.0),
+                        best.offset_us as f64,
+                    );
+                    self.inner
+                        .tel
+                        .instant(at, Layer::Orchestration, "clock.sample", |e| {
+                            e.u64("peer", peer.0 as u64)
+                                .i64("offset_us", offset_us)
+                                .u64("rtt_us", rtt.as_micros());
+                        });
                 }
                 if let Some(done) = pending.done.take() {
                     done(sample);

@@ -25,6 +25,7 @@ use cm_core::address::{NetAddr, OrchSessionId, TransportAddr, VcId};
 use cm_core::error::OrchDenyReason;
 use cm_core::osdu::Opdu;
 use cm_core::time::{SimDuration, SimTime};
+use cm_telemetry::{Layer, Telemetry};
 use cm_transport::{EndStats, TransportService, TransportUser, VcRole, VcTap};
 use netsim::{EventId, PeriodicTimer};
 use std::any::Any;
@@ -151,6 +152,8 @@ struct LloState {
 
 struct LloInner {
     svc: TransportService,
+    /// Cached clone of the engine-wide flight recorder.
+    tel: Telemetry,
     state: RefCell<LloState>,
 }
 
@@ -195,6 +198,7 @@ impl Llo {
     pub fn install(svc: TransportService, max_sessions: usize) -> Llo {
         let llo = Llo {
             inner: Rc::new(LloInner {
+                tel: svc.network().engine().telemetry().clone(),
                 svc: svc.clone(),
                 state: RefCell::new(LloState {
                     max_sessions,
@@ -1213,8 +1217,24 @@ impl Llo {
                 None
             }
         };
-        if let Some((Some(o), ind)) = ready {
-            o.regulate_indication(session, &ind);
+        if let Some((observer, ind)) = ready {
+            if self.inner.tel.enabled() {
+                let at = self.inner.svc.network().engine().now();
+                self.inner
+                    .tel
+                    .instant(at, Layer::Orchestration, "llo.harvest", |e| {
+                        e.u64("vc", ind.vc.0)
+                            .u64("interval", ind.interval.0)
+                            .u64("target", ind.target_osdu)
+                            .u64("source_seq", ind.source.seq_progress)
+                            .u64("sink_seq", ind.sink.seq_progress)
+                            .u64("dropped", ind.source.dropped)
+                            .u64("lost", ind.sink.lost);
+                    });
+            }
+            if let Some(o) = observer {
+                o.regulate_indication(session, &ind);
+            }
         }
     }
 

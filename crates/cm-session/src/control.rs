@@ -11,6 +11,7 @@
 
 use cm_core::address::VcId;
 use cm_core::error::ServiceError;
+use cm_core::time::SimTime;
 use cm_transport::TransportService;
 use std::rc::Rc;
 
@@ -35,6 +36,29 @@ pub enum RoomCtl {
     },
 }
 
+impl RoomCtl {
+    /// Stable lower-case opcode name (telemetry fields).
+    pub fn name(self) -> &'static str {
+        match self {
+            RoomCtl::Prime => "prime",
+            RoomCtl::Start => "start",
+            RoomCtl::Stop => "stop",
+            RoomCtl::Regulate { .. } => "regulate",
+        }
+    }
+}
+
+/// The wire envelope of a [`RoomCtl`] on the group VC's control channel:
+/// the opcode plus the (global sim-time) send instant, so every member can
+/// measure the fan-out latency of the shared-tree control path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtlOpdu {
+    /// The room-wide opcode.
+    pub ctl: RoomCtl,
+    /// When the orchestrator handed it to the transport.
+    pub sent_at: SimTime,
+}
+
 /// Orchestrates one published stream room-wide from its publisher node.
 pub struct RoomOrchestrator {
     svc: TransportService,
@@ -56,27 +80,34 @@ impl RoomOrchestrator {
     /// anything reaching the applications.
     pub fn prime(&self) -> Result<(), ServiceError> {
         self.svc.resume_source(self.vc)?;
-        self.svc.send_vc_control(self.vc, Rc::new(RoomCtl::Prime))
+        self.send_ctl(RoomCtl::Prime)
     }
 
     /// Start: resume the source and open every member's sink gate.
     pub fn start(&self) -> Result<(), ServiceError> {
         self.svc.resume_source(self.vc)?;
-        self.svc.send_vc_control(self.vc, Rc::new(RoomCtl::Start))
+        self.send_ctl(RoomCtl::Start)
     }
 
     /// Stop: freeze the source and gate every member's sink before it
     /// drains (§6.2.3).
     pub fn stop(&self) -> Result<(), ServiceError> {
         self.svc.pause_source(self.vc)?;
-        self.svc.send_vc_control(self.vc, Rc::new(RoomCtl::Stop))
+        self.send_ctl(RoomCtl::Stop)
     }
 
     /// Regulate: retune the source pacing to `base × num/den` and tell
     /// the members.
     pub fn regulate(&self, num: u64, den: u64) -> Result<(), ServiceError> {
         self.svc.set_rate_factor(self.vc, num, den)?;
+        self.send_ctl(RoomCtl::Regulate { num, den })
+    }
+
+    /// Fan the opcode out in a [`CtlOpdu`] envelope stamped with the global
+    /// engine clock (clock-skew-free fan-out latency at each member).
+    fn send_ctl(&self, ctl: RoomCtl) -> Result<(), ServiceError> {
+        let sent_at = self.svc.network().engine().now();
         self.svc
-            .send_vc_control(self.vc, Rc::new(RoomCtl::Regulate { num, den }))
+            .send_vc_control(self.vc, Rc::new(CtlOpdu { ctl, sent_at }))
     }
 }

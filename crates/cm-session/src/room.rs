@@ -14,6 +14,7 @@ use cm_core::osdu::Osdu;
 use cm_core::qos::{QosParams, QosRequirement};
 use cm_core::service_class::ServiceClass;
 use cm_core::time::SimDuration;
+use cm_telemetry::{FieldSink, Layer};
 use cm_transport::TransportService;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -47,6 +48,19 @@ pub enum JoinDenied {
     /// room can no longer reach the platform. Keep the `Session` alive for
     /// as long as its rooms are in use.
     SessionClosed,
+}
+
+impl JoinDenied {
+    /// Stable lower-case slug (telemetry fields).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JoinDenied::RoomFull => "room_full",
+            JoinDenied::NameTaken => "name_taken",
+            JoinDenied::NodeInUse => "node_in_use",
+            JoinDenied::Qos { .. } => "qos",
+            JoinDenied::SessionClosed => "session_closed",
+        }
+    }
 }
 
 /// Callbacks delivered to a room member. Every method has a default empty
@@ -200,6 +214,10 @@ impl Room {
             }
         };
         if let Some(reason) = deny {
+            self.trace("room.join.deny", |e| {
+                e.text("peer_name", peer_name.to_string())
+                    .str("reason", reason.kind());
+            });
             engine.schedule_in(SimDuration::ZERO, move |_| done(Err(reason)));
             return;
         }
@@ -269,6 +287,9 @@ impl Room {
         let Some(entry) = self.inner.peers.borrow_mut().remove(&peer) else {
             return;
         };
+        self.trace("room.leave", |e| {
+            e.u64("peer", entry.id.0).text("name", entry.name.clone());
+        });
         let published: Vec<String> = self
             .inner
             .streams
@@ -473,6 +494,12 @@ impl Room {
                     }
                 }
                 if let Some(done) = p.done.take() {
+                    self.trace("room.join.deny", |e| {
+                        e.text("peer_name", p.entry.name.clone())
+                            .str("reason", "qos")
+                            .text("stream", stream.clone())
+                            .str("transport_reason", reason.kind());
+                    });
                     done(Err(JoinDenied::Qos { stream, reason }));
                 }
             }
@@ -518,11 +545,29 @@ impl Room {
     }
 
     fn admit(&self, entry: PeerEntry) {
+        self.trace("room.join", |e| {
+            e.u64("peer", entry.id.0).text("name", entry.name.clone());
+        });
         self.broadcast(None, |p| {
             p.handler
                 .on_peer_joined(&self.inner.name, entry.id, &entry.name)
         });
         self.inner.peers.borrow_mut().insert(entry.id, entry);
+    }
+
+    /// Emit one session-layer instant tagged with this room's name.
+    fn trace(&self, name: &'static str, fields: impl FnOnce(&mut FieldSink)) {
+        let Some(session) = self.inner.session.upgrade() else {
+            return;
+        };
+        let engine = session.platform.engine();
+        let tel = engine.telemetry();
+        if tel.enabled() {
+            tel.instant(engine.now(), Layer::Session, name, |e| {
+                e.text("room", self.inner.name.clone());
+                fields(e);
+            });
+        }
     }
 
     fn publisher_node_of(&self, vc: VcId) -> Option<NetAddr> {

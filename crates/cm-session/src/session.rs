@@ -6,7 +6,7 @@
 //! announced, pumps arriving media to the member's [`RoomMember`] handler
 //! and applies room-wide control OPDUs ([`RoomCtl`]) to the local sink.
 
-use crate::control::RoomCtl;
+use crate::control::{CtlOpdu, RoomCtl};
 use crate::room::{Room, RoomMember};
 use cm_core::address::{AddressTriple, NetAddr, TransportAddr, Tsap, VcId};
 use cm_core::error::DisconnectReason;
@@ -14,6 +14,7 @@ use cm_core::qos::{QosParams, QosRequirement};
 use cm_core::service_class::ServiceClass;
 use cm_core::time::SimDuration;
 use cm_platform::Platform;
+use cm_telemetry::Layer;
 use cm_transport::{TransportService, TransportUser, VcTap};
 use std::any::Any;
 use std::cell::RefCell;
@@ -232,9 +233,29 @@ struct MemberTap {
 
 impl VcTap for MemberTap {
     fn on_control(&self, vc: VcId, payload: Rc<dyn Any>) {
-        let Some(ctl) = payload.downcast_ref::<RoomCtl>().copied() else {
+        // Room opcodes travel in a CtlOpdu envelope (stamped for fan-out
+        // latency); accept a bare RoomCtl too for direct senders.
+        let (ctl, sent_at) = if let Some(env) = payload.downcast_ref::<CtlOpdu>() {
+            (env.ctl, Some(env.sent_at))
+        } else if let Some(ctl) = payload.downcast_ref::<RoomCtl>() {
+            (*ctl, None)
+        } else {
             return;
         };
+        let engine = self.agent.svc.network().engine();
+        let tel = engine.telemetry();
+        if tel.enabled() {
+            let now = engine.now();
+            if let Some(sent_at) = sent_at {
+                tel.record_duration("room.ctl.fanout_us", now.saturating_since(sent_at));
+            }
+            tel.instant(now, Layer::Session, "room.ctl", |e| {
+                e.u64("vc", vc.0).str("op", ctl.name());
+                if let Some(sent_at) = sent_at {
+                    e.u64("fanout_us", now.saturating_since(sent_at).as_micros());
+                }
+            });
+        }
         match ctl {
             // Prime holds arriving media in the sink buffer while the
             // source fills the pipeline; Stop freezes delivery too.

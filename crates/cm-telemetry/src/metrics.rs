@@ -1,0 +1,214 @@
+//! Log-bucketed histograms with percentile readout.
+//!
+//! The bucket layout is HDR-style: values below 16 get exact unit buckets;
+//! every octave above is split into 16 sub-buckets, so the relative bucket
+//! width never exceeds 1/16 of the value. Memory is O(log(max) × 16) — a
+//! few hundred `u64`s at most — which is what lets per-VC duration and
+//! size distributions live inside the flight recorder without the
+//! unbounded `Vec` a `SampleSet` keeps.
+
+/// Sub-bucket bits per octave: 2^4 = 16 sub-buckets.
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Bucket index of a value.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB * 2 {
+        // Two exact blocks: values 0..32 map to buckets 0..32 (width 1).
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros(); // v in [2^e, 2^(e+1)), e >= 5
+        let width_shift = e - SUB_BITS;
+        // Top SUB_BITS+1 bits: (16 + sub) where sub in [0, 16).
+        let top = (v >> width_shift) as usize; // in [16, 32)
+        let block = (e - SUB_BITS + 1) as usize;
+        (block << SUB_BITS) + (top - SUB as usize)
+    }
+}
+
+/// Inclusive `[lo, hi]` value range of a bucket.
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < (SUB * 2) as usize {
+        (idx as u64, idx as u64)
+    } else {
+        let block = (idx >> SUB_BITS) as u32; // >= 2
+        let sub = (idx & (SUB as usize - 1)) as u64;
+        let width_shift = block - 1;
+        let lo = (SUB + sub) << width_shift;
+        (lo, lo + ((1u64 << width_shift) - 1))
+    }
+}
+
+/// A log-bucketed histogram of `u64` samples (durations in µs, sizes in
+/// bytes …) with nearest-rank percentile readout.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    n: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: Vec::new(),
+            n: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.n += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Exact smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Exact largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.n as f64
+        }
+    }
+
+    /// The inclusive `[lo, hi]` bounds of the bucket holding the `p`-th
+    /// percentile sample (0–100), or `None` when empty.
+    ///
+    /// The rank rule matches `cm_core::stats::SampleSet::percentile`
+    /// (nearest rank over `n − 1`), so the exact percentile of the same
+    /// samples always lies within the returned bounds — the readout error
+    /// is at most one bucket width (≤ 1/16 of the value).
+    pub fn percentile_bounds(&self, p: f64) -> Option<(u64, u64)> {
+        if self.n == 0 {
+            return None;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * (self.n as f64 - 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                let (lo, hi) = bucket_bounds(idx);
+                // Exact endpoints are tracked, so clamp the extreme
+                // buckets to them.
+                return Some((lo.max(self.min).min(hi), hi.min(self.max).max(lo)));
+            }
+        }
+        Some((self.max, self.max))
+    }
+
+    /// A representative `p`-th percentile value: the upper bound of the
+    /// containing bucket (conservative for latencies), or 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.percentile_bounds(p).map(|(_, hi)| hi).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_contains_value() {
+        let probes = [
+            0u64,
+            1,
+            15,
+            16,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1000,
+            4095,
+            4096,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} not in [{lo}, {hi}]");
+            // Relative width bound: hi - lo <= lo / 16 for lo >= 32.
+            if lo >= 32 {
+                assert!(hi - lo <= lo / SUB, "bucket too wide at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_ordered() {
+        let mut expected_lo = 0u64;
+        for idx in 0..600 {
+            let (lo, hi) = bucket_bounds(idx);
+            assert_eq!(lo, expected_lo, "gap before bucket {idx}");
+            assert!(hi >= lo);
+            expected_lo = hi + 1;
+        }
+    }
+
+    #[test]
+    fn exact_below_32() {
+        let mut h = Histogram::new();
+        for v in [3u64, 3, 7, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile_bounds(0.0), Some((3, 3)));
+        assert_eq!(h.percentile_bounds(100.0), Some((31, 31)));
+        // rank = round(0.5 × 3) = 2 → the third-smallest sample.
+        assert_eq!(h.percentile_bounds(50.0), Some((7, 7)));
+    }
+
+    #[test]
+    fn min_max_mean() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        h.record(10);
+        h.record(30);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(30));
+        assert_eq!(h.mean(), 20.0);
+    }
+
+    #[test]
+    fn percentile_of_large_values_within_width() {
+        let mut h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record(1_000_000 + i * 1000);
+        }
+        let (lo, hi) = h.percentile_bounds(99.0).unwrap();
+        assert!(lo <= 1_989_000 && 1_989_000 <= hi);
+        assert!(hi - lo <= lo / 16 + 1);
+    }
+}

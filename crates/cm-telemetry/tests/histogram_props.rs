@@ -1,0 +1,62 @@
+//! Property tests pinning the telemetry histogram's percentile readout to
+//! the exact percentiles a `cm_core::stats::SampleSet` computes over the
+//! same observations: the exact value must always lie inside the bucket
+//! bounds the histogram reports (readout error ≤ one bucket width), and
+//! count/min/max must agree exactly.
+
+use cm_core::stats::SampleSet;
+use cm_telemetry::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn percentile_bounds_contain_exact_percentile(
+        samples in collection::vec(0u64..2_000_000, 1..400),
+        p_tenths in 0u64..=1000,
+    ) {
+        let p = p_tenths as f64 / 10.0;
+        let mut hist = Histogram::new();
+        let mut exact = SampleSet::new();
+        for &s in &samples {
+            hist.record(s);
+            exact.push(s as f64);
+        }
+        let want = exact.percentile(p) as u64;
+        let (lo, hi) = hist.percentile_bounds(p).expect("non-empty");
+        prop_assert!(
+            lo <= want && want <= hi,
+            "p{p}: exact {want} outside [{lo}, {hi}]"
+        );
+        // Bucket-width bound: ≤ 1/16 of the value (exact below 32).
+        prop_assert!(hi - lo <= (lo / 16), "bucket [{lo}, {hi}] too wide");
+    }
+
+    #[test]
+    fn count_min_max_match_sampleset(samples in collection::vec(0u64..u64::MAX / 2, 1..200)) {
+        let mut hist = Histogram::new();
+        let mut exact = SampleSet::new();
+        for &s in &samples {
+            hist.record(s);
+            exact.push(s as f64);
+        }
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+        prop_assert_eq!(hist.min().expect("non-empty") as f64, exact.percentile(0.0));
+        prop_assert_eq!(hist.max().expect("non-empty") as f64, exact.percentile(100.0));
+    }
+
+    #[test]
+    fn representative_percentile_is_monotone(
+        samples in collection::vec(0u64..1_000_000, 2..200),
+    ) {
+        let mut hist = Histogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let mut prev = 0u64;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = hist.percentile(p);
+            prop_assert!(v >= prev, "p{p} regressed: {v} < {prev}");
+            prev = v;
+        }
+    }
+}

@@ -33,6 +33,7 @@ use cm_core::osdu::{Osdu, Payload};
 use cm_core::qos::{GuaranteeMode, QosParams, QosRequirement, QosTolerance};
 use cm_core::service_class::{ProtocolProfile, ServiceClass};
 use cm_core::time::SimTime;
+use cm_telemetry::{Layer, Telemetry};
 use netsim::{Network, NodeHandler, Packet};
 use std::any::Any;
 use std::cell::RefCell;
@@ -96,6 +97,8 @@ pub struct TransportEntity {
     pub(crate) node: NetAddr,
     pub(crate) net: Network,
     pub(crate) config: EntityConfig,
+    /// Cached clone of the engine-wide flight recorder.
+    pub(crate) tel: Telemetry,
     pub(crate) state: RefCell<State>,
 }
 
@@ -117,6 +120,7 @@ impl TransportEntity {
             node,
             net: net.clone(),
             config,
+            tel: net.engine().telemetry().clone(),
             state: RefCell::new(State {
                 users: HashMap::new(),
                 vcs: HashMap::new(),
@@ -682,6 +686,7 @@ impl TransportEntity {
             rto_timer,
             waiting_buffer: false,
             stalled_credit: false,
+            stalled_at: None,
             dropped_snap: 0,
         };
         let v = Vc {
@@ -1000,6 +1005,13 @@ impl TransportEntity {
     ) {
         let reply_to = triple.source.node;
         let reject = |reason: DisconnectReason| {
+            if self.tel.enabled() {
+                self.tel.count("vc.connect.reject", 1);
+                self.tel
+                    .instant(self.now(), Layer::Transport, "vc.connect.reject", |e| {
+                        e.u64("vc", vc.0).str("reason", reason.kind());
+                    });
+            }
             self.send_control(
                 reply_to,
                 ControlMsg::ConnectResponse {
@@ -1051,6 +1063,15 @@ impl TransportEntity {
             }
         }
         let capacity = self.buffer_slots(&qos) as u32;
+        if self.tel.enabled() {
+            self.tel.count("vc.connect.admit", 1);
+            self.tel
+                .instant(self.now(), Layer::Transport, "vc.connect.admit", |e| {
+                    e.u64("vc", vc.0)
+                        .u64("agreed_bps", agreed.throughput.as_bps())
+                        .u64("agreed_delay_us", agreed.delay.as_micros());
+                });
+        }
         self.state.borrow_mut().pending_dst.insert(
             vc,
             PendingDst {
@@ -1225,6 +1246,10 @@ impl TransportEntity {
                 }
                 Some(_) => {
                     if !s.has_credit() {
+                        if !s.stalled_credit {
+                            s.stalled_at = Some(now);
+                            self.trace_stall(vc, now);
+                        }
                         s.stalled_credit = true;
                         Next::Idle
                     } else {
@@ -1398,6 +1423,9 @@ impl TransportEntity {
             s.freed_remote = s.freed_remote.max(freed_total);
             if s.stalled_credit && s.has_credit() {
                 s.stalled_credit = false;
+                if let Some(since) = s.stalled_at.take() {
+                    self.trace_resume(vc, since);
+                }
                 true
             } else {
                 false
@@ -1493,6 +1521,10 @@ impl TransportEntity {
                         let mtu = self.config.mtu;
                         let s = v.source.as_mut().expect("source end");
                         if !s.has_credit() {
+                            if !s.stalled_credit {
+                                s.stalled_at = Some(now);
+                                self.trace_stall(vc, now);
+                            }
                             s.stalled_credit = true;
                             Pull::Stall
                         } else {
@@ -1607,6 +1639,32 @@ impl TransportEntity {
         }
     }
 
+    /// A source newly stalled on exhausted receiver credit.
+    fn trace_stall(&self, vc: VcId, now: SimTime) {
+        if !self.tel.enabled() {
+            return;
+        }
+        self.tel.count("vc.credit.stall", 1);
+        self.tel
+            .instant(now, Layer::Transport, "vc.credit.stall", |e| {
+                e.u64("vc", vc.0);
+            });
+    }
+
+    /// Credit returned; the stall that began at `since` is over.
+    fn trace_resume(&self, vc: VcId, since: SimTime) {
+        if !self.tel.enabled() {
+            return;
+        }
+        let now = self.now();
+        let dur = now.saturating_since(since);
+        self.tel.record_duration("vc.credit.stall_us", dur);
+        self.tel
+            .span(since, dur, Layer::Transport, "vc.credit.stalled", |e| {
+                e.u64("vc", vc.0);
+            });
+    }
+
     fn rto_fire(self: &Rc<Self>, vc: VcId) {
         let now = self.now();
         let resend = {
@@ -1621,6 +1679,14 @@ impl TransportEntity {
             gbn.check_timeout(now).map(|tpdus| (tpdus, gbn.base()))
         };
         if let Some((tpdus, base)) = resend {
+            if self.tel.enabled() && !tpdus.is_empty() {
+                self.tel.count("vc.rto", 1);
+                self.tel.instant(now, Layer::Transport, "vc.rto", |e| {
+                    e.u64("vc", vc.0)
+                        .u64("base", base)
+                        .u64("resent", tpdus.len() as u64);
+                });
+            }
             for (i, tpdu) in tpdus.into_iter().enumerate() {
                 self.send_window_frag(vc, base + i as u64, tpdu);
             }
@@ -1914,6 +1980,26 @@ impl TransportEntity {
             let period = m.period();
             let measured = m.end_period(now);
             let violations = measured.violations_of(&contract);
+            if self.tel.enabled() {
+                // Every monitor period leaves one sample event (§4.1.2 QoS
+                // maintenance observes continuously, not only on violation).
+                self.tel.record("vc.jitter_us", measured.jitter.as_micros());
+                self.tel
+                    .record("vc.throughput_bps", measured.throughput.as_bps());
+                self.tel
+                    .instant(now, Layer::Transport, "vc.qos.sample", |e| {
+                        e.u64("vc", vc.0)
+                            .u64("throughput_bps", measured.throughput.as_bps())
+                            .u64("contract_bps", contract.throughput.as_bps())
+                            .u64("delay_us", measured.delay.as_micros())
+                            .u64("jitter_us", measured.jitter.as_micros())
+                            .f64("loss", measured.packet_error_rate.as_prob())
+                            .u64("violations", violations.len() as u64);
+                    });
+                if !violations.is_empty() {
+                    self.tel.count("vc.qos.violation", violations.len() as u64);
+                }
+            }
             if violations.is_empty() {
                 None
             } else {

@@ -129,6 +129,7 @@ impl TransportEntity {
             rto_timer,
             waiting_buffer: false,
             stalled_credit: false,
+            stalled_at: None,
             dropped_snap: 0,
         };
         let v = Vc {

@@ -80,10 +80,9 @@ impl QosMonitor {
         let throughput =
             Bandwidth::bps((self.bytes as u128 * 8 * 1_000_000 / secs_us as u128) as u64);
         let delay = SimDuration::from_micros(self.delay.mean() as u64);
-        let jitter = if self.delay.count() >= 2 {
-            SimDuration::from_micros((self.delay.max() - self.delay.min()) as u64)
-        } else {
-            SimDuration::ZERO
+        let jitter = match self.delay.range() {
+            Some(spread) if self.delay.count() >= 2 => SimDuration::from_micros(spread as u64),
+            _ => SimDuration::ZERO,
         };
         let total = self.delivered + self.lost;
         let packet_error_rate = ErrorRate::observed(self.lost, total);

@@ -15,7 +15,7 @@ use cm_core::address::{AddressTriple, NetAddr, Tsap, VcId};
 use cm_core::osdu::Osdu;
 use cm_core::qos::{QosParams, QosRequirement};
 use cm_core::service_class::ServiceClass;
-use cm_core::time::SimDuration;
+use cm_core::time::{SimDuration, SimTime};
 use netsim::PeriodicTimer;
 use std::collections::VecDeque;
 
@@ -65,6 +65,8 @@ pub struct SourceEnd {
     pub waiting_buffer: bool,
     /// Stalled on exhausted receiver credit.
     pub stalled_credit: bool,
+    /// When the current credit stall began (telemetry: stall duration).
+    pub stalled_at: Option<SimTime>,
     /// Interval-stats snapshot of `dropped` at last harvest.
     pub dropped_snap: u64,
 }

@@ -37,6 +37,7 @@
 //! binary-heap scheduler.
 
 use cm_core::time::{SimDuration, SimTime};
+use cm_telemetry::{Layer, Telemetry};
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -361,6 +362,10 @@ struct EngineInner {
     event_limit: Cell<u64>,
     /// Same-instant storm guard: (instant, events executed at it).
     same_instant: Cell<(SimTime, u64)>,
+    /// Flight recorder shared by every layer; disabled until someone calls
+    /// `telemetry().enable(..)`. The hot `step` path never touches it —
+    /// only the run-loop tails emit drain spans.
+    telemetry: Telemetry,
 }
 
 /// A deterministic discrete-event scheduler handle.
@@ -388,8 +393,15 @@ impl Engine {
                 executed: Cell::new(0),
                 event_limit: Cell::new(u64::MAX),
                 same_instant: Cell::new((SimTime::ZERO, 0)),
+                telemetry: Telemetry::disabled(),
             }),
         }
+    }
+
+    /// The engine-wide flight recorder. Created disabled; enabling it here
+    /// turns on recording for every layer that cached a clone.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
     }
 
     /// The current simulated instant.
@@ -545,13 +557,16 @@ impl Engine {
 
     /// Run until the queue drains.
     pub fn run(&self) {
+        let (start, before) = (self.now(), self.executed());
         while self.step() {}
+        self.drain_span(start, before);
     }
 
     /// Run all events scheduled strictly before or at `deadline`, then set
     /// the clock to `deadline` (even if the queue drained earlier), leaving
     /// later events pending.
     pub fn run_until(&self, deadline: SimTime) {
+        let (start, before) = (self.now(), self.executed());
         let limit = deadline.as_micros();
         loop {
             let due = self.inner.core.borrow_mut().peek_due(limit).is_some();
@@ -560,9 +575,32 @@ impl Engine {
             }
             self.step();
         }
+        self.drain_span(start, before);
         if self.now() < deadline {
             self.inner.now.set(deadline);
         }
+    }
+
+    /// Record one `engine.drain` span covering a run-loop invocation. Kept
+    /// out of `step` so the per-event hot path stays uninstrumented.
+    fn drain_span(&self, start: SimTime, executed_before: u64) {
+        let tel = &self.inner.telemetry;
+        if !tel.enabled() {
+            return;
+        }
+        let events = self.executed() - executed_before;
+        if events == 0 {
+            return;
+        }
+        tel.span(
+            start,
+            self.now() - start,
+            Layer::Netsim,
+            "engine.drain",
+            |e| {
+                e.u64("events", events);
+            },
+        );
     }
 
     /// Run for `span` of simulated time from now.

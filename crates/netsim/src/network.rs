@@ -16,6 +16,7 @@ use cm_core::address::{NetAddr, VcId};
 use cm_core::qos::{ErrorRate, QosParams};
 use cm_core::rng::DetRng;
 use cm_core::time::{Bandwidth, SimDuration, SimTime};
+use cm_telemetry::{Layer, Telemetry};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
@@ -197,6 +198,9 @@ impl NetworkInner {
 #[derive(Clone)]
 pub struct Network {
     engine: Engine,
+    /// Cached clone of the engine's recorder: packet paths check the
+    /// `enabled` fast path without re-borrowing the engine.
+    tel: Telemetry,
     inner: Rc<RefCell<NetworkInner>>,
 }
 
@@ -204,6 +208,7 @@ impl Network {
     /// An empty network bound to `engine`.
     pub fn new(engine: Engine) -> Network {
         Network {
+            tel: engine.telemetry().clone(),
             engine,
             inner: Rc::new(RefCell::new(NetworkInner {
                 nodes: Vec::new(),
@@ -376,12 +381,49 @@ impl Network {
         bandwidth: Bandwidth,
     ) -> Option<Result<(), AdmissionError>> {
         let route = self.route(from, dst)?;
-        let mut inner = self.inner.borrow_mut();
-        let with_caps: Vec<(LinkId, Bandwidth)> = route
-            .iter()
-            .map(|&lid| (lid, inner.links[lid.0 as usize].link.params().bandwidth))
-            .collect();
-        Some(inner.reservations.admit(vc, &with_caps, bandwidth))
+        let outcome = {
+            let mut inner = self.inner.borrow_mut();
+            let with_caps: Vec<(LinkId, Bandwidth)> = route
+                .iter()
+                .map(|&lid| (lid, inner.links[lid.0 as usize].link.params().bandwidth))
+                .collect();
+            inner.reservations.admit(vc, &with_caps, bandwidth)
+        };
+        self.trace_reserve("net.reserve", vc.0, bandwidth, &outcome);
+        Some(outcome)
+    }
+
+    /// A reservation admission decision (unicast VC or multicast branch).
+    fn trace_reserve(
+        &self,
+        name: &'static str,
+        id: u64,
+        bandwidth: Bandwidth,
+        outcome: &Result<(), AdmissionError>,
+    ) {
+        if !self.tel.enabled() {
+            return;
+        }
+        self.tel
+            .instant(self.engine.now(), Layer::Netsim, name, |e| {
+                e.u64("id", id).u64("bps", bandwidth.as_bps());
+                match outcome {
+                    Ok(()) => {
+                        e.bool("ok", true);
+                    }
+                    Err(AdmissionError::InsufficientBandwidth {
+                        link, available, ..
+                    }) => {
+                        e.bool("ok", false)
+                            .str("reason", "insufficient_bandwidth")
+                            .u64("link", link.0 as u64)
+                            .u64("available_bps", available.as_bps());
+                    }
+                    Err(AdmissionError::AlreadyReserved) => {
+                        e.bool("ok", false).str("reason", "already_reserved");
+                    }
+                }
+            });
     }
 
     /// Release any reservation held by `vc`.
@@ -478,11 +520,15 @@ impl Network {
             .reservations
             .admit_links(g.reservation_vc(), &with_caps, bandwidth)
         {
+            drop(inner);
+            self.trace_reserve("net.group.join", g.0 as u64, bandwidth, &Err(e));
             return Some(Err(e));
         }
         inner.groups[g.0 as usize].members.insert(member);
         let tree = inner.rebuild_tree(g);
         inner.groups[g.0 as usize].tree = tree;
+        drop(inner);
+        self.trace_reserve("net.group.join", g.0 as u64, bandwidth, &Ok(()));
         Some(Ok(()))
     }
 
@@ -502,6 +548,15 @@ impl Network {
             .reservations
             .release_links(g.reservation_vc(), &released);
         inner.groups[g.0 as usize].tree = new_tree;
+        drop(inner);
+        if self.tel.enabled() {
+            self.tel
+                .instant(self.engine.now(), Layer::Netsim, "net.group.leave", |e| {
+                    e.u64("id", g.0 as u64)
+                        .u64("member", member.0 as u64)
+                        .u64("links_released", released.len() as u64);
+                });
+        }
     }
 
     /// Dissolve `g`: drop all members and release every tree reservation.
@@ -576,6 +631,7 @@ impl Network {
             };
             match outcome {
                 LinkOutcome::Deliver { arrival, corrupted } => {
+                    self.trace_tx(now, lid, pkt, arrival);
                     let mut branch_pkt = pkt.clone();
                     branch_pkt.corrupted |= corrupted;
                     let net = self.clone();
@@ -586,9 +642,11 @@ impl Network {
                 }
                 LinkOutcome::Drop(DropReason::QueueOverflow) => {
                     self.inner.borrow_mut().counters.queue_overflow += 1;
+                    self.trace_drop(now, Some(lid), "queue_overflow");
                 }
                 LinkOutcome::Drop(DropReason::Loss) => {
                     self.inner.borrow_mut().counters.link_loss += 1;
+                    self.trace_drop(now, Some(lid), "loss");
                 }
             }
         }
@@ -624,22 +682,24 @@ impl Network {
     /// Forward `pkt` one hop from `at`.
     fn hop(&self, at: NetAddr, pkt: Packet) {
         let now = self.engine.now();
-        let (outcome, next) = {
+        let (outcome, next, lid) = {
             let mut inner = self.inner.borrow_mut();
             let lid = match inner.next_hop(at, pkt.dst) {
                 Some(l) => l,
                 None => {
                     inner.counters.no_route += 1;
+                    self.trace_drop(now, None, "no_route");
                     return;
                 }
             };
             let ls = &mut inner.links[lid.0 as usize];
             let next = ls.to;
             let outcome = ls.link.submit(now, pkt.class, pkt.wire_size);
-            (outcome, next)
+            (outcome, next, lid)
         };
         match outcome {
             LinkOutcome::Deliver { arrival, corrupted } => {
+                self.trace_tx(now, lid, &pkt, arrival);
                 let mut pkt = pkt;
                 pkt.corrupted |= corrupted;
                 let net = self.clone();
@@ -653,11 +713,42 @@ impl Network {
             }
             LinkOutcome::Drop(DropReason::QueueOverflow) => {
                 self.inner.borrow_mut().counters.queue_overflow += 1;
+                self.trace_drop(now, Some(lid), "queue_overflow");
             }
             LinkOutcome::Drop(DropReason::Loss) => {
                 self.inner.borrow_mut().counters.link_loss += 1;
+                self.trace_drop(now, Some(lid), "loss");
             }
         }
+    }
+
+    /// One packet accepted by a link: a `net.link.tx` span covering the
+    /// submit → arrival interval (queueing + transmission + propagation).
+    fn trace_tx(&self, now: SimTime, lid: LinkId, pkt: &Packet, arrival: SimTime) {
+        if !self.tel.enabled() {
+            return;
+        }
+        self.tel
+            .span(now, arrival - now, Layer::Netsim, "net.link.tx", |e| {
+                e.u64("link", lid.0 as u64)
+                    .u64("bytes", pkt.wire_size as u64)
+                    .str("class", pkt.class.name());
+            });
+    }
+
+    /// One packet dropped inside the network (no route, queue overflow or
+    /// the link's loss process).
+    fn trace_drop(&self, now: SimTime, lid: Option<LinkId>, reason: &'static str) {
+        if !self.tel.enabled() {
+            return;
+        }
+        self.tel.count("net.pkt.drop", 1);
+        self.tel.instant(now, Layer::Netsim, "net.pkt.drop", |e| {
+            if let Some(l) = lid {
+                e.u64("link", l.0 as u64);
+            }
+            e.str("reason", reason);
+        });
     }
 
     /// Final delivery at the destination node.
@@ -672,6 +763,18 @@ impl Network {
             }
             h
         };
+        if self.tel.enabled() {
+            let now = self.engine.now();
+            self.tel.count("net.pkt.delivered", 1);
+            self.tel
+                .record_duration("net.pkt.latency_us", now - pkt.sent_at);
+            if handler.is_none() {
+                self.tel
+                    .instant(now, Layer::Netsim, "net.pkt.no_handler", |e| {
+                        e.u64("node", node.0 as u64);
+                    });
+            }
+        }
         if let Some(h) = handler {
             h.on_packet(self, node, pkt);
         }

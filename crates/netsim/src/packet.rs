@@ -27,6 +27,16 @@ pub enum PacketClass {
     Data,
 }
 
+impl PacketClass {
+    /// Stable lower-case name, used in telemetry fields.
+    pub fn name(self) -> &'static str {
+        match self {
+            PacketClass::Control => "control",
+            PacketClass::Data => "data",
+        }
+    }
+}
+
 /// One simulated network packet.
 #[derive(Clone)]
 pub struct Packet {

@@ -11,6 +11,10 @@
 //! times. Fixed seeds throughout — rerunning prints identical numbers.
 //!
 //! Run with: `cargo run --example language_lab`
+//!
+//! The lesson runs with the flight recorder on; set `CM_TRACE=<path>` to
+//! export the lesson as a Chrome `trace_event` file (open in Perfetto or
+//! `chrome://tracing`), or `CM_TRACE_JSONL=<path>` for the raw JSONL log.
 
 use cm_core::address::NetAddr;
 use cm_core::address::VcId;
@@ -22,6 +26,7 @@ use cm_core::service_class::ServiceClass;
 use cm_core::time::{Bandwidth, SimDuration};
 use cm_platform::Platform;
 use cm_session::{JoinDenied, PeerId, RoomCtl, RoomMember, Session};
+use cm_telemetry::{Layer, Telemetry};
 use cm_transport::TransportService;
 use netsim::{Engine, LinkParams, Network, NodeClock};
 use std::cell::{Cell, RefCell};
@@ -136,6 +141,10 @@ fn lesson_demo() {
     let skinny = LinkParams::clean(Bandwidth::kbps(16), SimDuration::from_millis(1));
     let branches = vec![clean.clone(), clean.clone(), clean.clone(), clean, skinny];
     let (net, platform, nodes) = star(&branches);
+    // Flight-record the lesson: every layer (netsim/transport/
+    // orchestration/session) traces into the same ring buffer.
+    let tel = net.engine().telemetry().clone();
+    tel.enable(cm_telemetry::DEFAULT_CAPACITY);
     let session = Session::new(&platform);
     let room = session.create_room("language-lab", nodes[0], 16);
     println!(
@@ -194,6 +203,18 @@ fn lesson_demo() {
         svc.group_receivers(vc).expect("receivers").len()
     );
 
+    // One student workstation calibrates against the teacher's clock
+    // (the §7 no-common-node estimator) while the lesson runs.
+    cm_orchestration::ClockSync::install(platform.service(nodes[0]));
+    let cs = cm_orchestration::ClockSync::install(platform.service(nodes[2]));
+    cs.calibrate(nodes[0], 4, |s| {
+        println!(
+            "  [clock] student-0 offset to teacher: {} us (rtt {})",
+            s.offset_us, s.rtt
+        );
+    });
+    run(50);
+
     // Prime fills the pipeline with every sink gated, start releases the
     // whole class at once, stop freezes it — each a single control OPDU
     // multicast over the tree.
@@ -218,6 +239,48 @@ fn lesson_demo() {
         );
     }
     assert_eq!(held, 0, "primed sinks must hold delivery");
+    trace_summary(&tel);
+}
+
+/// Print the lesson's flight-recorder summary and honour the `CM_TRACE`
+/// (Chrome trace_event) and `CM_TRACE_JSONL` export env vars.
+fn trace_summary(tel: &Telemetry) {
+    let events = tel.events();
+    let per_layer = |l: Layer| events.iter().filter(|e| e.layer == l).count();
+    println!(
+        "\nflight recorder: {} events (netsim {}, transport {}, orchestration {}, session {}), {} overflowed",
+        events.len(),
+        per_layer(Layer::Netsim),
+        per_layer(Layer::Transport),
+        per_layer(Layer::Orchestration),
+        per_layer(Layer::Session),
+        tel.overflow(),
+    );
+    let named = |n: &str| events.iter().filter(|e| e.name == n).count();
+    println!(
+        "  packets delivered {}, dropped {}; QoS violations {}; room joins {} (denied {})",
+        tel.counter("net.pkt.delivered"),
+        tel.counter("net.pkt.drop"),
+        tel.counter("vc.qos.violation"),
+        named("room.join"),
+        named("room.join.deny"),
+    );
+    if let Some(h) = tel.histogram("room.ctl.fanout_us") {
+        println!(
+            "  room-ctl fan-out latency: p50 {} us, max {} us over {} deliveries",
+            h.percentile(50.0),
+            h.max().unwrap_or(0),
+            h.count()
+        );
+    }
+    if let Some(path) = std::env::var_os("CM_TRACE") {
+        std::fs::write(&path, tel.export_chrome_trace()).expect("write CM_TRACE file");
+        println!("  chrome trace written to {}", path.to_string_lossy());
+    }
+    if let Some(path) = std::env::var_os("CM_TRACE_JSONL") {
+        std::fs::write(&path, tel.export_jsonl()).expect("write CM_TRACE_JSONL file");
+        println!("  JSONL log written to {}", path.to_string_lossy());
+    }
 }
 
 /// First-hop packets for the lesson multicast to `n` students in a room.
