@@ -1,0 +1,157 @@
+//! Criterion bench: the packet transit fast path through `netsim` — the
+//! single hottest loop under every experiment. Three scenarios bracket it:
+//!
+//! * `unicast_line8` — one flow crossing an 8-hop line: pure per-hop
+//!   scheduling cost (flight event + link submit + route lookup).
+//! * `mcast_fanout_64` — one sender, 64 receivers behind a two-level tree:
+//!   branch-point packet copies and tree-snapshot sharing.
+//! * `contended_queue_10k` — 10k packets dumped into one slow link at the
+//!   same instant: queue-occupancy accounting under a deep backlog (the
+//!   O(n)-rescan worst case before the running-byte counter).
+//!
+//! Throughput is reported in hops (link traversals) per second; numbers
+//! land in `BENCH_netsim.json`.
+
+use cm_core::address::{NetAddr, VcId};
+use cm_core::rng::DetRng;
+use cm_core::time::{Bandwidth, SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netsim::{Engine, LinkParams, Network, NodeClock, Packet, PacketClass};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Counts deliveries; the cheapest possible terminal handler.
+struct Sink {
+    got: Cell<u64>,
+}
+
+impl netsim::NodeHandler for Sink {
+    fn on_packet(&self, _net: &Network, _at: NetAddr, _pkt: Packet) {
+        self.got.set(self.got.get() + 1);
+    }
+}
+
+fn sink() -> Rc<Sink> {
+    Rc::new(Sink { got: Cell::new(0) })
+}
+
+/// A line of `hops + 1` nodes joined by fast clean duplex links.
+fn line(net: &Network, hops: usize, rng: &mut DetRng) -> Vec<NetAddr> {
+    let nodes: Vec<NetAddr> = (0..=hops)
+        .map(|_| net.add_node(NodeClock::perfect()))
+        .collect();
+    let p = LinkParams::clean(Bandwidth::mbps(10_000), SimDuration::from_micros(10));
+    for w in nodes.windows(2) {
+        net.add_duplex(w[0], w[1], p.clone(), rng);
+    }
+    nodes
+}
+
+fn packet_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet_path");
+
+    // One flow, 8 store-and-forward hops, 10k packets paced 10 µs apart:
+    // 80k link traversals per iteration, steady-state forwarding.
+    const LINE_HOPS: u64 = 8;
+    const LINE_PKTS: u64 = 10_000;
+    g.throughput(Throughput::Elements(LINE_HOPS * LINE_PKTS));
+    g.bench_function("unicast_line8_10k", |b| {
+        b.iter(|| {
+            let net = Network::new(Engine::new());
+            let mut rng = DetRng::from_seed(42);
+            let nodes = line(&net, LINE_HOPS as usize, &mut rng);
+            let (src, dst) = (nodes[0], *nodes.last().unwrap());
+            let s = sink();
+            net.set_handler(dst, s.clone());
+            let e = net.engine().clone();
+            for i in 0..LINE_PKTS {
+                let at = SimTime::from_micros(i * 10);
+                let net2 = net.clone();
+                e.schedule_at(at, move |_| {
+                    net2.send(src, Packet::data(src, dst, VcId(1), 1200, at, ()));
+                });
+            }
+            e.run();
+            assert_eq!(s.got.get(), LINE_PKTS);
+        });
+    });
+
+    // 64 receivers behind 8 relay hubs (root → hub_i → 8 leaves each):
+    // each send traverses 1 + 8 + 64 = 73 tree links and is copied only at
+    // the two branch points.
+    const MCAST_SENDS: u64 = 2_000;
+    const MCAST_LINKS: u64 = 1 + 8 + 64;
+    g.throughput(Throughput::Elements(MCAST_SENDS * MCAST_LINKS));
+    g.bench_function("mcast_fanout_64x2k", |b| {
+        b.iter(|| {
+            let net = Network::new(Engine::new());
+            let mut rng = DetRng::from_seed(7);
+            let p = LinkParams::clean(Bandwidth::mbps(10_000), SimDuration::from_micros(10));
+            let root = net.add_node(NodeClock::perfect());
+            let core = net.add_node(NodeClock::perfect());
+            net.add_duplex(root, core, p.clone(), &mut rng);
+            let mut leaves = Vec::new();
+            for _ in 0..8 {
+                let hub = net.add_node(NodeClock::perfect());
+                net.add_duplex(core, hub, p.clone(), &mut rng);
+                for _ in 0..8 {
+                    let leaf = net.add_node(NodeClock::perfect());
+                    net.add_duplex(hub, leaf, p.clone(), &mut rng);
+                    leaves.push(leaf);
+                }
+            }
+            let s = sink();
+            for &l in &leaves {
+                net.set_handler(l, s.clone());
+            }
+            let grp = net.create_group(root, Bandwidth::mbps(1));
+            for &l in &leaves {
+                net.group_join(grp, l).unwrap().unwrap();
+            }
+            let e = net.engine().clone();
+            for i in 0..MCAST_SENDS {
+                let at = SimTime::from_micros(i * 20);
+                let net2 = net.clone();
+                e.schedule_at(at, move |_| {
+                    net2.send_to_group(
+                        grp,
+                        Packet::group(root, grp, None, PacketClass::Data, 1200, at, ()),
+                    );
+                });
+            }
+            e.run();
+            assert_eq!(s.got.get(), MCAST_SENDS * 64);
+        });
+    });
+
+    // 10k packets submitted to one 10 Mb/s link at t=0 with a queue big
+    // enough to hold them all: the transmit backlog is ~10k entries deep,
+    // so per-submit occupancy accounting dominates.
+    const BURST: u64 = 10_000;
+    g.throughput(Throughput::Elements(BURST));
+    g.bench_function("contended_queue_10k", |b| {
+        b.iter(|| {
+            let net = Network::new(Engine::new());
+            let mut rng = DetRng::from_seed(13);
+            let a = net.add_node(NodeClock::perfect());
+            let z = net.add_node(NodeClock::perfect());
+            let p = LinkParams {
+                queue_capacity: usize::MAX,
+                ..LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_micros(10))
+            };
+            net.add_duplex(a, z, p, &mut rng);
+            let s = sink();
+            net.set_handler(z, s.clone());
+            for _ in 0..BURST {
+                net.send(a, Packet::data(a, z, VcId(1), 1200, SimTime::ZERO, ()));
+            }
+            net.engine().run();
+            assert_eq!(s.got.get(), BURST);
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, packet_path);
+criterion_main!(benches);

@@ -13,6 +13,7 @@ use core::fmt;
 pub struct NetAddr(pub u32);
 
 impl fmt::Display for NetAddr {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "n{}", self.0)
     }
@@ -23,6 +24,7 @@ impl fmt::Display for NetAddr {
 pub struct Tsap(pub u16);
 
 impl fmt::Display for Tsap {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, ":{}", self.0)
     }
@@ -48,6 +50,7 @@ impl TransportAddr {
 }
 
 impl fmt::Display for TransportAddr {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}{}", self.node, self.tsap)
     }
@@ -69,6 +72,7 @@ pub struct AddressTriple {
 
 impl AddressTriple {
     /// A conventional (two-party) connect: initiator *is* the source.
+    #[inline]
     pub fn conventional(source: TransportAddr, destination: TransportAddr) -> Self {
         AddressTriple {
             initiator: source,
@@ -79,6 +83,7 @@ impl AddressTriple {
 
     /// A third-party "remote connect" (§3.5): the initiator is distinct from
     /// both endpoints (it may share a node with one of them).
+    #[inline]
     pub fn remote(
         initiator: TransportAddr,
         source: TransportAddr,
@@ -93,12 +98,14 @@ impl AddressTriple {
 
     /// True when the initiating endpoint is also the data source, i.e. the
     /// conventional two-party case.
+    #[inline]
     pub fn is_conventional(&self) -> bool {
         self.initiator == self.source
     }
 }
 
 impl fmt::Display for AddressTriple {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -113,6 +120,7 @@ impl fmt::Display for AddressTriple {
 pub struct VcId(pub u64);
 
 impl fmt::Display for VcId {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "vc{}", self.0)
     }
@@ -123,6 +131,7 @@ impl fmt::Display for VcId {
 pub struct OrchSessionId(pub u64);
 
 impl fmt::Display for OrchSessionId {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "orch{}", self.0)
     }
@@ -133,6 +142,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[inline]
     fn conventional_triple_has_initiator_equal_source() {
         let a = TransportAddr::new(1, 10);
         let b = TransportAddr::new(2, 20);
@@ -142,6 +152,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn remote_triple_distinguishes_all_three() {
         let init = TransportAddr::new(3, 1);
         let src = TransportAddr::new(1, 10);
@@ -152,6 +163,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn addresses_order_and_hash() {
         use std::collections::BTreeSet;
         let mut s = BTreeSet::new();

@@ -39,11 +39,13 @@ impl ErrorRate {
     }
 
     /// From a probability in `[0, 1]`; values outside are clamped.
+    #[inline]
     pub fn from_prob(p: f64) -> ErrorRate {
         ErrorRate::from_ppb((p.clamp(0.0, 1.0) * 1e9).round() as u64)
     }
 
     /// As a probability in `[0, 1]`.
+    #[inline]
     pub fn as_prob(self) -> f64 {
         self.0 as f64 / 1e9
     }
@@ -54,6 +56,7 @@ impl ErrorRate {
     }
 
     /// The empirical rate `errors / total`, or zero for an empty sample.
+    #[inline]
     pub fn observed(errors: u64, total: u64) -> ErrorRate {
         if total == 0 {
             return ErrorRate::ZERO;
@@ -63,6 +66,7 @@ impl ErrorRate {
 }
 
 impl fmt::Display for ErrorRate {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.2e}", self.as_prob())
     }
@@ -86,6 +90,7 @@ pub struct QosParams {
 impl QosParams {
     /// A "don't care" setting that any provider can satisfy: zero throughput
     /// demanded, unbounded delay/jitter, full error tolerance.
+    #[inline]
     pub fn weakest() -> QosParams {
         QosParams {
             throughput: Bandwidth::ZERO,
@@ -99,6 +104,7 @@ impl QosParams {
     /// True if `self`, regarded as an *achieved* quality, satisfies
     /// `required`: at least the throughput, at most the delay, jitter and
     /// error rates.
+    #[inline]
     pub fn satisfies(&self, required: &QosParams) -> bool {
         self.throughput >= required.throughput
             && self.delay <= required.delay
@@ -110,6 +116,7 @@ impl QosParams {
     /// Element-wise *weaker* of two settings: the lower throughput and the
     /// larger delay/jitter/error rates. Used when successive negotiation
     /// stages each degrade an offer.
+    #[inline]
     pub fn weaken_to(&self, other: &QosParams) -> QosParams {
         QosParams {
             throughput: self.throughput.min(other.throughput),
@@ -123,6 +130,7 @@ impl QosParams {
     /// Element-wise *stronger* of two settings (dual of [`weaken_to`]).
     ///
     /// [`weaken_to`]: QosParams::weaken_to
+    #[inline]
     pub fn strengthen_to(&self, other: &QosParams) -> QosParams {
         QosParams {
             throughput: self.throughput.max(other.throughput),
@@ -135,6 +143,7 @@ impl QosParams {
 
     /// The per-parameter violations of `contract` by `self` (measured
     /// values), in declaration order. Empty means the contract is met.
+    #[inline]
     pub fn violations_of(&self, contract: &QosParams) -> Vec<QosViolation> {
         let mut v = Vec::new();
         if self.throughput < contract.throughput {
@@ -172,6 +181,7 @@ impl QosParams {
 }
 
 impl fmt::Display for QosParams {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -225,6 +235,7 @@ pub enum QosViolation {
 impl QosViolation {
     /// The stable "error number" identifying which tolerance degraded
     /// (table 2 carries such a number in the indication).
+    #[inline]
     pub fn error_number(&self) -> u8 {
         match self {
             QosViolation::Throughput { .. } => 1,
@@ -237,6 +248,7 @@ impl QosViolation {
 }
 
 impl fmt::Display for QosViolation {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QosViolation::Throughput {
@@ -276,6 +288,7 @@ pub struct QosTolerance {
 
 impl QosTolerance {
     /// A tolerance with no slack: preferred and worst coincide.
+    #[inline]
     pub fn exactly(p: QosParams) -> QosTolerance {
         QosTolerance {
             preferred: p,
@@ -285,6 +298,7 @@ impl QosTolerance {
 
     /// Validity: the preferred level must be at least as strong as the worst
     /// acceptable level in every component.
+    #[inline]
     pub fn is_well_formed(&self) -> bool {
         self.preferred.satisfies(&self.worst)
     }
@@ -296,6 +310,7 @@ impl QosTolerance {
     /// than asked (resources are explicitly reserved, §3.1) nor more than it
     /// has. If the result would fall below the worst acceptable level in any
     /// component the negotiation fails with the list of violations.
+    #[inline]
     pub fn negotiate(&self, achievable: &QosParams) -> Result<QosParams, Vec<QosViolation>> {
         let agreed = self.preferred.weaken_to(achievable);
         let violations = agreed.violations_of(&self.worst);
@@ -310,6 +325,7 @@ impl QosTolerance {
     /// related VCs to carry *compatible* QoS, §3.6): preferred is the
     /// stronger of the two preferences, worst is the stronger of the two
     /// floors. Returns `None` if the result is not well-formed.
+    #[inline]
     pub fn intersect(&self, other: &QosTolerance) -> Option<QosTolerance> {
         let t = QosTolerance {
             preferred: self.preferred.strengthen_to(&other.preferred),
@@ -356,6 +372,7 @@ pub struct QosRequirement {
 impl QosRequirement {
     /// Convenience: soft guarantee with the given tolerance, unit rate and
     /// OSDU bound.
+    #[inline]
     pub fn soft(
         tolerance: QosTolerance,
         osdu_rate: crate::time::Rate,
@@ -375,6 +392,7 @@ mod tests {
     use super::*;
     use crate::time::{Bandwidth, SimDuration};
 
+    #[inline]
     fn q(thr_kbps: u64, delay_ms: u64, jitter_ms: u64, per_ppm: u64, ber_ppm: u64) -> QosParams {
         QosParams {
             throughput: Bandwidth::kbps(thr_kbps),
@@ -386,6 +404,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn satisfies_is_componentwise() {
         let need = q(1000, 100, 10, 100, 10);
         assert!(q(1000, 100, 10, 100, 10).satisfies(&need));
@@ -398,6 +417,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn negotiate_takes_weaker_of_preferred_and_achievable() {
         let tol = QosTolerance {
             preferred: q(2000, 50, 5, 10, 1),
@@ -415,6 +435,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn negotiate_rejects_below_floor() {
         let tol = QosTolerance {
             preferred: q(2000, 50, 5, 10, 1),
@@ -428,12 +449,14 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn violations_empty_when_met() {
         let c = q(1000, 100, 10, 100, 10);
         assert!(q(1500, 80, 9, 50, 5).violations_of(&c).is_empty());
     }
 
     #[test]
+    #[inline]
     fn intersect_takes_stronger() {
         let a = QosTolerance {
             preferred: q(1000, 100, 10, 100, 10),
@@ -449,6 +472,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn error_rate_exactness() {
         assert_eq!(ErrorRate::from_ppm(1000).as_ppb(), 1_000_000);
         assert_eq!(ErrorRate::observed(1, 1000), ErrorRate::from_ppm(1000));
@@ -457,6 +481,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn weakest_is_satisfied_by_anything() {
         let w = QosParams::weakest();
         assert!(q(0, 1_000_000, 1_000_000, 1_000_000, 1_000_000).satisfies(&w));

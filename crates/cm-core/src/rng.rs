@@ -19,6 +19,7 @@ pub struct DetRng {
 
 impl DetRng {
     /// Create a stream from a 64-bit seed.
+    #[inline]
     pub fn from_seed(seed: u64) -> DetRng {
         DetRng {
             inner: StdRng::seed_from_u64(seed),
@@ -31,6 +32,7 @@ impl DetRng {
     /// FNV-1a, so distinct labels produce uncorrelated streams and the
     /// *order* in which other children are forked does not matter as long as
     /// the sequence of `fork` calls on `self` is stable.
+    #[inline]
     pub fn fork(&mut self, label: &str) -> DetRng {
         let base: u64 = self.inner.gen();
         let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ base;
@@ -42,17 +44,20 @@ impl DetRng {
     }
 
     /// A uniform value in `[0, 1)`.
+    #[inline]
     pub fn unit(&mut self) -> f64 {
         self.inner.gen::<f64>()
     }
 
     /// A uniform integer in `[lo, hi]` (inclusive).
+    #[inline]
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range");
         self.inner.gen_range(lo..=hi)
     }
 
     /// Bernoulli trial with probability given as an [`ErrorRate`].
+    #[inline]
     pub fn chance(&mut self, p: ErrorRate) -> bool {
         if p == ErrorRate::ZERO {
             return false;
@@ -64,6 +69,7 @@ impl DetRng {
     }
 
     /// Uniform jitter in `[0, max]`.
+    #[inline]
     pub fn jitter_uniform(&mut self, max: SimDuration) -> SimDuration {
         if max.is_zero() {
             return SimDuration::ZERO;
@@ -73,6 +79,7 @@ impl DetRng {
 
     /// Exponentially distributed jitter with the given mean, truncated at
     /// `10 × mean` so a single tail sample cannot wreck a schedule.
+    #[inline]
     pub fn jitter_exponential(&mut self, mean: SimDuration) -> SimDuration {
         if mean.is_zero() {
             return SimDuration::ZERO;
@@ -85,6 +92,7 @@ impl DetRng {
 
     /// A sample from a truncated normal via the central-limit of 12
     /// uniforms, clamped to `[lo, hi]`. Used for VBR frame-size models.
+    #[inline]
     pub fn normal_clamped(&mut self, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
         let s: f64 = (0..12).map(|_| self.unit()).sum::<f64>() - 6.0;
         (mean + s * std_dev).clamp(lo, hi)
@@ -96,6 +104,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[inline]
     fn same_seed_same_stream() {
         let mut a = DetRng::from_seed(42);
         let mut b = DetRng::from_seed(42);
@@ -108,6 +117,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn forked_labels_differ() {
         let mut root = DetRng::from_seed(7);
         // Forks must be taken from independent clones to test label mixing
@@ -124,6 +134,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn chance_extremes() {
         let mut r = DetRng::from_seed(1);
         for _ in 0..100 {
@@ -133,6 +144,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn chance_roughly_matches_probability() {
         let mut r = DetRng::from_seed(99);
         let p = ErrorRate::from_prob(0.25);
@@ -142,6 +154,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn uniform_jitter_bounded() {
         let mut r = DetRng::from_seed(3);
         let max = SimDuration::from_millis(5);
@@ -152,6 +165,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn exponential_jitter_mean_and_truncation() {
         let mut r = DetRng::from_seed(4);
         let mean = SimDuration::from_millis(2);
@@ -167,6 +181,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn normal_clamped_respects_bounds() {
         let mut r = DetRng::from_seed(5);
         for _ in 0..1000 {

@@ -49,16 +49,19 @@ impl SimTime {
     }
 
     /// Seconds since time zero as a float (for reporting only).
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e6
     }
 
     /// The duration elapsed since `earlier`, or zero if `earlier` is later.
+    #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
     /// Checked difference between two instants.
+    #[inline]
     pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
         self.0.checked_sub(earlier.0).map(SimDuration)
     }
@@ -88,6 +91,7 @@ impl SimDuration {
     /// Construct from fractional seconds, rounding to the nearest microsecond.
     ///
     /// Panics if `s` is negative or too large to represent.
+    #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
         assert!(
             s >= 0.0 && s <= (u64::MAX as f64) / 1e6,
@@ -107,6 +111,7 @@ impl SimDuration {
     }
 
     /// Seconds as a float (for reporting only).
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e6
     }
@@ -117,11 +122,13 @@ impl SimDuration {
     }
 
     /// Difference that stops at zero instead of underflowing.
+    #[inline]
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
 
     /// Multiply by an integer factor, saturating at the maximum.
+    #[inline]
     pub fn saturating_mul(self, k: u64) -> SimDuration {
         SimDuration(self.0.saturating_mul(k))
     }
@@ -129,6 +136,7 @@ impl SimDuration {
     /// `self * num / den` with intermediate 128-bit precision.
     ///
     /// Used by rate computations to avoid both overflow and drift.
+    #[inline]
     pub fn mul_ratio(self, num: u64, den: u64) -> SimDuration {
         assert!(den != 0, "zero denominator");
         SimDuration((self.0 as u128 * num as u128 / den as u128) as u64)
@@ -137,12 +145,14 @@ impl SimDuration {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
         SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
+    #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
         *self = *self + rhs;
     }
@@ -150,6 +160,7 @@ impl AddAssign<SimDuration> for SimTime {
 
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn sub(self, rhs: SimDuration) -> SimTime {
         SimTime(self.0.saturating_sub(rhs.0))
     }
@@ -159,6 +170,7 @@ impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     /// Panics on underflow; use [`SimTime::saturating_since`] when the order
     /// of the operands is not statically known.
+    #[inline]
     fn sub(self, rhs: SimTime) -> SimDuration {
         SimDuration(
             self.0
@@ -170,12 +182,14 @@ impl Sub<SimTime> for SimTime {
 
 impl Add for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimDuration {
+    #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
         *self = *self + rhs;
     }
@@ -183,6 +197,7 @@ impl AddAssign for SimDuration {
 
 impl Sub for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
         SimDuration(
             self.0
@@ -193,6 +208,7 @@ impl Sub for SimDuration {
 }
 
 impl SubAssign for SimDuration {
+    #[inline]
     fn sub_assign(&mut self, rhs: SimDuration) {
         *self = *self - rhs;
     }
@@ -200,6 +216,7 @@ impl SubAssign for SimDuration {
 
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn mul(self, rhs: u64) -> SimDuration {
         SimDuration(self.0.saturating_mul(rhs))
     }
@@ -207,18 +224,21 @@ impl Mul<u64> for SimDuration {
 
 impl Div<u64> for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn div(self, rhs: u64) -> SimDuration {
         SimDuration(self.0 / rhs)
     }
 }
 
 impl fmt::Display for SimTime {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.6}s", self.as_secs_f64())
     }
 }
 
 impl fmt::Display for SimDuration {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.0 >= 1_000_000 {
             write!(f, "{:.3}s", self.as_secs_f64())
@@ -264,11 +284,13 @@ impl Rate {
     };
 
     /// True if this rate delivers no units.
+    #[inline]
     pub fn is_zero(&self) -> bool {
         self.units == 0
     }
 
     /// Units per second as a float, for reporting.
+    #[inline]
     pub fn per_second_f64(&self) -> f64 {
         if self.per.is_zero() {
             return f64::INFINITY;
@@ -278,6 +300,7 @@ impl Rate {
 
     /// The instant (relative to a start time) at which unit `n` (0-based) is
     /// due: unit 0 at the start, unit `n` after `n/rate` time.
+    #[inline]
     pub fn due_time(&self, start: SimTime, n: u64) -> SimTime {
         assert!(self.units != 0, "due_time on zero rate");
         let us = (n as u128 * self.per.as_micros() as u128) / self.units as u128;
@@ -287,6 +310,7 @@ impl Rate {
     /// How many whole units are due in `elapsed` time (unit 0 counts as due
     /// immediately, so this is `floor(elapsed * rate) + 1` for a started
     /// flow; callers wanting the raw product use [`Rate::units_in`]).
+    #[inline]
     pub fn units_in(&self, elapsed: SimDuration) -> u64 {
         ((elapsed.as_micros() as u128 * self.units as u128) / self.per.as_micros().max(1) as u128)
             as u64
@@ -294,12 +318,14 @@ impl Rate {
 
     /// The nominal gap between consecutive units (truncated to whole
     /// microseconds; use [`Rate::due_time`] for drift-free schedules).
+    #[inline]
     pub fn interval(&self) -> SimDuration {
         assert!(self.units != 0, "interval of zero rate");
         SimDuration::from_micros(self.per.as_micros() / self.units)
     }
 
     /// Scale the rate by an integer ratio `num/den` (e.g. slow-motion 1/2).
+    #[inline]
     pub fn scaled(&self, num: u64, den: u64) -> Rate {
         assert!(den != 0);
         Rate {
@@ -310,6 +336,7 @@ impl Rate {
 }
 
 impl fmt::Display for Rate {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.3}/s", self.per_second_f64())
     }
@@ -346,19 +373,29 @@ impl Bandwidth {
     /// Time to serialise `bytes` onto a link of this bandwidth.
     ///
     /// Panics on zero bandwidth: a zero-capacity link can never transmit.
+    #[inline]
     pub fn transmission_time(self, bytes: usize) -> SimDuration {
         assert!(self.0 > 0, "transmission over zero bandwidth");
+        // 64-bit fast path: `bytes * 8_000_000` fits u64 for any packet
+        // under ~2.3 TB, so the common case avoids the u128 division
+        // (`__udivti3` is a slow library call on the per-hop hot path).
+        // Same formula, same rounding as the wide path.
+        if let Some(scaled) = (bytes as u64).checked_mul(8_000_000) {
+            return SimDuration::from_micros(scaled.div_ceil(self.0));
+        }
         let bits = bytes as u128 * 8;
         let us = (bits * 1_000_000).div_ceil(self.0 as u128);
         SimDuration::from_micros(us as u64)
     }
 
     /// Saturating subtraction, for reservation bookkeeping.
+    #[inline]
     pub fn saturating_sub(self, other: Bandwidth) -> Bandwidth {
         Bandwidth(self.0.saturating_sub(other.0))
     }
 
     /// Checked addition.
+    #[inline]
     pub fn checked_add(self, other: Bandwidth) -> Option<Bandwidth> {
         self.0.checked_add(other.0).map(Bandwidth)
     }
@@ -366,6 +403,7 @@ impl Bandwidth {
 
 impl Add for Bandwidth {
     type Output = Bandwidth;
+    #[inline]
     fn add(self, rhs: Bandwidth) -> Bandwidth {
         Bandwidth(self.0.saturating_add(rhs.0))
     }
@@ -373,6 +411,7 @@ impl Add for Bandwidth {
 
 impl Sub for Bandwidth {
     type Output = Bandwidth;
+    #[inline]
     fn sub(self, rhs: Bandwidth) -> Bandwidth {
         Bandwidth(
             self.0
@@ -383,6 +422,7 @@ impl Sub for Bandwidth {
 }
 
 impl fmt::Display for Bandwidth {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.0 >= 1_000_000 {
             write!(f, "{:.2}Mb/s", self.0 as f64 / 1e6)
@@ -399,6 +439,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[inline]
     fn time_roundtrips() {
         assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
         assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
@@ -409,6 +450,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn time_subtraction() {
         let a = SimTime::from_secs(5);
         let b = SimTime::from_secs(3);
@@ -420,11 +462,13 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "underflow")]
+    #[inline]
     fn time_subtraction_underflow_panics() {
         let _ = SimTime::from_secs(1) - SimTime::from_secs(2);
     }
 
     #[test]
+    #[inline]
     fn duration_display() {
         assert_eq!(SimDuration::from_micros(7).to_string(), "7us");
         assert_eq!(SimDuration::from_micros(2_500).to_string(), "2.500ms");
@@ -432,6 +476,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn rate_due_times_do_not_drift() {
         // 30000 units at 44100/s must land exactly where rational arithmetic
         // says, not where repeated float addition would.
@@ -444,6 +489,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn rate_units_in() {
         let r = Rate::per_second(25);
         assert_eq!(r.units_in(SimDuration::from_secs(2)), 50);
@@ -452,12 +498,14 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn rate_scaling() {
         let r = Rate::per_second(25).scaled(1, 2);
         assert_eq!(r.units_in(SimDuration::from_secs(2)), 25);
     }
 
     #[test]
+    #[inline]
     fn bandwidth_transmission_time() {
         // 1250 bytes = 10_000 bits at 10 Mb/s = 1 ms.
         let bw = Bandwidth::mbps(10);
@@ -470,6 +518,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn rate_interval() {
         assert_eq!(
             Rate::per_second(25).interval(),

@@ -1371,36 +1371,46 @@ impl TransportEntity {
             }
             (dest, seq, sizes)
         };
+        // Branch on the destination once, not per fragment: the fragment
+        // loop below is the hottest transport send path, feeding netsim's
+        // zero-allocation flight events.
         let count = sizes.len() as u32;
-        for (i, bytes) in sizes.iter().enumerate() {
+        let make_tpdu = |i: usize, bytes: usize| {
             let last = i as u32 + 1 == count;
-            let tpdu = DataTpdu {
+            DataTpdu {
                 vc,
                 osdu_seq: seq,
                 frag_index: i as u32,
                 frag_count: count,
-                frag_bytes: *bytes,
+                frag_bytes: bytes,
                 opdu: osdu.opdu,
                 payload: last.then(|| osdu.payload.clone()),
                 osdu_sent_at: now,
-            };
-            let wire = tpdu.wire_size();
-            match &dest {
-                Dest::Unicast(node) => {
-                    let pkt = Packet::data(self.node, *node, vc, wire, now, WirePdu::Data(tpdu));
+            }
+        };
+        match dest {
+            Dest::Unicast(node) => {
+                for (i, &bytes) in sizes.iter().enumerate() {
+                    let tpdu = make_tpdu(i, bytes);
+                    let wire = tpdu.wire_size();
+                    let pkt = Packet::data(self.node, node, vc, wire, now, WirePdu::Data(tpdu));
                     self.net.send(self.node, pkt);
                 }
-                Dest::Group(g) => {
+            }
+            Dest::Group(g) => {
+                for (i, &bytes) in sizes.iter().enumerate() {
+                    let tpdu = make_tpdu(i, bytes);
+                    let wire = tpdu.wire_size();
                     let pkt = Packet::group(
                         self.node,
-                        *g,
+                        g,
                         Some(vc),
                         netsim::PacketClass::Data,
                         wire,
                         now,
                         WirePdu::Data(tpdu),
                     );
-                    self.net.send_to_group(*g, pkt);
+                    self.net.send_to_group(g, pkt);
                 }
             }
         }

@@ -1,11 +1,21 @@
 //! The discrete-event core.
 //!
 //! Everything in the reproduction — link transmissions, protocol timers,
-//! application threads, orchestration intervals — runs as closures scheduled
+//! application threads, orchestration intervals — runs as events scheduled
 //! on one [`Engine`]. The engine is single-threaded and deterministic:
 //! events fire in `(time, sequence)` order, where sequence is the order of
 //! scheduling, so two events at the same instant run in FIFO order and every
 //! simulation is exactly repeatable.
+//!
+//! Control-plane events are boxed closures ([`Engine::schedule_at`]); the
+//! packet data plane instead schedules typed
+//! [`PacketFlight`](crate::packet::PacketFlight) events
+//! ([`Engine::schedule_flight`]) kept in pooled cells referenced from the
+//! slab and handed to the network's registered dispatcher — steady-state
+//! forwarding allocates nothing per hop, and slab slots stay pointer-sized.
+//! Both kinds share one sequence space, so replacing a
+//! closure with a flight at the same call site preserves firing order
+//! exactly.
 //!
 //! The engine is a cheaply clonable handle (`Rc` inside): components keep a
 //! clone and schedule events without needing a mutable reference to a
@@ -36,6 +46,7 @@
 //! `tests/engine_differential.rs` checks firing order against a reference
 //! binary-heap scheduler.
 
+use crate::packet::PacketFlight;
 use cm_core::time::{SimDuration, SimTime};
 use cm_telemetry::{Layer, Telemetry};
 use std::cell::{Cell, RefCell};
@@ -72,6 +83,15 @@ impl EventId {
 
 type Action = Box<dyn FnOnce(&Engine)>;
 type RepeatAction = Box<dyn FnMut(&Engine)>;
+type FlightDispatch = Rc<dyn Fn(&Engine, FlightCell)>;
+/// Heap cell for one in-transit packet. The box is recycled through
+/// `Core::flight_pool` (emptied on delivery or drop, refilled on the next
+/// injection), so steady-state flights allocate nothing while slab slots
+/// stay pointer-sized — a `PacketFlight` inline would more than double
+/// every `Slot` and drag the whole wheel's cache footprint with it. The
+/// cell travels through the dispatcher and back into `schedule_flight_cell`
+/// whole: a relayed packet is never copied out of its box between hops.
+pub(crate) type FlightCell = Box<Option<PacketFlight>>;
 
 /// What a slab slot currently holds.
 enum Stored {
@@ -79,6 +99,10 @@ enum Stored {
     Vacant,
     /// A one-shot event.
     Once(Action),
+    /// A packet in transit, in a pooled cell: no per-hop allocation, no
+    /// captured handles. Fired through the engine's registered flight
+    /// dispatcher.
+    Flight(FlightCell),
     /// A periodic timer's action, at rest.
     Repeat(RepeatAction),
     /// A periodic timer's action, moved out while it runs. If the slot is
@@ -132,6 +156,12 @@ struct Core {
     ready: VecDeque<Key>,
     /// Events beyond the wheel span, ordered by `(at, seq)`.
     overflow: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    /// Free pool of flight cells: emptied boxes come back on fire or cancel
+    /// and are refilled by the next `schedule_flight`. Lives inside `Core`
+    /// so pool traffic rides the borrow the scheduler already holds.
+    /// High-water bounded by the peak number of concurrent in-flight
+    /// packets, exactly like the slab itself.
+    flight_pool: Vec<FlightCell>,
 }
 
 impl Core {
@@ -149,6 +179,7 @@ impl Core {
                 .collect(),
             ready: VecDeque::new(),
             overflow: BinaryHeap::new(),
+            flight_pool: Vec::new(),
         }
     }
 
@@ -242,6 +273,22 @@ impl Core {
     /// cancelled events actually leave the structure.
     fn drain(&mut self, level: usize, slot: usize) {
         self.levels[level].occupied &= !(1u64 << slot);
+        // Single-key bucket fast path: paced traffic lands one deadline per
+        // microsecond slot, where the retain + sort + write-back round-trip
+        // below is pure overhead. Behaviour is identical (a one-element sort
+        // is a no-op and `retain` is the same liveness check).
+        if self.levels[level].buckets[slot].len() == 1 {
+            let k = self.levels[level].buckets[slot].pop().expect("len checked");
+            if self.key_live(k) {
+                if level == 0 {
+                    self.ready.push_back(k);
+                } else {
+                    let at = self.slots[k.idx as usize].at;
+                    self.place(k, at);
+                }
+            }
+            return;
+        }
         let mut keys = std::mem::take(&mut self.levels[level].buckets[slot]);
         if level == 0 {
             keys.retain(|k| self.key_live(*k));
@@ -350,6 +397,10 @@ impl Core {
 /// What `step` extracted for the firing event.
 enum Fired {
     Once(Action),
+    /// The cell still holds its flight: it goes to the dispatcher whole,
+    /// so the packet rides through this enum as one pointer instead of by
+    /// value — and the network can relay the same cell onward untouched.
+    Flight(FlightCell),
     Repeat(RepeatAction, u32),
 }
 
@@ -362,6 +413,10 @@ struct EngineInner {
     event_limit: Cell<u64>,
     /// Same-instant storm guard: (instant, events executed at it).
     same_instant: Cell<(SimTime, u64)>,
+    /// Receiver for fired [`PacketFlight`] events, registered once by the
+    /// network bound to this engine. Outside the hot `step` borrow so the
+    /// dispatcher can schedule freely.
+    flight_dispatch: RefCell<Option<FlightDispatch>>,
     /// Flight recorder shared by every layer; disabled until someone calls
     /// `telemetry().enable(..)`. The hot `step` path never touches it —
     /// only the run-loop tails emit drain spans.
@@ -393,6 +448,7 @@ impl Engine {
                 executed: Cell::new(0),
                 event_limit: Cell::new(u64::MAX),
                 same_instant: Cell::new((SimTime::ZERO, 0)),
+                flight_dispatch: RefCell::new(None),
                 telemetry: Telemetry::disabled(),
             }),
         }
@@ -461,16 +517,112 @@ impl Engine {
         self.schedule_at(self.now() + delay, action)
     }
 
+    /// Register the receiver for [`PacketFlight`] events. One engine drives
+    /// one network: registering twice panics rather than silently rerouting
+    /// the first network's in-flight packets.
+    pub fn set_flight_dispatch(&self, dispatch: impl Fn(&Engine, PacketFlight) + 'static) {
+        self.set_flight_dispatch_cells(move |engine, mut cell| {
+            let flight = cell.take().expect("fired flight cell is full");
+            engine.recycle_flight_cell(cell);
+            dispatch(engine, flight);
+        });
+    }
+
+    /// Cell-level dispatcher registration: the receiver gets the pooled box
+    /// itself and may hand it straight back to
+    /// [`Engine::schedule_flight_cell`] — the relay fast path that never
+    /// copies the packet out of its cell.
+    pub(crate) fn set_flight_dispatch_cells(
+        &self,
+        dispatch: impl Fn(&Engine, FlightCell) + 'static,
+    ) {
+        let mut slot = self.inner.flight_dispatch.borrow_mut();
+        assert!(
+            slot.is_none(),
+            "flight dispatcher already registered: one Network per Engine"
+        );
+        *slot = Some(Rc::new(dispatch));
+    }
+
+    /// Pop an empty flight cell from the pool (or mint one — only before
+    /// the pool has warmed up to the peak in-flight count).
+    pub(crate) fn take_flight_cell(&self) -> FlightCell {
+        self.inner
+            .core
+            .borrow_mut()
+            .flight_pool
+            .pop()
+            .unwrap_or_else(|| Box::new(None))
+    }
+
+    /// Return a cell to the pool, dropping any packet still inside.
+    pub(crate) fn recycle_flight_cell(&self, mut cell: FlightCell) {
+        *cell = None;
+        self.inner.core.borrow_mut().flight_pool.push(cell);
+    }
+
+    /// Schedule a packet flight to land at absolute time `at` — the
+    /// zero-allocation counterpart of [`Engine::schedule_at`] for the
+    /// packet data plane. The flight goes into a pooled cell in a reused
+    /// slab slot; firing hands it to the dispatcher registered with
+    /// [`Engine::set_flight_dispatch`] (a flight fired with no dispatcher
+    /// registered is dropped). Ordering is identical to a closure scheduled
+    /// at the same point: one sequence number, same `(time, seq)` rules.
+    pub fn schedule_flight(&self, at: SimTime, flight: PacketFlight) -> EventId {
+        let mut cell = self.take_flight_cell();
+        *cell = Some(flight);
+        self.schedule_flight_cell(at, cell)
+    }
+
+    /// Schedule a packet flight to land after `delay`.
+    pub fn schedule_flight_in(&self, delay: SimDuration, flight: PacketFlight) -> EventId {
+        self.schedule_flight(self.now() + delay, flight)
+    }
+
+    /// [`Engine::schedule_flight`] for a flight already in its cell — the
+    /// relay path: the packet stays in the same heap cell from injection to
+    /// delivery, only its routing fields are rewritten per hop.
+    pub(crate) fn schedule_flight_cell(&self, at: SimTime, cell: FlightCell) -> EventId {
+        debug_assert!(cell.is_some(), "scheduling an empty flight cell");
+        assert!(
+            at >= self.now(),
+            "cannot schedule into the past: {at} < {}",
+            self.now()
+        );
+        let seq = self.next_seq();
+        let mut core = self.inner.core.borrow_mut();
+        let idx = core.alloc();
+        let slot = &mut core.slots[idx as usize];
+        let gen = slot.gen;
+        slot.stored = Stored::Flight(cell);
+        let now = self.now().as_micros();
+        core.arm(idx, at.as_micros(), seq, now);
+        EventId::pack(idx, gen)
+    }
+
+    /// Number of slab slots currently backing the scheduler (allocated
+    /// high-water mark, free or occupied). Steady-state traffic must reuse
+    /// slots rather than grow this — the observable for the no-allocation
+    /// guarantee on the packet fast path.
+    pub fn slab_slots(&self) -> usize {
+        self.inner.core.borrow().slots.len()
+    }
+
     /// Cancel a pending event in O(1). Cancelling an already-fired or
     /// already-cancelled event is a no-op (the id has gone stale).
     pub fn cancel(&self, id: EventId) {
         let (idx, gen) = id.unpack();
         let mut core = self.inner.core.borrow_mut();
-        let Some(slot) = core.slots.get(idx as usize) else {
+        let Some(slot) = core.slots.get_mut(idx as usize) else {
             return;
         };
-        if slot.gen != gen || !matches!(slot.stored, Stored::Once(_)) {
+        if slot.gen != gen || !matches!(slot.stored, Stored::Once(_) | Stored::Flight(_)) {
             return;
+        }
+        if let Stored::Flight(mut cell) = std::mem::replace(&mut slot.stored, Stored::Vacant) {
+            // Drop the cancelled packet but keep its cell for reuse.
+            *cell = None;
+            core.flight_pool.push(cell);
         }
         core.unschedule(idx);
         core.release(idx);
@@ -526,6 +678,11 @@ impl Engine {
                     core.release(key.idx);
                     (key, at, Fired::Once(action))
                 }
+                Stored::Flight(cell) => {
+                    slot.stored = Stored::Vacant;
+                    core.release(key.idx);
+                    (key, at, Fired::Flight(cell))
+                }
                 Stored::Repeat(action) => (key, at, Fired::Repeat(action, gen)),
                 Stored::Vacant | Stored::RepeatTaken => {
                     unreachable!("live key points at an empty slot")
@@ -535,6 +692,15 @@ impl Engine {
         self.tick_clock(SimTime::from_micros(at));
         match fired {
             Fired::Once(action) => action(self),
+            Fired::Flight(cell) => {
+                // Call through the borrow — no per-fire `Rc` traffic. The
+                // dispatcher is registered once before the run, so nothing
+                // re-borrows this slot mid-dispatch. A missing dispatcher
+                // drops the flight (its network is gone).
+                if let Some(dispatch) = &*self.inner.flight_dispatch.borrow() {
+                    dispatch(self, cell);
+                }
+            }
             Fired::Repeat(mut action, gen) => {
                 action(self);
                 // Put the action back unless the timer's handle was dropped

@@ -29,6 +29,6 @@ pub use engine::{Engine, EventId, PeriodicTimer};
 pub use link::{JitterModel, LinkCounters, LinkParams};
 pub use multicast::{GroupId, GroupTree};
 pub use network::{LinkId, Network, NetworkCounters, NodeHandler};
-pub use packet::{Packet, PacketClass};
+pub use packet::{FlightKind, Packet, PacketClass, PacketFlight};
 pub use reservation::{AdmissionError, ReservationTable};
 pub use topology::{line, two_node, Testbed, TestbedConfig};

@@ -7,10 +7,10 @@
 //! static after construction, as in the Lancaster testbed).
 
 use crate::clock::NodeClock;
-use crate::engine::Engine;
+use crate::engine::{Engine, FlightCell};
 use crate::link::{DropReason, Link, LinkOutcome, LinkParams};
 use crate::multicast::{GroupId, GroupTree};
-use crate::packet::Packet;
+use crate::packet::{FlightKind, Packet, PacketFlight};
 use crate::reservation::{AdmissionError, ReservationTable};
 use cm_core::address::{NetAddr, VcId};
 use cm_core::qos::{ErrorRate, QosParams};
@@ -205,9 +205,10 @@ pub struct Network {
 }
 
 impl Network {
-    /// An empty network bound to `engine`.
+    /// An empty network bound to `engine`. Registers the engine's flight
+    /// dispatcher (one network per engine).
     pub fn new(engine: Engine) -> Network {
-        Network {
+        let net = Network {
             tel: engine.telemetry().clone(),
             engine,
             inner: Rc::new(RefCell::new(NetworkInner {
@@ -219,7 +220,20 @@ impl Network {
                 counters: NetworkCounters::default(),
                 reservations: ReservationTable::default(),
             })),
-        }
+        };
+        // The dispatcher holds the inner state weakly so a dropped network
+        // does not keep itself alive through the engine. Relay hops (the
+        // common case) run on borrowed parts — no refcount traffic at all;
+        // only terminal deliveries rebuild a full `Network` handle for the
+        // node handler.
+        let weak = Rc::downgrade(&net.inner);
+        net.engine.set_flight_dispatch_cells(move |engine, cell| {
+            if let Some(inner) = weak.upgrade() {
+                Network::dispatch_flight(engine, &inner, cell);
+            }
+            // else: the network is gone; the cell drops with its packet.
+        });
+        net
     }
 
     /// The engine driving this network.
@@ -614,53 +628,113 @@ impl Network {
     pub fn send_to_group(&self, g: GroupId, mut pkt: Packet) {
         let tree = self.group_tree(g);
         pkt.mgroup = Some(g);
-        self.mcast_forward(&tree, tree.root, &pkt);
+        let root = tree.root;
+        self.mcast_forward(&tree, root, pkt);
     }
 
-    /// Forward a group packet over the tree edges leaving `at`.
-    fn mcast_forward(&self, tree: &Rc<GroupTree>, at: NetAddr, pkt: &Packet) {
+    /// A flight fired: continue the packet's journey at its landing node.
+    /// Takes the network's pieces by reference so the engine dispatcher can
+    /// relay a mid-path hop without cloning any `Rc`.
+    fn dispatch_flight(engine: &Engine, inner: &Rc<RefCell<NetworkInner>>, mut cell: FlightCell) {
+        let f = (*cell).as_ref().expect("fired flight cell is full");
+        // Relay: a unicast flight short of its destination rides the same
+        // cell onward — no copy, `hop_cell` just rewrites the next node.
+        if matches!(f.kind, FlightKind::Unicast) && f.pkt.dst != f.next {
+            Self::hop_cell_parts(engine, engine.telemetry(), inner, cell);
+            return;
+        }
+        // Terminal: unicast arrival, or a multicast tree node. Handlers get
+        // a full `&Network`, so rebuild the owned handle here only.
+        let net = Network {
+            tel: engine.telemetry().clone(),
+            engine: engine.clone(),
+            inner: inner.clone(),
+        };
+        let f = (*cell).take().expect("fired flight cell is full");
+        net.engine.recycle_flight_cell(cell);
+        match f.kind {
+            FlightKind::Unicast => net.arrive(f.next, f.pkt),
+            FlightKind::Mcast(tree) => net.mcast_arrive(tree, f.next, f.pkt),
+        }
+    }
+
+    /// Submit `pkt` to `lid` under one `inner` borrow, folding the drop
+    /// counters in. `Err` carries the telemetry reason for the drop.
+    fn submit_to_link(
+        &self,
+        now: SimTime,
+        lid: LinkId,
+        pkt: &Packet,
+    ) -> Result<(SimTime, bool, NetAddr), &'static str> {
+        let mut inner = self.inner.borrow_mut();
+        let ls = &mut inner.links[lid.0 as usize];
+        let next = ls.to;
+        match ls.link.submit(now, pkt.class, pkt.wire_size) {
+            LinkOutcome::Deliver { arrival, corrupted } => Ok((arrival, corrupted, next)),
+            LinkOutcome::Drop(DropReason::QueueOverflow) => {
+                inner.counters.queue_overflow += 1;
+                Err("queue_overflow")
+            }
+            LinkOutcome::Drop(DropReason::Loss) => {
+                inner.counters.link_loss += 1;
+                Err("loss")
+            }
+        }
+    }
+
+    /// Forward a group packet over the tree edges leaving `at`. The packet
+    /// moves (not clones) onto the last outgoing edge; earlier branch
+    /// copies are field copies plus payload-`Rc` bumps.
+    fn mcast_forward(&self, tree: &Rc<GroupTree>, at: NetAddr, pkt: Packet) {
         let now = self.engine.now();
         let Some(outs) = tree.out_links.get(&at) else {
             return;
         };
-        for &lid in outs {
-            let (outcome, next) = {
-                let mut inner = self.inner.borrow_mut();
-                let ls = &mut inner.links[lid.0 as usize];
-                (ls.link.submit(now, pkt.class, pkt.wire_size), ls.to)
-            };
-            match outcome {
-                LinkOutcome::Deliver { arrival, corrupted } => {
-                    self.trace_tx(now, lid, pkt, arrival);
-                    let mut branch_pkt = pkt.clone();
+        let last = outs.len() - 1;
+        let mut pkt = Some(pkt);
+        for (i, &lid) in outs.iter().enumerate() {
+            let p = pkt.as_ref().expect("packet moved before last branch");
+            match self.submit_to_link(now, lid, p) {
+                Ok((arrival, corrupted, next)) => {
+                    self.trace_tx(now, lid, p, arrival);
+                    let mut branch_pkt = if i == last {
+                        pkt.take().expect("last branch takes the packet")
+                    } else {
+                        p.clone()
+                    };
                     branch_pkt.corrupted |= corrupted;
-                    let net = self.clone();
-                    let tree = tree.clone();
-                    self.engine.schedule_at(arrival, move |_| {
-                        net.mcast_arrive(tree, next, branch_pkt);
-                    });
+                    self.engine.schedule_flight(
+                        arrival,
+                        PacketFlight {
+                            next,
+                            pkt: branch_pkt,
+                            kind: FlightKind::Mcast(tree.clone()),
+                        },
+                    );
                 }
-                LinkOutcome::Drop(DropReason::QueueOverflow) => {
-                    self.inner.borrow_mut().counters.queue_overflow += 1;
-                    self.trace_drop(now, Some(lid), "queue_overflow");
-                }
-                LinkOutcome::Drop(DropReason::Loss) => {
-                    self.inner.borrow_mut().counters.link_loss += 1;
-                    self.trace_drop(now, Some(lid), "loss");
-                }
+                Err(reason) => self.trace_drop(now, Some(lid), reason),
             }
         }
     }
 
     /// A group packet reached `node`: deliver locally if it is a member,
-    /// then keep forwarding down the subtree.
-    fn mcast_arrive(&self, tree: Rc<GroupTree>, node: NetAddr, pkt: Packet) {
+    /// then keep forwarding down the subtree. A leaf member (no outgoing
+    /// tree edges) takes the packet by move — no copy at the fan-out edge.
+    fn mcast_arrive(&self, tree: Rc<GroupTree>, node: NetAddr, mut pkt: Packet) {
+        let has_out = tree.out_links.get(&node).is_some_and(|o| !o.is_empty());
         if tree.members.contains(&node) {
+            if !has_out {
+                pkt.dst = node;
+                self.arrive(node, pkt);
+                return;
+            }
             let mut copy = pkt.clone();
             copy.dst = node;
             self.arrive(node, copy);
         }
-        self.mcast_forward(&tree, node, &pkt);
+        if has_out {
+            self.mcast_forward(&tree, node, pkt);
+        }
     }
 
     /// Inject a packet at `from` and route it toward `pkt.dst`.
@@ -669,55 +743,82 @@ impl Network {
     /// intra-host hop, preserving "no handler runs inside its caller".
     pub fn send(&self, from: NetAddr, pkt: Packet) {
         if from == pkt.dst {
-            let net = self.clone();
-            self.engine
-                .schedule_in(SimDuration::from_micros(10), move |_| {
-                    net.arrive(pkt.dst, pkt);
-                });
+            let next = pkt.dst;
+            self.engine.schedule_flight_in(
+                SimDuration::from_micros(10),
+                PacketFlight {
+                    next,
+                    pkt,
+                    kind: FlightKind::Unicast,
+                },
+            );
             return;
         }
-        self.hop(from, pkt);
+        let mut cell = self.engine.take_flight_cell();
+        *cell = Some(PacketFlight {
+            next: from,
+            pkt,
+            kind: FlightKind::Unicast,
+        });
+        self.hop_cell(cell);
     }
 
-    /// Forward `pkt` one hop from `at`.
-    fn hop(&self, at: NetAddr, pkt: Packet) {
-        let now = self.engine.now();
-        let (outcome, next, lid) = {
-            let mut inner = self.inner.borrow_mut();
-            let lid = match inner.next_hop(at, pkt.dst) {
-                Some(l) => l,
+    /// Forward the flight in `cell` one hop from its current node
+    /// (`f.next`): one `inner` borrow for routing, link submission and
+    /// counters, then the same cell goes back on the wheel with its next
+    /// node rewritten — no boxed closure, no `Network` clone, and the
+    /// packet is never copied between injection and delivery.
+    fn hop_cell(&self, cell: FlightCell) {
+        Self::hop_cell_parts(&self.engine, &self.tel, &self.inner, cell);
+    }
+
+    /// [`Network::hop_cell`] on borrowed parts — the form the engine's
+    /// flight dispatcher calls so a relay hop does zero `Rc` traffic.
+    fn hop_cell_parts(
+        engine: &Engine,
+        tel: &Telemetry,
+        inner: &RefCell<NetworkInner>,
+        mut cell: FlightCell,
+    ) {
+        let now = engine.now();
+        let f = (*cell).as_mut().expect("flight cell is full");
+        // Routing, link submission and counters under a single borrow.
+        let outcome = {
+            let mut inner = inner.borrow_mut();
+            match inner.next_hop(f.next, f.pkt.dst) {
                 None => {
                     inner.counters.no_route += 1;
-                    self.trace_drop(now, None, "no_route");
-                    return;
+                    Err((None, "no_route"))
                 }
-            };
-            let ls = &mut inner.links[lid.0 as usize];
-            let next = ls.to;
-            let outcome = ls.link.submit(now, pkt.class, pkt.wire_size);
-            (outcome, next, lid)
+                Some(lid) => {
+                    let ls = &mut inner.links[lid.0 as usize];
+                    let next = ls.to;
+                    match ls.link.submit(now, f.pkt.class, f.pkt.wire_size) {
+                        LinkOutcome::Deliver { arrival, corrupted } => {
+                            Ok((arrival, corrupted, next, lid))
+                        }
+                        LinkOutcome::Drop(DropReason::QueueOverflow) => {
+                            inner.counters.queue_overflow += 1;
+                            Err((Some(lid), "queue_overflow"))
+                        }
+                        LinkOutcome::Drop(DropReason::Loss) => {
+                            inner.counters.link_loss += 1;
+                            Err((Some(lid), "loss"))
+                        }
+                    }
+                }
+            }
         };
         match outcome {
-            LinkOutcome::Deliver { arrival, corrupted } => {
-                self.trace_tx(now, lid, &pkt, arrival);
-                let mut pkt = pkt;
-                pkt.corrupted |= corrupted;
-                let net = self.clone();
-                self.engine.schedule_at(arrival, move |_| {
-                    if pkt.dst == next {
-                        net.arrive(next, pkt);
-                    } else {
-                        net.hop(next, pkt);
-                    }
-                });
+            Ok((arrival, corrupted, next, lid)) => {
+                Self::trace_tx_parts(tel, now, lid, &f.pkt, arrival);
+                f.pkt.corrupted |= corrupted;
+                f.next = next;
+                engine.schedule_flight_cell(arrival, cell);
             }
-            LinkOutcome::Drop(DropReason::QueueOverflow) => {
-                self.inner.borrow_mut().counters.queue_overflow += 1;
-                self.trace_drop(now, Some(lid), "queue_overflow");
-            }
-            LinkOutcome::Drop(DropReason::Loss) => {
-                self.inner.borrow_mut().counters.link_loss += 1;
-                self.trace_drop(now, Some(lid), "loss");
+            Err((lid, reason)) => {
+                engine.recycle_flight_cell(cell);
+                Self::trace_drop_parts(tel, now, lid, reason);
             }
         }
     }
@@ -725,25 +826,32 @@ impl Network {
     /// One packet accepted by a link: a `net.link.tx` span covering the
     /// submit → arrival interval (queueing + transmission + propagation).
     fn trace_tx(&self, now: SimTime, lid: LinkId, pkt: &Packet, arrival: SimTime) {
-        if !self.tel.enabled() {
+        Self::trace_tx_parts(&self.tel, now, lid, pkt, arrival);
+    }
+
+    fn trace_tx_parts(tel: &Telemetry, now: SimTime, lid: LinkId, pkt: &Packet, arrival: SimTime) {
+        if !tel.enabled() {
             return;
         }
-        self.tel
-            .span(now, arrival - now, Layer::Netsim, "net.link.tx", |e| {
-                e.u64("link", lid.0 as u64)
-                    .u64("bytes", pkt.wire_size as u64)
-                    .str("class", pkt.class.name());
-            });
+        tel.span(now, arrival - now, Layer::Netsim, "net.link.tx", |e| {
+            e.u64("link", lid.0 as u64)
+                .u64("bytes", pkt.wire_size as u64)
+                .str("class", pkt.class.name());
+        });
     }
 
     /// One packet dropped inside the network (no route, queue overflow or
     /// the link's loss process).
     fn trace_drop(&self, now: SimTime, lid: Option<LinkId>, reason: &'static str) {
-        if !self.tel.enabled() {
+        Self::trace_drop_parts(&self.tel, now, lid, reason);
+    }
+
+    fn trace_drop_parts(tel: &Telemetry, now: SimTime, lid: Option<LinkId>, reason: &'static str) {
+        if !tel.enabled() {
             return;
         }
-        self.tel.count("net.pkt.drop", 1);
-        self.tel.instant(now, Layer::Netsim, "net.pkt.drop", |e| {
+        tel.count("net.pkt.drop", 1);
+        tel.instant(now, Layer::Netsim, "net.pkt.drop", |e| {
             if let Some(l) = lid {
                 e.u64("link", l.0 as u64);
             }
@@ -1079,6 +1187,60 @@ mod tests {
         assert_eq!(cols[0].got.borrow().len(), 1);
         assert_eq!(cols[1].got.borrow().len(), 1);
         assert_eq!(cols[2].got.borrow().len(), 0);
+    }
+
+    #[test]
+    fn leaf_member_takes_packet_by_move() {
+        // root — mid — leaf, both mid and leaf group members. An interior
+        // member must clone for local delivery (the original keeps
+        // forwarding), but a leaf member takes the packet by move: its
+        // handler must see the payload Rc at strong count 1.
+        struct CountProbe {
+            seen: RefCell<Vec<(NetAddr, usize)>>,
+        }
+        impl NodeHandler for CountProbe {
+            fn on_packet(&self, _net: &Network, at: NetAddr, pkt: Packet) {
+                self.seen
+                    .borrow_mut()
+                    .push((at, Rc::strong_count(&pkt.payload)));
+            }
+        }
+        let net = Network::new(Engine::new());
+        let mut rng = DetRng::from_seed(31);
+        let root = net.add_node(NodeClock::perfect());
+        let mid = net.add_node(NodeClock::perfect());
+        let leaf = net.add_node(NodeClock::perfect());
+        let p = LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1));
+        net.add_duplex(root, mid, p.clone(), &mut rng);
+        net.add_duplex(mid, leaf, p, &mut rng);
+        let probe = Rc::new(CountProbe {
+            seen: RefCell::new(Vec::new()),
+        });
+        net.set_handler(mid, probe.clone());
+        net.set_handler(leaf, probe.clone());
+        let g = net.create_group(root, Bandwidth::mbps(1));
+        net.group_join(g, mid).unwrap().unwrap();
+        net.group_join(g, leaf).unwrap().unwrap();
+        net.send_to_group(
+            g,
+            Packet::group(
+                root,
+                g,
+                None,
+                PacketClass::Data,
+                500,
+                net.engine().now(),
+                vec![0u8; 64],
+            ),
+        );
+        net.engine().run();
+        let seen = probe.seen.borrow();
+        assert_eq!(seen.len(), 2);
+        // Interior member: delivery clone + the original still in
+        // `mcast_arrive`, about to be forwarded.
+        assert_eq!(seen[0], (mid, 2));
+        // Leaf member: the one and only Packet, moved all the way in.
+        assert_eq!(seen[1], (leaf, 1));
     }
 
     #[test]

@@ -7,11 +7,42 @@
 //! compute is simulated by the flag — error-control classes decide what to
 //! do about it).
 
-use crate::multicast::GroupId;
+use crate::multicast::{GroupId, GroupTree};
 use cm_core::address::{NetAddr, VcId};
 use cm_core::time::SimTime;
 use std::any::Any;
 use std::rc::Rc;
+
+/// How an in-flight packet continues once it lands at its next node.
+#[derive(Debug, Clone)]
+pub enum FlightKind {
+    /// Point-to-point: deliver if the landing node is `pkt.dst`, otherwise
+    /// forward another hop toward it.
+    Unicast,
+    /// Group fan-out: deliver if the landing node is a member of the
+    /// captured tree snapshot, then forward down its subtree. The `Rc` is
+    /// shared by every packet of the cascade — membership churn after the
+    /// send never touches it.
+    Mcast(Rc<GroupTree>),
+}
+
+/// A packet in transit between two nodes: the engine's typed fast-path
+/// event for the packet data plane.
+///
+/// Hops used to be boxed `FnOnce` closures capturing a `Network` clone and
+/// the packet; a `PacketFlight` instead lives *inline* in the engine's slab
+/// slot and is handed to the network's registered flight dispatcher when it
+/// fires. Slot reuse means steady-state forwarding allocates nothing per
+/// hop — moving a flight is a flat copy plus `Rc` refcount bumps.
+#[derive(Debug, Clone)]
+pub struct PacketFlight {
+    /// The node this flight lands on.
+    pub next: NetAddr,
+    /// The packet itself (payload shared by `Rc`).
+    pub pkt: Packet,
+    /// What happens at the landing node.
+    pub kind: FlightKind,
+}
 
 /// Traffic class, for link scheduling.
 ///
