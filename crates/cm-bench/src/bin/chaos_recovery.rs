@@ -1,0 +1,458 @@
+//! Chaos recovery bench — measures, in simulated time, how long the
+//! stack's self-healing takes per fault class, by pairing each
+//! `chaos.inject` telemetry instant with the repair event that answers
+//! it (`vc.reroute`, `mcast.regraft` or `hlo.reelect`), and how many
+//! packets the network dropped inside that window.
+//!
+//! Four workloads, one per fault class, each run over `episodes` seeded
+//! worlds (the sim is deterministic, so the histogram spread comes from
+//! topology/clock seeds, not machine noise):
+//!
+//! - `link_down`: both paths of a square-topology VC are cut, the detour
+//!   only briefly — once it returns the healer reroutes onto it.
+//! - `partition`: a room member is partitioned off for good — the
+//!   publisher's healer prunes the branch and regrafts the tree.
+//! - `node_crash`: the orchestrating node of a supervised session dies —
+//!   the HLO supervisor re-elects a survivor.
+//! - `reservation_revoked`: an active VC's reservation is revoked
+//!   out-of-band — the healer re-admits or reroutes it.
+//!
+//! Writes `BENCH_chaos.json` (or the path given as the first argument).
+//! `--smoke` shrinks the episode count for CI.
+
+use cm_chaos::ChaosScheduler;
+use cm_core::address::NetAddr;
+use cm_core::media::MediaProfile;
+use cm_core::rng::DetRng;
+use cm_core::time::{Bandwidth, SimDuration, SimTime};
+use cm_media::StoredClip;
+use cm_orchestration::{OrchestrationPolicy, SupervisorConfig};
+use cm_platform::Platform;
+use cm_session::{RoomMember, Session};
+use cm_testkit::scenario::MediaStream;
+use cm_testkit::{FaultPlan, Stack, StackConfig};
+use netsim::{Engine, LinkParams, Network, NodeClock};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Repair events a `chaos.inject` can be answered by.
+const REPAIR_EVENTS: [&str; 3] = ["vc.reroute", "mcast.regraft", "hlo.reelect"];
+
+/// One measured episode.
+struct Episode {
+    recovery_us: Option<u64>,
+    repair: &'static str,
+    lost_pkts: u64,
+}
+
+/// Pair the first `chaos.inject` with the first repair event at or after
+/// it; count `net.pkt.drop` instants inside the outage window.
+fn measure(engine: &Engine) -> Episode {
+    let events = engine.telemetry().events();
+    let inject = events
+        .iter()
+        .find(|e| e.name == "chaos.inject")
+        .map(|e| e.at)
+        .expect("episode injected no fault");
+    let repair = events
+        .iter()
+        .find(|e| e.at >= inject && REPAIR_EVENTS.contains(&e.name));
+    let (recovery_us, name, until) = match repair {
+        Some(r) => (
+            Some(r.at.saturating_since(inject).as_micros()),
+            r.name,
+            r.at,
+        ),
+        None => (None, "none", SimTime::MAX),
+    };
+    let lost_pkts = events
+        .iter()
+        .filter(|e| e.name == "net.pkt.drop" && e.at >= inject && e.at <= until)
+        .count() as u64;
+    Episode {
+        recovery_us,
+        repair: name,
+        lost_pkts,
+    }
+}
+
+/// Square with two disjoint 2-hop paths a -> c (via b, via d), a
+/// saturating telephone VC a -> c (the writer keeps the send window full
+/// so credit stalls surface faults to the healer) and an eager reader.
+struct SquareVc {
+    net: Network,
+    nodes: [NetAddr; 4],
+    svcs: Vec<cm_transport::TransportService>,
+    vc: cm_core::address::VcId,
+}
+
+fn square_vc(seed: u64) -> SquareVc {
+    use cm_core::address::{AddressTriple, TransportAddr, Tsap};
+    let net = Network::new(Engine::new());
+    net.engine()
+        .telemetry()
+        .enable(cm_telemetry::DEFAULT_CAPACITY);
+    let mut rng = DetRng::from_seed(seed);
+    let p = LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1));
+    let a = net.add_node(NodeClock::perfect());
+    let b = net.add_node(NodeClock::perfect());
+    let c = net.add_node(NodeClock::perfect());
+    let d = net.add_node(NodeClock::perfect());
+    net.add_duplex(a, b, p.clone(), &mut rng);
+    net.add_duplex(b, c, p.clone(), &mut rng);
+    net.add_duplex(a, d, p.clone(), &mut rng);
+    net.add_duplex(d, c, p, &mut rng);
+    let svcs: Vec<_> = [a, b, c, d]
+        .iter()
+        .map(|&n| {
+            let svc = cm_transport::TransportService::install(
+                &net,
+                n,
+                cm_transport::EntityConfig::default(),
+            );
+            svc.bind(Tsap(1), cm_testkit::AutoAcceptUser::new())
+                .expect("bind");
+            svc
+        })
+        .collect();
+    let triple = AddressTriple::conventional(
+        TransportAddr {
+            node: a,
+            tsap: Tsap(1),
+        },
+        TransportAddr {
+            node: c,
+            tsap: Tsap(1),
+        },
+    );
+    let vc = svcs[0]
+        .t_connect_request(
+            triple,
+            cm_core::service_class::ServiceClass::cm_default(),
+            MediaProfile::audio_telephone().requirement(),
+        )
+        .expect("connect");
+    net.engine().run_for(SimDuration::from_millis(50));
+    assert!(svcs[0].is_open(vc), "square VC must open");
+    drive_writer(svcs[0].clone(), vc);
+    drive_reader(svcs[2].clone(), vc);
+    SquareVc {
+        net,
+        nodes: [a, b, c, d],
+        svcs,
+        vc,
+    }
+}
+
+/// Kill the reserved path for good and the detour for half a second.
+/// While no route survives the stream stalls; the moment the detour
+/// returns, the healer moves the reservation onto it and unsticks the
+/// stream. (A single-path cut is healed *seamlessly* by network-layer
+/// rerouting — data never stops, so the transport healer rightly stays
+/// quiet; the reroute worth timing is the one where the stream actually
+/// died.)
+fn link_down_episode(seed: u64) -> Episode {
+    let sq = square_vc(seed);
+    let chaos = ChaosScheduler::new(&sq.net);
+    FaultPlan::new()
+        .at_ms(2_000)
+        .link_down(sq.nodes[0], sq.nodes[1])
+        .at_ms(2_000)
+        .link_down(sq.nodes[0], sq.nodes[3])
+        .for_ms(500)
+        .schedule(&chaos);
+    sq.net.engine().run_until(SimTime::from_secs(10));
+    measure(sq.net.engine())
+}
+
+/// Revoke the reservation out-of-band: the revocation router announces
+/// it to the source entity, which re-admits it.
+fn revocation_episode(seed: u64) -> Episode {
+    let sq = square_vc(seed);
+    let chaos = ChaosScheduler::new(&sq.net);
+    chaos.set_observer(Rc::new(cm_testkit::RevocationRouter::new(sq.svcs.clone())));
+    FaultPlan::new().at_ms(2_000).revoke(sq.vc).schedule(&chaos);
+    sq.net.engine().run_until(SimTime::from_secs(10));
+    measure(sq.net.engine())
+}
+
+/// Kill the orchestrating node of a supervised two-stream session: the
+/// supervisor re-elects a surviving orchestrator.
+fn node_crash_episode(seed: u64) -> Episode {
+    let mut cfg = StackConfig::default();
+    cfg.testbed.workstations = 2;
+    cfg.testbed.servers = 2;
+    cfg.testbed.seed = seed;
+    let stack = Stack::build(cfg);
+    stack
+        .engine()
+        .telemetry()
+        .enable(cm_telemetry::DEFAULT_CAPACITY);
+    let profile = MediaProfile::audio_telephone();
+    let clip = StoredClip::cbr_for(&profile, 15);
+    let a = MediaStream::build(
+        &stack,
+        stack.tb.servers[0],
+        stack.tb.workstations[0],
+        &profile,
+        &clip,
+    );
+    let b = MediaStream::build(
+        &stack,
+        stack.tb.servers[1],
+        stack.tb.workstations[1],
+        &profile,
+        &clip,
+    );
+    a.source.start_producing();
+    a.sink.play();
+    b.source.start_producing();
+    b.sink.play();
+    stack.hlo.allow_no_common_node();
+    let agent = stack
+        .hlo
+        .orchestrate_and_start(&[a.vc, b.vc], OrchestrationPolicy::default(), |r| {
+            r.expect("orchestrated start");
+        })
+        .expect("orchestrate");
+    let sup = stack.hlo.supervise(
+        &agent,
+        &[a.vc, b.vc],
+        SupervisorConfig {
+            allow_no_common_node: true,
+            ..Default::default()
+        },
+    );
+    stack.run_for(SimDuration::from_secs(3));
+    let dead = agent.llo().node();
+    let chaos = stack.chaos();
+    FaultPlan::new()
+        .at(stack.engine().now())
+        .node_crash(dead)
+        .schedule(&chaos);
+    stack.engine().run_for(SimDuration::from_secs(10));
+    assert_eq!(
+        sup.reelections(),
+        1,
+        "supervisor must re-elect exactly once"
+    );
+    measure(stack.engine())
+}
+
+/// A member that only exists so the room has a live branch.
+struct NullMember;
+impl RoomMember for NullMember {}
+
+/// Partition one member of a three-member room off for good: the
+/// publisher's healer prunes the dead branch and regrafts the tree.
+fn partition_episode(seed: u64) -> Episode {
+    let net = Network::new(Engine::new());
+    net.engine()
+        .telemetry()
+        .enable(cm_telemetry::DEFAULT_CAPACITY);
+    let mut rng = DetRng::from_seed(seed);
+    let clean = LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1));
+    let nodes: Vec<NetAddr> = (0..4).map(|_| net.add_node(NodeClock::perfect())).collect();
+    net.add_duplex(nodes[0], nodes[1], clean.clone(), &mut rng);
+    net.add_duplex(nodes[1], nodes[2], clean.clone(), &mut rng);
+    net.add_duplex(nodes[1], nodes[3], clean, &mut rng);
+    let platform = Platform::new(net.clone());
+    for &n in &nodes {
+        platform.install_node(n);
+    }
+    let session = Session::new(&platform);
+    let room = session.create_room("bench", nodes[0], 8);
+    let publisher: Rc<RefCell<Option<cm_session::PeerId>>> = Rc::new(RefCell::new(None));
+    let p2 = publisher.clone();
+    room.join(nodes[0], "pub", Rc::new(NullMember), move |r| {
+        *p2.borrow_mut() = Some(r.expect("publisher join"));
+    });
+    net.engine().run_for(SimDuration::from_millis(10));
+    for (i, &n) in nodes[2..].iter().enumerate() {
+        room.join(n, &format!("m{i}"), Rc::new(NullMember), |r| {
+            r.expect("member join");
+        });
+        net.engine().run_for(SimDuration::from_millis(10));
+    }
+    let pid = publisher.borrow().expect("publisher id");
+    room.publish(
+        pid,
+        "feed",
+        cm_core::service_class::ServiceClass::cm_default(),
+        MediaProfile::audio_telephone().requirement(),
+    )
+    .expect("publish");
+    net.engine().run_for(SimDuration::from_millis(50));
+    let vc = room.stream_vc("feed").expect("vc");
+    let svc = room.stream_service("feed").expect("svc");
+    drive_writer(svc, vc);
+
+    let chaos = ChaosScheduler::new(&net);
+    FaultPlan::new()
+        .at_ms(2_000)
+        .partition(&[nodes[3]])
+        .schedule(&chaos);
+    net.engine().run_until(SimTime::from_secs(10));
+    assert_eq!(room.peers().len(), 2, "dead branch must be evicted");
+    measure(net.engine())
+}
+
+/// Eagerly reads OSDUs so receive credit keeps recycling.
+fn drive_reader(svc: cm_transport::TransportService, vc: cm_core::address::VcId) {
+    fn step(svc: cm_transport::TransportService, vc: cm_core::address::VcId) {
+        loop {
+            match svc.read_osdu(vc) {
+                Ok(Some(_)) => {}
+                Ok(None) => {
+                    let Ok(buf) = svc.recv_handle(vc) else { return };
+                    let now = svc.now();
+                    let svc2 = svc.clone();
+                    let engine = svc.network().engine().clone();
+                    buf.park_consumer(now, move || {
+                        engine.schedule_in(SimDuration::ZERO, move |_| step(svc2, vc));
+                    });
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+    step(svc, vc);
+}
+
+/// Continuously writes OSDUs as fast as the send buffer allows.
+fn drive_writer(svc: cm_transport::TransportService, vc: cm_core::address::VcId) {
+    fn step(svc: cm_transport::TransportService, vc: cm_core::address::VcId, written: u64) {
+        let mut written = written;
+        loop {
+            match svc.write_osdu(vc, cm_core::osdu::Payload::synthetic(written, 80), None) {
+                Ok(true) => written += 1,
+                Ok(false) => {
+                    let Ok(buf) = svc.send_handle(vc) else { return };
+                    let now = svc.now();
+                    let svc2 = svc.clone();
+                    let engine = svc.network().engine().clone();
+                    buf.park_producer(now, move || {
+                        engine.schedule_in(SimDuration::ZERO, move |_| step(svc2, vc, written));
+                    });
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+    step(svc, vc, 0);
+}
+
+struct ClassRow {
+    class: &'static str,
+    repair: &'static str,
+    samples_us: Vec<u64>,
+    episodes: usize,
+    lost_total: u64,
+}
+
+impl ClassRow {
+    fn run(class: &'static str, episodes: usize, ep: impl Fn(u64) -> Episode) -> ClassRow {
+        let mut samples = Vec::new();
+        let mut repair = "none";
+        let mut lost_total = 0;
+        for i in 0..episodes {
+            let e = ep(1_000 + 17 * i as u64);
+            let us = e
+                .recovery_us
+                .unwrap_or_else(|| panic!("{class} episode {i} never repaired"));
+            samples.push(us);
+            repair = e.repair;
+            lost_total += e.lost_pkts;
+        }
+        samples.sort_unstable();
+        ClassRow {
+            class,
+            repair,
+            samples_us: samples,
+            episodes,
+            lost_total,
+        }
+    }
+
+    fn pct(&self, p: f64) -> u64 {
+        let idx = ((self.samples_us.len() - 1) as f64 * p).round() as usize;
+        self.samples_us[idx]
+    }
+
+    fn json(&self) -> String {
+        let samples = self
+            .samples_us
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"repair_event\": \"{}\",\n",
+                "      \"episodes\": {},\n",
+                "      \"recovery_us\": [{}],\n",
+                "      \"p50_us\": {},\n",
+                "      \"p90_us\": {},\n",
+                "      \"max_us\": {},\n",
+                "      \"lost_pkts_total\": {}\n",
+                "    }}"
+            ),
+            self.class,
+            self.repair,
+            self.episodes,
+            samples,
+            self.pct(0.5),
+            self.pct(0.9),
+            self.pct(1.0),
+            self.lost_total,
+        )
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_chaos.json".to_string());
+    let episodes = if smoke { 2 } else { 8 };
+
+    let rows = [
+        ClassRow::run("link_down", episodes, link_down_episode),
+        ClassRow::run("partition", episodes, partition_episode),
+        ClassRow::run("node_crash", episodes, node_crash_episode),
+        ClassRow::run("reservation_revoked", episodes, revocation_episode),
+    ];
+
+    for r in &rows {
+        println!(
+            "{:<20} {:>2} episodes  repair {:<14} p50 {:>8} us  p90 {:>8} us  max {:>8} us  lost {:>4} pkts",
+            r.class,
+            r.episodes,
+            r.repair,
+            r.pct(0.5),
+            r.pct(0.9),
+            r.pct(1.0),
+            r.lost_total,
+        );
+    }
+
+    let body = rows
+        .iter()
+        .map(ClassRow::json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"chaos_recovery\",\n  \"mode\": \"{}\",\n  \"episodes_per_class\": {},\n  \"classes\": {{\n{}\n  }}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        episodes,
+        body
+    );
+    std::fs::write(&out, json).expect("write bench json");
+    println!("results written to {out}");
+}

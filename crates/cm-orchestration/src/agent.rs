@@ -13,7 +13,7 @@
 //! `Orch.Delayed`.
 
 use crate::clock_sync::ClockSync;
-use crate::llo::{Llo, OrchObserver, RegulateIndication};
+use crate::llo::{Llo, OrchObserver, RegulateIndication, RemoteVc};
 use crate::msg::IntervalId;
 use crate::policy::{FailureAction, OrchestrationPolicy};
 use cm_core::address::{OrchSessionId, VcId};
@@ -128,6 +128,10 @@ struct AgentState {
     /// Optional common epoch on the reference timeline (lets independent
     /// agents align their ideal-position timelines).
     epoch: Option<SimTime>,
+    /// Endpoint facts for VCs with no end at this node (§7 extension):
+    /// layout and rate for the LLO and target computation, plus the
+    /// pipeline backlog to preserve. Supplied by the elector.
+    remote: BTreeMap<VcId, (RemoteVc, Rate, u64)>,
 }
 
 struct AgentInner {
@@ -200,6 +204,7 @@ impl HloAgent {
                     on_event: None,
                     time_ref: None,
                     epoch: None,
+                    remote: BTreeMap::new(),
                 }),
             }),
         }
@@ -213,6 +218,25 @@ impl HloAgent {
     /// The LLO this agent drives.
     pub fn llo(&self) -> &Llo {
         &self.inner.llo
+    }
+
+    /// The policy this agent runs.
+    pub fn policy(&self) -> &OrchestrationPolicy {
+        &self.inner.policy
+    }
+
+    /// Whether the regulation loop is currently running.
+    pub fn is_running(&self) -> bool {
+        self.inner.state.borrow().running
+    }
+
+    /// The session's effective media epoch on the master timeline: the
+    /// start instant advanced past every pause. A supervisor checkpoints
+    /// this so a re-elected agent continues the ideal-position timeline
+    /// instead of restarting it from zero (DESIGN.md §9).
+    pub fn effective_epoch(&self) -> Option<SimTime> {
+        let st = self.inner.state.borrow();
+        st.master_start.map(|s| s + st.total_paused)
     }
 
     /// Use `reference` node's clock (read through `cs`'s offset estimate)
@@ -244,17 +268,33 @@ impl HloAgent {
         }
     }
 
+    /// Supply endpoint facts for a VC with no end at this node (§7): its
+    /// layout and rate (the local transport cannot resolve it) and the
+    /// current pipeline backlog, so regulation preserves rather than
+    /// drains the in-flight data. Call before [`HloAgent::setup`].
+    pub fn hint_remote(&self, vc: VcId, ends: RemoteVc, rate: Rate, pipeline_setpoint: u64) {
+        self.inner
+            .state
+            .borrow_mut()
+            .remote
+            .insert(vc, (ends, rate, pipeline_setpoint));
+    }
+
     /// Establish the orchestration session over `vcs` (table 4). Each VC
-    /// must have one end at this node.
+    /// must have one end at this node, or endpoint facts supplied via
+    /// [`HloAgent::hint_remote`] (§7 extension).
     pub fn setup(&self, vcs: &[VcId], done: impl FnOnce(Result<(), OrchDenyReason>) + 'static) {
-        {
+        let remote_ends = {
             let mut st = self.inner.state.borrow_mut();
             for &vc in vcs {
+                let hint = st.remote.get(&vc).copied();
                 let rate = self
                     .inner
                     .llo
                     .service()
                     .osdu_rate(vc)
+                    .ok()
+                    .or(hint.map(|(_, r, _)| r))
                     .unwrap_or(Rate::per_second(1));
                 st.vcs.insert(
                     vc,
@@ -263,15 +303,19 @@ impl HloAgent {
                         last_charged: 0,
                         last_sink: 0,
                         misses: 0,
-                        pipeline_setpoint: None,
+                        pipeline_setpoint: hint.map(|(_, _, sp)| sp),
                     },
                 );
             }
-        }
+            st.remote
+                .iter()
+                .map(|(&vc, &(ends, _, _))| (vc, ends))
+                .collect::<BTreeMap<_, _>>()
+        };
         let observer = Rc::new(AgentObserver(self.inner.clone()));
         self.inner
             .llo
-            .orch_request(self.inner.session, vcs, observer, done);
+            .orch_request(self.inner.session, vcs, &remote_ends, observer, done);
     }
 
     /// `Orch.Prime` the whole group (fig. 7).

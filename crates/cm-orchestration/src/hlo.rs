@@ -8,13 +8,99 @@
 //! application drives the on-going session.
 
 use crate::agent::HloAgent;
-use crate::llo::Llo;
+use crate::llo::{Llo, RemoteVc};
 use crate::policy::OrchestrationPolicy;
 use cm_core::address::{NetAddr, OrchSessionId, VcId};
 use cm_core::error::OrchDenyReason;
+use cm_core::time::Rate;
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// Locate the endpoints of `vc` by asking the registered LLOs.
+pub(crate) fn vc_endpoints(llos: &BTreeMap<NetAddr, Llo>, vc: VcId) -> Option<(NetAddr, NetAddr)> {
+    for llo in llos.values() {
+        if let Ok(triple) = llo.service().triple(vc) {
+            return Some((triple.source.node, triple.destination.node));
+        }
+    }
+    None
+}
+
+/// The fig.-5 election over an LLO registry: the node common to the
+/// greatest number of VCs, skipping `exclude`d (e.g. dead) candidates.
+/// With the common-node restriction in force the winner must touch every
+/// VC.
+pub(crate) fn elect_node(
+    llos: &BTreeMap<NetAddr, Llo>,
+    vcs: &[VcId],
+    exclude: &[NetAddr],
+    allow_no_common_node: bool,
+) -> Result<NetAddr, OrchDenyReason> {
+    let mut counts: BTreeMap<NetAddr, usize> = BTreeMap::new();
+    for &vc in vcs {
+        let (src, dst) = vc_endpoints(llos, vc).ok_or(OrchDenyReason::NoSuchVc)?;
+        *counts.entry(src).or_default() += 1;
+        if dst != src {
+            *counts.entry(dst).or_default() += 1;
+        }
+    }
+    let (&node, &count) = counts
+        .iter()
+        .filter(|&(n, _)| !exclude.contains(n) && llos.contains_key(n))
+        .max_by_key(|&(n, c)| (*c, std::cmp::Reverse(n.0)))
+        .ok_or(OrchDenyReason::NoSuchVc)?;
+    if count < vcs.len() && !allow_no_common_node {
+        return Err(OrchDenyReason::NoCommonNode);
+    }
+    Ok(node)
+}
+
+/// Gather §7 endpoint facts for every VC in `vcs` that has no end at
+/// `node`: layout and rate from an endpoint's transport entity, plus the
+/// current pipeline backlog (source charge point minus sink delivery
+/// point) so regulation preserves in-flight data. Feed the results to
+/// [`HloAgent::hint_remote`] before `setup`.
+pub(crate) fn remote_hints(
+    llos: &BTreeMap<NetAddr, Llo>,
+    node: NetAddr,
+    vcs: &[VcId],
+) -> Vec<(VcId, RemoteVc, Rate, u64)> {
+    let mut out = Vec::new();
+    for &vc in vcs {
+        if llos
+            .get(&node)
+            .is_some_and(|l| l.service().role(vc).is_ok())
+        {
+            continue; // local end: the LLO resolves it itself
+        }
+        let Some((src, dst)) = vc_endpoints(llos, vc) else {
+            continue;
+        };
+        let src_svc = llos.get(&src).map(|l| l.service());
+        let rate = src_svc
+            .and_then(|s| s.osdu_rate(vc).ok())
+            .unwrap_or(Rate::per_second(1));
+        let charged = src_svc
+            .and_then(|s| s.source_progress(vc).ok())
+            .map(|(charged, _, _)| charged)
+            .unwrap_or(0);
+        let delivered = llos
+            .get(&dst)
+            .and_then(|l| l.service().sink_delivery_point(vc).ok())
+            .unwrap_or(charged);
+        out.push((
+            vc,
+            RemoteVc {
+                source: src,
+                sink: dst,
+            },
+            rate,
+            charged.saturating_sub(delivered),
+        ));
+    }
+    out
+}
 
 /// Domain-wide HLO: knows every node's LLO instance.
 pub struct Hlo {
@@ -46,36 +132,16 @@ impl Hlo {
         self.llos.get(&node)
     }
 
-    /// Locate the endpoints of `vc` by asking the registered LLOs.
-    fn endpoints(&self, vc: VcId) -> Option<(NetAddr, NetAddr)> {
-        for llo in self.llos.values() {
-            if let Ok(triple) = llo.service().triple(vc) {
-                return Some((triple.source.node, triple.destination.node));
-            }
-        }
-        None
+    /// Every registered LLO (supervision snapshots these).
+    pub fn llos(&self) -> Vec<Llo> {
+        self.llos.values().cloned().collect()
     }
 
     /// Choose the orchestrating node: the node common to the greatest
     /// number of VCs (fig. 5). With the common-node restriction in force
     /// (§5 footnote) the chosen node must touch *every* VC.
     pub fn pick_orchestrating_node(&self, vcs: &[VcId]) -> Result<NetAddr, OrchDenyReason> {
-        let mut counts: BTreeMap<NetAddr, usize> = BTreeMap::new();
-        for &vc in vcs {
-            let (src, dst) = self.endpoints(vc).ok_or(OrchDenyReason::NoSuchVc)?;
-            *counts.entry(src).or_default() += 1;
-            if dst != src {
-                *counts.entry(dst).or_default() += 1;
-            }
-        }
-        let (&node, &count) = counts
-            .iter()
-            .max_by_key(|&(n, c)| (*c, std::cmp::Reverse(n.0)))
-            .ok_or(OrchDenyReason::NoSuchVc)?;
-        if count < vcs.len() && !self.allow_no_common_node.get() {
-            return Err(OrchDenyReason::NoCommonNode);
-        }
-        Ok(node)
+        elect_node(&self.llos, vcs, &[], self.allow_no_common_node.get())
     }
 
     /// Create an orchestration session over `vcs` with `policy`: pick the
@@ -97,6 +163,9 @@ impl Hlo {
         let session = OrchSessionId(self.next_session.get());
         self.next_session.set(session.0 + 1);
         let agent = HloAgent::new(llo, session, policy);
+        for (vc, ends, rate, setpoint) in remote_hints(&self.llos, node, vcs) {
+            agent.hint_remote(vc, ends, rate, setpoint);
+        }
         agent.setup(vcs, done);
         Ok(agent)
     }
@@ -118,6 +187,9 @@ impl Hlo {
         let session = OrchSessionId(self.next_session.get());
         self.next_session.set(session.0 + 1);
         let agent = HloAgent::new(llo, session, policy);
+        for (vc, ends, rate, setpoint) in remote_hints(&self.llos, node, vcs) {
+            agent.hint_remote(vc, ends, rate, setpoint);
+        }
         let started = Rc::new(std::cell::RefCell::new(Some(
             Box::new(started) as Box<dyn FnOnce(Result<(), OrchDenyReason>)>
         )));

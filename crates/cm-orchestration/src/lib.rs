@@ -25,10 +25,12 @@ pub mod hlo;
 pub mod llo;
 pub mod msg;
 pub mod policy;
+pub mod supervise;
 
 pub use agent::{AgentAction, Bottleneck, HloAgent, IntervalRecord};
 pub use clock_sync::{ClockSync, OffsetSample};
 pub use hlo::Hlo;
-pub use llo::{Llo, OrchAppHandler, OrchObserver, RegulateIndication};
+pub use llo::{Llo, OrchAppHandler, OrchObserver, RegulateIndication, RemoteVc};
 pub use msg::{IntervalId, OrchMsg, ORCH_TSAP};
 pub use policy::{FailureAction, OrchestrationPolicy};
+pub use supervise::{Supervisor, SupervisorConfig};

@@ -114,10 +114,41 @@ struct PendingInterval {
     sink: Option<EndStats>,
 }
 
+/// Where the ends of an orchestrated VC live relative to this node.
+#[derive(Debug, Clone, Copy)]
+enum VcEnds {
+    /// One end is local (the common-node case, §5).
+    Local { role: VcRole, peer: NetAddr },
+    /// Both ends are elsewhere — the §7 no-common-node extension. Only
+    /// the orchestrating node holds such entries; every command and
+    /// every statistic travels as OPDUs to/from both ends.
+    Remote { source: NetAddr, sink: NetAddr },
+}
+
+impl VcEnds {
+    /// Every far node holding an end of the VC (one or two).
+    fn far_nodes(&self) -> impl Iterator<Item = NetAddr> {
+        let (a, b) = match *self {
+            VcEnds::Local { peer, .. } => (peer, None),
+            VcEnds::Remote { source, sink } => (source, Some(sink)),
+        };
+        std::iter::once(a).chain(b)
+    }
+}
+
+/// Endpoint facts for a VC orchestrated with no local end (§7): supplied
+/// by whoever elected this node (the HLO or a supervisor), since the
+/// local transport entity cannot resolve the VC itself.
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteVc {
+    /// Node holding the source end.
+    pub source: NetAddr,
+    /// Node holding the sink end.
+    pub sink: NetAddr,
+}
+
 struct VcOrchState {
-    role: VcRole,
-    /// Node of the far end.
-    peer: NetAddr,
+    ends: VcEnds,
     /// Event patterns registered at this (sink) end.
     patterns: Vec<u64>,
     /// Scheduled spread-drop events for the current interval.
@@ -260,14 +291,17 @@ impl Llo {
     // Orchestrating-node primitives (called by the HLO agent)
     // ==================================================================
 
-    /// `Orch.request` (table 4): create a session over `vcs`. Every VC
-    /// must have one end at this node (the common-node restriction, §5).
-    /// The outcome arrives through `done` (`Orch.confirm` /
+    /// `Orch.request` (table 4): create a session over `vcs`. Under the
+    /// common-node restriction (§5) every VC has one end at this node;
+    /// a VC without a local end is accepted when `remote` supplies its
+    /// endpoint facts (the §7 no-common-node extension). The outcome
+    /// arrives through `done` (`Orch.confirm` /
     /// `Orch.Release.indication`).
     pub fn orch_request(
         &self,
         session: OrchSessionId,
         vcs: &[VcId],
+        remote: &BTreeMap<VcId, RemoteVc>,
         observer: Rc<dyn OrchObserver>,
         done: impl FnOnce(Result<(), OrchDenyReason>) + 'static,
     ) {
@@ -275,7 +309,8 @@ impl Llo {
             done(Err(OrchDenyReason::NoSuchVc));
             return;
         }
-        // Validate locally first.
+        // Validate locally first; a VC with no local end must come with
+        // endpoint facts (§7 extension), else it is unresolvable here.
         let mut ends = Vec::new();
         for &vc in vcs {
             match (self.inner.svc.role(vc), self.inner.svc.triple(vc)) {
@@ -284,14 +319,31 @@ impl Llo {
                         VcRole::Source => triple.destination.node,
                         VcRole::Sink => triple.source.node,
                     };
-                    ends.push((vc, role, peer));
+                    ends.push((vc, VcEnds::Local { role, peer }));
                 }
-                _ => {
-                    done(Err(OrchDenyReason::NoSuchVc));
-                    return;
-                }
+                _ => match remote.get(&vc) {
+                    Some(r) => ends.push((
+                        vc,
+                        VcEnds::Remote {
+                            source: r.source,
+                            sink: r.sink,
+                        },
+                    )),
+                    None => {
+                        done(Err(OrchDenyReason::NoSuchVc));
+                        return;
+                    }
+                },
             }
         }
+        // One ack per far end: local VCs have one, remote VCs have two.
+        let acks: usize = ends
+            .iter()
+            .map(|(_, e)| match e {
+                VcEnds::Local { .. } => 1,
+                VcEnds::Remote { .. } => 2,
+            })
+            .sum();
         {
             let mut st = self.inner.state.borrow_mut();
             if st.sessions.len() >= st.max_sessions {
@@ -299,12 +351,11 @@ impl Llo {
                 return;
             }
             let mut vcs_map = BTreeMap::new();
-            for &(vc, role, peer) in &ends {
+            for &(vc, e) in &ends {
                 vcs_map.insert(
                     vc,
                     VcOrchState {
-                        role,
-                        peer,
+                        ends: e,
                         patterns: Vec::new(),
                         drop_events: Vec::new(),
                         release_events: Vec::new(),
@@ -322,7 +373,7 @@ impl Llo {
                     pending_op: None,
                     pending_intervals: BTreeMap::new(),
                     observer: Some(observer),
-                    pending_setup: Some((ends.len(), Box::new(done))),
+                    pending_setup: Some((acks, Box::new(done))),
                 },
             );
         }
@@ -331,22 +382,38 @@ impl Llo {
             node: self.node(),
             tsap: ORCH_TSAP,
         };
-        for (vc, _role, peer) in ends {
-            let _ = self.inner.svc.register_tap(
-                vc,
-                Rc::new(LloTap {
-                    llo: self.clone(),
-                    session,
-                }),
-            );
-            self.send_opdu(
-                peer,
-                OrchMsg::SessionReq {
-                    session,
-                    vc,
-                    orchestrator: me,
-                },
-            );
+        for (vc, e) in ends {
+            match e {
+                VcEnds::Local { peer, .. } => {
+                    let _ = self.inner.svc.register_tap(
+                        vc,
+                        Rc::new(LloTap {
+                            llo: self.clone(),
+                            session,
+                        }),
+                    );
+                    self.send_opdu(
+                        peer,
+                        OrchMsg::SessionReq {
+                            session,
+                            vc,
+                            orchestrator: me,
+                        },
+                    );
+                }
+                VcEnds::Remote { source, sink } => {
+                    for node in [source, sink] {
+                        self.send_opdu(
+                            node,
+                            OrchMsg::SessionReq {
+                                session,
+                                vc,
+                                orchestrator: me,
+                            },
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -364,7 +431,7 @@ impl Llo {
                             engine.cancel(*ev);
                         }
                     }
-                    s.vcs.values().map(|v| v.peer).collect()
+                    s.vcs.values().flat_map(|v| v.ends.far_nodes()).collect()
                 }
                 None => return,
             }
@@ -379,7 +446,7 @@ impl Llo {
         session: OrchSessionId,
         kind: GroupOpKind,
         done: impl FnOnce(Result<(), OrchDenyReason>) + 'static,
-    ) -> Option<Vec<(VcId, VcRole, NetAddr)>> {
+    ) -> Option<Vec<(VcId, VcEnds)>> {
         let mut st = self.inner.state.borrow_mut();
         let s = match st.sessions.get_mut(&session) {
             Some(s) => s,
@@ -394,19 +461,12 @@ impl Llo {
             s.pending_op.is_none(),
             "overlapping group operations on {session}"
         );
-        let ends: Vec<(VcId, VcRole, NetAddr)> =
-            s.vcs.iter().map(|(&vc, v)| (vc, v.role, v.peer)).collect();
-        // Each VC contributes two acks: its local end and its remote end.
+        let ends: Vec<(VcId, VcEnds)> = s.vcs.iter().map(|(&vc, v)| (vc, v.ends)).collect();
+        // Each VC contributes two acks, one per end (local or not).
         let mut waiting = Vec::new();
-        for &(vc, role, _) in &ends {
-            waiting.push((vc, role));
-            waiting.push((
-                vc,
-                match role {
-                    VcRole::Source => VcRole::Sink,
-                    VcRole::Sink => VcRole::Source,
-                },
-            ));
+        for &(vc, _) in &ends {
+            waiting.push((vc, VcRole::Source));
+            waiting.push((vc, VcRole::Sink));
         }
         s.pending_op = Some(PendingGroupOp {
             kind,
@@ -429,11 +489,13 @@ impl Llo {
         let Some(ends) = self.begin_group_op(session, GroupOpKind::Prime, done) else {
             return;
         };
-        for (vc, role, peer) in ends {
-            // Local end.
-            self.prime_local_end(session, vc, role);
-            // Remote end.
-            self.send_opdu(peer, OrchMsg::Prime { session, vc });
+        for (vc, e) in ends {
+            if let VcEnds::Local { role, .. } = e {
+                self.prime_local_end(session, vc, role);
+            }
+            for node in e.far_nodes() {
+                self.send_opdu(node, OrchMsg::Prime { session, vc });
+            }
         }
     }
 
@@ -447,9 +509,13 @@ impl Llo {
         let Some(ends) = self.begin_group_op(session, GroupOpKind::Start, done) else {
             return;
         };
-        for (vc, role, peer) in ends {
-            self.start_local_end(session, vc, role);
-            self.send_opdu(peer, OrchMsg::Start { session, vc });
+        for (vc, e) in ends {
+            if let VcEnds::Local { role, .. } = e {
+                self.start_local_end(session, vc, role);
+            }
+            for node in e.far_nodes() {
+                self.send_opdu(node, OrchMsg::Start { session, vc });
+            }
         }
     }
 
@@ -463,9 +529,13 @@ impl Llo {
         let Some(ends) = self.begin_group_op(session, GroupOpKind::Stop, done) else {
             return;
         };
-        for (vc, role, peer) in ends {
-            self.stop_local_end(session, vc, role);
-            self.send_opdu(peer, OrchMsg::Stop { session, vc });
+        for (vc, e) in ends {
+            if let VcEnds::Local { role, .. } = e {
+                self.stop_local_end(session, vc, role);
+            }
+            for node in e.far_nodes() {
+                self.send_opdu(node, OrchMsg::Stop { session, vc });
+            }
         }
     }
 
@@ -503,8 +573,7 @@ impl Llo {
             s.vcs.insert(
                 vc,
                 VcOrchState {
-                    role,
-                    peer,
+                    ends: VcEnds::Local { role, peer },
                     patterns: Vec::new(),
                     drop_events: Vec::new(),
                     release_events: Vec::new(),
@@ -538,7 +607,7 @@ impl Llo {
     /// `Orch.Remove.request` (table 5): detach a VC from the session.
     /// Data may keep flowing — the VC is simply no longer co-ordinated.
     pub fn remove_vc(&self, session: OrchSessionId, vc: VcId) {
-        let peer = {
+        let far: Vec<NetAddr> = {
             let mut st = self.inner.state.borrow_mut();
             let Some(s) = st.sessions.get_mut(&session) else {
                 return;
@@ -550,13 +619,13 @@ impl Llo {
                     for ev in vs.drop_events.iter().chain(&vs.release_events) {
                         engine.cancel(*ev);
                     }
-                    Some(vs.peer)
+                    vs.ends.far_nodes().collect()
                 }
-                None => None,
+                None => Vec::new(),
             }
         };
-        if let Some(peer) = peer {
-            self.inner.svc.clear_tap(vc);
+        self.inner.svc.clear_tap(vc);
+        for peer in far {
             self.send_opdu(
                 peer,
                 OrchMsg::Release {
@@ -586,7 +655,7 @@ impl Llo {
         spread_drops: bool,
         interval_len: SimDuration,
     ) {
-        let (role, peer) = {
+        let ends = {
             let mut st = self.inner.state.borrow_mut();
             let Some(s) = st.sessions.get_mut(&session) else {
                 return;
@@ -600,10 +669,13 @@ impl Llo {
                     sink: None,
                 },
             );
-            (vs.role, vs.peer)
+            vs.ends
         };
-        match role {
-            VcRole::Source => {
+        match ends {
+            VcEnds::Local {
+                role: VcRole::Source,
+                peer,
+            } => {
                 // Compensation + source stats locally; release pacing and
                 // sink stats at the remote sink.
                 self.apply_compensation(
@@ -627,7 +699,10 @@ impl Llo {
                     },
                 );
             }
-            VcRole::Sink => {
+            VcEnds::Local {
+                role: VcRole::Sink,
+                peer,
+            } => {
                 // Source side is remote: ship the compensation there; pace
                 // release locally.
                 self.pace_release(session, vc, sink_target, interval_len);
@@ -642,6 +717,34 @@ impl Llo {
                         max_drop,
                         max_rate_ppt,
                         spread_drops,
+                        interval_len,
+                    },
+                );
+            }
+            VcEnds::Remote { source, sink } => {
+                // §7: both ends are elsewhere — ship the compensation to
+                // the source and the pacing to the sink; both halves of
+                // the statistics come back as IntervalReports.
+                self.send_opdu(
+                    source,
+                    OrchMsg::Regulate {
+                        session,
+                        vc,
+                        interval,
+                        target_osdu: source_target,
+                        max_drop,
+                        max_rate_ppt,
+                        spread_drops,
+                        interval_len,
+                    },
+                );
+                self.send_opdu(
+                    sink,
+                    OrchMsg::StatRequest {
+                        session,
+                        vc,
+                        interval,
+                        target_osdu: sink_target,
                         interval_len,
                     },
                 );
@@ -706,48 +809,62 @@ impl Llo {
     /// `Orch.Delayed.request` (table 6, §6.3.3): tell the application
     /// thread at `end` of `vc` that it is `osdus_behind` too slow.
     pub fn delayed(&self, session: OrchSessionId, vc: VcId, end: VcRole, osdus_behind: u64) {
-        let (role, peer) = {
+        let ends = {
             let st = self.inner.state.borrow();
             let Some(s) = st.sessions.get(&session) else {
                 return;
             };
             let Some(vs) = s.vcs.get(&vc) else { return };
-            (vs.role, vs.peer)
+            vs.ends
         };
-        if role == end {
-            // Local application thread.
-            let ok = self.indicate_delayed(session, vc, osdus_behind);
-            self.notify_delayed_response(session, vc, !ok);
-        } else {
-            self.send_opdu(
-                peer,
-                OrchMsg::Delayed {
-                    session,
-                    vc,
-                    osdus_behind,
-                },
-            );
-        }
+        let remote_node = match ends {
+            VcEnds::Local { role, .. } if role == end => {
+                // Local application thread.
+                let ok = self.indicate_delayed(session, vc, osdus_behind);
+                self.notify_delayed_response(session, vc, !ok);
+                return;
+            }
+            VcEnds::Local { peer, .. } => peer,
+            VcEnds::Remote { source, sink } => match end {
+                VcRole::Source => source,
+                VcRole::Sink => sink,
+            },
+        };
+        self.send_opdu(
+            remote_node,
+            OrchMsg::Delayed {
+                session,
+                vc,
+                osdus_behind,
+            },
+        );
     }
 
     /// `Orch.Event.request` (table 6, §6.3.4): match `pattern` against the
     /// event fields of OSDUs arriving at `vc`'s sink.
     pub fn register_event(&self, session: OrchSessionId, vc: VcId, pattern: u64) {
-        let (role, peer) = {
+        let sink_node = {
             let mut st = self.inner.state.borrow_mut();
             let Some(s) = st.sessions.get_mut(&session) else {
                 return;
             };
             let Some(vs) = s.vcs.get_mut(&vc) else { return };
-            if vs.role == VcRole::Sink {
-                vs.patterns.push(pattern);
-                return;
+            match vs.ends {
+                VcEnds::Local {
+                    role: VcRole::Sink, ..
+                } => {
+                    vs.patterns.push(pattern);
+                    return;
+                }
+                VcEnds::Local {
+                    role: VcRole::Source,
+                    peer,
+                } => peer,
+                VcEnds::Remote { sink, .. } => sink,
             }
-            (vs.role, vs.peer)
         };
-        debug_assert_eq!(role, VcRole::Source);
         self.send_opdu(
-            peer,
+            sink_node,
             OrchMsg::EventReg {
                 session,
                 vc,
@@ -758,16 +875,18 @@ impl Llo {
 
     /// Flush both ends of a VC (stop + seek support, §6.2.1).
     pub fn flush_vc(&self, session: OrchSessionId, vc: VcId) {
-        let peer = {
+        let far: Vec<NetAddr> = {
             let st = self.inner.state.borrow();
             let Some(s) = st.sessions.get(&session) else {
                 return;
             };
             let Some(vs) = s.vcs.get(&vc) else { return };
-            vs.peer
+            vs.ends.far_nodes().collect()
         };
         let _ = self.inner.svc.flush_local(vc);
-        self.send_opdu(peer, OrchMsg::Flush { session, vc });
+        for node in far {
+            self.send_opdu(node, OrchMsg::Flush { session, vc });
+        }
     }
 
     // ==================================================================
@@ -1258,6 +1377,29 @@ impl Llo {
     // OPDU dispatch (remote-LLO side + ack collection)
     // ==================================================================
 
+    /// The role of the far end that sent an ack/report for `vc` — derived
+    /// from our stored end layout (and, for §7 remote VCs, the sender's
+    /// address, since we hold no end ourselves).
+    fn sender_end(&self, session: OrchSessionId, vc: VcId, from: NetAddr) -> Option<VcRole> {
+        let st = self.inner.state.borrow();
+        let vs = st.sessions.get(&session)?.vcs.get(&vc)?;
+        match vs.ends {
+            VcEnds::Local { role, .. } => Some(match role {
+                VcRole::Source => VcRole::Sink,
+                VcRole::Sink => VcRole::Source,
+            }),
+            VcEnds::Remote { source, sink } => {
+                if from == source {
+                    Some(VcRole::Source)
+                } else if from == sink {
+                    Some(VcRole::Sink)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     fn on_opdu(&self, from: TransportAddr, msg: OrchMsg) {
         match msg {
             OrchMsg::SessionReq {
@@ -1298,12 +1440,7 @@ impl Llo {
                 vc,
                 result,
             } => {
-                // The remote end's role is the opposite of ours.
-                if let Ok(local_role) = self.inner.svc.role(vc) {
-                    let end = match local_role {
-                        VcRole::Source => VcRole::Sink,
-                        VcRole::Sink => VcRole::Source,
-                    };
+                if let Some(end) = self.sender_end(session, vc, from.node) {
                     self.collect_ack(session, vc, end, GroupOpKind::Prime, result);
                 }
             }
@@ -1313,11 +1450,7 @@ impl Llo {
                 }
             }
             OrchMsg::StartAck { session, vc } => {
-                if let Ok(local_role) = self.inner.svc.role(vc) {
-                    let end = match local_role {
-                        VcRole::Source => VcRole::Sink,
-                        VcRole::Sink => VcRole::Source,
-                    };
+                if let Some(end) = self.sender_end(session, vc, from.node) {
                     self.collect_ack(session, vc, end, GroupOpKind::Start, Ok(()));
                 }
             }
@@ -1327,11 +1460,7 @@ impl Llo {
                 }
             }
             OrchMsg::StopAck { session, vc } => {
-                if let Ok(local_role) = self.inner.svc.role(vc) {
-                    let end = match local_role {
-                        VcRole::Source => VcRole::Sink,
-                        VcRole::Sink => VcRole::Source,
-                    };
+                if let Some(end) = self.sender_end(session, vc, from.node) {
                     self.collect_ack(session, vc, end, GroupOpKind::Stop, Ok(()));
                 }
             }
@@ -1372,13 +1501,9 @@ impl Llo {
                 interval,
                 stats,
             } => {
-                // Arriving at the orchestrating node: the reporting end's
-                // role is the opposite of our local role.
-                if let Ok(local_role) = self.inner.svc.role(vc) {
-                    let end = match local_role {
-                        VcRole::Source => VcRole::Sink,
-                        VcRole::Sink => VcRole::Source,
-                    };
+                // Arriving at the orchestrating node: attribute the half
+                // to whichever far end sent it.
+                if let Some(end) = self.sender_end(session, vc, from.node) {
                     self.accept_interval_stats(session, vc, interval, end, stats);
                 }
             }
@@ -1475,8 +1600,7 @@ impl Llo {
             s.vcs.insert(
                 vc,
                 VcOrchState {
-                    role,
-                    peer,
+                    ends: VcEnds::Local { role, peer },
                     patterns: Vec::new(),
                     drop_events: Vec::new(),
                     release_events: Vec::new(),

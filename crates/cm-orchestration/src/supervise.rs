@@ -1,0 +1,350 @@
+//! Orchestrator supervision: dead-node detection and re-election
+//! (DESIGN.md §9).
+//!
+//! The orchestrating node is a single point of failure: every regulation
+//! target and every end-of-interval indication flows through it (fig. 6).
+//! A [`Supervisor`] watches a session from outside the orchestrating
+//! node and restores regulation when that node dies:
+//!
+//! - **Detection signal** — regulation indications normally complete
+//!   every policy interval (both stat halves folded). The supervisor
+//!   samples the watched agent's indication count each interval; after
+//!   [`SupervisorConfig::patience`] intervals with no growth while the
+//!   session is running, the orchestrating node is suspect.
+//! - **Evidence gate** — as in the transport healer, the triggering
+//!   signal alone is ambiguous (a congested network also stalls
+//!   indications). The supervisor confirms against the infrastructure:
+//!   it re-elects only when the orchestrating node is actually down;
+//!   otherwise the stall counter resets and regulation is left to the
+//!   agent's own escalation machinery.
+//! - **Repair** — re-run the fig.-5 election over the surviving LLOs
+//!   (the dead node excluded, VCs with a dead endpoint dropped), create
+//!   a fresh agent there under a new session id, seed it with the
+//!   checkpointed media epoch so the ideal-position timeline continues
+//!   rather than restarting, and start it. Telemetry: `hlo.reelect`.
+//! - **Bounded give-up** — after [`SupervisorConfig::max_reelections`]
+//!   re-elections, or when no eligible candidate survives, supervision
+//!   stops and `hlo.reelect.giveup` is recorded.
+
+use crate::agent::HloAgent;
+use crate::hlo::{elect_node, remote_hints, vc_endpoints, Hlo};
+use crate::llo::Llo;
+use crate::policy::OrchestrationPolicy;
+use cm_core::address::{NetAddr, OrchSessionId, VcId};
+use cm_core::time::SimTime;
+use cm_telemetry::{Layer, Telemetry};
+use netsim::PeriodicTimer;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Supervision tuning.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Regulation intervals with no new indication before the
+    /// orchestrating node is suspected dead.
+    pub patience: u32,
+    /// Re-elections performed before supervision gives up.
+    pub max_reelections: u32,
+    /// Allow the re-elected node to touch only some surviving VCs (the
+    /// §7 no-common-node extension; the original session must have been
+    /// created with the same relaxation).
+    pub allow_no_common_node: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            patience: 3,
+            max_reelections: 4,
+            allow_no_common_node: false,
+        }
+    }
+}
+
+/// Callback invoked with the replacement agent after a re-election.
+type ReelectHook = Box<dyn Fn(&HloAgent)>;
+
+struct SupState {
+    agent: HloAgent,
+    vcs: Vec<VcId>,
+    /// Indication count at the last healthy sample.
+    last_count: usize,
+    stalls: u32,
+    reelections: u32,
+    /// Checkpointed media epoch (refreshed while the agent is healthy).
+    epoch: Option<SimTime>,
+    next_session: u64,
+    timer: Option<PeriodicTimer>,
+    on_reelect: Option<ReelectHook>,
+    stopped: bool,
+}
+
+struct SupInner {
+    llos: BTreeMap<NetAddr, Llo>,
+    policy: OrchestrationPolicy,
+    cfg: SupervisorConfig,
+    tel: Telemetry,
+    state: RefCell<SupState>,
+}
+
+/// Watches one orchestration session and re-elects the orchestrating
+/// node when it dies. Clones share the supervisor.
+#[derive(Clone)]
+pub struct Supervisor {
+    inner: Rc<SupInner>,
+}
+
+impl Hlo {
+    /// Supervise `agent`'s session: detect a dead orchestrating node by
+    /// missed regulation indications and re-elect among this HLO's
+    /// surviving LLOs. The supervisor snapshots the LLO registry — nodes
+    /// added to the HLO later are not election candidates.
+    pub fn supervise(&self, agent: &HloAgent, vcs: &[VcId], cfg: SupervisorConfig) -> Supervisor {
+        Supervisor::watch(self.llos(), agent, vcs, cfg)
+    }
+}
+
+impl Supervisor {
+    /// Watch `agent` over the given candidate LLOs.
+    pub fn watch(
+        llos: impl IntoIterator<Item = Llo>,
+        agent: &HloAgent,
+        vcs: &[VcId],
+        cfg: SupervisorConfig,
+    ) -> Supervisor {
+        let llos: BTreeMap<NetAddr, Llo> = llos.into_iter().map(|l| (l.node(), l)).collect();
+        let policy = agent.policy().clone();
+        let tel = agent.llo().service().network().engine().telemetry().clone();
+        let sup = Supervisor {
+            inner: Rc::new(SupInner {
+                llos,
+                policy,
+                cfg,
+                tel,
+                state: RefCell::new(SupState {
+                    agent: agent.clone(),
+                    vcs: vcs.to_vec(),
+                    last_count: 0,
+                    stalls: 0,
+                    reelections: 0,
+                    epoch: None,
+                    next_session: agent.session().0 + 1_000,
+                    timer: None,
+                    on_reelect: None,
+                    stopped: false,
+                }),
+            }),
+        };
+        sup.arm();
+        sup
+    }
+
+    /// Install a callback fired with each re-elected agent (the
+    /// application swaps its control handle here).
+    pub fn on_reelect(&self, f: impl Fn(&HloAgent) + 'static) {
+        self.inner.state.borrow_mut().on_reelect = Some(Box::new(f));
+    }
+
+    /// The agent currently carrying the session.
+    pub fn current(&self) -> HloAgent {
+        self.inner.state.borrow().agent.clone()
+    }
+
+    /// Re-elections performed so far.
+    pub fn reelections(&self) -> u32 {
+        self.inner.state.borrow().reelections
+    }
+
+    /// Whether supervision has stopped (gave up or [`Supervisor::stop`]).
+    pub fn is_stopped(&self) -> bool {
+        self.inner.state.borrow().stopped
+    }
+
+    /// Stop supervising (the session itself is left alone).
+    pub fn stop(&self) {
+        let mut st = self.inner.state.borrow_mut();
+        st.stopped = true;
+        if let Some(t) = &st.timer {
+            t.disarm();
+        }
+    }
+
+    fn engine(&self) -> netsim::Engine {
+        self.inner
+            .llos
+            .values()
+            .next()
+            .expect("supervisor needs at least one LLO")
+            .service()
+            .network()
+            .engine()
+            .clone()
+    }
+
+    fn network(&self) -> netsim::Network {
+        self.inner
+            .llos
+            .values()
+            .next()
+            .expect("supervisor needs at least one LLO")
+            .service()
+            .network()
+            .clone()
+    }
+
+    fn arm(&self) {
+        let engine = self.engine();
+        let mut st = self.inner.state.borrow_mut();
+        if st.timer.is_none() {
+            let weak = Rc::downgrade(&self.inner);
+            st.timer = Some(PeriodicTimer::new(&engine, move |_| {
+                if let Some(inner) = weak.upgrade() {
+                    Supervisor { inner }.tick();
+                }
+            }));
+        }
+        st.timer
+            .as_ref()
+            .unwrap()
+            .arm_in(self.inner.policy.interval);
+    }
+
+    fn tick(&self) {
+        let (agent, suspect) = {
+            let mut st = self.inner.state.borrow_mut();
+            if st.stopped {
+                return;
+            }
+            let agent = st.agent.clone();
+            let count = agent.history().len();
+            let suspect = if !agent.is_running() {
+                // Deliberately stopped sessions produce no indications.
+                st.stalls = 0;
+                false
+            } else if count > st.last_count {
+                st.last_count = count;
+                st.stalls = 0;
+                if let Some(e) = agent.effective_epoch() {
+                    st.epoch = Some(e);
+                }
+                false
+            } else {
+                st.stalls += 1;
+                st.stalls >= self.inner.cfg.patience
+            };
+            (agent, suspect)
+        };
+        if suspect {
+            let dead = agent.llo().node();
+            if self.network().is_node_up(dead) {
+                // Signal without infrastructure evidence: the node is
+                // alive, the stall has some other cause (congestion, a
+                // wedged stream). Not the supervisor's failure class.
+                self.inner.state.borrow_mut().stalls = 0;
+            } else {
+                self.reelect(dead);
+            }
+        }
+        if !self.inner.state.borrow().stopped {
+            self.arm();
+        }
+    }
+
+    fn reelect(&self, dead: NetAddr) {
+        let net = self.network();
+        let now = self.engine().now();
+        // Drop VCs with an endpoint on a dead node — the transport layer
+        // owns their fate; regulation continues over the survivors.
+        let (survivors, epoch, give_up) = {
+            let st = self.inner.state.borrow();
+            let survivors: Vec<VcId> = st
+                .vcs
+                .iter()
+                .copied()
+                .filter(|&vc| {
+                    vc_endpoints(&self.inner.llos, vc)
+                        .map(|(s, d)| net.is_node_up(s) && net.is_node_up(d))
+                        .unwrap_or(false)
+                })
+                .collect();
+            let give_up = st.reelections >= self.inner.cfg.max_reelections;
+            (survivors, st.epoch, give_up)
+        };
+        let candidate = if give_up || survivors.is_empty() {
+            None
+        } else {
+            elect_node(
+                &self.inner.llos,
+                &survivors,
+                &[dead],
+                self.inner.cfg.allow_no_common_node,
+            )
+            .ok()
+            .filter(|&n| net.is_node_up(n))
+        };
+        let Some(node) = candidate else {
+            if self.inner.tel.enabled() {
+                self.inner.tel.count("hlo.reelect.giveup", 1);
+                self.inner
+                    .tel
+                    .instant(now, Layer::Orchestration, "hlo.reelect.giveup", |e| {
+                        e.u64("dead_node", dead.0 as u64)
+                            .u64("survivors", survivors.len() as u64);
+                    });
+            }
+            self.stop();
+            return;
+        };
+        let (old_session, session, agent) = {
+            let mut st = self.inner.state.borrow_mut();
+            let old = st.agent.clone();
+            let old_session = old.session();
+            // Quiesce the dead agent's local timers; its release
+            // messages die with the node.
+            old.release();
+            let session = OrchSessionId(st.next_session);
+            st.next_session += 1;
+            let llo = self.inner.llos[&node].clone();
+            let agent = HloAgent::new(llo, session, self.inner.policy.clone());
+            if let Some(e) = epoch {
+                agent.set_master_epoch(e);
+            }
+            // VCs the new node does not touch need §7 endpoint facts.
+            for (vc, ends, rate, setpoint) in remote_hints(&self.inner.llos, node, &survivors) {
+                agent.hint_remote(vc, ends, rate, setpoint);
+            }
+            st.agent = agent.clone();
+            st.vcs = survivors.clone();
+            st.last_count = 0;
+            st.stalls = 0;
+            st.reelections += 1;
+            (old_session, session, agent)
+        };
+        if self.inner.tel.enabled() {
+            self.inner.tel.count("hlo.reelect", 1);
+            self.inner
+                .tel
+                .instant(now, Layer::Orchestration, "hlo.reelect", |e| {
+                    e.u64("old_session", old_session.0)
+                        .u64("session", session.0)
+                        .u64("dead_node", dead.0 as u64)
+                        .u64("node", node.0 as u64)
+                        .u64("vcs", survivors.len() as u64);
+                });
+        }
+        // Streams are mid-flight: set up the session and start the
+        // regulation loop; no re-prime (the pipelines are full).
+        let a_start = agent.clone();
+        let me = self.clone();
+        agent.setup(&survivors, move |r| {
+            if r.is_ok() {
+                a_start.start(|_| {});
+                let st = me.inner.state.borrow();
+                if let Some(f) = &st.on_reelect {
+                    f(&st.agent);
+                }
+            }
+        });
+    }
+}

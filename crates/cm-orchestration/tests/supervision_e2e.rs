@@ -1,0 +1,216 @@
+//! Orchestrator supervision under node death (DESIGN.md §9): missed
+//! regulation indications flag the orchestrating node, the evidence gate
+//! separates congestion from death, and re-election moves the session to
+//! a surviving node — or gives up, typed, when nothing survives.
+
+use cm_core::media::MediaProfile;
+use cm_core::time::SimDuration;
+use cm_orchestration::{HloAgent, OrchestrationPolicy, SupervisorConfig};
+use cm_testkit::scenario::MediaStream;
+use cm_testkit::{FilmScenario, Stack, StackConfig};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Two disjoint telephone streams (server *i* → workstation *i*) over one
+/// switch, orchestrated in §7 no-common-node mode: whichever endpoint
+/// wins the election holds one stream locally and drives the other
+/// entirely by OPDUs.
+struct Disjoint {
+    stack: Stack,
+    a: MediaStream,
+    b: MediaStream,
+    agent: HloAgent,
+}
+
+fn disjoint_session() -> Disjoint {
+    let mut cfg = StackConfig::default();
+    cfg.testbed.workstations = 2;
+    cfg.testbed.servers = 2;
+    let stack = Stack::build(cfg);
+    let p = MediaProfile::audio_telephone();
+    let clip = cm_media::StoredClip::cbr_for(&p, 30);
+    let a = MediaStream::build(
+        &stack,
+        stack.tb.servers[0],
+        stack.tb.workstations[0],
+        &p,
+        &clip,
+    );
+    let b = MediaStream::build(
+        &stack,
+        stack.tb.servers[1],
+        stack.tb.workstations[1],
+        &p,
+        &clip,
+    );
+    stack.hlo.allow_no_common_node();
+    let started = Rc::new(Cell::new(false));
+    let s2 = started.clone();
+    let agent = stack
+        .hlo
+        .orchestrate_and_start(&[a.vc, b.vc], OrchestrationPolicy::default(), move |r| {
+            r.expect("orchestrated start");
+            s2.set(true);
+        })
+        .expect("orchestrate");
+    stack.run_for(SimDuration::from_secs(3));
+    assert!(started.get(), "no-common-node session failed to start");
+    Disjoint { stack, a, b, agent }
+}
+
+/// The §7 path itself: a session whose orchestrating node holds no end of
+/// one VC still primes, starts and regulates both streams.
+#[test]
+fn no_common_node_session_regulates_both_streams() {
+    let d = disjoint_session();
+    d.stack.run_for(SimDuration::from_secs(3));
+    let hist = d.agent.history();
+    assert!(
+        hist.iter().any(|r| r.vc == d.a.vc),
+        "stream a never produced a regulation indication"
+    );
+    assert!(
+        hist.iter().any(|r| r.vc == d.b.vc),
+        "remote-orchestrated stream b never produced a regulation indication"
+    );
+}
+
+/// Kill the orchestrating node: the supervisor detects the stall, drops
+/// the stream that died with it, and re-elects an orchestrator for the
+/// survivor, which keeps regulating on the original timeline.
+#[test]
+fn reelection_moves_session_off_a_dead_orchestrator() {
+    let d = disjoint_session();
+    let sup = d.stack.hlo.supervise(
+        &d.agent,
+        &[d.a.vc, d.b.vc],
+        SupervisorConfig {
+            allow_no_common_node: true,
+            ..Default::default()
+        },
+    );
+    let swapped = Rc::new(Cell::new(false));
+    let sw2 = swapped.clone();
+    sup.on_reelect(move |_| sw2.set(true));
+    d.stack.run_for(SimDuration::from_secs(2));
+    assert!(
+        !d.agent.history().is_empty(),
+        "session must regulate before the fault"
+    );
+
+    let dead = d.agent.llo().node();
+    d.stack.tb.net.set_node_up(dead, false);
+    d.stack.run_for(SimDuration::from_secs(6));
+
+    assert_eq!(sup.reelections(), 1, "exactly one re-election");
+    assert!(swapped.get(), "on_reelect must fire");
+    assert!(!sup.is_stopped(), "supervision continues on the new agent");
+    let cur = sup.current();
+    assert_ne!(cur.llo().node(), dead);
+    assert_ne!(cur.session(), d.agent.session(), "fresh session id");
+
+    // The survivor is whichever stream did not touch the dead node; the
+    // new orchestrator must hold one of its ends and keep regulating it.
+    let a_ends = [d.stack.tb.servers[0], d.stack.tb.workstations[0]];
+    let (ends, vc) = if a_ends.contains(&dead) {
+        ([d.stack.tb.servers[1], d.stack.tb.workstations[1]], d.b.vc)
+    } else {
+        (a_ends, d.a.vc)
+    };
+    assert!(
+        ends.contains(&cur.llo().node()),
+        "re-elected node must touch the surviving VC"
+    );
+    let before = cur.history().len();
+    d.stack.run_for(SimDuration::from_secs(3));
+    let hist = cur.history();
+    assert!(
+        hist.len() > before,
+        "re-elected agent must resume regulation"
+    );
+    assert!(
+        hist[before..].iter().all(|r| r.vc == vc),
+        "only the surviving VC is regulated"
+    );
+}
+
+/// Evidence gate: a partitioned orchestrator stalls indications exactly
+/// like a dead one, but the node is alive — the supervisor must not
+/// re-elect, and regulation resumes once the partition heals.
+#[test]
+fn partitioned_orchestrator_is_not_reelected() {
+    let d = disjoint_session();
+    let sup = d.stack.hlo.supervise(
+        &d.agent,
+        &[d.a.vc, d.b.vc],
+        SupervisorConfig {
+            allow_no_common_node: true,
+            ..Default::default()
+        },
+    );
+    d.stack.run_for(SimDuration::from_secs(2));
+
+    let orch = d.agent.llo().node();
+    let net = &d.stack.tb.net;
+    let cut: Vec<_> = net
+        .links_between(orch, d.stack.tb.switch)
+        .into_iter()
+        .chain(net.links_between(d.stack.tb.switch, orch))
+        .collect();
+    for l in &cut {
+        net.set_link_up(*l, false);
+    }
+    d.stack.run_for(SimDuration::from_secs(5));
+    assert_eq!(
+        sup.reelections(),
+        0,
+        "an alive-but-partitioned orchestrator must not be replaced"
+    );
+    assert!(!sup.is_stopped());
+
+    for l in &cut {
+        net.set_link_up(*l, true);
+    }
+    let before = d.agent.history().len();
+    d.stack.run_for(SimDuration::from_secs(3));
+    assert!(
+        d.agent.history().len() > before,
+        "regulation must resume after the partition heals"
+    );
+}
+
+/// When every VC touched the dead orchestrator, nothing survives to
+/// regulate: supervision records the give-up and stops instead of
+/// thrashing through hopeless elections.
+#[test]
+fn giveup_when_no_vc_survives_the_orchestrator() {
+    let f = FilmScenario::build((0, 0), 30, StackConfig::default());
+    let started = Rc::new(Cell::new(false));
+    let s2 = started.clone();
+    let agent = f
+        .stack
+        .hlo
+        .orchestrate_and_start(
+            &[f.audio.vc, f.video.vc],
+            OrchestrationPolicy::default(),
+            move |r| {
+                r.expect("orchestrated start");
+                s2.set(true);
+            },
+        )
+        .expect("orchestrate");
+    f.stack.run_for(SimDuration::from_secs(3));
+    assert!(started.get());
+    let sup = f.stack.hlo.supervise(
+        &agent,
+        &[f.audio.vc, f.video.vc],
+        SupervisorConfig::default(),
+    );
+
+    // The workstation is the common sink: both VCs die with it.
+    f.stack.tb.net.set_node_up(f.workstation, false);
+    f.stack.run_for(SimDuration::from_secs(6));
+
+    assert_eq!(sup.reelections(), 0, "no survivors → nothing to re-elect");
+    assert!(sup.is_stopped(), "supervision must give up, not spin");
+}

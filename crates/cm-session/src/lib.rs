@@ -18,6 +18,9 @@
 //!   untouched (§3.2).
 //! * Join/leave events are delivered to every member
 //!   ([`RoomMember::on_peer_joined`] / [`RoomMember::on_peer_left`]).
+//! * Health is typed, not silent: per-member QoS violations, recovery,
+//!   and involuntary member loss surface as [`HealthEvent`]s on every
+//!   member's [`RoomMember::on_health`] (DESIGN.md §9).
 //! * Per-room orchestration ([`RoomOrchestrator`]) issues
 //!   Prime/Start/Stop/Regulate room-wide: source-side actions on the
 //!   publisher plus one control OPDU fanned out to every member over the
@@ -29,9 +32,11 @@
 #![warn(missing_docs)]
 
 mod control;
+mod health;
 mod room;
 mod session;
 
 pub use control::{RoomCtl, RoomOrchestrator};
+pub use health::HealthEvent;
 pub use room::{JoinDenied, PeerId, Room, RoomMember};
 pub use session::Session;

@@ -7,6 +7,7 @@
 //! with a typed [`JoinDenied`] and the admitted receivers are untouched.
 
 use crate::control::{RoomCtl, RoomOrchestrator};
+use crate::health::{HealthEvent, HealthState};
 use crate::session::{SessionInner, SinkBinding};
 use cm_core::address::{NetAddr, TransportAddr, VcId};
 use cm_core::error::{DisconnectReason, ServiceError};
@@ -15,7 +16,7 @@ use cm_core::qos::{QosParams, QosRequirement};
 use cm_core::service_class::ServiceClass;
 use cm_core::time::SimDuration;
 use cm_telemetry::{FieldSink, Layer};
-use cm_transport::TransportService;
+use cm_transport::{QosReport, TransportService};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::{Rc, Weak};
@@ -83,6 +84,10 @@ pub trait RoomMember {
     /// This member could not be subscribed to a stream published after it
     /// joined (its membership is unaffected).
     fn on_subscribe_denied(&self, room: &str, stream: &str, reason: DisconnectReason) {}
+    /// A room health transition: a branch degraded or recovered, or a
+    /// peer was lost involuntarily (DESIGN.md §9). Without a handler the
+    /// room still repairs its roster — this is the typed notification.
+    fn on_health(&self, room: &str, event: &HealthEvent) {}
 }
 
 #[derive(Clone)]
@@ -121,6 +126,7 @@ struct RoomInner {
     peers: RefCell<BTreeMap<PeerId, PeerEntry>>,
     streams: RefCell<BTreeMap<String, RoomStream>>,
     pending: RefCell<Vec<PendingJoin>>,
+    health: RefCell<HealthState>,
 }
 
 /// A handle to one room. Clones share the room state.
@@ -140,6 +146,7 @@ impl Room {
                 peers: RefCell::new(BTreeMap::new()),
                 streams: RefCell::new(BTreeMap::new()),
                 pending: RefCell::new(Vec::new()),
+                health: RefCell::new(HealthState::default()),
             }),
         }
     }
@@ -287,6 +294,7 @@ impl Room {
         let Some(entry) = self.inner.peers.borrow_mut().remove(&peer) else {
             return;
         };
+        self.inner.health.borrow_mut().forget_member(entry.node);
         self.trace("room.leave", |e| {
             e.u64("peer", entry.id.0).text("name", entry.name.clone());
         });
@@ -407,6 +415,7 @@ impl Room {
             .remove(stream)
             .ok_or(ServiceError::BadArgument("no such stream"))?;
         session.vc_rooms.borrow_mut().remove(&s.vc);
+        self.inner.health.borrow_mut().forget_stream(s.vc);
         session
             .platform
             .trader()
@@ -542,6 +551,221 @@ impl Room {
         if let Some(h) = handler {
             h.on_subscribe_denied(&self.inner.name, &stream, reason);
         }
+    }
+
+    /// A per-member QoS violation report on a published stream's group VC
+    /// (publisher side). Edge-detects into [`HealthEvent::Degraded`] and
+    /// arms the recovery probe.
+    pub(crate) fn on_group_qos(&self, vc: VcId, member: NetAddr, report: &QosReport) {
+        let Some(session) = self.inner.session.upgrade() else {
+            return;
+        };
+        let (stream, peer) = {
+            let streams = self.inner.streams.borrow();
+            let Some(stream) = streams
+                .iter()
+                .find(|(_, s)| s.vc == vc)
+                .map(|(n, _)| n.clone())
+            else {
+                return;
+            };
+            let peers = self.inner.peers.borrow();
+            let Some(peer) = peers.values().find(|p| p.node == member).map(|p| p.id) else {
+                return;
+            };
+            (stream, peer)
+        };
+        let now = session.platform.engine().now();
+        let newly = self
+            .inner
+            .health
+            .borrow_mut()
+            .report(vc, member, report.sample_period, now);
+        if newly {
+            self.trace("room.degraded", |e| {
+                e.text("stream", stream.clone())
+                    .u64("peer", peer.0)
+                    .u64("violations", report.violations.len() as u64);
+            });
+            let ev = HealthEvent::Degraded {
+                stream,
+                peer,
+                violations: report.violations.iter().map(|v| v.error_number()).collect(),
+            };
+            self.broadcast(None, |p| p.handler.on_health(&self.inner.name, &ev));
+        }
+        self.arm_recovery_probe(vc, member);
+    }
+
+    /// Schedule the pending recovery probe for a degraded branch, if the
+    /// tracker wants one.
+    fn arm_recovery_probe(&self, vc: VcId, member: NetAddr) {
+        let Some(delay) = self.inner.health.borrow_mut().arm_probe(vc, member) else {
+            return;
+        };
+        let Some(session) = self.inner.session.upgrade() else {
+            return;
+        };
+        let weak = Rc::downgrade(&self.inner);
+        session.platform.engine().schedule_in(delay, move |_| {
+            if let Some(inner) = weak.upgrade() {
+                Room { inner }.recovery_probe_fire(vc, member);
+            }
+        });
+    }
+
+    fn recovery_probe_fire(&self, vc: VcId, member: NetAddr) {
+        let Some(session) = self.inner.session.upgrade() else {
+            return;
+        };
+        let now = session.platform.engine().now();
+        let verdict = self.inner.health.borrow_mut().probe(vc, member, now);
+        match verdict {
+            Some(true) => {
+                let (stream, peer) = {
+                    let streams = self.inner.streams.borrow();
+                    let stream = streams
+                        .iter()
+                        .find(|(_, s)| s.vc == vc)
+                        .map(|(n, _)| n.clone());
+                    let peers = self.inner.peers.borrow();
+                    let peer = peers.values().find(|p| p.node == member).map(|p| p.id);
+                    (stream, peer)
+                };
+                let (Some(stream), Some(peer)) = (stream, peer) else {
+                    return; // stream closed or peer gone while degraded
+                };
+                self.trace("room.recovered", |e| {
+                    e.text("stream", stream.clone()).u64("peer", peer.0);
+                });
+                let ev = HealthEvent::Recovered { stream, peer };
+                self.broadcast(None, |p| p.handler.on_health(&self.inner.name, &ev));
+            }
+            Some(false) => self.arm_recovery_probe(vc, member),
+            None => {}
+        }
+    }
+
+    /// A member left a stream's shared tree involuntarily (its node died
+    /// or the branch could not be healed): evict it from the room and
+    /// tell the survivors. Voluntary releases are roster traffic, not a
+    /// health event.
+    pub(crate) fn on_member_gone(
+        &self,
+        _vc: VcId,
+        member: TransportAddr,
+        reason: DisconnectReason,
+    ) {
+        if reason == DisconnectReason::UserRelease {
+            return;
+        }
+        let peer = {
+            let peers = self.inner.peers.borrow();
+            peers.values().find(|p| p.node == member.node).map(|p| p.id)
+        };
+        // Several streams report the same dead member; the first eviction
+        // empties the roster entry, the rest find nothing.
+        if let Some(peer) = peer {
+            self.evict(peer, reason);
+        }
+    }
+
+    /// A member-side stream end died. Only the publisher's death explains
+    /// a sink disconnect the publisher itself cannot report — confirmed
+    /// against the infrastructure (as the transport healer and the
+    /// supervisor do) before the publisher is declared lost.
+    pub(crate) fn on_stream_dead(&self, vc: VcId, reason: DisconnectReason) {
+        if reason == DisconnectReason::UserRelease {
+            return;
+        }
+        let Some(session) = self.inner.session.upgrade() else {
+            return;
+        };
+        let (publisher, publisher_node) = {
+            let streams = self.inner.streams.borrow();
+            let Some(s) = streams.values().find(|s| s.vc == vc) else {
+                return;
+            };
+            (s.publisher, s.publisher_node)
+        };
+        let net = session.platform.service(publisher_node).network().clone();
+        if net.is_node_up(publisher_node) {
+            // The publisher is alive: a branch-level fault, which the
+            // publisher-side leave indication reports with attribution.
+            return;
+        }
+        self.evict(publisher, reason);
+    }
+
+    /// Remove a peer the infrastructure took from us: repair the roster
+    /// (its streams closed, its branches pruned — all best-effort, the
+    /// node may be gone) and broadcast the typed loss.
+    fn evict(&self, peer: PeerId, reason: DisconnectReason) {
+        let Some(session) = self.inner.session.upgrade() else {
+            return;
+        };
+        let Some(entry) = self.inner.peers.borrow_mut().remove(&peer) else {
+            return;
+        };
+        self.inner.health.borrow_mut().forget_member(entry.node);
+        self.trace("room.member_lost", |e| {
+            e.u64("peer", entry.id.0)
+                .text("name", entry.name.clone())
+                .str("reason", reason.kind());
+        });
+        let published: Vec<String> = self
+            .inner
+            .streams
+            .borrow()
+            .iter()
+            .filter(|(_, s)| s.publisher == peer)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in published {
+            let _ = self.close_stream(&name);
+        }
+        let agent = session.agent(entry.node);
+        let remaining: Vec<(VcId, NetAddr)> = self
+            .inner
+            .streams
+            .borrow()
+            .values()
+            .map(|s| (s.vc, s.publisher_node))
+            .collect();
+        for (vc, publisher_node) in remaining {
+            let _ = session
+                .platform
+                .service(publisher_node)
+                .t_group_remove_receiver(vc, entry.node);
+            agent.forget_stream(vc);
+        }
+        let ev = HealthEvent::MemberLost {
+            peer: entry.id,
+            name: entry.name.clone(),
+            reason,
+        };
+        self.broadcast(None, |p| {
+            p.handler.on_health(&self.inner.name, &ev);
+            p.handler
+                .on_peer_left(&self.inner.name, entry.id, &entry.name);
+        });
+    }
+
+    /// Streams×members currently in QoS violation (empty when healthy).
+    pub fn degraded_branches(&self) -> Vec<(String, PeerId)> {
+        let streams = self.inner.streams.borrow();
+        let peers = self.inner.peers.borrow();
+        self.inner
+            .health
+            .borrow()
+            .degraded_branches()
+            .into_iter()
+            .filter_map(|(vc, node)| {
+                let stream = streams.iter().find(|(_, s)| s.vc == vc)?.0.clone();
+                let peer = peers.values().find(|p| p.node == node)?.id;
+                Some((stream, peer))
+            })
+            .collect()
     }
 
     fn admit(&self, entry: PeerEntry) {

@@ -15,7 +15,7 @@ use cm_core::service_class::ServiceClass;
 use cm_core::time::SimDuration;
 use cm_platform::Platform;
 use cm_telemetry::Layer;
-use cm_transport::{TransportService, TransportUser, VcTap};
+use cm_transport::{QosReport, TransportService, TransportUser, VcTap};
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -124,6 +124,14 @@ impl SessionInner {
             room.on_join_confirm(vc, member, result);
         }
     }
+
+    /// The room owning a group VC, if any.
+    fn room_of(&self, vc: VcId) -> Option<Room> {
+        let names = self.vc_rooms.borrow();
+        names
+            .get(&vc)
+            .and_then(|n| self.rooms.borrow().get(n).cloned())
+    }
 }
 
 /// What a member expects on one group VC: which room/stream it belongs to
@@ -181,8 +189,12 @@ impl TransportUser for NodeAgent {
     ) {
         // Only invitations the room layer announced are accepted.
         let expected = self.sinks.borrow().contains_key(&vc);
-        svc.t_connect_response(vc, expected)
-            .expect("session accept");
+        if svc.t_connect_response(vc, expected).is_err() {
+            // The VC died between indication and response (e.g. the
+            // source crashed): nothing to attach, drop the announcement.
+            self.forget_stream(vc);
+            return;
+        }
         if !expected {
             return;
         }
@@ -203,13 +215,44 @@ impl TransportUser for NodeAgent {
         pump(agent, vc);
     }
 
-    fn t_disconnect_indication(
+    fn t_disconnect_indication(&self, _svc: &TransportService, vc: VcId, reason: DisconnectReason) {
+        self.sinks.borrow_mut().remove(&vc);
+        // A sink end dying for any reason but a normal release means the
+        // stream is gone under us — let the room decide whether the
+        // publisher itself was lost (DESIGN.md §9).
+        if let Some(session) = self.session.upgrade() {
+            if let Some(room) = session.room_of(vc) {
+                room.on_stream_dead(vc, reason);
+            }
+        }
+    }
+
+    fn t_group_leave_indication(
         &self,
         _svc: &TransportService,
         vc: VcId,
-        _reason: DisconnectReason,
+        member: TransportAddr,
+        reason: DisconnectReason,
     ) {
-        self.sinks.borrow_mut().remove(&vc);
+        if let Some(session) = self.session.upgrade() {
+            if let Some(room) = session.room_of(vc) {
+                room.on_member_gone(vc, member, reason);
+            }
+        }
+    }
+
+    fn t_group_qos_indication(
+        &self,
+        _svc: &TransportService,
+        vc: VcId,
+        member: NetAddr,
+        report: QosReport,
+    ) {
+        if let Some(session) = self.session.upgrade() {
+            if let Some(room) = session.room_of(vc) {
+                room.on_group_qos(vc, member, &report);
+            }
+        }
     }
 
     fn t_group_join_confirm(

@@ -1,0 +1,318 @@
+//! Typed room health (DESIGN.md §9): per-member QoS violations surface
+//! as `Degraded`, a grace period clean flips to `Recovered`, and a member
+//! whose node dies is evicted with a typed `MemberLost` — the room never
+//! silently stalls.
+
+use cm_core::address::NetAddr;
+use cm_core::error::DisconnectReason;
+use cm_core::media::MediaProfile;
+use cm_core::osdu::{Osdu, Payload};
+use cm_core::qos::QosRequirement;
+use cm_core::rng::DetRng;
+use cm_core::service_class::ServiceClass;
+use cm_core::time::{Bandwidth, SimDuration};
+use cm_platform::Platform;
+use cm_session::{HealthEvent, JoinDenied, PeerId, Room, RoomMember, Session};
+use cm_transport::tpdu::ControlMsg;
+use cm_transport::{EntityConfig, QosReport};
+use netsim::{Engine, LinkParams, Network, NodeClock};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Records membership and health callbacks.
+#[derive(Default)]
+struct Rec {
+    media: RefCell<Vec<u64>>,
+    left: RefCell<Vec<PeerId>>,
+    health: RefCell<Vec<HealthEvent>>,
+}
+
+impl Rec {
+    fn new() -> Rc<Rec> {
+        Rc::new(Rec::default())
+    }
+
+    fn degraded(&self) -> Vec<(String, PeerId)> {
+        self.health
+            .borrow()
+            .iter()
+            .filter_map(|e| match e {
+                HealthEvent::Degraded { stream, peer, .. } => Some((stream.clone(), *peer)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn recovered(&self) -> Vec<(String, PeerId)> {
+        self.health
+            .borrow()
+            .iter()
+            .filter_map(|e| match e {
+                HealthEvent::Recovered { stream, peer } => Some((stream.clone(), *peer)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn lost(&self) -> Vec<(PeerId, DisconnectReason)> {
+        self.health
+            .borrow()
+            .iter()
+            .filter_map(|e| match e {
+                HealthEvent::MemberLost { peer, reason, .. } => Some((*peer, reason.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl RoomMember for Rec {
+    fn on_media(&self, _room: &str, _stream: &str, osdu: Osdu) {
+        self.media.borrow_mut().push(osdu.seq());
+    }
+    fn on_peer_left(&self, _room: &str, peer: PeerId, _name: &str) {
+        self.left.borrow_mut().push(peer);
+    }
+    fn on_health(&self, _room: &str, event: &HealthEvent) {
+        self.health.borrow_mut().push(event.clone());
+    }
+}
+
+struct World {
+    net: Network,
+    session: Session,
+    nodes: Vec<NetAddr>,
+}
+
+impl World {
+    fn run_ms(&self, ms: u64) {
+        self.net.engine().run_for(SimDuration::from_millis(ms));
+    }
+}
+
+fn clean() -> LinkParams {
+    LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1))
+}
+
+/// Star: node 0 (publisher) — node 1 (hub) — nodes 2.. (members), clean
+/// duplex links throughout.
+fn star(members: usize, config: EntityConfig) -> World {
+    let net = Network::new(Engine::new());
+    let mut rng = DetRng::from_seed(29);
+    let nodes: Vec<NetAddr> = (0..members + 2)
+        .map(|_| net.add_node(NodeClock::perfect()))
+        .collect();
+    net.add_duplex(nodes[0], nodes[1], clean(), &mut rng);
+    for &m in &nodes[2..] {
+        net.add_duplex(nodes[1], m, clean(), &mut rng);
+    }
+    let platform = Platform::new(net.clone());
+    for &n in &nodes {
+        platform.install_node_with(n, config.clone());
+    }
+    let session = Session::new(&platform);
+    World {
+        net,
+        session,
+        nodes,
+    }
+}
+
+fn telephone_req() -> QosRequirement {
+    MediaProfile::audio_telephone().requirement()
+}
+
+/// A lab: teacher at node 0 publishes "lesson"; `n` students join from
+/// nodes 2.. . Returns the world, room, student peer ids and recorders.
+fn lab(n: usize, config: EntityConfig) -> (World, Room, Vec<PeerId>, Vec<Rc<Rec>>, Rc<Rec>) {
+    let w = star(n, config);
+    let room = w.session.create_room("lab", w.nodes[0], 8);
+    let teacher = Rec::new();
+    let t_slot: Rc<RefCell<Option<Result<PeerId, JoinDenied>>>> = Rc::new(RefCell::new(None));
+    let ts = t_slot.clone();
+    room.join(w.nodes[0], "teacher", teacher.clone(), move |r| {
+        *ts.borrow_mut() = Some(r);
+    });
+    w.run_ms(10);
+    let tid = t_slot.borrow().clone().unwrap().expect("teacher join");
+    let mut ids = Vec::new();
+    let mut recs = Vec::new();
+    for i in 0..n {
+        let rec = Rec::new();
+        let slot: Rc<RefCell<Option<Result<PeerId, JoinDenied>>>> = Rc::new(RefCell::new(None));
+        let s = slot.clone();
+        room.join(
+            w.nodes[2 + i],
+            &format!("student{i}"),
+            rec.clone(),
+            move |r| {
+                *s.borrow_mut() = Some(r);
+            },
+        );
+        w.run_ms(10);
+        ids.push(slot.borrow().clone().unwrap().expect("student join"));
+        recs.push(rec);
+    }
+    room.publish(tid, "lesson", ServiceClass::cm_default(), telephone_req())
+        .expect("publish");
+    w.run_ms(50);
+    (w, room, ids, recs, teacher)
+}
+
+/// Continuously writes OSDUs as fast as the send buffer allows.
+fn drive_writer(svc: cm_transport::TransportService, vc: cm_core::address::VcId, total: u64) {
+    fn step(
+        svc: cm_transport::TransportService,
+        vc: cm_core::address::VcId,
+        total: u64,
+        written: u64,
+    ) {
+        let mut written = written;
+        loop {
+            if written >= total {
+                return;
+            }
+            match svc.write_osdu(vc, Payload::synthetic(written, 80), None) {
+                Ok(true) => written += 1,
+                Ok(false) => {
+                    let Ok(buf) = svc.send_handle(vc) else { return };
+                    let now = svc.now();
+                    let svc2 = svc.clone();
+                    let engine = svc.network().engine().clone();
+                    buf.park_producer(now, move || {
+                        engine.schedule_in(SimDuration::ZERO, move |_| {
+                            step(svc2, vc, total, written)
+                        });
+                    });
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+    step(svc, vc, total, 0);
+}
+
+// ---------------------------------------------------------------------
+// Degraded / Recovered
+// ---------------------------------------------------------------------
+
+#[test]
+fn qos_violation_surfaces_degraded_then_recovered() {
+    // Push the real sink monitors past the test horizon: the injected
+    // reports are the only health traffic, so the episode timeline is
+    // exactly the one under test (an idle stream legitimately starves its
+    // monitors otherwise).
+    let config = EntityConfig {
+        monitor_period: SimDuration::from_secs(60),
+        ..EntityConfig::default()
+    };
+    let (w, room, ids, recs, teacher) = lab(2, config);
+    let vc = room.stream_vc("lesson").expect("vc");
+    let svc = room.stream_service("lesson").expect("svc");
+    let contract = svc.contract(vc).expect("contract");
+
+    // A member's monitor reports its branch under contract: half the
+    // throughput, measured over a 200 ms period (non-zero, so this is
+    // degradation, not starvation).
+    let mut measured = contract;
+    measured.throughput = Bandwidth::bps(contract.throughput.as_bps() / 2);
+    let report = QosReport {
+        vc,
+        contracted: contract,
+        measured,
+        sample_period: SimDuration::from_millis(200),
+        violations: measured.violations_of(&contract),
+    };
+    svc.inject_control(w.nodes[2], ControlMsg::QosReportMsg(report.clone()));
+    w.run_ms(10);
+
+    // Every member (and the publisher) sees the transition, attributed to
+    // the suffering peer; the room exposes the live degraded set.
+    let want = vec![("lesson".to_string(), ids[0])];
+    assert_eq!(teacher.degraded(), want, "publisher must see Degraded");
+    assert_eq!(recs[0].degraded(), want);
+    assert_eq!(recs[1].degraded(), want);
+    assert_eq!(room.degraded_branches(), want);
+
+    // A second report inside the grace period is the same episode — no
+    // second Degraded event.
+    w.run_ms(100);
+    svc.inject_control(w.nodes[2], ControlMsg::QosReportMsg(report));
+    w.run_ms(10);
+    assert_eq!(
+        teacher.degraded().len(),
+        1,
+        "edge-detection, not per-report"
+    );
+    assert!(teacher.recovered().is_empty(), "still inside the episode");
+
+    // Two clean monitoring periods after the last report: recovered.
+    w.run_ms(1_000);
+    assert_eq!(teacher.recovered(), want, "publisher must see Recovered");
+    assert_eq!(recs[0].recovered(), want);
+    assert_eq!(recs[1].recovered(), want);
+    assert_eq!(room.degraded_branches(), Vec::<(String, PeerId)>::new());
+    assert!(teacher.lost().is_empty(), "degradation must not evict");
+    assert_eq!(room.peers().len(), 3);
+}
+
+// ---------------------------------------------------------------------
+// MemberLost
+// ---------------------------------------------------------------------
+
+#[test]
+fn dead_member_is_evicted_with_typed_loss() {
+    let (w, room, ids, recs, teacher) = lab(2, EntityConfig::default());
+    let vc = room.stream_vc("lesson").expect("vc");
+    let svc = room.stream_service("lesson").expect("svc");
+
+    // Stream flows to both students…
+    drive_writer(svc.clone(), vc, 5_000);
+    w.run_ms(1_000);
+    assert!(!recs[0].media.borrow().is_empty());
+    assert!(!recs[1].media.borrow().is_empty());
+
+    // …then student1's node dies. The publisher's healer prunes the
+    // unreachable branch and the room evicts the peer, typed.
+    w.net.set_node_up(w.nodes[3], false);
+    w.run_ms(5_000);
+
+    assert_eq!(
+        teacher.lost(),
+        vec![(ids[1], DisconnectReason::Unreachable)],
+        "publisher must see the typed loss"
+    );
+    assert_eq!(
+        recs[0].lost(),
+        vec![(ids[1], DisconnectReason::Unreachable)],
+        "surviving student must see the typed loss"
+    );
+    assert_eq!(*teacher.left.borrow(), vec![ids[1]], "roster repaired");
+    assert_eq!(room.peers().len(), 2, "dead peer evicted");
+
+    // The survivor keeps receiving: no gap, no stall.
+    let before = recs[0].media.borrow().len();
+    w.run_ms(2_000);
+    let seqs = recs[0].media.borrow();
+    assert!(seqs.len() > before, "survivor must keep receiving");
+    assert_eq!(
+        *seqs,
+        (0..seqs.len() as u64).collect::<Vec<_>>(),
+        "survivor stream must stay gapless"
+    );
+}
+
+#[test]
+fn voluntary_leave_is_not_a_health_event() {
+    let (w, room, ids, recs, teacher) = lab(2, EntityConfig::default());
+    room.leave(ids[1]);
+    w.run_ms(50);
+    assert!(
+        teacher.lost().is_empty(),
+        "a normal leave is roster traffic"
+    );
+    assert!(recs[0].lost().is_empty());
+    assert_eq!(*teacher.left.borrow(), vec![ids[1]]);
+    assert_eq!(room.peers().len(), 2);
+}

@@ -1,0 +1,281 @@
+//! Declarative fault scenarios over the cm-chaos scheduler.
+//!
+//! Chaos tests and the recovery benchmark share one idiom for describing
+//! a fault timeline:
+//!
+//! ```ignore
+//! FaultPlan::new()
+//!     .at_ms(1_000).node_crash(server).for_ms(500)
+//!     .at_ms(2_000).link_down(hub, ws).for_ms(300)
+//!     .at_ms(3_000).link_flap(hub, server).down_ms(40).up_ms(80).cycles(3)
+//!     .at_ms(4_000).partition(&[ws]).for_ms(400)
+//!     .at_ms(5_000).revoke(vc)
+//!     .schedule(&chaos);
+//! ```
+//!
+//! Node pairs resolve to *every* link between them, both directions, at
+//! schedule time — a duplex pair is cut as one fault. Without a duration
+//! modifier a fault is permanent.
+
+use cm_chaos::{ChaosObserver, ChaosScheduler, Fault};
+use cm_core::address::{NetAddr, VcId};
+use cm_core::time::{SimDuration, SimTime};
+use cm_transport::{TransportService, VcRole};
+use netsim::Network;
+use std::rc::Rc;
+
+enum PlanEntry {
+    Node {
+        node: NetAddr,
+        down_for: Option<SimDuration>,
+    },
+    Link {
+        a: NetAddr,
+        b: NetAddr,
+        down_for: Option<SimDuration>,
+    },
+    Flap {
+        a: NetAddr,
+        b: NetAddr,
+        down: SimDuration,
+        up: SimDuration,
+        cycles: u32,
+    },
+    Part {
+        side: Vec<NetAddr>,
+        heal_after: Option<SimDuration>,
+    },
+    Revoke {
+        vc: VcId,
+    },
+}
+
+/// A fault timeline under construction. Build with the chained `at…`
+/// methods, then [`FaultPlan::schedule`] it onto a scheduler.
+#[derive(Default)]
+pub struct FaultPlan {
+    cursor: SimTime,
+    entries: Vec<(SimTime, PlanEntry)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (cursor at t = 0).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Move the cursor: subsequent faults are injected at `t`.
+    pub fn at(mut self, t: SimTime) -> FaultPlan {
+        self.cursor = t;
+        self
+    }
+
+    /// Move the cursor to `ms` milliseconds of engine time.
+    pub fn at_ms(self, ms: u64) -> FaultPlan {
+        self.at(SimTime::from_millis(ms))
+    }
+
+    fn push(mut self, e: PlanEntry) -> FaultPlan {
+        self.entries.push((self.cursor, e));
+        self
+    }
+
+    /// Crash `node` at the cursor (permanent unless `.for_ms(..)`).
+    pub fn node_crash(self, node: NetAddr) -> FaultPlan {
+        self.push(PlanEntry::Node {
+            node,
+            down_for: None,
+        })
+    }
+
+    /// Cut every link between `a` and `b`, both directions (permanent
+    /// unless `.for_ms(..)`).
+    pub fn link_down(self, a: NetAddr, b: NetAddr) -> FaultPlan {
+        self.push(PlanEntry::Link {
+            a,
+            b,
+            down_for: None,
+        })
+    }
+
+    /// Flap every link between `a` and `b` (defaults: 50 ms down, 50 ms
+    /// up, 3 cycles — override with `.down_ms` / `.up_ms` / `.cycles`).
+    pub fn link_flap(self, a: NetAddr, b: NetAddr) -> FaultPlan {
+        self.push(PlanEntry::Flap {
+            a,
+            b,
+            down: SimDuration::from_millis(50),
+            up: SimDuration::from_millis(50),
+            cycles: 3,
+        })
+    }
+
+    /// Partition `side` from the rest of the network (permanent unless
+    /// `.for_ms(..)`).
+    pub fn partition(self, side: &[NetAddr]) -> FaultPlan {
+        self.push(PlanEntry::Part {
+            side: side.to_vec(),
+            heal_after: None,
+        })
+    }
+
+    /// Revoke the reservation held by `vc`.
+    pub fn revoke(self, vc: VcId) -> FaultPlan {
+        self.push(PlanEntry::Revoke { vc })
+    }
+
+    /// Heal the preceding fault after `ms` (crash recovery, link
+    /// restoration, partition heal).
+    pub fn for_ms(mut self, ms: u64) -> FaultPlan {
+        let d = Some(SimDuration::from_millis(ms));
+        match self.entries.last_mut().map(|(_, e)| e) {
+            Some(PlanEntry::Node { down_for, .. }) | Some(PlanEntry::Link { down_for, .. }) => {
+                *down_for = d
+            }
+            Some(PlanEntry::Part { heal_after, .. }) => *heal_after = d,
+            _ => panic!("for_ms must follow node_crash, link_down or partition"),
+        }
+        self
+    }
+
+    /// Set the down phase of the preceding `link_flap`.
+    pub fn down_ms(mut self, ms: u64) -> FaultPlan {
+        match self.entries.last_mut().map(|(_, e)| e) {
+            Some(PlanEntry::Flap { down, .. }) => *down = SimDuration::from_millis(ms),
+            _ => panic!("down_ms must follow link_flap"),
+        }
+        self
+    }
+
+    /// Set the up phase of the preceding `link_flap`.
+    pub fn up_ms(mut self, ms: u64) -> FaultPlan {
+        match self.entries.last_mut().map(|(_, e)| e) {
+            Some(PlanEntry::Flap { up, .. }) => *up = SimDuration::from_millis(ms),
+            _ => panic!("up_ms must follow link_flap"),
+        }
+        self
+    }
+
+    /// Set the cycle count of the preceding `link_flap`.
+    pub fn cycles(mut self, n: u32) -> FaultPlan {
+        match self.entries.last_mut().map(|(_, e)| e) {
+            Some(PlanEntry::Flap { cycles, .. }) => *cycles = n,
+            _ => panic!("cycles must follow link_flap"),
+        }
+        self
+    }
+
+    /// Resolve node pairs against the scheduler's network and schedule
+    /// every fault at its cursor time.
+    pub fn schedule(&self, chaos: &ChaosScheduler) {
+        let net = chaos.network();
+        for (at, entry) in &self.entries {
+            match entry {
+                PlanEntry::Node { node, down_for } => chaos.inject_at(
+                    *at,
+                    Fault::NodeCrash {
+                        node: *node,
+                        down_for: *down_for,
+                    },
+                ),
+                PlanEntry::Link { a, b, down_for } => {
+                    for link in duplex_links(net, *a, *b) {
+                        chaos.inject_at(
+                            *at,
+                            Fault::LinkDown {
+                                link,
+                                down_for: *down_for,
+                            },
+                        );
+                    }
+                }
+                PlanEntry::Flap {
+                    a,
+                    b,
+                    down,
+                    up,
+                    cycles,
+                } => {
+                    for link in duplex_links(net, *a, *b) {
+                        chaos.inject_at(
+                            *at,
+                            Fault::LinkFlap {
+                                link,
+                                down_for: *down,
+                                up_for: *up,
+                                cycles: *cycles,
+                            },
+                        );
+                    }
+                }
+                PlanEntry::Part { side, heal_after } => chaos.inject_at(
+                    *at,
+                    Fault::Partition {
+                        side: side.clone(),
+                        heal_after: *heal_after,
+                    },
+                ),
+                PlanEntry::Revoke { vc } => {
+                    chaos.inject_at(*at, Fault::ReservationRevoked { vc: *vc })
+                }
+            }
+        }
+    }
+}
+
+fn duplex_links(net: &Network, a: NetAddr, b: NetAddr) -> Vec<netsim::LinkId> {
+    let mut links = net.links_between(a, b);
+    links.extend(net.links_between(b, a));
+    assert!(!links.is_empty(), "no links between {a:?} and {b:?}");
+    links
+}
+
+/// Chaos observer delivering out-of-band indications into the stack: a
+/// revoked reservation is announced to the victim VC's *source* entity
+/// (the end that owns the sending credit and the healer), as the
+/// reservation protocol of a real network would.
+pub struct RevocationRouter {
+    svcs: Vec<TransportService>,
+}
+
+impl RevocationRouter {
+    /// A router over the given transport services (one per node).
+    pub fn new(svcs: Vec<TransportService>) -> RevocationRouter {
+        RevocationRouter { svcs }
+    }
+}
+
+impl ChaosObserver for RevocationRouter {
+    fn on_chaos(&self, _net: &Network, fault: &Fault, heal: bool) {
+        let Fault::ReservationRevoked { vc } = fault else {
+            return;
+        };
+        if heal {
+            return;
+        }
+        for svc in &self.svcs {
+            if svc.role(*vc) == Ok(VcRole::Source) {
+                svc.on_reservation_revoked(*vc);
+                return;
+            }
+        }
+    }
+}
+
+/// Wiring sugar on [`Stack`](crate::Stack): a chaos scheduler with the
+/// revocation router installed over every node's transport service.
+impl crate::Stack {
+    /// A [`ChaosScheduler`] injecting into this stack's network, with
+    /// reservation revocations routed to the victim VC's source entity.
+    pub fn chaos(&self) -> ChaosScheduler {
+        let chaos = ChaosScheduler::new(&self.tb.net);
+        let mut nodes: Vec<NetAddr> = self.nodes.keys().copied().collect();
+        nodes.sort();
+        let svcs = nodes
+            .into_iter()
+            .map(|n| self.nodes[&n].svc.clone())
+            .collect();
+        chaos.set_observer(Rc::new(RevocationRouter::new(svcs)));
+        chaos
+    }
+}

@@ -8,8 +8,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod faults;
 pub mod scenario;
 pub mod users;
 
+pub use faults::{FaultPlan, RevocationRouter};
 pub use scenario::{connect_media, FilmScenario, LanguageLab, Stack, StackConfig};
 pub use users::AutoAcceptUser;

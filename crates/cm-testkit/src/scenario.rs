@@ -23,6 +23,9 @@ pub struct StackConfig {
     pub entity: EntityConfig,
     /// LLO session table space per node.
     pub max_sessions: usize,
+    /// Build the dual-homed testbed (backup switch) so healers have a
+    /// detour to reroute over.
+    pub resilient: bool,
 }
 
 impl Default for StackConfig {
@@ -31,6 +34,7 @@ impl Default for StackConfig {
             testbed: TestbedConfig::default(),
             entity: EntityConfig::default(),
             max_sessions: 16,
+            resilient: false,
         }
     }
 }
@@ -60,7 +64,11 @@ impl Stack {
     /// Build the stack: testbed, one transport entity + LLO per
     /// workstation/server node, and the HLO over them.
     pub fn build(cfg: StackConfig) -> Stack {
-        let tb = cfg.testbed.build(Engine::new());
+        let tb = if cfg.resilient {
+            cfg.testbed.build_resilient(Engine::new())
+        } else {
+            cfg.testbed.build(Engine::new())
+        };
         let mut nodes = HashMap::new();
         let mut llos = Vec::new();
         for &node in tb.workstations.iter().chain(tb.servers.iter()) {

@@ -89,6 +89,8 @@ pub(crate) struct State {
     /// remote release.
     initiated: HashMap<VcId, AddressTriple>,
     taps: HashMap<VcId, Rc<dyn VcTap>>,
+    /// Per-VC self-healing state (probe timers + lifetime counters).
+    pub(crate) heal: HashMap<VcId, crate::heal::HealState>,
     next_vc: u64,
 }
 
@@ -129,6 +131,7 @@ impl TransportEntity {
                 pending_remote: HashMap::new(),
                 initiated: HashMap::new(),
                 taps: HashMap::new(),
+                heal: HashMap::new(),
                 next_vc: 0,
             }),
         });
@@ -136,7 +139,7 @@ impl TransportEntity {
         TransportService::new(entity)
     }
 
-    fn now(&self) -> SimTime {
+    pub(crate) fn now(&self) -> SimTime {
         self.net.engine().now()
     }
 
@@ -687,6 +690,7 @@ impl TransportEntity {
             waiting_buffer: false,
             stalled_credit: false,
             stalled_at: None,
+            rto_strikes: 0,
             dropped_snap: 0,
         };
         let v = Vc {
@@ -722,6 +726,7 @@ impl TransportEntity {
         let tsap = {
             let mut st = self.state.borrow_mut();
             st.taps.remove(&vc);
+            st.heal.remove(&vc);
             match st.vcs.get_mut(&vc) {
                 Some(v) if v.phase != VcPhase::Closed => {
                     v.phase = VcPhase::Closed;
@@ -770,7 +775,7 @@ impl TransportEntity {
 
     /// `from` is the originating node — group VCs demultiplex per-receiver
     /// feedback (credit, nacks, QoS reports, releases) on it.
-    fn on_control(self: &Rc<Self>, from: NetAddr, msg: ControlMsg) {
+    pub(crate) fn on_control(self: &Rc<Self>, from: NetAddr, msg: ControlMsg) {
         match msg {
             ControlMsg::RemoteConnectRequest {
                 vc,
@@ -920,6 +925,7 @@ impl TransportEntity {
                 }
             }
             ControlMsg::Credit { vc, freed_total } => self.on_credit(from, vc, freed_total),
+            ControlMsg::CreditProbe { vc } => self.force_send_credit(vc),
             ControlMsg::Dropped { vc, seqs } => {
                 let now = self.now();
                 let actions = {
@@ -934,6 +940,12 @@ impl TransportEntity {
             ControlMsg::Nack { vc, seqs } => self.on_nack(from, vc, seqs),
             ControlMsg::Ack { vc, upto } => self.on_ack(vc, upto),
             ControlMsg::QosReportMsg(report) => {
+                // A whole monitoring period at zero throughput with the
+                // contract violated is starvation — the path under this VC
+                // is suspect (self-healing, DESIGN.md §9).
+                if report.measured.throughput.as_bps() == 0 && !report.violations.is_empty() {
+                    self.heal_kick(report.vc, crate::heal::HealReason::Starved);
+                }
                 let info = {
                     let st = self.state.borrow();
                     st.vcs
@@ -1226,6 +1238,7 @@ impl TransportEntity {
             ParkOnBuffer,
             Send(Osdu),
         }
+        let mut newly_stalled = false;
         let next = {
             let mut st = self.state.borrow_mut();
             let Some(v) = st.vcs.get_mut(&vc) else { return };
@@ -1249,6 +1262,7 @@ impl TransportEntity {
                         if !s.stalled_credit {
                             s.stalled_at = Some(now);
                             self.trace_stall(vc, now);
+                            newly_stalled = true;
                         }
                         s.stalled_credit = true;
                         Next::Idle
@@ -1261,6 +1275,11 @@ impl TransportEntity {
                 }
             }
         };
+        if newly_stalled {
+            // Arm the self-healing probe: a stall that outlives the
+            // patience window gets its infrastructure checked.
+            self.heal_on_stall(vc);
+        }
         match next {
             Next::Idle => {
                 // Re-arm if running and due in the future.
@@ -1334,7 +1353,7 @@ impl TransportEntity {
     /// Fragment and transmit one OSDU (fresh or retransmission). Fresh
     /// sends on a group VC fan out over the shared tree; `explicit_to`
     /// overrides the destination for per-receiver unicast retransmission.
-    fn transmit_osdu(
+    pub(crate) fn transmit_osdu(
         self: &Rc<Self>,
         vc: VcId,
         osdu: Osdu,
@@ -1525,6 +1544,7 @@ impl TransportEntity {
                         Park,
                         Stall,
                     }
+                    let mut newly_stalled = false;
                     let pull = {
                         let mut st = self.state.borrow_mut();
                         let Some(v) = st.vcs.get_mut(&vc) else { return };
@@ -1534,6 +1554,7 @@ impl TransportEntity {
                             if !s.stalled_credit {
                                 s.stalled_at = Some(now);
                                 self.trace_stall(vc, now);
+                                newly_stalled = true;
                             }
                             s.stalled_credit = true;
                             Pull::Stall
@@ -1566,7 +1587,12 @@ impl TransportEntity {
                     };
                     match pull {
                         Pull::Got => continue,
-                        Pull::Stall => break,
+                        Pull::Stall => {
+                            if newly_stalled {
+                                self.heal_on_stall(vc);
+                            }
+                            break;
+                        }
                         Pull::Park => {
                             let (buf, already) = {
                                 let mut st = self.state.borrow_mut();
@@ -1675,9 +1701,9 @@ impl TransportEntity {
             });
     }
 
-    fn rto_fire(self: &Rc<Self>, vc: VcId) {
+    pub(crate) fn rto_fire(self: &Rc<Self>, vc: VcId) {
         let now = self.now();
-        let resend = {
+        let (resend, strikes) = {
             let mut st = self.state.borrow_mut();
             let Some(v) = st.vcs.get_mut(&vc) else { return };
             if v.phase != VcPhase::Open {
@@ -1686,8 +1712,21 @@ impl TransportEntity {
             let s = v.source.as_mut().expect("source end");
             let gbn = s.gbn.as_mut().expect("window sender");
             // wseqs of cached entries are base..next, in order.
-            gbn.check_timeout(now).map(|tpdus| (tpdus, gbn.base()))
+            let resend = gbn.check_timeout(now).map(|tpdus| (tpdus, gbn.base()));
+            // A timeout that actually retransmitted is a strike; enough of
+            // them in a row and the path itself is suspect (DESIGN.md §9).
+            let strikes = match &resend {
+                Some((tpdus, _)) if !tpdus.is_empty() => {
+                    s.rto_strikes += 1;
+                    s.rto_strikes
+                }
+                _ => 0,
+            };
+            (resend, strikes)
         };
+        if strikes == self.config.heal_rto_patience {
+            self.heal_kick(vc, crate::heal::HealReason::Rto);
+        }
         if let Some((tpdus, base)) = resend {
             if self.tel.enabled() && !tpdus.is_empty() {
                 self.tel.count("vc.rto", 1);
@@ -1711,10 +1750,15 @@ impl TransportEntity {
             let Some(s) = st.vcs.get_mut(&vc).and_then(|v| v.source.as_mut()) else {
                 return;
             };
-            match s.gbn.as_mut() {
+            let slid = match s.gbn.as_mut() {
                 Some(g) => g.on_ack(upto, now),
                 None => false,
+            };
+            if slid {
+                // Window progress: the path works, clear the strikes.
+                s.rto_strikes = 0;
             }
+            slid
         };
         if slid {
             self.pump_window(vc);
@@ -1751,7 +1795,7 @@ impl TransportEntity {
     // Sink-side common path
     // ------------------------------------------------------------------
 
-    fn on_data(self: &Rc<Self>, tpdu: DataTpdu, corrupted: bool) {
+    pub(crate) fn on_data(self: &Rc<Self>, tpdu: DataTpdu, corrupted: bool) {
         let vc = tpdu.vc;
         let now = self.now();
         self.feed_sink(vc, tpdu, corrupted, now);

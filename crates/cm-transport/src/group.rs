@@ -130,6 +130,7 @@ impl TransportEntity {
             waiting_buffer: false,
             stalled_credit: false,
             stalled_at: None,
+            rto_strikes: 0,
             dropped_snap: 0,
         };
         let v = Vc {

@@ -18,6 +18,7 @@
 pub mod buffer;
 pub mod entity;
 pub mod group;
+pub mod heal;
 pub mod monitor;
 pub mod rate;
 pub mod receiver;
@@ -26,10 +27,13 @@ pub mod sync_buffer;
 pub mod tpdu;
 pub mod vc;
 pub mod window;
+pub mod wire;
 
 pub use buffer::{BufferHandle, BufferStats, PushOutcome};
 pub use group::{GroupEnd, GroupReceiver};
+pub use heal::HealReason;
 pub use service::{EntityConfig, TransportService, TransportUser, VcTap};
 pub use sync_buffer::SyncCircularBuffer;
 pub use tpdu::{QosReport, DEFAULT_MTU};
 pub use vc::{EndStats, VcRole};
+pub use wire::{TpduHeader, TpduParseError};

@@ -35,6 +35,18 @@ pub struct EntityConfig {
     pub window_size: usize,
     /// Retransmission timeout (window-based profile).
     pub rto: SimDuration,
+    /// Self-healing: delay between failure detection and the first repair
+    /// attempt, and the initial repair-retry backoff. A transient stall
+    /// shorter than this never churns reservations.
+    pub heal_patience: SimDuration,
+    /// Self-healing: cap on the exponential repair-retry backoff.
+    pub heal_backoff_cap: SimDuration,
+    /// Self-healing: consecutive no-progress RTO firings before a reroute
+    /// is attempted (the window profile's failure detector).
+    pub heal_rto_patience: u32,
+    /// Self-healing: repair attempts per episode before giving up and
+    /// tearing the VC down as `Unreachable`.
+    pub heal_max_attempts: u32,
 }
 
 impl Default for EntityConfig {
@@ -45,6 +57,10 @@ impl Default for EntityConfig {
             buffer_slots_override: None,
             window_size: 16,
             rto: SimDuration::from_millis(200),
+            heal_patience: SimDuration::from_millis(50),
+            heal_backoff_cap: SimDuration::from_millis(800),
+            heal_rto_patience: 3,
+            heal_max_attempts: 8,
         }
     }
 }
@@ -436,6 +452,41 @@ impl TransportService {
     /// Harvest interval statistics for this end of the VC (§6.3.1.2).
     pub fn take_end_stats(&self, vc: VcId) -> Result<EndStats, ServiceError> {
         self.entity.take_end_stats(vc)
+    }
+
+    // ---- Self-healing (failure model, DESIGN.md §9) ------------------------
+
+    /// Out-of-band notification that the network revoked this VC's (or its
+    /// group tree's) resource reservation: schedules an immediate repair
+    /// attempt at the source end. No-op for unknown or sink-side VCs —
+    /// revocation repair is the sender's job.
+    pub fn on_reservation_revoked(&self, vc: VcId) {
+        self.entity.heal_kick(vc, crate::heal::HealReason::Revoked);
+    }
+
+    /// Cumulative self-healing statistics for a source-side VC:
+    /// `(attempts, repairs)` — repair attempts made and attempts that
+    /// succeeded (reroute or regraft). `(0, 0)` if healing never armed.
+    pub fn heal_stats(&self, vc: VcId) -> (u64, u64) {
+        self.entity.heal_stats(vc)
+    }
+
+    // ---- Adversarial-input hooks -------------------------------------------
+
+    /// Deliver `msg` to this entity as if it had arrived on the control
+    /// channel from `from`, bypassing the network. Fuzzing/chaos hook:
+    /// the entity must absorb arbitrary control traffic — unknown VCs,
+    /// stale sequence numbers, replayed or reordered messages — without
+    /// panicking or corrupting unrelated VCs.
+    pub fn inject_control(&self, from: NetAddr, msg: crate::tpdu::ControlMsg) {
+        self.entity.on_control(from, msg);
+    }
+
+    /// Deliver `tpdu` to this entity as if it had arrived on a data VC,
+    /// bypassing the network. Fuzzing/chaos hook; `corrupted` marks the
+    /// fragment as damaged in transit (error-control path).
+    pub fn inject_data(&self, tpdu: crate::tpdu::DataTpdu, corrupted: bool) {
+        self.entity.on_data(tpdu, corrupted);
     }
 
     // ---- Introspection -----------------------------------------------------

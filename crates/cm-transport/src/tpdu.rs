@@ -212,6 +212,15 @@ pub enum ControlMsg {
         /// The discarded sequence numbers.
         seqs: Vec<u64>,
     },
+    /// Sender → receiver: re-advertise your cumulative freed total
+    /// unconditionally. Sent only by the self-healing path after a
+    /// suspected outage — if the last `Credit` message died on a downed
+    /// element, the sender's credit view is stale and the ordinary
+    /// delta-gated advertisement would never repeat it (DESIGN.md §9).
+    CreditProbe {
+        /// VC id.
+        vc: VcId,
+    },
     /// Receiver → sender: selective retransmission request for the listed
     /// OSDU sequence numbers (error-control classes with correction).
     Nack {
@@ -268,6 +277,7 @@ impl ControlMsg {
             | ControlMsg::RenegotiateRequest { vc, .. }
             | ControlMsg::RenegotiateResponse { vc, .. }
             | ControlMsg::Credit { vc, .. }
+            | ControlMsg::CreditProbe { vc }
             | ControlMsg::Dropped { vc, .. }
             | ControlMsg::Nack { vc, .. }
             | ControlMsg::Ack { vc, .. }

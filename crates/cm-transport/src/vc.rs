@@ -67,6 +67,9 @@ pub struct SourceEnd {
     pub stalled_credit: bool,
     /// When the current credit stall began (telemetry: stall duration).
     pub stalled_at: Option<SimTime>,
+    /// Consecutive RTO firings without window progress — the window
+    /// profile's path-failure detector (self-healing, DESIGN.md §9).
+    pub rto_strikes: u32,
     /// Interval-stats snapshot of `dropped` at last harvest.
     pub dropped_snap: u64,
 }

@@ -1,0 +1,529 @@
+//! Self-healing end-to-end tests (DESIGN.md §9): reroute of reserved
+//! unicast VCs over a surviving path, multicast tree regraft with
+//! unreachable-member pruning, revoked-reservation re-admission, and
+//! bounded give-up when no path ever returns.
+
+use cm_core::address::{AddressTriple, NetAddr, TransportAddr, Tsap, VcId};
+use cm_core::error::DisconnectReason;
+use cm_core::media::MediaProfile;
+use cm_core::osdu::Payload;
+use cm_core::qos::{QosParams, QosRequirement};
+use cm_core::rng::DetRng;
+use cm_core::service_class::ServiceClass;
+use cm_core::time::{Bandwidth, SimDuration, SimTime};
+use cm_transport::{EntityConfig, TransportService, TransportUser};
+use netsim::{Engine, LinkParams, Network, NodeClock};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+#[allow(dead_code)] // payload fields are read through Debug in failures
+enum Ev {
+    Disconnect(VcId, DisconnectReason),
+    GroupLeave(VcId, NetAddr, DisconnectReason),
+}
+
+struct HealUser {
+    events: RefCell<Vec<Ev>>,
+}
+
+impl HealUser {
+    fn new() -> Rc<HealUser> {
+        Rc::new(HealUser {
+            events: RefCell::new(Vec::new()),
+        })
+    }
+
+    fn disconnects(&self) -> Vec<(VcId, DisconnectReason)> {
+        self.events
+            .borrow()
+            .iter()
+            .filter_map(|e| match e {
+                Ev::Disconnect(vc, r) => Some((*vc, r.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn leaves(&self) -> Vec<(NetAddr, DisconnectReason)> {
+        self.events
+            .borrow()
+            .iter()
+            .filter_map(|e| match e {
+                Ev::GroupLeave(_, m, r) => Some((*m, r.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl TransportUser for HealUser {
+    fn t_connect_indication(
+        &self,
+        svc: &TransportService,
+        vc: VcId,
+        _triple: AddressTriple,
+        _class: ServiceClass,
+        _qos: QosRequirement,
+    ) {
+        svc.t_connect_response(vc, true).expect("accept");
+    }
+
+    fn t_connect_confirm(
+        &self,
+        _svc: &TransportService,
+        _vc: VcId,
+        _result: Result<QosParams, DisconnectReason>,
+    ) {
+    }
+
+    fn t_disconnect_indication(&self, _svc: &TransportService, vc: VcId, reason: DisconnectReason) {
+        self.events.borrow_mut().push(Ev::Disconnect(vc, reason));
+    }
+
+    fn t_group_leave_indication(
+        &self,
+        _svc: &TransportService,
+        vc: VcId,
+        member: TransportAddr,
+        reason: DisconnectReason,
+    ) {
+        self.events
+            .borrow_mut()
+            .push(Ev::GroupLeave(vc, member.node, reason));
+    }
+}
+
+/// Writes `total` OSDUs of `size` bytes as fast as the send buffer allows.
+fn drive_writer(svc: TransportService, vc: VcId, total: u64, size: usize) {
+    use std::cell::Cell;
+    let written = Rc::new(Cell::new(0u64));
+    fn step(svc: TransportService, vc: VcId, total: u64, size: usize, written: Rc<Cell<u64>>) {
+        loop {
+            if written.get() >= total {
+                return;
+            }
+            match svc.write_osdu(vc, Payload::synthetic(written.get(), size), None) {
+                Ok(true) => written.set(written.get() + 1),
+                Ok(false) => {
+                    let buf = svc.send_handle(vc).expect("send handle");
+                    let now = svc.now();
+                    let svc2 = svc.clone();
+                    let engine = svc.network().engine().clone();
+                    buf.park_producer(now, move || {
+                        let svc3 = svc2.clone();
+                        let w = written.clone();
+                        engine.schedule_in(SimDuration::ZERO, move |_| {
+                            step(svc3, vc, total, size, w)
+                        });
+                    });
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+    step(svc, vc, total, size, written);
+}
+
+/// Eagerly reads OSDUs, recording `(time, seq)`.
+fn drive_reader(svc: TransportService, vc: VcId) -> Rc<RefCell<Vec<(SimTime, u64)>>> {
+    let got = Rc::new(RefCell::new(Vec::new()));
+    fn step(svc: TransportService, vc: VcId, got: Rc<RefCell<Vec<(SimTime, u64)>>>) {
+        loop {
+            match svc.read_osdu(vc) {
+                Ok(Some(osdu)) => got.borrow_mut().push((svc.now(), osdu.seq())),
+                Ok(None) => {
+                    let buf = match svc.recv_handle(vc) {
+                        Ok(b) => b,
+                        Err(_) => return,
+                    };
+                    let now = svc.now();
+                    let svc2 = svc.clone();
+                    let engine = svc.network().engine().clone();
+                    let g = got.clone();
+                    buf.park_consumer(now, move || {
+                        let svc3 = svc2.clone();
+                        let engine2 = engine.clone();
+                        engine2.schedule_in(SimDuration::ZERO, move |_| step(svc3, vc, g));
+                    });
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+    let g = got.clone();
+    step(svc, vc, g);
+    got
+}
+
+/// Square topology with two disjoint 2-hop paths a→c (via b, via d) and
+/// transport entities on every node. Primary route a→b→c (first-added
+/// links win BFS ties).
+struct Square {
+    net: Network,
+    nodes: [NetAddr; 4],
+    svc: [TransportService; 4],
+    user: [Rc<HealUser>; 4],
+}
+
+fn square() -> Square {
+    let net = Network::new(Engine::new());
+    let mut rng = DetRng::from_seed(7);
+    let p = LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1));
+    let a = net.add_node(NodeClock::perfect());
+    let b = net.add_node(NodeClock::perfect());
+    let c = net.add_node(NodeClock::perfect());
+    let d = net.add_node(NodeClock::perfect());
+    net.add_duplex(a, b, p.clone(), &mut rng);
+    net.add_duplex(b, c, p.clone(), &mut rng);
+    net.add_duplex(a, d, p.clone(), &mut rng);
+    net.add_duplex(d, c, p, &mut rng);
+    let nodes = [a, b, c, d];
+    let user = [
+        HealUser::new(),
+        HealUser::new(),
+        HealUser::new(),
+        HealUser::new(),
+    ];
+    let svc = [
+        TransportService::install(&net, a, EntityConfig::default()),
+        TransportService::install(&net, b, EntityConfig::default()),
+        TransportService::install(&net, c, EntityConfig::default()),
+        TransportService::install(&net, d, EntityConfig::default()),
+    ];
+    for i in 0..4 {
+        svc[i]
+            .bind(Tsap(i as u16 + 1), user[i].clone())
+            .expect("bind");
+    }
+    Square {
+        net,
+        nodes,
+        svc,
+        user,
+    }
+}
+
+fn addr(s: &Square, i: usize) -> TransportAddr {
+    TransportAddr {
+        node: s.nodes[i],
+        tsap: Tsap(i as u16 + 1),
+    }
+}
+
+fn telephone_req() -> QosRequirement {
+    MediaProfile::audio_telephone().requirement()
+}
+
+fn open_a_to_c(s: &Square) -> VcId {
+    let triple = AddressTriple::conventional(addr(s, 0), addr(s, 2));
+    let vc = s.svc[0]
+        .t_connect_request(triple, ServiceClass::cm_default(), telephone_req())
+        .expect("request");
+    s.net.engine().run_for(SimDuration::from_millis(50));
+    assert!(s.svc[0].is_open(vc), "VC should open");
+    vc
+}
+
+// ---------------------------------------------------------------------
+// Unicast reroute
+// ---------------------------------------------------------------------
+
+#[test]
+fn reroute_moves_reservation_and_stream_to_surviving_path() {
+    let s = square();
+    let [a, b, _c, d] = s.nodes;
+    let vc = open_a_to_c(&s);
+    assert_eq!(s.net.reservation_intact(vc), Some(true));
+    drive_writer(s.svc[0].clone(), vc, 300, 80);
+    let got = drive_reader(s.svc[2].clone(), vc);
+    // Let part of the stream flow over the primary path, then cut it.
+    s.net.engine().run_for(SimDuration::from_secs(1));
+    let before = got.borrow().len();
+    assert!(before > 0, "stream should be flowing before the cut");
+    for lid in s.net.links_between(a, b) {
+        s.net.set_link_up(lid, false);
+    }
+    assert_eq!(
+        s.net.reservation_intact(vc),
+        Some(false),
+        "reservation now charges a dead link"
+    );
+    // The healing probe detects the stall, moves the reservation to the
+    // detour through d, and unsticks the stream.
+    s.net.engine().run_for(SimDuration::from_secs(20));
+    assert_eq!(
+        s.net.reservation_intact(vc),
+        Some(true),
+        "reservation re-admitted on live links"
+    );
+    assert_eq!(s.net.route(a, s.nodes[2]).unwrap()[0], {
+        s.net.links_between(a, d)[0]
+    });
+    let (attempts, repairs) = s.svc[0].heal_stats(vc);
+    assert!(repairs >= 1, "expected a successful repair, got {attempts}");
+    // The stream finished: every OSDU was delivered or declared dropped,
+    // in order, with no duplicates.
+    let got = got.borrow();
+    let seqs: Vec<u64> = got.iter().map(|&(_, s)| s).collect();
+    let mut sorted = seqs.clone();
+    sorted.dedup();
+    assert_eq!(seqs, sorted, "no duplicate deliveries");
+    assert!(
+        got.len() > before,
+        "stream resumed after the cut ({before} before, {} total)",
+        got.len()
+    );
+    let last = *seqs.last().expect("nonempty") as usize;
+    assert_eq!(last, 299, "stream ran to completion after the repair");
+}
+
+#[test]
+fn revoked_reservation_is_readmitted_on_indication() {
+    let s = square();
+    let vc = open_a_to_c(&s);
+    let held = s.net.revoke_reservation(vc);
+    assert!(held.is_some(), "revocation should find the reservation");
+    assert_eq!(s.net.reservation_intact(vc), None);
+    // Out-of-band indication (the chaos controller's job) arms the probe.
+    s.svc[0].on_reservation_revoked(vc);
+    s.net.engine().run_for(SimDuration::from_secs(2));
+    assert_eq!(
+        s.net.reservation_intact(vc),
+        Some(true),
+        "reservation re-admitted"
+    );
+    let (_, repairs) = s.svc[0].heal_stats(vc);
+    assert!(repairs >= 1);
+    assert!(s.svc[0].is_open(vc), "VC stayed up through the revocation");
+}
+
+#[test]
+fn unreachable_peer_gives_up_with_typed_disconnect() {
+    let s = square();
+    let [a, b, _c, d] = s.nodes;
+    let vc = open_a_to_c(&s);
+    drive_writer(s.svc[0].clone(), vc, 300, 80);
+    let _got = drive_reader(s.svc[2].clone(), vc);
+    s.net.engine().run_for(SimDuration::from_secs(1));
+    // Cut both paths: c is unreachable for good.
+    for lid in s.net.links_between(a, b) {
+        s.net.set_link_up(lid, false);
+    }
+    for lid in s.net.links_between(a, d) {
+        s.net.set_link_up(lid, false);
+    }
+    s.net.engine().run_for(SimDuration::from_secs(30));
+    let disc = s.user[0].disconnects();
+    assert_eq!(
+        disc,
+        vec![(vc, DisconnectReason::Unreachable)],
+        "bounded give-up surfaces a typed disconnect"
+    );
+    assert!(!s.svc[0].is_open(vc));
+    assert_eq!(
+        s.net.reservation_intact(vc),
+        None,
+        "give-up released the reservation"
+    );
+}
+
+#[test]
+fn fault_free_run_never_heals() {
+    let s = square();
+    let vc = open_a_to_c(&s);
+    drive_writer(s.svc[0].clone(), vc, 300, 80);
+    let got = drive_reader(s.svc[2].clone(), vc);
+    s.net.engine().run_for(SimDuration::from_secs(20));
+    assert_eq!(got.borrow().len(), 300);
+    let (attempts, repairs) = s.svc[0].heal_stats(vc);
+    assert_eq!(
+        (attempts, repairs),
+        (0, 0),
+        "no repair actions on a healthy path"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Window profile
+// ---------------------------------------------------------------------
+
+#[test]
+fn window_profile_reroutes_on_rto_strikes() {
+    use cm_core::service_class::{ErrorControlClass, ProtocolProfile};
+    let s = square();
+    let [a, b, _c, _d] = s.nodes;
+    let class = ServiceClass {
+        profile: ProtocolProfile::WindowBased,
+        error_control: ErrorControlClass::DetectCorrect,
+    };
+    let triple = AddressTriple::conventional(addr(&s, 0), addr(&s, 2));
+    let vc = s.svc[0]
+        .t_connect_request(triple, class, telephone_req())
+        .expect("request");
+    s.net.engine().run_for(SimDuration::from_millis(50));
+    assert!(s.svc[0].is_open(vc));
+    drive_writer(s.svc[0].clone(), vc, 300, 80);
+    let got = drive_reader(s.svc[2].clone(), vc);
+    s.net.engine().run_for(SimDuration::from_secs(1));
+    for lid in s.net.links_between(a, b) {
+        s.net.set_link_up(lid, false);
+    }
+    // RTO strikes accumulate, the probe repairs the reservation, and
+    // go-back-N retransmission drains the stream over the detour via d.
+    s.net.engine().run_for(SimDuration::from_secs(30));
+    assert_eq!(s.net.reservation_intact(vc), Some(true));
+    let got = got.borrow();
+    assert_eq!(got.len(), 300, "windowed stream survives the reroute");
+    let seqs: Vec<u64> = got.iter().map(|&(_, s)| s).collect();
+    assert_eq!(seqs, (0..300).collect::<Vec<_>>());
+}
+
+// ---------------------------------------------------------------------
+// Multicast regraft
+// ---------------------------------------------------------------------
+
+/// Root with two disjoint paths to a relay that fans out to two
+/// receivers, plus one receiver hanging off the primary path only:
+///
+/// ```text
+///          root ── h1 ── relay ── r1
+///            │            │
+///            └──── h2 ────┘
+///            h1 ── r2   (r2 reachable only through h1)
+/// ```
+struct McastWorld {
+    net: Network,
+    root: NetAddr,
+    h1: NetAddr,
+    r1: NetAddr,
+    r2: NetAddr,
+    svc_root: TransportService,
+    svc_r1: TransportService,
+    svc_r2: TransportService,
+    user_root: Rc<HealUser>,
+}
+
+fn mcast_world() -> McastWorld {
+    let net = Network::new(Engine::new());
+    let mut rng = DetRng::from_seed(9);
+    let p = LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1));
+    let root = net.add_node(NodeClock::perfect());
+    let h1 = net.add_node(NodeClock::perfect());
+    let h2 = net.add_node(NodeClock::perfect());
+    let relay = net.add_node(NodeClock::perfect());
+    let r1 = net.add_node(NodeClock::perfect());
+    let r2 = net.add_node(NodeClock::perfect());
+    net.add_duplex(root, h1, p.clone(), &mut rng);
+    net.add_duplex(h1, relay, p.clone(), &mut rng);
+    net.add_duplex(root, h2, p.clone(), &mut rng);
+    net.add_duplex(h2, relay, p.clone(), &mut rng);
+    net.add_duplex(relay, r1, p.clone(), &mut rng);
+    net.add_duplex(h1, r2, p, &mut rng);
+    let user_root = HealUser::new();
+    let svc_root = TransportService::install(&net, root, EntityConfig::default());
+    let svc_r1 = TransportService::install(&net, r1, EntityConfig::default());
+    let svc_r2 = TransportService::install(&net, r2, EntityConfig::default());
+    svc_root.bind(Tsap(1), user_root.clone()).expect("bind");
+    svc_r1.bind(Tsap(2), HealUser::new()).expect("bind");
+    svc_r2.bind(Tsap(3), HealUser::new()).expect("bind");
+    McastWorld {
+        net,
+        root,
+        h1,
+        r1,
+        r2,
+        svc_root,
+        svc_r1,
+        svc_r2,
+        user_root,
+    }
+}
+
+/// Timestamped delivery log of one receiver.
+type DeliveryLog = Rc<RefCell<Vec<(SimTime, u64)>>>;
+
+/// Open the group at the root and admit r1 and r2, then start the stream
+/// and let it run for a second before the caller injects a fault.
+fn mcast_streaming(w: &McastWorld) -> (VcId, DeliveryLog, DeliveryLog) {
+    let vc = w
+        .svc_root
+        .t_group_open(Tsap(1), ServiceClass::cm_default(), telephone_req())
+        .expect("group open");
+    w.svc_root
+        .t_group_add_receiver(
+            vc,
+            TransportAddr {
+                node: w.r1,
+                tsap: Tsap(2),
+            },
+        )
+        .expect("invite r1");
+    w.svc_root
+        .t_group_add_receiver(
+            vc,
+            TransportAddr {
+                node: w.r2,
+                tsap: Tsap(3),
+            },
+        )
+        .expect("invite r2");
+    w.net.engine().run_for(SimDuration::from_millis(100));
+    drive_writer(w.svc_root.clone(), vc, 300, 80);
+    let got1 = drive_reader(w.svc_r1.clone(), vc);
+    let got2 = drive_reader(w.svc_r2.clone(), vc);
+    w.net.engine().run_for(SimDuration::from_secs(1));
+    assert!(!got1.borrow().is_empty());
+    assert!(!got2.borrow().is_empty());
+    (vc, got1, got2)
+}
+
+#[test]
+fn regraft_detours_tree_after_link_cut() {
+    let w = mcast_world();
+    let (vc, got1, got2) = mcast_streaming(&w);
+    // Cut root—h1: the whole subtree (relay, r1, r2) detours via h2.
+    for lid in w.net.links_between(w.root, w.h1) {
+        w.net.set_link_up(lid, false);
+    }
+    w.net.engine().run_for(SimDuration::from_secs(20));
+    for (who, got) in [("r1", &got1), ("r2", &got2)] {
+        let got = got.borrow();
+        let last = *got.last().map(|(_, s)| s).expect("nonempty") as usize;
+        assert_eq!(last, 299, "{who} reached the end over the regrafted tree");
+    }
+    assert!(w.user_root.leaves().is_empty(), "no member was lost");
+    let (_, repairs) = w.svc_root.heal_stats(vc);
+    assert!(repairs >= 1, "regraft counted as a repair");
+}
+
+#[test]
+fn unreachable_member_is_pruned_with_typed_leave() {
+    let w = mcast_world();
+    let (_vc, got1, got2) = mcast_streaming(&w);
+    let r2_before = got2.borrow().len();
+    // Cut h1—r2, r2's only attachment: it can never rejoin the tree.
+    for lid in w.net.links_between(w.h1, w.r2) {
+        w.net.set_link_up(lid, false);
+    }
+    w.net.engine().run_for(SimDuration::from_secs(20));
+    // The surviving member kept receiving to the end of the stream…
+    let got1 = got1.borrow();
+    let last1 = *got1.last().map(|(_, s)| s).expect("r1 nonempty") as usize;
+    assert_eq!(last1, 299, "surviving member reached the end of stream");
+    // …r2 was pruned with a typed leave, and stopped receiving.
+    let leaves = w.user_root.leaves();
+    assert_eq!(leaves, vec![(w.r2, DisconnectReason::Unreachable)]);
+    let r2_after = got2.borrow().len();
+    assert!(
+        r2_after < 300,
+        "pruned member cannot have seen the full stream"
+    );
+    assert!(r2_after >= r2_before);
+}

@@ -28,7 +28,7 @@ pub use clock::NodeClock;
 pub use engine::{Engine, EventId, PeriodicTimer};
 pub use link::{JitterModel, LinkCounters, LinkParams};
 pub use multicast::{GroupId, GroupTree};
-pub use network::{LinkId, Network, NetworkCounters, NodeHandler};
+pub use network::{GroupRefresh, LinkId, Network, NetworkCounters, NodeHandler};
 pub use packet::{FlightKind, Packet, PacketClass, PacketFlight};
 pub use reservation::{AdmissionError, ReservationTable};
 pub use topology::{line, two_node, Testbed, TestbedConfig};

@@ -38,11 +38,18 @@ pub trait NodeHandler {
 struct NodeState {
     clock: NodeClock,
     handler: Option<Rc<dyn NodeHandler>>,
+    /// Fault state: a down node neither forwards, delivers nor originates
+    /// packets (fail-stop with state preserved across recovery).
+    up: bool,
 }
 
 struct LinkState {
+    from: NetAddr,
     to: NetAddr,
     link: Link,
+    /// Fault state: a down link rejects submissions and drops any flight
+    /// still riding it (queued or propagating) when the flight fires.
+    up: bool,
 }
 
 /// Network-wide drop counters by cause.
@@ -58,6 +65,21 @@ pub struct NetworkCounters {
     pub queue_overflow: u64,
     /// Packets dropped by link loss processes.
     pub link_loss: u64,
+    /// Packets dropped at or addressed through a crashed node.
+    pub node_down: u64,
+    /// Packets dropped on a link that went down while they rode it.
+    pub link_down: u64,
+}
+
+/// What [`Network::group_refresh`] did to a shared tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupRefresh {
+    /// Members dropped because no live root → member path exists any more.
+    pub unreachable: Vec<NetAddr>,
+    /// Detour links the rebuilt tree newly reserves.
+    pub links_added: usize,
+    /// Abandoned links the rebuilt tree released.
+    pub links_removed: usize,
 }
 
 /// State of one multicast group (see [`crate::multicast`]).
@@ -81,6 +103,11 @@ struct NetworkInner {
     adjacency: Vec<Vec<LinkId>>,
     /// `next_hop[from][dst]` = link to take, or `None` (lazily built).
     next_hop: Vec<Option<Vec<Option<LinkId>>>>,
+    /// Set the first time routes are computed; `add_link`/`add_node` refuse
+    /// afterwards. Kept separately from the `next_hop` caches because fault
+    /// transitions clear those to force recomputation around dead elements
+    /// — the topology itself stays frozen.
+    frozen: bool,
     groups: Vec<GroupState>,
     counters: NetworkCounters,
     reservations: ReservationTable,
@@ -89,7 +116,9 @@ struct NetworkInner {
 impl NetworkInner {
     fn build_routes_from(&mut self, from: usize) {
         // BFS by hop count; first-added link wins ties, so routing is
-        // deterministic and independent of query order.
+        // deterministic and independent of query order. Down nodes and
+        // down links are invisible: routes only use live elements.
+        self.frozen = true;
         let n = self.nodes.len();
         let mut first_link: Vec<Option<LinkId>> = vec![None; n];
         let mut visited = vec![false; n];
@@ -98,7 +127,14 @@ impl NetworkInner {
         q.push_back(from);
         while let Some(u) = q.pop_front() {
             for &lid in &self.adjacency[u] {
-                let v = self.links[lid.0 as usize].to.0 as usize;
+                let ls = &self.links[lid.0 as usize];
+                if !ls.up {
+                    continue;
+                }
+                let v = ls.to.0 as usize;
+                if !self.nodes[v].up {
+                    continue;
+                }
                 if !visited[v] {
                     visited[v] = true;
                     // The first hop toward v is inherited from u, unless u
@@ -109,6 +145,14 @@ impl NetworkInner {
             }
         }
         self.next_hop[from] = Some(first_link);
+    }
+
+    /// Throw away every cached route (fault transitions call this so the
+    /// next lookup recomputes around the new up/down state).
+    fn invalidate_routes(&mut self) {
+        for r in &mut self.next_hop {
+            *r = None;
+        }
     }
 
     fn next_hop(&mut self, from: NetAddr, dst: NetAddr) -> Option<LinkId> {
@@ -131,7 +175,14 @@ impl NetworkInner {
         q.push_back(root);
         while let Some(u) = q.pop_front() {
             for &lid in &self.adjacency[u] {
-                let v = self.links[lid.0 as usize].to.0 as usize;
+                let ls = &self.links[lid.0 as usize];
+                if !ls.up {
+                    continue;
+                }
+                let v = ls.to.0 as usize;
+                if !self.nodes[v].up {
+                    continue;
+                }
                 if !visited[v] {
                     visited[v] = true;
                     parent[v] = Some((NetAddr(u as u32), lid));
@@ -163,14 +214,37 @@ impl NetworkInner {
         Some(acc)
     }
 
+    /// Walk `member`'s parent chain to the root, or `None` if some hop is
+    /// missing (the member is cut off under the current parent forest).
+    fn member_branch(group: &GroupState, member: NetAddr) -> Option<Vec<LinkId>> {
+        let mut acc = Vec::new();
+        let mut v = member;
+        while v != group.root {
+            let (p, lid) = group.parent[v.0 as usize]?;
+            acc.push(lid);
+            v = p;
+        }
+        Some(acc)
+    }
+
     /// Rebuild a group's immutable tree snapshot from its member set.
+    ///
+    /// Members whose parent walk no longer reaches the root (possible once
+    /// nodes and links can go down) contribute no branch and are left out
+    /// of the snapshot's member set — [`Network::group_refresh`] is the
+    /// operation that reconciles membership after a fault.
     fn rebuild_tree(&self, g: GroupId) -> Rc<GroupTree> {
         let group = &self.groups[g.0 as usize];
         let mut links = BTreeSet::new();
+        let mut reached = BTreeSet::new();
         for &m in &group.members {
+            if Self::member_branch(group, m).is_none() {
+                continue; // cut off: no branch, not in this snapshot
+            }
+            reached.insert(m);
             let mut v = m;
             while v != group.root {
-                let (p, lid) = group.parent[v.0 as usize].expect("member admitted ⇒ reachable");
+                let (p, lid) = group.parent[v.0 as usize].expect("branch walk just succeeded");
                 if !links.insert(lid) {
                     break; // remainder of the walk is already in the tree
                 }
@@ -187,7 +261,7 @@ impl NetworkInner {
         }
         Rc::new(GroupTree {
             root: group.root,
-            members: group.members.clone(),
+            members: reached,
             out_links,
             links,
         })
@@ -216,6 +290,7 @@ impl Network {
                 links: Vec::new(),
                 adjacency: Vec::new(),
                 next_hop: Vec::new(),
+                frozen: false,
                 groups: Vec::new(),
                 counters: NetworkCounters::default(),
                 reservations: ReservationTable::default(),
@@ -245,9 +320,11 @@ impl Network {
     pub fn add_node(&self, clock: NodeClock) -> NetAddr {
         let mut inner = self.inner.borrow_mut();
         let addr = NetAddr(inner.nodes.len() as u32);
+        assert!(!inner.frozen, "topology frozen once routing has begun");
         inner.nodes.push(NodeState {
             clock,
             handler: None,
+            up: true,
         });
         inner.adjacency.push(Vec::new());
         inner.next_hop.push(None);
@@ -260,10 +337,7 @@ impl Network {
     /// before traffic starts).
     pub fn add_link(&self, from: NetAddr, to: NetAddr, params: LinkParams, rng: DetRng) -> LinkId {
         let mut inner = self.inner.borrow_mut();
-        assert!(
-            inner.next_hop.iter().all(|r| r.is_none()),
-            "topology frozen once routing has begun"
-        );
+        assert!(!inner.frozen, "topology frozen once routing has begun");
         assert!(
             (from.0 as usize) < inner.nodes.len() && (to.0 as usize) < inner.nodes.len(),
             "link endpoints must exist"
@@ -271,8 +345,10 @@ impl Network {
         assert_ne!(from, to, "self-links are not allowed");
         let id = LinkId(inner.links.len() as u32);
         inner.links.push(LinkState {
+            from,
             to,
             link: Link::new(params, rng),
+            up: true,
         });
         inner.adjacency[from.0 as usize].push(id);
         id
@@ -320,6 +396,84 @@ impl Network {
     /// Counters of one link.
     pub fn link_counters(&self, id: LinkId) -> crate::link::LinkCounters {
         self.inner.borrow().links[id.0 as usize].link.counters
+    }
+
+    // ==================================================================
+    // Fault API (up/down state used by cm-chaos and the healing layers)
+    // ==================================================================
+
+    /// Number of simplex links (ids are `0..link_count()`).
+    pub fn link_count(&self) -> usize {
+        self.inner.borrow().links.len()
+    }
+
+    /// The `(from, to)` endpoints of a simplex link.
+    pub fn link_endpoints(&self, id: LinkId) -> (NetAddr, NetAddr) {
+        let inner = self.inner.borrow();
+        let ls = &inner.links[id.0 as usize];
+        (ls.from, ls.to)
+    }
+
+    /// All simplex links `from → to`, in creation order.
+    pub fn links_between(&self, from: NetAddr, to: NetAddr) -> Vec<LinkId> {
+        let inner = self.inner.borrow();
+        inner.adjacency[from.0 as usize]
+            .iter()
+            .copied()
+            .filter(|&lid| inner.links[lid.0 as usize].to == to)
+            .collect()
+    }
+
+    /// Whether `node` is currently up.
+    pub fn is_node_up(&self, node: NetAddr) -> bool {
+        self.inner.borrow().nodes[node.0 as usize].up
+    }
+
+    /// Whether `link` is currently up.
+    pub fn is_link_up(&self, link: LinkId) -> bool {
+        self.inner.borrow().links[link.0 as usize].up
+    }
+
+    /// Crash or recover a node. A down node originates, forwards and
+    /// delivers nothing: flights landing on it are dropped, and routing
+    /// recomputes around it. Its protocol state is preserved (fail-stop
+    /// with amnesia-free recovery). Route caches are invalidated on every
+    /// transition; multicast trees are only reconciled by an explicit
+    /// [`Network::group_refresh`].
+    pub fn set_node_up(&self, node: NetAddr, up: bool) {
+        let mut inner = self.inner.borrow_mut();
+        let n = &mut inner.nodes[node.0 as usize];
+        if n.up == up {
+            return;
+        }
+        n.up = up;
+        inner.invalidate_routes();
+    }
+
+    /// Take a link down or bring it back up. A down link refuses new
+    /// submissions and drops every flight still riding it (queued or
+    /// propagating) when that flight fires. Route caches are invalidated
+    /// on every transition.
+    pub fn set_link_up(&self, link: LinkId, up: bool) {
+        let mut inner = self.inner.borrow_mut();
+        let l = &mut inner.links[link.0 as usize];
+        if l.up == up {
+            return;
+        }
+        l.up = up;
+        inner.invalidate_routes();
+    }
+
+    /// Forcibly revoke the reservation held by `vc` (the network-initiated
+    /// teardown a resource-reservation protocol can impose). Returns the
+    /// bandwidth that was held, or `None` if `vc` held nothing. The holder
+    /// is *not* notified through the data path — cm-chaos models the
+    /// out-of-band revocation indication by poking the transport directly.
+    pub fn revoke_reservation(&self, vc: VcId) -> Option<Bandwidth> {
+        let mut inner = self.inner.borrow_mut();
+        let held = inner.reservations.bandwidth_of(vc)?;
+        inner.reservations.release(vc);
+        Some(held)
     }
 
     /// The links a packet would traverse from `from` to `dst`, or `None`
@@ -443,6 +597,16 @@ impl Network {
     /// Release any reservation held by `vc`.
     pub fn release_reservation(&self, vc: VcId) {
         self.inner.borrow_mut().reservations.release(vc);
+    }
+
+    /// Whether `vc` holds a reservation whose links are all currently up.
+    /// `None` when `vc` holds no reservation at all — the self-healing
+    /// probe distinguishes "revoked" (re-admit) from "routed over a dead
+    /// link" (release, then re-admit on a detour).
+    pub fn reservation_intact(&self, vc: VcId) -> Option<bool> {
+        let inner = self.inner.borrow();
+        let route = inner.reservations.route_of(vc)?;
+        Some(route.iter().all(|&lid| inner.links[lid.0 as usize].up))
     }
 
     /// Adjust `vc`'s reservation to `bandwidth` in place (QoS
@@ -573,6 +737,80 @@ impl Network {
         }
     }
 
+    /// Reconcile `g`'s shared tree with the current up/down state of the
+    /// network: recompute the BFS parent forest around dead elements,
+    /// drop members that no longer have any live path from the root, and
+    /// move the tree's reservations onto the links of the rebuilt tree
+    /// (charging detour links, releasing abandoned ones — all-or-nothing:
+    /// if a detour link lacks bandwidth nothing changes and the caller
+    /// retries later). This is the multicast re-graft primitive the
+    /// transport's healing layer drives.
+    pub fn group_refresh(&self, g: GroupId) -> Result<GroupRefresh, AdmissionError> {
+        let mut inner = self.inner.borrow_mut();
+        let root = inner.groups[g.0 as usize].root;
+        let parent = if inner.nodes[root.0 as usize].up {
+            inner.build_mcast_parents(root.0 as usize)
+        } else {
+            vec![None; inner.nodes.len()] // dead root: nobody is reachable
+        };
+        inner.groups[g.0 as usize].parent = parent;
+        let unreachable: Vec<NetAddr> = {
+            let group = &inner.groups[g.0 as usize];
+            group
+                .members
+                .iter()
+                .copied()
+                .filter(|&m| NetworkInner::member_branch(group, m).is_none())
+                .collect()
+        };
+        for &m in &unreachable {
+            inner.groups[g.0 as usize].members.remove(&m);
+        }
+        let new_tree = inner.rebuild_tree(g);
+        let old_links = inner.groups[g.0 as usize].tree.links.clone();
+        let bandwidth = inner.groups[g.0 as usize].bandwidth;
+        // Charge against the ledger, not the old tree: a tree link whose
+        // reservation was revoked out-of-band is re-admitted here too, so
+        // one refresh heals both detours and revocations.
+        let added: Vec<(LinkId, Bandwidth)> = new_tree
+            .links
+            .iter()
+            .filter(|&&lid| !inner.reservations.holds(g.reservation_vc(), lid))
+            .map(|&lid| (lid, inner.links[lid.0 as usize].link.params().bandwidth))
+            .collect();
+        let removed: Vec<LinkId> = old_links
+            .difference(&new_tree.links)
+            .filter(|&&lid| inner.reservations.holds(g.reservation_vc(), lid))
+            .copied()
+            .collect();
+        if !added.is_empty() {
+            if let Err(e) = inner
+                .reservations
+                .admit_links(g.reservation_vc(), &added, bandwidth)
+            {
+                // Keep the old tree and membership so a later retry (or a
+                // renegotiation to a thinner rate) starts from known state.
+                for &m in &unreachable {
+                    inner.groups[g.0 as usize].members.insert(m);
+                }
+                drop(inner);
+                self.trace_reserve("net.group.refresh", g.0 as u64, bandwidth, &Err(e));
+                return Err(e);
+            }
+        }
+        inner
+            .reservations
+            .release_links(g.reservation_vc(), &removed);
+        inner.groups[g.0 as usize].tree = new_tree;
+        drop(inner);
+        self.trace_reserve("net.group.refresh", g.0 as u64, bandwidth, &Ok(()));
+        Ok(GroupRefresh {
+            unreachable,
+            links_added: added.len(),
+            links_removed: removed.len(),
+        })
+    }
+
     /// Dissolve `g`: drop all members and release every tree reservation.
     pub fn group_release(&self, g: GroupId) {
         let mut inner = self.inner.borrow_mut();
@@ -629,6 +867,11 @@ impl Network {
         let tree = self.group_tree(g);
         pkt.mgroup = Some(g);
         let root = tree.root;
+        if !self.is_node_up(root) {
+            self.inner.borrow_mut().counters.node_down += 1;
+            self.trace_drop(self.engine.now(), None, "node_down");
+            return;
+        }
         self.mcast_forward(&tree, root, pkt);
     }
 
@@ -643,8 +886,30 @@ impl Network {
             Self::hop_cell_parts(engine, engine.telemetry(), inner, cell);
             return;
         }
-        // Terminal: unicast arrival, or a multicast tree node. Handlers get
-        // a full `&Network`, so rebuild the owned handle here only.
+        // Terminal: unicast arrival, or a multicast tree node. Fault check
+        // first: a flight whose carrying link or landing node died after it
+        // was scheduled never lands.
+        {
+            let mut inn = inner.borrow_mut();
+            let via_down = f.via.is_some_and(|l| !inn.links[l.0 as usize].up);
+            let node_down = !inn.nodes[f.next.0 as usize].up;
+            if via_down || node_down {
+                let (reason, lid) = if via_down {
+                    inn.counters.link_down += 1;
+                    ("link_down", f.via)
+                } else {
+                    inn.counters.node_down += 1;
+                    ("node_down", None)
+                };
+                drop(inn);
+                (*cell).take();
+                engine.recycle_flight_cell(cell);
+                Self::trace_drop_parts(engine.telemetry(), engine.now(), lid, reason);
+                return;
+            }
+        }
+        // Handlers get a full `&Network`, so rebuild the owned handle here
+        // only.
         let net = Network {
             tel: engine.telemetry().clone(),
             engine: engine.clone(),
@@ -667,6 +932,10 @@ impl Network {
         pkt: &Packet,
     ) -> Result<(SimTime, bool, NetAddr), &'static str> {
         let mut inner = self.inner.borrow_mut();
+        if !inner.links[lid.0 as usize].up {
+            inner.counters.link_down += 1;
+            return Err("link_down");
+        }
         let ls = &mut inner.links[lid.0 as usize];
         let next = ls.to;
         match ls.link.submit(now, pkt.class, pkt.wire_size) {
@@ -707,6 +976,7 @@ impl Network {
                         arrival,
                         PacketFlight {
                             next,
+                            via: Some(lid),
                             pkt: branch_pkt,
                             kind: FlightKind::Mcast(tree.clone()),
                         },
@@ -748,6 +1018,7 @@ impl Network {
                 SimDuration::from_micros(10),
                 PacketFlight {
                     next,
+                    via: None,
                     pkt,
                     kind: FlightKind::Unicast,
                 },
@@ -757,6 +1028,7 @@ impl Network {
         let mut cell = self.engine.take_flight_cell();
         *cell = Some(PacketFlight {
             next: from,
+            via: None,
             pkt,
             kind: FlightKind::Unicast,
         });
@@ -782,28 +1054,38 @@ impl Network {
     ) {
         let now = engine.now();
         let f = (*cell).as_mut().expect("flight cell is full");
-        // Routing, link submission and counters under a single borrow.
+        // Routing, link submission and counters under a single borrow. The
+        // fault checks come first: a dead carrying link or a dead relay
+        // node swallows the flight.
         let outcome = {
             let mut inner = inner.borrow_mut();
-            match inner.next_hop(f.next, f.pkt.dst) {
-                None => {
-                    inner.counters.no_route += 1;
-                    Err((None, "no_route"))
-                }
-                Some(lid) => {
-                    let ls = &mut inner.links[lid.0 as usize];
-                    let next = ls.to;
-                    match ls.link.submit(now, f.pkt.class, f.pkt.wire_size) {
-                        LinkOutcome::Deliver { arrival, corrupted } => {
-                            Ok((arrival, corrupted, next, lid))
-                        }
-                        LinkOutcome::Drop(DropReason::QueueOverflow) => {
-                            inner.counters.queue_overflow += 1;
-                            Err((Some(lid), "queue_overflow"))
-                        }
-                        LinkOutcome::Drop(DropReason::Loss) => {
-                            inner.counters.link_loss += 1;
-                            Err((Some(lid), "loss"))
+            if f.via.is_some_and(|l| !inner.links[l.0 as usize].up) {
+                inner.counters.link_down += 1;
+                Err((f.via, "link_down"))
+            } else if !inner.nodes[f.next.0 as usize].up {
+                inner.counters.node_down += 1;
+                Err((None, "node_down"))
+            } else {
+                match inner.next_hop(f.next, f.pkt.dst) {
+                    None => {
+                        inner.counters.no_route += 1;
+                        Err((None, "no_route"))
+                    }
+                    Some(lid) => {
+                        let ls = &mut inner.links[lid.0 as usize];
+                        let next = ls.to;
+                        match ls.link.submit(now, f.pkt.class, f.pkt.wire_size) {
+                            LinkOutcome::Deliver { arrival, corrupted } => {
+                                Ok((arrival, corrupted, next, lid))
+                            }
+                            LinkOutcome::Drop(DropReason::QueueOverflow) => {
+                                inner.counters.queue_overflow += 1;
+                                Err((Some(lid), "queue_overflow"))
+                            }
+                            LinkOutcome::Drop(DropReason::Loss) => {
+                                inner.counters.link_loss += 1;
+                                Err((Some(lid), "loss"))
+                            }
                         }
                     }
                 }
@@ -814,6 +1096,7 @@ impl Network {
                 Self::trace_tx_parts(tel, now, lid, &f.pkt, arrival);
                 f.pkt.corrupted |= corrupted;
                 f.next = next;
+                f.via = Some(lid);
                 engine.schedule_flight_cell(arrival, cell);
             }
             Err((lid, reason)) => {
@@ -1250,6 +1533,202 @@ mod tests {
         let lonely = net.add_node(NodeClock::perfect());
         let g = net.create_group(root, Bandwidth::mbps(1));
         assert!(net.group_join(g, lonely).is_none());
+    }
+
+    /// Square topology with two disjoint 2-hop paths a→c (via b, via d).
+    fn square() -> (Network, [NetAddr; 4], Rc<Collector>) {
+        let net = Network::new(Engine::new());
+        let mut rng = DetRng::from_seed(41);
+        let a = net.add_node(NodeClock::perfect());
+        let b = net.add_node(NodeClock::perfect());
+        let c = net.add_node(NodeClock::perfect());
+        let d = net.add_node(NodeClock::perfect());
+        let p = LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1));
+        net.add_duplex(a, b, p.clone(), &mut rng);
+        net.add_duplex(b, c, p.clone(), &mut rng);
+        net.add_duplex(a, d, p.clone(), &mut rng);
+        net.add_duplex(d, c, p, &mut rng);
+        let col = Collector::new();
+        net.set_handler(c, col.clone());
+        (net, [a, b, c, d], col)
+    }
+
+    #[test]
+    fn link_down_reroutes_new_traffic() {
+        let (net, [a, b, c, d], col) = square();
+        // Primary route goes through b (first-added links win BFS ties).
+        assert_eq!(net.route(a, c).unwrap()[0], net.links_between(a, b)[0]);
+        net.set_link_up(net.links_between(a, b)[0], false);
+        // Recomputed route detours through d, still 2 hops, no drops.
+        assert_eq!(net.route(a, c).unwrap()[0], net.links_between(a, d)[0]);
+        net.send(a, Packet::control(a, c, 100, net.engine().now(), 1u64));
+        net.engine().run();
+        assert_eq!(col.got.borrow().len(), 1);
+        assert_eq!(net.counters().link_down, 0);
+    }
+
+    #[test]
+    fn link_down_drops_flights_riding_it() {
+        let (net, [a, b, c, _d], col) = square();
+        net.send(a, Packet::control(a, c, 100, net.engine().now(), 1u64));
+        // The packet is mid-flight on a→b when the link dies under it.
+        let ab = net.links_between(a, b)[0];
+        net.engine().schedule_at(SimTime::from_micros(500), {
+            let net = net.clone();
+            move |_| net.set_link_up(ab, false)
+        });
+        net.engine().run();
+        assert_eq!(col.got.borrow().len(), 0);
+        assert_eq!(net.counters().link_down, 1);
+    }
+
+    #[test]
+    fn node_down_drops_in_flight_and_recovery_restores() {
+        let (net, [a, b, c, _d], col) = square();
+        net.send(a, Packet::control(a, c, 100, net.engine().now(), 1u64));
+        // b crashes while the packet is in flight toward it.
+        net.engine().schedule_at(SimTime::from_micros(500), {
+            let net = net.clone();
+            move |_| net.set_node_up(b, false)
+        });
+        net.engine().run();
+        assert_eq!(col.got.borrow().len(), 0);
+        assert_eq!(net.counters().node_down, 1);
+        // New traffic detours around the dead node…
+        net.send(a, Packet::control(a, c, 100, net.engine().now(), 2u64));
+        net.engine().run();
+        assert_eq!(col.got.borrow().len(), 1);
+        // …and recovery makes b usable again.
+        net.set_node_up(b, true);
+        assert_eq!(net.route(a, c).unwrap()[0], net.links_between(a, b)[0]);
+    }
+
+    #[test]
+    fn dead_destination_is_unroutable() {
+        let (net, [a, _b, c, d], _col) = square();
+        net.set_node_up(c, false);
+        assert!(net.route(a, c).is_none());
+        net.send(a, Packet::control(a, c, 100, net.engine().now(), 1u64));
+        net.engine().run();
+        assert_eq!(net.counters().no_route, 1);
+        let _ = d;
+    }
+
+    #[test]
+    fn fault_transitions_keep_topology_frozen() {
+        let (net, [a, b, _c, _d], _col) = square();
+        net.route(a, b);
+        net.set_link_up(LinkId(0), false);
+        net.set_link_up(LinkId(0), true);
+        // Route caches were invalidated, but the topology stays frozen.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.add_link(
+                a,
+                b,
+                LinkParams::clean(Bandwidth::mbps(1), SimDuration::ZERO),
+                DetRng::from_seed(0),
+            );
+        }));
+        assert!(r.is_err(), "add_link must still panic after fault churn");
+    }
+
+    #[test]
+    fn group_refresh_regrafts_around_dead_hub() {
+        // root—hubA—r and root—hubB—r: the tree prefers hubA, then hubA
+        // dies and refresh moves the branch (and its reservation) to hubB.
+        let net = Network::new(Engine::new());
+        let mut rng = DetRng::from_seed(43);
+        let root = net.add_node(NodeClock::perfect());
+        let hub_a = net.add_node(NodeClock::perfect());
+        let hub_b = net.add_node(NodeClock::perfect());
+        let r = net.add_node(NodeClock::perfect());
+        let p = LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(1));
+        net.add_duplex(root, hub_a, p.clone(), &mut rng);
+        net.add_duplex(root, hub_b, p.clone(), &mut rng);
+        net.add_duplex(hub_a, r, p.clone(), &mut rng);
+        net.add_duplex(hub_b, r, p, &mut rng);
+        let g = net.create_group(root, Bandwidth::mbps(2));
+        net.group_join(g, r).unwrap().unwrap();
+        let via_a = net.links_between(hub_a, r)[0];
+        let via_b = net.links_between(hub_b, r)[0];
+        assert_eq!(net.reserved_on(via_a), Bandwidth::mbps(2));
+        net.set_node_up(hub_a, false);
+        let outcome = net.group_refresh(g).unwrap();
+        assert!(outcome.unreachable.is_empty());
+        assert_eq!(outcome.links_added, 2);
+        assert_eq!(outcome.links_removed, 2);
+        assert_eq!(net.reserved_on(via_a), Bandwidth::ZERO);
+        assert_eq!(net.reserved_on(via_b), Bandwidth::mbps(2));
+        assert_eq!(net.group_members(g), vec![r]);
+        // Delivery works over the re-grafted tree.
+        let col = Collector::new();
+        net.set_handler(r, col.clone());
+        net.send_to_group(
+            g,
+            Packet::group(
+                root,
+                g,
+                None,
+                PacketClass::Data,
+                500,
+                net.engine().now(),
+                9u64,
+            ),
+        );
+        net.engine().run();
+        assert_eq!(col.got.borrow().len(), 1);
+    }
+
+    #[test]
+    fn group_refresh_drops_unreachable_members() {
+        let (net, root, hub, rs, _cols) = mcast_net();
+        let g = net.create_group(root, Bandwidth::mbps(2));
+        for &r in &rs {
+            net.group_join(g, r).unwrap().unwrap();
+        }
+        // r0 is cut off entirely (star topology: single access link pair).
+        net.set_link_up(net.links_between(hub, rs[0])[0], false);
+        net.set_link_up(net.links_between(rs[0], hub)[0], false);
+        let outcome = net.group_refresh(g).unwrap();
+        assert_eq!(outcome.unreachable, vec![rs[0]]);
+        assert_eq!(net.group_members(g), vec![rs[1], rs[2]]);
+        // r0's branch reservation was released, the rest kept.
+        let b0 = net.links_between(hub, rs[0])[0];
+        assert_eq!(net.reserved_on(b0), Bandwidth::ZERO);
+        let shared = net.links_between(root, hub)[0];
+        assert_eq!(net.reserved_on(shared), Bandwidth::mbps(2));
+    }
+
+    #[test]
+    fn revoke_reservation_frees_the_route() {
+        let (net, [a, _b, c, _d], _col) = square();
+        net.reserve_path(VcId(5), a, c, Bandwidth::mbps(4))
+            .unwrap()
+            .unwrap();
+        assert_eq!(net.revoke_reservation(VcId(5)), Some(Bandwidth::mbps(4)));
+        assert_eq!(net.revoke_reservation(VcId(5)), None);
+        assert_eq!(net.reservation_count(), 0);
+    }
+
+    #[test]
+    fn group_refresh_heals_a_revoked_tree_reservation() {
+        let (net, root, hub, rs, _cols) = mcast_net();
+        let g = net.create_group(root, Bandwidth::mbps(2));
+        for &r in &rs {
+            net.group_join(g, r).unwrap().unwrap();
+        }
+        let shared = net.links_between(root, hub)[0];
+        assert_eq!(net.reserved_on(shared), Bandwidth::mbps(2));
+        // The network revokes the whole tree reservation out-of-band; the
+        // tree itself is unchanged, so a refresh re-admits every tree link.
+        let vc = g.reservation_vc();
+        assert_eq!(net.revoke_reservation(vc), Some(Bandwidth::mbps(2)));
+        assert_eq!(net.reserved_on(shared), Bandwidth::ZERO);
+        let outcome = net.group_refresh(g).unwrap();
+        assert!(outcome.unreachable.is_empty());
+        assert_eq!(outcome.links_added, 1 + rs.len());
+        assert_eq!(outcome.links_removed, 0);
+        assert_eq!(net.reserved_on(shared), Bandwidth::mbps(2));
     }
 
     #[test]

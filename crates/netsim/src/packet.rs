@@ -8,6 +8,7 @@
 //! do about it).
 
 use crate::multicast::{GroupId, GroupTree};
+use crate::network::LinkId;
 use cm_core::address::{NetAddr, VcId};
 use cm_core::time::SimTime;
 use std::any::Any;
@@ -38,6 +39,10 @@ pub enum FlightKind {
 pub struct PacketFlight {
     /// The node this flight lands on.
     pub next: NetAddr,
+    /// The link carrying this hop (`None` for intra-host loopback). If the
+    /// link goes down while the flight rides it, the flight is dropped at
+    /// fire time — the fault model's "packets on a dead wire are lost".
+    pub via: Option<LinkId>,
     /// The packet itself (payload shared by `Rc`).
     pub pkt: Packet,
     /// What happens at the landing node.

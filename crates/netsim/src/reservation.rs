@@ -244,6 +244,20 @@ impl ReservationTable {
         self.records.get(&vc).map(|r| r.bandwidth)
     }
 
+    /// The links `vc`'s reservation currently charges, if any.
+    pub fn route_of(&self, vc: VcId) -> Option<&[LinkId]> {
+        self.records.get(&vc).map(|r| r.route.as_slice())
+    }
+
+    /// Whether `vc`'s reservation currently charges `link`. Lets the
+    /// multicast refresh distinguish tree links that are still paid for
+    /// from links whose reservation was revoked out from under the tree.
+    pub fn holds(&self, vc: VcId, link: LinkId) -> bool {
+        self.records
+            .get(&vc)
+            .is_some_and(|r| r.route.contains(&link))
+    }
+
     /// Number of live reservations.
     pub fn count(&self) -> usize {
         self.records.len()

@@ -21,6 +21,11 @@ pub struct Testbed {
     pub net: Network,
     /// The switch at the centre (the "network emulator").
     pub switch: NetAddr,
+    /// A second switch every node is also homed to when the testbed is
+    /// built with [`TestbedConfig::build_resilient`]; `None` for the plain
+    /// star. Routing prefers the primary switch (first-added links win BFS
+    /// ties) and fails over to this one when the primary path dies.
+    pub backup_switch: Option<NetAddr>,
     /// Workstation nodes (sinks and interactive sources).
     pub workstations: Vec<NetAddr>,
     /// Storage-server nodes (stored-media sources).
@@ -97,6 +102,18 @@ impl TestbedConfig {
     /// Build a star: every workstation and server has a duplex link to a
     /// central switch.
     pub fn build(&self, engine: Engine) -> Testbed {
+        self.build_inner(engine, false)
+    }
+
+    /// Build a dual-homed star: every node has duplex links to *two*
+    /// switches, so any single link or switch failure leaves a live
+    /// alternative path — the topology the fault-recovery experiments run
+    /// on. Routing prefers the primary switch (its links are added first).
+    pub fn build_resilient(&self, engine: Engine) -> Testbed {
+        self.build_inner(engine, true)
+    }
+
+    fn build_inner(&self, engine: Engine, resilient: bool) -> Testbed {
         let net = Network::new(engine);
         let mut rng = DetRng::from_seed(self.seed);
         let mut skews = self.clock_skews_ppm.iter().copied().cycle();
@@ -110,6 +127,7 @@ impl TestbedConfig {
         let empty = self.clock_skews_ppm.is_empty();
 
         let switch = net.add_node(NodeClock::perfect());
+        let backup_switch = resilient.then(|| net.add_node(NodeClock::perfect()));
         let params = self.link_params();
         let prop_for = |i: usize| -> SimDuration {
             if self.propagation_steps.is_empty() {
@@ -119,27 +137,33 @@ impl TestbedConfig {
             }
         };
         let mut idx = 0usize;
-        let mut workstations = Vec::new();
-        for _ in 0..self.workstations {
-            let w = net.add_node(next_clock(empty));
+        let mut attach = |node: NetAddr, rng: &mut DetRng| {
             let mut p = params.clone();
             p.propagation = prop_for(idx);
             idx += 1;
-            net.add_duplex(w, switch, p, &mut rng);
+            // Primary first: BFS tie-breaks prefer the first-added link, so
+            // the backup homing only carries traffic after a failure.
+            net.add_duplex(node, switch, p.clone(), rng);
+            if let Some(bk) = backup_switch {
+                net.add_duplex(node, bk, p, rng);
+            }
+        };
+        let mut workstations = Vec::new();
+        for _ in 0..self.workstations {
+            let w = net.add_node(next_clock(empty));
+            attach(w, &mut rng);
             workstations.push(w);
         }
         let mut servers = Vec::new();
         for _ in 0..self.servers {
             let s = net.add_node(next_clock(empty));
-            let mut p = params.clone();
-            p.propagation = prop_for(idx);
-            idx += 1;
-            net.add_duplex(s, switch, p, &mut rng);
+            attach(s, &mut rng);
             servers.push(s);
         }
         Testbed {
             net,
             switch,
+            backup_switch,
             workstations,
             servers,
         }
@@ -199,6 +223,22 @@ mod tests {
         assert_eq!(tb.net.clock(tb.workstations[1]).skew_ppm, -100);
         assert_eq!(tb.net.clock(tb.workstations[2]).skew_ppm, 100);
         assert_eq!(tb.net.clock(tb.switch).skew_ppm, 0);
+    }
+
+    #[test]
+    fn resilient_testbed_survives_primary_switch_death() {
+        let tb = TestbedConfig::lancaster().build_resilient(Engine::new());
+        let bk = tb.backup_switch.expect("resilient build has a backup");
+        let (src, dst) = (tb.servers[0], tb.workstations[0]);
+        // Primary path rides the first switch…
+        let r = tb.net.route(src, dst).expect("route exists");
+        assert_eq!(r.len(), 2);
+        assert_eq!(tb.net.link_endpoints(r[0]).1, tb.switch);
+        // …and the backup takes over when it dies, same hop count.
+        tb.net.set_node_up(tb.switch, false);
+        let r = tb.net.route(src, dst).expect("failover route exists");
+        assert_eq!(r.len(), 2);
+        assert_eq!(tb.net.link_endpoints(r[0]).1, bk);
     }
 
     #[test]

@@ -176,8 +176,10 @@ fn cm_telemetry_capacity() -> usize {
 /// (the failing assertion prints the observed values).
 const GOLDEN_DELIVERY_FNV: u64 = 0xca52ffd0d643abc0;
 const GOLDEN_JSONL_FNV: u64 = 0x96b4b940cd5eb559;
+// `node_down`/`link_down` were appended to `NetworkCounters` by the fault
+// API; a zero-fault run must keep them at zero.
 const GOLDEN_COUNTERS: &str = "NetworkCounters { delivered: 180, no_handler: 0, no_route: 0, \
-     queue_overflow: 38, link_loss: 2 }";
+     queue_overflow: 38, link_loss: 2, node_down: 0, link_down: 0 }";
 
 #[test]
 fn same_seed_delivery_order_and_telemetry_are_pinned() {
