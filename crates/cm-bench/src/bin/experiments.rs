@@ -1,14 +1,31 @@
 //! Experiment runner: `cargo run -p cm-bench --bin experiments -- <id>`
 //! with `<id>` one of `conformance f3 f6 f7 e1 e2 e3 e4 e5 e6 e7 e9 e10
 //! e11 e12 a1 a2 all`. Output is the tables recorded in EXPERIMENTS.md.
+//! `regen-output [path]` re-runs `all` and captures the tables into
+//! `experiments_output.txt` (the artifact is generated, not tracked).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: experiments <id>...\n  ids: conformance f3 f6 f7 e1 e2 e3 e4 e5 e6 e7 e9 e10 e11 e12 a1 a2 all"
+            "usage: experiments <id>...\n  ids: conformance f3 f6 f7 e1 e2 e3 e4 e5 e6 e7 e9 e10 e11 e12 a1 a2 all\n  or: experiments regen-output [path]"
         );
         std::process::exit(2);
+    }
+    if args[0] == "regen-output" {
+        let path = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("experiments_output.txt");
+        let exe = std::env::current_exe().expect("current exe");
+        let out = std::process::Command::new(exe)
+            .arg("all")
+            .output()
+            .expect("re-exec experiments all");
+        assert!(out.status.success(), "experiments all failed");
+        std::fs::write(path, &out.stdout).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+        return;
     }
     for id in &args {
         if !cm_bench::experiments::run(id) {

@@ -1,0 +1,236 @@
+//! City-scale headline bench: replays a seeded 10k-room / 100k+-member
+//! schedule of room arrivals, member churn and media publishes against
+//! the full stack and reports sustained wall-clock throughput —
+//! engine events/sec and simulated media bytes/sec.
+//!
+//! Modes:
+//!
+//! - default: run the `city_10k` workload once and write the measured
+//!   numbers to `BENCH_scale.json` (or the `--out` path).
+//! - `--smoke`: a ~50-room config run twice with the same seed; the two
+//!   runs must agree event-for-event (deterministic completion is
+//!   asserted, for CI).
+//! - `--metrics`: additionally print `key=value` lines to stdout, one
+//!   per measure, for the interleaved A/B harness to harvest.
+//! - `--telemetry-jsonl <path>`: run with telemetry enabled and dump the
+//!   full JSONL export (the byte-identical before/after check).
+//!
+//! `--rooms`, `--nodes`, `--seed`, `--runs` override the workload shape;
+//! `--runs N` takes the best (min wall time) of N runs, for the
+//! interleaved min-of-N methodology from BENCH_netsim.json.
+
+use cm_bench::city_run::{run_city, run_city_schedule, CityStats};
+use cm_testkit::{CityConfig, CitySchedule};
+use std::time::Instant;
+
+struct Measured {
+    stats: CityStats,
+    wall_ms: u64,
+    events_per_sec: f64,
+    bytes_per_sec: f64,
+}
+
+fn measure_once(cfg: &CityConfig) -> Measured {
+    let start = Instant::now();
+    let stats = run_city(cfg, None);
+    let wall = start.elapsed();
+    let secs = wall.as_secs_f64().max(1e-9);
+    Measured {
+        events_per_sec: stats.events_executed as f64 / secs,
+        bytes_per_sec: (stats.bytes_written + stats.bytes_delivered) as f64 / secs,
+        wall_ms: wall.as_millis() as u64,
+        stats,
+    }
+}
+
+/// Min-of-N: keep the run with the smallest wall time.
+fn measure_best(cfg: &CityConfig, runs: u32) -> Measured {
+    let mut best = measure_once(cfg);
+    for _ in 1..runs {
+        let m = measure_once(cfg);
+        if m.wall_ms < best.wall_ms {
+            best = m;
+        }
+    }
+    best
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(
+    path: &str,
+    cfg: &CityConfig,
+    m: &Measured,
+    deterministic: Option<bool>,
+    notes: &str,
+) {
+    let s = &m.stats;
+    let det = match deterministic {
+        Some(b) => format!("\n  \"deterministic\": {b},"),
+        None => String::new(),
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"cm-bench/src/bin/room_scale.rs\",\n  \"workload\": \"room-churn city\",\n  \"notes\": \"{}\",{}\n  \"config\": {{\n    \"seed\": {},\n    \"nodes\": {},\n    \"rooms\": {},\n    \"members_min\": {},\n    \"members_max\": {},\n    \"arrival_window_ms\": {},\n    \"churn_percent\": {},\n    \"writes_per_stream\": {}\n  }},\n  \"results\": {{\n    \"rooms_opened\": {},\n    \"member_slots_joined\": {},\n    \"joins_denied\": {},\n    \"streams_published\": {},\n    \"osdus_written\": {},\n    \"bytes_written\": {},\n    \"osdus_delivered\": {},\n    \"bytes_delivered\": {},\n    \"engine_events\": {},\n    \"sim_ms\": {},\n    \"wall_ms\": {},\n    \"events_per_sec\": {:.0},\n    \"bytes_per_sec\": {:.0}\n  }}\n}}\n",
+        json_escape(notes),
+        det,
+        cfg.seed,
+        cfg.nodes,
+        cfg.rooms,
+        cfg.members_min,
+        cfg.members_max,
+        cfg.arrival_window_ms,
+        cfg.churn_percent,
+        cfg.writes_per_stream,
+        s.rooms_opened,
+        s.joins_ok,
+        s.joins_denied,
+        s.published,
+        s.osdus_written,
+        s.bytes_written,
+        s.osdus_delivered,
+        s.bytes_delivered,
+        s.events_executed,
+        s.sim_ms,
+        m.wall_ms,
+        m.events_per_sec,
+        m.bytes_per_sec,
+    );
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut metrics = false;
+    let mut out = "BENCH_scale.json".to_string();
+    let mut telemetry_jsonl: Option<String> = None;
+    let mut seed = 7u64;
+    let mut rooms: Option<u32> = None;
+    let mut nodes: Option<u32> = None;
+    let mut runs = 1u32;
+    let mut writes: Option<u32> = None;
+    let mut churn: Option<u32> = None;
+    let mut i = 0;
+    let take = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i)
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--metrics" => metrics = true,
+            "--out" => out = take(&args, &mut i, "--out"),
+            "--telemetry-jsonl" => telemetry_jsonl = Some(take(&args, &mut i, "--telemetry-jsonl")),
+            "--seed" => seed = take(&args, &mut i, "--seed").parse().expect("--seed u64"),
+            "--rooms" => rooms = Some(take(&args, &mut i, "--rooms").parse().expect("--rooms u32")),
+            "--nodes" => nodes = Some(take(&args, &mut i, "--nodes").parse().expect("--nodes u32")),
+            "--runs" => runs = take(&args, &mut i, "--runs").parse().expect("--runs u32"),
+            "--writes" => {
+                writes = Some(
+                    take(&args, &mut i, "--writes")
+                        .parse()
+                        .expect("--writes u32"),
+                )
+            }
+            "--churn" => churn = Some(take(&args, &mut i, "--churn").parse().expect("--churn u32")),
+            other => {
+                eprintln!("unknown arg: {other}");
+                eprintln!("usage: room_scale [--smoke] [--metrics] [--out PATH] [--telemetry-jsonl PATH] [--seed N] [--rooms N] [--nodes N] [--runs N] [--writes N] [--churn PCT]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut cfg = if smoke {
+        CityConfig::smoke(seed)
+    } else {
+        CityConfig::city_10k(seed)
+    };
+    if let Some(r) = rooms {
+        cfg.rooms = r;
+    }
+    if let Some(n) = nodes {
+        cfg.nodes = n.max(cfg.members_max);
+    }
+    if let Some(w) = writes {
+        cfg.writes_per_stream = w;
+    }
+    if let Some(c) = churn {
+        cfg.churn_percent = c.min(100);
+    }
+
+    if let Some(path) = &telemetry_jsonl {
+        // Telemetry run: fixed capacity, export everything after the run.
+        let schedule = CitySchedule::generate(&cfg);
+        let (_stats, engine) = run_city_schedule(&cfg, schedule, Some(1 << 20));
+        std::fs::write(path, engine.telemetry().export_jsonl())
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+        return;
+    }
+
+    let schedule = CitySchedule::generate(&cfg);
+    eprintln!(
+        "room_scale: {} rooms, {} member slots, {} events, schedule fnv {:#018x}",
+        cfg.rooms,
+        schedule.member_slots,
+        schedule.events.len(),
+        schedule.fnv()
+    );
+
+    let (m, deterministic) = if smoke {
+        // Determinism assertion: two identical runs must agree exactly.
+        let a = measure_once(&cfg);
+        let b = measure_once(&cfg);
+        assert_eq!(
+            a.stats.events_executed, b.stats.events_executed,
+            "smoke runs diverged: engine event counts differ"
+        );
+        assert_eq!(
+            a.stats.joins_ok, b.stats.joins_ok,
+            "smoke runs diverged: joins"
+        );
+        assert_eq!(
+            a.stats.osdus_delivered, b.stats.osdus_delivered,
+            "smoke runs diverged: deliveries"
+        );
+        assert_eq!(
+            a.stats.sim_ms, b.stats.sim_ms,
+            "smoke runs diverged: sim time"
+        );
+        eprintln!(
+            "smoke: deterministic ({} events both runs)",
+            a.stats.events_executed
+        );
+        (if b.wall_ms < a.wall_ms { b } else { a }, Some(true))
+    } else {
+        (measure_best(&cfg, runs), None)
+    };
+
+    assert_eq!(m.stats.joins_denied, 0, "city workload must admit everyone");
+
+    if metrics {
+        println!("events={}", m.stats.events_executed);
+        println!("wall_ms={}", m.wall_ms);
+        println!("events_per_sec={:.0}", m.events_per_sec);
+        println!("bytes_per_sec={:.0}", m.bytes_per_sec);
+        println!("member_slots={}", m.stats.joins_ok);
+        println!("sim_ms={}", m.stats.sim_ms);
+    }
+
+    let notes = if smoke {
+        "CI smoke config (~50 rooms); deterministic completion asserted by running the same seed twice and comparing event counts, admissions, deliveries and final sim time.".to_string()
+    } else {
+        format!(
+            "Headline city workload: {} rooms / {} member slots over a {}-node star, best (min wall time) of {} run(s). Sustained events/sec = engine events executed / wall seconds; bytes/sec = media bytes written+delivered / wall seconds. See notes in this bench for the interleaved A/B methodology.",
+            cfg.rooms, m.stats.joins_ok, cfg.nodes, runs
+        )
+    };
+    write_json(&out, &cfg, &m, deterministic, &notes);
+}

@@ -8,5 +8,6 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod city_run;
 pub mod experiments;
 pub mod table;

@@ -14,6 +14,8 @@
 //! - [`media`]: canonical media profiles (32 Kbit/s voice … HDTV);
 //! - [`error`]: disconnect/denial reasons and service errors;
 //! - [`rng`]: deterministic seeded randomness;
+//! - [`hash`]: fast non-cryptographic hashing for id-keyed hot maps;
+//! - [`slab`]: generation-tagged slab for handle-indexed hot state;
 //! - [`stats`]: measurement accumulators.
 //!
 //! Nothing here performs I/O or scheduling; the discrete-event machinery
@@ -24,20 +26,24 @@
 
 pub mod address;
 pub mod error;
+pub mod hash;
 pub mod media;
 pub mod osdu;
 pub mod qos;
 pub mod rng;
 pub mod service_class;
+pub mod slab;
 pub mod stats;
 pub mod time;
 
 pub use address::{AddressTriple, NetAddr, OrchSessionId, TransportAddr, Tsap, VcId};
 pub use error::{DisconnectReason, OrchDenyReason, ServiceError};
+pub use hash::{FastMap, FastSet};
 pub use media::{MediaKind, MediaProfile};
 pub use osdu::{Opdu, Osdu, Payload, OPDU_WIRE_SIZE};
 pub use qos::{ErrorRate, GuaranteeMode, QosParams, QosRequirement, QosTolerance, QosViolation};
 pub use rng::DetRng;
 pub use service_class::{ErrorControlClass, ProtocolProfile, ServiceClass};
+pub use slab::{Slab, SlabHandle};
 pub use stats::{OnlineStats, SampleSet};
 pub use time::{Bandwidth, Rate, SimDuration, SimTime};

@@ -1,0 +1,226 @@
+//! Generation-tagged slab: stable `u32` handles over a reusable slot
+//! array.
+//!
+//! The scale refactor keys per-VC and per-member hot state by slab handle
+//! instead of by map key: the id→handle lookup happens once per event at
+//! the demultiplex point, and everything downstream is a bounds-checked
+//! array index. Handles are *generation-tagged* — removing a value bumps
+//! the slot's generation, so a stale handle held across a removal resolves
+//! to `None` instead of aliasing the slot's next occupant. This is the
+//! same staleness discipline the netsim engine uses for its event slots,
+//! lifted into a reusable container.
+//!
+//! Determinism note: insertion order and the free-list discipline (LIFO)
+//! are fully deterministic; no iteration order here depends on hashing.
+
+/// A generation-tagged reference to a slab slot.
+///
+/// `SlabHandle` is `Copy` and cheap to store in timers and closures. A
+/// handle outliving its value is safe: lookups verify the generation and
+/// return `None` once the slot has been reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlabHandle {
+    index: u32,
+    generation: u32,
+}
+
+impl SlabHandle {
+    /// The raw slot index (diagnostics only — never dereference manually).
+    pub fn index(self) -> u32 {
+        self.index
+    }
+}
+
+struct Slot<T> {
+    /// Bumped on each removal; a handle is live iff generations match.
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A slab of `T` addressed by [`SlabHandle`].
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    /// LIFO free list of vacant slot indices.
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Slab<T> {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty slab with room for `cap` values before reallocating.
+    pub fn with_capacity(cap: usize) -> Slab<T> {
+        Slab {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds no live values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots allocated (live + vacant) — the high-water mark.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Insert a value, reusing the most recently vacated slot if any.
+    pub fn insert(&mut self, value: T) -> SlabHandle {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.value.is_none(), "free list pointed at a live slot");
+            slot.value = Some(value);
+            return SlabHandle {
+                index,
+                generation: slot.generation,
+            };
+        }
+        let index = u32::try_from(self.slots.len()).expect("slab overflow");
+        self.slots.push(Slot {
+            generation: 0,
+            value: Some(value),
+        });
+        SlabHandle {
+            index,
+            generation: 0,
+        }
+    }
+
+    /// The value behind `h`, if the handle is still live.
+    pub fn get(&self, h: SlabHandle) -> Option<&T> {
+        let slot = self.slots.get(h.index as usize)?;
+        if slot.generation != h.generation {
+            return None;
+        }
+        slot.value.as_ref()
+    }
+
+    /// Mutable access to the value behind `h`, if still live.
+    pub fn get_mut(&mut self, h: SlabHandle) -> Option<&mut T> {
+        let slot = self.slots.get_mut(h.index as usize)?;
+        if slot.generation != h.generation {
+            return None;
+        }
+        slot.value.as_mut()
+    }
+
+    /// Whether `h` still refers to a live value.
+    pub fn contains(&self, h: SlabHandle) -> bool {
+        self.slots
+            .get(h.index as usize)
+            .is_some_and(|s| s.generation == h.generation && s.value.is_some())
+    }
+
+    /// Remove and return the value behind `h`. The slot's generation is
+    /// bumped, staling every outstanding copy of the handle, and the slot
+    /// joins the free list for reuse.
+    pub fn remove(&mut self, h: SlabHandle) -> Option<T> {
+        let slot = self.slots.get_mut(h.index as usize)?;
+        if slot.generation != h.generation {
+            return None;
+        }
+        let value = slot.value.take()?;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(h.index);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Iterate live values in slot-index order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (SlabHandle, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.value.as_ref().map(|v| {
+                (
+                    SlabHandle {
+                        index: i as u32,
+                        generation: s.generation,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get(b), Some(&"b"));
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn stale_handle_never_aliases_reused_slot() {
+        let mut s = Slab::new();
+        let a = s.insert(1u32);
+        s.remove(a);
+        let b = s.insert(2u32);
+        // LIFO free list: b reuses a's slot, but a's generation is stale.
+        assert_eq!(b.index(), a.index());
+        assert_eq!(s.get(a), None);
+        assert!(!s.contains(a));
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.get(b), Some(&2));
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let mut s = Slab::new();
+        let a = s.insert(7u8);
+        assert_eq!(s.remove(a), Some(7));
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn iter_is_index_ordered_and_skips_vacant() {
+        let mut s = Slab::new();
+        let a = s.insert(10);
+        let b = s.insert(20);
+        let c = s.insert(30);
+        s.remove(b);
+        let got: Vec<i32> = s.iter().map(|(_, v)| *v).collect();
+        assert_eq!(got, vec![10, 30]);
+        assert!(s.contains(a) && s.contains(c));
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut s = Slab::new();
+        let a = s.insert(vec![1]);
+        s.get_mut(a).unwrap().push(2);
+        assert_eq!(s.get(a), Some(&vec![1, 2]));
+    }
+}

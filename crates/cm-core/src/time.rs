@@ -139,6 +139,11 @@ impl SimDuration {
     #[inline]
     pub fn mul_ratio(self, num: u64, den: u64) -> SimDuration {
         assert!(den != 0, "zero denominator");
+        // 64-bit fast path: `__udivti3` is a slow library call and the
+        // product almost never overflows in practice.
+        if let Some(prod) = self.0.checked_mul(num) {
+            return SimDuration(prod / den);
+        }
         SimDuration((self.0 as u128 * num as u128 / den as u128) as u64)
     }
 }
@@ -303,6 +308,11 @@ impl Rate {
     #[inline]
     pub fn due_time(&self, start: SimTime, n: u64) -> SimTime {
         assert!(self.units != 0, "due_time on zero rate");
+        // 64-bit fast path (this sits on the per-OSDU pacing path; the
+        // u128 division is a slow `__udivti3` library call).
+        if let Some(prod) = n.checked_mul(self.per.as_micros()) {
+            return start + SimDuration::from_micros(prod / self.units);
+        }
         let us = (n as u128 * self.per.as_micros() as u128) / self.units as u128;
         start + SimDuration::from_micros(us as u64)
     }
@@ -312,6 +322,9 @@ impl Rate {
     /// flow; callers wanting the raw product use [`Rate::units_in`]).
     #[inline]
     pub fn units_in(&self, elapsed: SimDuration) -> u64 {
+        if let Some(prod) = elapsed.as_micros().checked_mul(self.units) {
+            return prod / self.per.as_micros().max(1);
+        }
         ((elapsed.as_micros() as u128 * self.units as u128) / self.per.as_micros().max(1) as u128)
             as u64
     }

@@ -14,11 +14,11 @@ use cm_core::error::DisconnectReason;
 use cm_core::media::MediaProfile;
 use cm_core::qos::{QosParams, QosRequirement, QosTolerance};
 use cm_core::service_class::ServiceClass;
+use cm_core::FastMap;
 use cm_orchestration::{Hlo, HloAgent, Llo, OrchestrationPolicy};
 use cm_transport::{EntityConfig, TransportService, TransportUser};
 use netsim::Network;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::rc::Rc;
 
 struct NodeCtx {
@@ -31,7 +31,7 @@ struct NodeCtx {
 /// updates branch states on confirms.
 #[derive(Default)]
 struct PlatformUser {
-    branches: RefCell<HashMap<VcId, Rc<Branch>>>,
+    branches: RefCell<FastMap<VcId, Rc<Branch>>>,
 }
 
 impl TransportUser for PlatformUser {
@@ -82,7 +82,7 @@ impl TransportUser for PlatformUser {
 
 struct PlatformInner {
     net: Network,
-    nodes: RefCell<HashMap<NetAddr, NodeCtx>>,
+    nodes: RefCell<FastMap<NetAddr, NodeCtx>>,
     trader: Trader,
     hlo: RefCell<Option<Rc<Hlo>>>,
     next_tsap: Cell<u16>,
@@ -100,7 +100,7 @@ impl Platform {
         Platform {
             inner: Rc::new(PlatformInner {
                 net,
-                nodes: RefCell::new(HashMap::new()),
+                nodes: RefCell::new(FastMap::default()),
                 trader: Trader::new(),
                 hlo: RefCell::new(None),
                 next_tsap: Cell::new(1000),

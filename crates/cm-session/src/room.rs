@@ -93,7 +93,8 @@ pub trait RoomMember {
 #[derive(Clone)]
 struct PeerEntry {
     id: PeerId,
-    name: String,
+    /// Shared so roster broadcasts clone a refcount, not a heap string.
+    name: Rc<str>,
     node: NetAddr,
     handler: Rc<dyn RoomMember>,
 }
@@ -162,7 +163,7 @@ impl Room {
             .peers
             .borrow()
             .values()
-            .map(|p| (p.id, p.name.clone(), p.node))
+            .map(|p| (p.id, p.name.to_string(), p.node))
             .collect()
     }
 
@@ -208,8 +209,8 @@ impl Room {
             let pending = self.inner.pending.borrow();
             if peers.len() + pending.len() >= self.inner.max_peers {
                 Some(JoinDenied::RoomFull)
-            } else if peers.values().any(|p| p.name == peer_name)
-                || pending.iter().any(|p| p.entry.name == peer_name)
+            } else if peers.values().any(|p| &*p.name == peer_name)
+                || pending.iter().any(|p| &*p.entry.name == peer_name)
             {
                 Some(JoinDenied::NameTaken)
             } else if peers.values().any(|p| p.node == node)
@@ -232,7 +233,7 @@ impl Room {
         self.inner.next_peer.set(id.0 + 1);
         let entry = PeerEntry {
             id,
-            name: peer_name.to_string(),
+            name: Rc::from(peer_name),
             node,
             handler,
         };
@@ -291,12 +292,18 @@ impl Room {
         let Some(session) = self.inner.session.upgrade() else {
             return;
         };
-        let Some(entry) = self.inner.peers.borrow_mut().remove(&peer) else {
-            return;
+        let (entry, roster) = {
+            let mut peers = self.inner.peers.borrow_mut();
+            let Some(entry) = peers.remove(&peer) else {
+                return;
+            };
+            (entry, peers.len())
         };
+        session.member_departed(roster);
         self.inner.health.borrow_mut().forget_member(entry.node);
         self.trace("room.leave", |e| {
-            e.u64("peer", entry.id.0).text("name", entry.name.clone());
+            e.u64("peer", entry.id.0)
+                .text("name", entry.name.to_string());
         });
         let published: Vec<String> = self
             .inner
@@ -365,10 +372,7 @@ impl Room {
                 publisher_node: publisher.node,
             },
         );
-        session
-            .vc_rooms
-            .borrow_mut()
-            .insert(vc, self.inner.name.clone());
+        session.vc_rooms.borrow_mut().insert(vc, self.clone());
         session.platform.trader().export(
             &format!("room/{}/stream/{}", self.inner.name, stream),
             agent.addr(),
@@ -504,7 +508,7 @@ impl Room {
                 }
                 if let Some(done) = p.done.take() {
                     self.trace("room.join.deny", |e| {
-                        e.text("peer_name", p.entry.name.clone())
+                        e.text("peer_name", p.entry.name.to_string())
                             .str("reason", "qos")
                             .text("stream", stream.clone())
                             .str("transport_reason", reason.kind());
@@ -704,13 +708,18 @@ impl Room {
         let Some(session) = self.inner.session.upgrade() else {
             return;
         };
-        let Some(entry) = self.inner.peers.borrow_mut().remove(&peer) else {
-            return;
+        let (entry, roster) = {
+            let mut peers = self.inner.peers.borrow_mut();
+            let Some(entry) = peers.remove(&peer) else {
+                return;
+            };
+            (entry, peers.len())
         };
+        session.member_departed(roster);
         self.inner.health.borrow_mut().forget_member(entry.node);
         self.trace("room.member_lost", |e| {
             e.u64("peer", entry.id.0)
-                .text("name", entry.name.clone())
+                .text("name", entry.name.to_string())
                 .str("reason", reason.kind());
         });
         let published: Vec<String> = self
@@ -741,7 +750,7 @@ impl Room {
         }
         let ev = HealthEvent::MemberLost {
             peer: entry.id,
-            name: entry.name.clone(),
+            name: entry.name.to_string(),
             reason,
         };
         self.broadcast(None, |p| {
@@ -770,13 +779,21 @@ impl Room {
 
     fn admit(&self, entry: PeerEntry) {
         self.trace("room.join", |e| {
-            e.u64("peer", entry.id.0).text("name", entry.name.clone());
+            e.u64("peer", entry.id.0)
+                .text("name", entry.name.to_string());
         });
         self.broadcast(None, |p| {
             p.handler
                 .on_peer_joined(&self.inner.name, entry.id, &entry.name)
         });
-        self.inner.peers.borrow_mut().insert(entry.id, entry);
+        let roster = {
+            let mut peers = self.inner.peers.borrow_mut();
+            peers.insert(entry.id, entry);
+            peers.len()
+        };
+        if let Some(session) = self.inner.session.upgrade() {
+            session.member_admitted(roster);
+        }
     }
 
     /// Emit one session-layer instant tagged with this room's name.

@@ -13,11 +13,12 @@ use cm_core::error::DisconnectReason;
 use cm_core::qos::{QosParams, QosRequirement};
 use cm_core::service_class::ServiceClass;
 use cm_core::time::SimDuration;
+use cm_core::FastMap;
 use cm_platform::Platform;
 use cm_telemetry::Layer;
 use cm_transport::{QosReport, TransportService, TransportUser, VcTap};
 use std::any::Any;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::{Rc, Weak};
 
@@ -34,7 +35,12 @@ pub(crate) struct SessionInner {
     /// One agent per node, installed on first use.
     pub(crate) agents: RefCell<BTreeMap<NetAddr, Rc<NodeAgent>>>,
     /// Group VC → owning room, for routing transport confirms.
-    pub(crate) vc_rooms: RefCell<BTreeMap<VcId, String>>,
+    pub(crate) vc_rooms: RefCell<FastMap<VcId, Room>>,
+    /// Rooms with at least one admitted peer (drives the `rooms_active`
+    /// telemetry gauge).
+    rooms_active: Cell<u64>,
+    /// Admitted peers across all rooms (drives `members_active`).
+    members_active: Cell<u64>,
 }
 
 impl Session {
@@ -46,7 +52,9 @@ impl Session {
                 platform: platform.clone(),
                 rooms: RefCell::new(BTreeMap::new()),
                 agents: RefCell::new(BTreeMap::new()),
-                vc_rooms: RefCell::new(BTreeMap::new()),
+                vc_rooms: RefCell::new(FastMap::default()),
+                rooms_active: Cell::new(0),
+                members_active: Cell::new(0),
             }),
         }
     }
@@ -99,7 +107,7 @@ impl SessionInner {
             tsap,
             svc: svc.clone(),
             session: Rc::downgrade(self),
-            sinks: RefCell::new(BTreeMap::new()),
+            sinks: RefCell::new(FastMap::default()),
         });
         svc.bind(tsap, agent.clone() as Rc<dyn TransportUser>)
             .expect("session TSAP busy");
@@ -114,23 +122,48 @@ impl SessionInner {
         member: TransportAddr,
         result: Result<QosParams, DisconnectReason>,
     ) {
-        let room = {
-            let names = self.vc_rooms.borrow();
-            names
-                .get(&vc)
-                .and_then(|n| self.rooms.borrow().get(n).cloned())
-        };
+        let room = self.vc_rooms.borrow().get(&vc).cloned();
         if let Some(room) = room {
             room.on_join_confirm(vc, member, result);
         }
     }
 
+    /// Record one admitted peer (`room_peers_now` = the room's roster size
+    /// after admission) and publish the occupancy gauges.
+    pub(crate) fn member_admitted(&self, room_peers_now: usize) {
+        self.members_active.set(self.members_active.get() + 1);
+        if room_peers_now == 1 {
+            self.rooms_active.set(self.rooms_active.get() + 1);
+        }
+        self.publish_occupancy();
+    }
+
+    /// Record one departed peer (`room_peers_now` = the room's roster size
+    /// after removal) and publish the occupancy gauges.
+    pub(crate) fn member_departed(&self, room_peers_now: usize) {
+        self.members_active
+            .set(self.members_active.get().saturating_sub(1));
+        if room_peers_now == 0 {
+            self.rooms_active
+                .set(self.rooms_active.get().saturating_sub(1));
+        }
+        self.publish_occupancy();
+    }
+
+    /// Push the `rooms_active` / `members_active` gauges so scale runs are
+    /// observable without the flight recorder.
+    fn publish_occupancy(&self) {
+        let engine = self.platform.engine();
+        let tel = engine.telemetry();
+        if tel.enabled() {
+            tel.gauge("rooms_active", self.rooms_active.get() as f64);
+            tel.gauge("members_active", self.members_active.get() as f64);
+        }
+    }
+
     /// The room owning a group VC, if any.
     fn room_of(&self, vc: VcId) -> Option<Room> {
-        let names = self.vc_rooms.borrow();
-        names
-            .get(&vc)
-            .and_then(|n| self.rooms.borrow().get(n).cloned())
+        self.vc_rooms.borrow().get(&vc).cloned()
     }
 }
 
@@ -151,7 +184,7 @@ pub(crate) struct NodeAgent {
     session: Weak<SessionInner>,
     /// Group VCs this node was invited into, announced by the room layer
     /// before the wire invitation arrives.
-    sinks: RefCell<BTreeMap<VcId, SinkBinding>>,
+    sinks: RefCell<FastMap<VcId, Rc<SinkBinding>>>,
 }
 
 impl NodeAgent {
@@ -165,7 +198,7 @@ impl NodeAgent {
     /// Announce an inbound group-VC invitation (called by the room layer
     /// before `t_group_add_receiver`, so the wire indication finds it).
     pub(crate) fn expect_stream(&self, vc: VcId, binding: SinkBinding) {
-        self.sinks.borrow_mut().insert(vc, binding);
+        self.sinks.borrow_mut().insert(vc, Rc::new(binding));
     }
 
     /// Drop an announcement (join rollback, stream close, member leave).
@@ -173,7 +206,8 @@ impl NodeAgent {
         self.sinks.borrow_mut().remove(&vc);
     }
 
-    fn binding(&self, vc: VcId) -> Option<SinkBinding> {
+    /// The hot per-OSDU lookup: an `Rc` clone, never a `String` clone.
+    fn binding(&self, vc: VcId) -> Option<Rc<SinkBinding>> {
         self.sinks.borrow().get(&vc).cloned()
     }
 }

@@ -8,10 +8,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod city;
 pub mod faults;
 pub mod scenario;
 pub mod users;
 
+pub use city::{CityConfig, CityEvent, CityMedia, CitySchedule, MediaMix};
 pub use faults::{FaultPlan, RevocationRouter};
 pub use scenario::{connect_media, FilmScenario, LanguageLab, Stack, StackConfig};
 pub use users::AutoAcceptUser;

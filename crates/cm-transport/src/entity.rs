@@ -32,12 +32,13 @@ use cm_core::error::{DisconnectReason, ServiceError};
 use cm_core::osdu::{Osdu, Payload};
 use cm_core::qos::{GuaranteeMode, QosParams, QosRequirement, QosTolerance};
 use cm_core::service_class::{ProtocolProfile, ServiceClass};
+use cm_core::slab::{Slab, SlabHandle};
 use cm_core::time::SimTime;
+use cm_core::FastMap;
 use cm_telemetry::{Layer, Telemetry};
 use netsim::{Network, NodeHandler, Packet};
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// What travels inside simulated packets between transport entities.
@@ -79,18 +80,136 @@ struct PendingRemote {
     triple: AddressTriple,
 }
 
+/// Everything the entity holds for one VC endpoint, in one slab slot:
+/// the connection state plus the orchestration tap and self-healing
+/// state that used to live in sibling maps keyed by the same id. One
+/// slot, one cache line neighbourhood, one lookup.
+pub(crate) struct VcEntry {
+    pub(crate) vc: Vc,
+    /// The orchestration tap, when registered.
+    pub(crate) tap: Option<Rc<dyn VcTap>>,
+    /// Self-healing state (probe timer + lifetime counters).
+    pub(crate) heal: Option<crate::heal::HealState>,
+}
+
+/// Slab-indexed VC store. The id→handle map is consulted once per event
+/// at the demultiplex point (packet arrival, service call); timers and
+/// hot loops then address the slab directly through generation-tagged
+/// handles. The map-keyed accessors keep the cold call sites unchanged.
+pub(crate) struct VcTable {
+    slots: Slab<VcEntry>,
+    by_id: FastMap<VcId, SlabHandle>,
+}
+
+impl VcTable {
+    fn new() -> VcTable {
+        VcTable {
+            slots: Slab::new(),
+            by_id: FastMap::default(),
+        }
+    }
+
+    /// Resolve an id to its slab handle (the once-per-event lookup).
+    pub(crate) fn resolve(&self, vc: VcId) -> Option<SlabHandle> {
+        self.by_id.get(&vc).copied()
+    }
+
+    /// The full entry behind a handle.
+    pub(crate) fn at(&self, h: SlabHandle) -> Option<&VcEntry> {
+        self.slots.get(h)
+    }
+
+    /// Mutable entry behind a handle.
+    pub(crate) fn at_mut(&mut self, h: SlabHandle) -> Option<&mut VcEntry> {
+        self.slots.get_mut(h)
+    }
+
+    pub(crate) fn get(&self, vc: &VcId) -> Option<&Vc> {
+        self.resolve(*vc)
+            .and_then(|h| self.slots.get(h))
+            .map(|e| &e.vc)
+    }
+
+    pub(crate) fn get_mut(&mut self, vc: &VcId) -> Option<&mut Vc> {
+        let h = self.resolve(*vc)?;
+        self.slots.get_mut(h).map(|e| &mut e.vc)
+    }
+
+    /// Insert a fresh VC endpoint (tap and heal start empty). Ids are
+    /// wire-global and never reused, so a duplicate insert replaces the
+    /// whole entry.
+    pub(crate) fn insert(&mut self, vc: VcId, v: Vc) -> SlabHandle {
+        if let Some(h) = self.resolve(vc) {
+            self.slots.remove(h);
+        }
+        let h = self.slots.insert(VcEntry {
+            vc: v,
+            tap: None,
+            heal: None,
+        });
+        self.by_id.insert(vc, h);
+        h
+    }
+
+    pub(crate) fn tap(&self, vc: &VcId) -> Option<Rc<dyn VcTap>> {
+        self.resolve(*vc)
+            .and_then(|h| self.slots.get(h))
+            .and_then(|e| e.tap.clone())
+    }
+
+    pub(crate) fn set_tap(&mut self, vc: VcId, tap: Rc<dyn VcTap>) -> bool {
+        match self.resolve(vc).and_then(|h| self.slots.get_mut(h)) {
+            Some(e) => {
+                e.tap = Some(tap);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub(crate) fn clear_tap(&mut self, vc: &VcId) {
+        if let Some(e) = self.resolve(*vc).and_then(|h| self.slots.get_mut(h)) {
+            e.tap = None;
+        }
+    }
+
+    pub(crate) fn heal(&self, vc: &VcId) -> Option<&crate::heal::HealState> {
+        self.resolve(*vc)
+            .and_then(|h| self.slots.get(h))
+            .and_then(|e| e.heal.as_ref())
+    }
+
+    pub(crate) fn heal_mut(&mut self, vc: &VcId) -> Option<&mut crate::heal::HealState> {
+        let h = self.resolve(*vc)?;
+        self.slots.get_mut(h).and_then(|e| e.heal.as_mut())
+    }
+
+    pub(crate) fn has_heal(&self, vc: &VcId) -> bool {
+        self.heal(vc).is_some()
+    }
+
+    pub(crate) fn set_heal(&mut self, vc: VcId, hs: crate::heal::HealState) {
+        if let Some(e) = self.resolve(vc).and_then(|h| self.slots.get_mut(h)) {
+            e.heal = Some(hs);
+        }
+    }
+
+    pub(crate) fn remove_heal(&mut self, vc: &VcId) {
+        if let Some(e) = self.resolve(*vc).and_then(|h| self.slots.get_mut(h)) {
+            e.heal = None;
+        }
+    }
+}
+
 pub(crate) struct State {
-    pub(crate) users: HashMap<Tsap, Rc<dyn TransportUser>>,
-    pub(crate) vcs: HashMap<VcId, Vc>,
-    pending_dst: HashMap<VcId, PendingDst>,
-    pending_src: HashMap<VcId, PendingSrc>,
-    pending_remote: HashMap<VcId, PendingRemote>,
+    pub(crate) users: FastMap<Tsap, Rc<dyn TransportUser>>,
+    pub(crate) vcs: VcTable,
+    pending_dst: FastMap<VcId, PendingDst>,
+    pending_src: FastMap<VcId, PendingSrc>,
+    pending_remote: FastMap<VcId, PendingRemote>,
     /// Remote-connect triples remembered at the initiator for later
     /// remote release.
-    initiated: HashMap<VcId, AddressTriple>,
-    taps: HashMap<VcId, Rc<dyn VcTap>>,
-    /// Per-VC self-healing state (probe timers + lifetime counters).
-    pub(crate) heal: HashMap<VcId, crate::heal::HealState>,
+    initiated: FastMap<VcId, AddressTriple>,
     next_vc: u64,
 }
 
@@ -124,14 +243,12 @@ impl TransportEntity {
             config,
             tel: net.engine().telemetry().clone(),
             state: RefCell::new(State {
-                users: HashMap::new(),
-                vcs: HashMap::new(),
-                pending_dst: HashMap::new(),
-                pending_src: HashMap::new(),
-                pending_remote: HashMap::new(),
-                initiated: HashMap::new(),
-                taps: HashMap::new(),
-                heal: HashMap::new(),
+                users: FastMap::default(),
+                vcs: VcTable::new(),
+                pending_dst: FastMap::default(),
+                pending_src: FastMap::default(),
+                pending_remote: FastMap::default(),
+                initiated: FastMap::default(),
                 next_vc: 0,
             }),
         });
@@ -209,24 +326,41 @@ impl TransportEntity {
     ) {
         let user = self.state.borrow().users.get(&tsap).cloned();
         if let Some(user) = user {
-            let me = self.clone();
-            self.net
-                .engine()
-                .schedule_in(cm_core::time::SimDuration::ZERO, move |_| {
-                    let svc = TransportService::new(me.clone());
-                    f(&svc, &user);
-                });
+            self.dispatch_user(user, f);
         }
+    }
+
+    /// Schedule a callback on an already-resolved user (the fused paths
+    /// clone the user while they still hold the state borrow — scheduling
+    /// itself never touches entity state).
+    fn dispatch_user(
+        self: &Rc<Self>,
+        user: Rc<dyn TransportUser>,
+        f: impl FnOnce(&TransportService, &Rc<dyn TransportUser>) + 'static,
+    ) {
+        let me = self.clone();
+        self.net
+            .engine()
+            .schedule_in(cm_core::time::SimDuration::ZERO, move |_| {
+                let svc = TransportService::new(me.clone());
+                f(&svc, &user);
+            });
     }
 
     /// Dispatch a tap callback as an event at the current instant.
     fn to_tap(self: &Rc<Self>, vc: VcId, f: impl FnOnce(&Rc<dyn VcTap>) + 'static) {
-        let tap = self.state.borrow().taps.get(&vc).cloned();
+        let tap = self.state.borrow().vcs.tap(&vc);
         if let Some(tap) = tap {
-            self.net
-                .engine()
-                .schedule_in(cm_core::time::SimDuration::ZERO, move |_| f(&tap));
+            self.dispatch_tap(tap, f);
         }
+    }
+
+    /// Schedule an already-resolved tap callback (the fused delivery path
+    /// clones the tap while it still holds the state borrow).
+    fn dispatch_tap(&self, tap: Rc<dyn VcTap>, f: impl FnOnce(&Rc<dyn VcTap>) + 'static) {
+        self.net
+            .engine()
+            .schedule_in(cm_core::time::SimDuration::ZERO, move |_| f(&tap));
     }
 
     // ------------------------------------------------------------------
@@ -580,40 +714,37 @@ impl TransportEntity {
         (per_half_s as usize).clamp(4, 64)
     }
 
-    /// Build the pacing-tick and RTO timers for a source end. One slab
-    /// slot and one boxed closure each for the life of the VC; the weak
-    /// upgrade makes a firing after entity teardown a silent no-op.
-    pub(crate) fn make_source_timers(
-        self: &Rc<Self>,
-        vc: VcId,
-    ) -> (netsim::PeriodicTimer, netsim::PeriodicTimer) {
+    /// Attach the pacing-tick and RTO timers to the source end behind
+    /// `h`. One engine slot and one boxed closure each for the life of
+    /// the VC; the closures capture the generation-tagged slab handle,
+    /// so every fire addresses the entry directly (no id lookup) and a
+    /// fire after teardown or slot reuse is a silent no-op. Called after
+    /// the entry is inserted — creating a timer consumes no event
+    /// sequence number, so the attach order never shifts the schedule.
+    pub(crate) fn attach_source_timers(self: &Rc<Self>, h: SlabHandle) {
         let weak = Rc::downgrade(self);
         let tick = netsim::PeriodicTimer::new(self.net.engine(), move |_| {
             if let Some(me) = weak.upgrade() {
-                me.source_tick(vc);
+                me.source_tick_h(h);
             }
         });
         let weak = Rc::downgrade(self);
         let rto = netsim::PeriodicTimer::new(self.net.engine(), move |_| {
             if let Some(me) = weak.upgrade() {
-                me.rto_fire(vc);
+                me.rto_fire_h(h);
             }
         });
-        (tick, rto)
+        let mut st = self.state.borrow_mut();
+        if let Some(s) = st.vcs.at_mut(h).and_then(|e| e.vc.source.as_mut()) {
+            s.tick_timer = Some(tick);
+            s.rto_timer = Some(rto);
+        }
     }
 
     fn open_sink(self: &Rc<Self>, vc: VcId, p: &PendingDst) {
         let slots = p.capacity as usize;
         let monitor = (p.requirement.guarantee != GuaranteeMode::BestEffort)
             .then(|| QosMonitor::new(self.config.monitor_period, self.now()));
-        let monitor_timer = monitor.is_some().then(|| {
-            let weak = Rc::downgrade(self);
-            netsim::PeriodicTimer::new(self.net.engine(), move |_| {
-                if let Some(me) = weak.upgrade() {
-                    me.monitor_fire(vc);
-                }
-            })
-        });
         let mut sink = SinkEnd {
             recv_buf: BufferHandle::new(slots),
             engine: SinkEngine::new(p.class.error_control),
@@ -621,7 +752,7 @@ impl TransportEntity {
             app_popped: 0,
             last_freed_sent: 0,
             monitor,
-            monitor_timer,
+            monitor_timer: None,
             pending_delivery: std::collections::VecDeque::new(),
             producer_parked: false,
             lost_snap: 0,
@@ -647,16 +778,22 @@ impl TransportEntity {
             group: None,
             pending_reneg: None,
         };
-        self.state.borrow_mut().vcs.insert(vc, v);
-        if self
-            .state
-            .borrow()
-            .vcs
-            .get(&vc)
-            .map(|v| v.sink.as_ref().expect("sink end").monitor.is_some())
-            .unwrap_or(false)
-        {
-            self.schedule_monitor(vc);
+        let monitored = v.sink.as_ref().is_some_and(|k| k.monitor.is_some());
+        let h = self.state.borrow_mut().vcs.insert(vc, v);
+        if monitored {
+            let weak = Rc::downgrade(self);
+            let timer = netsim::PeriodicTimer::new(self.net.engine(), move |_| {
+                if let Some(me) = weak.upgrade() {
+                    me.monitor_fire_h(h);
+                }
+            });
+            {
+                let mut st = self.state.borrow_mut();
+                if let Some(k) = st.vcs.at_mut(h).and_then(|e| e.vc.sink.as_mut()) {
+                    k.monitor_timer = Some(timer);
+                }
+            }
+            self.schedule_monitor_h(h);
         }
     }
 
@@ -668,7 +805,6 @@ impl TransportEntity {
         recv_capacity: u32,
     ) {
         let slots = self.buffer_slots(&p.requirement);
-        let (tick_timer, rto_timer) = self.make_source_timers(vc);
         let mut clock = RateClock::new(p.requirement.osdu_rate);
         clock.start(self.local_now());
         let source = SourceEnd {
@@ -685,8 +821,8 @@ impl TransportEntity {
             sent: 0,
             retrans_cache: std::collections::VecDeque::new(),
             retrans_cache_cap: (recv_capacity as usize) * 4,
-            tick_timer,
-            rto_timer,
+            tick_timer: None,
+            rto_timer: None,
             waiting_buffer: false,
             stalled_credit: false,
             stalled_at: None,
@@ -708,10 +844,11 @@ impl TransportEntity {
             group: None,
             pending_reneg: None,
         };
-        self.state.borrow_mut().vcs.insert(vc, v);
+        let h = self.state.borrow_mut().vcs.insert(vc, v);
+        self.attach_source_timers(h);
         // Arm the pacing/pump machinery; it will park on the empty buffer.
         match p.class.profile {
-            ProtocolProfile::RateBasedCm => self.ensure_tick_now(vc),
+            ProtocolProfile::RateBasedCm => self.ensure_tick_h(h, self.now()),
             ProtocolProfile::WindowBased => self.pump_window(vc),
             ProtocolProfile::Datagram => {}
         }
@@ -725,23 +862,40 @@ impl TransportEntity {
     ) {
         let tsap = {
             let mut st = self.state.borrow_mut();
-            st.taps.remove(&vc);
-            st.heal.remove(&vc);
-            match st.vcs.get_mut(&vc) {
-                Some(v) if v.phase != VcPhase::Closed => {
-                    v.phase = VcPhase::Closed;
-                    if let Some(s) = &v.source {
-                        s.tick_timer.disarm();
-                        s.rto_timer.disarm();
-                    }
-                    if let Some(k) = &v.sink {
-                        if let Some(t) = &k.monitor_timer {
-                            t.disarm();
+            let entry = st.vcs.resolve(vc).and_then(|h| st.vcs.at_mut(h));
+            match entry {
+                Some(e) => {
+                    e.tap = None;
+                    e.heal = None;
+                    let v = &mut e.vc;
+                    if v.phase == VcPhase::Closed {
+                        None
+                    } else {
+                        v.phase = VcPhase::Closed;
+                        // Closed entries stay in the table so late control
+                        // messages resolve (and are ignored by phase
+                        // checks), but they shed everything heavy: timers
+                        // give their engine slots and boxed closures back,
+                        // and the caches that scale with traffic are
+                        // dropped. At city scale this is the difference
+                        // between memory tracking *live* VCs and memory
+                        // tracking *every VC that ever existed*.
+                        if let Some(s) = &mut v.source {
+                            s.tick_timer = None;
+                            s.rto_timer = None;
+                            s.gbn = None;
+                            s.pending_frags = std::collections::VecDeque::new();
+                            s.retrans_cache = std::collections::VecDeque::new();
                         }
+                        if let Some(k) = &mut v.sink {
+                            k.monitor_timer = None;
+                            k.monitor = None;
+                            k.pending_delivery = std::collections::VecDeque::new();
+                        }
+                        Some(v.local_tsap)
                     }
-                    Some(v.local_tsap)
                 }
-                _ => None,
+                None => None,
             }
         };
         self.net.release_reservation(vc);
@@ -1206,31 +1360,43 @@ impl TransportEntity {
 
     /// (Re)schedule the pacing tick for `vc` at its next due instant.
     pub(crate) fn ensure_tick_now(self: &Rc<Self>, vc: VcId) {
-        self.ensure_tick_with_floor(vc, self.now());
+        let Some(h) = self.state.borrow().vcs.resolve(vc) else {
+            return;
+        };
+        self.ensure_tick_h(h, self.now());
     }
 
-    /// As [`Self::ensure_tick_now`] with an explicit earliest firing time.
-    /// The early-wake re-arm passes `now + 1 µs`: the local↔global clock
-    /// conversions truncate to whole microseconds, so a "due" instant can
-    /// map back onto the current instant and a same-time re-arm would spin
-    /// forever without advancing virtual time.
-    fn ensure_tick_with_floor(self: &Rc<Self>, vc: VcId, floor: SimTime) {
-        let at = {
-            let st = self.state.borrow();
-            match st.vcs.get(&vc).and_then(|v| v.source.as_ref()) {
-                Some(s) => s.clock.next_due(),
-                None => None,
-            }
-        };
-        let Some(at_local) = at else { return };
-        let at = self.local_to_global(at_local).max(floor);
+    /// As [`Self::ensure_tick_now`], by slab handle, with an explicit
+    /// earliest firing time. The early-wake re-arm passes `now + 1 µs`:
+    /// the local↔global clock conversions truncate to whole microseconds,
+    /// so a "due" instant can map back onto the current instant and a
+    /// same-time re-arm would spin forever without advancing virtual time.
+    fn ensure_tick_h(self: &Rc<Self>, h: SlabHandle, floor: SimTime) {
         let st = self.state.borrow();
-        if let Some(s) = st.vcs.get(&vc).and_then(|v| v.source.as_ref()) {
-            s.tick_timer.arm_at(at);
+        let Some(s) = st.vcs.at(h).and_then(|e| e.vc.source.as_ref()) else {
+            return;
+        };
+        let Some(at_local) = s.clock.next_due() else {
+            return;
+        };
+        let at = self.local_to_global(at_local).max(floor);
+        if let Some(t) = &s.tick_timer {
+            t.arm_at(at);
         }
     }
 
+    /// Id-keyed wrapper for the cold callers (group recompute, resume).
     pub(crate) fn source_tick(self: &Rc<Self>, vc: VcId) {
+        let Some(h) = self.state.borrow().vcs.resolve(vc) else {
+            return;
+        };
+        self.source_tick_h(h);
+    }
+
+    /// One pacing-tick of the rate-based source behind `h` — the hottest
+    /// periodic path in the stack. The timer closure hands us the slab
+    /// handle, so the whole tick runs without a single id lookup.
+    pub(crate) fn source_tick_h(self: &Rc<Self>, h: SlabHandle) {
         let now = self.now();
         let local = self.local_now();
         enum Next {
@@ -1238,14 +1404,15 @@ impl TransportEntity {
             ParkOnBuffer,
             Send(Osdu),
         }
-        let mut newly_stalled = false;
+        let mut stalled_vc = None;
         let next = {
             let mut st = self.state.borrow_mut();
-            let Some(v) = st.vcs.get_mut(&vc) else { return };
-            if v.phase != VcPhase::Open {
+            let Some(e) = st.vcs.at_mut(h) else { return };
+            if e.vc.phase != VcPhase::Open {
                 return;
             }
-            let s = v.source.as_mut().expect("source end on tick");
+            let vc = e.vc.id;
+            let s = e.vc.source.as_mut().expect("source end on tick");
             match s.clock.next_due() {
                 None => Next::Idle, // paused
                 // 1 us tolerance: local->global->local conversion truncates,
@@ -1262,7 +1429,7 @@ impl TransportEntity {
                         if !s.stalled_credit {
                             s.stalled_at = Some(now);
                             self.trace_stall(vc, now);
-                            newly_stalled = true;
+                            stalled_vc = Some(vc);
                         }
                         s.stalled_credit = true;
                         Next::Idle
@@ -1275,7 +1442,7 @@ impl TransportEntity {
                 }
             }
         };
-        if newly_stalled {
+        if let Some(vc) = stalled_vc {
             // Arm the self-healing probe: a stall that outlives the
             // patience window gets its infrastructure checked.
             self.heal_on_stall(vc);
@@ -1286,17 +1453,14 @@ impl TransportEntity {
                 let due = {
                     let st = self.state.borrow();
                     st.vcs
-                        .get(&vc)
-                        .and_then(|v| v.source.as_ref())
+                        .at(h)
+                        .and_then(|e| e.vc.source.as_ref())
                         .and_then(|s| s.clock.next_due())
                 };
                 if let Some(due) = due {
                     if due > local + cm_core::time::SimDuration::from_micros(1) {
-                        // Strictly future: see ensure_tick_with_floor.
-                        self.ensure_tick_with_floor(
-                            vc,
-                            now + cm_core::time::SimDuration::from_micros(1),
-                        );
+                        // Strictly future: see ensure_tick_h.
+                        self.ensure_tick_h(h, now + cm_core::time::SimDuration::from_micros(1));
                     }
                 }
             }
@@ -1306,8 +1470,8 @@ impl TransportEntity {
                     let mut st = self.state.borrow_mut();
                     let s = st
                         .vcs
-                        .get_mut(&vc)
-                        .and_then(|v| v.source.as_mut())
+                        .at_mut(h)
+                        .and_then(|e| e.vc.source.as_mut())
                         .expect("source end");
                     let already = s.waiting_buffer;
                     s.waiting_buffer = true;
@@ -1324,38 +1488,58 @@ impl TransportEntity {
                                 {
                                     let mut st = me2.state.borrow_mut();
                                     if let Some(s) =
-                                        st.vcs.get_mut(&vc).and_then(|v| v.source.as_mut())
+                                        st.vcs.at_mut(h).and_then(|e| e.vc.source.as_mut())
                                     {
                                         s.waiting_buffer = false;
                                     }
                                 }
-                                me2.source_tick(vc);
+                                me2.source_tick_h(h);
                             });
                     });
                 }
             }
             Next::Send(osdu) => {
-                self.transmit_osdu(vc, osdu, false, None);
-                {
-                    let mut st = self.state.borrow_mut();
-                    if let Some(s) = st.vcs.get_mut(&vc).and_then(|v| v.source.as_mut()) {
-                        s.clock.consume_slot();
-                        // Never burst more than a couple of units of
-                        // backlog after a stall — rate-based senders pace.
-                        s.clock.limit_backlog(local, 2);
+                self.transmit_osdu_h(h, osdu, false, None);
+                // Consume the pacing slot and re-arm in the same borrow —
+                // the old per-call path re-borrowed (and re-looked-up the
+                // id) three times for this one step.
+                let mut st = self.state.borrow_mut();
+                if let Some(s) = st.vcs.at_mut(h).and_then(|e| e.vc.source.as_mut()) {
+                    s.clock.consume_slot();
+                    // Never burst more than a couple of units of
+                    // backlog after a stall — rate-based senders pace.
+                    s.clock.limit_backlog(local, 2);
+                    if let Some(at_local) = s.clock.next_due() {
+                        let at = self.local_to_global(at_local).max(now);
+                        if let Some(t) = &s.tick_timer {
+                            t.arm_at(at);
+                        }
                     }
                 }
-                self.ensure_tick_now(vc);
             }
         }
+    }
+
+    /// Id-keyed wrapper for the cold callers (nack resends, heal unstick).
+    pub(crate) fn transmit_osdu(
+        self: &Rc<Self>,
+        vc: VcId,
+        osdu: Osdu,
+        is_retrans: bool,
+        explicit_to: Option<NetAddr>,
+    ) {
+        let Some(h) = self.state.borrow().vcs.resolve(vc) else {
+            return;
+        };
+        self.transmit_osdu_h(h, osdu, is_retrans, explicit_to);
     }
 
     /// Fragment and transmit one OSDU (fresh or retransmission). Fresh
     /// sends on a group VC fan out over the shared tree; `explicit_to`
     /// overrides the destination for per-receiver unicast retransmission.
-    pub(crate) fn transmit_osdu(
+    pub(crate) fn transmit_osdu_h(
         self: &Rc<Self>,
-        vc: VcId,
+        h: SlabHandle,
         osdu: Osdu,
         is_retrans: bool,
         explicit_to: Option<NetAddr>,
@@ -1365,9 +1549,11 @@ impl TransportEntity {
             Group(netsim::GroupId),
         }
         let now = self.now();
-        let (dest, seq, sizes) = {
+        let (vc, dest, seq, sizes) = {
             let mut st = self.state.borrow_mut();
-            let Some(v) = st.vcs.get_mut(&vc) else { return };
+            let Some(e) = st.vcs.at_mut(h) else { return };
+            let v = &mut e.vc;
+            let vc = v.id;
             let dest = match explicit_to {
                 Some(node) => Dest::Unicast(node),
                 None => match &v.group {
@@ -1377,18 +1563,19 @@ impl TransportEntity {
             };
             let seq = osdu.seq();
             let sizes = fragment_sizes(osdu.wire_size(), self.config.mtu);
+            let corrects = v.class.error_control.corrects();
             let s = v.source.as_mut().expect("source end");
             if !is_retrans {
                 s.charged += 1;
                 s.sent += 1;
-                if v.class.error_control.corrects() {
+                if corrects {
                     s.retrans_cache.push_back(osdu.clone());
                     while s.retrans_cache.len() > s.retrans_cache_cap {
                         s.retrans_cache.pop_front();
                     }
                 }
             }
-            (dest, seq, sizes)
+            (vc, dest, seq, sizes)
         };
         // Branch on the destination once, not per fragment: the fragment
         // loop below is the hottest transport send path, feeding netsim's
@@ -1436,40 +1623,44 @@ impl TransportEntity {
     }
 
     fn on_credit(self: &Rc<Self>, from: NetAddr, vc: VcId, freed_total: u64) {
-        let is_group = {
-            let st = self.state.borrow();
-            st.vcs.get(&vc).is_some_and(|v| v.group.is_some())
-        };
-        if is_group {
-            self.on_group_credit(vc, from, freed_total);
+        let Some(h) = self.state.borrow().vcs.resolve(vc) else {
             return;
+        };
+        enum Act {
+            Group,
+            Nothing,
+            Resume(ProtocolProfile),
         }
-        let resume = {
+        let act = {
             let mut st = self.state.borrow_mut();
-            let Some(s) = st.vcs.get_mut(&vc).and_then(|v| v.source.as_mut()) else {
-                return;
-            };
-            s.freed_remote = s.freed_remote.max(freed_total);
-            if s.stalled_credit && s.has_credit() {
-                s.stalled_credit = false;
-                if let Some(since) = s.stalled_at.take() {
-                    self.trace_resume(vc, since);
-                }
-                true
+            let Some(e) = st.vcs.at_mut(h) else { return };
+            if e.vc.group.is_some() {
+                Act::Group
             } else {
-                false
+                let profile = e.vc.class.profile;
+                match e.vc.source.as_mut() {
+                    None => Act::Nothing,
+                    Some(s) => {
+                        s.freed_remote = s.freed_remote.max(freed_total);
+                        if s.stalled_credit && s.has_credit() {
+                            s.stalled_credit = false;
+                            if let Some(since) = s.stalled_at.take() {
+                                self.trace_resume(vc, since);
+                            }
+                            Act::Resume(profile)
+                        } else {
+                            Act::Nothing
+                        }
+                    }
+                }
             }
         };
-        if resume {
-            let profile = {
-                let st = self.state.borrow();
-                st.vcs.get(&vc).map(|v| v.class.profile)
-            };
-            match profile {
-                Some(ProtocolProfile::RateBasedCm) => self.source_tick(vc),
-                Some(ProtocolProfile::WindowBased) => self.pump_window(vc),
-                _ => {}
-            }
+        match act {
+            Act::Group => self.on_group_credit(vc, from, freed_total),
+            Act::Nothing => {}
+            Act::Resume(ProtocolProfile::RateBasedCm) => self.source_tick_h(h),
+            Act::Resume(ProtocolProfile::WindowBased) => self.pump_window(vc),
+            Act::Resume(ProtocolProfile::Datagram) => {}
         }
     }
 
@@ -1667,10 +1858,15 @@ impl TransportEntity {
                 .and_then(|g| g.timeout_at())
         };
         let st = self.state.borrow();
-        if let Some(s) = st.vcs.get(&vc).and_then(|v| v.source.as_ref()) {
+        if let Some(t) = st
+            .vcs
+            .get(&vc)
+            .and_then(|v| v.source.as_ref())
+            .and_then(|s| s.rto_timer.as_ref())
+        {
             match at {
-                Some(at) => s.rto_timer.arm_at(at.max(self.now())),
-                None => s.rto_timer.disarm(),
+                Some(at) => t.arm_at(at.max(self.now())),
+                None => t.disarm(),
             }
         }
     }
@@ -1701,14 +1897,16 @@ impl TransportEntity {
             });
     }
 
-    pub(crate) fn rto_fire(self: &Rc<Self>, vc: VcId) {
+    pub(crate) fn rto_fire_h(self: &Rc<Self>, h: SlabHandle) {
         let now = self.now();
-        let (resend, strikes) = {
+        let (vc, resend, strikes) = {
             let mut st = self.state.borrow_mut();
-            let Some(v) = st.vcs.get_mut(&vc) else { return };
+            let Some(e) = st.vcs.at_mut(h) else { return };
+            let v = &mut e.vc;
             if v.phase != VcPhase::Open {
                 return;
             }
+            let vc = v.id;
             let s = v.source.as_mut().expect("source end");
             let gbn = s.gbn.as_mut().expect("window sender");
             // wseqs of cached entries are base..next, in order.
@@ -1722,7 +1920,7 @@ impl TransportEntity {
                 }
                 _ => 0,
             };
-            (resend, strikes)
+            (vc, resend, strikes)
         };
         if strikes == self.config.heal_rto_patience {
             self.heal_kick(vc, crate::heal::HealReason::Rto);
@@ -1769,12 +1967,15 @@ impl TransportEntity {
 
     fn on_window_data(self: &Rc<Self>, wseq: u64, tpdu: DataTpdu, corrupted: bool) {
         let vc = tpdu.vc;
+        let Some(h) = self.state.borrow().vcs.resolve(vc) else {
+            return;
+        };
         let now = self.now();
         let (accept, ack, peer) = {
             let mut st = self.state.borrow_mut();
-            let Some(v) = st.vcs.get_mut(&vc) else { return };
-            let peer = v.peer_node;
-            let Some(k) = v.sink.as_mut() else { return };
+            let Some(e) = st.vcs.at_mut(h) else { return };
+            let peer = e.vc.peer_node;
+            let Some(k) = e.vc.sink.as_mut() else { return };
             let g = k.gbn_recv.as_mut().expect("window receiver");
             if corrupted {
                 // A damaged TPDU is treated as lost: dup-ack.
@@ -1787,7 +1988,7 @@ impl TransportEntity {
         };
         self.send_control(peer, ControlMsg::Ack { vc, upto: ack });
         if accept {
-            self.feed_sink(vc, tpdu, false, now);
+            self.feed_sink_h(h, tpdu, false, now);
         }
     }
 
@@ -1796,176 +1997,213 @@ impl TransportEntity {
     // ------------------------------------------------------------------
 
     pub(crate) fn on_data(self: &Rc<Self>, tpdu: DataTpdu, corrupted: bool) {
-        let vc = tpdu.vc;
+        // The one id→handle lookup of the receive path; everything below
+        // addresses the slab entry directly.
+        let Some(h) = self.state.borrow().vcs.resolve(tpdu.vc) else {
+            return;
+        };
         let now = self.now();
-        self.feed_sink(vc, tpdu, corrupted, now);
+        self.feed_sink_h(h, tpdu, corrupted, now);
     }
 
-    fn feed_sink(self: &Rc<Self>, vc: VcId, tpdu: DataTpdu, corrupted: bool, now: SimTime) {
+    /// Receive-path core: reassembly, monitor accounting, and the whole
+    /// same-tick delivery batch (buffer pushes, tap dispatches, NACKs,
+    /// loss indications, credit) under ONE state borrow. The per-action
+    /// path used to re-borrow and re-look-up the id 3–4 times per OSDU.
+    fn feed_sink_h(self: &Rc<Self>, h: SlabHandle, tpdu: DataTpdu, corrupted: bool, now: SimTime) {
         let final_frag = tpdu.frag_index + 1 == tpdu.frag_count;
         let delay = now.saturating_since(tpdu.osdu_sent_at);
         let wire_total = tpdu.frag_bytes; // summed via monitor per fragment
-        let actions = {
-            let mut st = self.state.borrow_mut();
-            let Some(v) = st.vcs.get_mut(&vc) else { return };
-            if v.phase != VcPhase::Open {
-                return;
+        let mut guard = self.state.borrow_mut();
+        let st = &mut *guard;
+        let Some(e) = st.vcs.at_mut(h) else { return };
+        if e.vc.phase != VcPhase::Open {
+            return;
+        }
+        let Some(k) = e.vc.sink.as_mut() else { return };
+        let lost_before = k.engine.lost;
+        let corrupted_before = k.engine.corrupted;
+        let delivered_before = k.engine.delivered;
+        let actions = k.engine.on_tpdu(&tpdu, corrupted, now);
+        if let Some(m) = &mut k.monitor {
+            m.on_lost(k.engine.lost - lost_before);
+            for _ in 0..(k.engine.corrupted - corrupted_before) {
+                m.on_corrupted();
             }
-            let Some(k) = v.sink.as_mut() else { return };
-            let lost_before = k.engine.lost;
-            let corrupted_before = k.engine.corrupted;
-            let delivered_before = k.engine.delivered;
-            let actions = k.engine.on_tpdu(&tpdu, corrupted, now);
-            if let Some(m) = &mut k.monitor {
-                m.on_lost(k.engine.lost - lost_before);
-                for _ in 0..(k.engine.corrupted - corrupted_before) {
-                    m.on_corrupted();
-                }
-                // Count a completed OSDU's delay once, at its final frag.
-                if final_frag && k.engine.delivered > delivered_before {
+            // Count a completed OSDU's delay once, at its final frag.
+            if final_frag && k.engine.delivered > delivered_before {
+                m.on_delivered(wire_total, delay);
+            } else if final_frag {
+                // Completed into the stash (reliable reorder) still
+                // counts as received for throughput purposes.
+                let stashed = k.engine.delivered == delivered_before
+                    && k.engine.lost == lost_before
+                    && k.engine.corrupted == corrupted_before;
+                if stashed {
                     m.on_delivered(wire_total, delay);
-                } else if final_frag {
-                    // Completed into the stash (reliable reorder) still
-                    // counts as received for throughput purposes.
-                    let stashed = k.engine.delivered == delivered_before
-                        && k.engine.lost == lost_before
-                        && k.engine.corrupted == corrupted_before;
-                    if stashed {
-                        m.on_delivered(wire_total, delay);
-                    }
                 }
             }
-            actions
-        };
-        self.apply_sink_actions(vc, actions, Some(now));
+        }
+        self.sink_actions_locked(st, h, actions, now);
     }
 
-    /// Execute the actions a sink engine emitted, then refresh credits.
+    /// Id-keyed wrapper: run sink-engine actions + credit refresh (the
+    /// `Dropped` control path resolves here).
     fn apply_sink_actions(
         self: &Rc<Self>,
         vc: VcId,
         actions: Vec<SinkAction>,
         now: Option<SimTime>,
     ) {
+        let Some(h) = self.state.borrow().vcs.resolve(vc) else {
+            return;
+        };
         let now = now.unwrap_or_else(|| self.now());
+        let mut guard = self.state.borrow_mut();
+        self.sink_actions_locked(&mut guard, h, actions, now);
+    }
+
+    /// Process a batch of sink-engine actions and the follow-on credit
+    /// refresh against the entry behind `h`, under the caller's state
+    /// borrow. Every externally visible effect — tap/user callbacks
+    /// (zero-delay engine events), NACK and credit control sends, the
+    /// producer park — is issued inline in exactly the order the old
+    /// per-action path produced it; none of them touch entity state
+    /// synchronously, so issuing them under the borrow is safe and the
+    /// event schedule (and with it the telemetry byte stream) is
+    /// unchanged.
+    fn sink_actions_locked(
+        self: &Rc<Self>,
+        st: &mut State,
+        h: SlabHandle,
+        actions: Vec<SinkAction>,
+        now: SimTime,
+    ) {
+        let Some(e) = st.vcs.at_mut(h) else { return };
+        let vc = e.vc.id;
+        let peer = e.vc.peer_node;
+        let tsap = e.vc.local_tsap;
+        let tap = e.tap.clone();
+        let Some(k) = e.vc.sink.as_mut() else { return };
+        let mut park: Option<BufferHandle> = None;
         for action in actions {
             match action {
-                SinkAction::Deliver(osdu) => self.deliver_to_buffer(vc, osdu, now),
-                SinkAction::SendNack(seqs) => {
-                    let peer = {
-                        let st = self.state.borrow();
-                        st.vcs.get(&vc).map(|v| v.peer_node)
-                    };
-                    if let Some(peer) = peer {
-                        self.send_control(peer, ControlMsg::Nack { vc, seqs });
-                    }
-                }
-                SinkAction::IndicateLoss(seq) => {
-                    let tsap = {
-                        let st = self.state.borrow();
-                        st.vcs.get(&vc).map(|v| v.local_tsap)
-                    };
-                    if let Some(tsap) = tsap {
-                        self.to_user(tsap, move |svc, u| u.t_error_indication(svc, vc, seq));
-                    }
-                    self.to_tap(vc, move |tap| tap.on_loss_indicated(vc, seq));
-                }
-            }
-        }
-        self.maybe_send_credit(vc);
-    }
-
-    fn deliver_to_buffer(self: &Rc<Self>, vc: VcId, osdu: Osdu, now: SimTime) {
-        let opdu = osdu.opdu;
-        let pushed = {
-            let mut st = self.state.borrow_mut();
-            let Some(k) = st.vcs.get_mut(&vc).and_then(|v| v.sink.as_mut()) else {
-                return;
-            };
-            if !k.pending_delivery.is_empty() {
-                k.pending_delivery.push_back(osdu);
-                false
-            } else {
-                match k.recv_buf.try_push(now, osdu) {
-                    PushOutcome::Pushed { .. } => true,
-                    PushOutcome::Full(osdu) => {
+                SinkAction::Deliver(osdu) => {
+                    let opdu = osdu.opdu;
+                    let pushed = if !k.pending_delivery.is_empty() {
                         k.pending_delivery.push_back(osdu);
                         false
+                    } else {
+                        match k.recv_buf.try_push(now, osdu) {
+                            PushOutcome::Pushed { .. } => true,
+                            PushOutcome::Full(osdu) => {
+                                k.pending_delivery.push_back(osdu);
+                                false
+                            }
+                        }
+                    };
+                    if pushed {
+                        if let Some(tap) = tap.clone() {
+                            self.dispatch_tap(tap, move |tap| tap.on_osdu_arrived(vc, opdu));
+                        }
+                    } else if !k.producer_parked {
+                        k.producer_parked = true;
+                        park = Some(k.recv_buf.clone());
+                    }
+                }
+                SinkAction::SendNack(seqs) => {
+                    self.send_control(peer, ControlMsg::Nack { vc, seqs });
+                }
+                SinkAction::IndicateLoss(seq) => {
+                    if let Some(user) = st.users.get(&tsap).cloned() {
+                        self.dispatch_user(user, move |svc, u| u.t_error_indication(svc, vc, seq));
+                    }
+                    if let Some(tap) = tap.clone() {
+                        self.dispatch_tap(tap, move |tap| tap.on_loss_indicated(vc, seq));
                     }
                 }
             }
-        };
-        if pushed {
-            self.to_tap(vc, move |tap| tap.on_osdu_arrived(vc, opdu));
-        } else {
-            self.park_sink_producer(vc, now);
+        }
+        let freed = k.freed_total();
+        if freed > k.last_freed_sent {
+            k.last_freed_sent = freed;
+            self.send_control(
+                peer,
+                ControlMsg::Credit {
+                    vc,
+                    freed_total: freed,
+                },
+            );
+        }
+        if let Some(buf) = park {
+            self.park_sink_producer_h(h, buf, now);
         }
     }
 
-    fn park_sink_producer(self: &Rc<Self>, vc: VcId, now: SimTime) {
-        let (buf, already) = {
-            let mut st = self.state.borrow_mut();
-            let Some(k) = st.vcs.get_mut(&vc).and_then(|v| v.sink.as_mut()) else {
-                return;
-            };
-            let already = k.producer_parked;
-            k.producer_parked = true;
-            (k.recv_buf.clone(), already)
-        };
-        if already {
-            return;
-        }
+    /// Park the protocol producer on a full receive buffer; the wake
+    /// trampolines through the engine into a pending-delivery drain.
+    /// Registration consumes no event sequence, so parking at the end of
+    /// a batch instead of mid-loop leaves the schedule untouched.
+    fn park_sink_producer_h(self: &Rc<Self>, h: SlabHandle, buf: BufferHandle, now: SimTime) {
         let me = self.clone();
         buf.park_producer(now, move || {
             let me2 = me.clone();
             me.net
                 .engine()
                 .schedule_in(cm_core::time::SimDuration::ZERO, move |_| {
-                    me2.drain_pending_delivery(vc)
+                    me2.drain_pending_delivery_h(h)
                 });
         });
     }
 
-    fn drain_pending_delivery(self: &Rc<Self>, vc: VcId) {
+    fn drain_pending_delivery_h(self: &Rc<Self>, h: SlabHandle) {
         let now = self.now();
-        loop {
-            let (osdu, done) = {
-                let mut st = self.state.borrow_mut();
-                let Some(k) = st.vcs.get_mut(&vc).and_then(|v| v.sink.as_mut()) else {
-                    return;
-                };
-                k.producer_parked = false;
-                match k.pending_delivery.pop_front() {
-                    None => (None, true),
-                    Some(o) => (Some(o), false),
-                }
-            };
-            if done {
-                break;
-            }
-            let osdu = osdu.expect("osdu present");
+        let mut guard = self.state.borrow_mut();
+        let st = &mut *guard;
+        self.drain_pending_locked(st, h, now);
+    }
+
+    /// Move stalled pending deliveries into freed receive-buffer slots,
+    /// dispatch their taps, and send any credit delta — one borrow for
+    /// the whole drain (the loop used to take three per OSDU).
+    fn drain_pending_locked(self: &Rc<Self>, st: &mut State, h: SlabHandle, now: SimTime) {
+        let Some(e) = st.vcs.at_mut(h) else { return };
+        let vc = e.vc.id;
+        let peer = e.vc.peer_node;
+        let tap = e.tap.clone();
+        let Some(k) = e.vc.sink.as_mut() else { return };
+        let mut park: Option<BufferHandle> = None;
+        k.producer_parked = false;
+        while let Some(osdu) = k.pending_delivery.pop_front() {
             let opdu = osdu.opdu;
-            let pushed = {
-                let mut st = self.state.borrow_mut();
-                let Some(k) = st.vcs.get_mut(&vc).and_then(|v| v.sink.as_mut()) else {
-                    return;
-                };
-                match k.recv_buf.try_push(now, osdu) {
-                    PushOutcome::Pushed { .. } => true,
-                    PushOutcome::Full(osdu) => {
-                        k.pending_delivery.push_front(osdu);
-                        false
+            match k.recv_buf.try_push(now, osdu) {
+                PushOutcome::Pushed { .. } => {
+                    if let Some(tap) = tap.clone() {
+                        self.dispatch_tap(tap, move |tap| tap.on_osdu_arrived(vc, opdu));
                     }
                 }
-            };
-            if pushed {
-                self.to_tap(vc, move |tap| tap.on_osdu_arrived(vc, opdu));
-            } else {
-                self.park_sink_producer(vc, now);
-                break;
+                PushOutcome::Full(osdu) => {
+                    k.pending_delivery.push_front(osdu);
+                    k.producer_parked = true;
+                    park = Some(k.recv_buf.clone());
+                    break;
+                }
             }
         }
-        self.maybe_send_credit(vc);
+        let freed = k.freed_total();
+        if freed > k.last_freed_sent {
+            k.last_freed_sent = freed;
+            self.send_control(
+                peer,
+                ControlMsg::Credit {
+                    vc,
+                    freed_total: freed,
+                },
+            );
+        }
+        if let Some(buf) = park {
+            self.park_sink_producer_h(h, buf, now);
+        }
     }
 
     /// Advertise newly freed receive slots to the sender.
@@ -1998,34 +2236,29 @@ impl TransportEntity {
     // QoS monitoring
     // ------------------------------------------------------------------
 
-    fn schedule_monitor(self: &Rc<Self>, vc: VcId) {
-        let at = {
-            let st = self.state.borrow();
-            st.vcs
-                .get(&vc)
-                .and_then(|v| v.sink.as_ref())
-                .and_then(|k| k.monitor.as_ref().map(|m| m.period_end()))
-        };
-        let Some(at) = at else { return };
+    fn schedule_monitor_h(self: &Rc<Self>, h: SlabHandle) {
         let st = self.state.borrow();
-        if let Some(t) = st
-            .vcs
-            .get(&vc)
-            .and_then(|v| v.sink.as_ref())
-            .and_then(|k| k.monitor_timer.as_ref())
-        {
+        let Some(k) = st.vcs.at(h).and_then(|e| e.vc.sink.as_ref()) else {
+            return;
+        };
+        let Some(at) = k.monitor.as_ref().map(|m| m.period_end()) else {
+            return;
+        };
+        if let Some(t) = &k.monitor_timer {
             t.arm_at(at);
         }
     }
 
-    fn monitor_fire(self: &Rc<Self>, vc: VcId) {
+    fn monitor_fire_h(self: &Rc<Self>, h: SlabHandle) {
         let now = self.now();
         let report = {
             let mut st = self.state.borrow_mut();
-            let Some(v) = st.vcs.get_mut(&vc) else { return };
+            let Some(e) = st.vcs.at_mut(h) else { return };
+            let v = &mut e.vc;
             if v.phase != VcPhase::Open {
                 return;
             }
+            let vc = v.id;
             let contract = v.contract;
             let peer = v.peer_node;
             let tsap = v.local_tsap;
@@ -2078,7 +2311,7 @@ impl TransportEntity {
             // notification).
             self.send_control(peer, ControlMsg::QosReportMsg(report));
         }
-        self.schedule_monitor(vc);
+        self.schedule_monitor_h(h);
     }
 
     // ------------------------------------------------------------------
@@ -2095,26 +2328,18 @@ impl TransportEntity {
         event: Option<u64>,
     ) -> Result<bool, ServiceError> {
         let now = self.now();
-        let max = {
-            let st = self.state.borrow();
-            let v = st.vcs.get(&vc).ok_or(ServiceError::UnknownVc)?;
-            if v.role != VcRole::Source {
-                return Err(ServiceError::WrongState("write on sink end"));
-            }
-            if v.phase != VcPhase::Open {
-                return Err(ServiceError::WrongState("write on non-open VC"));
-            }
-            v.requirement.max_osdu_size
-        };
-        if payload.len() > max {
+        let mut st = self.state.borrow_mut();
+        let v = st.vcs.get_mut(&vc).ok_or(ServiceError::UnknownVc)?;
+        if v.role != VcRole::Source {
+            return Err(ServiceError::WrongState("write on sink end"));
+        }
+        if v.phase != VcPhase::Open {
+            return Err(ServiceError::WrongState("write on non-open VC"));
+        }
+        if payload.len() > v.requirement.max_osdu_size {
             return Err(ServiceError::BadArgument("OSDU exceeds max_osdu_size"));
         }
-        let mut st = self.state.borrow_mut();
-        let s = st
-            .vcs
-            .get_mut(&vc)
-            .and_then(|v| v.source.as_mut())
-            .expect("source end");
+        let s = v.source.as_mut().expect("source end");
         // Assign the sequence number only if there is room (a refused
         // write must not burn a seq).
         if s.send_buf.is_full() {
@@ -2135,26 +2360,42 @@ impl TransportEntity {
     /// Application-side OSDU read from the receive buffer (respects the
     /// orchestration gate). Sends credit for the freed slot.
     pub(crate) fn read_osdu(self: &Rc<Self>, vc: VcId) -> Result<Option<Osdu>, ServiceError> {
+        let Some(h) = self.state.borrow().vcs.resolve(vc) else {
+            return Err(ServiceError::UnknownVc);
+        };
         let now = self.now();
-        let osdu = {
-            let mut st = self.state.borrow_mut();
-            let v = st.vcs.get_mut(&vc).ok_or(ServiceError::UnknownVc)?;
-            if v.role != VcRole::Sink {
-                return Err(ServiceError::WrongState("read on source end"));
+        let mut guard = self.state.borrow_mut();
+        let st = &mut *guard;
+        let Some(e) = st.vcs.at_mut(h) else {
+            return Err(ServiceError::UnknownVc);
+        };
+        if e.vc.role != VcRole::Sink {
+            return Err(ServiceError::WrongState("read on source end"));
+        }
+        let peer = e.vc.peer_node;
+        let k = e.vc.sink.as_mut().expect("sink end");
+        let osdu = match k.recv_buf.try_pop(now) {
+            Some(o) => {
+                k.app_popped += 1;
+                Some(o)
             }
-            let k = v.sink.as_mut().expect("sink end");
-            match k.recv_buf.try_pop(now) {
-                Some(o) => {
-                    k.app_popped += 1;
-                    Some(o)
-                }
-                None => None,
-            }
+            None => None,
         };
         if osdu.is_some() {
-            self.maybe_send_credit(vc);
-            // Freed a slot: resume any stalled pending deliveries.
-            self.drain_pending_delivery(vc);
+            // Credit for the freed slot, then resume any stalled pending
+            // deliveries — one borrow for the pop + credit + drain batch.
+            let freed = k.freed_total();
+            if freed > k.last_freed_sent {
+                k.last_freed_sent = freed;
+                self.send_control(
+                    peer,
+                    ControlMsg::Credit {
+                        vc,
+                        freed_total: freed,
+                    },
+                );
+            }
+            self.drain_pending_locked(st, h, now);
         }
         Ok(osdu)
     }
@@ -2236,16 +2477,15 @@ impl TransportEntity {
     /// Register the orchestration tap for a VC.
     pub(crate) fn register_tap(&self, vc: VcId, tap: Rc<dyn VcTap>) -> Result<(), ServiceError> {
         let mut st = self.state.borrow_mut();
-        if !st.vcs.contains_key(&vc) {
+        if !st.vcs.set_tap(vc, tap) {
             return Err(ServiceError::UnknownVc);
         }
-        st.taps.insert(vc, tap);
         Ok(())
     }
 
     /// Remove the orchestration tap for a VC.
     pub(crate) fn clear_tap(&self, vc: VcId) {
-        self.state.borrow_mut().taps.remove(&vc);
+        self.state.borrow_mut().vcs.clear_tap(&vc);
     }
 
     /// Send an opaque control payload to the VC's peer LLO (§5's OPDU
@@ -2277,7 +2517,9 @@ impl TransportEntity {
             .and_then(|v| v.source.as_mut())
             .ok_or(ServiceError::UnknownVc)?;
         s.clock.pause();
-        s.tick_timer.disarm();
+        if let Some(t) = &s.tick_timer {
+            t.disarm();
+        }
         Ok(())
     }
 

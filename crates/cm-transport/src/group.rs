@@ -108,7 +108,6 @@ impl TransportEntity {
             tsap,
         };
         let slots = self.buffer_slots(&requirement);
-        let (tick_timer, rto_timer) = self.make_source_timers(vc);
         let mut clock = crate::rate::RateClock::new(requirement.osdu_rate);
         clock.start(self.local_now());
         let source = SourceEnd {
@@ -125,8 +124,8 @@ impl TransportEntity {
             sent: 0,
             retrans_cache: std::collections::VecDeque::new(),
             retrans_cache_cap: slots * 4,
-            tick_timer,
-            rto_timer,
+            tick_timer: None,
+            rto_timer: None,
             waiting_buffer: false,
             stalled_credit: false,
             stalled_at: None,
@@ -156,7 +155,8 @@ impl TransportEntity {
             }),
             pending_reneg: None,
         };
-        self.state.borrow_mut().vcs.insert(vc, v);
+        let h = self.state.borrow_mut().vcs.insert(vc, v);
+        self.attach_source_timers(h);
         self.ensure_tick_now(vc);
         Ok(vc)
     }

@@ -82,8 +82,8 @@ impl HealReason {
     }
 }
 
-/// Per-VC healing state. Lives in the entity's `State.heal` map for the
-/// life of the VC (episodes come and go; the lifetime counters persist).
+/// Per-VC healing state. Lives in the VC's slab entry for the life of
+/// the VC (episodes come and go; the lifetime counters persist).
 pub(crate) struct HealState {
     /// Probe timer (holds a `Weak` back-reference; post-teardown fires
     /// are no-ops).
@@ -127,14 +127,14 @@ impl TransportEntity {
                 return;
             }
         }
-        if !self.state.borrow().heal.contains_key(&vc) {
+        if !self.state.borrow().vcs.has_heal(&vc) {
             let weak = Rc::downgrade(self);
             let timer = PeriodicTimer::new(self.net.engine(), move |_| {
                 if let Some(me) = weak.upgrade() {
                     me.heal_fire(vc);
                 }
             });
-            self.state.borrow_mut().heal.insert(
+            self.state.borrow_mut().vcs.set_heal(
                 vc,
                 HealState {
                     timer,
@@ -151,7 +151,7 @@ impl TransportEntity {
         }
         let patience = self.config.heal_patience;
         let mut st = self.state.borrow_mut();
-        let hs = st.heal.get_mut(&vc).expect("heal state just ensured");
+        let hs = st.vcs.heal_mut(&vc).expect("heal state just ensured");
         if !hs.active {
             hs.active = true;
             hs.reason = reason;
@@ -173,8 +173,8 @@ impl TransportEntity {
     pub(crate) fn heal_stats(&self, vc: VcId) -> (u64, u64) {
         self.state
             .borrow()
-            .heal
-            .get(&vc)
+            .vcs
+            .heal(&vc)
             .map(|h| (h.attempts, h.repairs))
             .unwrap_or((0, 0))
     }
@@ -189,7 +189,7 @@ impl TransportEntity {
         // hold the episode until the node itself is back.
         if !self.net.is_node_up(self.node) {
             let st = self.state.borrow();
-            if let Some(hs) = st.heal.get(&vc) {
+            if let Some(hs) = st.vcs.heal(&vc) {
                 if hs.active {
                     hs.timer.arm_at(now + self.config.heal_backoff_cap);
                 }
@@ -235,7 +235,7 @@ impl TransportEntity {
         };
         match probe {
             Probe::Gone => {
-                self.state.borrow_mut().heal.remove(&vc);
+                self.state.borrow_mut().vcs.remove_heal(&vc);
             }
             Probe::Unicast {
                 peer,
@@ -288,7 +288,7 @@ impl TransportEntity {
         }
         let saw_fault = {
             let st = self.state.borrow();
-            st.heal.get(&vc).map(|h| h.saw_fault).unwrap_or(false)
+            st.vcs.heal(&vc).map(|h| h.saw_fault).unwrap_or(false)
         };
         let mut unstuck = false;
         if stalled && (rerouted || saw_fault) {
@@ -368,7 +368,7 @@ impl TransportEntity {
         }
         let saw_fault = {
             let st = self.state.borrow();
-            st.heal.get(&vc).map(|h| h.saw_fault).unwrap_or(false)
+            st.vcs.heal(&vc).map(|h| h.saw_fault).unwrap_or(false)
         };
         let mut unstuck = false;
         if stalled && (acted || saw_fault) {
@@ -411,7 +411,7 @@ impl TransportEntity {
     /// backpressure.
     fn heal_note_fault(&self, vc: VcId) {
         let mut st = self.state.borrow_mut();
-        if let Some(hs) = st.heal.get_mut(&vc) {
+        if let Some(hs) = st.vcs.heal_mut(&vc) {
             hs.saw_fault = true;
         }
     }
@@ -420,7 +420,7 @@ impl TransportEntity {
     fn heal_attempt_failed(self: &Rc<Self>, vc: VcId, now: SimTime) {
         let give_up = {
             let mut st = self.state.borrow_mut();
-            let Some(hs) = st.heal.get_mut(&vc) else {
+            let Some(hs) = st.vcs.heal_mut(&vc) else {
                 return;
             };
             hs.attempts += 1;
@@ -457,7 +457,7 @@ impl TransportEntity {
     fn heal_repaired(&self, vc: VcId, now: SimTime, event: Option<&'static str>) {
         let (reason, since, tries) = {
             let mut st = self.state.borrow_mut();
-            let Some(hs) = st.heal.get_mut(&vc) else {
+            let Some(hs) = st.vcs.heal_mut(&vc) else {
                 return;
             };
             hs.attempts += 1;
@@ -486,7 +486,7 @@ impl TransportEntity {
     fn heal_reprobe(self: &Rc<Self>, vc: VcId, now: SimTime) {
         let give_up = {
             let mut st = self.state.borrow_mut();
-            let Some(hs) = st.heal.get_mut(&vc) else {
+            let Some(hs) = st.vcs.heal_mut(&vc) else {
                 return;
             };
             hs.tries += 1;
@@ -513,7 +513,7 @@ impl TransportEntity {
     /// Close the episode: signal cleared (or was never a fault).
     fn heal_end(&self, vc: VcId) {
         let mut st = self.state.borrow_mut();
-        if let Some(hs) = st.heal.get_mut(&vc) {
+        if let Some(hs) = st.vcs.heal_mut(&vc) {
             hs.active = false;
             hs.timer.disarm();
         }

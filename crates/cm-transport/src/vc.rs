@@ -57,10 +57,12 @@ pub struct SourceEnd {
     /// Maximum entries in `retrans_cache`.
     pub retrans_cache_cap: usize,
     /// Pacing-tick timer; each re-arm implicitly drops the previous
-    /// deadline (one boxed closure for the life of the VC).
-    pub tick_timer: PeriodicTimer,
-    /// Window RTO timer.
-    pub rto_timer: PeriodicTimer,
+    /// deadline (one boxed closure while the VC is live). Attached after
+    /// the entry is inserted so the closure can capture the slab handle;
+    /// set back to `None` at teardown, which frees the engine's timer slot.
+    pub tick_timer: Option<PeriodicTimer>,
+    /// Window RTO timer (same attach/teardown lifecycle as `tick_timer`).
+    pub rto_timer: Option<PeriodicTimer>,
     /// Parked as consumer on the send buffer (application slow).
     pub waiting_buffer: bool,
     /// Stalled on exhausted receiver credit.

@@ -237,9 +237,23 @@ impl NetworkInner {
         let group = &self.groups[g.0 as usize];
         let mut links = BTreeSet::new();
         let mut reached = BTreeSet::new();
+        let mut out_links: BTreeMap<NetAddr, Vec<LinkId>> = BTreeMap::new();
         for &m in &group.members {
-            if Self::member_branch(group, m).is_none() {
-                continue; // cut off: no branch, not in this snapshot
+            // Allocation-free reachability walk: a member with a severed
+            // parent chain contributes no branch and is left out of the
+            // snapshot (`group_refresh` reconciles membership after faults).
+            let mut v = m;
+            let reachable = loop {
+                if v == group.root {
+                    break true;
+                }
+                match group.parent[v.0 as usize] {
+                    Some((p, _)) => v = p,
+                    None => break false,
+                }
+            };
+            if !reachable {
+                continue;
             }
             reached.insert(m);
             let mut v = m;
@@ -248,16 +262,15 @@ impl NetworkInner {
                 if !links.insert(lid) {
                     break; // remainder of the walk is already in the tree
                 }
+                out_links.entry(p).or_default().push(lid);
                 v = p;
             }
         }
-        let mut out_links: BTreeMap<NetAddr, Vec<LinkId>> = BTreeMap::new();
-        for v in 0..self.nodes.len() {
-            if let Some((p, lid)) = group.parent[v] {
-                if links.contains(&lid) {
-                    out_links.entry(p).or_default().push(lid);
-                }
-            }
+        // Fan-out order at each branch node is part of the deterministic
+        // schedule (copy order assigns packet seqs): keep the ascending
+        // child-node order the old whole-forest scan produced.
+        for fanout in out_links.values_mut() {
+            fanout.sort_unstable_by_key(|lid| self.links[lid.0 as usize].to.0);
         }
         Rc::new(GroupTree {
             root: group.root,

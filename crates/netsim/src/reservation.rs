@@ -13,6 +13,7 @@
 use crate::network::LinkId;
 use cm_core::address::VcId;
 use cm_core::time::Bandwidth;
+use cm_core::FastMap;
 use std::collections::HashMap;
 
 /// Why admission was refused.
@@ -45,8 +46,8 @@ struct Record {
 /// by lowering it.
 #[derive(Debug)]
 pub struct ReservationTable {
-    reserved: HashMap<LinkId, Bandwidth>,
-    records: HashMap<VcId, Record>,
+    reserved: FastMap<LinkId, Bandwidth>,
+    records: FastMap<VcId, Record>,
     utilisation_percent: u64,
 }
 
@@ -65,8 +66,8 @@ impl ReservationTable {
             "utilisation must be 1..=100"
         );
         ReservationTable {
-            reserved: HashMap::new(),
-            records: HashMap::new(),
+            reserved: FastMap::default(),
+            records: FastMap::default(),
             utilisation_percent,
         }
     }

@@ -175,7 +175,11 @@ fn cm_telemetry_capacity() -> usize {
 /// `cargo test -p netsim --test packet_differential -- --nocapture`
 /// (the failing assertion prints the observed values).
 const GOLDEN_DELIVERY_FNV: u64 = 0xca52ffd0d643abc0;
-const GOLDEN_JSONL_FNV: u64 = 0x96b4b940cd5eb559;
+// Re-pinned when the `engine.events_drained` counter was added to the
+// run-loop drain span: the counter appears in the JSONL export (the
+// delivery log and network counters were unchanged — event order and
+// packet behaviour did not drift).
+const GOLDEN_JSONL_FNV: u64 = 0x7671455452d1c81e;
 // `node_down`/`link_down` were appended to `NetworkCounters` by the fault
 // API; a zero-fault run must keep them at zero.
 const GOLDEN_COUNTERS: &str = "NetworkCounters { delivered: 180, no_handler: 0, no_route: 0, \
