@@ -269,7 +269,7 @@ fn execute(engine: &Engine, rt: &Rc<Rt>, ev: CityEvent) {
     }
 }
 
-fn profile_of(media: CityMedia) -> MediaProfile {
+pub(crate) fn profile_of(media: CityMedia) -> MediaProfile {
     match media {
         CityMedia::AudioTelephone => MediaProfile::audio_telephone(),
         CityMedia::TextCaptions => MediaProfile::text_captions(),

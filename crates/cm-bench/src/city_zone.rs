@@ -1,0 +1,710 @@
+//! Sharded city executor: one zone per engine, zones joined by
+//! wide-area envelopes under the `cm-cluster` barrier protocol.
+//!
+//! Each zone is a full private stack — engine, star network
+//! (`nodes_per_zone` leaves + one relay leaf + hub), platform, session —
+//! replaying its slice of a [`ZonePlan`]. Cross-zone rooms keep their
+//! real room in the home zone; a [`RelayUplink`] member forwards the
+//! published stream as [`CityWire`] envelopes, **one per guest zone per
+//! OSDU**, and each guest zone re-publishes it into a local mirror room.
+//! Inter-zone bytes are therefore flat in membership: the relay fans out
+//! per zone, the mirror fans out per member.
+//!
+//! Determinism: the logical partition is part of the workload
+//! (`CityConfig::zones`), never of the execution, so the same seeded
+//! config produces byte-identical per-zone telemetry — and a
+//! byte-identical [`merge_jsonl`] stream — for any worker-thread count.
+
+use crate::city_run::{profile_of, CityStats};
+use cm_cluster::{run_cluster, ClusterConfig, Envelope, ZoneWorker};
+use cm_core::address::{NetAddr, VcId};
+use cm_core::osdu::{Osdu, Payload};
+use cm_core::qos::{GuaranteeMode, QosRequirement};
+use cm_core::rng::DetRng;
+use cm_core::service_class::ServiceClass;
+use cm_core::time::{Bandwidth, SimDuration, SimTime};
+use cm_core::FastMap;
+use cm_platform::Platform;
+use cm_session::{PeerId, RelayUplink, RelayUplinkEvent, Room, RoomMember, Session};
+use cm_telemetry::merge_jsonl;
+use cm_testkit::{CityConfig, CityEvent, CityMedia, CitySchedule, CityWire, ZoneEvent, ZonePlan};
+use cm_transport::{EntityConfig, TransportService};
+use netsim::{Engine, LinkParams, Network, NodeClock};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// What one zone reports after the cluster drains.
+#[derive(Debug, Clone)]
+pub struct ZoneCityReport {
+    /// Zone id.
+    pub zone: u32,
+    /// The zone-local counters (joins, deliveries, engine events…).
+    pub stats: CityStats,
+    /// Mirror rooms opened here (guest side of cross-zone rooms).
+    pub mirrors_opened: u64,
+    /// Mirror streams published here on `MirrorPublish` arrival.
+    pub mirror_publishes: u64,
+    /// Envelopes sent to other zones (stream control + media).
+    pub wan_out_msgs: u64,
+    /// Media payload bytes sent to other zones — the flat-in-membership
+    /// quantity.
+    pub wan_out_bytes: u64,
+    /// Media envelopes that arrived for an already-closed mirror or hit
+    /// a full mirror send buffer and were dropped (wide-area ingress is
+    /// drop-on-full, never parked).
+    pub wan_dropped: u64,
+    /// Peak concurrently-open rooms in this zone (mirrors included).
+    pub rooms_active_peak: u64,
+    /// This zone's JSONL telemetry export, when telemetry was enabled.
+    pub telemetry_jsonl: Option<String>,
+}
+
+/// Aggregated result of a sharded city run.
+#[derive(Debug, Clone)]
+pub struct ClusterCityStats {
+    /// Counters summed across zones; `sim_ms` and `events_executed`
+    /// aggregate the final clock (identical in every zone — they stop
+    /// at the same barrier tick) and the event total.
+    pub agg: CityStats,
+    /// Per-zone reports, zone-id order.
+    pub per_zone: Vec<ZoneCityReport>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Barrier rounds executed.
+    pub rounds: u64,
+    /// Whole-run wall clock, µs.
+    pub wall_us: u64,
+    /// Per-worker busy time, µs.
+    pub worker_busy_us: Vec<u64>,
+    /// Σ over rounds of the busiest worker — the parallel floor on an
+    /// unconstrained host (see `ClusterReport::critical_path_us`).
+    pub critical_path_us: u64,
+    /// Total cross-zone envelopes.
+    pub wan_msgs: u64,
+    /// Total cross-zone media payload bytes.
+    pub wan_bytes: u64,
+    /// Deterministic merged telemetry (all zones, `"zone"`-tagged),
+    /// when telemetry was enabled.
+    pub merged_jsonl: Option<String>,
+}
+
+/// A no-op member for the guest-side relay publisher (its deliveries
+/// are re-publications, not member deliveries — don't count them).
+struct RelayDown;
+impl RoomMember for RelayDown {}
+
+/// A room member that only counts what reaches it.
+#[derive(Default)]
+struct CountingMember {
+    osdus: Cell<u64>,
+    bytes: Cell<u64>,
+}
+
+impl RoomMember for CountingMember {
+    fn on_media(&self, _room: &str, _stream: &str, osdu: Osdu) {
+        self.osdus.set(self.osdus.get() + 1);
+        self.bytes.set(self.bytes.get() + osdu.payload.len() as u64);
+    }
+}
+
+struct ZRt {
+    zone: u32,
+    plan: Arc<ZonePlan>,
+    engine: Engine,
+    session: Session,
+    /// Leaf nodes; index `plan.relay_node()` is the relay leaf.
+    nodes: Vec<NetAddr>,
+    member: Rc<CountingMember>,
+    rooms: RefCell<FastMap<u32, Room>>,
+    peers: RefCell<FastMap<(u32, u32), PeerId>>,
+    /// Home-side media profile per room, stored before `publish` so the
+    /// relay's `Published` callback can stamp `MirrorPublish` envelopes.
+    media_of: RefCell<FastMap<u32, CityMedia>>,
+    /// Guest-side mirror stream handles, live once `MirrorPublish`
+    /// arrived and until the mirror closes.
+    mirror_streams: RefCell<FastMap<u32, (TransportService, VcId)>>,
+    /// Guest-side relay publisher peer per mirror room.
+    mirror_peers: RefCell<FastMap<u32, PeerId>>,
+    /// Cross-zone envelopes staged for the next barrier drain.
+    outbound: RefCell<Vec<Envelope<CityWire>>>,
+    rooms_opened: Cell<u64>,
+    mirrors_opened: Cell<u64>,
+    mirror_publishes: Cell<u64>,
+    joins_ok: Cell<u64>,
+    joins_denied: Cell<u64>,
+    published: Cell<u64>,
+    osdus_written: Cell<u64>,
+    bytes_written: Cell<u64>,
+    wan_out_msgs: Cell<u64>,
+    wan_out_bytes: Cell<u64>,
+    wan_dropped: Cell<u64>,
+    rooms_active: Cell<u64>,
+    rooms_active_peak: Cell<u64>,
+}
+
+impl ZRt {
+    fn room_opened(&self) {
+        let now = self.rooms_active.get() + 1;
+        self.rooms_active.set(now);
+        self.rooms_active_peak
+            .set(self.rooms_active_peak.get().max(now));
+    }
+
+    fn room_closed(&self) {
+        self.rooms_active
+            .set(self.rooms_active.get().saturating_sub(1));
+    }
+
+    /// Stage one envelope to every guest zone of `room`.
+    fn send_to_guests(&self, room: u32, body: CityWire) {
+        let deliver_at = self.engine.now().as_micros() + self.plan.wan_latency_ms.max(1) * 1_000;
+        let info = &self.plan.rooms[room as usize];
+        let mut out = self.outbound.borrow_mut();
+        for &g in &info.guests {
+            out.push(Envelope::to(g, deliver_at, body));
+            self.wan_out_msgs.set(self.wan_out_msgs.get() + 1);
+            if let CityWire::Media { len, .. } = body {
+                self.wan_out_bytes
+                    .set(self.wan_out_bytes.get() + len as u64);
+            }
+        }
+    }
+
+    /// A cross-zone envelope fired at its delivery time.
+    fn on_wire(self: &Rc<Self>, wire: CityWire) {
+        match wire {
+            CityWire::MirrorPublish { room, media } => self.mirror_publish(room, media),
+            CityWire::Media { room, tag, len } => self.mirror_write(room, tag, len as usize),
+        }
+    }
+
+    /// Guest side: home published — open the mirror stream.
+    fn mirror_publish(self: &Rc<Self>, room: u32, media: CityMedia) {
+        let Some(r) = self.rooms.borrow().get(&room).cloned() else {
+            self.wan_dropped.set(self.wan_dropped.get() + 1);
+            return;
+        };
+        let Some(&peer) = self.mirror_peers.borrow().get(&room) else {
+            self.wan_dropped.set(self.wan_dropped.get() + 1);
+            return;
+        };
+        let profile = profile_of(media);
+        let req = QosRequirement {
+            tolerance: profile.tolerance(50),
+            guarantee: GuaranteeMode::BestEffort,
+            osdu_rate: profile.osdu_rate,
+            max_osdu_size: profile.max_osdu_size,
+        };
+        let Ok(vc) = r.publish(peer, "main", ServiceClass::cm_default(), req) else {
+            self.wan_dropped.set(self.wan_dropped.get() + 1);
+            return;
+        };
+        self.mirror_publishes.set(self.mirror_publishes.get() + 1);
+        if let Some(svc) = r.stream_service("main") {
+            self.mirror_streams.borrow_mut().insert(room, (svc, vc));
+        }
+    }
+
+    /// Guest side: one wide-area OSDU — re-emit it into the mirror.
+    /// Drop-on-full: the wide area never parks a producer.
+    fn mirror_write(&self, room: u32, tag: u64, len: usize) {
+        let handle = self.mirror_streams.borrow().get(&room).cloned();
+        let Some((svc, vc)) = handle else {
+            self.wan_dropped.set(self.wan_dropped.get() + 1);
+            return;
+        };
+        match svc.write_osdu(vc, Payload::synthetic(tag, len), None) {
+            Ok(true) => {
+                self.osdus_written.set(self.osdus_written.get() + 1);
+                self.bytes_written
+                    .set(self.bytes_written.get() + len as u64);
+            }
+            Ok(false) | Err(_) => self.wan_dropped.set(self.wan_dropped.get() + 1),
+        }
+    }
+}
+
+/// Schedule the batch of zone events starting at `idx` (all sharing one
+/// fire time); each batch arms the next, exactly like the flat city
+/// executor.
+fn arm_batch(engine: &Engine, rt: Rc<ZRt>, idx: usize) {
+    let events = &rt.plan.per_zone[rt.zone as usize].events;
+    let Some(first) = events.get(idx) else {
+        return;
+    };
+    let now_ms = engine.now().as_micros() / 1_000;
+    let delay = SimDuration::from_millis(first.at_ms().saturating_sub(now_ms));
+    engine.schedule_in(delay, move |eng| {
+        let events = &rt.plan.per_zone[rt.zone as usize].events;
+        let at = events[idx].at_ms();
+        let mut i = idx;
+        while let Some(&ev) = events.get(i) {
+            if ev.at_ms() != at {
+                break;
+            }
+            execute(eng, &rt, ev);
+            i += 1;
+        }
+        arm_batch(eng, rt.clone(), i);
+    });
+}
+
+fn execute(engine: &Engine, rt: &Rc<ZRt>, ev: ZoneEvent) {
+    match ev {
+        ZoneEvent::City(ev) => execute_city(engine, rt, ev),
+        ZoneEvent::RelayJoin { room, .. } => {
+            let Some(r) = rt.rooms.borrow().get(&room).cloned() else {
+                return;
+            };
+            let rt2 = rt.clone();
+            let relay = Rc::new(RelayUplink::new(move |ev| match ev {
+                RelayUplinkEvent::Published { .. } => {
+                    let media = rt2
+                        .media_of
+                        .borrow()
+                        .get(&room)
+                        .copied()
+                        .expect("publish stores the media profile first");
+                    rt2.send_to_guests(room, CityWire::MirrorPublish { room, media });
+                }
+                RelayUplinkEvent::Media { osdu, .. } => {
+                    rt2.send_to_guests(
+                        room,
+                        CityWire::Media {
+                            room,
+                            tag: osdu.payload.tag().unwrap_or(0),
+                            len: osdu.payload.len() as u32,
+                        },
+                    );
+                }
+                RelayUplinkEvent::Closed { .. } => {}
+            }));
+            let relay_node = rt.nodes[rt.plan.relay_node() as usize];
+            r.join(relay_node, "relay", relay, |_res| {});
+        }
+        ZoneEvent::MirrorOpen { room, capacity, .. } => {
+            let relay_node = rt.nodes[rt.plan.relay_node() as usize];
+            let r = rt
+                .session
+                .create_room(&format!("r{room}"), relay_node, capacity as usize);
+            rt.rooms.borrow_mut().insert(room, r.clone());
+            rt.mirrors_opened.set(rt.mirrors_opened.get() + 1);
+            rt.room_opened();
+            // The relay publisher joins immediately so the mirror can
+            // publish the moment `MirrorPublish` crosses the wide area.
+            let rt2 = rt.clone();
+            r.join(relay_node, "relay", Rc::new(RelayDown), move |res| {
+                if let Ok(id) = res {
+                    rt2.mirror_peers.borrow_mut().insert(room, id);
+                }
+            });
+        }
+        ZoneEvent::MirrorClose { room, .. } => {
+            let Some(r) = rt.rooms.borrow_mut().remove(&room) else {
+                return;
+            };
+            rt.mirror_streams.borrow_mut().remove(&room);
+            rt.mirror_peers.borrow_mut().remove(&room);
+            rt.room_closed();
+            let mut roster = r.peers();
+            roster.reverse();
+            for (id, _, _) in roster {
+                r.leave(id);
+            }
+        }
+    }
+}
+
+fn execute_city(engine: &Engine, rt: &Rc<ZRt>, ev: CityEvent) {
+    match ev {
+        CityEvent::RoomOpen {
+            room,
+            host,
+            members,
+            ..
+        } => {
+            let r = rt.session.create_room(
+                &format!("r{room}"),
+                rt.nodes[host as usize],
+                members as usize,
+            );
+            rt.rooms.borrow_mut().insert(room, r);
+            rt.rooms_opened.set(rt.rooms_opened.get() + 1);
+            rt.room_opened();
+        }
+        CityEvent::Join {
+            room, member, node, ..
+        } => {
+            let Some(r) = rt.rooms.borrow().get(&room).cloned() else {
+                return;
+            };
+            let rt2 = rt.clone();
+            r.join(
+                rt.nodes[node as usize],
+                &format!("m{member}"),
+                rt.member.clone(),
+                move |res| match res {
+                    Ok(id) => {
+                        rt2.peers.borrow_mut().insert((room, member), id);
+                        rt2.joins_ok.set(rt2.joins_ok.get() + 1);
+                    }
+                    Err(_) => rt2.joins_denied.set(rt2.joins_denied.get() + 1),
+                },
+            );
+        }
+        CityEvent::Publish {
+            room,
+            media,
+            writes,
+            ..
+        } => {
+            let Some(r) = rt.rooms.borrow().get(&room).cloned() else {
+                return;
+            };
+            let Some(&publisher) = rt.peers.borrow().get(&(room, 0)) else {
+                return;
+            };
+            // Stored before `publish` so the relay's Published callback
+            // (which fires inside this call) can read it.
+            rt.media_of.borrow_mut().insert(room, media);
+            let profile = profile_of(media);
+            let req = QosRequirement {
+                tolerance: profile.tolerance(50),
+                guarantee: GuaranteeMode::BestEffort,
+                osdu_rate: profile.osdu_rate,
+                max_osdu_size: profile.max_osdu_size,
+            };
+            let Ok(vc) = r.publish(publisher, "main", ServiceClass::cm_default(), req) else {
+                return;
+            };
+            rt.published.set(rt.published.get() + 1);
+            let Some(svc) = r.stream_service("main") else {
+                return;
+            };
+            let size = profile.nominal_osdu_size;
+            let rt2 = rt.clone();
+            engine.schedule_in(SimDuration::from_millis(100), move |_| {
+                paced_writes(&rt2, svc, vc, room, 0, writes, size);
+            });
+        }
+        CityEvent::Leave { room, member, .. } => {
+            let Some(id) = rt.peers.borrow_mut().remove(&(room, member)) else {
+                return;
+            };
+            let Some(r) = rt.rooms.borrow().get(&room).cloned() else {
+                return;
+            };
+            r.leave(id);
+        }
+        CityEvent::RoomClose { room, .. } => {
+            let Some(r) = rt.rooms.borrow_mut().remove(&room) else {
+                return;
+            };
+            rt.media_of.borrow_mut().remove(&room);
+            rt.room_closed();
+            // Listeners first, the publisher (and its stream) last; the
+            // home relay, admitted before the publisher, leaves after it.
+            let mut roster = r.peers();
+            roster.reverse();
+            for (id, _, _) in roster {
+                r.leave(id);
+            }
+        }
+    }
+}
+
+/// Write one OSDU every 250 ms of simulated time until `total` are out,
+/// parking on the send buffer when full — same pacing as the flat city.
+fn paced_writes(
+    rt: &Rc<ZRt>,
+    svc: TransportService,
+    vc: VcId,
+    room: u32,
+    done: u32,
+    total: u32,
+    size: usize,
+) {
+    if done >= total {
+        return;
+    }
+    let tag = ((room as u64) << 32) | done as u64;
+    match svc.write_osdu(vc, Payload::synthetic(tag, size), None) {
+        Ok(true) => {
+            rt.osdus_written.set(rt.osdus_written.get() + 1);
+            rt.bytes_written.set(rt.bytes_written.get() + size as u64);
+            let engine = svc.network().engine().clone();
+            let rt2 = rt.clone();
+            engine.schedule_in(SimDuration::from_millis(250), move |_| {
+                paced_writes(&rt2, svc, vc, room, done + 1, total, size);
+            });
+        }
+        Ok(false) => {
+            let Ok(buf) = svc.send_handle(vc) else {
+                return;
+            };
+            let now = svc.now();
+            let engine = svc.network().engine().clone();
+            let rt2 = rt.clone();
+            let svc2 = svc.clone();
+            buf.park_producer(now, move || {
+                engine.schedule_in(SimDuration::ZERO, move |_| {
+                    paced_writes(&rt2, svc2, vc, room, done, total, size);
+                });
+            });
+        }
+        Err(_) => {}
+    }
+}
+
+/// One zone's stack, driven by the cluster runner.
+pub struct ZoneCityWorker {
+    engine: Engine,
+    rt: Rc<ZRt>,
+}
+
+impl ZoneCityWorker {
+    /// Build zone `zone`'s world and arm its schedule. Runs on the
+    /// worker thread that will own the zone.
+    pub fn build(
+        cfg: &CityConfig,
+        plan: Arc<ZonePlan>,
+        zone: u32,
+        telemetry_capacity: Option<usize>,
+    ) -> ZoneCityWorker {
+        let engine = Engine::new();
+        if let Some(cap) = telemetry_capacity {
+            engine.telemetry().enable(cap);
+        }
+        let net = Network::new(engine.clone());
+        // Per-zone link rng: deterministic per (seed, zone), independent
+        // of worker count.
+        let mut rng = DetRng::from_seed(cfg.seed ^ 0x5ca1_ab1e ^ ((zone as u64) << 48));
+        let hub = net.add_node(NodeClock::perfect());
+        let link = LinkParams::clean(Bandwidth::mbps(100), SimDuration::from_millis(1));
+        let nodes: Vec<NetAddr> = (0..=plan.nodes_per_zone)
+            .map(|_| {
+                let n = net.add_node(NodeClock::perfect());
+                net.add_duplex(hub, n, link.clone(), &mut rng);
+                n
+            })
+            .collect();
+        let platform = Platform::new(net);
+        let entity_cfg = EntityConfig {
+            buffer_slots_override: Some(4),
+            ..EntityConfig::default()
+        };
+        platform.install_node_with(hub, entity_cfg.clone());
+        for &n in &nodes {
+            platform.install_node_with(n, entity_cfg.clone());
+        }
+        let session = Session::new(&platform);
+        let rt = Rc::new(ZRt {
+            zone,
+            plan,
+            engine: engine.clone(),
+            session,
+            nodes,
+            member: Rc::new(CountingMember::default()),
+            rooms: RefCell::new(FastMap::default()),
+            peers: RefCell::new(FastMap::default()),
+            media_of: RefCell::new(FastMap::default()),
+            mirror_streams: RefCell::new(FastMap::default()),
+            mirror_peers: RefCell::new(FastMap::default()),
+            outbound: RefCell::new(Vec::new()),
+            rooms_opened: Cell::new(0),
+            mirrors_opened: Cell::new(0),
+            mirror_publishes: Cell::new(0),
+            joins_ok: Cell::new(0),
+            joins_denied: Cell::new(0),
+            published: Cell::new(0),
+            osdus_written: Cell::new(0),
+            bytes_written: Cell::new(0),
+            wan_out_msgs: Cell::new(0),
+            wan_out_bytes: Cell::new(0),
+            wan_dropped: Cell::new(0),
+            rooms_active: Cell::new(0),
+            rooms_active_peak: Cell::new(0),
+        });
+        arm_batch(&engine, rt.clone(), 0);
+        ZoneCityWorker { engine, rt }
+    }
+}
+
+impl ZoneWorker for ZoneCityWorker {
+    type Msg = CityWire;
+    type Report = ZoneCityReport;
+
+    fn inject(&mut self, env: Envelope<CityWire>) {
+        let rt = self.rt.clone();
+        self.engine
+            .schedule_at(SimTime::from_micros(env.deliver_at_us), move |_| {
+                rt.on_wire(env.body)
+            });
+    }
+
+    fn next_deadline_us(&mut self) -> Option<u64> {
+        self.engine.next_deadline().map(|t| t.as_micros())
+    }
+
+    fn run_until_us(&mut self, deadline_us: u64) {
+        self.engine.run_until(SimTime::from_micros(deadline_us));
+    }
+
+    fn drain_outbound(&mut self, out: &mut Vec<Envelope<CityWire>>) {
+        out.append(&mut self.rt.outbound.borrow_mut());
+    }
+
+    fn finish(self) -> ZoneCityReport {
+        let rt = &self.rt;
+        let stats = CityStats {
+            rooms_opened: rt.rooms_opened.get(),
+            joins_ok: rt.joins_ok.get(),
+            joins_denied: rt.joins_denied.get(),
+            published: rt.published.get(),
+            osdus_written: rt.osdus_written.get(),
+            bytes_written: rt.bytes_written.get(),
+            osdus_delivered: rt.member.osdus.get(),
+            bytes_delivered: rt.member.bytes.get(),
+            events_executed: self.engine.executed(),
+            sim_ms: self.engine.now().as_micros() / 1_000,
+        };
+        let tel = self.engine.telemetry();
+        let telemetry_jsonl = tel.enabled().then(|| tel.export_jsonl());
+        ZoneCityReport {
+            zone: rt.zone,
+            stats,
+            mirrors_opened: rt.mirrors_opened.get(),
+            mirror_publishes: rt.mirror_publishes.get(),
+            wan_out_msgs: rt.wan_out_msgs.get(),
+            wan_out_bytes: rt.wan_out_bytes.get(),
+            wan_dropped: rt.wan_dropped.get(),
+            rooms_active_peak: rt.rooms_active_peak.get(),
+            telemetry_jsonl,
+        }
+    }
+}
+
+/// Run the whole city as a zone-sharded cluster over `workers` threads.
+///
+/// The logical partition comes from `cfg.zones` (fixed per workload);
+/// `workers` only chooses how many OS threads carry those zones, so
+/// results — including merged telemetry bytes — are identical for any
+/// value of it.
+pub fn run_city_cluster(
+    cfg: &CityConfig,
+    workers: usize,
+    telemetry_capacity: Option<usize>,
+) -> ClusterCityStats {
+    let schedule = CitySchedule::generate(cfg);
+    run_city_cluster_schedule(cfg, &schedule, workers, telemetry_capacity)
+}
+
+/// As [`run_city_cluster`], but reusing a pre-generated schedule.
+pub fn run_city_cluster_schedule(
+    cfg: &CityConfig,
+    schedule: &CitySchedule,
+    workers: usize,
+    telemetry_capacity: Option<usize>,
+) -> ClusterCityStats {
+    let plan = Arc::new(ZonePlan::partition(cfg, schedule));
+    let cluster_cfg = ClusterConfig {
+        workers,
+        lookahead_us: plan.wan_latency_ms.max(1) * 1_000,
+        max_rounds: 50_000_000,
+    };
+    let builders: Vec<_> = (0..plan.zones)
+        .map(|z| {
+            let plan = plan.clone();
+            let cfg = cfg.clone();
+            move || ZoneCityWorker::build(&cfg, plan, z, telemetry_capacity)
+        })
+        .collect();
+    let report = run_cluster(builders, &cluster_cfg);
+
+    let mut agg = CityStats::default();
+    let mut wan_msgs = 0u64;
+    let mut wan_bytes = 0u64;
+    for r in &report.reports {
+        let s = &r.stats;
+        agg.rooms_opened += s.rooms_opened;
+        agg.joins_ok += s.joins_ok;
+        agg.joins_denied += s.joins_denied;
+        agg.published += s.published;
+        agg.osdus_written += s.osdus_written;
+        agg.bytes_written += s.bytes_written;
+        agg.osdus_delivered += s.osdus_delivered;
+        agg.bytes_delivered += s.bytes_delivered;
+        agg.events_executed += s.events_executed;
+        agg.sim_ms = agg.sim_ms.max(s.sim_ms);
+        wan_msgs += r.wan_out_msgs;
+        wan_bytes += r.wan_out_bytes;
+    }
+    let merged_jsonl = telemetry_capacity.map(|_| {
+        let shards: Vec<(u32, String)> = report
+            .reports
+            .iter()
+            .map(|r| (r.zone, r.telemetry_jsonl.clone().unwrap_or_default()))
+            .collect();
+        merge_jsonl(&shards)
+    });
+    ClusterCityStats {
+        agg,
+        per_zone: report.reports,
+        workers: report.workers,
+        rounds: report.rounds,
+        wall_us: report.wall_us,
+        worker_busy_us: report.worker_busy_us,
+        critical_path_us: report.critical_path_us,
+        wan_msgs,
+        wan_bytes,
+        merged_jsonl,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CityConfig {
+        CityConfig {
+            rooms: 12,
+            arrival_window_ms: 8_000,
+            ..CityConfig::smoke(7)
+        }
+    }
+
+    #[test]
+    fn smoke_cluster_runs_and_delivers() {
+        let stats = run_city_cluster(&small(), 2, None);
+        assert_eq!(stats.agg.rooms_opened, 12);
+        assert_eq!(stats.agg.joins_denied, 0);
+        assert!(stats.agg.published >= 1);
+        assert!(stats.agg.osdus_delivered > 0, "local deliveries");
+        // smoke() forces cross-zone rooms, so the wide area carried media.
+        assert!(stats.wan_msgs > 0, "cross-zone envelopes flowed");
+        assert!(stats.wan_bytes > 0);
+        let mirrors: u64 = stats.per_zone.iter().map(|z| z.mirrors_opened).sum();
+        assert!(mirrors > 0, "guest zones opened mirror rooms");
+        let mirror_pubs: u64 = stats.per_zone.iter().map(|z| z.mirror_publishes).sum();
+        assert!(mirror_pubs > 0, "mirrors republished the home stream");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let one = run_city_cluster(&small(), 1, Some(1 << 14));
+        let four = run_city_cluster(&small(), 4, Some(1 << 14));
+        assert_eq!(one.agg.sim_ms, four.agg.sim_ms, "final sim time");
+        assert_eq!(one.agg.osdus_delivered, four.agg.osdus_delivered);
+        assert_eq!(one.agg.events_executed, four.agg.events_executed);
+        assert_eq!(one.wan_msgs, four.wan_msgs);
+        assert_eq!(one.wan_bytes, four.wan_bytes);
+        assert_eq!(
+            one.merged_jsonl, four.merged_jsonl,
+            "merged telemetry must be byte-identical across worker counts"
+        );
+        // And the two runs really did use different thread counts.
+        assert_eq!(one.workers, 1);
+        assert_eq!(four.workers, 4);
+    }
+}

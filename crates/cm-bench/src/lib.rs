@@ -9,5 +9,6 @@
 #![warn(rust_2018_idioms)]
 
 pub mod city_run;
+pub mod city_zone;
 pub mod experiments;
 pub mod table;

@@ -1,0 +1,537 @@
+//! The barrier-tick shard runner.
+//!
+//! Round protocol, identical on every worker thread (each worker owns
+//! the zones `w, w + workers, w + 2·workers, …`, visited in ascending
+//! zone id):
+//!
+//! 1. **Gather** — take each owned zone's mailbox, sort the envelopes by
+//!    `(deliver_at, src_zone, seq)`, inject them, then publish the
+//!    zone's earliest pending deadline to a shared slot.
+//! 2. **Barrier** — after it, every worker independently reads all the
+//!    slots and computes the same global minimum `M`. If `M` is
+//!    `u64::MAX` the cluster is drained (mailboxes were injected
+//!    *before* the deadlines were published, so an idle reading really
+//!    means idle) and everyone exits together.
+//! 3. **Run** — advance each owned zone to the barrier tick
+//!    `W = M + lookahead` inclusive, then drain its outbound envelopes,
+//!    stamp `src_zone`/`seq`, and route them to the destination
+//!    mailboxes. The runner asserts `deliver_at ≥ W` on every envelope:
+//!    a violation means the worker promised less lookahead than its
+//!    links actually have, which would break the conservative safety
+//!    argument.
+//! 4. **Barrier** — separates this round's mailbox writes from the next
+//!    round's gathers.
+//!
+//! Determinism does not depend on the zone→worker assignment: the
+//! injection order within a zone is fixed by the sort, `M` is a global
+//! reduction every worker computes identically, and each zone's window
+//! execution is single-threaded on whichever worker owns it.
+
+use crate::envelope::Envelope;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+/// A shard the runner can drive: one zone's engine plus its stack.
+///
+/// Implementations are built *on* their worker thread (the builder
+/// closures passed to [`run_cluster`] are `Send`, the built worker need
+/// not be), so zone stacks full of `Rc`s are fine — only the
+/// [`Envelope`] bodies cross threads.
+pub trait ZoneWorker {
+    /// Cross-zone message body. `Send` is load-bearing: this is the
+    /// type that travels between worker threads.
+    type Msg: Send + 'static;
+    /// Per-zone result returned to the caller after the run.
+    type Report: Send + 'static;
+
+    /// Deliver one cross-zone envelope: schedule its effect at exactly
+    /// `env.deliver_at_us` on the zone's engine. Called in
+    /// `(deliver_at, src_zone, seq)` order before each window.
+    fn inject(&mut self, env: Envelope<Self::Msg>);
+
+    /// Deadline of the zone's earliest pending event, or `None` when
+    /// the zone is drained. Must not execute anything.
+    fn next_deadline_us(&mut self) -> Option<u64>;
+
+    /// Advance the zone's clock to `deadline_us` *inclusive*: every
+    /// event at or before the deadline fires, and the clock lands on
+    /// the deadline even if the queue drains early.
+    fn run_until_us(&mut self, deadline_us: u64);
+
+    /// Move every cross-zone message emitted since the last drain into
+    /// `out`, in emission order, with `dst_zone` and `deliver_at_us`
+    /// filled in (`src_zone`/`seq` are stamped by the runner).
+    fn drain_outbound(&mut self, out: &mut Vec<Envelope<Self::Msg>>);
+
+    /// Tear down and report; called once after the cluster drains.
+    fn finish(self) -> Self::Report;
+}
+
+/// Tuning for one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker threads to spread the zones over. Clamped to `1..=zones`.
+    pub workers: usize,
+    /// Minimum cross-zone delivery latency in microseconds — the
+    /// conservative lookahead. Wider windows mean fewer barriers;
+    /// must not exceed the real minimum WAN latency or deliveries land
+    /// inside a window that already ran.
+    pub lookahead_us: u64,
+    /// Hard cap on barrier rounds; the run aborts beyond it. A cluster
+    /// that needs this many rounds is livelocked, not busy.
+    pub max_rounds: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 1,
+            lookahead_us: 1_000,
+            max_rounds: 10_000_000,
+        }
+    }
+}
+
+/// What one cluster run produced.
+#[derive(Debug)]
+pub struct ClusterReport<R> {
+    /// Per-zone reports, in zone-id order.
+    pub reports: Vec<R>,
+    /// Barrier rounds executed.
+    pub rounds: u64,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock for the whole run, in microseconds.
+    pub wall_us: u64,
+    /// Per-worker busy wall-clock (time spent inside zone execution,
+    /// not at barriers), in microseconds, indexed by worker.
+    pub worker_busy_us: Vec<u64>,
+    /// Critical-path wall-clock: Σ over rounds of the busiest worker's
+    /// busy time in that round. This is the floor a perfectly parallel
+    /// host could reach with this partition — the honest speedup model
+    /// when the measuring host has fewer cores than workers.
+    pub critical_path_us: u64,
+}
+
+struct Shared<M> {
+    /// One mailbox per destination zone; drained whole at gather time.
+    mailboxes: Vec<Mutex<Vec<Envelope<M>>>>,
+    /// Earliest pending deadline per zone (`u64::MAX` = drained).
+    next_times: Vec<AtomicU64>,
+    barrier: Barrier,
+    /// A worker failed during the gather phase; checked right after the
+    /// first barrier so everyone leaves together.
+    ///
+    /// Two flags, one per phase, deliberately: a single flag would let
+    /// a fast worker set it mid-phase-2 and a slow worker observe it at
+    /// its post-phase-1 check of the *same* round — the slow worker
+    /// would exit before the second barrier and strand the fast one
+    /// there. Each flag is only raised in its own phase and only read
+    /// at the barrier that closes that phase, so every worker acts on
+    /// it at the same aligned point.
+    abort_gather: AtomicBool,
+    /// A worker panicked or hit the round cap during the run phase;
+    /// checked right after the second barrier.
+    abort_run: AtomicBool,
+}
+
+enum WorkerExit<R> {
+    Done(Vec<(usize, R)>, Vec<u64>),
+    Panicked(Box<dyn std::any::Any + Send>),
+    Aborted,
+    RoundLimit,
+}
+
+/// Drive `builders.len()` zones to completion over `cfg.workers`
+/// threads and collect their reports (zone-id order).
+///
+/// Each builder runs on the worker thread that will own its zone;
+/// builders are consumed in zone-id order, zone `z` going to worker
+/// `z % workers`. The run is deterministic in everything except the
+/// wall-clock fields of the report: same zones, same lookahead → same
+/// merged execution for any `workers`.
+///
+/// # Panics
+///
+/// Propagates the first worker panic, and panics if `cfg.max_rounds` is
+/// exceeded or a worker emits an envelope violating the lookahead bound.
+pub fn run_cluster<W, F>(builders: Vec<F>, cfg: &ClusterConfig) -> ClusterReport<W::Report>
+where
+    W: ZoneWorker,
+    F: FnOnce() -> W + Send,
+{
+    let zones = builders.len();
+    assert!(zones > 0, "run_cluster needs at least one zone");
+    let workers = cfg.workers.clamp(1, zones);
+    let shared = Shared {
+        mailboxes: (0..zones).map(|_| Mutex::new(Vec::new())).collect(),
+        next_times: (0..zones).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        barrier: Barrier::new(workers),
+        abort_gather: AtomicBool::new(false),
+        abort_run: AtomicBool::new(false),
+    };
+
+    // Deal builders round-robin: worker w gets zones w, w+workers, …
+    let mut decks: Vec<Vec<(usize, F)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (z, b) in builders.into_iter().enumerate() {
+        decks[z % workers].push((z, b));
+    }
+
+    let started = Instant::now();
+    let exits = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for deck in decks {
+            let shared = &shared;
+            let cfg = cfg.clone();
+            handles.push(scope.spawn(move || worker_loop(deck, shared, &cfg)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cluster worker thread itself panicked"))
+            .collect::<Vec<_>>()
+    });
+    let wall_us = started.elapsed().as_micros() as u64;
+
+    let mut reports: Vec<(usize, W::Report)> = Vec::with_capacity(zones);
+    let mut round_busy: Vec<Vec<u64>> = Vec::with_capacity(workers);
+    let mut round_limit = false;
+    let mut panic_payload = None;
+    for exit in exits {
+        match exit {
+            WorkerExit::Done(mut zone_reports, busy) => {
+                reports.append(&mut zone_reports);
+                round_busy.push(busy);
+            }
+            WorkerExit::Panicked(p) => panic_payload = panic_payload.or(Some(p)),
+            WorkerExit::RoundLimit => round_limit = true,
+            WorkerExit::Aborted => {}
+        }
+    }
+    if let Some(p) = panic_payload {
+        resume_unwind(p);
+    }
+    if round_limit {
+        panic!(
+            "cluster exceeded {} barrier rounds — livelock (lookahead too small?)",
+            cfg.max_rounds
+        );
+    }
+    reports.sort_by_key(|&(z, _)| z);
+
+    let rounds = round_busy.iter().map(|b| b.len()).max().unwrap_or(0) as u64;
+    let worker_busy_us: Vec<u64> = round_busy.iter().map(|b| b.iter().sum()).collect();
+    let critical_path_us = (0..rounds as usize)
+        .map(|r| {
+            round_busy
+                .iter()
+                .map(|b| b.get(r).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0)
+        })
+        .sum();
+    ClusterReport {
+        reports: reports.into_iter().map(|(_, r)| r).collect(),
+        rounds,
+        workers,
+        wall_us,
+        worker_busy_us,
+        critical_path_us,
+    }
+}
+
+fn worker_loop<W, F>(
+    deck: Vec<(usize, F)>,
+    shared: &Shared<W::Msg>,
+    cfg: &ClusterConfig,
+) -> WorkerExit<W::Report>
+where
+    W: ZoneWorker,
+    F: FnOnce() -> W,
+{
+    // Build the zone stacks on this thread — they never leave it.
+    let mut zones: Vec<(usize, W)> = deck.into_iter().map(|(z, b)| (z, b())).collect();
+    let mut seqs: Vec<u64> = vec![0; zones.len()];
+    let mut staging: Vec<Envelope<W::Msg>> = Vec::new();
+    let mut busy_per_round: Vec<u64> = Vec::new();
+    let mut rounds = 0u64;
+
+    loop {
+        // Phase 1: gather + inject + publish deadlines.
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            for (z, w) in zones.iter_mut() {
+                let mut inbox = std::mem::take(&mut *shared.mailboxes[*z].lock().unwrap());
+                inbox.sort_by_key(Envelope::order_key);
+                for env in inbox {
+                    w.inject(env);
+                }
+                let next = w.next_deadline_us().unwrap_or(u64::MAX);
+                shared.next_times[*z].store(next, Ordering::SeqCst);
+            }
+        }));
+        if step.is_err() {
+            shared.abort_gather.store(true, Ordering::SeqCst);
+        }
+        shared.barrier.wait();
+        if shared.abort_gather.load(Ordering::SeqCst) {
+            return match step {
+                Err(p) => WorkerExit::Panicked(p),
+                Ok(()) => WorkerExit::Aborted,
+            };
+        }
+
+        // Every worker computes the same global minimum.
+        let m = shared
+            .next_times
+            .iter()
+            .map(|t| t.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(u64::MAX);
+        if m == u64::MAX {
+            break;
+        }
+        let window_end = m.saturating_add(cfg.lookahead_us);
+
+        // Phase 2: run the window, drain + route outbound.
+        let round_start = Instant::now();
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            for ((z, w), seq) in zones.iter_mut().zip(seqs.iter_mut()) {
+                w.run_until_us(window_end);
+                w.drain_outbound(&mut staging);
+                for mut env in staging.drain(..) {
+                    assert!(
+                        env.deliver_at_us >= window_end,
+                        "zone {z} emitted an envelope for t={} inside its own \
+                         window (barrier tick {window_end}) — lookahead bound violated",
+                        env.deliver_at_us
+                    );
+                    env.src_zone = *z as u32;
+                    env.seq = *seq;
+                    *seq += 1;
+                    shared.mailboxes[env.dst_zone as usize]
+                        .lock()
+                        .unwrap()
+                        .push(env);
+                }
+            }
+        }));
+        busy_per_round.push(round_start.elapsed().as_micros() as u64);
+        if step.is_err() {
+            shared.abort_run.store(true, Ordering::SeqCst);
+        }
+        rounds += 1;
+        if rounds >= cfg.max_rounds {
+            shared.abort_run.store(true, Ordering::SeqCst);
+        }
+        shared.barrier.wait();
+        if shared.abort_run.load(Ordering::SeqCst) {
+            return match step {
+                Err(p) => WorkerExit::Panicked(p),
+                Ok(()) if rounds >= cfg.max_rounds => WorkerExit::RoundLimit,
+                Ok(()) => WorkerExit::Aborted,
+            };
+        }
+    }
+
+    let reports = zones.into_iter().map(|(z, w)| (z, w.finish())).collect();
+    WorkerExit::Done(reports, busy_per_round)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// A toy shard: a clock, a local event heap, and a rule that every
+    /// local event at `t` sends a ping to the next zone arriving at
+    /// `t + latency`. Pings hop around the ring `hops` times total.
+    struct ToyZone {
+        zone: u32,
+        zones: u32,
+        latency_us: u64,
+        clock: u64,
+        // (fire_time, remaining_hops), min-heap.
+        pending: BinaryHeap<Reverse<(u64, u32)>>,
+        outbound: Vec<Envelope<(u64, u32)>>,
+        /// (sim_time_fired, clock_at_injection) log for assertions.
+        log: Vec<(u64, u64)>,
+    }
+
+    impl ZoneWorker for ToyZone {
+        type Msg = (u64, u32);
+        type Report = Vec<(u64, u64)>;
+
+        fn inject(&mut self, env: Envelope<(u64, u32)>) {
+            self.log.push((env.deliver_at_us, self.clock));
+            self.pending.push(Reverse((env.deliver_at_us, env.body.1)));
+        }
+
+        fn next_deadline_us(&mut self) -> Option<u64> {
+            self.pending.peek().map(|Reverse((t, _))| *t)
+        }
+
+        fn run_until_us(&mut self, deadline_us: u64) {
+            while let Some(&Reverse((t, hops))) = self.pending.peek() {
+                if t > deadline_us {
+                    break;
+                }
+                self.pending.pop();
+                self.clock = t;
+                if hops > 0 {
+                    let dst = (self.zone + 1) % self.zones;
+                    self.outbound
+                        .push(Envelope::to(dst, t + self.latency_us, (t, hops - 1)));
+                }
+            }
+            self.clock = deadline_us;
+        }
+
+        fn drain_outbound(&mut self, out: &mut Vec<Envelope<(u64, u32)>>) {
+            out.append(&mut self.outbound);
+        }
+
+        fn finish(self) -> Vec<(u64, u64)> {
+            self.log
+        }
+    }
+
+    fn ring(zones: u32, latency_us: u64, hops: u32) -> Vec<impl FnOnce() -> ToyZone + Send> {
+        (0..zones)
+            .map(move |zone| {
+                move || {
+                    let mut pending = BinaryHeap::new();
+                    if zone == 0 {
+                        // Seed event at t=100 in zone 0.
+                        pending.push(Reverse((100u64, hops)));
+                    }
+                    ToyZone {
+                        zone,
+                        zones,
+                        latency_us,
+                        clock: 0,
+                        pending,
+                        outbound: Vec::new(),
+                        log: Vec::new(),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn run_ring(workers: usize, zones: u32) -> Vec<Vec<(u64, u64)>> {
+        let cfg = ClusterConfig {
+            workers,
+            lookahead_us: 500,
+            max_rounds: 10_000,
+        };
+        run_cluster(ring(zones, 500, 10), &cfg).reports
+    }
+
+    #[test]
+    fn ring_is_worker_count_invariant() {
+        let one = run_ring(1, 4);
+        for workers in [2, 3, 4, 8] {
+            assert_eq!(run_ring(workers, 4), one, "workers={workers} diverged");
+        }
+        // The ping actually made its hops: zone 1 heard it at 600, 2600, …
+        assert_eq!(one[1][0].0, 600);
+        assert_eq!(one[2][0].0, 1100);
+    }
+
+    #[test]
+    fn barrier_edge_delivery_lands_on_the_correct_side() {
+        // Zone 0's seed fires at t=100; with lookahead 500 the first
+        // window is exactly [0, 600], and the ping to zone 1 is timed
+        // to land at t = 100 + 500 = 600 — precisely ON the barrier
+        // tick. The conservative contract: it must be exchanged at the
+        // barrier and fire at sim time 600 in the NEXT window, i.e. the
+        // receiving zone's clock is already 600 (not less) when the
+        // envelope is injected, and the delivery time is not pushed
+        // past 600 either.
+        let cfg = ClusterConfig {
+            workers: 2,
+            lookahead_us: 500,
+            max_rounds: 1_000,
+        };
+        let reports = run_cluster(ring(2, 500, 1), &cfg).reports;
+        let (deliver_at, clock_at_injection) = reports[1][0];
+        assert_eq!(deliver_at, 600, "delivery time must be preserved exactly");
+        assert_eq!(
+            clock_at_injection, 600,
+            "the receiving zone must already stand at the barrier tick: \
+             the event belongs to the window after the exchange"
+        );
+    }
+
+    #[test]
+    fn drained_cluster_terminates_and_reports_in_zone_order() {
+        let cfg = ClusterConfig {
+            lookahead_us: 500,
+            ..ClusterConfig::default()
+        };
+        let report = run_cluster(ring(3, 500, 5), &cfg);
+        assert_eq!(report.reports.len(), 3);
+        assert_eq!(report.workers, 1);
+        assert!(report.rounds > 0);
+        // Zone order: zone 0 only hears hops that wrapped the ring.
+        assert!(report.reports[0].iter().all(|&(t, _)| t > 1000));
+    }
+
+    #[test]
+    fn lookahead_violation_is_caught() {
+        struct Cheater {
+            sent: bool,
+            pending: bool,
+        }
+        impl ZoneWorker for Cheater {
+            type Msg = ();
+            type Report = ();
+            fn inject(&mut self, _env: Envelope<()>) {}
+            fn next_deadline_us(&mut self) -> Option<u64> {
+                self.pending.then_some(100)
+            }
+            fn run_until_us(&mut self, _deadline_us: u64) {
+                self.pending = false;
+            }
+            fn drain_outbound(&mut self, out: &mut Vec<Envelope<()>>) {
+                if !self.sent {
+                    self.sent = true;
+                    // Claims delivery at t=10 inside the [0, 600] window.
+                    out.push(Envelope::to(1, 10, ()));
+                }
+            }
+            fn finish(self) {}
+        }
+        let builders: Vec<Box<dyn FnOnce() -> Cheater + Send>> = vec![
+            Box::new(|| Cheater {
+                sent: false,
+                pending: true,
+            }),
+            Box::new(|| Cheater {
+                sent: true,
+                pending: false,
+            }),
+        ];
+        let cfg = ClusterConfig {
+            workers: 2,
+            lookahead_us: 500,
+            max_rounds: 100,
+        };
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| run_cluster(builders, &cfg)));
+        assert!(err.is_err(), "lookahead violation must panic the run");
+    }
+
+    #[test]
+    fn round_limit_aborts_instead_of_spinning_forever() {
+        let cfg = ClusterConfig {
+            workers: 2,
+            lookahead_us: 500,
+            max_rounds: 3,
+        };
+        let err =
+            std::panic::catch_unwind(AssertUnwindSafe(|| run_cluster(ring(2, 500, 1_000), &cfg)));
+        assert!(err.is_err(), "round cap must abort the run");
+    }
+}

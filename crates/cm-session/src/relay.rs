@@ -1,0 +1,151 @@
+//! The relay uplink: a room member that bridges a room toward another
+//! zone.
+//!
+//! In a zone-sharded deployment (DESIGN.md §11) a cross-zone room keeps
+//! its real session state in its *home* zone; remote members join local
+//! mirrors instead. The home side plants one `RelayUplink` in the room
+//! as an ordinary member — admission, QoS and teardown treat it like
+//! anyone else — and everything the room delivers to it is handed to a
+//! sink closure, which the shard executor turns into cross-zone
+//! envelopes. One relay per guest zone's worth of traffic crosses the
+//! wide area once; the mirror fans it out locally.
+//!
+//! The relay is deliberately dumb: no queueing, no filtering, no clock.
+//! Back-pressure and loss belong to the wide-area channel model (the
+//! cluster layer), not to the member.
+
+use crate::room::RoomMember;
+use cm_core::osdu::Osdu;
+use std::cell::{Cell, RefCell};
+
+/// What the room handed the relay, borrowed for the sink call.
+#[derive(Debug)]
+pub enum RelayUplinkEvent<'a> {
+    /// A stream appeared in the room: mirrors should publish their
+    /// local copy.
+    Published {
+        /// Room name as the session layer knows it.
+        room: &'a str,
+        /// Stream name within the room.
+        stream: &'a str,
+    },
+    /// One OSDU of a forwarded stream.
+    Media {
+        /// Room name.
+        room: &'a str,
+        /// Stream name.
+        stream: &'a str,
+        /// The delivered OSDU (tag and length are what mirrors recreate).
+        osdu: &'a Osdu,
+    },
+    /// The stream was withdrawn: mirrors should close their copy.
+    Closed {
+        /// Room name.
+        room: &'a str,
+        /// Stream name.
+        stream: &'a str,
+    },
+}
+
+/// The uplink's forwarding target.
+type Sink = Box<dyn FnMut(RelayUplinkEvent<'_>)>;
+
+/// A [`RoomMember`] that forwards everything it hears to a sink.
+pub struct RelayUplink {
+    sink: RefCell<Sink>,
+    osdus: Cell<u64>,
+    bytes: Cell<u64>,
+}
+
+impl RelayUplink {
+    /// A relay feeding `sink`. The sink runs inside media delivery —
+    /// keep it cheap (stamp an envelope, push to a queue).
+    pub fn new(sink: impl FnMut(RelayUplinkEvent<'_>) + 'static) -> RelayUplink {
+        RelayUplink {
+            sink: RefCell::new(Box::new(sink)),
+            osdus: Cell::new(0),
+            bytes: Cell::new(0),
+        }
+    }
+
+    /// OSDUs forwarded so far.
+    pub fn forwarded_osdus(&self) -> u64 {
+        self.osdus.get()
+    }
+
+    /// Payload bytes forwarded so far.
+    pub fn forwarded_bytes(&self) -> u64 {
+        self.bytes.get()
+    }
+}
+
+impl RoomMember for RelayUplink {
+    fn on_stream_published(&self, room: &str, stream: &str, _publisher: crate::PeerId) {
+        (self.sink.borrow_mut())(RelayUplinkEvent::Published { room, stream });
+    }
+
+    fn on_stream_closed(&self, room: &str, stream: &str) {
+        (self.sink.borrow_mut())(RelayUplinkEvent::Closed { room, stream });
+    }
+
+    fn on_media(&self, room: &str, stream: &str, osdu: Osdu) {
+        self.osdus.set(self.osdus.get() + 1);
+        self.bytes.set(self.bytes.get() + osdu.payload.len() as u64);
+        (self.sink.borrow_mut())(RelayUplinkEvent::Media {
+            room,
+            stream,
+            osdu: &osdu,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_core::osdu::{Opdu, Payload};
+    use std::rc::Rc;
+
+    fn osdu(tag: u64, len: usize) -> Osdu {
+        Osdu {
+            opdu: Opdu {
+                seq: 1,
+                event: None,
+            },
+            payload: Payload::synthetic(tag, len),
+        }
+    }
+
+    #[test]
+    fn relay_forwards_lifecycle_and_media_in_order() {
+        let log: Rc<RefCell<Vec<String>>> = Rc::default();
+        let log2 = log.clone();
+        let relay = RelayUplink::new(move |ev| {
+            log2.borrow_mut().push(match ev {
+                RelayUplinkEvent::Published { room, stream } => format!("pub {room}/{stream}"),
+                RelayUplinkEvent::Media { room, osdu, .. } => {
+                    format!(
+                        "osdu {room} tag={:?} len={}",
+                        osdu.payload.tag(),
+                        osdu.payload.len()
+                    )
+                }
+                RelayUplinkEvent::Closed { room, stream } => format!("close {room}/{stream}"),
+            });
+        });
+        relay.on_stream_published("r1", "main", crate::PeerId(7));
+        relay.on_media("r1", "main", osdu(42, 160));
+        relay.on_media("r1", "main", osdu(43, 160));
+        relay.on_stream_closed("r1", "main");
+        assert_eq!(
+            *log.borrow(),
+            vec![
+                "pub r1/main",
+                "osdu r1 tag=Some(42) len=160",
+                "osdu r1 tag=Some(43) len=160",
+                "close r1/main",
+            ]
+        );
+        assert_eq!(relay.forwarded_osdus(), 2);
+        assert_eq!(relay.forwarded_bytes(), 320);
+    }
+}

@@ -25,8 +25,10 @@
 #![warn(rust_2018_idioms)]
 
 mod export;
+mod merge;
 mod metrics;
 
+pub use merge::merge_jsonl;
 pub use metrics::Histogram;
 
 use cm_core::time::{SimDuration, SimTime};

@@ -1,0 +1,128 @@
+//! Deterministic multi-shard trace merge.
+//!
+//! A zone-sharded run produces one JSONL export per zone (each engine
+//! has its own [`Telemetry`](crate::Telemetry)). This module folds them
+//! into a single stream a human — or a differential test — can treat as
+//! *the* trace of the run: every line gains a `"zone"` field, timed
+//! event lines are merged into `(ts, zone, emission index)` order, and
+//! the un-timed metric lines (counters, gauges, histograms, overflow)
+//! follow grouped by zone.
+//!
+//! The ordering key is the point of the exercise. Per-zone exports are
+//! already byte-deterministic, and zone execution does not depend on
+//! which worker thread carried the zone, so the merged stream is
+//! byte-identical for any worker count — the property the cluster
+//! determinism tests pin.
+
+use std::fmt::Write;
+
+/// Merge per-zone JSONL exports (as produced by
+/// [`Telemetry::export_jsonl`](crate::Telemetry::export_jsonl)) into one
+/// deterministic stream.
+///
+/// `shards` pairs each zone id with that zone's export; zone ids must be
+/// unique but need not be dense or sorted.
+pub fn merge_jsonl(shards: &[(u32, String)]) -> String {
+    // (ts, zone, emission index, line) for timed lines; the emission
+    // index keeps same-instant lines of one zone in their original
+    // order (span records legitimately share timestamps).
+    let mut timed: Vec<(u64, u32, usize, &str)> = Vec::new();
+    let mut untimed: Vec<(u32, Vec<&str>)> = Vec::new();
+    for &(zone, ref jsonl) in shards {
+        let mut rest = Vec::new();
+        for (idx, line) in jsonl.lines().enumerate() {
+            match event_ts(line) {
+                Some(ts) => timed.push((ts, zone, idx, line)),
+                None => rest.push(line),
+            }
+        }
+        untimed.push((zone, rest));
+    }
+    timed.sort_by_key(|&(ts, zone, idx, _)| (ts, zone, idx));
+    untimed.sort_by_key(|&(zone, _)| zone);
+
+    let mut out = String::new();
+    for (_, zone, _, line) in timed {
+        push_zoned(&mut out, zone, line);
+    }
+    for (zone, lines) in untimed {
+        for line in lines {
+            push_zoned(&mut out, zone, line);
+        }
+    }
+    out
+}
+
+/// The `"ts"` of an event line, or `None` for metric/overflow lines.
+fn event_ts(line: &str) -> Option<u64> {
+    if !line.starts_with("{\"type\":\"event\"") {
+        return None;
+    }
+    let at = line.find("\"ts\":")? + 5;
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Re-emit `line` with `"zone":<zone>` as its first field.
+fn push_zoned(out: &mut String, zone: u32, line: &str) {
+    let body = line.strip_prefix('{').unwrap_or(line);
+    let _ = writeln!(out, "{{\"zone\":{zone},{body}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Layer, Telemetry};
+    use cm_core::time::SimTime;
+
+    fn shard(zone_salt: u64, ts: &[u64]) -> String {
+        let tel = Telemetry::recording(16);
+        for &t in ts {
+            tel.instant(SimTime::from_micros(t), Layer::Netsim, "tick", |e| {
+                e.u64("salt", zone_salt);
+            });
+        }
+        tel.count("net.delivered", zone_salt);
+        tel.export_jsonl()
+    }
+
+    #[test]
+    fn merge_orders_by_ts_then_zone_and_tags_lines() {
+        let merged = merge_jsonl(&[(1, shard(10, &[5, 30])), (0, shard(20, &[5, 7]))]);
+        let lines: Vec<&str> = merged.lines().collect();
+        // ts=5 zone 0 before ts=5 zone 1, then 7, then 30; counters
+        // trail grouped by zone.
+        assert!(lines[0].starts_with("{\"zone\":0,\"type\":\"event\",\"ts\":5"));
+        assert!(lines[1].starts_with("{\"zone\":1,\"type\":\"event\",\"ts\":5"));
+        assert!(lines[2].starts_with("{\"zone\":0,\"type\":\"event\",\"ts\":7"));
+        assert!(lines[3].starts_with("{\"zone\":1,\"type\":\"event\",\"ts\":30"));
+        assert!(lines[4].starts_with("{\"zone\":0,\"type\":\"counter\""));
+        assert!(lines[5].starts_with("{\"zone\":1,\"type\":\"counter\""));
+        assert_eq!(lines.len(), 6);
+    }
+
+    #[test]
+    fn merge_is_input_order_independent() {
+        let a = shard(1, &[3, 9]);
+        let b = shard(2, &[4]);
+        let fwd = merge_jsonl(&[(0, a.clone()), (1, b.clone())]);
+        let rev = merge_jsonl(&[(1, b), (0, a)]);
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn single_shard_merge_only_adds_zone_tags() {
+        let raw = shard(7, &[2, 2, 8]);
+        let merged = merge_jsonl(&[(3, raw.clone())]);
+        let stripped: String = merged
+            .lines()
+            .map(|l| l.replacen("{\"zone\":3,", "{", 1) + "\n")
+            .collect();
+        // Same-instant events keep their emission order, so a single
+        // shard round-trips exactly.
+        assert_eq!(stripped, raw);
+    }
+}

@@ -205,6 +205,17 @@ pub struct CityConfig {
     pub writes_per_stream: u32,
     /// Weighted media mix across rooms.
     pub mix: MediaMix,
+    /// Logical zones the city is partitioned into (see
+    /// [`ZonePlan`](crate::zone::ZonePlan)). Part of the workload, not
+    /// of the execution: the partition is fixed per config so a sharded
+    /// run is comparable — byte-identical, in fact — across worker
+    /// counts. `1` disables partitioning (the flat legacy world).
+    pub zones: u32,
+    /// Percent (0–100) of rooms whose members span multiple zones.
+    pub cross_zone_percent: u32,
+    /// One-way latency of every inter-zone (wide-area) link, ms. Also
+    /// the conservative lookahead of the sharded runner.
+    pub wan_latency_ms: u64,
 }
 
 impl CityConfig {
@@ -226,6 +237,9 @@ impl CityConfig {
                 text: 3,
                 video: 1,
             },
+            zones: 4,
+            cross_zone_percent: 30,
+            wan_latency_ms: 50,
         }
     }
 
@@ -247,6 +261,9 @@ impl CityConfig {
                 text: 3,
                 video: 1,
             },
+            zones: 8,
+            cross_zone_percent: 20,
+            wan_latency_ms: 50,
         }
     }
 }

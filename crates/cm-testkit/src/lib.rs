@@ -12,8 +12,10 @@ pub mod city;
 pub mod faults;
 pub mod scenario;
 pub mod users;
+pub mod zone;
 
 pub use city::{CityConfig, CityEvent, CityMedia, CitySchedule, MediaMix};
 pub use faults::{FaultPlan, RevocationRouter};
 pub use scenario::{connect_media, FilmScenario, LanguageLab, Stack, StackConfig};
 pub use users::AutoAcceptUser;
+pub use zone::{CityWire, ZoneEvent, ZonePlan, ZoneRoomInfo, ZoneSchedule};

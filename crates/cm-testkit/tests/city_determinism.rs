@@ -23,6 +23,9 @@ fn cfg(seed: u64, rooms: u32, nodes: u32, churn: u32) -> CityConfig {
             text: 3,
             video: 2,
         },
+        zones: 3,
+        cross_zone_percent: 40,
+        wan_latency_ms: 50,
     }
 }
 

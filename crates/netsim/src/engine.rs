@@ -238,6 +238,13 @@ impl Core {
             // to the clock (not just to `at`) so that later arms at
             // earlier-but-still-future deadlines stay reachable too.
             self.elapsed = self.elapsed.min(now);
+        } else if at < self.elapsed {
+            // The cursor is parked on the earliest *previously known*
+            // deadline (a `peek_due` with no firing leaves it there) and
+            // this arm undercuts it — legal for externally injected
+            // events, e.g. a cross-shard delivery at a barrier tick below
+            // this shard's own next deadline. Re-seat everything.
+            self.rewind(at);
         }
         let slot = &mut self.slots[idx as usize];
         slot.at = at;
@@ -245,6 +252,37 @@ impl Core {
         slot.scheduled = true;
         self.live += 1;
         self.place(Key { idx, seq }, at);
+    }
+
+    /// Pull the cursor back to `to` (`<= elapsed`), re-seating every
+    /// pending key relative to the new position. Bucket placement is
+    /// cursor-relative (`at ^ elapsed` picks the level), so a plain
+    /// cursor write would leave keys in buckets the scan would either
+    /// miss (slot below the new cursor position) or drain at the wrong
+    /// instant (level-0 keys from a later rotation fire unconditionally).
+    /// Cost is O(pending); the shard runner hits this at most once per
+    /// barrier round, on the first injection below the peeked cursor.
+    fn rewind(&mut self, to: u64) {
+        debug_assert!(to <= self.elapsed);
+        let mut keys: Vec<Key> = self.ready.drain(..).collect();
+        for level in &mut self.levels {
+            let mut occ = level.occupied;
+            level.occupied = 0;
+            while occ != 0 {
+                let slot = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                keys.append(&mut level.buckets[slot]);
+            }
+        }
+        self.elapsed = to;
+        for key in keys {
+            // Live deadlines are all >= the old cursor > `to` (the wheel
+            // invariant), so re-placing never lands below the new cursor.
+            if self.key_live(key) {
+                let at = self.slots[key.idx as usize].at;
+                self.place(key, at);
+            }
+        }
     }
 
     /// Insert a key at the wheel position (or overflow heap) for deadline
@@ -747,6 +785,24 @@ impl Engine {
         }
     }
 
+    /// The deadline of the earliest live pending event, if any — the
+    /// shard-local bound a conservative parallel runner needs to compute
+    /// the next global barrier tick (`min` over shards, plus lookahead).
+    ///
+    /// Peeking advances the internal wheel cursor up to the returned
+    /// deadline (never past it, and never past the clock when the queue is
+    /// empty), exactly as [`Engine::run_until`] would on its way there.
+    /// Scheduling *below* a peeked cursor afterwards is still legal — the
+    /// wheel rewinds and re-seats its pending keys — which is exactly
+    /// what a sharded runner does when the global barrier tick (minimum
+    /// over all shards, plus lookahead) undercuts this shard's own next
+    /// deadline and a cross-shard delivery is injected there.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let mut core = self.inner.core.borrow_mut();
+        let key = core.peek_due(u64::MAX)?;
+        Some(SimTime::from_micros(core.slots[key.idx as usize].at))
+    }
+
     /// Record one `engine.drain` span covering a run-loop invocation. Kept
     /// out of `step` so the per-event hot path stays uninstrumented.
     fn drain_span(&self, start: SimTime, executed_before: u64) {
@@ -1207,6 +1263,79 @@ mod tests {
         });
         e.run();
         assert_eq!(*log.borrow(), vec!["first", "timer", "last", "nested"]);
+    }
+
+    #[test]
+    fn next_deadline_peeks_without_firing() {
+        let e = Engine::new();
+        assert_eq!(e.next_deadline(), None);
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        e.schedule_at(SimTime::from_millis(5), move |_| f.set(true));
+        e.schedule_at(SimTime::from_millis(9), |_| {});
+        assert_eq!(e.next_deadline(), Some(SimTime::from_millis(5)));
+        assert!(!fired.get());
+        assert_eq!(e.pending(), 2);
+        // Peeking repeatedly is stable, and running still fires everything.
+        assert_eq!(e.next_deadline(), Some(SimTime::from_millis(5)));
+        e.run();
+        assert!(fired.get());
+        assert_eq!(e.next_deadline(), None);
+    }
+
+    #[test]
+    fn next_deadline_skips_cancelled_and_allows_barrier_cycle() {
+        // The conservative-runner cycle: peek, run_until the window, then
+        // schedule (inject) at-or-after the window end; repeat.
+        let e = Engine::new();
+        let id = e.schedule_at(SimTime::from_millis(1), |_| {});
+        e.schedule_at(SimTime::from_millis(4), |_| {});
+        e.cancel(id);
+        assert_eq!(e.next_deadline(), Some(SimTime::from_millis(4)));
+        e.run_until(SimTime::from_millis(6));
+        assert_eq!(e.now(), SimTime::from_millis(6));
+        // Inject exactly at the window end (a message whose deliver time
+        // lands on the barrier tick) and at a later instant.
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        e.schedule_at(SimTime::from_millis(6), move |e| {
+            l.borrow_mut().push(e.now().as_micros())
+        });
+        let l2 = log.clone();
+        e.schedule_at(SimTime::from_millis(8), move |e| {
+            l2.borrow_mut().push(e.now().as_micros())
+        });
+        assert_eq!(e.next_deadline(), Some(SimTime::from_millis(6)));
+        e.run_until(SimTime::from_millis(8));
+        assert_eq!(*log.borrow(), vec![6_000, 8_000]);
+    }
+
+    #[test]
+    fn arming_below_a_peeked_cursor_rewinds_the_wheel() {
+        // A shard whose own next deadline is far away peeks it (parking
+        // the cursor there), then receives a cross-shard injection at a
+        // much earlier barrier tick. The wheel must rewind and fire both
+        // in order.
+        let e = Engine::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for at_ms in [5_000u64, 90_000] {
+            let l = log.clone();
+            e.schedule_at(SimTime::from_millis(at_ms), move |e| {
+                l.borrow_mut().push(e.now().as_micros())
+            });
+        }
+        assert_eq!(e.next_deadline(), Some(SimTime::from_millis(5_000)));
+        // Injections below the peeked cursor, across wheel levels: one
+        // close to it, one at the very next tick.
+        for at_ms in [4_999u64, 1] {
+            let l = log.clone();
+            e.schedule_at(SimTime::from_millis(at_ms), move |e| {
+                l.borrow_mut().push(e.now().as_micros())
+            });
+        }
+        assert_eq!(e.next_deadline(), Some(SimTime::from_millis(1)));
+        e.run();
+        assert_eq!(*log.borrow(), vec![1_000, 4_999_000, 5_000_000, 90_000_000]);
     }
 
     #[test]
