@@ -27,8 +27,16 @@
 //! - `--telemetry-jsonl <path>`: run with telemetry enabled and dump the
 //!   full JSONL export — the flat engine's, or the deterministic merged
 //!   cluster stream when `--zones` is given.
+//! - `--report <path>`: write the causal attribution + contract-audit
+//!   report JSON (`cm-obs/v1`). Tracing rides with telemetry; when the
+//!   measured run was untraced (non-smoke flat / cluster runs) a
+//!   dedicated traced run produces the report so the timing numbers stay
+//!   untraced. The report bytes are deterministic for a fixed seed and
+//!   identical across worker counts.
 //!
-//! `--rooms`, `--nodes`, `--seed`, `--runs` override the workload shape;
+//! `--rooms`, `--nodes`, `--seed`, `--runs`, `--wan-ms` override the
+//! workload shape (`--wan-ms` sets the inter-zone envelope latency — an
+//! easy way to provoke contract breaches on cross-zone mirrors);
 //! `--runs N` takes the best (min wall time) of N runs, for the
 //! interleaved min-of-N methodology from BENCH_netsim.json.
 //!
@@ -37,13 +45,14 @@
 
 use cm_bench::city_run::{run_city, run_city_schedule, CityStats};
 use cm_bench::city_zone::{run_city_cluster_schedule, ClusterCityStats};
+use cm_obs::{render_report, ObsZoneReport};
 use cm_testkit::{CityConfig, CitySchedule};
 use std::time::Instant;
 
 const USAGE: &str =
     "usage: room_scale [--smoke] [--metrics] [--out PATH] [--telemetry-jsonl PATH] \
-[--seed N] [--rooms N] [--nodes N] [--runs N] [--writes N] [--churn PCT] \
-[--zones N] [--threads N] [--city-zones N] [--scaling N,N,...]";
+[--report PATH] [--seed N] [--rooms N] [--nodes N] [--runs N] [--writes N] [--churn PCT] \
+[--zones N] [--threads N] [--city-zones N] [--wan-ms N] [--scaling N,N,...]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("room_scale: {msg}");
@@ -123,11 +132,27 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Render the attribution + audit report from a cluster run's per-zone
+/// trace reports; `None` when the run was untraced.
+fn obs_report_json(c: &ClusterCityStats) -> Option<String> {
+    let reports: Vec<ObsZoneReport> = c
+        .per_zone
+        .iter()
+        .filter_map(|z| z.obs_report.clone())
+        .collect();
+    (!reports.is_empty()).then(|| render_report(&reports))
+}
+
+fn write_report(path: &str, json: &str) {
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
 /// Per-zone metrics table (satellite: zone-labelled engine/room gauges
 /// rolled up in the bench summary).
 fn print_zone_table(c: &ClusterCityStats) {
     eprintln!(
-        "{:>4} {:>10} {:>6} {:>10} {:>7} {:>9} {:>8} {:>8} {:>12} {:>12} {:>8}",
+        "{:>4} {:>10} {:>6} {:>10} {:>7} {:>9} {:>8} {:>8} {:>12} {:>12} {:>8} {:>7} {:>6} {:>7} {:>8}",
         "zone",
         "events",
         "rooms",
@@ -138,11 +163,16 @@ fn print_zone_table(c: &ClusterCityStats) {
         "wan_out",
         "wan_bytes",
         "deliv_bytes",
-        "dropped"
+        "dropped",
+        "spans",
+        "miss",
+        "breach",
+        "tel_drop"
     );
     for z in &c.per_zone {
+        let o = z.obs_report.as_ref();
         eprintln!(
-            "{:>4} {:>10} {:>6} {:>10} {:>7} {:>9} {:>8} {:>8} {:>12} {:>12} {:>8}",
+            "{:>4} {:>10} {:>6} {:>10} {:>7} {:>9} {:>8} {:>8} {:>12} {:>12} {:>8} {:>7} {:>6} {:>7} {:>8}",
             z.zone,
             z.stats.events_executed,
             z.stats.rooms_opened,
@@ -153,14 +183,25 @@ fn print_zone_table(c: &ClusterCityStats) {
             z.wan_out_msgs,
             z.wan_out_bytes,
             z.stats.bytes_delivered,
-            z.wan_dropped
+            z.wan_dropped,
+            o.map_or(0, |r| r.spans),
+            o.map_or(0, |r| r.misses),
+            o.map_or(0, |r| r.breaches_total),
+            o.map_or(0, |r| r.telemetry_overflow)
         );
     }
     let peak: u64 = c.per_zone.iter().map(|z| z.rooms_active_peak).sum();
     let mirrors: u64 = c.per_zone.iter().map(|z| z.mirrors_opened).sum();
     let dropped: u64 = c.per_zone.iter().map(|z| z.wan_dropped).sum();
+    let obs = |f: fn(&ObsZoneReport) -> u64| -> u64 {
+        c.per_zone
+            .iter()
+            .filter_map(|z| z.obs_report.as_ref())
+            .map(f)
+            .sum()
+    };
     eprintln!(
-        "{:>4} {:>10} {:>6} {:>10} {:>7} {:>9} {:>8} {:>8} {:>12} {:>12} {:>8}",
+        "{:>4} {:>10} {:>6} {:>10} {:>7} {:>9} {:>8} {:>8} {:>12} {:>12} {:>8} {:>7} {:>6} {:>7} {:>8}",
         "all",
         c.agg.events_executed,
         c.agg.rooms_opened,
@@ -171,7 +212,11 @@ fn print_zone_table(c: &ClusterCityStats) {
         c.wan_msgs,
         c.wan_bytes,
         c.agg.bytes_delivered,
-        dropped
+        dropped,
+        obs(|r| r.spans),
+        obs(|r| r.misses),
+        obs(|r| r.breaches_total),
+        obs(|r| r.telemetry_overflow)
     );
 }
 
@@ -282,6 +327,7 @@ fn main() {
     let mut metrics = false;
     let mut out = "BENCH_scale.json".to_string();
     let mut telemetry_jsonl: Option<String> = None;
+    let mut report: Option<String> = None;
     let mut seed = 7u64;
     let mut rooms: Option<u32> = None;
     let mut nodes: Option<u32> = None;
@@ -291,6 +337,7 @@ fn main() {
     let mut zones: Option<usize> = None;
     let mut threads: Option<usize> = None;
     let mut city_zones: Option<u32> = None;
+    let mut wan_ms: Option<u64> = None;
     let mut scaling: Option<Vec<usize>> = None;
     let mut i = 0;
     let take = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -310,6 +357,7 @@ fn main() {
             "--metrics" => metrics = true,
             "--out" => out = take(&args, &mut i, "--out"),
             "--telemetry-jsonl" => telemetry_jsonl = Some(take(&args, &mut i, "--telemetry-jsonl")),
+            "--report" => report = Some(take(&args, &mut i, "--report")),
             "--seed" => seed = num(&take(&args, &mut i, "--seed"), "--seed"),
             "--rooms" => rooms = Some(num(&take(&args, &mut i, "--rooms"), "--rooms")),
             "--nodes" => nodes = Some(num(&take(&args, &mut i, "--nodes"), "--nodes")),
@@ -321,6 +369,7 @@ fn main() {
             "--city-zones" => {
                 city_zones = Some(num(&take(&args, &mut i, "--city-zones"), "--city-zones"))
             }
+            "--wan-ms" => wan_ms = Some(num(&take(&args, &mut i, "--wan-ms"), "--wan-ms")),
             "--scaling" => {
                 let list = take(&args, &mut i, "--scaling");
                 let parsed: Vec<usize> = list
@@ -375,6 +424,12 @@ fn main() {
         }
         cfg.zones = z;
     }
+    if let Some(w) = wan_ms {
+        if w == 0 {
+            fail("--wan-ms must be >= 1");
+        }
+        cfg.wan_latency_ms = w;
+    }
     if zones == Some(0) {
         fail("--zones must be >= 1");
     }
@@ -392,23 +447,38 @@ fn main() {
             fail("--zones and --scaling are mutually exclusive");
         }
     }
+    if let Some(p) = &report {
+        if p.is_empty() {
+            fail("--report needs a non-empty path");
+        }
+        if scaling.is_some() {
+            fail("--report does not apply to --scaling runs");
+        }
+    }
     let cap = threads.unwrap_or(usize::MAX);
 
     if let Some(path) = &telemetry_jsonl {
         // Telemetry run: fixed capacity, export everything after the run.
+        // Tracing rides with telemetry, so `--report` comes for free here.
         let schedule = CitySchedule::generate(&cfg);
-        let export = match zones {
+        let (export, report_json) = match zones {
             Some(z) => {
                 let c = run_city_cluster_schedule(&cfg, &schedule, z.min(cap), Some(1 << 20));
-                c.merged_jsonl.expect("telemetry was enabled")
+                let r = obs_report_json(&c);
+                (c.merged_jsonl.expect("telemetry was enabled"), r)
             }
             None => {
-                let (_stats, engine) = run_city_schedule(&cfg, schedule, Some(1 << 20));
-                engine.telemetry().export_jsonl()
+                let (_stats, engine, obs) = run_city_schedule(&cfg, schedule, Some(1 << 20));
+                let tel = engine.telemetry();
+                let zr = obs.finish_report(0, engine.now().as_micros(), tel.overflow());
+                (tel.export_jsonl(), Some(render_report(&[zr])))
             }
         };
         std::fs::write(path, export).unwrap_or_else(|e| panic!("write {path}: {e}"));
         eprintln!("wrote {path}");
+        if let (Some(rp), Some(json)) = (&report, &report_json) {
+            write_report(rp, json);
+        }
         return;
     }
 
@@ -427,7 +497,16 @@ fn main() {
     }
 
     if let Some(z) = zones {
-        run_cluster_mode(&cfg, &schedule, z.min(cap), runs, smoke, metrics, &out);
+        run_cluster_mode(
+            &cfg,
+            &schedule,
+            z.min(cap),
+            runs,
+            smoke,
+            metrics,
+            &out,
+            report.as_deref(),
+        );
         return;
     }
 
@@ -462,13 +541,29 @@ fn main() {
 
     assert_eq!(m.stats.joins_denied, 0, "city workload must admit everyone");
 
+    // The report needs a traced run; the measured runs above stay
+    // untraced so the timing numbers are the headline ones.
+    let report_json = report.as_deref().map(|_| {
+        let (_s, engine, obs) = run_city_schedule(&cfg, schedule.clone(), Some(1 << 20));
+        let tel = engine.telemetry();
+        let zr = obs.finish_report(0, engine.now().as_micros(), tel.overflow());
+        render_report(&[zr])
+    });
+
     if metrics {
         println!("events={}", m.stats.events_executed);
         println!("member_slots={}", m.stats.joins_ok);
         println!("sim_ms={}", m.stats.sim_ms);
+        if let Some(r) = &report_json {
+            println!("report_fnv={:#018x}", fnv64(r));
+        }
         println!("wall_ms={}", m.wall_ms);
         println!("events_per_sec={:.0}", m.events_per_sec);
         println!("bytes_per_sec={:.0}", m.bytes_per_sec);
+    }
+
+    if let (Some(path), Some(json)) = (&report, &report_json) {
+        write_report(path, json);
     }
 
     let notes = if smoke {
@@ -483,6 +578,7 @@ fn main() {
 }
 
 /// `--zones Z`: one cluster point, with the per-zone rollup table.
+#[allow(clippy::too_many_arguments)]
 fn run_cluster_mode(
     cfg: &CityConfig,
     schedule: &CitySchedule,
@@ -491,14 +587,21 @@ fn run_cluster_mode(
     smoke: bool,
     metrics: bool,
     out: &str,
+    report: Option<&str>,
 ) {
     let (m, deterministic) = if smoke {
-        // Smoke determinism covers the merged telemetry byte-for-byte.
+        // Smoke determinism covers the merged telemetry byte-for-byte,
+        // and the rendered attribution report likewise.
         let a = measure_cluster_once(cfg, schedule, workers, Some(1 << 18));
         let b = measure_cluster_once(cfg, schedule, workers, Some(1 << 18));
         assert_eq!(
             a.stats.merged_jsonl, b.stats.merged_jsonl,
             "smoke cluster runs diverged: merged telemetry differs"
+        );
+        assert_eq!(
+            obs_report_json(&a.stats),
+            obs_report_json(&b.stats),
+            "smoke cluster runs diverged: attribution report differs"
         );
         assert_eq!(
             a.stats.agg.sim_ms, b.stats.agg.sim_ms,
@@ -523,6 +626,17 @@ fn run_cluster_mode(
     assert_eq!(c.agg.joins_denied, 0, "city workload must admit everyone");
     print_zone_table(c);
 
+    // Smoke runs carry trace reports already; untraced timing runs do a
+    // dedicated traced pass only when the report was asked for.
+    let mut report_json = obs_report_json(c);
+    if report_json.is_none() && report.is_some() {
+        let traced = run_city_cluster_schedule(cfg, schedule, workers, Some(1 << 20));
+        report_json = obs_report_json(&traced);
+    }
+    if let (Some(path), Some(json)) = (report, &report_json) {
+        write_report(path, json);
+    }
+
     if metrics {
         // Deterministic lines first (the CI zones-differential compares
         // them across worker counts), timing lines after.
@@ -534,6 +648,24 @@ fn run_cluster_mode(
         println!("wan_bytes={}", c.wan_bytes);
         if let Some(jsonl) = &c.merged_jsonl {
             println!("telemetry_fnv={:#018x}", fnv64(jsonl));
+        }
+        if let Some(r) = &report_json {
+            println!("report_fnv={:#018x}", fnv64(r));
+        }
+        let traced: Vec<&ObsZoneReport> = c
+            .per_zone
+            .iter()
+            .filter_map(|z| z.obs_report.as_ref())
+            .collect();
+        if !traced.is_empty() {
+            println!(
+                "breaches={}",
+                traced.iter().map(|r| r.breaches_total).sum::<u64>()
+            );
+            println!(
+                "telemetry_overflow={}",
+                traced.iter().map(|r| r.telemetry_overflow).sum::<u64>()
+            );
         }
         println!("workers={}", c.workers);
         println!("wall_ms={}", m.wall_ms);
@@ -547,8 +679,9 @@ fn run_cluster_mode(
         .per_zone
         .iter()
         .map(|z| {
+            let o = z.obs_report.as_ref();
             format!(
-                "    {{\"zone\": {}, \"events\": {}, \"rooms_opened\": {}, \"rooms_active_peak\": {}, \"mirrors\": {}, \"joins\": {}, \"osdus_delivered\": {}, \"wan_out_msgs\": {}, \"wan_out_bytes\": {}, \"wan_dropped\": {}}}",
+                "    {{\"zone\": {}, \"events\": {}, \"rooms_opened\": {}, \"rooms_active_peak\": {}, \"mirrors\": {}, \"joins\": {}, \"osdus_delivered\": {}, \"wan_out_msgs\": {}, \"wan_out_bytes\": {}, \"wan_dropped\": {}, \"spans\": {}, \"misses\": {}, \"breaches\": {}, \"telemetry_overflow\": {}}}",
                 z.zone,
                 z.stats.events_executed,
                 z.stats.rooms_opened,
@@ -558,7 +691,11 @@ fn run_cluster_mode(
                 z.stats.osdus_delivered,
                 z.wan_out_msgs,
                 z.wan_out_bytes,
-                z.wan_dropped
+                z.wan_dropped,
+                o.map_or(0, |r| r.spans),
+                o.map_or(0, |r| r.misses),
+                o.map_or(0, |r| r.breaches_total),
+                o.map_or(0, |r| r.telemetry_overflow)
             )
         })
         .collect();

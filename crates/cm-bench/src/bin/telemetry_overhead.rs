@@ -48,11 +48,16 @@ fn engine_churn(n: u64, enable: bool) -> u64 {
 }
 
 /// Stream `secs` of telephone audio over one VC; returns wall ns for the
-/// simulated playout (the send/deliver/monitor hot loop).
+/// simulated playout (the send/deliver/monitor hot loop). Causal tracing
+/// rides with telemetry, so the enabled leg turns both on — the
+/// disabled leg is the branch-only cost of both recorders.
 fn vc_send(secs: u64, enable: bool) -> u64 {
     let mut cfg = StackConfig::default();
     cfg.testbed.workstations = 1;
     cfg.testbed.servers = 1;
+    if enable {
+        cfg.entity.obs.enable();
+    }
     let stack = Stack::build(cfg);
     if enable {
         stack

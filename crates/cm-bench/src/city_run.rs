@@ -90,15 +90,19 @@ pub fn run_city(cfg: &CityConfig, telemetry_capacity: Option<usize>) -> CityStat
 }
 
 /// As [`run_city`], but takes a pre-generated schedule and also returns
-/// the engine (so callers can export telemetry after the run).
+/// the engine and the causal-trace registry (so callers can export
+/// telemetry and the attribution report after the run). Tracing rides
+/// with telemetry: enabled iff `telemetry_capacity` is `Some`.
 pub fn run_city_schedule(
     cfg: &CityConfig,
     schedule: CitySchedule,
     telemetry_capacity: Option<usize>,
-) -> (CityStats, Engine) {
+) -> (CityStats, Engine, cm_obs::Obs) {
     let engine = Engine::new();
+    let obs = cm_obs::Obs::disabled();
     if let Some(cap) = telemetry_capacity {
         engine.telemetry().enable(cap);
+        obs.enable();
     }
     let net = Network::new(engine.clone());
     let mut rng = DetRng::from_seed(cfg.seed ^ 0x5ca1_ab1e);
@@ -114,6 +118,7 @@ pub fn run_city_schedule(
     let platform = Platform::new(net);
     let entity_cfg = EntityConfig {
         buffer_slots_override: Some(4),
+        obs: obs.clone(),
         ..EntityConfig::default()
     };
     platform.install_node_with(hub, entity_cfg.clone());
@@ -149,7 +154,7 @@ pub fn run_city_schedule(
         events_executed: engine.executed(),
         sim_ms: engine.now().as_micros() / 1_000,
     };
-    (stats, engine)
+    (stats, engine, obs)
 }
 
 /// Schedule the batch of events starting at `idx` (all sharing one fire
@@ -238,12 +243,14 @@ fn execute(engine: &Engine, rt: &Rc<Rt>, ev: CityEvent) {
                 return;
             };
             let size = profile.nominal_osdu_size;
+            let every = profile.osdu_rate.interval();
             let rt2 = rt.clone();
             // Give the graft handshake a beat before the first write, then
-            // pace the rest across the room's lifetime so deliveries
-            // interleave with joins and churn (late joiners see media too).
+            // produce at the media rate — the contracted pace; writing
+            // faster than the negotiated rate backlogs the send buffer
+            // and blows the stream's own deadline (the auditor flags it).
             engine.schedule_in(SimDuration::from_millis(100), move |_| {
-                paced_writes(&rt2, svc, vc, room, 0, writes, size);
+                paced_writes(&rt2, svc, vc, room, 0, writes, size, every);
             });
         }
         CityEvent::Leave { room, member, .. } => {
@@ -277,9 +284,11 @@ pub(crate) fn profile_of(media: CityMedia) -> MediaProfile {
     }
 }
 
-/// Write one OSDU every 250 ms of simulated time until `total` are out,
-/// parking on the send buffer when it is full. Stops silently if the VC
-/// dies under us (the room closed before the writes finished).
+/// Write one OSDU every `every` of simulated time (the media rate) until
+/// `total` are out, parking on the send buffer when it is full. Stops
+/// silently if the VC dies under us (the room closed before the writes
+/// finished).
+#[allow(clippy::too_many_arguments)]
 fn paced_writes(
     rt: &Rc<Rt>,
     svc: cm_transport::TransportService,
@@ -288,6 +297,7 @@ fn paced_writes(
     done: u32,
     total: u32,
     size: usize,
+    every: SimDuration,
 ) {
     if done >= total {
         return;
@@ -299,8 +309,8 @@ fn paced_writes(
             rt.bytes_written.set(rt.bytes_written.get() + size as u64);
             let engine = svc.network().engine().clone();
             let rt2 = rt.clone();
-            engine.schedule_in(SimDuration::from_millis(250), move |_| {
-                paced_writes(&rt2, svc, vc, room, done + 1, total, size);
+            engine.schedule_in(every, move |_| {
+                paced_writes(&rt2, svc, vc, room, done + 1, total, size, every);
             });
         }
         Ok(false) => {
@@ -313,7 +323,7 @@ fn paced_writes(
             let svc2 = svc.clone();
             buf.park_producer(now, move || {
                 engine.schedule_in(SimDuration::ZERO, move |_| {
-                    paced_writes(&rt2, svc2, vc, room, done, total, size);
+                    paced_writes(&rt2, svc2, vc, room, done, total, size, every);
                 });
             });
         }

@@ -24,6 +24,7 @@ use cm_core::rng::DetRng;
 use cm_core::service_class::ServiceClass;
 use cm_core::time::{Bandwidth, SimDuration, SimTime};
 use cm_core::FastMap;
+use cm_obs::{Obs, ObsZoneReport};
 use cm_platform::Platform;
 use cm_session::{PeerId, RelayUplink, RelayUplinkEvent, Room, RoomMember, Session};
 use cm_telemetry::merge_jsonl;
@@ -58,6 +59,9 @@ pub struct ZoneCityReport {
     pub rooms_active_peak: u64,
     /// This zone's JSONL telemetry export, when telemetry was enabled.
     pub telemetry_jsonl: Option<String>,
+    /// This zone's causal-trace attribution + audit report, when tracing
+    /// was enabled (it rides with telemetry).
+    pub obs_report: Option<ObsZoneReport>,
 }
 
 /// Aggregated result of a sharded city run.
@@ -116,8 +120,14 @@ struct ZRt {
     /// Leaf nodes; index `plan.relay_node()` is the relay leaf.
     nodes: Vec<NetAddr>,
     member: Rc<CountingMember>,
+    /// Per-zone causal-trace registry, shared with every transport
+    /// entity in the zone (enabled alongside telemetry).
+    obs: Obs,
     rooms: RefCell<FastMap<u32, Room>>,
     peers: RefCell<FastMap<(u32, u32), PeerId>>,
+    /// Home-side published VC per room, so the relay can look up the
+    /// origin write time of each OSDU it forwards.
+    home_vcs: RefCell<FastMap<u32, VcId>>,
     /// Home-side media profile per room, stored before `publish` so the
     /// relay's `Published` callback can stamp `MirrorPublish` envelopes.
     media_of: RefCell<FastMap<u32, CityMedia>>,
@@ -175,7 +185,13 @@ impl ZRt {
     fn on_wire(self: &Rc<Self>, wire: CityWire) {
         match wire {
             CityWire::MirrorPublish { room, media } => self.mirror_publish(room, media),
-            CityWire::Media { room, tag, len } => self.mirror_write(room, tag, len as usize),
+            CityWire::Media {
+                room,
+                tag,
+                len,
+                origin_us,
+                relayed_at_us,
+            } => self.mirror_write(room, tag, len as usize, origin_us, relayed_at_us),
         }
     }
 
@@ -208,19 +224,31 @@ impl ZRt {
 
     /// Guest side: one wide-area OSDU — re-emit it into the mirror.
     /// Drop-on-full: the wide area never parks a producer.
-    fn mirror_write(&self, room: u32, tag: u64, len: usize) {
+    fn mirror_write(&self, room: u32, tag: u64, len: usize, origin_us: u64, relayed_at_us: u64) {
         let handle = self.mirror_streams.borrow().get(&room).cloned();
         let Some((svc, vc)) = handle else {
             self.wan_dropped.set(self.wan_dropped.get() + 1);
             return;
         };
+        // The mirror OSDU inherits the home-zone write time as its causal
+        // origin; everything from the relay capture to the guest-side
+        // mint lands in the `mirror_relay` segment.
+        let traced = self.obs.enabled() && origin_us != 0;
+        if traced {
+            self.obs.stage_relay(vc.0, origin_us, relayed_at_us);
+        }
         match svc.write_osdu(vc, Payload::synthetic(tag, len), None) {
             Ok(true) => {
                 self.osdus_written.set(self.osdus_written.get() + 1);
                 self.bytes_written
                     .set(self.bytes_written.get() + len as u64);
             }
-            Ok(false) | Err(_) => self.wan_dropped.set(self.wan_dropped.get() + 1),
+            Ok(false) | Err(_) => {
+                if traced {
+                    self.obs.unstage_relay(vc.0);
+                }
+                self.wan_dropped.set(self.wan_dropped.get() + 1);
+            }
         }
     }
 }
@@ -269,12 +297,29 @@ fn execute(engine: &Engine, rt: &Rc<ZRt>, ev: ZoneEvent) {
                     rt2.send_to_guests(room, CityWire::MirrorPublish { room, media });
                 }
                 RelayUplinkEvent::Media { osdu, .. } => {
+                    // Causal provenance: the home write time of this OSDU
+                    // (looked up from the trace registry) plus the relay
+                    // capture time, so guest-side spans can charge the
+                    // wide-area hop to `mirror_relay`.
+                    let (origin_us, relayed_at_us) = if rt2.obs.enabled() {
+                        let origin = rt2
+                            .home_vcs
+                            .borrow()
+                            .get(&room)
+                            .and_then(|hv| rt2.obs.origin_of(hv.0, osdu.seq()))
+                            .unwrap_or(0);
+                        (origin, rt2.engine.now().as_micros())
+                    } else {
+                        (0, 0)
+                    };
                     rt2.send_to_guests(
                         room,
                         CityWire::Media {
                             room,
                             tag: osdu.payload.tag().unwrap_or(0),
                             len: osdu.payload.len() as u32,
+                            origin_us,
+                            relayed_at_us,
                         },
                     );
                 }
@@ -379,13 +424,15 @@ fn execute_city(engine: &Engine, rt: &Rc<ZRt>, ev: CityEvent) {
                 return;
             };
             rt.published.set(rt.published.get() + 1);
+            rt.home_vcs.borrow_mut().insert(room, vc);
             let Some(svc) = r.stream_service("main") else {
                 return;
             };
             let size = profile.nominal_osdu_size;
+            let every = profile.osdu_rate.interval();
             let rt2 = rt.clone();
             engine.schedule_in(SimDuration::from_millis(100), move |_| {
-                paced_writes(&rt2, svc, vc, room, 0, writes, size);
+                paced_writes(&rt2, svc, vc, room, 0, writes, size, every);
             });
         }
         CityEvent::Leave { room, member, .. } => {
@@ -402,6 +449,7 @@ fn execute_city(engine: &Engine, rt: &Rc<ZRt>, ev: CityEvent) {
                 return;
             };
             rt.media_of.borrow_mut().remove(&room);
+            rt.home_vcs.borrow_mut().remove(&room);
             rt.room_closed();
             // Listeners first, the publisher (and its stream) last; the
             // home relay, admitted before the publisher, leaves after it.
@@ -414,8 +462,10 @@ fn execute_city(engine: &Engine, rt: &Rc<ZRt>, ev: CityEvent) {
     }
 }
 
-/// Write one OSDU every 250 ms of simulated time until `total` are out,
-/// parking on the send buffer when full — same pacing as the flat city.
+/// Write one OSDU every `every` of simulated time (the media rate) until
+/// `total` are out, parking on the send buffer when full — same pacing
+/// as the flat city.
+#[allow(clippy::too_many_arguments)]
 fn paced_writes(
     rt: &Rc<ZRt>,
     svc: TransportService,
@@ -424,6 +474,7 @@ fn paced_writes(
     done: u32,
     total: u32,
     size: usize,
+    every: SimDuration,
 ) {
     if done >= total {
         return;
@@ -435,8 +486,8 @@ fn paced_writes(
             rt.bytes_written.set(rt.bytes_written.get() + size as u64);
             let engine = svc.network().engine().clone();
             let rt2 = rt.clone();
-            engine.schedule_in(SimDuration::from_millis(250), move |_| {
-                paced_writes(&rt2, svc, vc, room, done + 1, total, size);
+            engine.schedule_in(every, move |_| {
+                paced_writes(&rt2, svc, vc, room, done + 1, total, size, every);
             });
         }
         Ok(false) => {
@@ -449,7 +500,7 @@ fn paced_writes(
             let svc2 = svc.clone();
             buf.park_producer(now, move || {
                 engine.schedule_in(SimDuration::ZERO, move |_| {
-                    paced_writes(&rt2, svc2, vc, room, done, total, size);
+                    paced_writes(&rt2, svc2, vc, room, done, total, size, every);
                 });
             });
         }
@@ -490,8 +541,15 @@ impl ZoneCityWorker {
             })
             .collect();
         let platform = Platform::new(net);
+        // Causal tracing rides with telemetry: both are observation-only
+        // and the pair keeps zone shards byte-comparable.
+        let obs = Obs::disabled();
+        if telemetry_capacity.is_some() {
+            obs.enable();
+        }
         let entity_cfg = EntityConfig {
             buffer_slots_override: Some(4),
+            obs: obs.clone(),
             ..EntityConfig::default()
         };
         platform.install_node_with(hub, entity_cfg.clone());
@@ -506,8 +564,10 @@ impl ZoneCityWorker {
             session,
             nodes,
             member: Rc::new(CountingMember::default()),
+            obs,
             rooms: RefCell::new(FastMap::default()),
             peers: RefCell::new(FastMap::default()),
+            home_vcs: RefCell::new(FastMap::default()),
             media_of: RefCell::new(FastMap::default()),
             mirror_streams: RefCell::new(FastMap::default()),
             mirror_peers: RefCell::new(FastMap::default()),
@@ -571,6 +631,10 @@ impl ZoneWorker for ZoneCityWorker {
         };
         let tel = self.engine.telemetry();
         let telemetry_jsonl = tel.enabled().then(|| tel.export_jsonl());
+        let obs_report = rt.obs.enabled().then(|| {
+            rt.obs
+                .finish_report(rt.zone, self.engine.now().as_micros(), tel.overflow())
+        });
         ZoneCityReport {
             zone: rt.zone,
             stats,
@@ -581,6 +645,7 @@ impl ZoneWorker for ZoneCityWorker {
             wan_dropped: rt.wan_dropped.get(),
             rooms_active_peak: rt.rooms_active_peak.get(),
             telemetry_jsonl,
+            obs_report,
         }
     }
 }

@@ -104,6 +104,9 @@ impl PlayoutSink {
             }
             Ok(None) => {
                 self.underruns.set(self.underruns.get() + 1);
+                // Feed the attribution report: an underrun is the playout
+                // device's view of a late span.
+                self.svc.obs().underrun(self.vc.0);
             }
             Err(_) => {
                 self.playing.set(false);

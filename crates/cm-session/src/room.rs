@@ -364,6 +364,14 @@ impl Room {
         }
         let agent = session.agent(publisher.node);
         let vc = agent.svc.t_group_open(agent.tsap, class, qos)?;
+        // Label the stream for attribution rollups: identical in home and
+        // guest zones, so mirrored legs merge under one room key.
+        if agent.svc.obs().enabled() {
+            agent
+                .svc
+                .obs()
+                .label(vc.0, &format!("room:{}/{}", self.inner.name, stream));
+        }
         self.inner.streams.borrow_mut().insert(
             stream.to_string(),
             RoomStream {

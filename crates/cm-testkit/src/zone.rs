@@ -53,6 +53,12 @@ pub enum CityWire {
         tag: u64,
         /// Payload length in bytes.
         len: u32,
+        /// Causal provenance: home-zone write time of the OSDU, µs (zero
+        /// when tracing is off).
+        origin_us: u64,
+        /// Causal provenance: when the home relay captured and forwarded
+        /// the OSDU, µs (zero when tracing is off).
+        relayed_at_us: u64,
     },
 }
 

@@ -220,6 +220,8 @@ pub struct TransportEntity {
     pub(crate) config: EntityConfig,
     /// Cached clone of the engine-wide flight recorder.
     pub(crate) tel: Telemetry,
+    /// Cached clone of the causal-tracing registry (from the config).
+    pub(crate) obs: cm_obs::Obs,
     pub(crate) state: RefCell<State>,
 }
 
@@ -240,6 +242,7 @@ impl TransportEntity {
         let entity = Rc::new(TransportEntity {
             node,
             net: net.clone(),
+            obs: config.obs.clone(),
             config,
             tel: net.engine().telemetry().clone(),
             state: RefCell::new(State {
@@ -254,6 +257,11 @@ impl TransportEntity {
         });
         net.set_handler(node, Rc::new(EntityRef(entity.clone())));
         TransportService::new(entity)
+    }
+
+    /// The causal-tracing registry this entity stamps spans into.
+    pub(crate) fn obs(&self) -> &cm_obs::Obs {
+        &self.obs
     }
 
     pub(crate) fn now(&self) -> SimTime {
@@ -844,6 +852,17 @@ impl TransportEntity {
             group: None,
             pending_reneg: None,
         };
+        // Register the negotiated contract with the auditor: the delay
+        // bound is the end-to-end deadline, and the loss budget doubles as
+        // the deadline-miss budget (a late CM OSDU is as lost as a dropped
+        // one).
+        if self.obs.enabled() {
+            self.obs.set_contract(
+                vc.0,
+                agreed.delay.as_micros(),
+                agreed.packet_error_rate.as_ppb() / 1_000,
+            );
+        }
         let h = self.state.borrow_mut().vcs.insert(vc, v);
         self.attach_source_timers(h);
         // Arm the pacing/pump machinery; it will park on the empty buffer.
@@ -916,11 +935,14 @@ impl TransportEntity {
         // Take the payload out (avoid double-Rc clones of big TPDUs).
         let corrupted = pkt.corrupted;
         let from = pkt.src;
+        // Link-queue wait the packet accumulated along its path (zero
+        // unless tracing stamped it at the source).
+        let queued_us = pkt.trace.map_or(0, |t| t.queued_us);
         if let Some(pdu) = pkt.payload_as::<WirePdu>() {
             match pdu {
-                WirePdu::Data(tpdu) => self.on_data(tpdu.clone(), corrupted),
+                WirePdu::Data(tpdu) => self.on_data(tpdu.clone(), corrupted, queued_us),
                 WirePdu::WindowData { wseq, tpdu } => {
-                    self.on_window_data(*wseq, tpdu.clone(), corrupted)
+                    self.on_window_data(*wseq, tpdu.clone(), corrupted, queued_us)
                 }
                 WirePdu::Control(msg) => self.on_control(from, msg.clone()),
             }
@@ -1577,6 +1599,13 @@ impl TransportEntity {
             }
             (vc, dest, seq, sizes)
         };
+        // First fresh transmission closes the send-buffer wait; every
+        // fragment (fresh or retransmitted) carries the trace tag so the
+        // completing copy's queue wait reaches the sink attribution.
+        let tracing = self.obs.enabled();
+        if tracing && !is_retrans {
+            self.obs.transmitted(vc.0, seq, now.as_micros());
+        }
         // Branch on the destination once, not per fragment: the fragment
         // loop below is the hottest transport send path, feeding netsim's
         // zero-allocation flight events.
@@ -1599,7 +1628,14 @@ impl TransportEntity {
                 for (i, &bytes) in sizes.iter().enumerate() {
                     let tpdu = make_tpdu(i, bytes);
                     let wire = tpdu.wire_size();
-                    let pkt = Packet::data(self.node, node, vc, wire, now, WirePdu::Data(tpdu));
+                    let mut pkt = Packet::data(self.node, node, vc, wire, now, WirePdu::Data(tpdu));
+                    if tracing {
+                        pkt.trace = Some(netsim::PacketTrace {
+                            stream: vc.0,
+                            seq,
+                            queued_us: 0,
+                        });
+                    }
                     self.net.send(self.node, pkt);
                 }
             }
@@ -1607,7 +1643,7 @@ impl TransportEntity {
                 for (i, &bytes) in sizes.iter().enumerate() {
                     let tpdu = make_tpdu(i, bytes);
                     let wire = tpdu.wire_size();
-                    let pkt = Packet::group(
+                    let mut pkt = Packet::group(
                         self.node,
                         g,
                         Some(vc),
@@ -1616,6 +1652,13 @@ impl TransportEntity {
                         now,
                         WirePdu::Data(tpdu),
                     );
+                    if tracing {
+                        pkt.trace = Some(netsim::PacketTrace {
+                            stream: vc.0,
+                            seq,
+                            queued_us: 0,
+                        });
+                    }
                     self.net.send_to_group(g, pkt);
                 }
             }
@@ -1680,6 +1723,13 @@ impl TransportEntity {
                     Some(o) => to_resend.push(o.clone()),
                     None => gone.push(seq),
                 }
+            }
+        }
+        // Each nacked sequence is a traced unit the network lost (or
+        // corrupted) on the way to `from`.
+        if self.obs.enabled() {
+            for _ in 0..to_resend.len() + gone.len() {
+                self.obs.net_drop(vc.0);
             }
         }
         for osdu in to_resend {
@@ -1771,6 +1821,9 @@ impl TransportEntity {
                                     }
                                     s.charged += 1;
                                     s.sent += 1;
+                                    // The OSDU left the send buffer: close
+                                    // its pacing/credit wait.
+                                    self.obs.transmitted(vc.0, seq, now.as_micros());
                                     Pull::Got
                                 }
                             }
@@ -1837,7 +1890,8 @@ impl TransportEntity {
         };
         let wire = tpdu.wire_size();
         let now = self.now();
-        let pkt = Packet::data(
+        let seq = tpdu.osdu_seq;
+        let mut pkt = Packet::data(
             self.node,
             peer,
             vc,
@@ -1845,6 +1899,13 @@ impl TransportEntity {
             now,
             WirePdu::WindowData { wseq, tpdu },
         );
+        if self.obs.enabled() {
+            pkt.trace = Some(netsim::PacketTrace {
+                stream: vc.0,
+                seq,
+                queued_us: 0,
+            });
+        }
         self.net.send(self.node, pkt);
     }
 
@@ -1885,6 +1946,10 @@ impl TransportEntity {
 
     /// Credit returned; the stall that began at `since` is over.
     fn trace_resume(&self, vc: VcId, since: SimTime) {
+        if self.obs.enabled() {
+            let dur = self.now().saturating_since(since);
+            self.obs.stalled(vc.0, dur.as_micros());
+        }
         if !self.tel.enabled() {
             return;
         }
@@ -1965,7 +2030,7 @@ impl TransportEntity {
         }
     }
 
-    fn on_window_data(self: &Rc<Self>, wseq: u64, tpdu: DataTpdu, corrupted: bool) {
+    fn on_window_data(self: &Rc<Self>, wseq: u64, tpdu: DataTpdu, corrupted: bool, queued_us: u64) {
         let vc = tpdu.vc;
         let Some(h) = self.state.borrow().vcs.resolve(vc) else {
             return;
@@ -1988,7 +2053,7 @@ impl TransportEntity {
         };
         self.send_control(peer, ControlMsg::Ack { vc, upto: ack });
         if accept {
-            self.feed_sink_h(h, tpdu, false, now);
+            self.feed_sink_h(h, tpdu, false, now, queued_us);
         }
     }
 
@@ -1996,21 +2061,28 @@ impl TransportEntity {
     // Sink-side common path
     // ------------------------------------------------------------------
 
-    pub(crate) fn on_data(self: &Rc<Self>, tpdu: DataTpdu, corrupted: bool) {
+    pub(crate) fn on_data(self: &Rc<Self>, tpdu: DataTpdu, corrupted: bool, queued_us: u64) {
         // The one id→handle lookup of the receive path; everything below
         // addresses the slab entry directly.
         let Some(h) = self.state.borrow().vcs.resolve(tpdu.vc) else {
             return;
         };
         let now = self.now();
-        self.feed_sink_h(h, tpdu, corrupted, now);
+        self.feed_sink_h(h, tpdu, corrupted, now, queued_us);
     }
 
     /// Receive-path core: reassembly, monitor accounting, and the whole
     /// same-tick delivery batch (buffer pushes, tap dispatches, NACKs,
     /// loss indications, credit) under ONE state borrow. The per-action
     /// path used to re-borrow and re-look-up the id 3–4 times per OSDU.
-    fn feed_sink_h(self: &Rc<Self>, h: SlabHandle, tpdu: DataTpdu, corrupted: bool, now: SimTime) {
+    fn feed_sink_h(
+        self: &Rc<Self>,
+        h: SlabHandle,
+        tpdu: DataTpdu,
+        corrupted: bool,
+        now: SimTime,
+        queued_us: u64,
+    ) {
         let final_frag = tpdu.frag_index + 1 == tpdu.frag_count;
         let delay = now.saturating_since(tpdu.osdu_sent_at);
         let wire_total = tpdu.frag_bytes; // summed via monitor per fragment
@@ -2042,6 +2114,25 @@ impl TransportEntity {
                 if stashed {
                     m.on_delivered(wire_total, delay);
                 }
+            }
+        }
+        if self.obs.enabled() && final_frag {
+            // A final fragment that completed reassembly — straight into
+            // delivery, or stashed behind a hole under repair. (A frag
+            // counted lost/corrupted completed nothing.)
+            let completed = k.engine.delivered > delivered_before
+                || (k.engine.delivered == delivered_before
+                    && k.engine.lost == lost_before
+                    && k.engine.corrupted == corrupted_before);
+            if completed {
+                self.obs.arrived(
+                    tpdu.vc.0,
+                    tpdu.osdu_seq,
+                    self.node.0 as u64,
+                    now.as_micros(),
+                    queued_us,
+                    tpdu.osdu_sent_at.as_micros(),
+                );
             }
         }
         self.sink_actions_locked(st, h, actions, now);
@@ -2090,6 +2181,10 @@ impl TransportEntity {
             match action {
                 SinkAction::Deliver(osdu) => {
                     let opdu = osdu.opdu;
+                    // The engine released the OSDU (ending any stash-behind-
+                    // a-hole wait): stamp it delivered for attribution.
+                    self.obs
+                        .sink_delivered(vc.0, osdu.seq(), self.node.0 as u64, now.as_micros());
                     let pushed = if !k.pending_delivery.is_empty() {
                         k.pending_delivery.push_back(osdu);
                         false
@@ -2351,6 +2446,9 @@ impl TransportEntity {
         match s.send_buf.try_push(now, osdu) {
             PushOutcome::Pushed { .. } => {
                 s.next_write_seq += 1;
+                // Mint the causal span: the budget clock starts when the
+                // OSDU enters the send buffer.
+                self.obs.mint(vc.0, seq, now.as_micros());
                 Ok(true)
             }
             PushOutcome::Full(_) => Ok(false),
@@ -2377,6 +2475,10 @@ impl TransportEntity {
         let osdu = match k.recv_buf.try_pop(now) {
             Some(o) => {
                 k.app_popped += 1;
+                // The span ends where the paper's service does: at the
+                // sink application's read.
+                self.obs
+                    .closed(vc.0, o.seq(), self.node.0 as u64, now.as_micros());
                 Some(o)
             }
             None => None,

@@ -155,6 +155,17 @@ impl TransportEntity {
             }),
             pending_reneg: None,
         };
+        // Register the preferred contract with the auditor; joins that
+        // weaken the group contract re-register through
+        // `recompute_group`.
+        if self.obs.enabled() {
+            let preferred = requirement.tolerance.preferred;
+            self.obs.set_contract(
+                vc.0,
+                preferred.delay.as_micros(),
+                preferred.packet_error_rate.as_ppb() / 1_000,
+            );
+        }
         let h = self.state.borrow_mut().vcs.insert(vc, v);
         self.attach_source_timers(h);
         self.ensure_tick_now(vc);
@@ -454,6 +465,15 @@ impl TransportEntity {
                 ))
             };
             v.contract = contract;
+            // The audited deadline follows the contract in force: joins
+            // may weaken it, leaves restore it.
+            if self.obs.enabled() {
+                self.obs.set_contract(
+                    vc.0,
+                    contract.delay.as_micros(),
+                    contract.packet_error_rate.as_ppb() / 1_000,
+                );
+            }
             let s = v.source.as_mut().expect("group source end");
             match credit {
                 Some((freed, cap)) => {

@@ -47,6 +47,10 @@ pub struct EntityConfig {
     /// Self-healing: repair attempts per episode before giving up and
     /// tearing the VC down as `Unreachable`.
     pub heal_max_attempts: u32,
+    /// Causal-tracing registry (`cm-obs`). Entities installed with clones
+    /// of one config share the registry; it is disabled by default and
+    /// costs one branch per hook until enabled.
+    pub obs: cm_obs::Obs,
 }
 
 impl Default for EntityConfig {
@@ -61,6 +65,7 @@ impl Default for EntityConfig {
             heal_backoff_cap: SimDuration::from_millis(800),
             heal_rto_patience: 3,
             heal_max_attempts: 8,
+            obs: cm_obs::Obs::disabled(),
         }
     }
 }
@@ -196,6 +201,11 @@ pub struct TransportService {
 impl TransportService {
     pub(crate) fn new(entity: Rc<TransportEntity>) -> TransportService {
         TransportService { entity }
+    }
+
+    /// The causal-tracing registry this entity stamps spans into.
+    pub fn obs(&self) -> &cm_obs::Obs {
+        self.entity.obs()
     }
 
     /// Install a transport entity on `node` and return its service handle.
@@ -486,7 +496,7 @@ impl TransportService {
     /// bypassing the network. Fuzzing/chaos hook; `corrupted` marks the
     /// fragment as damaged in transit (error-control path).
     pub fn inject_data(&self, tpdu: crate::tpdu::DataTpdu, corrupted: bool) {
-        self.entity.on_data(tpdu, corrupted);
+        self.entity.on_data(tpdu, corrupted, 0);
     }
 
     // ---- Introspection -----------------------------------------------------

@@ -29,6 +29,6 @@ pub use engine::{Engine, EventId, PeriodicTimer};
 pub use link::{JitterModel, LinkCounters, LinkParams};
 pub use multicast::{GroupId, GroupTree};
 pub use network::{GroupRefresh, LinkId, Network, NetworkCounters, NodeHandler};
-pub use packet::{FlightKind, Packet, PacketClass, PacketFlight};
+pub use packet::{FlightKind, Packet, PacketClass, PacketFlight, PacketTrace};
 pub use reservation::{AdmissionError, ReservationTable};
 pub use topology::{line, two_node, Testbed, TestbedConfig};

@@ -87,6 +87,11 @@ pub enum LinkOutcome {
         arrival: SimTime,
         /// Whether the bit-error process damaged it.
         corrupted: bool,
+        /// Time the packet waited behind the data channel's backlog before
+        /// its own serialisation began (always zero for control class —
+        /// the reserved channel has no queue). Feeds the `queueing` segment
+        /// of traced spans.
+        queued: SimDuration,
     },
     /// The packet was dropped.
     Drop(DropReason),
@@ -183,11 +188,11 @@ impl Link {
             tx
         };
 
-        let departure = match class {
+        let (departure, queued) = match class {
             PacketClass::Control => {
                 // Reserved control channel: no data-queue wait, no capacity
                 // check — guaranteed bandwidth per §5.
-                now + tx
+                (now + tx, SimDuration::ZERO)
             }
             PacketClass::Data => {
                 if self.queue_occupancy(now) + wire_size > self.params.queue_capacity {
@@ -199,7 +204,7 @@ impl Link {
                 self.busy_until = finish;
                 self.in_flight.push_back((finish, wire_size));
                 self.queued_bytes += wire_size;
-                finish
+                (finish, start.saturating_since(now))
             }
         };
         self.counters.bytes += wire_size as u64;
@@ -231,7 +236,11 @@ impl Link {
             self.counters.corrupted += 1;
         }
         self.counters.delivered += 1;
-        LinkOutcome::Deliver { arrival, corrupted }
+        LinkOutcome::Deliver {
+            arrival,
+            corrupted,
+            queued,
+        }
     }
 }
 
@@ -251,9 +260,14 @@ mod tests {
         let mut l = mk(10, 5);
         // 1250 bytes at 10 Mb/s = 1 ms tx; +5 ms prop = arrival at 6 ms.
         match l.submit(SimTime::ZERO, PacketClass::Data, 1250) {
-            LinkOutcome::Deliver { arrival, corrupted } => {
+            LinkOutcome::Deliver {
+                arrival,
+                corrupted,
+                queued,
+            } => {
                 assert_eq!(arrival, SimTime::from_millis(6));
                 assert!(!corrupted);
+                assert_eq!(queued, SimDuration::ZERO);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -943,7 +943,7 @@ impl Network {
         now: SimTime,
         lid: LinkId,
         pkt: &Packet,
-    ) -> Result<(SimTime, bool, NetAddr), &'static str> {
+    ) -> Result<(SimTime, bool, NetAddr, SimDuration), &'static str> {
         let mut inner = self.inner.borrow_mut();
         if !inner.links[lid.0 as usize].up {
             inner.counters.link_down += 1;
@@ -952,7 +952,11 @@ impl Network {
         let ls = &mut inner.links[lid.0 as usize];
         let next = ls.to;
         match ls.link.submit(now, pkt.class, pkt.wire_size) {
-            LinkOutcome::Deliver { arrival, corrupted } => Ok((arrival, corrupted, next)),
+            LinkOutcome::Deliver {
+                arrival,
+                corrupted,
+                queued,
+            } => Ok((arrival, corrupted, next, queued)),
             LinkOutcome::Drop(DropReason::QueueOverflow) => {
                 inner.counters.queue_overflow += 1;
                 Err("queue_overflow")
@@ -977,7 +981,7 @@ impl Network {
         for (i, &lid) in outs.iter().enumerate() {
             let p = pkt.as_ref().expect("packet moved before last branch");
             match self.submit_to_link(now, lid, p) {
-                Ok((arrival, corrupted, next)) => {
+                Ok((arrival, corrupted, next, queued)) => {
                     self.trace_tx(now, lid, p, arrival);
                     let mut branch_pkt = if i == last {
                         pkt.take().expect("last branch takes the packet")
@@ -985,6 +989,11 @@ impl Network {
                         p.clone()
                     };
                     branch_pkt.corrupted |= corrupted;
+                    // Branch copies inherit the upstream queue wait and then
+                    // accumulate their own — per-receiver attribution.
+                    if let Some(t) = branch_pkt.trace.as_mut() {
+                        t.queued_us += queued.as_micros();
+                    }
                     self.engine.schedule_flight(
                         arrival,
                         PacketFlight {
@@ -1088,9 +1097,11 @@ impl Network {
                         let ls = &mut inner.links[lid.0 as usize];
                         let next = ls.to;
                         match ls.link.submit(now, f.pkt.class, f.pkt.wire_size) {
-                            LinkOutcome::Deliver { arrival, corrupted } => {
-                                Ok((arrival, corrupted, next, lid))
-                            }
+                            LinkOutcome::Deliver {
+                                arrival,
+                                corrupted,
+                                queued,
+                            } => Ok((arrival, corrupted, next, lid, queued)),
                             LinkOutcome::Drop(DropReason::QueueOverflow) => {
                                 inner.counters.queue_overflow += 1;
                                 Err((Some(lid), "queue_overflow"))
@@ -1105,9 +1116,12 @@ impl Network {
             }
         };
         match outcome {
-            Ok((arrival, corrupted, next, lid)) => {
+            Ok((arrival, corrupted, next, lid, queued)) => {
                 Self::trace_tx_parts(tel, now, lid, &f.pkt, arrival);
                 f.pkt.corrupted |= corrupted;
+                if let Some(t) = f.pkt.trace.as_mut() {
+                    t.queued_us += queued.as_micros();
+                }
                 f.next = next;
                 f.via = Some(lid);
                 engine.schedule_flight_cell(arrival, cell);

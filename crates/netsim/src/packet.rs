@@ -73,6 +73,22 @@ impl PacketClass {
     }
 }
 
+/// Causal-trace tag a packet can carry for `cm-obs`: identifies the OSDU
+/// span this packet serves and accumulates the link-queue wait it meets at
+/// each hop. Stamped by the transport only while observability is enabled,
+/// so the disabled path pays nothing beyond the `Option` in [`Packet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketTrace {
+    /// The stream (raw VC id) of the traced OSDU.
+    pub stream: u64,
+    /// The OSDU sequence number within the stream.
+    pub seq: u64,
+    /// Link-queue wait accumulated along this copy's path, µs. Branch
+    /// copies of a multicast cascade inherit the upstream wait and then
+    /// diverge — per-receiver attribution stays exact.
+    pub queued_us: u64,
+}
+
 /// One simulated network packet.
 #[derive(Clone)]
 pub struct Packet {
@@ -96,6 +112,8 @@ pub struct Packet {
     pub corrupted: bool,
     /// Global time the packet entered the network at its source.
     pub sent_at: SimTime,
+    /// Causal-trace tag (`None` unless observability is on).
+    pub trace: Option<PacketTrace>,
     /// The typed payload (a TPDU, an OPDU, an RPC message…).
     pub payload: Rc<dyn Any>,
 }
@@ -118,6 +136,7 @@ impl Packet {
             mgroup: None,
             corrupted: false,
             sent_at,
+            trace: None,
             payload: Rc::new(payload),
         }
     }
@@ -140,6 +159,7 @@ impl Packet {
             mgroup: None,
             corrupted: false,
             sent_at,
+            trace: None,
             payload: Rc::new(payload),
         }
     }
@@ -164,6 +184,7 @@ impl Packet {
             mgroup: Some(group),
             corrupted: false,
             sent_at,
+            trace: None,
             payload: Rc::new(payload),
         }
     }

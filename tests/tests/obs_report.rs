@@ -1,0 +1,218 @@
+//! Causal-tracing attribution report: determinism across worker counts
+//! and correct blame assignment under faults (DESIGN.md §12).
+
+use cm_bench::city_zone::run_city_cluster;
+use cm_chaos::ChaosScheduler;
+use cm_core::address::{AddressTriple, TransportAddr, Tsap, VcId};
+use cm_core::media::MediaProfile;
+use cm_core::osdu::Payload;
+use cm_core::service_class::ServiceClass;
+use cm_core::time::{Bandwidth, SimDuration, SimTime};
+use cm_obs::{render_report, Obs, ObsZoneReport, SegClass};
+use cm_testkit::{AutoAcceptUser, CityConfig, FaultPlan};
+use cm_transport::{EntityConfig, TransportService};
+use netsim::{Engine, LinkParams, Network, NodeClock};
+
+fn rendered_report(c: &cm_bench::city_zone::ClusterCityStats) -> String {
+    let zones: Vec<ObsZoneReport> = c
+        .per_zone
+        .iter()
+        .filter_map(|z| z.obs_report.clone())
+        .collect();
+    assert!(!zones.is_empty(), "tracing must ride with telemetry");
+    render_report(&zones)
+}
+
+/// The attribution report is a function of the workload, not of the
+/// thread count: the same seeded city run on 1 worker and on 4 renders
+/// byte-identical JSON. Extends the telemetry differential in
+/// `zone_cluster.rs` to the cm-obs artefact.
+#[test]
+fn attribution_report_identical_across_worker_counts() {
+    let cfg = CityConfig {
+        rooms: 16,
+        arrival_window_ms: 10_000,
+        ..CityConfig::smoke(42)
+    };
+    let one = run_city_cluster(&cfg, 1, Some(1 << 16));
+    let four = run_city_cluster(&cfg, 4, Some(1 << 16));
+    let a = rendered_report(&one);
+    let b = rendered_report(&four);
+    assert_eq!(a, b, "attribution report must be byte-identical");
+    // Non-vacuous: spans closed, and the cross-zone machinery left
+    // mirror-relay segments behind.
+    assert!(a.contains("\"schema\": \"cm-obs/v1\""));
+    assert!(a.contains("\"mirror_relay\""));
+    let spans: u64 = one
+        .per_zone
+        .iter()
+        .filter_map(|z| z.obs_report.as_ref())
+        .map(|r| r.spans)
+        .sum();
+    assert!(spans > 0, "no spans closed — tracing is not wired");
+}
+
+/// Square world with two disjoint 2-hop paths a -> c (via b, via d), a
+/// shared trace registry on every entity, and a reliable telephone VC.
+struct Square {
+    net: Network,
+    obs: Obs,
+    svcs: Vec<TransportService>,
+    nodes: [cm_core::address::NetAddr; 4],
+    vc: VcId,
+}
+
+fn square(seed: u64) -> Square {
+    let net = Network::new(Engine::new());
+    let mut rng = cm_core::rng::DetRng::from_seed(seed);
+    // 40 ms of propagation per hop: at the telephone pacing rate (one
+    // OSDU per 20 ms) the a->b wire always has packets riding it, so a
+    // link cut deterministically kills some in flight.
+    let p = LinkParams::clean(Bandwidth::mbps(10), SimDuration::from_millis(40));
+    let a = net.add_node(NodeClock::perfect());
+    let b = net.add_node(NodeClock::perfect());
+    let c = net.add_node(NodeClock::perfect());
+    let d = net.add_node(NodeClock::perfect());
+    net.add_duplex(a, b, p.clone(), &mut rng);
+    net.add_duplex(b, c, p.clone(), &mut rng);
+    net.add_duplex(a, d, p.clone(), &mut rng);
+    net.add_duplex(d, c, p, &mut rng);
+    let obs = Obs::disabled();
+    obs.enable();
+    let cfg = EntityConfig {
+        obs: obs.clone(),
+        ..EntityConfig::default()
+    };
+    let svcs: Vec<_> = [a, b, c, d]
+        .iter()
+        .map(|&n| {
+            let svc = TransportService::install(&net, n, cfg.clone());
+            svc.bind(Tsap(1), AutoAcceptUser::new()).expect("bind");
+            svc
+        })
+        .collect();
+    let triple = AddressTriple::conventional(
+        TransportAddr {
+            node: a,
+            tsap: Tsap(1),
+        },
+        TransportAddr {
+            node: c,
+            tsap: Tsap(1),
+        },
+    );
+    let vc = svcs[0]
+        .t_connect_request(
+            triple,
+            ServiceClass::reliable_cm(),
+            MediaProfile::audio_telephone().requirement(),
+        )
+        .expect("connect");
+    net.engine().run_for(SimDuration::from_millis(500));
+    assert!(svcs[0].is_open(vc), "square VC must open");
+    Square {
+        net,
+        obs,
+        svcs,
+        nodes: [a, b, c, d],
+        vc,
+    }
+}
+
+/// Writes `total` telephone OSDUs as fast as the send buffer allows.
+fn drive_writer(svc: TransportService, vc: VcId, total: u64) {
+    fn step(svc: TransportService, vc: VcId, written: u64, total: u64) {
+        let mut written = written;
+        while written < total {
+            match svc.write_osdu(vc, Payload::synthetic(written, 80), None) {
+                Ok(true) => written += 1,
+                Ok(false) => {
+                    let Ok(buf) = svc.send_handle(vc) else { return };
+                    let now = svc.now();
+                    let svc2 = svc.clone();
+                    let engine = svc.network().engine().clone();
+                    buf.park_producer(now, move || {
+                        engine.schedule_in(SimDuration::ZERO, move |_| {
+                            step(svc2, vc, written, total)
+                        });
+                    });
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+    step(svc, vc, 0, total);
+}
+
+/// Eagerly reads OSDUs (closing their spans) until the VC dies.
+fn drive_reader(svc: TransportService, vc: VcId) {
+    fn step(svc: TransportService, vc: VcId) {
+        loop {
+            match svc.read_osdu(vc) {
+                Ok(Some(_)) => {}
+                Ok(None) => {
+                    let Ok(buf) = svc.recv_handle(vc) else { return };
+                    let now = svc.now();
+                    let svc2 = svc.clone();
+                    let engine = svc.network().engine().clone();
+                    buf.park_consumer(now, move || {
+                        engine.schedule_in(SimDuration::ZERO, move |_| step(svc2, vc));
+                    });
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+    step(svc, vc);
+}
+
+fn repair_sum(sq: &Square) -> (u64, u64) {
+    let now = sq.net.engine().now().as_micros();
+    let rep = sq.obs.finish_report(0, now, 0);
+    let s = rep
+        .streams
+        .iter()
+        .find(|s| s.stream == sq.vc.0)
+        .expect("traced stream in report");
+    assert!(s.spans > 0, "spans must have closed");
+    (s.segs[SegClass::Repair as usize].sum_us, s.spans)
+}
+
+/// A chaos link cut mid-stream forces a reroute onto the detour path;
+/// the packets that died on the downed link come back via NACK
+/// retransmission, and that extra latency must land in the `repair`
+/// segment — not be smeared over propagation or queueing.
+#[test]
+fn chaos_reroute_attributes_extra_latency_to_repair() {
+    // Baseline: same world, no fault — repair stays exactly zero.
+    let clean = square(7);
+    drive_writer(clean.svcs[0].clone(), clean.vc, 400);
+    drive_reader(clean.svcs[2].clone(), clean.vc);
+    clean.net.engine().run_until(SimTime::from_secs(10));
+    let (clean_repair, _) = repair_sum(&clean);
+    assert_eq!(
+        clean_repair, 0,
+        "clean run must attribute nothing to repair"
+    );
+
+    // Fault run: cut the a <-> b leg of the reserved path for 500 ms
+    // while the stream is in full flight. Routing heals onto a-d-c;
+    // the in-flight losses are repaired by retransmission.
+    let sq = square(7);
+    let chaos = ChaosScheduler::new(&sq.net);
+    FaultPlan::new()
+        .at_ms(2_000)
+        .link_down(sq.nodes[0], sq.nodes[1])
+        .for_ms(500)
+        .schedule(&chaos);
+    drive_writer(sq.svcs[0].clone(), sq.vc, 400);
+    drive_reader(sq.svcs[2].clone(), sq.vc);
+    sq.net.engine().run_until(SimTime::from_secs(10));
+    let (fault_repair, spans) = repair_sum(&sq);
+    assert!(
+        fault_repair > 0,
+        "reroute retransmissions must be charged to repair (spans {spans})"
+    );
+}
