@@ -14,9 +14,18 @@
 //!   byte-identical for every `Z` — only wall time changes.
 //! - `--threads T`: cap the OS threads the cluster may use (default:
 //!   no extra cap beyond `Z`).
+//! - `--protocol classic|adaptive`: the cluster round protocol for a
+//!   `--zones` run — fixed-lookahead two-barrier classic, or the
+//!   default adaptive-window single-barrier engine. Results are
+//!   byte-identical either way; rounds and wall time differ.
 //! - `--scaling LIST`: comma-separated worker counts (e.g. `1,2,4,8`);
-//!   runs the flat baseline and each count interleaved, prints the
-//!   scaling table and writes the curve to the `--out` JSON.
+//!   runs the flat baseline, a classic one-worker reference, and each
+//!   count interleaved min-of-N, prints the scaling table and writes
+//!   the curve (with `overhead_vs_flat_percent` and
+//!   `rounds_reduction`) to the `--out` JSON. Every point runs in a
+//!   fresh child process (the bench re-executes itself) so one
+//!   measurement's heap cannot skew the next — world teardown
+//!   currently leaks the run's arena, see ROADMAP.
 //! - `--smoke`: a ~50-room config run twice with the same seed; the two
 //!   runs must agree event-for-event (deterministic completion is
 //!   asserted, for CI). With `--zones` the assertion covers the merged
@@ -40,11 +49,15 @@
 //! `--runs N` takes the best (min wall time) of N runs, for the
 //! interleaved min-of-N methodology from BENCH_netsim.json.
 //!
+//! Timed regions replay a pre-generated schedule; schedule generation
+//! never counts against a measurement, flat or sharded.
+//!
 //! All flags are validated up front; the bench fails fast with a usage
 //! line before any schedule is generated or printed.
 
-use cm_bench::city_run::{run_city, run_city_schedule, CityStats};
-use cm_bench::city_zone::{run_city_cluster_schedule, ClusterCityStats};
+use cm_bench::city_run::{run_city_schedule, CityStats};
+use cm_bench::city_zone::{run_city_cluster_mode, run_city_cluster_schedule, ClusterCityStats};
+use cm_cluster::RoundMode;
 use cm_obs::{render_report, ObsZoneReport};
 use cm_testkit::{CityConfig, CitySchedule};
 use std::time::Instant;
@@ -52,7 +65,8 @@ use std::time::Instant;
 const USAGE: &str =
     "usage: room_scale [--smoke] [--metrics] [--out PATH] [--telemetry-jsonl PATH] \
 [--report PATH] [--seed N] [--rooms N] [--nodes N] [--runs N] [--writes N] [--churn PCT] \
-[--zones N] [--threads N] [--city-zones N] [--wan-ms N] [--scaling N,N,...]";
+[--zones N] [--protocol classic|adaptive] [--threads N] [--city-zones N] [--wan-ms N] \
+[--scaling N,N,...]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("room_scale: {msg}");
@@ -63,28 +77,35 @@ fn fail(msg: &str) -> ! {
 struct Measured {
     stats: CityStats,
     wall_ms: u64,
+    wall_us: u64,
     events_per_sec: f64,
     bytes_per_sec: f64,
 }
 
-fn measure_once(cfg: &CityConfig) -> Measured {
+/// Flat run timed on a pre-generated schedule — the apples-to-apples
+/// baseline for the sharding-overhead figure. Schedule generation (and
+/// the clone) stay outside the timed region, mirroring what the cluster
+/// path excludes.
+fn measure_flat_schedule(cfg: &CityConfig, schedule: &CitySchedule) -> Measured {
+    let schedule = schedule.clone();
     let start = Instant::now();
-    let stats = run_city(cfg, None);
+    let (stats, _engine, _obs) = run_city_schedule(cfg, schedule, None);
     let wall = start.elapsed();
     let secs = wall.as_secs_f64().max(1e-9);
     Measured {
         events_per_sec: stats.events_executed as f64 / secs,
         bytes_per_sec: (stats.bytes_written + stats.bytes_delivered) as f64 / secs,
         wall_ms: wall.as_millis() as u64,
+        wall_us: wall.as_micros() as u64,
         stats,
     }
 }
 
 /// Min-of-N: keep the run with the smallest wall time.
-fn measure_best(cfg: &CityConfig, runs: u32) -> Measured {
-    let mut best = measure_once(cfg);
+fn measure_best(cfg: &CityConfig, schedule: &CitySchedule, runs: u32) -> Measured {
+    let mut best = measure_flat_schedule(cfg, schedule);
     for _ in 1..runs {
-        let m = measure_once(cfg);
+        let m = measure_flat_schedule(cfg, schedule);
         if m.wall_ms < best.wall_ms {
             best = m;
         }
@@ -95,24 +116,27 @@ fn measure_best(cfg: &CityConfig, runs: u32) -> Measured {
 struct ClusterMeasured {
     stats: ClusterCityStats,
     wall_ms: u64,
+    wall_us: u64,
     events_per_sec: f64,
     bytes_per_sec: f64,
 }
 
-fn measure_cluster_once(
+fn measure_cluster_mode(
     cfg: &CityConfig,
     schedule: &CitySchedule,
     workers: usize,
     telemetry: Option<usize>,
+    mode: RoundMode,
 ) -> ClusterMeasured {
     let start = Instant::now();
-    let stats = run_city_cluster_schedule(cfg, schedule, workers, telemetry);
+    let stats = run_city_cluster_mode(cfg, schedule, workers, telemetry, mode);
     let wall = start.elapsed();
     let secs = wall.as_secs_f64().max(1e-9);
     ClusterMeasured {
         events_per_sec: stats.agg.events_executed as f64 / secs,
         bytes_per_sec: (stats.agg.bytes_written + stats.agg.bytes_delivered) as f64 / secs,
         wall_ms: wall.as_millis() as u64,
+        wall_us: wall.as_micros() as u64,
         stats,
     }
 }
@@ -274,47 +298,140 @@ fn write_json(
     eprintln!("wrote {path}");
 }
 
+/// One measured scaling point, harvested from a child process's
+/// `--metrics` stdout. Cluster-only fields stay zero on flat points.
+#[derive(Default, Clone)]
+struct Point {
+    wall_ms: u64,
+    wall_us: u64,
+    events: u64,
+    events_per_sec: f64,
+    rounds: u64,
+    busy_us_total: u64,
+    sync_us_total: u64,
+    critical_path_us: u64,
+    envelopes_routed: u64,
+    envelope_allocs: u64,
+    wan_msgs: u64,
+    wan_bytes: u64,
+}
+
+fn point_from(stdout: &str) -> Point {
+    let mut p = Point::default();
+    let mut saw_wall = false;
+    for line in stdout.lines() {
+        let Some((k, v)) = line.split_once('=') else {
+            continue;
+        };
+        let n: u64 = v.parse().unwrap_or(0);
+        match k {
+            "wall_ms" => {
+                p.wall_ms = n;
+                saw_wall = true;
+            }
+            "wall_us" => p.wall_us = n,
+            "events" => p.events = n,
+            "events_per_sec" => p.events_per_sec = v.parse().unwrap_or(0.0),
+            "rounds" => p.rounds = n,
+            "busy_us_total" => p.busy_us_total = n,
+            "sync_us_total" => p.sync_us_total = n,
+            "critical_path_us" => p.critical_path_us = n,
+            "envelopes_routed" => p.envelopes_routed = n,
+            "envelope_allocs" => p.envelope_allocs = n,
+            "wan_msgs" => p.wan_msgs = n,
+            "wan_bytes" => p.wan_bytes = n,
+            _ => {}
+        }
+    }
+    if !saw_wall {
+        fail("child bench printed no wall_ms metric — stdout format drifted");
+    }
+    p
+}
+
+/// Run one scaling point in a fresh child process (this bench re-executes
+/// itself) and harvest its `--metrics` lines. Process isolation keeps one
+/// measurement's heap from skewing the next: world teardown currently
+/// leaks the run's arena (see ROADMAP), so in-process interleaving
+/// degrades 2-3x over a pass.
+fn bench_child(workload: &[String], extra: &[&str]) -> Point {
+    let exe = std::env::current_exe()
+        .unwrap_or_else(|e| fail(&format!("cannot locate own binary for child runs: {e}")));
+    let output = std::process::Command::new(&exe)
+        .args(workload)
+        .args(extra)
+        .args(["--metrics", "--runs", "1", "--out", "/dev/null"])
+        .stderr(std::process::Stdio::null())
+        .output()
+        .unwrap_or_else(|e| fail(&format!("spawn child bench: {e}")));
+    if !output.status.success() {
+        fail(&format!(
+            "child bench ({}) exited with {}",
+            if extra.is_empty() {
+                "flat".to_string()
+            } else {
+                extra.join(" ")
+            },
+            output.status
+        ));
+    }
+    point_from(&String::from_utf8_lossy(&output.stdout))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn write_scaling_json(
     path: &str,
     cfg: &CityConfig,
-    baseline: &Measured,
-    curve: &[(usize, ClusterMeasured)],
+    baseline: &Point,
+    curve: &[(usize, Point)],
     runs: u32,
+    cores: usize,
+    overhead_vs_flat_percent: f64,
+    classic_w1: &Point,
+    adaptive_rounds_w1: u64,
+    rounds_reduction: f64,
     notes: &str,
 ) {
     let entries: Vec<String> = curve
         .iter()
-        .map(|(w, m)| {
-            let c = &m.stats;
-            let speedup = baseline.wall_ms as f64 / (m.wall_ms.max(1)) as f64;
+        .map(|(w, p)| {
+            let speedup = baseline.wall_us as f64 / (p.wall_us.max(1)) as f64;
             format!(
-                "    {{\n      \"workers\": {},\n      \"zones\": {},\n      \"rounds\": {},\n      \"wall_ms\": {},\n      \"events_per_sec\": {:.0},\n      \"speedup_vs_flat\": {:.3},\n      \"busy_us_total\": {},\n      \"critical_path_us\": {},\n      \"parallel_speedup_bound\": {:.3},\n      \"wan_msgs\": {},\n      \"wan_bytes\": {}\n    }}",
+                "    {{\n      \"workers\": {},\n      \"zones\": {},\n      \"rounds\": {},\n      \"measured_wall_ms\": {},\n      \"events_per_sec\": {:.0},\n      \"measured_speedup_vs_flat\": {:.3},\n      \"busy_us_total\": {},\n      \"sync_us_total\": {},\n      \"critical_path_us\": {},\n      \"parallel_speedup_bound\": {:.3},\n      \"envelopes_routed\": {},\n      \"envelope_allocs\": {},\n      \"wan_msgs\": {},\n      \"wan_bytes\": {}\n    }}",
                 w,
-                c.per_zone.len(),
-                c.rounds,
-                m.wall_ms,
-                m.events_per_sec,
+                cfg.zones,
+                p.rounds,
+                p.wall_ms,
+                p.events_per_sec,
                 speedup,
-                c.worker_busy_us.iter().sum::<u64>(),
-                c.critical_path_us,
+                p.busy_us_total,
+                p.sync_us_total,
+                p.critical_path_us,
                 // Busy-time Amdahl bound: total shard work / critical path —
                 // the speedup this worker count reaches once each worker has
                 // its own core (independent of this host's core count).
-                c.worker_busy_us.iter().sum::<u64>() as f64 / (c.critical_path_us.max(1)) as f64,
-                c.wan_msgs,
-                c.wan_bytes,
+                p.busy_us_total as f64 / (p.critical_path_us.max(1)) as f64,
+                p.envelopes_routed,
+                p.envelope_allocs,
+                p.wan_msgs,
+                p.wan_bytes,
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"cm-bench/src/bin/room_scale.rs\",\n  \"workload\": \"room-churn city, zone-sharded\",\n  \"notes\": \"{}\",\n{},\n  \"methodology\": \"interleaved min-of-{} per point; flat baseline re-measured in the same loop\",\n  \"flat_baseline\": {{\n    \"wall_ms\": {},\n    \"events_per_sec\": {:.0},\n    \"engine_events\": {}\n  }},\n  \"scaling\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"cm-bench/src/bin/room_scale.rs\",\n  \"workload\": \"room-churn city, zone-sharded\",\n  \"notes\": \"{}\",\n{},\n  \"methodology\": \"interleaved min-of-{} per point on a {}-core host; every point runs in a fresh child process and replays the identical pre-generated schedule (flat baseline included)\",\n  \"flat_baseline\": {{\n    \"wall_ms\": {},\n    \"events_per_sec\": {:.0},\n    \"engine_events\": {}\n  }},\n  \"overhead_vs_flat_percent\": {:.2},\n  \"rounds_reduction\": {{\n    \"classic_rounds_w1\": {},\n    \"classic_busy_us_w1\": {},\n    \"adaptive_rounds_w1\": {},\n    \"factor\": {:.2}\n  }},\n  \"scaling\": [\n{}\n  ]\n}}\n",
         json_escape(notes),
         config_json(cfg),
         runs,
+        cores,
         baseline.wall_ms,
         baseline.events_per_sec,
-        baseline.stats.events_executed,
+        baseline.events,
+        overhead_vs_flat_percent,
+        classic_w1.rounds,
+        classic_w1.busy_us_total,
+        adaptive_rounds_w1,
+        rounds_reduction,
         entries.join(",\n"),
     );
     std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
@@ -335,6 +452,7 @@ fn main() {
     let mut writes: Option<u32> = None;
     let mut churn: Option<u32> = None;
     let mut zones: Option<usize> = None;
+    let mut protocol: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut city_zones: Option<u32> = None;
     let mut wan_ms: Option<u64> = None;
@@ -365,6 +483,7 @@ fn main() {
             "--writes" => writes = Some(num(&take(&args, &mut i, "--writes"), "--writes")),
             "--churn" => churn = Some(num(&take(&args, &mut i, "--churn"), "--churn")),
             "--zones" => zones = Some(num(&take(&args, &mut i, "--zones"), "--zones")),
+            "--protocol" => protocol = Some(take(&args, &mut i, "--protocol")),
             "--threads" => threads = Some(num(&take(&args, &mut i, "--threads"), "--threads")),
             "--city-zones" => {
                 city_zones = Some(num(&take(&args, &mut i, "--city-zones"), "--city-zones"))
@@ -439,6 +558,16 @@ fn main() {
     if threads.is_some() && zones.is_none() && scaling.is_none() {
         fail("--threads only applies to cluster runs (--zones or --scaling)");
     }
+    if protocol.is_some() && zones.is_none() {
+        fail("--protocol only applies to --zones runs (--scaling measures both itself)");
+    }
+    let mode = match protocol.as_deref() {
+        None | Some("adaptive") => RoundMode::Adaptive,
+        Some("classic") => RoundMode::Classic,
+        Some(p) => fail(&format!(
+            "--protocol must be classic or adaptive, got {p:?}"
+        )),
+    };
     if let Some(list) = &scaling {
         if list.is_empty() || list.contains(&0) {
             fail("--scaling needs a comma-separated list of worker counts >= 1");
@@ -492,7 +621,30 @@ fn main() {
     );
 
     if let Some(list) = scaling {
-        run_scaling(&cfg, &schedule, &list, cap, runs, metrics, &out);
+        // Reconstruct the workload flags so every child process builds the
+        // identical CityConfig (and thus the identical schedule) we just
+        // fingerprinted above.
+        let mut workload: Vec<String> = Vec::new();
+        if smoke {
+            workload.push("--smoke".into());
+        }
+        workload.push("--seed".into());
+        workload.push(seed.to_string());
+        let opts: [(&str, Option<String>); 6] = [
+            ("--rooms", rooms.map(|v| v.to_string())),
+            ("--nodes", nodes.map(|v| v.to_string())),
+            ("--writes", writes.map(|v| v.to_string())),
+            ("--churn", churn.map(|v| v.to_string())),
+            ("--city-zones", city_zones.map(|v| v.to_string())),
+            ("--wan-ms", wan_ms.map(|v| v.to_string())),
+        ];
+        for (flag, v) in opts {
+            if let Some(v) = v {
+                workload.push(flag.into());
+                workload.push(v);
+            }
+        }
+        run_scaling(&cfg, &workload, &list, cap, runs, metrics, &out);
         return;
     }
 
@@ -501,6 +653,7 @@ fn main() {
             &cfg,
             &schedule,
             z.min(cap),
+            mode,
             runs,
             smoke,
             metrics,
@@ -512,8 +665,8 @@ fn main() {
 
     let (m, deterministic) = if smoke {
         // Determinism assertion: two identical runs must agree exactly.
-        let a = measure_once(&cfg);
-        let b = measure_once(&cfg);
+        let a = measure_flat_schedule(&cfg, &schedule);
+        let b = measure_flat_schedule(&cfg, &schedule);
         assert_eq!(
             a.stats.events_executed, b.stats.events_executed,
             "smoke runs diverged: engine event counts differ"
@@ -536,7 +689,7 @@ fn main() {
         );
         (if b.wall_ms < a.wall_ms { b } else { a }, Some(true))
     } else {
-        (measure_best(&cfg, runs), None)
+        (measure_best(&cfg, &schedule, runs), None)
     };
 
     assert_eq!(m.stats.joins_denied, 0, "city workload must admit everyone");
@@ -558,6 +711,7 @@ fn main() {
             println!("report_fnv={:#018x}", fnv64(r));
         }
         println!("wall_ms={}", m.wall_ms);
+        println!("wall_us={}", m.wall_us);
         println!("events_per_sec={:.0}", m.events_per_sec);
         println!("bytes_per_sec={:.0}", m.bytes_per_sec);
     }
@@ -583,6 +737,7 @@ fn run_cluster_mode(
     cfg: &CityConfig,
     schedule: &CitySchedule,
     workers: usize,
+    mode: RoundMode,
     runs: u32,
     smoke: bool,
     metrics: bool,
@@ -592,8 +747,8 @@ fn run_cluster_mode(
     let (m, deterministic) = if smoke {
         // Smoke determinism covers the merged telemetry byte-for-byte,
         // and the rendered attribution report likewise.
-        let a = measure_cluster_once(cfg, schedule, workers, Some(1 << 18));
-        let b = measure_cluster_once(cfg, schedule, workers, Some(1 << 18));
+        let a = measure_cluster_mode(cfg, schedule, workers, Some(1 << 18), mode);
+        let b = measure_cluster_mode(cfg, schedule, workers, Some(1 << 18), mode);
         assert_eq!(
             a.stats.merged_jsonl, b.stats.merged_jsonl,
             "smoke cluster runs diverged: merged telemetry differs"
@@ -613,9 +768,9 @@ fn run_cluster_mode(
         );
         (if b.wall_ms < a.wall_ms { b } else { a }, Some(true))
     } else {
-        let mut best = measure_cluster_once(cfg, schedule, workers, None);
+        let mut best = measure_cluster_mode(cfg, schedule, workers, None, mode);
         for _ in 1..runs {
-            let m = measure_cluster_once(cfg, schedule, workers, None);
+            let m = measure_cluster_mode(cfg, schedule, workers, None, mode);
             if m.wall_ms < best.wall_ms {
                 best = m;
             }
@@ -669,10 +824,14 @@ fn run_cluster_mode(
         }
         println!("workers={}", c.workers);
         println!("wall_ms={}", m.wall_ms);
+        println!("wall_us={}", m.wall_us);
         println!("events_per_sec={:.0}", m.events_per_sec);
         println!("bytes_per_sec={:.0}", m.bytes_per_sec);
         println!("busy_us_total={}", c.worker_busy_us.iter().sum::<u64>());
         println!("critical_path_us={}", c.critical_path_us);
+        println!("sync_us_total={}", c.worker_sync_us.iter().sum::<u64>());
+        println!("envelopes_routed={}", c.envelopes_routed);
+        println!("envelope_allocs={}", c.envelope_allocs);
     }
 
     let per_zone: Vec<String> = c
@@ -700,7 +859,7 @@ fn run_cluster_mode(
         })
         .collect();
     let extra = format!(
-        "\n  \"cluster\": {{\n    \"workers\": {},\n    \"zones\": {},\n    \"rounds\": {},\n    \"wan_msgs\": {},\n    \"wan_bytes\": {},\n    \"busy_us_total\": {},\n    \"critical_path_us\": {},\n    \"per_zone\": [\n{}\n    ]\n  }},",
+        "\n  \"cluster\": {{\n    \"workers\": {},\n    \"zones\": {},\n    \"rounds\": {},\n    \"wan_msgs\": {},\n    \"wan_bytes\": {},\n    \"busy_us_total\": {},\n    \"critical_path_us\": {},\n    \"sync_us_total\": {},\n    \"envelopes_routed\": {},\n    \"envelope_allocs\": {},\n    \"per_zone\": [\n{}\n    ]\n  }},",
         c.workers,
         c.per_zone.len(),
         c.rounds,
@@ -708,11 +867,15 @@ fn run_cluster_mode(
         c.wan_bytes,
         c.worker_busy_us.iter().sum::<u64>(),
         c.critical_path_us,
+        c.worker_sync_us.iter().sum::<u64>(),
+        c.envelopes_routed,
+        c.envelope_allocs,
         per_zone.join(",\n"),
     );
     let flat = Measured {
         stats: c.agg.clone(),
         wall_ms: m.wall_ms,
+        wall_us: m.wall_us,
         events_per_sec: m.events_per_sec,
         bytes_per_sec: m.bytes_per_sec,
     };
@@ -725,64 +888,121 @@ fn run_cluster_mode(
     write_json(out, cfg, &flat, deterministic, &extra, &notes);
 }
 
-/// `--scaling`: flat baseline and each worker count, interleaved min-of-N.
+/// `--scaling`: flat baseline and each worker count, interleaved min-of-N,
+/// every point in a fresh child process.
+///
+/// The flat baseline replays the *identical pre-generated schedule* the
+/// cluster points use (schedule generation excluded on both sides), so
+/// `overhead_vs_flat_percent` — sharded one-worker busy time over flat
+/// wall time, minus one — is an apples-to-apples sharding tax. A
+/// classic-protocol one-worker point rides along each pass to report
+/// `rounds_reduction` (classic barrier rounds / adaptive rounds).
 fn run_scaling(
     cfg: &CityConfig,
-    schedule: &CitySchedule,
+    workload: &[String],
     list: &[usize],
     cap: usize,
     runs: u32,
     metrics: bool,
     out: &str,
 ) {
-    let mut baseline: Option<Measured> = None;
-    let mut curve: Vec<(usize, Option<ClusterMeasured>)> =
-        list.iter().map(|&w| (w, None)).collect();
+    let mut baseline: Option<Point> = None;
+    let mut classic_w1: Option<Point> = None;
+    let mut extra_w1: Option<Point> = None;
+    let need_extra_w1 = !list.contains(&1);
+    let mut curve: Vec<(usize, Option<Point>)> = list.iter().map(|&w| (w, None)).collect();
+    let keep_min = |best: &mut Option<Point>, p: Point| {
+        if best.as_ref().is_none_or(|b| p.wall_us < b.wall_us) {
+            *best = Some(p);
+        }
+    };
     for run in 0..runs {
-        eprintln!("scaling: interleaved pass {}/{}", run + 1, runs);
-        let m = measure_once(cfg);
-        if baseline.as_ref().is_none_or(|b| m.wall_ms < b.wall_ms) {
-            baseline = Some(m);
+        eprintln!(
+            "scaling: interleaved pass {}/{} (each point in a fresh process)",
+            run + 1,
+            runs
+        );
+        let p = bench_child(workload, &[]);
+        eprintln!("  flat: {} ms", p.wall_ms);
+        keep_min(&mut baseline, p);
+        let p = bench_child(workload, &["--zones", "1", "--protocol", "classic"]);
+        eprintln!("  classic w1: {} ms ({} rounds)", p.wall_ms, p.rounds);
+        keep_min(&mut classic_w1, p);
+        if need_extra_w1 {
+            let p = bench_child(workload, &["--zones", "1"]);
+            eprintln!("  adaptive w1: {} ms ({} rounds)", p.wall_ms, p.rounds);
+            keep_min(&mut extra_w1, p);
         }
         for (w, best) in curve.iter_mut() {
-            let m = measure_cluster_once(cfg, schedule, (*w).min(cap), None);
-            if best.as_ref().is_none_or(|b| m.wall_ms < b.wall_ms) {
-                *best = Some(m);
-            }
+            let z = (*w).min(cap).to_string();
+            let p = bench_child(workload, &["--zones", &z]);
+            eprintln!("  adaptive w{w}: {} ms ({} rounds)", p.wall_ms, p.rounds);
+            keep_min(best, p);
         }
     }
     let baseline = baseline.expect("runs >= 1");
-    let curve: Vec<(usize, ClusterMeasured)> = curve
+    let classic_w1 = classic_w1.expect("runs >= 1");
+    let curve: Vec<(usize, Point)> = curve
         .into_iter()
-        .map(|(w, m)| (w, m.expect("runs >= 1")))
+        .map(|(w, p)| (w, p.expect("runs >= 1")))
         .collect();
+    let adaptive_w1 = curve
+        .iter()
+        .find(|(w, _)| *w == 1)
+        .map(|(_, p)| p)
+        .or(extra_w1.as_ref())
+        .expect("an adaptive one-worker point is always measured");
+
+    let overhead_vs_flat_percent =
+        (adaptive_w1.busy_us_total as f64 / baseline.wall_us.max(1) as f64 - 1.0) * 100.0;
+    let rounds_reduction = classic_w1.rounds as f64 / adaptive_w1.rounds.max(1) as f64;
 
     eprintln!(
-        "{:>8} {:>9} {:>9} {:>14} {:>17} {:>14}",
-        "workers", "wall_ms", "speedup", "busy_us", "critical_path_us", "parallel_bound"
+        "{:>8} {:>9} {:>9} {:>7} {:>12} {:>10} {:>17} {:>14}",
+        "workers",
+        "wall_ms",
+        "speedup",
+        "rounds",
+        "busy_us",
+        "sync_us",
+        "critical_path_us",
+        "parallel_bound"
     );
     eprintln!(
-        "{:>8} {:>9} {:>9.3} {:>14} {:>17} {:>14}",
-        "flat", baseline.wall_ms, 1.0, "-", "-", "-"
+        "{:>8} {:>9} {:>9.3} {:>7} {:>12} {:>10} {:>17} {:>14}",
+        "flat", baseline.wall_ms, 1.0, "-", "-", "-", "-", "-"
     );
-    for (w, m) in &curve {
-        let busy: u64 = m.stats.worker_busy_us.iter().sum();
+    for (w, p) in &curve {
         eprintln!(
-            "{:>8} {:>9} {:>9.3} {:>14} {:>17} {:>14.3}",
+            "{:>8} {:>9} {:>9.3} {:>7} {:>12} {:>10} {:>17} {:>14.3}",
             w,
-            m.wall_ms,
-            baseline.wall_ms as f64 / m.wall_ms.max(1) as f64,
-            busy,
-            m.stats.critical_path_us,
-            busy as f64 / m.stats.critical_path_us.max(1) as f64,
+            p.wall_ms,
+            baseline.wall_us as f64 / p.wall_us.max(1) as f64,
+            p.rounds,
+            p.busy_us_total,
+            p.sync_us_total,
+            p.critical_path_us,
+            p.busy_us_total as f64 / p.critical_path_us.max(1) as f64,
         );
     }
+    eprintln!(
+        "sharding tax (w1 busy vs flat wall): {overhead_vs_flat_percent:+.1}%; \
+barrier rounds: classic {} -> adaptive {} ({rounds_reduction:.1}x)",
+        classic_w1.rounds, adaptive_w1.rounds
+    );
 
     if metrics {
         println!("flat_wall_ms={}", baseline.wall_ms);
-        for (w, m) in &curve {
-            println!("wall_ms_w{w}={}", m.wall_ms);
-            println!("critical_path_us_w{w}={}", m.stats.critical_path_us);
+        println!("overhead_vs_flat_percent={overhead_vs_flat_percent:.2}");
+        println!("classic_rounds_w1={}", classic_w1.rounds);
+        println!("adaptive_rounds_w1={}", adaptive_w1.rounds);
+        println!("rounds_reduction={rounds_reduction:.2}");
+        for (w, p) in &curve {
+            println!("wall_ms_w{w}={}", p.wall_ms);
+            println!("rounds_w{w}={}", p.rounds);
+            println!("busy_us_w{w}={}", p.busy_us_total);
+            println!("sync_us_w{w}={}", p.sync_us_total);
+            println!("critical_path_us_w{w}={}", p.critical_path_us);
         }
     }
 
@@ -790,8 +1010,20 @@ fn run_scaling(
         .map(|n| n.get())
         .unwrap_or(1);
     let notes = format!(
-        "Scaling curve: flat single-engine baseline vs the zone-sharded cluster at each worker count, interleaved min-of-{} on a {}-core host. speedup_vs_flat is measured wall time; parallel_speedup_bound = total shard busy time / critical path (the per-round max over workers, summed) — the speedup the same run reaches once every worker has its own core. On a single-core host measured speedup stays near 1.0 by construction; the bound is the hardware-independent number.",
-        runs, cores
+        "Scaling curve: flat single-engine baseline vs the zone-sharded cluster at each worker count, interleaved min-of-{} on a {}-core host, all points replaying the identical pre-generated schedule, each point measured in a fresh child process so one run's heap cannot skew the next. wall_ms/speedup_vs_flat are measured wall clock; parallel_speedup_bound = total shard busy time / critical path (the per-round max over workers, summed) — the speedup the same run reaches once every worker has its own core. On a {}-core host measured speedup saturates at the core count; the bound is the hardware-independent number. overhead_vs_flat_percent = (one-worker busy time / flat wall time - 1) * 100, the residual sharding tax under adaptive windows; rounds_reduction compares classic fixed-lookahead barrier rounds to adaptive rounds on the same one-worker run.",
+        runs, cores, cores
     );
-    write_scaling_json(out, cfg, &baseline, &curve, runs, &notes);
+    write_scaling_json(
+        out,
+        cfg,
+        &baseline,
+        &curve,
+        runs,
+        cores,
+        overhead_vs_flat_percent,
+        &classic_w1,
+        adaptive_w1.rounds,
+        rounds_reduction,
+        &notes,
+    );
 }

@@ -4,11 +4,15 @@
 //! Each zone is a full private stack — engine, star network
 //! (`nodes_per_zone` leaves + one relay leaf + hub), platform, session —
 //! replaying its slice of a [`ZonePlan`]. Cross-zone rooms keep their
-//! real room in the home zone; a [`RelayUplink`] member forwards the
-//! published stream as [`CityWire`] envelopes, **one per guest zone per
-//! OSDU**, and each guest zone re-publishes it into a local mirror room.
-//! Inter-zone bytes are therefore flat in membership: the relay fans out
-//! per zone, the mirror fans out per member.
+//! real room in the home zone; an egress tap on the published VC
+//! captures each OSDU at its write call and forwards it as [`CityWire`]
+//! envelopes, **one per guest zone per OSDU**, and each guest zone
+//! re-publishes it into a local mirror room. Inter-zone bytes are
+//! therefore flat in membership: the tap fans out per zone, the mirror
+//! fans out per member. Capturing at the source (rather than joining a
+//! relay *member* that rides the full local packet path once per OSDU)
+//! keeps the sharding tax flat: a cross-zone stream costs the home zone
+//! zero extra engine events beyond the envelopes themselves.
 //!
 //! Determinism: the logical partition is part of the workload
 //! (`CityConfig::zones`), never of the execution, so the same seeded
@@ -16,7 +20,7 @@
 //! byte-identical [`merge_jsonl`] stream — for any worker-thread count.
 
 use crate::city_run::{profile_of, CityStats};
-use cm_cluster::{run_cluster, ClusterConfig, Envelope, ZoneWorker};
+use cm_cluster::{run_cluster, ClusterConfig, Envelope, LookaheadMatrix, RoundMode, ZoneWorker};
 use cm_core::address::{NetAddr, VcId};
 use cm_core::osdu::{Osdu, Payload};
 use cm_core::qos::{GuaranteeMode, QosRequirement};
@@ -26,12 +30,14 @@ use cm_core::time::{Bandwidth, SimDuration, SimTime};
 use cm_core::FastMap;
 use cm_obs::{Obs, ObsZoneReport};
 use cm_platform::Platform;
-use cm_session::{PeerId, RelayUplink, RelayUplinkEvent, Room, RoomMember, Session};
+use cm_session::{PeerId, Room, RoomMember, Session};
 use cm_telemetry::merge_jsonl;
 use cm_testkit::{CityConfig, CityEvent, CityMedia, CitySchedule, CityWire, ZoneEvent, ZonePlan};
-use cm_transport::{EntityConfig, TransportService};
+use cm_transport::{EgressTap, EntityConfig, TransportService};
 use netsim::{Engine, LinkParams, Network, NodeClock};
 use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -67,9 +73,9 @@ pub struct ZoneCityReport {
 /// Aggregated result of a sharded city run.
 #[derive(Debug, Clone)]
 pub struct ClusterCityStats {
-    /// Counters summed across zones; `sim_ms` and `events_executed`
-    /// aggregate the final clock (identical in every zone — they stop
-    /// at the same barrier tick) and the event total.
+    /// Counters summed across zones; `sim_ms` takes the max final clock
+    /// (zones stop on their own last window, so an idle-tailed zone may
+    /// finish logically earlier) and `events_executed` the total.
     pub agg: CityStats,
     /// Per-zone reports, zone-id order.
     pub per_zone: Vec<ZoneCityReport>,
@@ -81,9 +87,16 @@ pub struct ClusterCityStats {
     pub wall_us: u64,
     /// Per-worker busy time, µs.
     pub worker_busy_us: Vec<u64>,
+    /// Per-worker synchronization time (slot spins + barrier waits), µs.
+    pub worker_sync_us: Vec<u64>,
     /// Σ over rounds of the busiest worker — the parallel floor on an
     /// unconstrained host (see `ClusterReport::critical_path_us`).
     pub critical_path_us: u64,
+    /// Cross-zone envelopes carried by the runner.
+    pub envelopes_routed: u64,
+    /// Envelope buffer growth events across the whole run — the
+    /// allocation traffic the reused per-round `Vec`s avoid.
+    pub envelope_allocs: u64,
     /// Total cross-zone envelopes.
     pub wan_msgs: u64,
     /// Total cross-zone media payload bytes.
@@ -125,12 +138,6 @@ struct ZRt {
     obs: Obs,
     rooms: RefCell<FastMap<u32, Room>>,
     peers: RefCell<FastMap<(u32, u32), PeerId>>,
-    /// Home-side published VC per room, so the relay can look up the
-    /// origin write time of each OSDU it forwards.
-    home_vcs: RefCell<FastMap<u32, VcId>>,
-    /// Home-side media profile per room, stored before `publish` so the
-    /// relay's `Published` callback can stamp `MirrorPublish` envelopes.
-    media_of: RefCell<FastMap<u32, CityMedia>>,
     /// Guest-side mirror stream handles, live once `MirrorPublish`
     /// arrived and until the mirror closes.
     mirror_streams: RefCell<FastMap<u32, (TransportService, VcId)>>,
@@ -138,6 +145,32 @@ struct ZRt {
     mirror_peers: RefCell<FastMap<u32, PeerId>>,
     /// Cross-zone envelopes staged for the next barrier drain.
     outbound: RefCell<Vec<Envelope<CityWire>>>,
+    /// Wide-area ingress queue: envelopes accepted by `inject` but not
+    /// yet delivered, a min-heap on (deliver time, arrival order).
+    /// `run_until_us` advances the engine to each delivery instant and
+    /// calls the handler inline, sparing the engine one heap event per
+    /// envelope — at city scale those events alone are ~3% of the flat
+    /// city's entire event count, pure sharding tax.
+    wan_in: RefCell<BinaryHeap<Reverse<WanItem>>>,
+    /// Arrival counter feeding [`WanItem::seq`].
+    wan_seq: Cell<u64>,
+    /// Home-side cross rooms with a stream in flight, keyed by room:
+    /// inserted when the `Publish` event executes (every wide-area
+    /// message is causally downstream of one), removed when the tap
+    /// has forwarded the stream's last scheduled OSDU or the room
+    /// closes. Each entry lower-bounds the room's next possible
+    /// emission by the *write schedule* — paced writes land at
+    /// publish + 100 ms + k·interval, and the tap emits exactly at the
+    /// write call — so a zone full of idle-gap text streams still
+    /// stretches its window to the next write instead of collapsing to
+    /// the next deadline.
+    hot: RefCell<FastMap<u32, HotStream>>,
+    /// Sorted static times (µs) after which this zone could start
+    /// emitting again: cross-room publishes
+    /// ([`ZonePlan::emission_enables_us`]).
+    enables_us: Vec<u64>,
+    /// First entry of `enables_us` not yet behind the zone clock.
+    enable_idx: Cell<usize>,
     rooms_opened: Cell<u64>,
     mirrors_opened: Cell<u64>,
     mirror_publishes: Cell<u64>,
@@ -151,6 +184,100 @@ struct ZRt {
     wan_dropped: Cell<u64>,
     rooms_active: Cell<u64>,
     rooms_active_peak: Cell<u64>,
+}
+
+/// One in-flight cross-zone stream's emission bound. The schedule fixes
+/// the publisher's write times exactly, and the egress tap emits at the
+/// write call itself, so `next_write_us` — the next unwritten OSDU's
+/// *scheduled* write time — is an exact lower bound on the room's next
+/// wide-area emission: a parked producer (full send buffer) only pushes
+/// real writes later than scheduled, never earlier.
+struct HotStream {
+    /// Scheduled write time of the next OSDU the tap has not forwarded
+    /// yet: publish + 100 ms + k·interval.
+    next_write_us: u64,
+    /// The stream's OSDU pacing interval.
+    interval_us: u64,
+    /// Scheduled OSDUs the tap has not forwarded yet.
+    left: u32,
+}
+
+/// One wide-area envelope waiting for its delivery instant. Envelopes
+/// are injected in deterministic merge order (the runner's routing is
+/// worker-count-invariant), so ordering by (deliver time, arrival seq)
+/// replays exactly the order engine-scheduled delivery events would
+/// have fired in.
+struct WanItem {
+    deliver_at_us: u64,
+    seq: u64,
+    body: CityWire,
+}
+
+impl PartialEq for WanItem {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deliver_at_us, self.seq) == (other.deliver_at_us, other.seq)
+    }
+}
+impl Eq for WanItem {}
+impl PartialOrd for WanItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WanItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at_us, self.seq).cmp(&(other.deliver_at_us, other.seq))
+    }
+}
+
+/// Home-side egress tap for one cross-zone stream: every accepted write
+/// on the published VC becomes one wide-area envelope per guest zone,
+/// captured synchronously inside the write call. The v0 design joined a
+/// relay *member* on a dedicated leaf instead, which cost the home zone
+/// a full local packet round-trip plus delivery event per OSDU — pure
+/// sharding tax, since the flat city does none of that work. The tap
+/// emits at the source for zero extra engine events, and because the
+/// envelope leaves at the write instant, the [`HotStream`] bound is
+/// exact rather than conservative.
+struct ZoneEgress {
+    rt: Rc<ZRt>,
+    room: u32,
+}
+
+impl EgressTap for ZoneEgress {
+    fn on_osdu_written(&self, _vc: VcId, osdu: &Osdu, now_us: u64) {
+        let rt = &self.rt;
+        // Causal provenance: capture *is* the write, so the origin and
+        // relay timestamps coincide; guest-side spans charge the whole
+        // wide-area hop to `mirror_relay` from here.
+        let (origin_us, relayed_at_us) = if rt.obs.enabled() {
+            (now_us, now_us)
+        } else {
+            (0, 0)
+        };
+        rt.send_to_guests(
+            self.room,
+            CityWire::Media {
+                room: self.room,
+                tag: osdu.payload.tag().unwrap_or(0),
+                len: osdu.payload.len() as u32,
+                origin_us,
+                relayed_at_us,
+            },
+        );
+        // One more OSDU out: the next emission cannot precede the next
+        // scheduled write. After the last scheduled OSDU the stream is
+        // provably silent — retire it from the emission bound entirely.
+        let mut hot = rt.hot.borrow_mut();
+        if let Some(h) = hot.get_mut(&self.room) {
+            h.left = h.left.saturating_sub(1);
+            if h.left == 0 {
+                hot.remove(&self.room);
+            } else {
+                h.next_write_us += h.interval_us;
+            }
+        }
+    }
 }
 
 impl ZRt {
@@ -281,52 +408,13 @@ fn arm_batch(engine: &Engine, rt: Rc<ZRt>, idx: usize) {
 fn execute(engine: &Engine, rt: &Rc<ZRt>, ev: ZoneEvent) {
     match ev {
         ZoneEvent::City(ev) => execute_city(engine, rt, ev),
-        ZoneEvent::RelayJoin { room, .. } => {
-            let Some(r) = rt.rooms.borrow().get(&room).cloned() else {
-                return;
-            };
-            let rt2 = rt.clone();
-            let relay = Rc::new(RelayUplink::new(move |ev| match ev {
-                RelayUplinkEvent::Published { .. } => {
-                    let media = rt2
-                        .media_of
-                        .borrow()
-                        .get(&room)
-                        .copied()
-                        .expect("publish stores the media profile first");
-                    rt2.send_to_guests(room, CityWire::MirrorPublish { room, media });
-                }
-                RelayUplinkEvent::Media { osdu, .. } => {
-                    // Causal provenance: the home write time of this OSDU
-                    // (looked up from the trace registry) plus the relay
-                    // capture time, so guest-side spans can charge the
-                    // wide-area hop to `mirror_relay`.
-                    let (origin_us, relayed_at_us) = if rt2.obs.enabled() {
-                        let origin = rt2
-                            .home_vcs
-                            .borrow()
-                            .get(&room)
-                            .and_then(|hv| rt2.obs.origin_of(hv.0, osdu.seq()))
-                            .unwrap_or(0);
-                        (origin, rt2.engine.now().as_micros())
-                    } else {
-                        (0, 0)
-                    };
-                    rt2.send_to_guests(
-                        room,
-                        CityWire::Media {
-                            room,
-                            tag: osdu.payload.tag().unwrap_or(0),
-                            len: osdu.payload.len() as u32,
-                            origin_us,
-                            relayed_at_us,
-                        },
-                    );
-                }
-                RelayUplinkEvent::Closed { .. } => {}
-            }));
-            let relay_node = rt.nodes[rt.plan.relay_node() as usize];
-            r.join(relay_node, "relay", relay, |_res| {});
+        ZoneEvent::RelayJoin { .. } => {
+            // v0 joined a forwarding relay member here. Zone egress is
+            // now captured at the write call itself (an [`EgressTap`]
+            // registered when `Publish` executes), so nothing joins:
+            // the plan still emits the event — and the home room still
+            // carries the spare capacity slot — so schedule shapes stay
+            // stable across the redesign.
         }
         ZoneEvent::MirrorOpen { room, capacity, .. } => {
             let relay_node = rt.nodes[rt.plan.relay_node() as usize];
@@ -410,9 +498,6 @@ fn execute_city(engine: &Engine, rt: &Rc<ZRt>, ev: CityEvent) {
             let Some(&publisher) = rt.peers.borrow().get(&(room, 0)) else {
                 return;
             };
-            // Stored before `publish` so the relay's Published callback
-            // (which fires inside this call) can read it.
-            rt.media_of.borrow_mut().insert(room, media);
             let profile = profile_of(media);
             let req = QosRequirement {
                 tolerance: profile.tolerance(50),
@@ -424,10 +509,35 @@ fn execute_city(engine: &Engine, rt: &Rc<ZRt>, ev: CityEvent) {
                 return;
             };
             rt.published.set(rt.published.get() + 1);
-            rt.home_vcs.borrow_mut().insert(room, vc);
             let Some(svc) = r.stream_service("main") else {
                 return;
             };
+            if !rt.plan.rooms[room as usize].guests.is_empty() {
+                // Announce the stream to every guest zone within the
+                // `Publish` execution itself — the enabling event the
+                // emission bound is anchored to — and capture the
+                // stream at its source: an egress tap on the published
+                // VC forwards each OSDU at its write call. The room
+                // turns hot at this very tick, so the bound stays
+                // honest across republishes; with the announcement
+                // already out, the bound starts directly at the paced
+                // write schedule (publish + 100 ms + k·interval).
+                rt.send_to_guests(room, CityWire::MirrorPublish { room, media });
+                rt.hot.borrow_mut().insert(
+                    room,
+                    HotStream {
+                        next_write_us: engine.now().as_micros() + 100_000,
+                        interval_us: profile.osdu_rate.interval().as_micros(),
+                        left: writes,
+                    },
+                );
+                let tap = Rc::new(ZoneEgress {
+                    rt: rt.clone(),
+                    room,
+                });
+                svc.set_egress_tap(vc, tap)
+                    .expect("publish just opened this VC");
+            }
             let size = profile.nominal_osdu_size;
             let every = profile.osdu_rate.interval();
             let rt2 = rt.clone();
@@ -448,11 +558,9 @@ fn execute_city(engine: &Engine, rt: &Rc<ZRt>, ev: CityEvent) {
             let Some(r) = rt.rooms.borrow_mut().remove(&room) else {
                 return;
             };
-            rt.media_of.borrow_mut().remove(&room);
-            rt.home_vcs.borrow_mut().remove(&room);
+            rt.hot.borrow_mut().remove(&room);
             rt.room_closed();
-            // Listeners first, the publisher (and its stream) last; the
-            // home relay, admitted before the publisher, leaves after it.
+            // Listeners first, the publisher (and its stream) last.
             let mut roster = r.peers();
             roster.reverse();
             for (id, _, _) in roster {
@@ -557,6 +665,7 @@ impl ZoneCityWorker {
             platform.install_node_with(n, entity_cfg.clone());
         }
         let session = Session::new(&platform);
+        let enables_us = plan.emission_enables_us(zone);
         let rt = Rc::new(ZRt {
             zone,
             plan,
@@ -567,11 +676,14 @@ impl ZoneCityWorker {
             obs,
             rooms: RefCell::new(FastMap::default()),
             peers: RefCell::new(FastMap::default()),
-            home_vcs: RefCell::new(FastMap::default()),
-            media_of: RefCell::new(FastMap::default()),
             mirror_streams: RefCell::new(FastMap::default()),
             mirror_peers: RefCell::new(FastMap::default()),
             outbound: RefCell::new(Vec::new()),
+            wan_in: RefCell::new(BinaryHeap::new()),
+            wan_seq: Cell::new(0),
+            hot: RefCell::new(FastMap::default()),
+            enables_us,
+            enable_idx: Cell::new(0),
             rooms_opened: Cell::new(0),
             mirrors_opened: Cell::new(0),
             mirror_publishes: Cell::new(0),
@@ -591,24 +703,138 @@ impl ZoneCityWorker {
     }
 }
 
+impl ZoneCityWorker {
+    /// Deliver every queued wide-area envelope due at exactly `t_us`
+    /// (the engine clock must already be there), in arrival order.
+    fn deliver_wan_at(&self, t_us: u64) {
+        loop {
+            let item = {
+                let mut q = self.rt.wan_in.borrow_mut();
+                match q.peek() {
+                    Some(Reverse(w)) if w.deliver_at_us == t_us => q.pop().map(|Reverse(w)| w),
+                    _ => None,
+                }
+            };
+            match item {
+                Some(w) => self.rt.on_wire(w.body),
+                None => return,
+            }
+        }
+    }
+}
+
 impl ZoneWorker for ZoneCityWorker {
     type Msg = CityWire;
     type Report = ZoneCityReport;
 
     fn inject(&mut self, env: Envelope<CityWire>) {
-        let rt = self.rt.clone();
-        self.engine
-            .schedule_at(SimTime::from_micros(env.deliver_at_us), move |_| {
-                rt.on_wire(env.body)
-            });
+        debug_assert!(
+            env.deliver_at_us >= self.engine.now().as_micros(),
+            "wide-area envelope injected into the past: deliver_at={} clock={}",
+            env.deliver_at_us,
+            self.engine.now().as_micros()
+        );
+        let seq = self.rt.wan_seq.get();
+        self.rt.wan_seq.set(seq + 1);
+        self.rt.wan_in.borrow_mut().push(Reverse(WanItem {
+            deliver_at_us: env.deliver_at_us,
+            seq,
+            body: env.body,
+        }));
     }
 
     fn next_deadline_us(&mut self) -> Option<u64> {
-        self.engine.next_deadline().map(|t| t.as_micros())
+        let local = self.engine.next_deadline().map(|t| t.as_micros());
+        let wan = self
+            .rt
+            .wan_in
+            .borrow()
+            .peek()
+            .map(|Reverse(w)| w.deliver_at_us);
+        [local, wan].into_iter().flatten().min()
+    }
+
+    fn next_emission_us(&mut self) -> Option<u64> {
+        // No pending events → nothing ever emits: forwarding an OSDU is
+        // itself an engine event, and injected envelopes only feed
+        // guest-side mirrors, which never send back.
+        let t = self.engine.next_deadline()?.as_micros();
+        // Enables strictly below the next pending deadline have already
+        // executed (the schedule chain keeps its next batch armed, so an
+        // unexecuted enable implies a pending event at or before it) and
+        // turned their rooms hot. The cursor only advances, so this is
+        // amortized O(1) per round.
+        let mut i = self.rt.enable_idx.get();
+        while self.rt.enables_us.get(i).is_some_and(|&e| e < t) {
+            i += 1;
+        }
+        self.rt.enable_idx.set(i);
+        let next_enable = self.rt.enables_us.get(i).copied();
+        // In-flight streams: the earliest unforwarded write. Hot rooms
+        // are few (streams are short next to room lifetimes), so a
+        // linear min is cheap.
+        let hot_min = self.rt.hot.borrow().values().map(|h| h.next_write_us).min();
+        // An OSDU already written but still in flight can make the raw
+        // bound trail the clock; no emission can precede the next
+        // engine event, so clamping up to the deadline stays sound.
+        [hot_min, next_enable]
+            .into_iter()
+            .flatten()
+            .min()
+            .map(|e| e.max(t))
     }
 
     fn run_until_us(&mut self, deadline_us: u64) {
-        self.engine.run_until(SimTime::from_micros(deadline_us));
+        // Interleave the engine with the wide-area ingress queue: run
+        // local events up to each delivery instant, then hand the due
+        // envelopes straight to their handlers (engine clock already on
+        // the instant, zero-delay follow-ups picked up by the next
+        // pass). Same-instant ordering is local-events-first, then
+        // envelopes in arrival order — deterministic for any worker
+        // count and either barrier protocol.
+        loop {
+            let next_wan = self
+                .rt
+                .wan_in
+                .borrow()
+                .peek()
+                .map(|Reverse(w)| w.deliver_at_us);
+            match next_wan {
+                Some(t) if t <= deadline_us => {
+                    self.engine.run_until(SimTime::from_micros(t));
+                    self.deliver_wan_at(t);
+                }
+                _ => {
+                    self.engine.run_until(SimTime::from_micros(deadline_us));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn run_to_drain_us(&mut self) {
+        // Same interleave as `run_until_us`, with the next delivery
+        // instant as the rolling deadline. `Engine::run` leaves the
+        // clock on the last executed event instead of poisoning it with
+        // a synthetic `u64::MAX` deadline.
+        loop {
+            let next_wan = self
+                .rt
+                .wan_in
+                .borrow()
+                .peek()
+                .map(|Reverse(w)| w.deliver_at_us);
+            match next_wan {
+                Some(t) => {
+                    self.engine.run_until(SimTime::from_micros(t));
+                    self.deliver_wan_at(t);
+                }
+                None => {
+                    self.engine.run();
+                    return;
+                }
+            }
+        }
     }
 
     fn drain_outbound(&mut self, out: &mut Vec<Envelope<CityWire>>) {
@@ -672,11 +898,40 @@ pub fn run_city_cluster_schedule(
     workers: usize,
     telemetry_capacity: Option<usize>,
 ) -> ClusterCityStats {
+    run_city_cluster_mode(
+        cfg,
+        schedule,
+        workers,
+        telemetry_capacity,
+        RoundMode::Adaptive,
+    )
+}
+
+/// As [`run_city_cluster_schedule`], but choosing the round protocol —
+/// [`RoundMode::Classic`] keeps the original two-barrier global-window
+/// loop alive for A/B overhead measurement.
+pub fn run_city_cluster_mode(
+    cfg: &CityConfig,
+    schedule: &CitySchedule,
+    workers: usize,
+    telemetry_capacity: Option<usize>,
+    mode: RoundMode,
+) -> ClusterCityStats {
     let plan = Arc::new(ZonePlan::partition(cfg, schedule));
+    let wan_us = plan.wan_latency_ms.max(1) * 1_000;
+    // Envelopes only flow home → guest, so the lookahead matrix has an
+    // edge exactly where some room's home zone fans out to a guest zone;
+    // every other pair is provably silent and never constrains a window.
+    let mut matrix = LookaheadMatrix::disconnected(plan.zones as usize);
+    for (home, guest) in plan.wan_edges() {
+        matrix.set(home, guest, wan_us);
+    }
     let cluster_cfg = ClusterConfig {
         workers,
-        lookahead_us: plan.wan_latency_ms.max(1) * 1_000,
+        lookahead_us: wan_us,
         max_rounds: 50_000_000,
+        mode,
+        matrix: Some(matrix),
     };
     let builders: Vec<_> = (0..plan.zones)
         .map(|z| {
@@ -720,7 +975,10 @@ pub fn run_city_cluster_schedule(
         rounds: report.rounds,
         wall_us: report.wall_us,
         worker_busy_us: report.worker_busy_us,
+        worker_sync_us: report.worker_sync_us,
         critical_path_us: report.critical_path_us,
+        envelopes_routed: report.envelopes_routed,
+        envelope_allocs: report.envelope_allocs,
         wan_msgs,
         wan_bytes,
         merged_jsonl,
@@ -771,5 +1029,51 @@ mod tests {
         // And the two runs really did use different thread counts.
         assert_eq!(one.workers, 1);
         assert_eq!(four.workers, 4);
+    }
+
+    #[test]
+    fn adaptive_mode_matches_classic_and_cuts_rounds() {
+        let cfg = small();
+        let schedule = CitySchedule::generate(&cfg);
+        let classic = run_city_cluster_mode(&cfg, &schedule, 1, Some(1 << 14), RoundMode::Classic);
+        let adaptive =
+            run_city_cluster_mode(&cfg, &schedule, 1, Some(1 << 14), RoundMode::Adaptive);
+        // Same simulation, different round partitioning. (Total engine
+        // callback counts are *not* compared: zero-effect internal
+        // wakeups may land differently around same-tick boundaries.)
+        assert_eq!(classic.agg.rooms_opened, adaptive.agg.rooms_opened);
+        assert_eq!(classic.agg.joins_ok, adaptive.agg.joins_ok);
+        assert_eq!(classic.agg.published, adaptive.agg.published);
+        assert_eq!(classic.agg.osdus_written, adaptive.agg.osdus_written);
+        assert_eq!(classic.wan_msgs, adaptive.wan_msgs);
+        assert_eq!(classic.wan_bytes, adaptive.wan_bytes);
+        assert_eq!(classic.agg.osdus_delivered, adaptive.agg.osdus_delivered);
+        assert_eq!(classic.agg.bytes_delivered, adaptive.agg.bytes_delivered);
+        // `engine.drain` spans and the `engine.events_drained` counter
+        // trace run_until batches and their internal wakeups, which
+        // legally differ between round protocols; everything else —
+        // every session/transport/packet event, timestamped — must be
+        // identical.
+        let strip = |s: &Option<String>| -> String {
+            s.as_deref()
+                .unwrap_or_default()
+                .lines()
+                .filter(|l| {
+                    !l.contains("\"engine.drain\"") && !l.contains("\"engine.events_drained\"")
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            strip(&classic.merged_jsonl),
+            strip(&adaptive.merged_jsonl),
+            "round protocol must not leak into the simulation"
+        );
+        assert!(
+            adaptive.rounds * 2 <= classic.rounds,
+            "adaptive windows must collapse rounds ≥2× (classic {} vs adaptive {})",
+            classic.rounds,
+            adaptive.rounds
+        );
     }
 }

@@ -9,14 +9,17 @@
 //!
 //! That bound is what makes conservative synchronization work. Each
 //! round, every zone publishes the deadline of its earliest pending
-//! event; the global minimum `M` plus the lookahead defines a *barrier
-//! tick* `W = M + L`, and every zone can safely simulate up to and
-//! including `W` without hearing from anyone — nothing any other zone
-//! does before `W` can produce a delivery inside the window. Outbound
-//! cross-zone messages are drained into per-zone mailboxes, exchanged at
-//! the barrier, and re-injected sorted by `(deliver_time, src_zone,
-//! seq)`, so the merged execution is byte-identical for any worker
-//! count, including one.
+//! event `T` and its earliest possible cross-zone *emission* `E`; zone
+//! `z` can safely simulate up to and including its window
+//! `W_z = min_j (E_j + D(j, z))` — `D` being the min-plus closure of
+//! the per-pair [`LookaheadMatrix`] — without hearing from anyone:
+//! nothing any other zone does can produce a delivery inside that
+//! window. Outbound cross-zone messages are drained into per-zone
+//! mailboxes, exchanged at the round's single barrier, and re-injected
+//! sorted by `(deliver_time, src_zone, seq)`, so the merged execution
+//! is byte-identical for any worker count, including one. The original
+//! two-barrier global-window protocol survives as
+//! [`RoundMode::Classic`] for A/B measurement.
 //!
 //! The runner is engine-agnostic: anything implementing [`ZoneWorker`]
 //! can ride it, which keeps this crate dependency-free and lets the
@@ -26,4 +29,6 @@ mod envelope;
 mod runner;
 
 pub use envelope::Envelope;
-pub use runner::{run_cluster, ClusterConfig, ClusterReport, ZoneWorker};
+pub use runner::{
+    run_cluster, ClusterConfig, ClusterReport, LookaheadMatrix, RoundMode, ZoneWorker,
+};

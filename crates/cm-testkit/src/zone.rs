@@ -332,6 +332,52 @@ impl ZonePlan {
     pub fn relay_node(&self) -> u32 {
         self.nodes_per_zone
     }
+
+    /// Every ordered zone pair that actually exchanges traffic —
+    /// `(home, guest)` for each cross-zone room, deduplicated. Traffic
+    /// is strictly home → guest (guests never send back), so this is
+    /// the complete edge set of the wide-area lookahead matrix.
+    pub fn wan_edges(&self) -> Vec<(u32, u32)> {
+        let mut edges: Vec<(u32, u32)> = self
+            .rooms
+            .iter()
+            .flat_map(|r| r.guests.iter().map(move |&g| (r.home, g)))
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
+    /// Sorted times (µs of simulated time) of `zone`'s
+    /// *emission-enabling* events: the static schedule points after
+    /// which the zone could start forwarding cross-zone traffic it
+    /// could not forward before. Every wide-area message — the stream
+    /// announcement and each forwarded OSDU — is causally downstream of
+    /// a cross-zone room's `Publish` execution (the relay join chain
+    /// itself exchanges nothing over the WAN; mirror rooms are opened
+    /// by the guest zone's own schedule), so the enabling events are
+    /// exactly the cross-zone rooms' `Publish`es. A relay that joins
+    /// *after* a publish replays the announcement on join completion,
+    /// but that too is bounded: the room turns hot at the publish tick
+    /// and stays hot until the relay has forwarded the stream's last
+    /// scheduled OSDU, which cannot happen before the join completes.
+    /// Between the last forwarded stream draining and the next enabling
+    /// event, the zone provably cannot emit — the window stretch the
+    /// adaptive runner feeds on.
+    pub fn emission_enables_us(&self, zone: u32) -> Vec<u64> {
+        self.per_zone[zone as usize]
+            .events
+            .iter()
+            .filter_map(|ev| match *ev {
+                ZoneEvent::City(CityEvent::Publish { at_ms, room, .. })
+                    if !self.rooms[room as usize].guests.is_empty() =>
+                {
+                    Some(at_ms * 1_000)
+                }
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -371,6 +417,56 @@ mod tests {
             .map(|&e| ZoneEvent::City(e))
             .collect();
         assert_eq!(plan.per_zone[0].events, flat);
+    }
+
+    #[test]
+    fn wan_edges_cover_exactly_the_guest_pairs() {
+        let (_, _, plan) = plan_for(CityConfig::smoke(7));
+        let edges = plan.wan_edges();
+        assert!(!edges.is_empty(), "smoke config spans zones");
+        // Sorted, deduplicated, never self-directed, and each edge is
+        // backed by at least one room.
+        let mut sorted = edges.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(edges, sorted);
+        for &(h, g) in &edges {
+            assert_ne!(h, g);
+            assert!(plan
+                .rooms
+                .iter()
+                .any(|r| r.home == h && r.guests.contains(&g)));
+        }
+        // And every room's placement is covered by the edge list.
+        for r in &plan.rooms {
+            for &g in &r.guests {
+                assert!(edges.contains(&(r.home, g)));
+            }
+        }
+    }
+
+    #[test]
+    fn emission_enables_are_sorted_and_match_cross_room_events() {
+        let (cfg, _, plan) = plan_for(CityConfig::smoke(7));
+        let mut total = 0usize;
+        for z in 0..cfg.zones {
+            let enables = plan.emission_enables_us(z);
+            assert!(enables.windows(2).all(|w| w[0] <= w[1]), "sorted");
+            total += enables.len();
+            // Each enable is a cross-zone room's Publish tick.
+            for &t in &enables {
+                let ms = t / 1_000;
+                assert!(plan.per_zone[z as usize].events.iter().any(|ev| {
+                    ev.at_ms() == ms
+                        && matches!(
+                            ev,
+                            ZoneEvent::City(CityEvent::Publish { room, .. })
+                                if !plan.rooms[*room as usize].guests.is_empty()
+                        )
+                }));
+            }
+        }
+        assert!(total > 0, "cross rooms must produce enabling events");
     }
 
     #[test]

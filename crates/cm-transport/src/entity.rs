@@ -23,7 +23,7 @@ use crate::buffer::{BufferHandle, PushOutcome};
 use crate::monitor::QosMonitor;
 use crate::rate::RateClock;
 use crate::receiver::{SinkAction, SinkEngine};
-use crate::service::{EntityConfig, TransportService, TransportUser, VcTap};
+use crate::service::{EgressTap, EntityConfig, TransportService, TransportUser, VcTap};
 use crate::tpdu::{fragment_sizes, ControlMsg, DataTpdu, QosReport, CONTROL_WIRE_SIZE};
 use crate::vc::{EndStats, SinkEnd, SourceEnd, Vc, VcPhase, VcRole};
 use crate::window::{GoBackNReceiver, GoBackNSender};
@@ -88,6 +88,9 @@ pub(crate) struct VcEntry {
     pub(crate) vc: Vc,
     /// The orchestration tap, when registered.
     pub(crate) tap: Option<Rc<dyn VcTap>>,
+    /// The source-side egress tap, when registered (fires synchronously
+    /// inside `write_osdu`).
+    pub(crate) egress: Option<Rc<dyn EgressTap>>,
     /// Self-healing state (probe timer + lifetime counters).
     pub(crate) heal: Option<crate::heal::HealState>,
 }
@@ -145,6 +148,7 @@ impl VcTable {
         let h = self.slots.insert(VcEntry {
             vc: v,
             tap: None,
+            egress: None,
             heal: None,
         });
         self.by_id.insert(vc, h);
@@ -170,6 +174,22 @@ impl VcTable {
     pub(crate) fn clear_tap(&mut self, vc: &VcId) {
         if let Some(e) = self.resolve(*vc).and_then(|h| self.slots.get_mut(h)) {
             e.tap = None;
+        }
+    }
+
+    pub(crate) fn set_egress(&mut self, vc: VcId, tap: Rc<dyn EgressTap>) -> bool {
+        match self.resolve(vc).and_then(|h| self.slots.get_mut(h)) {
+            Some(e) => {
+                e.egress = Some(tap);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub(crate) fn clear_egress(&mut self, vc: &VcId) {
+        if let Some(e) = self.resolve(*vc).and_then(|h| self.slots.get_mut(h)) {
+            e.egress = None;
         }
     }
 
@@ -885,6 +905,7 @@ impl TransportEntity {
             match entry {
                 Some(e) => {
                     e.tap = None;
+                    e.egress = None;
                     e.heal = None;
                     let v = &mut e.vc;
                     if v.phase == VcPhase::Closed {
@@ -2424,7 +2445,10 @@ impl TransportEntity {
     ) -> Result<bool, ServiceError> {
         let now = self.now();
         let mut st = self.state.borrow_mut();
-        let v = st.vcs.get_mut(&vc).ok_or(ServiceError::UnknownVc)?;
+        let h = st.vcs.resolve(vc).ok_or(ServiceError::UnknownVc)?;
+        let e = st.vcs.at_mut(h).ok_or(ServiceError::UnknownVc)?;
+        let egress = e.egress.clone();
+        let v = &mut e.vc;
         if v.role != VcRole::Source {
             return Err(ServiceError::WrongState("write on sink end"));
         }
@@ -2443,12 +2467,21 @@ impl TransportEntity {
         let seq = s.next_write_seq;
         let mut osdu = Osdu::new(seq, payload);
         osdu.opdu.event = event;
+        // Clone for the egress tap only when one is registered (payloads
+        // are tag+len synthetics or refcounted bytes — cheap either way).
+        let echo = egress.is_some().then(|| osdu.clone());
         match s.send_buf.try_push(now, osdu) {
             PushOutcome::Pushed { .. } => {
                 s.next_write_seq += 1;
                 // Mint the causal span: the budget clock starts when the
                 // OSDU enters the send buffer.
                 self.obs.mint(vc.0, seq, now.as_micros());
+                // Egress tap fires after the state borrow is released so
+                // it may call back into the service.
+                drop(st);
+                if let (Some(tap), Some(osdu)) = (egress, echo) {
+                    tap.on_osdu_written(vc, &osdu, now.as_micros());
+                }
                 Ok(true)
             }
             PushOutcome::Full(_) => Ok(false),
@@ -2588,6 +2621,24 @@ impl TransportEntity {
     /// Remove the orchestration tap for a VC.
     pub(crate) fn clear_tap(&self, vc: VcId) {
         self.state.borrow_mut().vcs.clear_tap(&vc);
+    }
+
+    /// Register the source-side egress tap for a VC.
+    pub(crate) fn set_egress_tap(
+        &self,
+        vc: VcId,
+        tap: Rc<dyn EgressTap>,
+    ) -> Result<(), ServiceError> {
+        let mut st = self.state.borrow_mut();
+        if !st.vcs.set_egress(vc, tap) {
+            return Err(ServiceError::UnknownVc);
+        }
+        Ok(())
+    }
+
+    /// Remove the egress tap for a VC.
+    pub(crate) fn clear_egress_tap(&self, vc: VcId) {
+        self.state.borrow_mut().vcs.clear_egress(&vc);
     }
 
     /// Send an opaque control payload to the VC's peer LLO (§5's OPDU

@@ -32,7 +32,7 @@ pub mod wire;
 pub use buffer::{BufferHandle, BufferStats, PushOutcome};
 pub use group::{GroupEnd, GroupReceiver};
 pub use heal::HealReason;
-pub use service::{EntityConfig, TransportService, TransportUser, VcTap};
+pub use service::{EgressTap, EntityConfig, TransportService, TransportUser, VcTap};
 pub use sync_buffer::SyncCircularBuffer;
 pub use tpdu::{QosReport, DEFAULT_MTU};
 pub use vc::{EndStats, VcRole};

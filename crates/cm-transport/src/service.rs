@@ -192,6 +192,24 @@ pub trait VcTap {
     fn on_loss_indicated(&self, vc: VcId, seq: u64) {}
 }
 
+/// Source-side egress tap on one VC: sees every OSDU the instant
+/// `write_osdu` accepts it into the send buffer, synchronously, before
+/// packetization. This is the capture point for zone-edge relays — a
+/// wide-area forwarder observing at the write call costs no extra
+/// packets, no receiver slot and no engine events, where a forwarder
+/// joined as a *member* would ride the full local delivery path once
+/// per OSDU (DESIGN.md §13).
+///
+/// The callback runs after the entity's state borrow is released, so it
+/// may call back into the service (including `write_osdu`) — but it runs
+/// inside the writer's call, so it must not assume the OSDU has been
+/// transmitted, only buffered.
+pub trait EgressTap {
+    /// `write_osdu` accepted this OSDU (sequence number assigned, span
+    /// minted) at simulated time `now_us`.
+    fn on_osdu_written(&self, vc: VcId, osdu: &Osdu, now_us: u64);
+}
+
 /// Per-node handle to the transport service.
 #[derive(Clone)]
 pub struct TransportService {
@@ -414,6 +432,17 @@ impl TransportService {
     /// Remove the tap from a VC.
     pub fn clear_tap(&self, vc: VcId) {
         self.entity.clear_tap(vc)
+    }
+
+    /// Register an [`EgressTap`] on a source-end VC; it fires
+    /// synchronously on every accepted `write_osdu`.
+    pub fn set_egress_tap(&self, vc: VcId, tap: Rc<dyn EgressTap>) -> Result<(), ServiceError> {
+        self.entity.set_egress_tap(vc, tap)
+    }
+
+    /// Remove the egress tap from a VC.
+    pub fn clear_egress_tap(&self, vc: VcId) {
+        self.entity.clear_egress_tap(vc)
     }
 
     /// Send an opaque payload on the VC's out-of-band control channel.
